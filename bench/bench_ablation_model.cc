@@ -1,0 +1,122 @@
+// Model-sensitivity ablation (not a paper figure): how robust are the
+// headline comparisons to the simulation's latency parameters? Sweeps the
+// injected RPC round trip and re-measures the Mantle-vs-Tectonic objstat gap,
+// and sweeps the delta-record compaction cadence to expose its dirstat cost.
+//
+// Expected shape: the Mantle/Tectonic ratio *grows* with RTT (more round
+// trips hurt more), stays >1 even at tiny RTTs (capacity effects remain),
+// and dirstat latency is insensitive to compaction cadence thanks to
+// merge-on-read.
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+double MeasureObjstat(SystemKind kind, int64_t rtt_nanos, const BenchConfig& config) {
+  NetworkOptions net = BenchNetworkOptions();
+  net.rtt_nanos = rtt_nanos;
+  SystemInstance instance;
+  instance.network = std::make_unique<Network>(net);
+  if (kind == SystemKind::kMantle) {
+    MantleOptions options;
+    options.tafdb = BenchTafDbOptions();
+    options.index.follower_read = true;
+    options.index.raft = BenchRaftOptions();
+    instance.service =
+        std::make_unique<MantleService>(instance.network.get(), std::move(options));
+  } else {
+    TectonicOptions options;
+    options.tafdb = BenchTafDbOptions();
+    instance.service = std::make_unique<TectonicService>(instance.network.get(), options);
+  }
+  NamespaceSpec spec;
+  spec.num_dirs = config.ns_dirs / 2;
+  spec.num_objects = config.ns_objects / 2;
+  GeneratedNamespace ns = PopulateNamespace(instance.get(), spec);
+  MdtestOps ops(instance.get(), &ns);
+  DriverOptions driver;
+  driver.threads = config.threads;
+  driver.duration_nanos = config.DurationNanos();
+  driver.warmup_nanos = config.WarmupNanos();
+  return RunClosedLoop(driver, ops.ObjStat()).Throughput();
+}
+
+void RttSweep(const BenchConfig& config) {
+  std::printf("\n-- objstat throughput vs injected RPC round trip --\n");
+  Table table({"rtt", "Tectonic", "Mantle", "Mantle/Tectonic"});
+  for (int64_t rtt_us : {20, 80, 240}) {
+    const double tectonic = MeasureObjstat(SystemKind::kTectonic, rtt_us * 1000, config);
+    const double mantle = MeasureObjstat(SystemKind::kMantle, rtt_us * 1000, config);
+    table.AddRow({std::to_string(rtt_us) + " us", FormatOps(tectonic), FormatOps(mantle),
+                  FormatDouble(tectonic > 0 ? mantle / tectonic : 0, 2) + "x"});
+  }
+  table.Print();
+}
+
+void CompactionSweep(const BenchConfig& config) {
+  std::printf("\n-- dirstat under contended mkdir vs compaction cadence --\n");
+  Table table({"compaction interval", "dirstat mean", "mkdir throughput", "pending deltas"});
+  for (int64_t interval_us : {500, 5'000, 50'000}) {
+    SystemInstance instance;
+    instance.network = std::make_unique<Network>(BenchNetworkOptions());
+    MantleOptions options;
+    options.tafdb = BenchTafDbOptions();
+    options.tafdb.force_delta_records = true;
+    options.tafdb.compaction_interval_nanos = interval_us * 1000;
+    options.index.follower_read = true;
+    options.index.raft = BenchRaftOptions();
+    auto mantle = std::make_unique<MantleService>(instance.network.get(), std::move(options));
+    MantleService* service = mantle.get();
+    instance.service = std::move(mantle);
+
+    NamespaceSpec spec;
+    spec.num_dirs = config.ns_dirs / 8;
+    spec.num_objects = config.ns_objects / 8;
+    GeneratedNamespace ns = PopulateNamespace(instance.get(), spec);
+    MdtestOps ops(instance.get(), &ns);
+
+    // Background contended mkdirs generate a steady stream of delta records
+    // while dirstat reads merge them.
+    DriverOptions mkdir_driver;
+    mkdir_driver.threads = config.threads / 2;
+    mkdir_driver.duration_nanos = config.DurationNanos();
+    mkdir_driver.warmup_nanos = config.WarmupNanos();
+    OpFn mkdir_fn = ops.Mkdir("/storm", config.threads / 2, /*shared=*/true);
+    WorkloadResult mkdir_result;
+    std::thread mkdir_thread(
+        [&]() { mkdir_result = RunClosedLoop(mkdir_driver, mkdir_fn); });
+
+    DriverOptions stat_driver;
+    stat_driver.threads = config.threads / 2;
+    stat_driver.duration_nanos = config.DurationNanos();
+    stat_driver.warmup_nanos = config.WarmupNanos();
+    WorkloadResult stat_result = RunClosedLoop(stat_driver, ops.DirStat());
+    mkdir_thread.join();
+
+    table.AddRow({std::to_string(interval_us / 1000) + "." +
+                      std::to_string((interval_us % 1000) / 100) + " ms",
+                  FormatMicros(stat_result.total.Mean()), FormatOps(mkdir_result.Throughput()),
+                  FormatCount(service->tafdb()->PendingCompactions())});
+  }
+  table.Print();
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Ablation", "simulation-model sensitivity",
+              "conclusions should survive RTT changes; compaction cadence ~free");
+  RttSweep(config);
+  CompactionSweep(config);
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

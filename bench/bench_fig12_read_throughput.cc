@@ -1,0 +1,65 @@
+// Figure 12: throughput of object operations and directory read operations
+// (create, delete, objstat, dirstat) across Tectonic, InfiniFS, LocoFS and
+// Mantle.
+//
+// Expected shape (paper §6.3): Tectonic < InfiniFS < LocoFS < Mantle for the
+// stat-style operations; for create, LocoFS approaches Mantle because the
+// data-layer attribute updates shrink the resolution share.
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 12", "object + directory read operation throughput",
+              "expect Tectonic < InfiniFS < LocoFS < Mantle (create: LocoFS ~ Mantle)");
+
+  static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
+                                        SystemKind::kLocoFs, SystemKind::kMantle};
+  static const char* kOps[] = {"create", "delete", "objstat", "dirstat"};
+
+  for (const char* op : kOps) {
+    std::printf("\n-- %s --\n", op);
+    Table table(WorkloadColumns());
+    for (SystemKind kind : kSystems) {
+      SystemInstance system = MakeSystem(kind);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs;
+      spec.num_objects = config.ns_objects;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+      MdtestOps ops(system.get(), &ns);
+
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+
+      OpFn fn;
+      if (std::string(op) == "create") {
+        fn = ops.Create("/bench_create", config.threads);
+      } else if (std::string(op) == "delete") {
+        fn = ops.CreateDelete("/bench_delete", config.threads);
+      } else if (std::string(op) == "objstat") {
+        fn = ops.ObjStat();
+      } else {
+        fn = ops.DirStat();
+      }
+      WorkloadResult result = RunClosedLoop(driver, fn);
+      table.AddRow(WorkloadRow(SystemName(kind), result));
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

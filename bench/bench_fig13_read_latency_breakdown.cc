@@ -1,0 +1,71 @@
+// Figure 13: latency breakdown (lookup vs execution) of the Figure 12
+// operations.
+//
+// Expected shape: the lookup phase dominates for Tectonic/InfiniFS (many
+// round trips or wide fan-out), shrinks for LocoFS (central in-memory
+// resolution), and is smallest for Mantle (single-RPC + TopDirPathCache).
+// InfiniFS folds the objstat leaf read into its lookup phase; LocoFS resolves
+// directory operations inside the execution phase (paper §6.3).
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 13", "latency breakdown of object/directory read operations",
+              "columns are mean per-phase latency; T/I/L/M as in the paper");
+
+  static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
+                                        SystemKind::kLocoFs, SystemKind::kMantle};
+  static const char* kOps[] = {"create", "delete", "objstat", "dirstat"};
+
+  for (const char* op : kOps) {
+    std::printf("\n-- %s --\n", op);
+    Table table({"system", "lookup", "execute", "total", "lookup %"});
+    for (SystemKind kind : kSystems) {
+      SystemInstance system = MakeSystem(kind);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs;
+      spec.num_objects = config.ns_objects;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+      MdtestOps ops(system.get(), &ns);
+
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+
+      OpFn fn;
+      if (std::string(op) == "create") {
+        fn = ops.Create("/bench_create", config.threads);
+      } else if (std::string(op) == "delete") {
+        fn = ops.CreateDelete("/bench_delete", config.threads);
+      } else if (std::string(op) == "objstat") {
+        fn = ops.ObjStat();
+      } else {
+        fn = ops.DirStat();
+      }
+      WorkloadResult result = RunClosedLoop(driver, fn);
+      const double lookup = result.lookup.Mean();
+      const double execute = result.execute.Mean();
+      const double total = result.total.Mean();
+      table.AddRow({SystemName(kind), FormatMicros(lookup), FormatMicros(execute),
+                    FormatMicros(total),
+                    FormatDouble(total > 0 ? 100.0 * lookup / total : 0, 1) + "%"});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

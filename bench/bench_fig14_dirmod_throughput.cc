@@ -1,0 +1,72 @@
+// Figure 14: throughput of directory modification operations - mkdir and
+// dirrename, each in exclusive ('-e', per-thread directories) and shared
+// ('-s', one contended directory) modes.
+//
+// Expected shape (paper §6.3):
+//   mkdir-e     : Tectonic ~ InfiniFS; LocoFS worst (unbatched Raft commit);
+//                 Mantle highest (batched Raft + single-RPC lookups).
+//   mkdir-s     : Tectonic/LocoFS serialize on the parent-attribute latch,
+//                 InfiniFS better (single-shard atomic primitive), Mantle
+//                 highest thanks to delta records.
+//   dirrename-e : like mkdir-e with extra loop-detection cost for I/L/M.
+//   dirrename-s : baselines collapse under conflicts; Mantle's delta records
+//                 keep it near its exclusive throughput.
+
+#include <cstdio>
+#include <string>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 14", "directory modification throughput (mkdir/dirrename, -e/-s)",
+              "expect Mantle to lead every group; '-s' collapses the baselines");
+
+  static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
+                                        SystemKind::kLocoFs, SystemKind::kMantle};
+  struct Cell {
+    const char* label;
+    bool rename;
+    bool shared;
+  };
+  static const Cell kCells[] = {{"mkdir-e", false, false},
+                                {"mkdir-s", false, true},
+                                {"dirrename-e", true, false},
+                                {"dirrename-s", true, true}};
+
+  for (const Cell& cell : kCells) {
+    std::printf("\n-- %s --\n", cell.label);
+    Table table(WorkloadColumns());
+    for (SystemKind kind : kSystems) {
+      SystemInstance system = MakeSystem(kind);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs / 4;  // dirmod benches need less ballast
+      spec.num_objects = config.ns_objects / 4;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+      MdtestOps ops(system.get(), &ns);
+
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+
+      OpFn fn = cell.rename ? ops.DirRename("/bench_rn", config.threads, cell.shared)
+                            : ops.Mkdir("/bench_mk", config.threads, cell.shared);
+      WorkloadResult result = RunClosedLoop(driver, fn);
+      table.AddRow(WorkloadRow(SystemName(kind), result));
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 15: latency breakdown (lookup / loop detection / execution) of the
+// directory modification operations of Figure 14.
+//
+// Expected shape: Tectonic has no loop-detection phase (it skips loop checks
+// under relaxed consistency); InfiniFS pays distributed loop detection (one
+// DB RPC per ancestor level); LocoFS and Mantle run it on their central
+// index; Mantle reports zero lookup time for dirrename because resolution is
+// merged into the loop-detection RPC (paper §6.3).
+
+#include <cstdio>
+#include <string>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 15", "latency breakdown of directory modifications",
+              "phases: lookup / loop detection / execution (mean per op)");
+
+  static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
+                                        SystemKind::kLocoFs, SystemKind::kMantle};
+  struct Cell {
+    const char* label;
+    bool rename;
+    bool shared;
+  };
+  static const Cell kCells[] = {{"mkdir-e", false, false},
+                                {"mkdir-s", false, true},
+                                {"dirrename-e", true, false},
+                                {"dirrename-s", true, true}};
+
+  for (const Cell& cell : kCells) {
+    std::printf("\n-- %s --\n", cell.label);
+    Table table({"system", "lookup", "loopdetect", "execute", "total"});
+    for (SystemKind kind : kSystems) {
+      SystemInstance system = MakeSystem(kind);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs / 4;
+      spec.num_objects = config.ns_objects / 4;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+      MdtestOps ops(system.get(), &ns);
+
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+
+      OpFn fn = cell.rename ? ops.DirRename("/bench_rn", config.threads, cell.shared)
+                            : ops.Mkdir("/bench_mk", config.threads, cell.shared);
+      WorkloadResult result = RunClosedLoop(driver, fn);
+      table.AddRow({SystemName(kind), FormatMicros(result.lookup.Mean()),
+                    FormatMicros(result.loop_detect.Mean()),
+                    FormatMicros(result.execute.Mean()),
+                    FormatMicros(result.total.Mean())});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 16: effect of each Mantle optimization, enabled cumulatively:
+// Mantle-base -> +pathcache -> +raftlogbatch -> +delta record -> +follower
+// read, measured on dirstat, mkdir-e and dirrename-s.
+//
+// Expected shape: +pathcache roughly doubles dirstat; +raftlogbatch lifts
+// mkdir-e (fsync amortization); +delta record rescues dirrename-s from
+// conflict collapse; +follower read adds further dirstat headroom.
+
+#include <cstdio>
+#include <string>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+struct Step {
+  const char* label;
+  MantleFeatureOverrides overrides;
+};
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 16", "effect of individual optimizations (cumulative)",
+              "throughput normalized to Mantle-base per workload");
+
+  std::vector<Step> steps;
+  {
+    MantleFeatureOverrides base;
+    base.path_cache = false;
+    base.raft_log_batching = false;
+    base.delta_records = false;
+    base.follower_read = false;
+    steps.push_back({"Mantle-base", base});
+    MantleFeatureOverrides with_cache = base;
+    with_cache.path_cache = true;
+    steps.push_back({"+pathcache", with_cache});
+    MantleFeatureOverrides with_batch = with_cache;
+    with_batch.raft_log_batching = true;
+    steps.push_back({"+raftlogbatch", with_batch});
+    MantleFeatureOverrides with_delta = with_batch;
+    with_delta.delta_records = true;
+    steps.push_back({"+delta record", with_delta});
+    MantleFeatureOverrides with_follower = with_delta;
+    with_follower.follower_read = true;
+    steps.push_back({"+follower read", with_follower});
+  }
+
+  static const char* kWorkloads[] = {"dirstat", "mkdir-e", "dirrename-s"};
+  for (const char* workload : kWorkloads) {
+    std::printf("\n-- %s --\n", workload);
+    Table table({"configuration", "throughput", "normalized", "retries"});
+    double base_throughput = 0;
+    for (const Step& step : steps) {
+      SystemInstance system = MakeSystem(SystemKind::kMantle, step.overrides);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs / 4;
+      spec.num_objects = config.ns_objects / 4;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+      MdtestOps ops(system.get(), &ns);
+
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+
+      OpFn fn;
+      if (std::string(workload) == "dirstat") {
+        fn = ops.DirStat();
+      } else if (std::string(workload) == "mkdir-e") {
+        fn = ops.Mkdir("/bench_mk", config.threads, /*shared=*/false);
+      } else {
+        fn = ops.DirRename("/bench_rn", config.threads, /*shared=*/true);
+      }
+      WorkloadResult result = RunClosedLoop(driver, fn);
+      if (base_throughput == 0) {
+        base_throughput = result.Throughput();
+      }
+      table.AddRow({step.label, FormatOps(result.Throughput()),
+                    FormatDouble(base_throughput > 0 ? result.Throughput() / base_throughput : 0,
+                                 2) +
+                        "x",
+                    FormatCount(result.retries)});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 17: impact of directory depth on path-resolution latency.
+//
+// Expected shape: Tectonic's latency grows linearly with depth (one RTT per
+// level); InfiniFS grows sublinearly but degrades under concurrency (fan-out
+// stragglers); LocoFS tracks Mantle at shallow depths then drifts up as the
+// central node's per-level CPU accumulates; Mantle stays nearly flat (the
+// paper reports a 10-level path costs only 1.09x a 1-level path).
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 17", "path-resolution latency vs directory depth",
+              "mean lookup latency; expect Mantle flat, Tectonic linear in depth");
+
+  static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
+                                        SystemKind::kLocoFs, SystemKind::kMantle};
+  static const int kDepths[] = {1, 2, 4, 6, 8, 10};
+
+  Table table({"system", "d=1", "d=2", "d=4", "d=6", "d=8", "d=10", "d10/d1"});
+  for (SystemKind kind : kSystems) {
+    SystemInstance system = MakeSystem(kind);
+    // A chain per depth plus a leaf object; lookups resolve the leaf's parent.
+    std::vector<std::string> row{SystemName(kind)};
+    double depth1_mean = 0;
+    double depth10_mean = 0;
+    for (int depth : kDepths) {
+      auto chain =
+          BulkLoadChain(system.get(), "depth" + std::to_string(depth) + "_lvl", depth);
+      const std::string leaf = chain.back() + "/leafobj";
+      system.get()->BulkLoadObject(leaf, 1024);
+
+      MdtestOps ops(system.get(), nullptr);
+      DriverOptions driver;
+      driver.threads = config.threads;
+      driver.duration_nanos = config.DurationNanos() / 2;
+      driver.warmup_nanos = config.WarmupNanos();
+      WorkloadResult result = RunClosedLoop(driver, ops.LookupPaths({leaf}));
+      const double mean = result.lookup.Mean();
+      if (depth == 1) {
+        depth1_mean = mean;
+      }
+      if (depth == 10) {
+        depth10_mean = mean;
+      }
+      row.push_back(FormatMicros(mean));
+    }
+    row.push_back(FormatDouble(depth1_mean > 0 ? depth10_mean / depth1_mean : 0, 2) + "x");
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

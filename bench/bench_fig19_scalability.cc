@@ -1,0 +1,104 @@
+// Figure 19: Mantle scalability.
+//   (a) throughput vs namespace size - objstat and create stay flat as the
+//       namespace grows (the paper scales 1B -> 10B entries; we sweep the
+//       harness-scaled range, the invariant is flatness, not magnitude).
+//   (b) throughput vs client threads - objstat saturates the leader alone,
+//       +followers extends scaling, +learners extends it further; create is
+//       bounded by TafDB capacity.
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+WorkloadResult RunCell(SystemInstance& system, const BenchConfig& config, int threads,
+                       const OpFn& fn) {
+  DriverOptions driver;
+  driver.threads = threads;
+  driver.duration_nanos = config.DurationNanos();
+  return RunClosedLoop(driver, fn);
+}
+
+void RunSizeSweep(const BenchConfig& config) {
+  std::printf("\n-- (a) throughput vs namespace size (threads=%d) --\n", config.threads);
+  Table table({"entries", "objstat", "create"});
+  const uint64_t base_entries = config.ns_dirs + config.ns_objects;
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    const uint64_t dirs = static_cast<uint64_t>(config.ns_dirs * scale);
+    const uint64_t objects = static_cast<uint64_t>(config.ns_objects * scale);
+    SystemInstance system = MakeSystem(SystemKind::kMantle);
+    NamespaceSpec spec;
+    spec.num_dirs = dirs;
+    spec.num_objects = objects;
+    GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+    MdtestOps ops(system.get(), &ns);
+    WorkloadResult objstat = RunCell(system, config, config.threads, ops.ObjStat());
+    WorkloadResult create =
+        RunCell(system, config, config.threads, ops.Create("/cr", config.threads));
+    table.AddRow({FormatCount(dirs + objects), FormatOps(objstat.Throughput()),
+                  FormatOps(create.Throughput())});
+    (void)base_entries;
+  }
+  table.Print();
+}
+
+void RunThreadSweep(const BenchConfig& config) {
+  std::printf("\n-- (b) throughput vs client threads --\n");
+  struct Config {
+    const char* label;
+    bool follower_read;
+    uint32_t learners;
+    bool create;
+  };
+  static const Config kConfigs[] = {
+      {"objstat (leader only)", false, 0, false},
+      {"objstat +followers", true, 0, false},
+      {"objstat +learners", true, 2, false},
+      {"create", true, 0, true},
+  };
+  const int kThreadPoints[] = {config.threads / 4, config.threads / 2, config.threads,
+                               config.threads * 2, config.threads * 4};
+
+  Table table({"configuration", "t/4", "t/2", "t", "2t", "4t"});
+  for (const Config& cell : kConfigs) {
+    MantleFeatureOverrides overrides;
+    overrides.follower_read = cell.follower_read;
+    overrides.learners = cell.learners;
+    SystemInstance system = MakeSystem(SystemKind::kMantle, overrides);
+    NamespaceSpec spec;
+    spec.num_dirs = config.ns_dirs / 2;
+    spec.num_objects = config.ns_objects / 2;
+    GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+    MdtestOps ops(system.get(), &ns);
+
+    std::vector<std::string> row{cell.label};
+    for (int threads : kThreadPoints) {
+      const int effective = std::max(1, threads);
+      OpFn fn = cell.create ? ops.Create("/cr" + std::to_string(effective), effective)
+                            : ops.ObjStat();
+      WorkloadResult result = RunCell(system, config, effective, fn);
+      row.push_back(FormatOps(result.Throughput()));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 19", "Mantle scalability (namespace size; client threads)",
+              "expect flat over size; follower/learner reads extend thread scaling");
+  RunSizeSweep(config);
+  RunThreadSweep(config);
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 20: impact of adding AM-Cache-style metadata caching to InfiniFS and
+// Mantle on the two application workloads.
+//
+// Expected shape: caching barely moves Analytics (dominated by directory
+// modification contention) but substantially accelerates InfiniFS on Audio
+// (lookup-bound); Mantle improves only slightly - its single-RPC resolution
+// leaves little to cache.
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+#include "src/workload/applications.h"
+
+namespace mantle {
+namespace {
+
+struct Variant {
+  const char* label;
+  SystemKind kind;
+  bool cached;
+};
+
+SystemInstance MakeVariant(const Variant& variant) {
+  if (variant.kind == SystemKind::kInfiniFs) {
+    return MakeSystem(SystemKind::kInfiniFs, {}, variant.cached);
+  }
+  // Mantle with/without the bolt-on AM-Cache.
+  SystemInstance instance;
+  instance.network = std::make_unique<Network>(BenchNetworkOptions());
+  MantleOptions options;
+  options.tafdb = BenchTafDbOptions();
+  options.index.num_voters = 3;
+  options.index.follower_read = true;
+  options.index.raft = BenchRaftOptions();
+  options.enable_am_cache = variant.cached;
+  auto mantle = std::make_unique<MantleService>(instance.network.get(), std::move(options));
+  instance.mantle = mantle.get();
+  instance.service = std::move(mantle);
+  return instance;
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 20", "adding metadata caching (AM-Cache) to InfiniFS and Mantle",
+              "expect big Audio gains for InfiniFS, marginal ones for Mantle");
+
+  static const Variant kVariants[] = {
+      {"InfiniFS", SystemKind::kInfiniFs, false},
+      {"InfiniFS + cache", SystemKind::kInfiniFs, true},
+      {"Mantle", SystemKind::kMantle, false},
+      {"Mantle + cache", SystemKind::kMantle, true},
+  };
+
+  Table table({"system", "Analytics", "Audio"});
+  for (const Variant& variant : kVariants) {
+    double analytics_seconds = 0;
+    double audio_seconds = 0;
+    {
+      SystemInstance system = MakeVariant(variant);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs / 8;
+      spec.num_objects = config.ns_objects / 8;
+      PopulateNamespace(system.get(), spec);
+      AnalyticsOptions options;
+      options.queries = config.quick ? 2 : 4;
+      options.subtasks_per_query = config.quick ? 16 : 48;
+      options.threads = config.threads / 2;
+      analytics_seconds = RunAnalytics(system.get(), "/spark", options).completion_seconds;
+    }
+    {
+      SystemInstance system = MakeVariant(variant);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs / 8;
+      spec.num_objects = config.ns_objects / 8;
+      PopulateNamespace(system.get(), spec);
+      AudioOptions options;
+      options.input_objects = config.quick ? 300 : 1'500;
+      options.threads = config.threads / 2;
+      audio_seconds = RunAudio(system.get(), "/audio", options).completion_seconds;
+    }
+    table.AddRow({variant.label, FormatDouble(analytics_seconds, 2) + " s",
+                  FormatDouble(audio_seconds, 2) + " s"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

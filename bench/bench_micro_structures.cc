@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) of Mantle's core data structures:
+// IndexTable probes, TopDirPathCache hits, RemovalList scans, PrefixTree
+// subtree removal, and Raft log append/slice. These quantify the per-probe
+// costs behind the modeled service times in the cluster simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/index/index_table.h"
+#include "src/index/prefix_tree.h"
+#include "src/index/removal_list.h"
+#include "src/index/top_dir_path_cache.h"
+#include "src/raft/log.h"
+
+namespace mantle {
+namespace {
+
+void BM_IndexTableLookup(benchmark::State& state) {
+  IndexTable table;
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    table.Insert(kRootId, "dir" + std::to_string(i), kRootId + 1 + i, kPermAll);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(kRootId, "dir" + std::to_string(i % entries)));
+    ++i;
+  }
+}
+BENCHMARK(BM_IndexTableLookup)->Arg(1024)->Arg(65536);
+
+void BM_IndexTableAncestorChain(benchmark::State& state) {
+  IndexTable table;
+  const int depth = static_cast<int>(state.range(0));
+  InodeId parent = kRootId;
+  for (int i = 0; i < depth; ++i) {
+    table.Insert(parent, "d", kRootId + 1 + i, kPermAll);
+    parent = kRootId + 1 + i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.AncestorChain(parent));
+  }
+}
+BENCHMARK(BM_IndexTableAncestorChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PathCacheLookupHit(benchmark::State& state) {
+  TopDirPathCache cache;
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    cache.TryInsert("/a/b/prefix" + std::to_string(i), PathCacheEntry{uint64_t(i + 2), kPermAll});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup("/a/b/prefix" + std::to_string(i % entries)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PathCacheLookupHit)->Arg(1024)->Arg(65536);
+
+void BM_RemovalListScanEmpty(benchmark::State& state) {
+  RemovalList list;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.ContainsPrefixOf("/a/b/c/d/e/f/g/h/i/j"));
+  }
+}
+BENCHMARK(BM_RemovalListScanEmpty);
+
+void BM_RemovalListScanPopulated(benchmark::State& state) {
+  RemovalList list;
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    list.Insert("/busy/dir" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.ContainsPrefixOf("/a/b/c/d/e/f/g/h/i/j"));
+  }
+}
+BENCHMARK(BM_RemovalListScanPopulated)->Arg(4)->Arg(64);
+
+void BM_RemovalListInsertRetire(benchmark::State& state) {
+  RemovalList list;
+  for (auto _ : state) {
+    auto token = list.Insert("/spark/out/tmp");
+    list.MarkDone(token);
+    list.RunMaintenancePass([](const std::string&) {});
+  }
+}
+BENCHMARK(BM_RemovalListInsertRetire);
+
+void BM_PrefixTreeRemoveSubtree(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    PrefixTree tree;
+    for (int i = 0; i < width; ++i) {
+      tree.Insert("/root/mid" + std::to_string(i) + "/leaf");
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.RemoveSubtree("/root"));
+  }
+}
+BENCHMARK(BM_PrefixTreeRemoveSubtree)->Arg(16)->Arg(256);
+
+void BM_RaftLogAppendSlice(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RaftLog log;
+    state.ResumeTiming();
+    for (size_t i = 0; i < batch; ++i) {
+      log.Append(LogEntry{1, log.LastIndex() + 1, "command-payload-of-typical-size-xxxx"});
+    }
+    benchmark::DoNotOptimize(log.Slice(0, batch));
+  }
+}
+BENCHMARK(BM_RaftLogAppendSlice)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace mantle
+
+BENCHMARK_MAIN();

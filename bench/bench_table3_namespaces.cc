@@ -1,0 +1,77 @@
+// Table 3: characteristics of the five Cluster-C production namespaces and
+// their peak lookup / mkdir throughput under Mantle.
+//
+// We regenerate five namespaces with the paper's object counts scaled to the
+// harness and the reported small-object ratios, host each on its own Mantle
+// namespace (IndexNode per namespace; shared TafDB semantics), and probe peak
+// lookup and mkdir throughput.
+
+#include <cstdio>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+
+namespace mantle {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Table 3", "five Cluster-C namespaces under Mantle",
+              "columns mirror the paper: sizes, small-object ratio, peak throughputs");
+
+  struct NsShape {
+    const char* name;
+    double scale;        // relative namespace size (C1 largest)
+    double dir_share;    // directories / total entries
+    double small_ratio;  // objects <= 512 KB
+  };
+  static const NsShape kShapes[] = {{"C1", 1.00, 0.008, 0.62},
+                                    {"C2", 0.66, 0.084, 0.292},
+                                    {"C3", 0.38, 0.108, 0.337},
+                                    {"C4", 0.25, 0.099, 0.288},
+                                    {"C5", 0.03, 0.107, 0.281}};
+
+  Table table({"name", "#objects", "#dirs", "small obj", "peak lookup", "peak mkdir"});
+  for (const NsShape& shape : kShapes) {
+    SystemInstance system = MakeSystem(SystemKind::kMantle);
+    const uint64_t total =
+        static_cast<uint64_t>((config.ns_dirs + config.ns_objects) * shape.scale);
+    NamespaceSpec spec;
+    spec.num_dirs = std::max<uint64_t>(64, static_cast<uint64_t>(total * shape.dir_share));
+    spec.num_objects = total - spec.num_dirs;
+    spec.small_object_ratio = shape.small_ratio;
+    GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+    MdtestOps ops(system.get(), &ns);
+
+    uint64_t small_objects = 0;
+    for (uint64_t size : ns.object_sizes) {
+      if (size <= spec.small_object_max_bytes) {
+        ++small_objects;
+      }
+    }
+
+    DriverOptions driver;
+    driver.threads = config.threads;
+    driver.duration_nanos = config.DurationNanos();
+    driver.warmup_nanos = config.WarmupNanos();
+    WorkloadResult lookup = RunClosedLoop(driver, ops.LookupPaths(ns.objects));
+    WorkloadResult mkdir =
+        RunClosedLoop(driver, ops.Mkdir("/probe_mk", config.threads, /*shared=*/false));
+
+    table.AddRow({shape.name, FormatCount(ns.objects.size()), FormatCount(ns.dirs.size()),
+                  FormatDouble(100.0 * static_cast<double>(small_objects) /
+                                   static_cast<double>(std::max<size_t>(1, ns.objects.size())),
+                               1) +
+                      "%",
+                  FormatOps(lookup.Throughput()), FormatOps(mkdir.Throughput())});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

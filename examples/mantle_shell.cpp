@@ -1,0 +1,176 @@
+// mantle_shell: an interactive shell over a live Mantle namespace. Useful
+// for poking at the metadata service by hand and for demos.
+//
+//   $ ./build/examples/mantle_shell
+//   mantle> mkdir /a
+//   mantle> put /a/file.bin 4096
+//   mantle> ls /a
+//   mantle> stat /a/file.bin
+//   mantle> mv /a /b
+//   mantle> stats
+//   mantle> help
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/mantle_service.h"
+
+using namespace mantle;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  mkdir <path>          create a directory\n"
+      "  rmdir <path>          remove an empty directory\n"
+      "  put <path> [bytes]    create an object (default 4096 bytes)\n"
+      "  rm <path>             delete an object\n"
+      "  ls <path>             list a directory\n"
+      "  stat <path>           stat an object or directory\n"
+      "  mv <src> <dst>        rename a directory (atomic, loop-checked)\n"
+      "  chmod <path> <mask>   set directory permission bits (r=4 w=2 x=1)\n"
+      "  lookup <path>         resolve a path, showing RPC count and latency\n"
+      "  stats                 IndexNode and TafDB internals\n"
+      "  help                  this text\n"
+      "  quit                  exit\n");
+}
+
+void PrintOp(const char* verb, const OpResult& result) {
+  std::printf("%s: %s  (%lld rpcs, %.0f us", verb, result.status.ToString().c_str(),
+              static_cast<long long>(result.rpcs), result.breakdown.total_nanos() / 1e3);
+  if (result.retries > 0) {
+    std::printf(", %d retries", result.retries);
+  }
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main() {
+  Network network;
+  MantleOptions options;
+  options.index.follower_read = true;
+  MantleService fs(&network, options);
+  std::printf("Mantle shell - %u IndexNode replicas, %u TafDB shards. Type 'help'.\n",
+              fs.index()->num_replicas(), fs.tafdb()->shard_map()->num_shards());
+
+  std::string line;
+  while (std::printf("mantle> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    input >> command;
+    if (command.empty()) {
+      continue;
+    }
+    if (command == "quit" || command == "exit") {
+      break;
+    }
+    if (command == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (command == "fsck") {
+      auto report = fs.Fsck();
+      std::printf("fsck: %s  (%llu dirs checked, %llu rows scanned)\n",
+                  report.clean() ? "clean" : "INCONSISTENT",
+                  static_cast<unsigned long long>(report.dirs_checked),
+                  static_cast<unsigned long long>(report.rows_scanned));
+      for (const auto& path : report.missing_entry_row) {
+        std::printf("  missing entry row:   %s\n", path.c_str());
+      }
+      for (const auto& path : report.missing_attr_row) {
+        std::printf("  missing attr row:    %s\n", path.c_str());
+      }
+      for (const auto& path : report.id_mismatch) {
+        std::printf("  id mismatch:         %s\n", path.c_str());
+      }
+      for (const auto& path : report.unindexed_dir_row) {
+        std::printf("  unindexed dir row:   %s\n", path.c_str());
+      }
+      continue;
+    }
+    if (command == "stats") {
+      IndexReplica* leader = fs.index()->LeaderReplica();
+      const auto cache = leader->cache().stats();
+      const auto& txn = fs.tafdb()->txn_stats();
+      std::printf("IndexTable dirs:      %zu\n", leader->table().Size());
+      std::printf("TopDirPathCache:      %zu entries (%llu hits / %llu misses)\n",
+                  leader->cache().Size(), static_cast<unsigned long long>(cache.hits),
+                  static_cast<unsigned long long>(cache.misses));
+      std::printf("RemovalList live:     %zu\n", leader->removal_list().LiveCount());
+      std::printf("TafDB rows:           %zu\n", fs.tafdb()->TotalRows());
+      std::printf("TafDB txns:           %llu committed, %llu aborted\n",
+                  static_cast<unsigned long long>(txn.committed.load()),
+                  static_cast<unsigned long long>(txn.aborted.load()));
+      std::printf("Total RPCs:           %llu\n",
+                  static_cast<unsigned long long>(network.total_rpcs()));
+      continue;
+    }
+
+    std::string path;
+    input >> path;
+    if (path.empty()) {
+      std::printf("usage error; try 'help'\n");
+      continue;
+    }
+    if (command == "mkdir") {
+      PrintOp("mkdir", fs.Mkdir(path));
+    } else if (command == "rmdir") {
+      PrintOp("rmdir", fs.Rmdir(path));
+    } else if (command == "put") {
+      uint64_t bytes = 4096;
+      input >> bytes;
+      PrintOp("put", fs.CreateObject(path, bytes));
+    } else if (command == "rm") {
+      PrintOp("rm", fs.DeleteObject(path));
+    } else if (command == "ls") {
+      std::vector<std::string> names;
+      OpResult result = fs.ReadDir(path, &names);
+      if (!result.ok()) {
+        PrintOp("ls", result);
+        continue;
+      }
+      for (const auto& name : names) {
+        std::printf("  %s\n", name.c_str());
+      }
+      std::printf("(%zu entries)\n", names.size());
+    } else if (command == "stat") {
+      StatInfo info;
+      OpResult as_dir = fs.StatDir(path, &info);
+      if (as_dir.ok()) {
+        std::printf("directory  children=%lld  mtime=%llu  perm=%u\n",
+                    static_cast<long long>(info.child_count),
+                    static_cast<unsigned long long>(info.mtime), info.permission);
+        continue;
+      }
+      OpResult as_obj = fs.StatObject(path, &info);
+      if (as_obj.ok()) {
+        std::printf("object  size=%llu  perm=%u\n",
+                    static_cast<unsigned long long>(info.size), info.permission);
+      } else {
+        PrintOp("stat", as_obj);
+      }
+    } else if (command == "mv") {
+      std::string dst;
+      input >> dst;
+      if (dst.empty()) {
+        std::printf("usage: mv <src> <dst>\n");
+        continue;
+      }
+      PrintOp("mv", fs.RenameDir(path, dst));
+    } else if (command == "chmod") {
+      unsigned mask = kPermAll;
+      input >> mask;
+      PrintOp("chmod", fs.SetDirPermission(path, mask));
+    } else if (command == "lookup") {
+      PrintOp("lookup", fs.Lookup(path));
+    } else {
+      std::printf("unknown command '%s'; try 'help'\n", command.c_str());
+    }
+  }
+  return 0;
+}

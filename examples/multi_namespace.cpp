@@ -1,0 +1,71 @@
+// multi_namespace: the production deployment shape of paper §7 - one shared
+// TafDB per cluster, one IndexNode Raft group per namespace. Three tenant
+// namespaces run concurrent traffic against the shared database while each
+// enjoys its own isolated directory index.
+//
+//   $ ./build/examples/multi_namespace
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/core/mantle_service.h"
+
+using namespace mantle;
+
+int main() {
+  Network network;
+  TafDbOptions db_options;
+  TafDb shared_db(&network, db_options);
+
+  // Three namespaces (think: AI training, data warehouse, log analysis) share
+  // the TafDB fleet; each gets a dedicated IndexNode group.
+  std::vector<std::unique_ptr<MantleService>> tenants;
+  const char* names[] = {"ai-train", "warehouse", "logs"};
+  InodeId tenant_index = 0;
+  for (const char* name : names) {
+    MantleOptions options;
+    options.namespace_name = name;
+    options.index.num_voters = 3;
+    options.index.follower_read = true;
+    // Namespaces sharing one TafDB get disjoint inode-id spaces.
+    options.id_base = ++tenant_index << 56;
+    tenants.push_back(std::make_unique<MantleService>(&network, &shared_db, options));
+  }
+
+  // Concurrent tenant traffic.
+  std::vector<std::thread> workers;
+  for (size_t tenant = 0; tenant < tenants.size(); ++tenant) {
+    workers.emplace_back([&, tenant]() {
+      MantleService& service = *tenants[tenant];
+      service.Mkdir("/data");
+      for (int i = 0; i < 40; ++i) {
+        service.Mkdir("/data/job" + std::to_string(i));
+        service.CreateObject("/data/job" + std::to_string(i) + "/out.bin", 4096);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  // Namespaces are fully isolated at the directory level even though every
+  // row lives in the one TafDB.
+  std::printf("shared TafDB rows: %zu\n\n", shared_db.TotalRows());
+  for (size_t tenant = 0; tenant < tenants.size(); ++tenant) {
+    MantleService& service = *tenants[tenant];
+    StatInfo info;
+    service.StatDir("/data", &info);
+    std::printf("namespace %-10s: /data has %lld children, IndexTable holds %zu dirs\n",
+                names[tenant], static_cast<long long>(info.child_count),
+                service.index()->LeaderReplica()->table().Size());
+  }
+
+  // Same path, different namespaces, different objects - no interference.
+  tenants[0]->CreateObject("/data/job0/tenant-private", 1);
+  std::printf("\n'%s' sees /data/job0/tenant-private: %s\n", names[0],
+              tenants[0]->StatObject("/data/job0/tenant-private").status.ToString().c_str());
+  std::printf("'%s' sees /data/job0/tenant-private: %s\n", names[1],
+              tenants[1]->StatObject("/data/job0/tenant-private").status.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// spark_commit: the §3.2 motivation scenario - a Spark-style query whose
+// subtasks all rename their temporary directories into ONE shared output
+// directory at commit time. Runs the same commit storm against Mantle with
+// delta records ON and OFF to show the contention collapse they prevent.
+//
+//   $ ./build/examples/spark_commit [subtasks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/mantle_service.h"
+#include "src/workload/applications.h"
+
+using namespace mantle;
+
+namespace {
+
+void RunCommitStorm(bool delta_records, int subtasks) {
+  Network network;
+  MantleOptions options;
+  options.tafdb.enable_delta_records = delta_records;
+  options.index.follower_read = true;
+  MantleService mantle(&network, options);
+
+  AnalyticsOptions analytics;
+  analytics.queries = 2;
+  analytics.subtasks_per_query = subtasks;
+  analytics.objects_per_subtask = 1;
+  analytics.threads = 16;
+  AppResult result = RunAnalytics(&mantle, "/warehouse", analytics);
+
+  const auto& txn = mantle.tafdb()->txn_stats();
+  std::printf("delta records %-3s: completion %6.2f s | rename p50 %8.0f us  p99 %8.0f us | "
+              "txn aborts %llu\n",
+              delta_records ? "ON" : "OFF", result.completion_seconds,
+              static_cast<double>(result.rename_latency.Percentile(50)) / 1e3,
+              static_cast<double>(result.rename_latency.Percentile(99)) / 1e3,
+              static_cast<unsigned long long>(txn.aborted.load()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int subtasks = argc > 1 ? std::atoi(argv[1]) : 32;
+  std::printf("Spark commit storm: 2 queries x %d subtasks renaming into one shared "
+              "output directory\n\n", subtasks);
+  RunCommitStorm(/*delta_records=*/false, subtasks);
+  RunCommitStorm(/*delta_records=*/true, subtasks);
+  std::printf("\nWith delta records, contended attribute updates become conflict-free\n"
+              "appends (paper Fig. 8) and the commit phase stops aborting.\n");
+  return 0;
+}

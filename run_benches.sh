@@ -1,0 +1,13 @@
+#!/bin/bash
+# Runs every bench binary in order, teeing to bench_output.txt.
+set -u
+cd "$(dirname "$0")"
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ]; then
+    echo "### $(basename "$b")" | tee -a bench_output.txt
+    timeout 1800 "$b" >> bench_output.txt 2>&1
+    echo "exit=$? $(basename "$b")"
+  fi
+done
+echo "ALL_BENCHES_DONE"

@@ -1,0 +1,31 @@
+#include "src/baselines/dbtable_resolver.h"
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+Result<DbResolveOutcome> DbTableResolver::ResolveLevels(
+    const std::vector<std::string>& components, size_t levels, size_t start_level,
+    InodeId start_id, uint32_t start_mask) {
+  DbResolveOutcome outcome;
+  outcome.dir_id = start_id;
+  outcome.perm_mask = start_mask;
+  for (size_t level = start_level; level < levels; ++level) {
+    auto row = db_->Get(EntryKey(outcome.dir_id, components[level]));
+    if (!row.ok()) {
+      return row.status();
+    }
+    if (!row->IsDirectoryEntry()) {
+      return Status::NotADirectory(PathPrefix(components, level + 1));
+    }
+    outcome.perm_mask &= row->permission;
+    if ((row->permission & kPermTraverse) == 0) {
+      return Status::PermissionDenied(PathPrefix(components, level + 1));
+    }
+    outcome.parent_id = outcome.dir_id;
+    outcome.dir_id = row->id;
+  }
+  return outcome;
+}
+
+}  // namespace mantle

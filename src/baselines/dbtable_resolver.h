@@ -1,0 +1,41 @@
+// Level-by-level path resolution over TafDB - the DBtable architecture of
+// Fig. 2. Each level costs one RPC to the shard owning the parent directory,
+// with a permission check at every step; resolution latency therefore grows
+// linearly with depth (Fig. 17). Used by the Tectonic baseline and as the
+// InfiniFS fallback path.
+
+#ifndef SRC_BASELINES_DBTABLE_RESOLVER_H_
+#define SRC_BASELINES_DBTABLE_RESOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+
+struct DbResolveOutcome {
+  InodeId dir_id = kRootId;     // directory the walk ends at
+  InodeId parent_id = kRootId;  // one level above dir_id
+  uint32_t perm_mask = kPermAll;
+};
+
+class DbTableResolver {
+ public:
+  explicit DbTableResolver(TafDb* db) : db_(db) {}
+
+  // Resolves the first `levels` components of `components`, one Get RPC per
+  // level, starting from `start_id` at level `start_level`.
+  Result<DbResolveOutcome> ResolveLevels(const std::vector<std::string>& components,
+                                         size_t levels, size_t start_level = 0,
+                                         InodeId start_id = kRootId,
+                                         uint32_t start_mask = kPermAll);
+
+ private:
+  TafDb* db_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_BASELINES_DBTABLE_RESOLVER_H_

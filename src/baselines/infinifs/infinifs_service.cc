@@ -1,0 +1,660 @@
+#include "src/baselines/infinifs/infinifs_service.h"
+
+#include <future>
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+InfiniFsService::InfiniFsService(Network* network, InfiniFsOptions options)
+    : network_(network), options_(std::move(options)) {
+  tafdb_ = std::make_unique<TafDb>(network_, options_.tafdb);
+  coordinator_ = network_->AddServer("infinifs-coord", options_.coordinator_workers);
+  if (options_.enable_am_cache) {
+    am_cache_ = std::make_unique<AmCache>();
+  }
+  tafdb_->LoadPut(AttrKey(kRootId),
+                  MetaValue{EntryType::kAttrPrimary, kRootId, kPermAll, 0, 0, 0, 0, kNoParent});
+}
+
+InodeId InfiniFsService::PredictId(const std::string& path) {
+  if (path.empty() || path == "/") {
+    return kRootId;
+  }
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a over the normalized path
+  for (char c : path) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  // High bit keeps predicted directory ids disjoint from sequential object
+  // ids; never collides with kRootId.
+  return hash | 0x8000000000000000ULL;
+}
+
+Result<InfiniFsService::Resolved> InfiniFsService::Resolve(
+    const std::vector<std::string>& components, size_t levels) {
+  Resolved resolved;
+  size_t level = 0;
+
+  if (am_cache_ != nullptr && levels > 0) {
+    if (auto hit = am_cache_->LongestPrefix(components, levels)) {
+      level = hit->levels;
+      resolved.dir_id = hit->dir_id;
+    }
+  }
+
+  bool first_round = true;
+  while (level < levels) {
+    // One parallel round: level `level` uses the verified parent id; deeper
+    // levels use predicted ids.
+    std::vector<std::future<std::optional<MetaValue>>> futures;
+    futures.reserve(levels - level);
+    for (size_t i = level; i < levels; ++i) {
+      const InodeId pid =
+          (i == level) ? resolved.dir_id : PredictId(PathPrefix(components, i));
+      Shard* shard = tafdb_->shard_map()->Route(pid);
+      ServerExecutor* server = tafdb_->shard_map()->RouteServer(pid);
+      MetaKey key = EntryKey(pid, components[i]);
+      futures.push_back(server->CallAsync([this, shard, key = std::move(key)]() {
+        network_->ChargeDbRowAccess();
+        return shard->Get(key);
+      }));
+    }
+    network_->InjectDelay();
+    resolve_stats_.rounds.fetch_add(1, std::memory_order_relaxed);
+    if (!first_round) {
+      resolve_stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+    first_round = false;
+
+    std::vector<std::optional<MetaValue>> rows;
+    rows.reserve(futures.size());
+    for (auto& future : futures) {
+      rows.push_back(future.get());
+    }
+
+    // Verify the chain: a level's result is valid only if the pid we queried
+    // with equals the actual id of its parent directory.
+    const size_t round_base = level;
+    while (level < levels) {
+      const size_t i = level - round_base;
+      const InodeId pid_used =
+          (level == round_base) ? resolved.dir_id : PredictId(PathPrefix(components, level));
+      if (pid_used != resolved.dir_id) {
+        break;  // misprediction: re-round starting from the verified parent
+      }
+      const auto& row = rows[i];
+      if (!row.has_value()) {
+        return Status::NotFound(PathPrefix(components, level + 1));
+      }
+      if (!row->IsDirectoryEntry()) {
+        return Status::NotADirectory(PathPrefix(components, level + 1));
+      }
+      resolved.perm_mask &= row->permission;
+      if ((row->permission & kPermTraverse) == 0) {
+        return Status::PermissionDenied(PathPrefix(components, level + 1));
+      }
+      resolved.parent_id = resolved.dir_id;
+      resolved.dir_id = row->id;
+      ++level;
+    }
+  }
+
+  if (am_cache_ != nullptr && levels > 0) {
+    am_cache_->Insert(PathPrefix(components, levels), resolved.dir_id);
+  }
+  return resolved;
+}
+
+Status InfiniFsService::CoordinatorPrepare(const std::string& src_path,
+                                           const std::string& dst_path, InodeId src_id,
+                                           InodeId dst_parent_id, uint64_t uuid) {
+  // Step 1: take path locks on the coordinator. A lock conflicts not only on
+  // the exact path but on any prefix relationship: a rename holding "/x"
+  // excludes a rename into "/x/..." and of any ancestor of "/x" - otherwise
+  // two concurrent renames could weave the cycle that loop detection alone
+  // cannot see (each walks a chain the other is about to change).
+  Status lock_status = coordinator_->Call([this, &src_path, &dst_path, uuid]() {
+    std::lock_guard<std::mutex> lock(lock_mu_);
+    for (const auto& [held_path, holder] : path_locks_) {
+      if (holder == uuid) {
+        continue;
+      }
+      for (const std::string* requested : {&src_path, &dst_path}) {
+        if (IsPathPrefix(held_path, *requested) || IsPathPrefix(*requested, held_path)) {
+          return Status::Busy("rename in flight on " + held_path);
+        }
+      }
+    }
+    path_locks_[src_path] = uuid;
+    path_locks_[dst_path] = uuid;
+    return Status::Ok();
+  });
+  if (!lock_status.ok()) {
+    return lock_status;
+  }
+  // Step 2: loop detection by walking the destination's ancestor chain via
+  // attribute-row parent pointers - one DB RPC per level (this is what makes
+  // distributed loop detection expensive, paper §4).
+  InodeId current = dst_parent_id;
+  while (current != kRootId && current != kNoParent) {
+    if (current == src_id) {
+      CoordinatorRelease(src_path, dst_path, uuid);
+      return Status::LoopDetected(dst_path + " is under " + src_path);
+    }
+    auto attr = tafdb_->Get(AttrKey(current));
+    if (!attr.ok()) {
+      CoordinatorRelease(src_path, dst_path, uuid);
+      return attr.status();
+    }
+    current = attr->parent;
+  }
+  return Status::Ok();
+}
+
+void InfiniFsService::CoordinatorRelease(const std::string& src_path,
+                                         const std::string& dst_path, uint64_t uuid) {
+  coordinator_->Call([this, &src_path, &dst_path, uuid]() {
+    std::lock_guard<std::mutex> lock(lock_mu_);
+    auto src_it = path_locks_.find(src_path);
+    if (src_it != path_locks_.end() && src_it->second == uuid) {
+      path_locks_.erase(src_it);
+    }
+    auto dst_it = path_locks_.find(dst_path);
+    if (dst_it != path_locks_.end() && dst_it->second == uuid) {
+      path_locks_.erase(dst_it);
+    }
+    return 0;
+  });
+}
+
+OpResult InfiniFsService::Lookup(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto resolved = Resolve(components, components.empty() ? 0 : components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  result.status = resolved.ok() ? Status::Ok() : resolved.status();
+  return result;
+}
+
+OpResult InfiniFsService::CreateObject(const std::string& path, uint64_t size) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = Resolve(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  std::vector<WriteOp> ops;
+  WriteOp insert;
+  insert.kind = WriteOp::Kind::kPut;
+  insert.expect = WriteOp::Expect::kMustNotExist;
+  insert.key = EntryKey(pid, components.back());
+  insert.value = MetaValue{EntryType::kObject, AllocateObjectId(), kPermAll, size, 0, 1, 0, pid};
+  ops.push_back(std::move(insert));
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kAddChildCount;
+  attr.key = AttrKey(pid);
+  attr.count_delta = +1;
+  attr.bump_mtime = true;
+  ops.push_back(std::move(attr));
+  result.status = tafdb_->ApplyAtomicSingleShard(ops);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult InfiniFsService::DeleteObject(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = Resolve(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  std::vector<WriteOp> ops;
+  WriteOp erase;
+  erase.kind = WriteOp::Kind::kDelete;
+  erase.expect = WriteOp::Expect::kMustBeObject;
+  erase.key = EntryKey(pid, components.back());
+  ops.push_back(std::move(erase));
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kAddChildCount;
+  attr.key = AttrKey(pid);
+  attr.count_delta = -1;
+  attr.bump_mtime = true;
+  ops.push_back(std::move(attr));
+  result.status = tafdb_->ApplyAtomicSingleShard(ops);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult InfiniFsService::StatObject(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  // InfiniFS folds the leaf read into the speculative round (the paper notes
+  // it "bypasses the execution phase for objstat"): resolve the parent and
+  // fetch the leaf row in the same style - here we run the parent resolve and
+  // the leaf get as one extra level in the final round by simply resolving
+  // then reading; the lookup phase carries the whole cost.
+  auto parent = Resolve(components, components.size() - 1);
+  if (!parent.ok()) {
+    result.breakdown.lookup_nanos = timer.ElapsedNanos();
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!row.ok()) {
+    result.status = row.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                    row->permission};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult InfiniFsService::StatDir(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = Resolve(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto attr = tafdb_->ReadDirAttr(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!attr.ok()) {
+    result.status = attr.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult InfiniFsService::Mkdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::AlreadyExists("/");
+    return result;
+  }
+  auto parent = Resolve(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  InodeId dir_id = PredictId(NormalizePath(path));
+  // CFS two-transaction strategy: (1) the new directory's attribute row on
+  // shard(dir_id); (2) entry row + parent attribute on shard(pid). Both are
+  // single-shard atomic primitives; no distributed transaction, no aborts.
+  // The attribute insert doubles as the id-uniqueness check: if the predicted
+  // id is taken (a same-path predecessor was renamed away and lives on), fall
+  // back to an allocated, unpredictable id.
+  WriteOp attr_primary;
+  attr_primary.kind = WriteOp::Kind::kPut;
+  attr_primary.expect = WriteOp::Expect::kMustNotExist;
+  attr_primary.key = AttrKey(dir_id);
+  attr_primary.value = MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 1, 0, pid};
+  result.status = tafdb_->ApplySingle(attr_primary);
+  if (result.status.IsAlreadyExists()) {
+    dir_id = AllocateUnpredictedDirId();
+    attr_primary.key = AttrKey(dir_id);
+    attr_primary.value.id = dir_id;
+    result.status = tafdb_->ApplySingle(attr_primary);
+  }
+  if (result.status.ok()) {
+    std::vector<WriteOp> second;
+    WriteOp entry;
+    entry.kind = WriteOp::Kind::kPut;
+    entry.expect = WriteOp::Expect::kMustNotExist;
+    entry.key = EntryKey(pid, components.back());
+    entry.value = MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 1, 0, pid};
+    second.push_back(std::move(entry));
+    WriteOp parent_attr;
+    parent_attr.kind = WriteOp::Kind::kAddChildCount;
+    parent_attr.key = AttrKey(pid);
+    parent_attr.count_delta = +1;
+    parent_attr.bump_mtime = true;
+    second.push_back(std::move(parent_attr));
+    result.status = tafdb_->ApplyAtomicSingleShard(second);
+    if (!result.status.ok()) {
+      // Roll the orphan attribute row back so the id is reusable.
+      WriteOp undo;
+      undo.kind = WriteOp::Kind::kDelete;
+      undo.key = AttrKey(dir_id);
+      tafdb_->ApplySingle(undo);
+    }
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult InfiniFsService::Rmdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot remove the root");
+    return result;
+  }
+  auto dir = Resolve(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  if (tafdb_->HasChildren(dir->dir_id)) {
+    result.status = Status::NotEmpty(path);
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  std::vector<WriteOp> first;
+  WriteOp entry;
+  entry.kind = WriteOp::Kind::kDelete;
+  entry.expect = WriteOp::Expect::kMustExist;
+  entry.key = EntryKey(dir->parent_id, components.back());
+  first.push_back(std::move(entry));
+  WriteOp parent_attr;
+  parent_attr.kind = WriteOp::Kind::kAddChildCount;
+  parent_attr.key = AttrKey(dir->parent_id);
+  parent_attr.count_delta = -1;
+  parent_attr.bump_mtime = true;
+  first.push_back(std::move(parent_attr));
+  result.status = tafdb_->ApplyAtomicSingleShard(first);
+  if (result.status.ok()) {
+    WriteOp attr;
+    attr.kind = WriteOp::Kind::kDelete;
+    attr.key = AttrKey(dir->dir_id);
+    result.status = tafdb_->ApplySingle(attr);
+  }
+  if (am_cache_ != nullptr) {
+    am_cache_->InvalidateSubtree(NormalizePath(path));
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult InfiniFsService::RenameDir(const std::string& src_path, const std::string& dst_path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  const auto src_components = SplitPath(src_path);
+  const auto dst_components = SplitPath(dst_path);
+  if (src_components.empty() || dst_components.empty()) {
+    result.status = Status::InvalidArgument("rename involving the root");
+    return result;
+  }
+  const std::string src_norm = NormalizePath(src_path);
+  const std::string dst_norm = NormalizePath(dst_path);
+  const uint64_t uuid = NewUuid();
+
+  result.status = RetryTransaction(
+      [&]() -> Status {
+        Stopwatch lookup_timer;
+        auto src_parent = Resolve(src_components, src_components.size() - 1);
+        if (!src_parent.ok()) {
+          result.breakdown.lookup_nanos += lookup_timer.ElapsedNanos();
+          return src_parent.status();
+        }
+        auto dst_parent = Resolve(dst_components, dst_components.size() - 1);
+        result.breakdown.lookup_nanos += lookup_timer.ElapsedNanos();
+        if (!dst_parent.ok()) {
+          return dst_parent.status();
+        }
+        auto src_row = tafdb_->Get(EntryKey(src_parent->dir_id, src_components.back()));
+        if (!src_row.ok()) {
+          return src_row.status();
+        }
+        if (!src_row->IsDirectoryEntry()) {
+          return Status::NotADirectory(src_path);
+        }
+
+        Stopwatch loop_timer;
+        Status prepare = CoordinatorPrepare(src_norm, dst_norm, src_row->id,
+                                            dst_parent->dir_id, uuid);
+        result.breakdown.loop_detect_nanos += loop_timer.ElapsedNanos();
+        if (!prepare.ok()) {
+          return prepare;
+        }
+
+        Stopwatch exec_timer;
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp erase;
+        erase.kind = WriteOp::Kind::kDelete;
+        erase.expect = WriteOp::Expect::kMustExist;
+        erase.key = EntryKey(src_parent->dir_id, src_components.back());
+        ops.push_back(std::move(erase));
+        WriteOp insert;
+        insert.kind = WriteOp::Kind::kPut;
+        insert.expect = WriteOp::Expect::kMustNotExist;
+        insert.key = EntryKey(dst_parent->dir_id, dst_components.back());
+        MetaValue moved = *src_row;
+        moved.parent = dst_parent->dir_id;
+        insert.value = moved;
+        ops.push_back(std::move(insert));
+        WriteOp src_attr;
+        src_attr.kind = WriteOp::Kind::kAddChildCount;
+        src_attr.expect = WriteOp::Expect::kMustExist;
+        src_attr.key = AttrKey(src_parent->dir_id);
+        src_attr.count_delta = -1;
+        src_attr.bump_mtime = true;
+        ops.push_back(std::move(src_attr));
+        if (dst_parent->dir_id != src_parent->dir_id) {
+          WriteOp dst_attr;
+          dst_attr.kind = WriteOp::Kind::kAddChildCount;
+          dst_attr.expect = WriteOp::Expect::kMustExist;
+          dst_attr.key = AttrKey(dst_parent->dir_id);
+          dst_attr.count_delta = +1;
+          dst_attr.bump_mtime = true;
+          ops.push_back(std::move(dst_attr));
+        }
+        // Reverse link of the moved directory follows it to the new parent.
+        WriteOp reparent;
+        reparent.kind = WriteOp::Kind::kPut;
+        reparent.expect = WriteOp::Expect::kMustExist;
+        reparent.key = AttrKey(src_row->id);
+        auto moved_attr = tafdb_->LocalGet(AttrKey(src_row->id));
+        if (moved_attr.has_value()) {
+          MetaValue updated = *moved_attr;
+          updated.parent = dst_parent->dir_id;
+          reparent.value = updated;
+          ops.push_back(std::move(reparent));
+        }
+        Status txn_status = tafdb_->Execute(ops, txn_id);
+        CoordinatorRelease(src_norm, dst_norm, uuid);
+        result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
+        if (txn_status.ok() && am_cache_ != nullptr) {
+          am_cache_->InvalidateSubtree(src_norm);
+        }
+        return txn_status;
+      },
+      options_.retry, &result.retries);
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult InfiniFsService::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = Resolve(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto listing = tafdb_->ListChildren(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!listing.ok()) {
+    result.status = listing.status();
+    return result;
+  }
+  if (names != nullptr) {
+    names->clear();
+    for (const auto& entry : *listing) {
+      names->push_back(entry.key.name);
+    }
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult InfiniFsService::SetDirPermission(const std::string& path, uint32_t permission) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot setattr the root");
+    return result;
+  }
+  auto parent = Resolve(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
+  if (!row.ok()) {
+    result.status = row.status();
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  WriteOp update;
+  update.kind = WriteOp::Kind::kPut;
+  update.expect = WriteOp::Expect::kMustExist;
+  update.key = EntryKey(parent->dir_id, components.back());
+  MetaValue value = *row;
+  value.permission = permission;
+  update.value = value;
+  result.status = tafdb_->ApplySingle(update);
+  if (am_cache_ != nullptr) {
+    am_cache_->InvalidateSubtree(NormalizePath(path));
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+Result<InodeId> InfiniFsService::LocalResolveParent(
+    const std::vector<std::string>& components) {
+  InodeId current = kRootId;
+  for (size_t level = 0; level + 1 < components.size(); ++level) {
+    auto row = tafdb_->LocalGet(EntryKey(current, components[level]));
+    if (!row.has_value()) {
+      return Status::NotFound(PathPrefix(components, level + 1));
+    }
+    current = row->id;
+  }
+  return current;
+}
+
+Status InfiniFsService::BulkLoadDir(const std::string& path) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::Ok();
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  const InodeId dir_id = PredictId(NormalizePath(path));
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+  tafdb_->LoadPut(AttrKey(dir_id),
+                  MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  return Status::Ok();
+}
+
+Status InfiniFsService::BulkLoadObject(const std::string& path, uint64_t size) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::InvalidArgument(path);
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kObject, AllocateObjectId(), kPermAll, size, 0, 0, 0,
+                            *pid});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  return Status::Ok();
+}
+
+}  // namespace mantle

@@ -1,0 +1,269 @@
+#include "src/baselines/locofs/loco_dir_machine.h"
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+LocoDirMachine::LocoDirMachine(Network* network) : network_(network) {
+  attrs_[kRootId] = Attr{};
+}
+
+Result<LocoDirMachine::DirInfo> LocoDirMachine::WalkLocked(
+    const std::vector<std::string>& components, size_t levels) const {
+  DirInfo info;
+  for (size_t level = 0; level < levels; ++level) {
+    auto entry = table_.Lookup(info.id, components[level]);
+    if (!entry.has_value()) {
+      return Status::NotFound(PathPrefix(components, level + 1));
+    }
+    info.perm_mask &= entry->permission;
+    if ((entry->permission & kPermTraverse) == 0) {
+      return Status::PermissionDenied(PathPrefix(components, level + 1));
+    }
+    info.parent_id = info.id;
+    info.id = entry->id;
+  }
+  return info;
+}
+
+Result<LocoDirMachine::DirInfo> LocoDirMachine::Resolve(
+    const std::vector<std::string>& components, size_t levels) {
+  network_->ChargeMemIndexAccess(static_cast<int64_t>(levels));
+  return WalkLocked(components, levels);
+}
+
+Result<LocoDirMachine::DirInfo> LocoDirMachine::DirStat(
+    const std::vector<std::string>& components) {
+  auto info = Resolve(components, components.size());
+  if (!info.ok()) {
+    return info;
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  auto it = attrs_.find(info->id);
+  if (it != attrs_.end()) {
+    info->child_count = it->second.child_count;
+    info->mtime = it->second.mtime;
+  }
+  return info;
+}
+
+std::vector<std::string> LocoDirMachine::ChildDirs(InodeId pid) const {
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  auto it = children_.find(pid);
+  if (it == children_.end()) {
+    return {};
+  }
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::string LocoDirMachine::Apply(uint64_t index, const std::string& payload) {
+  auto decoded = DecodeIndexCommand(payload);
+  if (!decoded.ok()) {
+    return EncodeApplyStatus(decoded.status());
+  }
+  Status status;
+  switch (decoded->type) {
+    case IndexCommandType::kAddDir:
+      status = ApplyAddDir(*decoded);
+      break;
+    case IndexCommandType::kRemoveDir:
+      status = ApplyRemoveDir(*decoded);
+      break;
+    case IndexCommandType::kRenameDir:
+      status = ApplyRenameDir(*decoded);
+      break;
+    case IndexCommandType::kSetPermission:
+      status = ApplySetPermission(*decoded);
+      break;
+    default:
+      status = Status::InvalidArgument("unknown locofs command");
+      break;
+  }
+  return EncodeApplyStatus(status);
+}
+
+std::string LocoDirMachine::Snapshot() {
+  // Entries carry everything needed to rebuild attrs and child listings:
+  // serialize the table, then reconstruct bookkeeping on restore. Directory
+  // mtimes are logical counters and restart at the snapshot point.
+  std::vector<SnapshotEntry> entries;
+  for (const auto& exported : table_.Export()) {
+    entries.push_back(
+        SnapshotEntry{exported.pid, exported.name, exported.id, exported.permission});
+  }
+  return EncodeIndexSnapshot(entries);
+}
+
+void LocoDirMachine::Restore(const std::string& snapshot) {
+  auto decoded = DecodeIndexSnapshot(snapshot);
+  if (!decoded.ok()) {
+    return;
+  }
+  table_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    attrs_.clear();
+    children_.clear();
+    attrs_[table_.root_id()] = Attr{};
+  }
+  for (const auto& entry : *decoded) {
+    table_.Insert(entry.pid, entry.name, entry.id, entry.permission);
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  for (const auto& entry : *decoded) {
+    attrs_.try_emplace(entry.id);
+    ++attrs_[entry.pid].child_count;
+    children_[entry.pid].insert(entry.name);
+  }
+}
+
+Status LocoDirMachine::ApplyAddDir(const IndexCommand& command) {
+  const auto components = SplitPath(command.inval_path);
+  if (components.empty()) {
+    return Status::AlreadyExists("/");
+  }
+  auto parent = WalkLocked(components, components.size() - 1);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  Status status = table_.Insert(parent->id, components.back(), command.id, command.permission);
+  if (!status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  attrs_[command.id] = Attr{};
+  Attr& parent_attr = attrs_[parent->id];
+  ++parent_attr.child_count;
+  ++parent_attr.mtime;
+  children_[parent->id].insert(components.back());
+  return Status::Ok();
+}
+
+Status LocoDirMachine::ApplyRemoveDir(const IndexCommand& command) {
+  const auto components = SplitPath(command.inval_path);
+  if (components.empty()) {
+    return Status::InvalidArgument("cannot remove the root");
+  }
+  auto dir = WalkLocked(components, components.size());
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    auto it = attrs_.find(dir->id);
+    if (it != attrs_.end() && it->second.child_count > 0) {
+      return Status::NotEmpty(command.inval_path);
+    }
+  }
+  Status status = table_.Remove(dir->parent_id, components.back());
+  if (!status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  attrs_.erase(dir->id);
+  Attr& parent_attr = attrs_[dir->parent_id];
+  --parent_attr.child_count;
+  ++parent_attr.mtime;
+  children_[dir->parent_id].erase(components.back());
+  return Status::Ok();
+}
+
+Status LocoDirMachine::ApplyRenameDir(const IndexCommand& command) {
+  const auto src_components = SplitPath(command.inval_path);
+  const auto dst_components = SplitPath(command.dst_name);
+  if (src_components.empty() || dst_components.empty()) {
+    return Status::InvalidArgument("rename involving the root");
+  }
+  auto src = WalkLocked(src_components, src_components.size());
+  if (!src.ok()) {
+    return src.status();
+  }
+  auto release = [this, &src, &command]() { table_.UnlockDir(src->id, command.uuid); };
+  auto dst_parent = WalkLocked(dst_components, dst_components.size() - 1);
+  if (!dst_parent.ok()) {
+    release();
+    return dst_parent.status();
+  }
+  if (table_.IsSelfOrAncestor(src->id, dst_parent->id)) {
+    release();
+    return Status::LoopDetected(command.dst_name);
+  }
+  Status status =
+      table_.Rename(src->parent_id, src_components.back(), dst_parent->id, dst_components.back());
+  if (!status.ok()) {
+    release();
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  Attr& old_parent = attrs_[src->parent_id];
+  --old_parent.child_count;
+  ++old_parent.mtime;
+  children_[src->parent_id].erase(src_components.back());
+  Attr& new_parent = attrs_[dst_parent->id];
+  ++new_parent.child_count;
+  ++new_parent.mtime;
+  children_[dst_parent->id].insert(dst_components.back());
+  return Status::Ok();
+}
+
+Status LocoDirMachine::ApplySetPermission(const IndexCommand& command) {
+  const auto components = SplitPath(command.inval_path);
+  if (components.empty()) {
+    return Status::InvalidArgument("cannot setattr the root");
+  }
+  auto parent = WalkLocked(components, components.size() - 1);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  return table_.SetPermission(parent->id, components.back(), command.permission);
+}
+
+Result<LocoDirMachine::RenamePrepared> LocoDirMachine::RenamePrepare(
+    const std::vector<std::string>& src_components,
+    const std::vector<std::string>& dst_components, uint64_t uuid) {
+  network_->ChargeMemIndexAccess(
+      static_cast<int64_t>(src_components.size() + dst_components.size()));
+  auto src = WalkLocked(src_components, src_components.size());
+  if (!src.ok()) {
+    return src.status();
+  }
+  auto dst_parent = WalkLocked(dst_components, dst_components.size() - 1);
+  if (!dst_parent.ok()) {
+    return dst_parent.status();
+  }
+  if (table_.Lookup(dst_parent->id, dst_components.back()).has_value()) {
+    return Status::AlreadyExists(dst_components.back());
+  }
+  if (!table_.TryLockDir(src->id, uuid)) {
+    return Status::Busy("rename lock held");
+  }
+  if (table_.IsSelfOrAncestor(src->id, dst_parent->id)) {
+    table_.UnlockDir(src->id, uuid);
+    return Status::LoopDetected(JoinPath(dst_components));
+  }
+  return RenamePrepared{src->id, dst_parent->id};
+}
+
+void LocoDirMachine::RenameAbort(InodeId src_id, uint64_t uuid) {
+  table_.UnlockDir(src_id, uuid);
+}
+
+void LocoDirMachine::LoadDir(const std::vector<std::string>& components, InodeId id,
+                             uint32_t permission) {
+  if (components.empty()) {
+    return;
+  }
+  auto parent = WalkLocked(components, components.size() - 1);
+  if (!parent.ok()) {
+    return;
+  }
+  if (!table_.Insert(parent->id, components.back(), id, permission).ok()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  attrs_[id] = Attr{};
+  ++attrs_[parent->id].child_count;
+  children_[parent->id].insert(components.back());
+}
+
+}  // namespace mantle

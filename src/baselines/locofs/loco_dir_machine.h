@@ -1,0 +1,109 @@
+// LocoDirMachine: the in-memory directory metadata server of the LocoFS
+// baseline (tiered architecture, paper §3.3 & §6.1).
+//
+// LocoFS decouples directory metadata (held entirely on one dedicated server,
+// replicated by Raft without log batching) from object metadata (stored in
+// the scalable DB). All directory operations - resolution, dirstat, mkdir,
+// rename, loop detection - execute on this central node, which is both its
+// strength (single-RTT lookups) and its bottleneck (central-node CPU and
+// unbatched Raft commit throughput).
+//
+// Commands reuse the IndexCommand codec with path-carrying semantics: the
+// machine resolves paths during apply ("LocoFS resolves paths during the
+// execution phase", §6.3). Fields:
+//   kAddDir:        inval_path = full path of the new directory
+//   kRemoveDir:     inval_path = full path
+//   kRenameDir:     inval_path = full source path, dst_name = full dest path
+//   kSetPermission: inval_path = full path
+
+#ifndef SRC_BASELINES_LOCOFS_LOCO_DIR_MACHINE_H_
+#define SRC_BASELINES_LOCOFS_LOCO_DIR_MACHINE_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/index/command.h"
+#include "src/index/index_table.h"
+#include "src/net/network.h"
+#include "src/raft/state_machine.h"
+
+namespace mantle {
+
+class LocoDirMachine final : public StateMachine {
+ public:
+  explicit LocoDirMachine(Network* network);
+
+  std::string Apply(uint64_t index, const std::string& command) override;
+  std::string Snapshot() override;
+  void Restore(const std::string& snapshot) override;
+
+  struct DirInfo {
+    InodeId id = kRootId;
+    InodeId parent_id = kRootId;
+    uint32_t perm_mask = kPermAll;
+    int64_t child_count = 0;  // child *directories* (objects live in the DB)
+    uint64_t mtime = 0;
+  };
+
+  // Resolves the first `levels` components; charges one in-memory probe per
+  // level on the caller's (dirserver) executor.
+  Result<DirInfo> Resolve(const std::vector<std::string>& components, size_t levels);
+
+  // Resolution without the modeled CPU charge (bulk loading, tests).
+  Result<DirInfo> ResolveNoCharge(const std::vector<std::string>& components,
+                                  size_t levels) const {
+    return WalkLocked(components, levels);
+  }
+
+  // Full-path stat, resolution included (single RPC on the dirserver).
+  Result<DirInfo> DirStat(const std::vector<std::string>& components);
+
+  // Child directory names under `pid`.
+  std::vector<std::string> ChildDirs(InodeId pid) const;
+
+  struct RenamePrepared {
+    InodeId src_id = 0;
+    InodeId dst_parent_id = 0;
+  };
+  // Leader-side rename coordination: lock bit + loop detection.
+  Result<RenamePrepared> RenamePrepare(const std::vector<std::string>& src_components,
+                                       const std::vector<std::string>& dst_components,
+                                       uint64_t uuid);
+  void RenameAbort(InodeId src_id, uint64_t uuid);
+
+  // Bulk load (pre-serving, applied to every replica identically).
+  void LoadDir(const std::vector<std::string>& components, InodeId id, uint32_t permission);
+
+  size_t DirCount() const { return table_.Size(); }
+
+ private:
+  struct Attr {
+    int64_t child_count = 0;
+    uint64_t mtime = 0;
+  };
+
+  Status ApplyAddDir(const IndexCommand& command);
+  Status ApplyRemoveDir(const IndexCommand& command);
+  Status ApplyRenameDir(const IndexCommand& command);
+  Status ApplySetPermission(const IndexCommand& command);
+
+  // Walks `components[0..levels)` in the table; no service charge (used from
+  // apply and internal paths).
+  Result<DirInfo> WalkLocked(const std::vector<std::string>& components, size_t levels) const;
+
+  Network* network_;
+  IndexTable table_;
+
+  mutable std::mutex attr_mu_;
+  std::unordered_map<InodeId, Attr> attrs_;
+  std::unordered_map<InodeId, std::set<std::string>> children_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_BASELINES_LOCOFS_LOCO_DIR_MACHINE_H_

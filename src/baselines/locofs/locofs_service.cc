@@ -1,0 +1,397 @@
+#include "src/baselines/locofs/locofs_service.h"
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+LocoFsService::LocoFsService(Network* network, LocoFsOptions options)
+    : network_(network), options_(std::move(options)) {
+  tafdb_ = std::make_unique<TafDb>(network_, options_.tafdb);
+  RaftOptions raft = options_.raft;
+  raft.log_batching = false;  // LocoFS's commit path lacks batching (§6.3)
+  raft.workers_per_node = options_.dirserver_workers;
+  machines_.resize(options_.dirserver_voters, nullptr);
+  dirserver_ = std::make_unique<RaftGroup>(
+      network_, "locofs-dir", options_.dirserver_voters, 0,
+      [this](uint32_t id) -> std::unique_ptr<StateMachine> {
+        auto machine = std::make_unique<LocoDirMachine>(network_);
+        machines_[id] = machine.get();
+        return machine;
+      },
+      raft);
+  dirserver_->Start();
+}
+
+template <typename Fn>
+auto LocoFsService::LeaderCall(Fn&& fn) -> decltype(fn(static_cast<LocoDirMachine*>(nullptr))) {
+  RaftNode* node = dirserver_->WaitForLeader();
+  using R = decltype(fn(static_cast<LocoDirMachine*>(nullptr)));
+  if (node == nullptr) {
+    return R(Status::Unavailable("locofs dirserver has no leader"));
+  }
+  LocoDirMachine* machine = machines_[node->id()];
+  return node->server()->Call([&fn, machine]() { return fn(machine); });
+}
+
+Status LocoFsService::ProposeCommand(const IndexCommand& command) {
+  auto result = dirserver_->Propose(EncodeIndexCommand(command));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return DecodeApplyStatus(*result);
+}
+
+OpResult LocoFsService::Lookup(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto info = LeaderCall([&components](LocoDirMachine* machine) {
+    return machine->Resolve(components, components.empty() ? 0 : components.size() - 1);
+  });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  result.status = info.ok() ? Status::Ok() : info.status();
+  return result;
+}
+
+OpResult LocoFsService::CreateObject(const std::string& path, uint64_t size) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  // The duplicate-name check against sibling *directories* must go through
+  // the directory node (paper §3.3: "object creation ... involves duplicate
+  // name check and parent directory update, both of which must go through
+  // the directory node").
+  auto parent = LeaderCall([&components](LocoDirMachine* machine)
+                               -> Result<LocoDirMachine::DirInfo> {
+    auto info = machine->Resolve(components, components.size() - 1);
+    if (!info.ok()) {
+      return info;
+    }
+    if (machine->ResolveNoCharge(components, components.size()).ok()) {
+      return Status::AlreadyExists(components.back() + " is a directory");
+    }
+    return info;
+  });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  WriteOp insert;
+  insert.kind = WriteOp::Kind::kPut;
+  insert.expect = WriteOp::Expect::kMustNotExist;
+  insert.key = EntryKey(parent->id, components.back());
+  insert.value =
+      MetaValue{EntryType::kObject, AllocateId(), kPermAll, size, 0, 1, 0, parent->id};
+  result.status = tafdb_->ApplySingle(insert);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult LocoFsService::DeleteObject(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = LeaderCall([&components](LocoDirMachine* machine) {
+    return machine->Resolve(components, components.size() - 1);
+  });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  WriteOp erase;
+  erase.kind = WriteOp::Kind::kDelete;
+  erase.expect = WriteOp::Expect::kMustBeObject;
+  erase.key = EntryKey(parent->id, components.back());
+  result.status = tafdb_->ApplySingle(erase);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult LocoFsService::StatObject(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = LeaderCall([&components](LocoDirMachine* machine) {
+    return machine->Resolve(components, components.size() - 1);
+  });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermRead) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto row = tafdb_->Get(EntryKey(parent->id, components.back()));
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!row.ok()) {
+    result.status = row.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{row->id, false, row->size, 0, row->mtime, row->permission};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult LocoFsService::StatDir(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  // Resolution happens inside the execution phase on the dirserver (§6.3).
+  auto info =
+      LeaderCall([&components](LocoDirMachine* machine) { return machine->DirStat(components); });
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!info.ok()) {
+    result.status = info.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{info->id, true, 0, info->child_count, info->mtime, info->perm_mask};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult LocoFsService::Mkdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::AlreadyExists("/");
+    return result;
+  }
+  // Object-tier duplicate check: a sibling object with the same name blocks
+  // the mkdir (one dirserver resolve + one DB probe).
+  auto parent = LeaderCall([&components](LocoDirMachine* machine) {
+    return machine->Resolve(components, components.size() - 1);
+  });
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.breakdown.lookup_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if (tafdb_->Get(EntryKey(parent->id, components.back())).ok()) {
+    result.status = Status::AlreadyExists(path);
+    result.breakdown.lookup_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  IndexCommand command;
+  command.type = IndexCommandType::kAddDir;
+  command.name = components.back();
+  command.id = AllocateId();
+  command.permission = kPermAll;
+  command.inval_path = NormalizePath(path);
+  result.status = ProposeCommand(command);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult LocoFsService::Rmdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot remove the root");
+    return result;
+  }
+  auto dir = LeaderCall(
+      [&components](LocoDirMachine* machine) { return machine->DirStat(components); });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  if (tafdb_->HasChildren(dir->id)) {
+    result.status = Status::NotEmpty(path);
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  IndexCommand command;
+  command.type = IndexCommandType::kRemoveDir;
+  command.inval_path = NormalizePath(path);
+  result.status = ProposeCommand(command);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult LocoFsService::RenameDir(const std::string& src_path, const std::string& dst_path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  const auto src_components = SplitPath(src_path);
+  const auto dst_components = SplitPath(dst_path);
+  if (src_components.empty() || dst_components.empty()) {
+    result.status = Status::InvalidArgument("rename involving the root");
+    return result;
+  }
+  const uint64_t uuid = NewUuid();
+  result.status = RetryTransaction(
+      [&]() -> Status {
+        Stopwatch loop_timer;
+        auto prepared = LeaderCall([&](LocoDirMachine* machine) {
+          return machine->RenamePrepare(src_components, dst_components, uuid);
+        });
+        result.breakdown.loop_detect_nanos += loop_timer.ElapsedNanos();
+        if (!prepared.ok()) {
+          return prepared.status();
+        }
+        // An object at the destination name blocks the rename.
+        if (tafdb_->Get(EntryKey(prepared->dst_parent_id, dst_components.back())).ok()) {
+          const InodeId src_id = prepared->src_id;
+          LeaderCall([src_id, uuid](LocoDirMachine* machine) -> Result<int> {
+            machine->RenameAbort(src_id, uuid);
+            return 0;
+          });
+          return Status::AlreadyExists(dst_path);
+        }
+        Stopwatch exec_timer;
+        IndexCommand command;
+        command.type = IndexCommandType::kRenameDir;
+        command.uuid = uuid;
+        command.inval_path = NormalizePath(src_path);
+        command.dst_name = NormalizePath(dst_path);
+        Status status = ProposeCommand(command);
+        if (!status.ok()) {
+          const InodeId src_id = prepared->src_id;
+          LeaderCall([src_id, uuid](LocoDirMachine* machine) -> Result<int> {
+            machine->RenameAbort(src_id, uuid);
+            return 0;
+          });
+        }
+        result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
+        return status;
+      },
+      options_.retry, &result.retries);
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult LocoFsService::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  struct Listing {
+    LocoDirMachine::DirInfo info;
+    std::vector<std::string> dirs;
+  };
+  auto listing = LeaderCall([&components](LocoDirMachine* machine) -> Result<Listing> {
+    auto info = machine->DirStat(components);
+    if (!info.ok()) {
+      return info.status();
+    }
+    return Listing{*info, machine->ChildDirs(info->id)};
+  });
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!listing.ok()) {
+    result.status = listing.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto objects = tafdb_->ListChildren(listing->info.id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!objects.ok()) {
+    result.status = objects.status();
+    return result;
+  }
+  if (names != nullptr) {
+    *names = listing->dirs;
+    for (const auto& entry : *objects) {
+      names->push_back(entry.key.name);
+    }
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult LocoFsService::SetDirPermission(const std::string& path, uint32_t permission) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  IndexCommand command;
+  command.type = IndexCommandType::kSetPermission;
+  command.permission = permission;
+  command.inval_path = NormalizePath(path);
+  result.status = ProposeCommand(command);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+Status LocoFsService::BulkLoadDir(const std::string& path) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::Ok();
+  }
+  const InodeId id = AllocateId();
+  for (LocoDirMachine* machine : machines_) {
+    machine->LoadDir(components, id, kPermAll);
+  }
+  return Status::Ok();
+}
+
+Status LocoFsService::BulkLoadObject(const std::string& path, uint64_t size) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::InvalidArgument(path);
+  }
+  auto parent = machines_[0]->ResolveNoCharge(components, components.size() - 1);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  tafdb_->LoadPut(EntryKey(parent->id, components.back()),
+                  MetaValue{EntryType::kObject, AllocateId(), kPermAll, size, 0, 0, 0,
+                            parent->id});
+  return Status::Ok();
+}
+
+}  // namespace mantle

@@ -1,0 +1,80 @@
+// LocoFS baseline: loosely-coupled tiered metadata service (paper §3.3).
+//
+// Directory metadata lives on a central, Raft-replicated directory server
+// (LocoDirMachine) with *no log batching* and *no follower reads* - the two
+// limitations the paper observes throttle it. Object metadata lives in the
+// scalable DB. Path resolution and every directory operation funnel through
+// the central node; object operations take one dirserver RPC (resolve) plus
+// one DB RPC.
+
+#ifndef SRC_BASELINES_LOCOFS_LOCOFS_SERVICE_H_
+#define SRC_BASELINES_LOCOFS_LOCOFS_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/locofs/loco_dir_machine.h"
+#include "src/core/metadata_service.h"
+#include "src/core/retry.h"
+#include "src/raft/group.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+
+struct LocoFsOptions {
+  TafDbOptions tafdb;
+  RetryOptions retry;
+  RaftOptions raft;           // raft.log_batching forced off in the constructor
+  uint32_t dirserver_voters = 3;
+  // Worker parity with an IndexNode replica: the paper hosts LocoFS's
+  // directory server and Mantle's IndexNode on identical machines.
+  size_t dirserver_workers = 4;
+};
+
+class LocoFsService final : public MetadataService {
+ public:
+  LocoFsService(Network* network, LocoFsOptions options);
+
+  std::string name() const override { return "LocoFS"; }
+
+  OpResult CreateObject(const std::string& path, uint64_t size) override;
+  OpResult DeleteObject(const std::string& path) override;
+  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult Mkdir(const std::string& path) override;
+  OpResult Rmdir(const std::string& path) override;
+  OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;
+  OpResult ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  OpResult SetDirPermission(const std::string& path, uint32_t permission) override;
+  OpResult Lookup(const std::string& path) override;
+
+  Status BulkLoadDir(const std::string& path) override;
+  Status BulkLoadObject(const std::string& path, uint64_t size) override;
+
+  TafDb* tafdb() { return tafdb_.get(); }
+  RaftGroup* dirserver() { return dirserver_.get(); }
+
+ private:
+  InodeId AllocateId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t NewUuid() { return next_uuid_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  // One RPC to the dirserver leader running `fn` on its executor.
+  template <typename Fn>
+  auto LeaderCall(Fn&& fn) -> decltype(fn(static_cast<LocoDirMachine*>(nullptr)));
+
+  Status ProposeCommand(const IndexCommand& command);
+
+  Network* network_;
+  LocoFsOptions options_;
+  std::unique_ptr<TafDb> tafdb_;
+  std::vector<LocoDirMachine*> machines_;
+  std::unique_ptr<RaftGroup> dirserver_;
+  std::atomic<InodeId> next_id_{kRootId};
+  std::atomic<uint64_t> next_uuid_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_BASELINES_LOCOFS_LOCOFS_SERVICE_H_

@@ -1,0 +1,500 @@
+#include "src/baselines/tectonic/tectonic_service.h"
+
+#include <map>
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+TectonicService::TectonicService(Network* network, TectonicOptions options)
+    : network_(network), options_(options), tafdb_(nullptr), resolver_(nullptr) {
+  tafdb_ = std::make_unique<TafDb>(network_, options_.tafdb);
+  resolver_ = DbTableResolver(tafdb_.get());
+  tafdb_->LoadPut(AttrKey(kRootId),
+                  MetaValue{EntryType::kAttrPrimary, kRootId, kPermAll, 0, 0, 0, 0, kNoParent});
+}
+
+Status TectonicService::ApplyWrites(std::vector<WriteOp> ops, int* retries) {
+  if (options_.use_distributed_txn) {
+    return RetryTransaction(
+        [&]() {
+          const uint64_t txn_id = tafdb_->NextTxnId();
+          return tafdb_->Execute(ops, txn_id);
+        },
+        options_.retry, retries);
+  }
+  // Relaxed consistency: group by shard; each group applies atomically under
+  // the shard latch (serializing with other writers), but there is no
+  // atomicity across groups and no aborts.
+  std::map<uint32_t, std::vector<WriteOp>> grouped;
+  ShardMap* shards = tafdb_->shard_map();
+  for (auto& op : ops) {
+    grouped[shards->ShardIndex(op.key.pid)].push_back(std::move(op));
+  }
+  for (auto& [shard_index, shard_ops] : grouped) {
+    Status status = tafdb_->ApplyAtomicSingleShard(shard_ops);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+OpResult TectonicService::Lookup(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto outcome = resolver_.ResolveLevels(components,
+                                         components.empty() ? 0 : components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  result.status = outcome.ok() ? Status::Ok() : outcome.status();
+  return result;
+}
+
+OpResult TectonicService::CreateObject(const std::string& path, uint64_t size) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = resolver_.ResolveLevels(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  std::vector<WriteOp> ops;
+  WriteOp insert;
+  insert.kind = WriteOp::Kind::kPut;
+  insert.expect = WriteOp::Expect::kMustNotExist;
+  insert.key = EntryKey(pid, components.back());
+  insert.value = MetaValue{EntryType::kObject, AllocateId(), kPermAll, size, 0, 1, 0, pid};
+  ops.push_back(std::move(insert));
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kAddChildCount;
+  attr.key = AttrKey(pid);
+  attr.count_delta = +1;
+  attr.bump_mtime = true;
+  ops.push_back(std::move(attr));
+  result.status = ApplyWrites(std::move(ops), &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult TectonicService::DeleteObject(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = resolver_.ResolveLevels(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  std::vector<WriteOp> ops;
+  WriteOp erase;
+  erase.kind = WriteOp::Kind::kDelete;
+  erase.expect = WriteOp::Expect::kMustBeObject;
+  erase.key = EntryKey(pid, components.back());
+  ops.push_back(std::move(erase));
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kAddChildCount;
+  attr.key = AttrKey(pid);
+  attr.count_delta = -1;
+  attr.bump_mtime = true;
+  ops.push_back(std::move(attr));
+  result.status = ApplyWrites(std::move(ops), &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult TectonicService::StatObject(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = resolver_.ResolveLevels(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermRead) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!row.ok()) {
+    result.status = row.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                    row->permission};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult TectonicService::StatDir(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = resolver_.ResolveLevels(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto attr = tafdb_->ReadDirAttr(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!attr.ok()) {
+    result.status = attr.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult TectonicService::Mkdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::AlreadyExists("/");
+    return result;
+  }
+  auto parent = resolver_.ResolveLevels(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  const InodeId dir_id = AllocateId();
+  std::vector<WriteOp> ops;
+  WriteOp entry;
+  entry.kind = WriteOp::Kind::kPut;
+  entry.expect = WriteOp::Expect::kMustNotExist;
+  entry.key = EntryKey(pid, components.back());
+  entry.value = MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 1, 0, pid};
+  ops.push_back(std::move(entry));
+  WriteOp attr_primary;
+  attr_primary.kind = WriteOp::Kind::kPut;
+  attr_primary.expect = WriteOp::Expect::kMustNotExist;
+  attr_primary.key = AttrKey(dir_id);
+  attr_primary.value = MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 1, 0, pid};
+  ops.push_back(std::move(attr_primary));
+  WriteOp parent_attr;
+  parent_attr.kind = WriteOp::Kind::kAddChildCount;
+  parent_attr.key = AttrKey(pid);
+  parent_attr.count_delta = +1;
+  parent_attr.bump_mtime = true;
+  ops.push_back(std::move(parent_attr));
+  result.status = ApplyWrites(std::move(ops), &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult TectonicService::Rmdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot remove the root");
+    return result;
+  }
+  auto dir = resolver_.ResolveLevels(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  if (tafdb_->HasChildren(dir->dir_id)) {
+    result.status = Status::NotEmpty(path);
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  std::vector<WriteOp> ops;
+  WriteOp entry;
+  entry.kind = WriteOp::Kind::kDelete;
+  entry.expect = WriteOp::Expect::kMustExist;
+  entry.key = EntryKey(dir->parent_id, components.back());
+  ops.push_back(std::move(entry));
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kDelete;
+  attr.key = AttrKey(dir->dir_id);
+  ops.push_back(std::move(attr));
+  WriteOp parent_attr;
+  parent_attr.kind = WriteOp::Kind::kAddChildCount;
+  parent_attr.key = AttrKey(dir->parent_id);
+  parent_attr.count_delta = -1;
+  parent_attr.bump_mtime = true;
+  ops.push_back(std::move(parent_attr));
+  result.status = ApplyWrites(std::move(ops), &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult TectonicService::RenameDir(const std::string& src_path, const std::string& dst_path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto src_components = SplitPath(src_path);
+  const auto dst_components = SplitPath(dst_path);
+  if (src_components.empty() || dst_components.empty()) {
+    result.status = Status::InvalidArgument("rename involving the root");
+    return result;
+  }
+  auto src_parent = resolver_.ResolveLevels(src_components, src_components.size() - 1);
+  if (!src_parent.ok()) {
+    result.status = src_parent.status();
+    result.breakdown.lookup_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  auto dst_parent = resolver_.ResolveLevels(dst_components, dst_components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dst_parent.ok()) {
+    result.status = dst_parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto src_row = tafdb_->Get(EntryKey(src_parent->dir_id, src_components.back()));
+  if (!src_row.ok() || !src_row->IsDirectoryEntry()) {
+    result.status = src_row.ok() ? Status::NotADirectory(src_path) : src_row.status();
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  // No distributed loop detection (Fig. 15 shows no loop-detection phase for
+  // Tectonic); the proxy performs only the free client-side path-prefix
+  // check, which is not linearizable under concurrent renames.
+  const std::string src_norm = NormalizePath(src_path);
+  const std::string dst_norm = NormalizePath(dst_path);
+  if (IsPathPrefix(src_norm, dst_norm)) {
+    result.status = Status::LoopDetected(dst_norm + " is under " + src_norm);
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  WriteOp erase;
+  erase.kind = WriteOp::Kind::kDelete;
+  erase.expect = WriteOp::Expect::kMustExist;
+  erase.key = EntryKey(src_parent->dir_id, src_components.back());
+  WriteOp insert;
+  insert.kind = WriteOp::Kind::kPut;
+  insert.expect = WriteOp::Expect::kMustNotExist;
+  insert.key = EntryKey(dst_parent->dir_id, dst_components.back());
+  MetaValue moved = *src_row;
+  moved.parent = dst_parent->dir_id;
+  insert.value = moved;
+  WriteOp src_attr;
+  src_attr.kind = WriteOp::Kind::kAddChildCount;
+  src_attr.key = AttrKey(src_parent->dir_id);
+  src_attr.count_delta = -1;
+  src_attr.bump_mtime = true;
+  WriteOp dst_attr;
+  dst_attr.kind = WriteOp::Kind::kAddChildCount;
+  dst_attr.key = AttrKey(dst_parent->dir_id);
+  dst_attr.count_delta = +1;
+  dst_attr.bump_mtime = true;
+
+  if (options_.use_distributed_txn) {
+    std::vector<WriteOp> ops;
+    ops.push_back(std::move(erase));
+    ops.push_back(std::move(insert));
+    ops.push_back(std::move(src_attr));
+    if (dst_parent->dir_id != src_parent->dir_id) {
+      ops.push_back(std::move(dst_attr));
+    }
+    result.status = ApplyWrites(std::move(ops), &result.retries);
+  } else {
+    // Relaxed mode: link at the destination first, unlink second. A failure
+    // between the stages leaves a transient extra link instead of losing the
+    // directory - the safe ordering for non-atomic multi-shard mutation.
+    std::vector<WriteOp> link_stage;
+    link_stage.push_back(std::move(insert));
+    if (dst_parent->dir_id != src_parent->dir_id) {
+      link_stage.push_back(std::move(dst_attr));
+    }
+    result.status = tafdb_->ApplyAtomicSingleShard(link_stage);
+    if (result.status.ok()) {
+      std::vector<WriteOp> unlink_stage;
+      unlink_stage.push_back(std::move(erase));
+      unlink_stage.push_back(std::move(src_attr));
+      result.status = tafdb_->ApplyAtomicSingleShard(unlink_stage);
+    }
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult TectonicService::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = resolver_.ResolveLevels(components, components.size());
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto listing = tafdb_->ListChildren(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!listing.ok()) {
+    result.status = listing.status();
+    return result;
+  }
+  if (names != nullptr) {
+    names->clear();
+    for (const auto& entry : *listing) {
+      names->push_back(entry.key.name);
+    }
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult TectonicService::SetDirPermission(const std::string& path, uint32_t permission) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot setattr the root");
+    return result;
+  }
+  auto parent = resolver_.ResolveLevels(components, components.size() - 1);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
+  if (!row.ok()) {
+    result.status = row.status();
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  WriteOp update;
+  update.kind = WriteOp::Kind::kPut;
+  update.expect = WriteOp::Expect::kMustExist;
+  update.key = EntryKey(parent->dir_id, components.back());
+  MetaValue value = *row;
+  value.permission = permission;
+  update.value = value;
+  result.status = ApplyWrites({update}, &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+Result<InodeId> TectonicService::LocalResolveParent(const std::vector<std::string>& components) {
+  InodeId current = kRootId;
+  for (size_t level = 0; level + 1 < components.size(); ++level) {
+    auto row = tafdb_->LocalGet(EntryKey(current, components[level]));
+    if (!row.has_value()) {
+      return Status::NotFound(PathPrefix(components, level + 1));
+    }
+    current = row->id;
+  }
+  return current;
+}
+
+Status TectonicService::BulkLoadDir(const std::string& path) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::Ok();
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  const InodeId dir_id = AllocateId();
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+  tafdb_->LoadPut(AttrKey(dir_id),
+                  MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  return Status::Ok();
+}
+
+Status TectonicService::BulkLoadObject(const std::string& path, uint64_t size) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::InvalidArgument(path);
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kObject, AllocateId(), kPermAll, size, 0, 0, 0, *pid});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  return Status::Ok();
+}
+
+}  // namespace mantle

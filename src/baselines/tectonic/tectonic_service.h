@@ -1,0 +1,78 @@
+// Tectonic baseline: the DBtable-based metadata service (paper Fig. 2, §6.1).
+//
+// Every operation starts with a level-by-level path resolution - one RPC per
+// component - so lookup latency grows linearly with depth. Two write modes:
+//   * relaxed (default, matching the paper's Tectonic re-implementation):
+//     no distributed transactions; each shard's mutations apply atomically
+//     under the shard latch, so shared-directory updates serialize rather
+//     than abort, and multi-shard operations are not atomic as a whole;
+//   * distributed-txn (use_distributed_txn = true): the legacy Baidu
+//     DBtable-based service of the §3 study, where directory modifications
+//     run two-phase commit with key locks and collapse under contention via
+//     abort/retry storms (Fig. 4b).
+
+#ifndef SRC_BASELINES_TECTONIC_TECTONIC_SERVICE_H_
+#define SRC_BASELINES_TECTONIC_TECTONIC_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/dbtable_resolver.h"
+#include "src/core/metadata_service.h"
+#include "src/core/retry.h"
+#include "src/net/network.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+
+struct TectonicOptions {
+  TafDbOptions tafdb;
+  RetryOptions retry;
+  // true = the legacy DBtable service with distributed transactions (§3
+  // study); false = the relaxed-consistency Tectonic of §6.
+  bool use_distributed_txn = false;
+};
+
+class TectonicService final : public MetadataService {
+ public:
+  TectonicService(Network* network, TectonicOptions options);
+
+  std::string name() const override {
+    return options_.use_distributed_txn ? "DBtable" : "Tectonic";
+  }
+
+  OpResult CreateObject(const std::string& path, uint64_t size) override;
+  OpResult DeleteObject(const std::string& path) override;
+  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult Mkdir(const std::string& path) override;
+  OpResult Rmdir(const std::string& path) override;
+  OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;
+  OpResult ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  OpResult SetDirPermission(const std::string& path, uint32_t permission) override;
+  OpResult Lookup(const std::string& path) override;
+
+  Status BulkLoadDir(const std::string& path) override;
+  Status BulkLoadObject(const std::string& path, uint64_t size) override;
+
+  TafDb* tafdb() { return tafdb_.get(); }
+
+ private:
+  InodeId AllocateId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  Result<InodeId> LocalResolveParent(const std::vector<std::string>& components);
+  // Applies `ops` according to the consistency mode: one distributed
+  // transaction (with retry bookkeeping) or per-shard atomic groups.
+  Status ApplyWrites(std::vector<WriteOp> ops, int* retries);
+
+  Network* network_;
+  TectonicOptions options_;
+  std::unique_ptr<TafDb> tafdb_;
+  DbTableResolver resolver_;
+  std::atomic<InodeId> next_id_{kRootId};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_BASELINES_TECTONIC_TECTONIC_SERVICE_H_

@@ -1,0 +1,120 @@
+#include "src/bench_util/bench_env.h"
+
+#include "src/common/config.h"
+
+namespace mantle {
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  config.quick = EnvBool("MANTLE_BENCH_QUICK", false);
+  config.threads = static_cast<int>(EnvInt("MANTLE_BENCH_THREADS", config.quick ? 12 : 48));
+  config.seconds_per_cell = EnvDouble("MANTLE_BENCH_SECONDS", config.quick ? 0.4 : 1.5);
+  config.ns_dirs = static_cast<uint64_t>(
+      EnvInt("MANTLE_BENCH_DIRS", config.quick ? 2'000 : 20'000));
+  config.ns_objects = static_cast<uint64_t>(
+      EnvInt("MANTLE_BENCH_OBJECTS", config.quick ? 20'000 : 200'000));
+  return config;
+}
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kMantle:
+      return "Mantle";
+    case SystemKind::kTectonic:
+      return "Tectonic";
+    case SystemKind::kDbTable:
+      return "DBtable";
+    case SystemKind::kInfiniFs:
+      return "InfiniFS";
+    case SystemKind::kLocoFs:
+      return "LocoFS";
+  }
+  return "?";
+}
+
+NetworkOptions BenchNetworkOptions() {
+  NetworkOptions options;
+  options.rtt_nanos = EnvInt("MANTLE_BENCH_RTT_NANOS", 80'000);
+  options.db_row_access_nanos = EnvInt("MANTLE_BENCH_DB_ACCESS_NANOS", 100'000);
+  options.mem_index_access_nanos = EnvInt("MANTLE_BENCH_MEM_ACCESS_NANOS", 60'000);
+  return options;
+}
+
+TafDbOptions BenchTafDbOptions() {
+  TafDbOptions options;
+  options.num_shards = 32;
+  options.num_servers = 6;  // paper: 18 TafDB nodes; scaled to the harness
+  options.workers_per_server = 1;
+  return options;
+}
+
+RaftOptions BenchRaftOptions() {
+  RaftOptions options;
+  options.fsync_nanos = 250'000;
+  options.log_batching = true;
+  // Narrow executors keep the *modeled* capacity ceilings (single IndexNode
+  // replica, LocoFS's central node) below the harness host's own ceiling, so
+  // saturation effects show at laptop scale.
+  options.workers_per_node = 2;
+  return options;
+}
+
+SystemInstance MakeSystem(SystemKind kind, const MantleFeatureOverrides& overrides,
+                          bool infinifs_am_cache) {
+  SystemInstance instance;
+  NetworkOptions net = BenchNetworkOptions();
+  if (kind == SystemKind::kMantle && overrides.rtt_scale != 1.0) {
+    net.rtt_nanos = static_cast<int64_t>(net.rtt_nanos * overrides.rtt_scale);
+    net.mem_index_access_nanos =
+        static_cast<int64_t>(net.mem_index_access_nanos * overrides.rtt_scale);
+  }
+  instance.network = std::make_unique<Network>(net);
+  Network* network = instance.network.get();
+
+  switch (kind) {
+    case SystemKind::kMantle: {
+      MantleOptions options;
+      options.tafdb = BenchTafDbOptions();
+      options.tafdb.enable_delta_records = overrides.delta_records;
+      options.index.num_voters = 3;
+      options.index.num_learners = overrides.learners;
+      options.index.follower_read = overrides.follower_read;
+      options.index.raft = BenchRaftOptions();
+      options.index.raft.log_batching = overrides.raft_log_batching;
+      options.index.node.enable_path_cache = overrides.path_cache;
+      options.index.node.truncate_k = overrides.truncate_k;
+      auto mantle = std::make_unique<MantleService>(network, std::move(options));
+      instance.mantle = mantle.get();
+      instance.service = std::move(mantle);
+      break;
+    }
+    case SystemKind::kTectonic:
+    case SystemKind::kDbTable: {
+      TectonicOptions options;
+      options.tafdb = BenchTafDbOptions();
+      options.use_distributed_txn = (kind == SystemKind::kDbTable);
+      instance.service = std::make_unique<TectonicService>(network, options);
+      break;
+    }
+    case SystemKind::kInfiniFs: {
+      InfiniFsOptions options;
+      options.tafdb = BenchTafDbOptions();
+      options.enable_am_cache = infinifs_am_cache;
+      auto service = std::make_unique<InfiniFsService>(network, options);
+      instance.infinifs = service.get();
+      instance.service = std::move(service);
+      break;
+    }
+    case SystemKind::kLocoFs: {
+      LocoFsOptions options;
+      options.tafdb = BenchTafDbOptions();
+      options.raft = BenchRaftOptions();  // batching disabled by the service
+      options.dirserver_workers = 4;
+      instance.service = std::make_unique<LocoFsService>(network, options);
+      break;
+    }
+  }
+  return instance;
+}
+
+}  // namespace mantle

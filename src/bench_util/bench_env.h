@@ -1,0 +1,77 @@
+// Bench harness environment: configuration knobs and system factories.
+//
+// Every bench binary reads the same environment variables so runs scale to
+// the host:
+//   MANTLE_BENCH_THREADS  - closed-loop client threads       (default 32)
+//   MANTLE_BENCH_SECONDS  - measured seconds per cell        (default 1.5)
+//   MANTLE_BENCH_DIRS     - populated directories            (default 20000)
+//   MANTLE_BENCH_OBJECTS  - populated objects                (default 200000)
+//   MANTLE_BENCH_QUICK    - 1 = shrink everything ~8x for smoke runs
+//
+// The topology mirrors the paper's deployment (Table 2) scaled to one
+// process: a TafDB fleet shared by the sharded systems, a 3-replica
+// IndexNode (Mantle), a 3-replica unbatched dirserver (LocoFS), and a rename
+// coordinator (InfiniFS).
+
+#ifndef SRC_BENCH_UTIL_BENCH_ENV_H_
+#define SRC_BENCH_UTIL_BENCH_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "src/core/mantle_service.h"
+
+namespace mantle {
+
+struct BenchConfig {
+  int threads = 32;
+  double seconds_per_cell = 1.5;
+  uint64_t ns_dirs = 20'000;
+  uint64_t ns_objects = 200'000;
+  bool quick = false;
+
+  int64_t DurationNanos() const { return static_cast<int64_t>(seconds_per_cell * 1e9); }
+  // Per-cell warmup excluded from measurement (thread spin-up, cold caches).
+  int64_t WarmupNanos() const { return quick ? 100'000'000 : 250'000'000; }
+
+  static BenchConfig FromEnv();
+};
+
+enum class SystemKind { kMantle, kTectonic, kDbTable, kInfiniFs, kLocoFs };
+
+const char* SystemName(SystemKind kind);
+
+// Mantle feature toggles for the ablation and parameter studies.
+struct MantleFeatureOverrides {
+  bool path_cache = true;
+  bool raft_log_batching = true;
+  bool delta_records = true;
+  bool follower_read = true;
+  uint32_t learners = 0;
+  int truncate_k = 3;
+  double rtt_scale = 1.0;  // <1.0 models the RDMA proof-of-concept (§7.2)
+};
+
+struct SystemInstance {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<MetadataService> service;
+  MantleService* mantle = nullptr;      // non-null when kind == kMantle
+  InfiniFsService* infinifs = nullptr;  // non-null when kind == kInfiniFs
+
+  MetadataService* get() { return service.get(); }
+};
+
+SystemInstance MakeSystem(SystemKind kind, const MantleFeatureOverrides& overrides = {},
+                          bool infinifs_am_cache = false);
+
+// Paper-scaled option builders (exposed for targeted benches/tests).
+NetworkOptions BenchNetworkOptions();
+TafDbOptions BenchTafDbOptions();
+RaftOptions BenchRaftOptions();
+
+}  // namespace mantle
+
+#endif  // SRC_BENCH_UTIL_BENCH_ENV_H_

@@ -1,0 +1,118 @@
+#include "src/bench_util/report.h"
+
+#include <cstdio>
+
+namespace mantle {
+
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& caption) {
+  std::printf("\n== %s: %s ==\n", figure.c_str(), title.c_str());
+  if (!caption.empty()) {
+    std::printf("   %s\n", caption.c_str());
+  }
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("  ");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string separator;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    separator.append(widths[c] + 2, '-');
+  }
+  std::printf("  %s\n", separator.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FormatOps(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mop/s", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f Kop/s", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f op/s", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string FormatMicros(double nanos) {
+  char buf[64];
+  if (nanos >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", nanos / 1e9);
+  } else if (nanos >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", nanos / 1e3);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t count) {
+  char buf[64];
+  if (count >= 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", static_cast<double>(count) / 1e9);
+  } else if (count >= 1'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(count) / 1e6);
+  } else if (count >= 1'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(count) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::vector<std::string> WorkloadColumns(const std::string& first) {
+  return {first,  "throughput", "mean",    "p50",
+          "p99",  "rpcs/op",    "retries", "errors"};
+}
+
+std::vector<std::string> WorkloadRow(const std::string& label, const WorkloadResult& result) {
+  return {label,
+          FormatOps(result.Throughput()),
+          FormatMicros(result.total.Mean()),
+          FormatMicros(static_cast<double>(result.total.Percentile(50))),
+          FormatMicros(static_cast<double>(result.total.Percentile(99))),
+          FormatDouble(result.MeanRpcsPerOp(), 1),
+          FormatCount(result.retries),
+          FormatCount(result.errors)};
+}
+
+void PrintCdf(const std::string& label, const Histogram& histogram) {
+  static const double kPercentiles[] = {10, 25, 50, 75, 90, 95, 99, 99.9};
+  std::printf("  %-28s", label.c_str());
+  for (double p : kPercentiles) {
+    std::printf(" p%-5.4g %-10s", p,
+                FormatMicros(static_cast<double>(histogram.Percentile(p))).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace mantle

@@ -1,0 +1,46 @@
+// Paper-style table and series printing for the bench harness.
+
+#ifndef SRC_BENCH_UTIL_REPORT_H_
+#define SRC_BENCH_UTIL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/workload/mdtest_driver.h"
+
+namespace mantle {
+
+// Prints "== <figure id>: <title> ==" with a caption describing the paper
+// counterpart and what shape to expect.
+void PrintHeader(const std::string& figure, const std::string& title,
+                 const std::string& caption = "");
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string FormatOps(double ops_per_sec);       // "12.3 Kop/s"
+std::string FormatMicros(double nanos);          // "123.4 us"
+std::string FormatCount(uint64_t count);         // "1.2M"
+std::string FormatDouble(double value, int precision = 2);
+
+// One summary row for a workload run: throughput + latency percentiles.
+std::vector<std::string> WorkloadRow(const std::string& label, const WorkloadResult& result);
+// The column names matching WorkloadRow.
+std::vector<std::string> WorkloadColumns(const std::string& first = "system");
+
+// Prints a latency CDF as fixed percentile points (Fig. 11 style).
+void PrintCdf(const std::string& label, const Histogram& histogram);
+
+}  // namespace mantle
+
+#endif  // SRC_BENCH_UTIL_REPORT_H_

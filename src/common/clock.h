@@ -1,0 +1,45 @@
+// Monotonic time helpers and calibrated delay injection.
+//
+// The simulated cluster fabric (src/net) charges each RPC a configurable
+// round-trip latency. PreciseSleep implements that delay: long waits use the
+// OS sleep primitive; the final stretch is spun so that injected latencies in
+// the tens-of-microseconds range stay close to their nominal value instead of
+// absorbing scheduler slack.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mantle {
+
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t MonotonicMicros() { return MonotonicNanos() / 1000; }
+
+// Sleeps for approximately `nanos`. `spin_tail_nanos` is the portion of the
+// wait serviced by busy-polling; larger tails are more precise but burn CPU,
+// which matters when hundreds of simulated clients wait concurrently.
+void PreciseSleep(int64_t nanos, int64_t spin_tail_nanos = 0);
+
+// Stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+  void Reset() { start_ = MonotonicNanos(); }
+  int64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_CLOCK_H_

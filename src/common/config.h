@@ -1,0 +1,18 @@
+// Environment-variable configuration helpers for tests and benches.
+
+#ifndef SRC_COMMON_CONFIG_H_
+#define SRC_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mantle {
+
+int64_t EnvInt(const char* name, int64_t fallback);
+double EnvDouble(const char* name, double fallback);
+bool EnvBool(const char* name, bool fallback);
+std::string EnvString(const char* name, const std::string& fallback);
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_CONFIG_H_

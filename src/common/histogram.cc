@@ -1,0 +1,154 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace mantle {
+
+Histogram::Histogram() { Reset(); }
+
+Histogram::Histogram(const Histogram& other) {
+  Reset();
+  Merge(other);
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    Reset();
+    Merge(other);
+  }
+  return *this;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(), std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>((v >> (octave - 1)) & (kSubBuckets - 1));
+  int index = (octave)*kSubBuckets + sub;
+  if (index >= kBucketCount) {
+    index = kBucketCount - 1;
+  }
+  return index;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (octave == 0) {
+    return sub;
+  }
+  return (static_cast<int64_t>(kSubBuckets + sub + 1) << (octave - 1)) - 1;
+}
+
+void Histogram::Record(int64_t value_nanos) {
+  buckets_[BucketIndex(value_nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_nanos, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value_nanos > prev &&
+         !max_.compare_exchange_weak(prev, value_nanos, std::memory_order_relaxed)) {
+  }
+  prev = min_.load(std::memory_order_relaxed);
+  while (value_nanos < prev &&
+         !min_.compare_exchange_weak(prev, value_nanos, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  int64_t other_max = other.max_.load(std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_.compare_exchange_weak(prev, other_max, std::memory_order_relaxed)) {
+  }
+  int64_t other_min = other.min_.load(std::memory_order_relaxed);
+  prev = min_.load(std::memory_order_relaxed);
+  while (other_min < prev &&
+         !min_.compare_exchange_weak(prev, other_min, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  const int64_t m = min_.load(std::memory_order_relaxed);
+  return m == std::numeric_limits<int64_t>::max() ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(n) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max());
+    }
+  }
+  return max();
+}
+
+std::vector<Histogram::CdfPoint> Histogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  const uint64_t n = count();
+  if (n == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    if (b == 0) {
+      continue;
+    }
+    seen += b;
+    points.push_back({BucketUpperBound(i), static_cast<double>(seen) / static_cast<double>(n)});
+  }
+  return points;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "cnt=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count()), Mean() / 1e3,
+                static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3, static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+}  // namespace mantle

@@ -1,0 +1,57 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/config.h"
+
+namespace mantle {
+
+namespace {
+
+std::atomic<int> g_level{[] {
+  const std::string env = EnvString("MANTLE_LOG_LEVEL", "warning");
+  if (env == "debug") {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (env == "info") {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (env == "error") {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}()};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+bool LogEnabled(LogLevel level) { return static_cast<int>(level) >= g_level.load(); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  static std::mutex io_mu;
+  std::lock_guard<std::mutex> lock(io_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line, message.c_str());
+}
+
+}  // namespace mantle

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. Default level is kWarning so tests and
+// benches stay quiet; raise via SetLogLevel or MANTLE_LOG_LEVEL=debug|info.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+
+namespace mantle {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mantle
+
+#define MANTLE_LOG(level)                                            \
+  if (!::mantle::LogEnabled(::mantle::LogLevel::level)) {            \
+  } else                                                             \
+    ::mantle::LogStream(::mantle::LogLevel::level, __FILE__, __LINE__)
+
+#define MANTLE_DLOG MANTLE_LOG(kDebug)
+#define MANTLE_ILOG MANTLE_LOG(kInfo)
+#define MANTLE_WLOG MANTLE_LOG(kWarning)
+#define MANTLE_ELOG MANTLE_LOG(kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

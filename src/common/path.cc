@@ -1,0 +1,99 @@
+#include "src/common/path.h"
+
+namespace mantle {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> components;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      components.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return components;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  if (components.empty()) {
+    return "/";
+  }
+  std::string out;
+  size_t total = 0;
+  for (const auto& c : components) {
+    total += c.size() + 1;
+  }
+  out.reserve(total);
+  for (const auto& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+std::string PathPrefix(const std::vector<std::string>& components, size_t n) {
+  if (n == 0 || components.empty()) {
+    return "/";
+  }
+  if (n > components.size()) {
+    n = components.size();
+  }
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    out += '/';
+    out += components[i];
+  }
+  return out;
+}
+
+std::string ParentPath(std::string_view path) {
+  auto components = SplitPath(path);
+  if (components.empty()) {
+    return "/";
+  }
+  components.pop_back();
+  return JoinPath(components);
+}
+
+std::string BaseName(std::string_view path) {
+  auto components = SplitPath(path);
+  if (components.empty()) {
+    return "";
+  }
+  return components.back();
+}
+
+size_t PathDepth(std::string_view path) { return SplitPath(path).size(); }
+
+std::string NormalizePath(std::string_view path) { return JoinPath(SplitPath(path)); }
+
+bool IsPathPrefix(std::string_view prefix, std::string_view path) {
+  if (prefix == "/" || prefix.empty()) {
+    return true;
+  }
+  if (path.size() < prefix.size()) {
+    return false;
+  }
+  if (path.substr(0, prefix.size()) != prefix) {
+    return false;
+  }
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+bool IsValidPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  if (path.find('\0') != std::string_view::npos) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mantle

@@ -1,0 +1,47 @@
+// Object-path utilities.
+//
+// COSS object paths look like '/A/C/E/G/h.wav'. The root is '/', components
+// never contain '/', and paths are always absolute. These helpers are the one
+// place path syntax is interpreted; every service works on component vectors.
+
+#ifndef SRC_COMMON_PATH_H_
+#define SRC_COMMON_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mantle {
+
+// "/A/B/c" -> {"A", "B", "c"}; "/" -> {}. Ignores repeated and trailing '/'.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// {"A", "B"} -> "/A/B"; {} -> "/".
+std::string JoinPath(const std::vector<std::string>& components);
+
+// Joins the first `n` components: PathPrefix({"A","B","C"}, 2) -> "/A/B".
+std::string PathPrefix(const std::vector<std::string>& components, size_t n);
+
+// "/A/B/c" -> "/A/B"; "/A" -> "/"; "/" -> "/".
+std::string ParentPath(std::string_view path);
+
+// "/A/B/c" -> "c"; "/" -> "".
+std::string BaseName(std::string_view path);
+
+// Number of components: "/A/B/c" -> 3, "/" -> 0.
+size_t PathDepth(std::string_view path);
+
+// Collapses repeated separators and strips a trailing one: "a//b/" -> "/a/b".
+std::string NormalizePath(std::string_view path);
+
+// True if `prefix` is '/' or equal to `path` or a proper path-prefix of it
+// ("/A/B" is a prefix of "/A/B/C" but not of "/A/BC").
+bool IsPathPrefix(std::string_view prefix, std::string_view path);
+
+// Validates an absolute object path: non-empty, starts with '/', components
+// non-empty and free of embedded NUL.
+bool IsValidPath(std::string_view path);
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_PATH_H_

@@ -1,0 +1,77 @@
+// Result<T>: a Status or a value, in the spirit of zx::result / absl::StatusOr.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace mantle {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from both arms keeps call sites terse:
+  //   return Status::NotFound();   or   return value;
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "use Result(value) for the success arm");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_ = Status::Ok();
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define MANTLE_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::mantle::Status _st = (expr);          \
+    if (!_st.ok()) {                        \
+      return _st;                           \
+    }                                       \
+  } while (0)
+
+// Evaluates a Result<T> expression and either binds its value or returns the
+// error. Usage: MANTLE_ASSIGN_OR_RETURN(auto id, ResolvePath(path));
+#define MANTLE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define MANTLE_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define MANTLE_ASSIGN_OR_RETURN_UNIQ(a, b) MANTLE_ASSIGN_OR_RETURN_CAT(a, b)
+#define MANTLE_ASSIGN_OR_RETURN(lhs, expr) \
+  MANTLE_ASSIGN_OR_RETURN_IMPL(MANTLE_ASSIGN_OR_RETURN_UNIQ(_res_, __LINE__), lhs, expr)
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,50 @@
+#include "src/common/status.h"
+
+namespace mantle {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kNotADirectory:
+      return "NotADirectory";
+    case StatusCode::kNotEmpty:
+      return "NotEmpty";
+    case StatusCode::kLoopDetected:
+      return "LoopDetected";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace mantle

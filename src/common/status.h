@@ -1,0 +1,99 @@
+// Status and error-code plumbing shared by every Mantle module.
+//
+// Mantle modules do not throw exceptions across module boundaries; fallible
+// operations return Status (or Result<T>, see src/common/result.h). The code
+// set mirrors the failure modes of a COSS metadata service: path-resolution
+// misses, transaction aborts, permission failures, rename-loop rejections.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mantle {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // Path component or key does not exist.
+  kAlreadyExists,     // Create/mkdir target already present.
+  kAborted,           // Transaction aborted (lock conflict); caller may retry.
+  kBusy,              // Resource (rename lock, latch) held by another request.
+  kInvalidArgument,   // Malformed path or request.
+  kPermissionDenied,  // Permission mask rejected the access.
+  kNotADirectory,     // Path component resolved to an object, not a directory.
+  kNotEmpty,          // rmdir on a non-empty directory.
+  kLoopDetected,      // dirrename would create a cycle.
+  kUnavailable,       // Server down / no leader elected.
+  kTimeout,           // RPC or consensus deadline exceeded.
+  kInternal,          // Invariant violation; indicates a bug.
+};
+
+// Returns a stable, human-readable name ("NotFound", "Aborted", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status: a code plus an optional message. Copyable, cheap when OK
+// (no allocation for the default-constructed OK value).
+class Status {
+ public:
+  Status() = default;
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") { return Status(StatusCode::kAborted, std::move(msg)); }
+  static Status Busy(std::string msg = "") { return Status(StatusCode::kBusy, std::move(msg)); }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg = "") {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status NotADirectory(std::string msg = "") {
+    return Status(StatusCode::kNotADirectory, std::move(msg));
+  }
+  static Status NotEmpty(std::string msg = "") { return Status(StatusCode::kNotEmpty, std::move(msg)); }
+  static Status LoopDetected(std::string msg = "") {
+    return Status(StatusCode::kLoopDetected, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
+  static Status Internal(std::string msg = "") { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsLoopDetected() const { return code_ == StatusCode::kLoopDetected; }
+
+  // True for failures the proxy layer is expected to retry (transaction
+  // aborts and lock-bit conflicts), as opposed to terminal errors.
+  bool IsRetriable() const { return IsAborted() || IsBusy(); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+// Fixed-size worker pool. The simulated cluster fabric builds its bounded
+// per-server executors on top of this; workload drivers use it for client
+// fan-out.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mantle {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn`; returns false if the pool is shutting down.
+  bool Submit(std::function<void()> fn);
+
+  // Enqueues a callable and returns a future for its result.
+  template <typename Fn>
+  auto SubmitWithResult(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (!Submit([task]() { (*task)(); })) {
+      // Run inline if the pool is gone so the future is never abandoned.
+      (*task)();
+    }
+    return future;
+  }
+
+  // Signals shutdown and joins all workers. Pending tasks are drained first.
+  void Shutdown();
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t QueueDepth() const;
+  // Total tasks executed since construction.
+  uint64_t completed_tasks() const { return completed_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

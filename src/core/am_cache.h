@@ -1,0 +1,83 @@
+// AM-Cache: the InfiniFS-style access-metadata cache (paper §6.1, Fig. 20).
+//
+// Maps directory-path prefixes to their ids so repeated resolutions skip
+// already-known prefixes. In a COSS there is no cooperative client to host
+// it, so the evaluation attaches it to the proxy process; rename/permission
+// changes invalidate by prefix scan. Bounded and never promoted - a plain
+// lookaside table.
+
+#ifndef SRC_CORE_AM_CACHE_H_
+#define SRC_CORE_AM_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/path.h"
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+class AmCache {
+ public:
+  explicit AmCache(size_t max_entries = 262'144) : max_entries_(max_entries) {}
+
+  struct Hit {
+    size_t levels = 0;  // number of path components the hit covers
+    InodeId dir_id = kRootId;
+  };
+
+  // Longest cached prefix of `components` (trying deepest first).
+  std::optional<Hit> LongestPrefix(const std::vector<std::string>& components,
+                                   size_t max_levels) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (map_.empty()) {
+      return std::nullopt;
+    }
+    for (size_t levels = max_levels; levels >= 1; --levels) {
+      auto it = map_.find(PathPrefix(components, levels));
+      if (it != map_.end()) {
+        return Hit{levels, it->second};
+      }
+    }
+    return std::nullopt;
+  }
+
+  void Insert(const std::string& prefix, InodeId id) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (map_.size() >= max_entries_) {
+      return;
+    }
+    map_.emplace(prefix, id);
+  }
+
+  // Drops every cached prefix at or below `path`.
+  void InvalidateSubtree(const std::string& path) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (IsPathPrefix(path, it->first)) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t Size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  const size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, InodeId> map_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_CORE_AM_CACHE_H_

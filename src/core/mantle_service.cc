@@ -1,0 +1,610 @@
+#include "src/core/mantle_service.h"
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+MantleService::MantleService(Network* network, MantleOptions options)
+    : network_(network), options_(std::move(options)) {
+  owned_tafdb_ = std::make_unique<TafDb>(network_, options_.tafdb);
+  tafdb_ = owned_tafdb_.get();
+  root_id_ = options_.id_base + kRootId;
+  options_.index.node.root_id = root_id_;
+  next_id_.store(root_id_);
+  index_ = std::make_unique<IndexService>(network_, options_.namespace_name + "-index",
+                                          options_.index);
+  if (options_.enable_am_cache) {
+    am_cache_ = std::make_unique<AmCache>();
+  }
+  tafdb_->LoadPut(AttrKey(root_id_), MetaValue{EntryType::kAttrPrimary, root_id_, kPermAll, 0,
+                                               0, 0, 0});
+  index_->Start();
+}
+
+MantleService::MantleService(Network* network, TafDb* shared_tafdb, MantleOptions options)
+    : network_(network), options_(std::move(options)), tafdb_(shared_tafdb) {
+  root_id_ = options_.id_base + kRootId;
+  options_.index.node.root_id = root_id_;
+  next_id_.store(root_id_);
+  index_ = std::make_unique<IndexService>(network_, options_.namespace_name + "-index",
+                                          options_.index);
+  if (options_.enable_am_cache) {
+    am_cache_ = std::make_unique<AmCache>();
+  }
+  tafdb_->LoadPut(AttrKey(root_id_), MetaValue{EntryType::kAttrPrimary, root_id_, kPermAll, 0,
+                                               0, 0, 0});
+  index_->Start();
+}
+
+MantleService::~MantleService() = default;
+
+Result<IndexReplica::ResolveOutcome> MantleService::LookupParentCached(
+    const std::vector<std::string>& components) {
+  if (am_cache_ != nullptr && !components.empty()) {
+    auto hit = am_cache_->LongestPrefix(components, components.size() - 1);
+    if (hit.has_value() && hit->levels == components.size() - 1) {
+      IndexReplica::ResolveOutcome outcome;
+      outcome.dir_id = hit->dir_id;
+      outcome.cache_hit = true;
+      return outcome;
+    }
+  }
+  auto outcome = index_->LookupParent(components);
+  if (outcome.ok() && am_cache_ != nullptr && components.size() > 1) {
+    am_cache_->Insert(PathPrefix(components, components.size() - 1), outcome->dir_id);
+  }
+  return outcome;
+}
+
+// --- lookups -----------------------------------------------------------------
+
+OpResult MantleService::Lookup(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto outcome = LookupParentCached(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  result.status = outcome.ok() ? Status::Ok() : outcome.status();
+  return result;
+}
+
+// --- object operations ----------------------------------------------------------
+
+OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = LookupParentCached(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  const InodeId object_id = AllocateId();
+  result.status = RetryTransaction(
+      [&]() {
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp insert;
+        insert.kind = WriteOp::Kind::kPut;
+        insert.expect = WriteOp::Expect::kMustNotExist;
+        insert.key = EntryKey(pid, components.back());
+        insert.value =
+            MetaValue{EntryType::kObject, object_id, kPermAll, size, 0, txn_id, 0};
+        ops.push_back(std::move(insert));
+        ops.push_back(tafdb_->MakeAttrUpdate(pid, +1, /*bump_mtime=*/true, txn_id));
+        return tafdb_->Execute(ops, txn_id);
+      },
+      options_.retry, &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult MantleService::DeleteObject(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = LookupParentCached(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  result.status = RetryTransaction(
+      [&]() {
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp erase;
+        erase.kind = WriteOp::Kind::kDelete;
+        erase.expect = WriteOp::Expect::kMustBeObject;
+        erase.key = EntryKey(pid, components.back());
+        ops.push_back(std::move(erase));
+        ops.push_back(tafdb_->MakeAttrUpdate(pid, -1, /*bump_mtime=*/true, txn_id));
+        return tafdb_->Execute(ops, txn_id);
+      },
+      options_.retry, &result.retries);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument(path);
+    return result;
+  }
+  auto parent = LookupParentCached(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermRead) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!row.ok()) {
+    result.status = row.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                    row->permission};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+// --- directory operations --------------------------------------------------------
+
+OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = index_->LookupDir(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto attr = tafdb_->ReadDirAttr(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!attr.ok()) {
+    result.status = attr.status();
+    return result;
+  }
+  if (out != nullptr) {
+    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult MantleService::Mkdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::AlreadyExists("/");
+    return result;
+  }
+  auto parent = LookupParentCached(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!parent.ok()) {
+    result.status = parent.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if ((parent->perm_mask & kPermWrite) == 0) {
+    result.status = Status::PermissionDenied(path);
+    result.rpcs = rpcs.count();
+    return result;
+  }
+
+  timer.Reset();
+  const InodeId pid = parent->dir_id;
+  const InodeId dir_id = AllocateId();
+  // TafDB first: the directory entry + its attribute primary + the parent's
+  // attribute mutation, spanning shard(pid) and shard(dir_id) in general.
+  result.status = RetryTransaction(
+      [&]() {
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp entry;
+        entry.kind = WriteOp::Kind::kPut;
+        entry.expect = WriteOp::Expect::kMustNotExist;
+        entry.key = EntryKey(pid, components.back());
+        entry.value = MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, txn_id, 0};
+        ops.push_back(std::move(entry));
+        WriteOp attr;
+        attr.kind = WriteOp::Kind::kPut;
+        attr.expect = WriteOp::Expect::kMustNotExist;
+        attr.key = AttrKey(dir_id);
+        attr.value = MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, txn_id, 0};
+        ops.push_back(std::move(attr));
+        ops.push_back(tafdb_->MakeAttrUpdate(pid, +1, /*bump_mtime=*/true, txn_id));
+        return tafdb_->Execute(ops, txn_id);
+      },
+      options_.retry, &result.retries);
+  if (result.status.ok()) {
+    // Then refresh the IndexNode's access metadata through consensus.
+    result.status = index_->AddDir(pid, components.back(), dir_id, kPermAll);
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult MantleService::Rmdir(const std::string& path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot remove the root");
+    return result;
+  }
+  auto dir = index_->LookupDir(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = dir->parent_id;
+  const InodeId dir_id = dir->dir_id;
+  if (tafdb_->HasChildren(dir_id)) {
+    result.status = Status::NotEmpty(path);
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  result.status = RetryTransaction(
+      [&]() {
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp entry;
+        entry.kind = WriteOp::Kind::kDelete;
+        entry.expect = WriteOp::Expect::kMustExist;
+        entry.key = EntryKey(pid, components.back());
+        ops.push_back(std::move(entry));
+        WriteOp attr;
+        attr.kind = WriteOp::Kind::kDelete;
+        attr.key = AttrKey(dir_id);
+        ops.push_back(std::move(attr));
+        ops.push_back(tafdb_->MakeAttrUpdate(pid, -1, /*bump_mtime=*/true, txn_id));
+        return tafdb_->Execute(ops, txn_id);
+      },
+      options_.retry, &result.retries);
+  if (result.status.ok()) {
+    result.status = index_->RemoveDir(pid, components.back(), NormalizePath(path));
+    if (am_cache_ != nullptr) {
+      am_cache_->InvalidateSubtree(NormalizePath(path));
+    }
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult MantleService::RenameDir(const std::string& src_path, const std::string& dst_path) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  const auto src_components = SplitPath(src_path);
+  const auto dst_components = SplitPath(dst_path);
+  if (src_components.empty() || dst_components.empty()) {
+    result.status = Status::InvalidArgument("rename involving the root");
+    return result;
+  }
+  std::vector<std::string> dst_parent(dst_components.begin(), dst_components.end() - 1);
+  const std::string& dst_name = dst_components.back();
+  const uint64_t uuid = NewUuid();
+
+  result.status = RetryTransaction(
+      [&]() -> Status {
+        // Phase 1+2 merged (Fig. 9 steps 1-7): resolution, RemovalList entry,
+        // lock bit, and loop detection in a single RPC to the IndexNode
+        // leader. Mantle reports zero lookup time for dirrename because it is
+        // folded into loop detection (§6.3).
+        Stopwatch loop_timer;
+        auto prepared =
+            index_->RenamePrepare(src_components, dst_parent, dst_name, uuid);
+        result.breakdown.loop_detect_nanos += loop_timer.ElapsedNanos();
+        if (!prepared.ok()) {
+          return prepared.status();
+        }
+
+        // Phase 3 (steps 8a/8b): distributed transaction across TafDB shards.
+        Stopwatch exec_timer;
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        std::vector<WriteOp> ops;
+        WriteOp erase;
+        erase.kind = WriteOp::Kind::kDelete;
+        erase.expect = WriteOp::Expect::kMustExist;
+        erase.key = EntryKey(prepared->src_pid, src_components.back());
+        ops.push_back(std::move(erase));
+        WriteOp insert;
+        insert.kind = WriteOp::Kind::kPut;
+        insert.expect = WriteOp::Expect::kMustNotExist;
+        insert.key = EntryKey(prepared->dst_pid, dst_name);
+        insert.value =
+            MetaValue{EntryType::kDirectory, prepared->src_id, kPermAll, 0, 0, txn_id, 0};
+        ops.push_back(std::move(insert));
+        ops.push_back(tafdb_->MakeAttrUpdate(prepared->src_pid, -1, true, txn_id));
+        if (prepared->dst_pid != prepared->src_pid) {
+          ops.push_back(tafdb_->MakeAttrUpdate(prepared->dst_pid, +1, true, txn_id));
+        }
+        Status txn_status = tafdb_->Execute(ops, txn_id);
+        if (!txn_status.ok()) {
+          index_->RenameAbort(prepared->src_id, uuid);
+          result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
+          return txn_status;
+        }
+        Status apply_status =
+            index_->RenameCommit(prepared->src_pid, src_components.back(), prepared->dst_pid,
+                                 dst_name, uuid, prepared->src_path);
+        if (apply_status.ok() && am_cache_ != nullptr) {
+          am_cache_->InvalidateSubtree(prepared->src_path);
+        }
+        result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
+        return apply_status;
+      },
+      options_.retry, &result.retries);
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+OpResult MantleService::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  auto dir = index_->LookupDir(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  auto listing = tafdb_->ListChildren(dir->dir_id);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!listing.ok()) {
+    result.status = listing.status();
+    return result;
+  }
+  if (names != nullptr) {
+    names->clear();
+    names->reserve(listing->size());
+    for (const auto& entry : *listing) {
+      names->push_back(entry.key.name);
+    }
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult MantleService::ListObjects(const std::string& dir_path,
+                                    const std::string& start_after, size_t max_entries,
+                                    ListPage* out) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(dir_path);
+  auto dir = index_->LookupDir(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  // Fetch one extra row to learn whether the page is truncated.
+  const size_t want = max_entries == 0 ? 0 : max_entries + 1;
+  auto listing = tafdb_->ListChildrenAfter(dir->dir_id, start_after, want);
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  if (!listing.ok()) {
+    result.status = listing.status();
+    return result;
+  }
+  if (out != nullptr) {
+    out->names.clear();
+    out->truncated = max_entries != 0 && listing->size() > max_entries;
+    const size_t take = out->truncated ? max_entries : listing->size();
+    out->names.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->names.push_back((*listing)[i].key.name);
+    }
+    out->next_start_after = out->names.empty() ? "" : out->names.back();
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permission) {
+  OpResult result;
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    result.status = Status::InvalidArgument("cannot setattr the root");
+    return result;
+  }
+  auto dir = index_->LookupDir(components);
+  result.breakdown.lookup_nanos = timer.ElapsedNanos();
+  if (!dir.ok()) {
+    result.status = dir.status();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  timer.Reset();
+  const InodeId pid = dir->parent_id;
+  // Update the access-metadata row in TafDB, then replicate to the IndexNode
+  // (which also invalidates cached prefixes through `path`).
+  result.status = RetryTransaction(
+      [&]() {
+        const uint64_t txn_id = tafdb_->NextTxnId();
+        WriteOp update;
+        update.kind = WriteOp::Kind::kPut;
+        update.expect = WriteOp::Expect::kMustExist;
+        update.key = EntryKey(pid, components.back());
+        update.value =
+            MetaValue{EntryType::kDirectory, dir->dir_id, permission, 0, 0, txn_id, 0};
+        return tafdb_->Execute({update}, txn_id);
+      },
+      options_.retry, &result.retries);
+  if (result.status.ok()) {
+    result.status =
+        index_->SetPermission(pid, components.back(), permission, NormalizePath(path));
+    if (am_cache_ != nullptr) {
+      am_cache_->InvalidateSubtree(NormalizePath(path));
+    }
+  }
+  result.breakdown.execute_nanos = timer.ElapsedNanos();
+  result.rpcs = rpcs.count();
+  return result;
+}
+
+MantleService::ConsistencyReport MantleService::Fsck() {
+  ConsistencyReport report;
+  IndexReplica* leader = index_->LeaderReplica();
+  if (leader == nullptr) {
+    return report;
+  }
+  // Pass 1: every indexed directory has its TafDB rows.
+  for (const auto& entry : leader->table().Export()) {
+    ++report.dirs_checked;
+    const std::string label =
+        leader->table().PathOf(entry.id).value_or("(" + std::to_string(entry.pid) + "," +
+                                                  entry.name + ")");
+    auto row = tafdb_->LocalGet(EntryKey(entry.pid, entry.name));
+    if (!row.has_value()) {
+      report.missing_entry_row.push_back(label);
+    } else if (row->id != entry.id || !row->IsDirectoryEntry()) {
+      report.id_mismatch.push_back(label);
+    }
+    if (!tafdb_->LocalGet(AttrKey(entry.id)).has_value()) {
+      report.missing_attr_row.push_back(label);
+    }
+  }
+  // Pass 2: every directory entry row in this namespace is indexed. Ownership
+  // is decided by walking the row's parent chain in the index: rows whose pid
+  // is unknown to this namespace's index belong to another tenant.
+  IndexTable& table = leader->table();
+  ShardMap* shards = tafdb_->shard_map();
+  for (uint32_t i = 0; i < shards->num_shards(); ++i) {
+    shards->ShardAt(i)->ForEach([&](const MetaKey& key, const MetaValue& value) {
+      ++report.rows_scanned;
+      if (key.ts != 0 || key.name == kAttrName || !value.IsDirectoryEntry()) {
+        return;
+      }
+      const bool parent_known =
+          key.pid == root_id_ || table.GetParent(key.pid).has_value();
+      if (!parent_known) {
+        return;  // another namespace's subtree
+      }
+      auto indexed = table.Lookup(key.pid, key.name);
+      if (!indexed.has_value() || indexed->id != value.id) {
+        report.unindexed_dir_row.push_back("(" + std::to_string(key.pid) + "," + key.name +
+                                           ")");
+      }
+    });
+  }
+  return report;
+}
+
+// --- bulk loading -----------------------------------------------------------------
+
+Result<InodeId> MantleService::LocalResolveParent(
+    const std::vector<std::string>& components) const {
+  IndexTable& table = index_->replica(0)->table();
+  InodeId current = root_id_;
+  for (size_t level = 0; level + 1 < components.size(); ++level) {
+    auto entry = table.Lookup(current, components[level]);
+    if (!entry.has_value()) {
+      return Status::NotFound(PathPrefix(components, level + 1));
+    }
+    current = entry->id;
+  }
+  return current;
+}
+
+Status MantleService::BulkLoadDir(const std::string& path) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::Ok();  // root always exists
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  const InodeId dir_id = AllocateId();
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0});
+  tafdb_->LoadPut(AttrKey(dir_id), MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0,
+                                             0, 0});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  index_->LoadDir(*pid, components.back(), dir_id, kPermAll);
+  return Status::Ok();
+}
+
+Status MantleService::BulkLoadObject(const std::string& path, uint64_t size) {
+  const auto components = SplitPath(path);
+  if (components.empty()) {
+    return Status::InvalidArgument(path);
+  }
+  auto pid = LocalResolveParent(components);
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  const InodeId object_id = AllocateId();
+  tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                  MetaValue{EntryType::kObject, object_id, kPermAll, size, 0, 0, 0});
+  tafdb_->LoadAdjustChildCount(*pid, +1);
+  return Status::Ok();
+}
+
+}  // namespace mantle

@@ -1,0 +1,117 @@
+// MantleService: the paper's primary contribution, assembled.
+//
+// The proxy-side logic of Mantle (Fig. 5): single-RPC path lookups against
+// the per-namespace IndexService, bulk metadata in the shared TafDB, delta
+// records for contended directory attributes, and the IndexNode-coordinated
+// cross-directory rename workflow of Fig. 9. Client (bench/application)
+// threads play the role of the stateless proxy fleet.
+
+#ifndef SRC_CORE_MANTLE_SERVICE_H_
+#define SRC_CORE_MANTLE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/am_cache.h"
+#include "src/core/metadata_service.h"
+#include "src/core/retry.h"
+#include "src/index/index_service.h"
+#include "src/net/network.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+
+struct MantleOptions {
+  TafDbOptions tafdb;
+  IndexServiceOptions index;
+  RetryOptions retry;
+  std::string namespace_name = "ns";
+  // Base of this namespace's inode-id space. The root gets `id_base + 1`;
+  // every allocation stays above it. Namespaces sharing a TafDB must use
+  // disjoint bases (e.g. tenant_index << 56).
+  InodeId id_base = 0;
+  // Attach an InfiniFS-style AM-Cache in front of the IndexNode (Fig. 20
+  // study only; not part of Mantle's design).
+  bool enable_am_cache = false;
+};
+
+class MantleService final : public MetadataService {
+ public:
+  // Owns a fresh TafDB fleet (the common single-namespace deployment).
+  MantleService(Network* network, MantleOptions options);
+  // Shares an existing TafDB across namespaces (paper §7: one TafDB per
+  // cluster, one IndexNode per namespace).
+  MantleService(Network* network, TafDb* shared_tafdb, MantleOptions options);
+  ~MantleService() override;
+
+  std::string name() const override { return "Mantle"; }
+
+  OpResult CreateObject(const std::string& path, uint64_t size) override;
+  OpResult DeleteObject(const std::string& path) override;
+  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  OpResult Mkdir(const std::string& path) override;
+  OpResult Rmdir(const std::string& path) override;
+  OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;
+  OpResult ReadDir(const std::string& path, std::vector<std::string>* names) override;
+  OpResult SetDirPermission(const std::string& path, uint32_t permission) override;
+  OpResult Lookup(const std::string& path) override;
+  OpResult ListObjects(const std::string& dir_path, const std::string& start_after,
+                       size_t max_entries, ListPage* out) override;
+
+  Status BulkLoadDir(const std::string& path) override;
+  Status BulkLoadObject(const std::string& path, uint64_t size) override;
+
+  TafDb* tafdb() { return tafdb_; }
+  IndexService* index() { return index_.get(); }
+  AmCache* am_cache() { return am_cache_.get(); }
+
+  // --- consistency audit (fsck) ----------------------------------------------
+  // Cross-checks the IndexNode's access metadata against TafDB: every indexed
+  // directory must have a matching entry row and an attribute primary row,
+  // and every directory row in this namespace's id space must be indexed.
+  // Offline/diagnostic: reads structures directly, no RPC charges.
+  struct ConsistencyReport {
+    uint64_t dirs_checked = 0;
+    uint64_t rows_scanned = 0;
+    std::vector<std::string> missing_entry_row;  // indexed dir without a DB entry row
+    std::vector<std::string> id_mismatch;        // entry row id differs from the index
+    std::vector<std::string> missing_attr_row;   // directory without an attr primary
+    std::vector<std::string> unindexed_dir_row;  // DB dir row absent from the index
+
+    bool clean() const {
+      return missing_entry_row.empty() && id_mismatch.empty() && missing_attr_row.empty() &&
+             unindexed_dir_row.empty();
+    }
+  };
+  ConsistencyReport Fsck();
+  Network* network() { return network_; }
+
+ private:
+  InodeId AllocateId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t NewUuid() { return next_uuid_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  // Resolves the parent of `path` locally on replica 0's IndexTable (bulk
+  // loading only - no RPC, no latency).
+  Result<InodeId> LocalResolveParent(const std::vector<std::string>& components) const;
+
+  // LookupParent with the optional AM-Cache consulted first (Fig. 20).
+  Result<IndexReplica::ResolveOutcome> LookupParentCached(
+      const std::vector<std::string>& components);
+
+  Network* network_;
+  MantleOptions options_;
+  std::unique_ptr<TafDb> owned_tafdb_;
+  TafDb* tafdb_;
+  std::unique_ptr<IndexService> index_;
+  std::unique_ptr<AmCache> am_cache_;
+  InodeId root_id_ = kRootId;
+  std::atomic<InodeId> next_id_{kRootId};  // first allocation returns root + 1
+  std::atomic<uint64_t> next_uuid_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_CORE_MANTLE_SERVICE_H_

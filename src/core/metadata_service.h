@@ -1,0 +1,119 @@
+// MetadataService: the system-agnostic operation interface.
+//
+// Mantle and all three baselines (Tectonic, InfiniFS, LocoFS) implement this
+// interface, so workloads, tests, and benches drive every system identically.
+// Operations return an OpResult carrying the paper's three-phase latency
+// breakdown (lookup / loop detection / execution, Fig. 13 & 15), the RPC
+// count, and the retry count.
+
+#ifndef SRC_CORE_METADATA_SERVICE_H_
+#define SRC_CORE_METADATA_SERVICE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+struct OpBreakdown {
+  int64_t lookup_nanos = 0;
+  int64_t loop_detect_nanos = 0;
+  int64_t execute_nanos = 0;
+  int64_t total_nanos() const { return lookup_nanos + loop_detect_nanos + execute_nanos; }
+};
+
+struct OpResult {
+  Status status;
+  OpBreakdown breakdown;
+  int64_t rpcs = 0;
+  int retries = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct StatInfo {
+  InodeId id = 0;
+  bool is_dir = false;
+  uint64_t size = 0;
+  int64_t child_count = 0;
+  uint64_t mtime = 0;
+  uint32_t permission = kPermAll;
+};
+
+class MetadataService {
+ public:
+  virtual ~MetadataService() = default;
+
+  virtual std::string name() const = 0;
+
+  // --- object operations ---------------------------------------------------
+
+  virtual OpResult CreateObject(const std::string& path, uint64_t size) = 0;
+  virtual OpResult DeleteObject(const std::string& path) = 0;
+  virtual OpResult StatObject(const std::string& path, StatInfo* out = nullptr) = 0;
+
+  // --- directory operations --------------------------------------------------
+
+  virtual OpResult StatDir(const std::string& path, StatInfo* out = nullptr) = 0;
+  virtual OpResult Mkdir(const std::string& path) = 0;
+  virtual OpResult Rmdir(const std::string& path) = 0;
+  virtual OpResult RenameDir(const std::string& src_path, const std::string& dst_path) = 0;
+  virtual OpResult ReadDir(const std::string& path, std::vector<std::string>* names) = 0;
+  virtual OpResult SetDirPermission(const std::string& path, uint32_t permission) = 0;
+
+  // --- paged listing (the COSS LIST API shape) ----------------------------------
+
+  struct ListPage {
+    std::vector<std::string> names;  // name-ordered child entries
+    bool truncated = false;          // more entries follow
+    std::string next_start_after;    // continuation token (last returned name)
+  };
+
+  // Lists up to `max_entries` children of `dir_path` with names strictly
+  // after `start_after`, in name order. The default implementation reads the
+  // whole directory and slices - correct for every system; Mantle overrides
+  // it with server-side paging.
+  virtual OpResult ListObjects(const std::string& dir_path, const std::string& start_after,
+                               size_t max_entries, ListPage* out) {
+    std::vector<std::string> names;
+    OpResult result = ReadDir(dir_path, &names);
+    if (!result.ok() || out == nullptr) {
+      return result;
+    }
+    std::sort(names.begin(), names.end());
+    out->names.clear();
+    out->truncated = false;
+    for (const auto& name : names) {
+      if (!start_after.empty() && name <= start_after) {
+        continue;
+      }
+      if (max_entries != 0 && out->names.size() == max_entries) {
+        out->truncated = true;
+        break;
+      }
+      out->names.push_back(name);
+    }
+    out->truncated = out->truncated && !out->names.empty();
+    out->next_start_after = out->names.empty() ? "" : out->names.back();
+    return result;
+  }
+
+  // --- path resolution only (Fig. 17-19 microbenches) --------------------------
+
+  // Resolves the parent directory of `path` (the first step of every
+  // metadata operation).
+  virtual OpResult Lookup(const std::string& path) = 0;
+
+  // --- bulk population (pre-serving; bypasses RPC latency) ---------------------
+
+  virtual Status BulkLoadDir(const std::string& path) = 0;
+  virtual Status BulkLoadObject(const std::string& path, uint64_t size) = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_CORE_METADATA_SERVICE_H_

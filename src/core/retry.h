@@ -1,0 +1,52 @@
+// Retry policy for transaction aborts and rename-lock conflicts.
+//
+// Proxies retry retriable failures (kAborted, kBusy) with capped exponential
+// backoff plus jitter - the behaviour whose cost explodes under shared-
+// directory contention in the DBtable architecture (paper §3.2).
+
+#ifndef SRC_CORE_RETRY_H_
+#define SRC_CORE_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace mantle {
+
+struct RetryOptions {
+  int max_attempts = 256;
+  int64_t base_backoff_nanos = 50'000;   // 50 us
+  int64_t max_backoff_nanos = 5'000'000; // 5 ms
+};
+
+// Runs `attempt()` until it returns a non-retriable status or attempts are
+// exhausted. `retries` (optional) receives the number of re-executions.
+template <typename Fn>
+Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries) {
+  thread_local Rng rng{0xfeedbeef};
+  Status status;
+  for (int attempt_index = 0; attempt_index < options.max_attempts; ++attempt_index) {
+    status = attempt();
+    if (!status.IsRetriable()) {
+      if (retries != nullptr) {
+        *retries = attempt_index;
+      }
+      return status;
+    }
+    const int shift = std::min(attempt_index, 6);
+    const int64_t ceiling =
+        std::min(options.base_backoff_nanos << shift, options.max_backoff_nanos);
+    PreciseSleep(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(ceiling)) + 1));
+  }
+  if (retries != nullptr) {
+    *retries = options.max_attempts;
+  }
+  return status;
+}
+
+}  // namespace mantle
+
+#endif  // SRC_CORE_RETRY_H_

@@ -1,0 +1,172 @@
+#include "src/index/command.h"
+
+#include <cstring>
+#include <vector>
+
+namespace mantle {
+
+namespace {
+
+void PutU64(std::string& out, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out.append(buf, 8);
+}
+
+void PutU32(std::string& out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out.append(buf, 4);
+}
+
+void PutString(std::string& out, const std::string& value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out.append(value);
+}
+
+bool GetU64(const std::string& in, size_t& pos, uint64_t& value) {
+  if (pos + 8 > in.size()) {
+    return false;
+  }
+  std::memcpy(&value, in.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+
+bool GetU32(const std::string& in, size_t& pos, uint32_t& value) {
+  if (pos + 4 > in.size()) {
+    return false;
+  }
+  std::memcpy(&value, in.data() + pos, 4);
+  pos += 4;
+  return true;
+}
+
+bool GetString(const std::string& in, size_t& pos, std::string& value) {
+  uint32_t length = 0;
+  if (!GetU32(in, pos, length) || pos + length > in.size()) {
+    return false;
+  }
+  value.assign(in.data() + pos, length);
+  pos += length;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeIndexCommand(const IndexCommand& command) {
+  std::string out;
+  out.reserve(64 + command.name.size() + command.dst_name.size() + command.inval_path.size());
+  out.push_back(static_cast<char>(command.type));
+  PutU64(out, command.pid);
+  PutString(out, command.name);
+  PutU64(out, command.id);
+  PutU32(out, command.permission);
+  PutU64(out, command.dst_pid);
+  PutString(out, command.dst_name);
+  PutU64(out, command.uuid);
+  PutString(out, command.inval_path);
+  return out;
+}
+
+Result<IndexCommand> DecodeIndexCommand(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("empty command");
+  }
+  IndexCommand command;
+  command.type = static_cast<IndexCommandType>(payload[0]);
+  size_t pos = 1;
+  uint64_t u64 = 0;
+  uint32_t u32 = 0;
+  if (!GetU64(payload, pos, u64)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  command.pid = u64;
+  if (!GetString(payload, pos, command.name)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  if (!GetU64(payload, pos, u64)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  command.id = u64;
+  if (!GetU32(payload, pos, u32)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  command.permission = u32;
+  if (!GetU64(payload, pos, u64)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  command.dst_pid = u64;
+  if (!GetString(payload, pos, command.dst_name)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  if (!GetU64(payload, pos, u64)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  command.uuid = u64;
+  if (!GetString(payload, pos, command.inval_path)) {
+    return Status::InvalidArgument("truncated command");
+  }
+  return command;
+}
+
+std::string EncodeIndexSnapshot(const std::vector<SnapshotEntry>& entries) {
+  std::string out;
+  out.reserve(24 * entries.size() + 8);
+  PutU64(out, entries.size());
+  for (const auto& entry : entries) {
+    PutU64(out, entry.pid);
+    PutString(out, entry.name);
+    PutU64(out, entry.id);
+    PutU32(out, entry.permission);
+  }
+  return out;
+}
+
+Result<std::vector<SnapshotEntry>> DecodeIndexSnapshot(const std::string& payload) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetU64(payload, pos, count)) {
+    return Status::InvalidArgument("truncated snapshot header");
+  }
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SnapshotEntry entry;
+    uint64_t u64 = 0;
+    uint32_t u32 = 0;
+    if (!GetU64(payload, pos, u64)) {
+      return Status::InvalidArgument("truncated snapshot entry");
+    }
+    entry.pid = u64;
+    if (!GetString(payload, pos, entry.name)) {
+      return Status::InvalidArgument("truncated snapshot entry");
+    }
+    if (!GetU64(payload, pos, u64)) {
+      return Status::InvalidArgument("truncated snapshot entry");
+    }
+    entry.id = u64;
+    if (!GetU32(payload, pos, u32)) {
+      return Status::InvalidArgument("truncated snapshot entry");
+    }
+    entry.permission = u32;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string EncodeApplyStatus(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeApplyStatus(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::Internal("empty apply result");
+  }
+  return Status(static_cast<StatusCode>(payload[0]), payload.substr(1));
+}
+
+}  // namespace mantle

@@ -1,0 +1,59 @@
+// Serialized commands replicated through the IndexNode Raft group.
+//
+// Mutations and their cache-invalidation paths travel together in one log
+// entry (paper §5.1.3: "operations requiring cache invalidation append the
+// full paths of affected directories to the Raft logs"), so every replica -
+// leader, follower, learner - invalidates its local TopDirPathCache at apply
+// time.
+
+#ifndef SRC_INDEX_COMMAND_H_
+#define SRC_INDEX_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+enum class IndexCommandType : uint8_t {
+  kAddDir = 1,         // insert (pid, name) -> (id, permission)
+  kRemoveDir = 2,      // remove (pid, name); inval_path purges the exact prefix
+  kRenameDir = 3,      // move (pid, name) -> (dst_pid, dst_name); inval_path = old subtree
+  kSetPermission = 4,  // update permission; inval_path = affected subtree
+};
+
+struct IndexCommand {
+  IndexCommandType type = IndexCommandType::kAddDir;
+  InodeId pid = 0;
+  std::string name;
+  InodeId id = 0;
+  uint32_t permission = kPermAll;
+  InodeId dst_pid = 0;
+  std::string dst_name;
+  uint64_t uuid = 0;  // rename-lock identity for release at apply
+  std::string inval_path;
+};
+
+std::string EncodeIndexCommand(const IndexCommand& command);
+Result<IndexCommand> DecodeIndexCommand(const std::string& payload);
+
+// Apply results travel back to the proposer as strings; encode a Status.
+std::string EncodeApplyStatus(const Status& status);
+Status DecodeApplyStatus(const std::string& payload);
+
+// Snapshot payloads: a length-prefixed sequence of directory entries.
+struct SnapshotEntry {
+  InodeId pid = 0;
+  std::string name;
+  InodeId id = 0;
+  uint32_t permission = kPermAll;
+};
+std::string EncodeIndexSnapshot(const std::vector<SnapshotEntry>& entries);
+Result<std::vector<SnapshotEntry>> DecodeIndexSnapshot(const std::string& payload);
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_COMMAND_H_

@@ -1,0 +1,333 @@
+#include "src/index/index_replica.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+
+namespace mantle {
+
+IndexReplica::IndexReplica(Network* network, IndexNodeOptions options)
+    : network_(network), options_(options), table_(options.root_id),
+      cache_(options.cache_max_entries) {
+  invalidator_ = std::make_unique<Invalidator>(&removal_list_, &prefix_tree_, &cache_,
+                                               options_.invalidator_interval_nanos,
+                                               options_.start_invalidator);
+}
+
+IndexReplica::~IndexReplica() = default;
+
+Result<IndexReplica::ResolveOutcome> IndexReplica::ResolveDir(
+    const std::vector<std::string>& components) {
+  return ResolveInternal(components, components.size(), components.size());
+}
+
+Result<IndexReplica::ResolveOutcome> IndexReplica::ResolveParent(
+    const std::vector<std::string>& components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("path has no parent");
+  }
+  return ResolveInternal(components, components.size() - 1, components.size());
+}
+
+Result<IndexReplica::ResolveOutcome> IndexReplica::ResolveInternal(
+    const std::vector<std::string>& components, size_t resolve_levels, size_t full_depth) {
+  int probes = 0;
+  bool cache_hit = false;
+  const std::string path = JoinPath(components);
+
+  // Step 1 (Fig. 7): consult RemovalList. Non-empty entries that prefix this
+  // path force a cache bypass so in-flight renames can't serve stale hits.
+  bool bypass_cache = !options_.enable_path_cache;
+  if (!bypass_cache && !removal_list_.Empty() && removal_list_.ContainsPrefixOf(path)) {
+    bypass_cache = true;
+  }
+  const uint64_t version_before = removal_list_.version();
+
+  // The cached prefix keeps `truncate_k` levels of distance from the leaf.
+  size_t prefix_len = 0;
+  if (!bypass_cache && full_depth > static_cast<size_t>(options_.truncate_k)) {
+    prefix_len = full_depth - static_cast<size_t>(options_.truncate_k);
+  }
+  prefix_len = std::min(prefix_len, resolve_levels);
+
+  InodeId current = options_.root_id;
+  uint32_t mask = kPermAll;
+  size_t start_level = 0;
+  std::string prefix;
+  if (prefix_len > 0) {
+    prefix = PathPrefix(components, prefix_len);
+    ++probes;  // hash probe into TopDirPathCache
+    if (auto hit = cache_.Lookup(prefix)) {
+      current = hit->dir_id;
+      mask &= hit->permission_mask;
+      start_level = prefix_len;
+      cache_hit = true;
+    }
+  }
+
+  // Step 3: level-by-level walk of the remaining components in IndexTable.
+  InodeId prefix_id = options_.root_id;
+  uint32_t prefix_mask = kPermAll;
+  InodeId parent = options_.root_id;
+  for (size_t level = start_level; level < resolve_levels; ++level) {
+    parent = current;
+    auto entry = table_.Lookup(current, components[level]);
+    ++probes;
+    if (!entry.has_value()) {
+      network_->ChargeMemIndexAccess(probes);
+      return Status::NotFound(PathPrefix(components, level + 1));
+    }
+    mask &= entry->permission;
+    if ((entry->permission & kPermTraverse) == 0) {
+      network_->ChargeMemIndexAccess(probes);
+      return Status::PermissionDenied(PathPrefix(components, level + 1));
+    }
+    current = entry->id;
+    if (level + 1 == prefix_len) {
+      prefix_id = current;
+      prefix_mask = mask;
+    }
+  }
+
+  // Cache fill: only when the prefix was walked from the table and
+  // RemovalList saw no concurrent modification (timestamp validation).
+  if (!bypass_cache && !cache_hit && prefix_len > 0 && start_level < prefix_len) {
+    if (removal_list_.version() == version_before) {
+      if (cache_.TryInsert(prefix, PathCacheEntry{prefix_id, prefix_mask})) {
+        prefix_tree_.Insert(prefix);
+      }
+    }
+  }
+
+  network_->ChargeMemIndexAccess(probes);
+  return ResolveOutcome{current, parent, mask, probes, cache_hit};
+}
+
+std::string IndexReplica::Apply(uint64_t index, const std::string& payload) {
+  auto decoded = DecodeIndexCommand(payload);
+  if (!decoded.ok()) {
+    return EncodeApplyStatus(decoded.status());
+  }
+  const IndexCommand& command = *decoded;
+  Status status;
+  switch (command.type) {
+    case IndexCommandType::kAddDir:
+      status = ApplyAddDir(command);
+      break;
+    case IndexCommandType::kRemoveDir:
+      status = ApplyRemoveDir(command);
+      break;
+    case IndexCommandType::kRenameDir:
+      status = ApplyRenameDir(command);
+      break;
+    case IndexCommandType::kSetPermission:
+      status = ApplySetPermission(command);
+      break;
+    default:
+      status = Status::InvalidArgument("unknown index command");
+      break;
+  }
+  return EncodeApplyStatus(status);
+}
+
+std::string IndexReplica::Snapshot() {
+  std::vector<SnapshotEntry> entries;
+  for (const auto& exported : table_.Export()) {
+    entries.push_back(SnapshotEntry{exported.pid, exported.name, exported.id,
+                                    exported.permission});
+  }
+  std::string encoded = EncodeIndexSnapshot(entries);
+  // An empty table still yields a non-empty header, keeping the machine
+  // snapshottable before any directory exists.
+  return encoded;
+}
+
+void IndexReplica::Restore(const std::string& snapshot) {
+  auto decoded = DecodeIndexSnapshot(snapshot);
+  if (!decoded.ok()) {
+    MANTLE_WLOG << "snapshot restore failed: " << decoded.status();
+    return;
+  }
+  table_.Reset();
+  // Insert parents before children: entries whose pid is not yet known are
+  // deferred until their parent lands (ids are only resolvable in order).
+  std::vector<SnapshotEntry> pending(decoded->begin(), decoded->end());
+  size_t last_size = pending.size() + 1;
+  while (!pending.empty() && pending.size() < last_size) {
+    last_size = pending.size();
+    std::vector<SnapshotEntry> deferred;
+    for (auto& entry : pending) {
+      if (!table_.Insert(entry.pid, entry.name, entry.id, entry.permission).ok()) {
+        deferred.push_back(std::move(entry));
+      }
+    }
+    pending = std::move(deferred);
+  }
+  if (!pending.empty()) {
+    MANTLE_WLOG << "snapshot restore left " << pending.size() << " orphan entries";
+  }
+  // Cached resolutions predate the restored state: drop them wholesale.
+  for (const std::string& prefix : prefix_tree_.RemoveSubtree("/")) {
+    cache_.Erase(prefix);
+  }
+}
+
+Status IndexReplica::ApplyAddDir(const IndexCommand& command) {
+  return table_.Insert(command.pid, command.name, command.id, command.permission);
+}
+
+Status IndexReplica::ApplyRemoveDir(const IndexCommand& command) {
+  Status status = table_.Remove(command.pid, command.name);
+  // rmdir needs no RemovalList round trip (paper §5.1.2): an empty directory
+  // has no cached descendants. We still drop the exact prefix so a future
+  // same-name mkdir can't inherit a stale id mapping.
+  if (!command.inval_path.empty()) {
+    cache_.Erase(command.inval_path);
+    prefix_tree_.Remove(command.inval_path);
+  }
+  return status;
+}
+
+Status IndexReplica::ApplyRenameDir(const IndexCommand& command) {
+  Status status =
+      table_.Rename(command.pid, command.name, command.dst_pid, command.dst_name);
+  bool leader_initiated = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_renames_.find(command.uuid);
+    if (it != pending_renames_.end()) {
+      // This replica ran RenamePrepare: its RemovalList already carries the
+      // entry; completing it lets the Invalidator retire it after the purge.
+      removal_list_.MarkDone(it->second);
+      pending_renames_.erase(it);
+      leader_initiated = true;
+    }
+  }
+  if (!leader_initiated && !command.inval_path.empty()) {
+    // Followers/learners learn the invalidation from the log itself.
+    QueueInvalidation(command.inval_path);
+  }
+  return status;
+}
+
+Status IndexReplica::ApplySetPermission(const IndexCommand& command) {
+  Status status = table_.SetPermission(command.pid, command.name, command.permission);
+  if (!command.inval_path.empty()) {
+    QueueInvalidation(command.inval_path);
+  }
+  return status;
+}
+
+void IndexReplica::QueueInvalidation(const std::string& path) {
+  RemovalList::Token token = removal_list_.Insert(path);
+  removal_list_.MarkDone(token);
+}
+
+Result<IndexReplica::RenamePrepared> IndexReplica::RenamePrepare(
+    const std::vector<std::string>& src_components,
+    const std::vector<std::string>& dst_parent_components, const std::string& dst_name,
+    uint64_t uuid) {
+  if (src_components.empty()) {
+    return Status::InvalidArgument("cannot rename the root");
+  }
+  if (uuid == 0 || dst_name.empty()) {
+    return Status::InvalidArgument("rename requires a nonzero uuid and a destination name");
+  }
+  // Resolve the source's parent, then the source itself.
+  auto src_parent = ResolveParent(src_components);
+  if (!src_parent.ok()) {
+    return src_parent.status();
+  }
+  const InodeId src_pid = src_parent->dir_id;
+  auto src_entry = table_.Lookup(src_pid, src_components.back());
+  network_->ChargeMemIndexAccess(1);
+  if (!src_entry.has_value()) {
+    return Status::NotFound(JoinPath(src_components));
+  }
+  const InodeId src_id = src_entry->id;
+
+  auto dst_parent = ResolveDir(dst_parent_components);
+  if (!dst_parent.ok()) {
+    return dst_parent.status();
+  }
+  const InodeId dst_pid = dst_parent->dir_id;
+  if (table_.Lookup(dst_pid, dst_name).has_value()) {
+    return Status::AlreadyExists(dst_name);
+  }
+
+  // Step 4 (Fig. 9): shield the subtree from stale cache hits.
+  std::string src_path = JoinPath(src_components);
+  RemovalList::Token token = removal_list_.Insert(src_path);
+
+  // Step 5: lock the source via its lock bit. Same-uuid reacquisition is the
+  // proxy-failover path (§5.3).
+  if (!table_.TryLockDir(src_id, uuid)) {
+    removal_list_.MarkDone(token);
+    return Status::Busy("rename lock held on " + src_path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_renames_[uuid] = token;
+  }
+
+  auto release = [this, src_id, uuid, token]() {
+    table_.UnlockDir(src_id, uuid);
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_renames_.find(uuid);
+    if (it != pending_renames_.end()) {
+      removal_list_.MarkDone(it->second);
+      pending_renames_.erase(it);
+    }
+  };
+
+  // Loop detection: the destination parent must not live under the source.
+  if (table_.IsSelfOrAncestor(src_id, dst_pid)) {
+    release();
+    return Status::LoopDetected(JoinPath(dst_parent_components) + " is under " + src_path);
+  }
+
+  // Step 6: examine lock bits from the least common ancestor of src and dst
+  // down to the destination. A foreign lock there means a concurrent rename
+  // could invalidate our loop check - abort and retry.
+  const auto src_chain = table_.AncestorChain(src_id);
+  std::unordered_set<InodeId> src_ancestors(src_chain.begin(), src_chain.end());
+  const auto dst_chain = table_.AncestorChain(dst_pid);
+  // Ancestor hops are parent-pointer dereferences, far cheaper than the
+  // hashed IndexTable probes of resolution: charge them at quarter weight.
+  network_->ChargeService(static_cast<int64_t>(src_chain.size() + dst_chain.size()) *
+                          network_->options().mem_index_access_nanos / 4);
+  for (InodeId ancestor : dst_chain) {
+    if (src_ancestors.contains(ancestor)) {
+      break;  // reached the LCA; locks above it cannot move dst relative to src
+    }
+    const uint64_t owner = table_.LockOwner(ancestor);
+    if (owner != 0 && owner != uuid) {
+      release();
+      return Status::Busy("conflicting rename on ancestor of destination");
+    }
+  }
+
+  return RenamePrepared{src_pid, src_id, dst_pid, std::move(src_path)};
+}
+
+void IndexReplica::RenameAbort(InodeId src_id, uint64_t uuid) {
+  table_.UnlockDir(src_id, uuid);
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  auto it = pending_renames_.find(uuid);
+  if (it != pending_renames_.end()) {
+    removal_list_.MarkDone(it->second);
+    pending_renames_.erase(it);
+  }
+}
+
+void IndexReplica::LoadDir(InodeId pid, const std::string& name, InodeId id,
+                           uint32_t permission) {
+  Status status = table_.Insert(pid, name, id, permission);
+  if (!status.ok()) {
+    MANTLE_WLOG << "LoadDir failed for " << name << ": " << status;
+  }
+}
+
+}  // namespace mantle

@@ -1,0 +1,128 @@
+// IndexReplica: one replica of the per-namespace IndexNode.
+//
+// Combines the paper's Fig. 6 data structures - IndexTable, TopDirPathCache,
+// PrefixTree, RemovalList - with the Invalidator thread and the Raft state
+// machine that keeps every replica's structures identical. The leader replica
+// additionally coordinates cross-directory renames (lock bits + loop
+// detection, §5.2.2).
+
+#ifndef SRC_INDEX_INDEX_REPLICA_H_
+#define SRC_INDEX_INDEX_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/index/command.h"
+#include "src/index/index_table.h"
+#include "src/index/invalidator.h"
+#include "src/index/prefix_tree.h"
+#include "src/index/removal_list.h"
+#include "src/index/top_dir_path_cache.h"
+#include "src/net/network.h"
+#include "src/raft/state_machine.h"
+
+namespace mantle {
+
+struct IndexNodeOptions {
+  // Inode id of this namespace's root (namespaces sharing a TafDB use
+  // disjoint id spaces, paper §7).
+  InodeId root_id = kRootId;
+  // Levels truncated from the leaf before consulting TopDirPathCache; the
+  // paper settles on k = 3 (Fig. 18).
+  int truncate_k = 3;
+  bool enable_path_cache = true;
+  size_t cache_max_entries = 0;  // 0 = unlimited
+  int64_t invalidator_interval_nanos = 1'000'000;  // 1 ms
+  bool start_invalidator = true;
+};
+
+class IndexReplica final : public StateMachine {
+ public:
+  IndexReplica(Network* network, IndexNodeOptions options);
+  ~IndexReplica() override;
+
+  // --- Raft state machine ------------------------------------------------------
+  std::string Apply(uint64_t index, const std::string& command) override;
+  std::string Snapshot() override;
+  void Restore(const std::string& snapshot) override;
+
+  // --- path resolution (runs on the replica's server executor) ----------------
+
+  struct ResolveOutcome {
+    InodeId dir_id = kRootId;      // directory the requested levels resolve to
+    InodeId parent_id = kRootId;   // directory one level above dir_id (valid
+                                   // whenever at least one level was walked)
+    uint32_t perm_mask = kPermAll; // AND of permissions along the path
+    int table_probes = 0;          // IndexTable levels walked
+    bool cache_hit = false;
+  };
+
+  // Resolves all components as directories.
+  Result<ResolveOutcome> ResolveDir(const std::vector<std::string>& components);
+  // Resolves all but the final component (the leaf may be an object, which
+  // lives only in TafDB); returns the parent directory.
+  Result<ResolveOutcome> ResolveParent(const std::vector<std::string>& components);
+
+  // --- rename coordination (leader replica; single RPC, paper Fig. 9) ---------
+
+  struct RenamePrepared {
+    InodeId src_pid = 0;
+    InodeId src_id = 0;
+    InodeId dst_pid = 0;
+    std::string src_path;  // full source path (RemovalList entry)
+  };
+  // Resolves both paths, registers the source in RemovalList, takes the
+  // rename lock bit, and runs loop detection - all leader-local.
+  Result<RenamePrepared> RenamePrepare(const std::vector<std::string>& src_components,
+                                       const std::vector<std::string>& dst_parent_components,
+                                       const std::string& dst_name, uint64_t uuid);
+  // Abandons a prepared rename (txn aborted): releases the lock and lets the
+  // Invalidator retire the RemovalList entry.
+  void RenameAbort(InodeId src_id, uint64_t uuid);
+
+  // --- bulk loading (pre-serving; applied identically to every replica) -------
+  void LoadDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
+
+  // --- introspection ------------------------------------------------------------
+  IndexTable& table() { return table_; }
+  TopDirPathCache& cache() { return cache_; }
+  RemovalList& removal_list() { return removal_list_; }
+  PrefixTree& prefix_tree() { return prefix_tree_; }
+  Invalidator& invalidator() { return *invalidator_; }
+  const IndexNodeOptions& options() const { return options_; }
+
+ private:
+  Result<ResolveOutcome> ResolveInternal(const std::vector<std::string>& components,
+                                         size_t resolve_levels, size_t full_depth);
+
+  Status ApplyAddDir(const IndexCommand& command);
+  Status ApplyRemoveDir(const IndexCommand& command);
+  Status ApplyRenameDir(const IndexCommand& command);
+  Status ApplySetPermission(const IndexCommand& command);
+
+  // Queues `path`'s subtree for invalidation; entry is already "done" because
+  // the mutation has committed by apply time.
+  void QueueInvalidation(const std::string& path);
+
+  Network* network_;
+  IndexNodeOptions options_;
+  IndexTable table_;
+  TopDirPathCache cache_;
+  PrefixTree prefix_tree_;
+  RemovalList removal_list_;
+  std::unique_ptr<Invalidator> invalidator_;
+
+  // Leader-side in-flight renames: uuid -> RemovalList token, so the apply
+  // path can mark the right entry done.
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, RemovalList::Token> pending_renames_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_INDEX_REPLICA_H_

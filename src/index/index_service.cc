@@ -1,0 +1,156 @@
+#include "src/index/index_service.h"
+
+namespace mantle {
+
+IndexService::IndexService(Network* network, const std::string& name, IndexServiceOptions options)
+    : network_(network), options_(options) {
+  const uint32_t total = options_.num_voters + options_.num_learners;
+  replicas_.resize(total, nullptr);
+  group_ = std::make_unique<RaftGroup>(
+      network_, name, options_.num_voters, options_.num_learners,
+      [this](uint32_t id) -> std::unique_ptr<StateMachine> {
+        auto replica = std::make_unique<IndexReplica>(network_, options_.node);
+        replicas_[id] = replica.get();
+        return replica;
+      },
+      options_.raft);
+}
+
+RaftNode* IndexService::PickReadReplica() {
+  RaftNode* leader = group_->WaitForLeader();
+  if (!options_.follower_read) {
+    return leader;
+  }
+  // Leader-first: only offload once the leader's executor is backlogged.
+  // A zero threshold means no leader preference at all.
+  if (options_.offload_queue_threshold > 0 && leader != nullptr &&
+      leader->server()->queue_depth() < options_.offload_queue_threshold) {
+    return leader;
+  }
+  const uint32_t total = group_->num_nodes();
+  for (uint32_t attempt = 0; attempt < total; ++attempt) {
+    const uint32_t id =
+        static_cast<uint32_t>(read_rr_.fetch_add(1, std::memory_order_relaxed) % total);
+    RaftNode* node = group_->node(id);
+    if (!node->IsDown()) {
+      return node;
+    }
+  }
+  return leader;
+}
+
+Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
+    const std::vector<std::string>& components, bool parent_only) {
+  RaftNode* node = PickReadReplica();
+  if (node == nullptr) {
+    return Status::Unavailable("indexnode has no live replica");
+  }
+  IndexReplica* replica = replicas_[node->id()];
+  return node->server()->Call([node, replica, &components,
+                               parent_only]() -> Result<IndexReplica::ResolveOutcome> {
+    if (node->role() != RaftRole::kLeader) {
+      // Follower read: fence on the leader's commit index so the local state
+      // is at least as fresh as any write acknowledged before this lookup.
+      auto fence = node->FollowerReadFence();
+      if (!fence.ok()) {
+        return fence.status();
+      }
+    }
+    return parent_only ? replica->ResolveParent(components) : replica->ResolveDir(components);
+  });
+}
+
+Status IndexService::ProposeCommand(const IndexCommand& command) {
+  auto result = group_->Propose(EncodeIndexCommand(command));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return DecodeApplyStatus(*result);
+}
+
+Status IndexService::AddDir(InodeId pid, const std::string& name, InodeId id,
+                            uint32_t permission) {
+  IndexCommand command;
+  command.type = IndexCommandType::kAddDir;
+  command.pid = pid;
+  command.name = name;
+  command.id = id;
+  command.permission = permission;
+  return ProposeCommand(command);
+}
+
+Status IndexService::RemoveDir(InodeId pid, const std::string& name,
+                               const std::string& full_path) {
+  IndexCommand command;
+  command.type = IndexCommandType::kRemoveDir;
+  command.pid = pid;
+  command.name = name;
+  command.inval_path = full_path;
+  return ProposeCommand(command);
+}
+
+Status IndexService::RenameCommit(InodeId src_pid, const std::string& src_name, InodeId dst_pid,
+                                  const std::string& dst_name, uint64_t uuid,
+                                  const std::string& inval_path) {
+  IndexCommand command;
+  command.type = IndexCommandType::kRenameDir;
+  command.pid = src_pid;
+  command.name = src_name;
+  command.dst_pid = dst_pid;
+  command.dst_name = dst_name;
+  command.uuid = uuid;
+  command.inval_path = inval_path;
+  return ProposeCommand(command);
+}
+
+Status IndexService::SetPermission(InodeId pid, const std::string& name, uint32_t permission,
+                                   const std::string& inval_path) {
+  IndexCommand command;
+  command.type = IndexCommandType::kSetPermission;
+  command.pid = pid;
+  command.name = name;
+  command.permission = permission;
+  command.inval_path = inval_path;
+  return ProposeCommand(command);
+}
+
+Result<IndexReplica::RenamePrepared> IndexService::RenamePrepare(
+    const std::vector<std::string>& src_components,
+    const std::vector<std::string>& dst_parent_components, const std::string& dst_name,
+    uint64_t uuid) {
+  RaftNode* node = group_->WaitForLeader();
+  if (node == nullptr) {
+    return Status::Unavailable("indexnode has no leader");
+  }
+  IndexReplica* replica = replicas_[node->id()];
+  return node->server()->Call([replica, &src_components, &dst_parent_components, &dst_name,
+                               uuid]() {
+    return replica->RenamePrepare(src_components, dst_parent_components, dst_name, uuid);
+  });
+}
+
+void IndexService::RenameAbort(InodeId src_id, uint64_t uuid) {
+  RaftNode* node = group_->WaitForLeader();
+  if (node == nullptr) {
+    return;
+  }
+  IndexReplica* replica = replicas_[node->id()];
+  node->server()->Call([replica, src_id, uuid]() {
+    replica->RenameAbort(src_id, uuid);
+    return 0;
+  });
+}
+
+void IndexService::LoadDir(InodeId pid, const std::string& name, InodeId id,
+                           uint32_t permission) {
+  for (IndexReplica* replica : replicas_) {
+    replica->LoadDir(pid, name, id, permission);
+  }
+}
+
+IndexReplica* IndexService::LeaderReplica() {
+  RaftNode* node = group_->WaitForLeader();
+  return node == nullptr ? nullptr : replicas_[node->id()];
+}
+
+}  // namespace mantle

@@ -1,0 +1,101 @@
+// IndexService: the per-namespace IndexNode as a replicated service.
+//
+// Wraps a Raft group whose state machines are IndexReplicas and provides the
+// operations the Mantle proxy uses:
+//   * single-RPC path lookups, optionally load-balanced across followers and
+//     learners behind a ReadIndex fence (paper §5.1.3);
+//   * replicated directory mutations (add/remove/rename/setperm), each log
+//     entry carrying its cache-invalidation path;
+//   * leader-coordinated rename prepare/abort (lock bits + loop detection).
+
+#ifndef SRC_INDEX_INDEX_SERVICE_H_
+#define SRC_INDEX_INDEX_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/index/index_replica.h"
+#include "src/raft/group.h"
+
+namespace mantle {
+
+struct IndexServiceOptions {
+  uint32_t num_voters = 3;
+  uint32_t num_learners = 0;
+  // Serve lookups from followers/learners (with ReadIndex fences) when the
+  // leader is under heavy load (paper §5.1.3: "we offload path resolution
+  // requests to idle IndexNode followers when the leader node is under heavy
+  // load").
+  bool follower_read = false;
+  // Leader executor queue depth at which lookups offload to replicas. Zero
+  // disables the leader-first preference entirely (pure round-robin; used by
+  // tests and aggressive-offload experiments).
+  size_t offload_queue_threshold = 2;
+  RaftOptions raft;
+  IndexNodeOptions node;
+};
+
+class IndexService {
+ public:
+  IndexService(Network* network, const std::string& name, IndexServiceOptions options);
+
+  IndexService(const IndexService&) = delete;
+  IndexService& operator=(const IndexService&) = delete;
+
+  // Elects the initial leader; call before serving.
+  void Start() { group_->Start(); }
+
+  // --- lookups (one RPC to the chosen replica) --------------------------------
+
+  Result<IndexReplica::ResolveOutcome> LookupDir(const std::vector<std::string>& components) {
+    return Resolve(components, /*parent_only=*/false);
+  }
+  Result<IndexReplica::ResolveOutcome> LookupParent(const std::vector<std::string>& components) {
+    return Resolve(components, /*parent_only=*/true);
+  }
+
+  // --- replicated mutations ------------------------------------------------------
+
+  Status AddDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
+  Status RemoveDir(InodeId pid, const std::string& name, const std::string& full_path);
+  Status RenameCommit(InodeId src_pid, const std::string& src_name, InodeId dst_pid,
+                      const std::string& dst_name, uint64_t uuid, const std::string& inval_path);
+  Status SetPermission(InodeId pid, const std::string& name, uint32_t permission,
+                       const std::string& inval_path);
+
+  // --- rename coordination (leader-local, one RPC) -----------------------------
+
+  Result<IndexReplica::RenamePrepared> RenamePrepare(
+      const std::vector<std::string>& src_components,
+      const std::vector<std::string>& dst_parent_components, const std::string& dst_name,
+      uint64_t uuid);
+  void RenameAbort(InodeId src_id, uint64_t uuid);
+
+  // --- bulk loading (applies to every replica; pre-serving only) ----------------
+  void LoadDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
+
+  // --- introspection --------------------------------------------------------------
+  RaftGroup* group() { return group_.get(); }
+  IndexReplica* replica(uint32_t id) { return replicas_[id]; }
+  uint32_t num_replicas() const { return group_->num_nodes(); }
+  IndexReplica* LeaderReplica();
+  const IndexServiceOptions& options() const { return options_; }
+
+ private:
+  Result<IndexReplica::ResolveOutcome> Resolve(const std::vector<std::string>& components,
+                                               bool parent_only);
+  Status ProposeCommand(const IndexCommand& command);
+  RaftNode* PickReadReplica();
+
+  Network* network_;
+  IndexServiceOptions options_;
+  std::vector<IndexReplica*> replicas_;
+  std::unique_ptr<RaftGroup> group_;
+  std::atomic<uint64_t> read_rr_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_INDEX_SERVICE_H_

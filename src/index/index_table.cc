@@ -1,0 +1,193 @@
+#include "src/index/index_table.h"
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+IndexTable::IndexTable(InodeId root_id) : root_id_(root_id) {
+  // The root is implicit: it has no parent entry. Seed the reverse map so
+  // PathOf/IsSelfOrAncestor terminate at it.
+  by_id_[root_id_] = ReverseEntry{kNoParent, "", kPermAll};
+}
+
+std::optional<IndexEntry> IndexTable::Lookup(InodeId pid, const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(PairKey{pid, name});
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<IndexTable::ParentLink> IndexTable::GetParent(InodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end() || id == root_id_) {
+    return std::nullopt;
+  }
+  return ParentLink{it->second.pid, it->second.name, it->second.permission};
+}
+
+std::optional<std::string> IndexTable::PathOf(InodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> reversed;
+  InodeId current = id;
+  while (current != root_id_) {
+    auto it = by_id_.find(current);
+    if (it == by_id_.end()) {
+      return std::nullopt;
+    }
+    reversed.push_back(it->second.name);
+    current = it->second.pid;
+  }
+  std::vector<std::string> components(reversed.rbegin(), reversed.rend());
+  return JoinPath(components);
+}
+
+bool IndexTable::IsSelfOrAncestor(InodeId ancestor, InodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  InodeId current = id;
+  for (;;) {
+    if (current == ancestor) {
+      return true;
+    }
+    if (current == root_id_) {
+      return false;
+    }
+    auto it = by_id_.find(current);
+    if (it == by_id_.end()) {
+      return false;
+    }
+    current = it->second.pid;
+  }
+}
+
+std::vector<InodeId> IndexTable::AncestorChain(InodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<InodeId> chain;
+  InodeId current = id;
+  for (;;) {
+    chain.push_back(current);
+    if (current == root_id_) {
+      break;
+    }
+    auto it = by_id_.find(current);
+    if (it == by_id_.end()) {
+      break;
+    }
+    current = it->second.pid;
+  }
+  return chain;
+}
+
+size_t IndexTable::Size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<IndexTable::ExportedEntry> IndexTable::Export() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(ExportedEntry{key.pid, key.name, entry.id, entry.permission});
+  }
+  return out;
+}
+
+void IndexTable::Reset() {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    entries_.clear();
+    by_id_.clear();
+    by_id_[root_id_] = ReverseEntry{kNoParent, "", kPermAll};
+  }
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  rename_locks_.clear();
+}
+
+Status IndexTable::Insert(InodeId pid, const std::string& name, InodeId id, uint32_t permission) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(PairKey{pid, name}, IndexEntry{id, permission});
+  if (!inserted) {
+    return Status::AlreadyExists(name);
+  }
+  by_id_[id] = ReverseEntry{pid, name, permission};
+  return Status::Ok();
+}
+
+Status IndexTable::Remove(InodeId pid, const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(PairKey{pid, name});
+  if (it == entries_.end()) {
+    return Status::NotFound(name);
+  }
+  const InodeId id = it->second.id;
+  entries_.erase(it);
+  by_id_.erase(id);
+  lock.unlock();
+  ClearLock(id);
+  return Status::Ok();
+}
+
+Status IndexTable::Rename(InodeId src_pid, const std::string& src_name, InodeId dst_pid,
+                          const std::string& dst_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto src = entries_.find(PairKey{src_pid, src_name});
+  if (src == entries_.end()) {
+    return Status::NotFound(src_name);
+  }
+  if (entries_.find(PairKey{dst_pid, dst_name}) != entries_.end()) {
+    return Status::AlreadyExists(dst_name);
+  }
+  const IndexEntry moved = src->second;
+  entries_.erase(src);
+  entries_[PairKey{dst_pid, dst_name}] = moved;
+  by_id_[moved.id] = ReverseEntry{dst_pid, dst_name, moved.permission};
+  lock.unlock();
+  ClearLock(moved.id);
+  return Status::Ok();
+}
+
+Status IndexTable::SetPermission(InodeId pid, const std::string& name, uint32_t permission) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(PairKey{pid, name});
+  if (it == entries_.end()) {
+    return Status::NotFound(name);
+  }
+  it->second.permission = permission;
+  by_id_[it->second.id].permission = permission;
+  return Status::Ok();
+}
+
+bool IndexTable::TryLockDir(InodeId id, uint64_t uuid) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto [it, inserted] = rename_locks_.try_emplace(id, uuid);
+  return inserted || it->second == uuid;
+}
+
+bool IndexTable::IsLocked(InodeId id) const {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  return rename_locks_.find(id) != rename_locks_.end();
+}
+
+uint64_t IndexTable::LockOwner(InodeId id) const {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto it = rename_locks_.find(id);
+  return it == rename_locks_.end() ? 0 : it->second;
+}
+
+void IndexTable::UnlockDir(InodeId id, uint64_t uuid) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto it = rename_locks_.find(id);
+  if (it != rename_locks_.end() && it->second == uuid) {
+    rename_locks_.erase(it);
+  }
+}
+
+void IndexTable::ClearLock(InodeId id) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  rename_locks_.erase(id);
+}
+
+}  // namespace mantle

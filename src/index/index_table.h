@@ -1,0 +1,126 @@
+// IndexTable: the per-namespace directory access-metadata index (Fig. 6).
+//
+// Holds one ~80-byte entry per directory: (pid, dirname) -> (id, permission)
+// plus a reverse map id -> (pid, dirname) for ancestor walks (rename loop
+// detection) and full-path reconstruction. Objects are NOT indexed here;
+// object rows live only in TafDB - that is the paper's fine-grained metadata
+// division.
+//
+// Concurrency: lookups take a shared lock; mutations take an exclusive lock.
+// Mutations arrive solely from the Raft apply thread (single writer), so
+// writer-writer contention is structurally absent and readers stay wait-free
+// in practice. The rename lock bits are a separate leader-local map because
+// they are transient coordination state, not replicated metadata.
+
+#ifndef SRC_INDEX_INDEX_TABLE_H_
+#define SRC_INDEX_INDEX_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+struct IndexEntry {
+  InodeId id = 0;
+  uint32_t permission = kPermAll;
+};
+
+class IndexTable {
+ public:
+  // `root_id` is the namespace root's inode id; namespaces sharing one TafDB
+  // use disjoint id spaces with distinct roots (paper §7).
+  explicit IndexTable(InodeId root_id = kRootId);
+
+  InodeId root_id() const { return root_id_; }
+
+  // --- lookups (shared lock) --------------------------------------------------
+
+  std::optional<IndexEntry> Lookup(InodeId pid, const std::string& name) const;
+  // Reverse lookup: parent id + name + permission of directory `id`.
+  struct ParentLink {
+    InodeId pid = 0;
+    std::string name;
+    uint32_t permission = kPermAll;
+  };
+  std::optional<ParentLink> GetParent(InodeId id) const;
+  // Reconstructs the absolute path of directory `id` ("/" for the root);
+  // nullopt if the id is unknown.
+  std::optional<std::string> PathOf(InodeId id) const;
+  // True if `ancestor` appears on the parent chain of `id` (inclusive).
+  bool IsSelfOrAncestor(InodeId ancestor, InodeId id) const;
+  // Ids on the chain from `id` up to (and including) the root.
+  std::vector<InodeId> AncestorChain(InodeId id) const;
+
+  size_t Size() const;
+
+  // Snapshot support: every entry as (pid, name, id, permission).
+  struct ExportedEntry {
+    InodeId pid;
+    std::string name;
+    InodeId id;
+    uint32_t permission;
+  };
+  std::vector<ExportedEntry> Export() const;
+  // Clears all entries (and rename locks) back to the bare root.
+  void Reset();
+
+  // --- mutations (exclusive lock; Raft apply thread only) ----------------------
+
+  Status Insert(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
+  Status Remove(InodeId pid, const std::string& name);
+  Status Rename(InodeId src_pid, const std::string& src_name, InodeId dst_pid,
+                const std::string& dst_name);
+  Status SetPermission(InodeId pid, const std::string& name, uint32_t permission);
+
+  // --- rename lock bits (leader-local, keyed by directory id) ------------------
+
+  // Locks `id` for a rename identified by `uuid`. Re-acquisition with the same
+  // uuid succeeds (proxy-failover idempotence, paper §5.3).
+  bool TryLockDir(InodeId id, uint64_t uuid);
+  bool IsLocked(InodeId id) const;
+  // Lock holder's uuid, or 0.
+  uint64_t LockOwner(InodeId id) const;
+  void UnlockDir(InodeId id, uint64_t uuid);
+  // Releases whatever lock `id` holds (invoked when the entry is removed or
+  // renamed away - "the rename lock is automatically released when the access
+  // metadata of the source directory is deleted").
+  void ClearLock(InodeId id);
+
+ private:
+  struct PairKey {
+    InodeId pid;
+    std::string name;
+    bool operator==(const PairKey& other) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& key) const {
+      return std::hash<uint64_t>()(key.pid) * 1315423911u ^ std::hash<std::string>()(key.name);
+    }
+  };
+
+  struct ReverseEntry {
+    InodeId pid;
+    std::string name;
+    uint32_t permission;
+  };
+
+  const InodeId root_id_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<PairKey, IndexEntry, PairKeyHash> entries_;
+  std::unordered_map<InodeId, ReverseEntry> by_id_;
+
+  mutable std::mutex lock_mu_;
+  std::unordered_map<InodeId, uint64_t> rename_locks_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_INDEX_TABLE_H_

@@ -1,0 +1,53 @@
+#include "src/index/invalidator.h"
+
+#include <chrono>
+
+namespace mantle {
+
+Invalidator::Invalidator(RemovalList* removal_list, PrefixTree* prefix_tree,
+                         TopDirPathCache* cache, int64_t interval_nanos, bool start_thread)
+    : removal_list_(removal_list),
+      prefix_tree_(prefix_tree),
+      cache_(cache),
+      interval_nanos_(interval_nanos) {
+  if (start_thread) {
+    thread_ = std::thread([this]() { Loop(); });
+  }
+}
+
+Invalidator::~Invalidator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+size_t Invalidator::RunPassNow() {
+  const size_t purged = removal_list_->RunMaintenancePass([this](const std::string& path) {
+    for (const std::string& prefix : prefix_tree_->RemoveSubtree(path)) {
+      cache_->Erase(prefix);
+      prefixes_invalidated_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  return purged;
+}
+
+void Invalidator::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::nanoseconds(interval_nanos_));
+    if (stopping_) {
+      return;
+    }
+    lock.unlock();
+    RunPassNow();
+    lock.lock();
+  }
+}
+
+}  // namespace mantle

@@ -1,0 +1,61 @@
+// Invalidator: the background cache-coherence mechanism (paper §5.1.2).
+//
+// A single thread periodically drains RemovalList: for every live entry it
+// removes the entry's subtree from the PrefixTree, erases the collected
+// prefixes from TopDirPathCache, and - once the originating modification has
+// finished - retires the entry. Running invalidation off the lookup path is
+// what keeps lookups non-blocking under heavy directory-modification load.
+
+#ifndef SRC_INDEX_INVALIDATOR_H_
+#define SRC_INDEX_INVALIDATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/index/prefix_tree.h"
+#include "src/index/removal_list.h"
+#include "src/index/top_dir_path_cache.h"
+
+namespace mantle {
+
+class Invalidator {
+ public:
+  Invalidator(RemovalList* removal_list, PrefixTree* prefix_tree, TopDirPathCache* cache,
+              int64_t interval_nanos, bool start_thread);
+  ~Invalidator();
+
+  Invalidator(const Invalidator&) = delete;
+  Invalidator& operator=(const Invalidator&) = delete;
+
+  // One synchronous maintenance pass (tests and deterministic drains).
+  // Returns the number of RemovalList entries whose subtrees were purged.
+  size_t RunPassNow();
+
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  uint64_t prefixes_invalidated() const {
+    return prefixes_invalidated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  RemovalList* removal_list_;
+  PrefixTree* prefix_tree_;
+  TopDirPathCache* cache_;
+  int64_t interval_nanos_;
+
+  std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> prefixes_invalidated_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_INVALIDATOR_H_

@@ -1,0 +1,130 @@
+#include "src/index/prefix_tree.h"
+
+#include <mutex>
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+PrefixTree::PrefixTree() : root_(std::make_unique<TreeNode>()) {}
+
+void PrefixTree::Insert(std::string_view path) {
+  const auto components = SplitPath(path);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TreeNode* node = root_.get();
+  for (const auto& component : components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      it = node->children.emplace(component, std::make_unique<TreeNode>()).first;
+    }
+    node = it->second.get();
+  }
+  if (!node->terminal) {
+    node->terminal = true;
+    ++size_;
+  }
+}
+
+bool PrefixTree::Contains(std::string_view path) const {
+  const auto components = SplitPath(path);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const TreeNode* node = root_.get();
+  for (const auto& component : components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return false;
+    }
+    node = it->second.get();
+  }
+  return node->terminal;
+}
+
+void PrefixTree::Collect(const TreeNode& node, std::string& scratch,
+                         std::vector<std::string>& out) {
+  if (node.terminal) {
+    out.push_back(scratch.empty() ? "/" : scratch);
+  }
+  for (const auto& [name, child] : node.children) {
+    const size_t mark = scratch.size();
+    scratch += '/';
+    scratch += name;
+    Collect(*child, scratch, out);
+    scratch.resize(mark);
+  }
+}
+
+std::vector<std::string> PrefixTree::RemoveSubtree(std::string_view path) {
+  const auto components = SplitPath(path);
+  std::vector<std::string> removed;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TreeNode* parent = nullptr;
+  TreeNode* node = root_.get();
+  const std::string* link_name = nullptr;
+  for (const auto& component : components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return removed;
+    }
+    parent = node;
+    link_name = &it->first;
+    node = it->second.get();
+  }
+  std::string scratch = PathPrefix(components, components.size());
+  if (scratch == "/") {
+    scratch.clear();
+  }
+  Collect(*node, scratch, removed);
+  size_ -= removed.size();
+  if (parent != nullptr) {
+    parent->children.erase(*link_name);
+  } else {
+    // Removing the root subtree clears everything.
+    root_ = std::make_unique<TreeNode>();
+    size_ = 0;
+  }
+  return removed;
+}
+
+std::vector<std::string> PrefixTree::CollectSubtree(std::string_view path) const {
+  const auto components = SplitPath(path);
+  std::vector<std::string> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const TreeNode* node = root_.get();
+  for (const auto& component : components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return out;
+    }
+    node = it->second.get();
+  }
+  std::string scratch = PathPrefix(components, components.size());
+  if (scratch == "/") {
+    scratch.clear();
+  }
+  Collect(*node, scratch, out);
+  return out;
+}
+
+void PrefixTree::Remove(std::string_view path) {
+  const auto components = SplitPath(path);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TreeNode* node = root_.get();
+  for (const auto& component : components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return;
+    }
+    node = it->second.get();
+  }
+  if (node->terminal) {
+    node->terminal = false;
+    --size_;
+  }
+}
+
+size_t PrefixTree::Size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace mantle

@@ -1,0 +1,68 @@
+// PrefixTree: a radix tree over path components that mirrors every prefix
+// currently stored in TopDirPathCache (paper §5.1.2).
+//
+// TopDirPathCache is a hash table and cannot answer "all cached entries under
+// /A/B" when /A/B is renamed; the PrefixTree provides that range query. It is
+// kept in sync by the cache owner: every cache fill inserts here, every
+// invalidation removes the affected subtree here and erases the collected
+// paths from the cache.
+//
+// Readers (subtree collection, membership probes) take a shared lock; writers
+// take an exclusive lock. Neither sits on the lookup fast path - only cache
+// fills and invalidations touch the tree.
+
+#ifndef SRC_INDEX_PREFIX_TREE_H_
+#define SRC_INDEX_PREFIX_TREE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mantle {
+
+class PrefixTree {
+ public:
+  PrefixTree();
+
+  PrefixTree(const PrefixTree&) = delete;
+  PrefixTree& operator=(const PrefixTree&) = delete;
+
+  // Marks `path` as cached. Idempotent.
+  void Insert(std::string_view path);
+
+  // True if `path` is marked.
+  bool Contains(std::string_view path) const;
+
+  // All marked paths equal to or beneath `path`, removing them from the tree.
+  // Returns the removed paths (the caller erases them from TopDirPathCache).
+  std::vector<std::string> RemoveSubtree(std::string_view path);
+
+  // Same collection without removal (diagnostics/tests).
+  std::vector<std::string> CollectSubtree(std::string_view path) const;
+
+  // Removes one exact marked path if present.
+  void Remove(std::string_view path);
+
+  // Number of marked paths.
+  size_t Size() const;
+
+ private:
+  struct TreeNode {
+    bool terminal = false;
+    std::map<std::string, std::unique_ptr<TreeNode>, std::less<>> children;
+  };
+
+  static void Collect(const TreeNode& node, std::string& scratch,
+                      std::vector<std::string>& out);
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<TreeNode> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_PREFIX_TREE_H_

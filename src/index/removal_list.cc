@@ -1,0 +1,225 @@
+#include "src/index/removal_list.h"
+
+#include <mutex>
+#include <thread>
+
+#include "src/common/path.h"
+
+namespace mantle {
+
+namespace {
+// Per-thread RNG for tower heights; seeds diverge by thread identity.
+thread_local Rng t_height_rng{0xb10c'd1ce ^
+                              std::hash<std::thread::id>{}(std::this_thread::get_id())};
+}  // namespace
+
+RemovalList::RemovalList() { head_ = new Node("", 0, kMaxHeight); }
+
+RemovalList::~RemovalList() {
+  // Single-threaded teardown: free the whole chain plus retirees.
+  Node* node = Unmark(head_->next[0].load(std::memory_order_relaxed));
+  while (node != nullptr) {
+    Node* next = Unmark(node->next[0].load(std::memory_order_relaxed));
+    delete node;
+    node = next;
+  }
+  delete head_;
+  for (Node* retiree : retired_) {
+    delete retiree;
+  }
+}
+
+int RemovalList::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && (t_height_rng.Next() & 3) == 0) {
+    ++height;
+  }
+  return height;
+}
+
+void RemovalList::FindPosition(uint64_t seq, Node* preds[kMaxHeight],
+                               Node* succs[kMaxHeight]) const {
+  Node* pred = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    Node* curr = Unmark(pred->next[level].load(std::memory_order_seq_cst));
+    while (curr != nullptr) {
+      Node* next = curr->next[level].load(std::memory_order_seq_cst);
+      if (IsMarked(next)) {
+        // Dead node: skip it (physical unlink is the Invalidator's job).
+        curr = Unmark(next);
+        continue;
+      }
+      if (curr->seq >= seq) {
+        break;
+      }
+      pred = curr;
+      curr = Unmark(next);
+    }
+    preds[level] = pred;
+    succs[level] = curr;
+  }
+}
+
+RemovalList::Token RemovalList::Insert(std::string path) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int height = RandomHeight();
+  Node* node = new Node(std::move(path), seq, height);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  // Level 0 first: once linked there, the node is live.
+  for (;;) {
+    FindPosition(seq, preds, succs);
+    node->next[0].store(succs[0], std::memory_order_relaxed);
+    Node* expected = succs[0];
+    if (preds[0]->next[0].compare_exchange_strong(expected, node, std::memory_order_seq_cst)) {
+      break;
+    }
+  }
+  // Upper levels are best-effort: a lost race just leaves a shorter tower.
+  for (int level = 1; level < height; ++level) {
+    for (;;) {
+      FindPosition(seq, preds, succs);
+      node->next[level].store(succs[level], std::memory_order_relaxed);
+      Node* expected = succs[level];
+      if (IsMarked(node->next[level].load(std::memory_order_seq_cst))) {
+        break;  // concurrently deleted already
+      }
+      if (preds[level]->next[level].compare_exchange_strong(expected, node,
+                                                            std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return node;
+}
+
+void RemovalList::MarkDone(Token token) {
+  static_cast<Node*>(token)->done.store(true, std::memory_order_release);
+}
+
+bool RemovalList::ContainsPrefixOf(std::string_view path) const {
+  active_readers_.fetch_add(1, std::memory_order_seq_cst);
+  bool found = false;
+  Node* curr = Unmark(head_->next[0].load(std::memory_order_seq_cst));
+  while (curr != nullptr) {
+    Node* next = curr->next[0].load(std::memory_order_seq_cst);
+    if (!IsMarked(next) && IsPathPrefix(curr->path, path)) {
+      found = true;
+      break;
+    }
+    curr = Unmark(next);
+  }
+  active_readers_.fetch_sub(1, std::memory_order_seq_cst);
+  return found;
+}
+
+bool RemovalList::Empty() const {
+  return Unmark(head_->next[0].load(std::memory_order_seq_cst)) == nullptr;
+}
+
+size_t RemovalList::LiveCount() const {
+  active_readers_.fetch_add(1, std::memory_order_seq_cst);
+  size_t count = 0;
+  Node* curr = Unmark(head_->next[0].load(std::memory_order_seq_cst));
+  while (curr != nullptr) {
+    Node* next = curr->next[0].load(std::memory_order_seq_cst);
+    if (!IsMarked(next)) {
+      ++count;
+    }
+    curr = Unmark(next);
+  }
+  active_readers_.fetch_sub(1, std::memory_order_seq_cst);
+  return count;
+}
+
+void RemovalList::UnlinkAndRetire(Node* node) {
+  // Phase 1: mark every level's next pointer so racing inserts fail their CAS
+  // rather than linking behind a dead node.
+  for (int level = node->height - 1; level >= 0; --level) {
+    Node* next = node->next[level].load(std::memory_order_seq_cst);
+    while (!IsMarked(next)) {
+      if (node->next[level].compare_exchange_weak(next, Mark(next), std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+  }
+  // Phase 2: swing predecessors past the node at every level.
+  for (int level = node->height - 1; level >= 0; --level) {
+    for (;;) {
+      Node* pred = head_;
+      Node* curr = Unmark(pred->next[level].load(std::memory_order_seq_cst));
+      while (curr != nullptr && curr != node) {
+        Node* next = curr->next[level].load(std::memory_order_seq_cst);
+        if (!IsMarked(next)) {
+          pred = curr;
+        }
+        curr = Unmark(next);
+      }
+      if (curr != node) {
+        break;  // already unlinked at this level
+      }
+      Node* expected = node;
+      Node* successor = Unmark(node->next[level].load(std::memory_order_seq_cst));
+      if (pred->next[level].compare_exchange_strong(expected, successor,
+                                                    std::memory_order_seq_cst)) {
+        break;
+      }
+      // An insert raced in between pred and node; rescan.
+    }
+  }
+  retired_.push_back(node);
+  removals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RemovalList::ReclaimQuiescent() {
+  if (retired_.empty()) {
+    return;
+  }
+  // Single-remover quiescence: retirees were unlinked before this check, so a
+  // zero reading of the reader counter (seq_cst on both sides) proves no
+  // traversal can still reference them.
+  if (active_readers_.load(std::memory_order_seq_cst) != 0) {
+    return;
+  }
+  reclaimed_.fetch_add(retired_.size(), std::memory_order_relaxed);
+  for (Node* node : retired_) {
+    delete node;
+  }
+  retired_.clear();
+}
+
+size_t RemovalList::RunMaintenancePass(const std::function<void(const std::string&)>& purge) {
+  size_t purged_count = 0;
+  active_readers_.fetch_add(1, std::memory_order_seq_cst);
+  Node* curr = Unmark(head_->next[0].load(std::memory_order_seq_cst));
+  std::vector<Node*> removable;
+  while (curr != nullptr) {
+    Node* next = curr->next[0].load(std::memory_order_seq_cst);
+    if (!IsMarked(next)) {
+      if (!curr->purged.load(std::memory_order_acquire)) {
+        purge(curr->path);
+        curr->purged.store(true, std::memory_order_release);
+        ++purged_count;
+      } else if (curr->done.load(std::memory_order_acquire)) {
+        removable.push_back(curr);
+      }
+    }
+    curr = Unmark(next);
+  }
+  active_readers_.fetch_sub(1, std::memory_order_seq_cst);
+  for (Node* node : removable) {
+    UnlinkAndRetire(node);
+  }
+  ReclaimQuiescent();
+  return purged_count;
+}
+
+RemovalList::Stats RemovalList::stats() const {
+  return Stats{inserts_.load(std::memory_order_relaxed), removals_.load(std::memory_order_relaxed),
+               reclaimed_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace mantle

@@ -1,0 +1,128 @@
+// RemovalList: a lock-free skiplist of directory paths undergoing
+// modification (paper §5.1.2).
+//
+// Lookup requests scan it on entry; a hit means some prefix of the requested
+// path is being renamed/re-permissioned, so the lookup must bypass
+// TopDirPathCache. The list is empty almost always, so the scan is one atomic
+// load in the common case.
+//
+// Concurrency design:
+//   * Inserts are lock-free (CAS per level, keys are monotonically increasing
+//     sequence numbers so inserts append near the tail).
+//   * Readers traverse level 0 wait-free, registering in an active-reader
+//     counter.
+//   * The single Invalidator thread is the only physical remover: it marks a
+//     dead node's next pointers (Harris-style tagging, so racing inserts
+//     retry instead of resurrecting the node), unlinks it, and retires it.
+//     Retired nodes are freed only after the active-reader counter has been
+//     observed at zero, at which point no traversal can still hold them.
+
+#ifndef SRC_INDEX_REMOVAL_LIST_H_
+#define SRC_INDEX_REMOVAL_LIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace mantle {
+
+class RemovalList {
+ public:
+  static constexpr int kMaxHeight = 4;
+
+  RemovalList();
+  ~RemovalList();
+
+  RemovalList(const RemovalList&) = delete;
+  RemovalList& operator=(const RemovalList&) = delete;
+
+  // Opaque handle to an inserted entry.
+  using Token = void*;
+
+  // Records that `path`'s subtree is being modified. Bumps the version.
+  Token Insert(std::string path);
+
+  // The underlying modification committed (or aborted); once the Invalidator
+  // has also purged the caches, the entry becomes removable.
+  void MarkDone(Token token);
+
+  // True if any live entry's path is '/' , equal to, or a path-prefix of
+  // `path`. Wait-free with respect to inserts.
+  bool ContainsPrefixOf(std::string_view path) const;
+
+  // Fast emptiness probe (may transiently report non-empty during sweeps).
+  bool Empty() const;
+
+  // Monotone counter bumped by every Insert; lookups snapshot it before
+  // resolution and discard the cache fill if it moved (paper's timestamp
+  // conflict detection).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  size_t LiveCount() const;
+
+  // --- Invalidator interface (single caller thread) ---------------------------
+
+  // One maintenance pass: every live entry not yet purged gets `purge(path)`
+  // invoked and is marked purged; every entry that is both purged and done is
+  // unlinked and retired; safely reclaimable retirees are freed.
+  // Returns the number of entries purged during this pass.
+  size_t RunMaintenancePass(const std::function<void(const std::string&)>& purge);
+
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t removals = 0;
+    uint64_t reclaimed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Node {
+    explicit Node(std::string p, uint64_t s, int h) : path(std::move(p)), seq(s), height(h) {
+      for (auto& n : next) {
+        n.store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    std::string path;
+    uint64_t seq;
+    int height;
+    std::atomic<bool> purged{false};
+    std::atomic<bool> done{false};
+    std::atomic<Node*> next[kMaxHeight];
+  };
+
+  static Node* Unmark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(p) & ~uintptr_t{1});
+  }
+  static Node* Mark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(p) | uintptr_t{1});
+  }
+  static bool IsMarked(Node* p) { return (reinterpret_cast<uintptr_t>(p) & 1) != 0; }
+
+  int RandomHeight();
+  // Finds preds/succs for `seq` at every level, skipping marked nodes.
+  void FindPosition(uint64_t seq, Node* preds[kMaxHeight], Node* succs[kMaxHeight]) const;
+  void UnlinkAndRetire(Node* node);
+  void ReclaimQuiescent();
+
+  Node* head_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> version_{0};
+  mutable std::atomic<int64_t> active_readers_{0};
+
+  // Retired nodes awaiting a zero-reader observation. Touched only by the
+  // Invalidator thread (and the destructor).
+  std::vector<Node*> retired_;
+
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> removals_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_REMOVAL_LIST_H_

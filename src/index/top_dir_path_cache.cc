@@ -1,0 +1,69 @@
+#include "src/index/top_dir_path_cache.h"
+
+#include <mutex>
+
+namespace mantle {
+
+TopDirPathCache::TopDirPathCache(size_t max_entries) : max_entries_(max_entries) {}
+
+std::optional<PathCacheEntry> TopDirPathCache::Lookup(std::string_view prefix) const {
+  const CacheShard& shard = shards_[ShardFor(prefix)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(std::string(prefix));
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool TopDirPathCache::TryInsert(std::string_view prefix, const PathCacheEntry& entry) {
+  if (max_entries_ != 0 && size_.load(std::memory_order_relaxed) >= max_entries_) {
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  CacheShard& shard = shards_[ShardFor(prefix)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(std::string(prefix), entry);
+  if (!inserted) {
+    return false;
+  }
+  shard.bytes += it->first.size() + sizeof(PathCacheEntry) + 48;  // node overhead estimate
+  size_.fetch_add(1, std::memory_order_relaxed);
+  fills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TopDirPathCache::Erase(std::string_view prefix) {
+  CacheShard& shard = shards_[ShardFor(prefix)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(std::string(prefix));
+  if (it == shard.map.end()) {
+    return;
+  }
+  shard.bytes -= it->first.size() + sizeof(PathCacheEntry) + 48;
+  shard.map.erase(it);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t TopDirPathCache::Size() const { return size_.load(std::memory_order_relaxed); }
+
+TopDirPathCache::CacheStats TopDirPathCache::stats() const {
+  return CacheStats{hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+                    fills_.load(std::memory_order_relaxed),
+                    rejected_full_.load(std::memory_order_relaxed),
+                    invalidations_.load(std::memory_order_relaxed)};
+}
+
+size_t TopDirPathCache::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace mantle

@@ -1,0 +1,90 @@
+// TopDirPathCache: the static path-prefix resolution cache (paper §5.1.1).
+//
+// Maps a truncated path prefix (the full path minus its final k components)
+// to the directory id it resolves to and the intersected permission mask
+// along that prefix (Lazy-Hybrid style). The cache is *static*: entries are
+// installed after a miss and never promoted/demoted; staleness is handled
+// exclusively by the Invalidator, never by the read path.
+//
+// Implementation: a sharded hash map with per-shard reader-writer locks -
+// reads are the hot path and proceed fully in parallel.
+
+#ifndef SRC_INDEX_TOP_DIR_PATH_CACHE_H_
+#define SRC_INDEX_TOP_DIR_PATH_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+struct PathCacheEntry {
+  InodeId dir_id = 0;
+  uint32_t permission_mask = kPermAll;  // AND of permissions along the prefix
+};
+
+class TopDirPathCache {
+ public:
+  // `max_entries` caps memory (0 = unlimited). The cache rejects fills once
+  // full rather than evicting: stability is the design point.
+  explicit TopDirPathCache(size_t max_entries = 0);
+
+  TopDirPathCache(const TopDirPathCache&) = delete;
+  TopDirPathCache& operator=(const TopDirPathCache&) = delete;
+
+  std::optional<PathCacheEntry> Lookup(std::string_view prefix) const;
+
+  // Installs `entry` unless the prefix is already present or the cache is
+  // full. Returns true if the entry was inserted.
+  bool TryInsert(std::string_view prefix, const PathCacheEntry& entry);
+
+  // Removes one prefix. Idempotent.
+  void Erase(std::string_view prefix);
+
+  size_t Size() const;
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fills = 0;
+    uint64_t rejected_full = 0;
+    uint64_t invalidations = 0;
+  };
+  CacheStats stats() const;
+
+  // Approximate bytes held (entries + key strings); drives the Fig. 18
+  // memory-vs-k study.
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct CacheShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, PathCacheEntry> map;
+    size_t bytes = 0;
+  };
+
+  size_t ShardFor(std::string_view prefix) const {
+    return std::hash<std::string_view>{}(prefix) % kShards;
+  }
+
+  const size_t max_entries_;
+  CacheShard shards_[kShards];
+  std::atomic<size_t> size_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> fills_{0};
+  std::atomic<uint64_t> rejected_full_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_INDEX_TOP_DIR_PATH_CACHE_H_

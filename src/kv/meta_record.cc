@@ -1,0 +1,24 @@
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+std::string MetaKey::ToString() const {
+  std::string out = "(" + std::to_string(pid) + ", " + name + ", " + std::to_string(ts) + ")";
+  return out;
+}
+
+std::string_view EntryTypeName(EntryType type) {
+  switch (type) {
+    case EntryType::kDirectory:
+      return "dir";
+    case EntryType::kObject:
+      return "obj";
+    case EntryType::kAttrPrimary:
+      return "attr";
+    case EntryType::kAttrDelta:
+      return "delta";
+  }
+  return "?";
+}
+
+}  // namespace mantle

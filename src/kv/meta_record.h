@@ -1,0 +1,93 @@
+// MetaTable record model.
+//
+// Every hierarchical namespace maps to one logical table whose rows are keyed
+// by (pid, name, ts):
+//   * (pid, child_name, 0)   -> access metadata of a child entry (dir/object).
+//   * (dir_id, "/_ATTR", 0)  -> primary attribute row of directory dir_id
+//                               (child count, mtime, size stats).
+//   * (dir_id, "/_ATTR", ts) -> delta record appended by a directory mutation
+//                               at transaction timestamp ts (Mantle, Fig. 8).
+// Partitioning is by hash(pid), so a directory's children and its own
+// attribute row colocate on one shard, while the attribute rows of its child
+// directories land wherever their ids hash - which is exactly why mkdir spans
+// two shards in the DBtable architecture (paper Fig. 2).
+
+#ifndef SRC_KV_META_RECORD_H_
+#define SRC_KV_META_RECORD_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mantle {
+
+using InodeId = uint64_t;
+
+// The root directory's inode id. Its attribute row is (kRootId, "/_ATTR", 0).
+inline constexpr InodeId kRootId = 1;
+// pid value used for the root's (virtual) parent.
+inline constexpr InodeId kNoParent = 0;
+
+// Name of attribute rows. '/' cannot appear in a real component name, so this
+// never collides with a child entry.
+inline constexpr std::string_view kAttrName = "/_ATTR";
+
+// Permission bits (per directory/object; lookups intersect along the path).
+inline constexpr uint32_t kPermRead = 0x4;
+inline constexpr uint32_t kPermWrite = 0x2;
+inline constexpr uint32_t kPermTraverse = 0x1;
+inline constexpr uint32_t kPermAll = kPermRead | kPermWrite | kPermTraverse;
+
+struct MetaKey {
+  InodeId pid = 0;
+  std::string name;
+  uint64_t ts = 0;  // 0 = primary row; >0 = delta record
+
+  friend auto operator<=>(const MetaKey& a, const MetaKey& b) = default;
+
+  std::string ToString() const;
+};
+
+enum class EntryType : uint8_t {
+  kDirectory,   // access metadata of a child directory
+  kObject,      // access metadata of an object
+  kAttrPrimary, // directory attribute primary row (ts == 0)
+  kAttrDelta,   // directory attribute delta row (ts > 0)
+};
+
+std::string_view EntryTypeName(EntryType type);
+
+struct MetaValue {
+  EntryType type = EntryType::kObject;
+  InodeId id = 0;           // inode id of the entry this row describes
+  uint32_t permission = kPermAll;
+  uint64_t size = 0;        // object size in bytes (objects only)
+  int64_t child_count = 0;  // attr rows: absolute count (primary) or delta
+  uint64_t mtime = 0;       // logical modification clock
+  uint64_t version = 0;     // bumped on every in-place update
+  InodeId parent = 0;       // attr rows: owning directory's parent (reverse
+                            // link for distributed loop detection)
+
+  bool IsDirectoryEntry() const { return type == EntryType::kDirectory; }
+  bool IsObjectEntry() const { return type == EntryType::kObject; }
+};
+
+// Hash used for shard routing: shard = Hash(pid) % num_shards, keeping a
+// directory's children and attribute rows on one shard.
+inline uint64_t RouteHash(InodeId pid) {
+  uint64_t x = pid + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline MetaKey EntryKey(InodeId pid, std::string name) { return MetaKey{pid, std::move(name), 0}; }
+inline MetaKey AttrKey(InodeId dir_id) { return MetaKey{dir_id, std::string(kAttrName), 0}; }
+inline MetaKey DeltaKey(InodeId dir_id, uint64_t ts) {
+  return MetaKey{dir_id, std::string(kAttrName), ts};
+}
+
+}  // namespace mantle
+
+#endif  // SRC_KV_META_RECORD_H_

@@ -1,0 +1,241 @@
+#include "src/kv/shard.h"
+
+namespace mantle {
+
+std::optional<MetaValue> Shard::Get(const MetaKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<Shard::Entry> Shard::ScanChildren(InodeId pid, size_t limit) const {
+  std::vector<Entry> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto it = rows_.lower_bound(MetaKey{pid, "", 0}); it != rows_.end(); ++it) {
+    if (it->first.pid != pid) {
+      break;
+    }
+    if (it->first.name == kAttrName) {
+      continue;
+    }
+    out.push_back({it->first, it->second});
+    if (limit != 0 && out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Shard::Entry> Shard::ScanChildrenAfter(InodeId pid, const std::string& start_after,
+                                                   size_t limit) const {
+  std::vector<Entry> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = start_after.empty()
+                ? rows_.lower_bound(MetaKey{pid, "", 0})
+                : rows_.upper_bound(MetaKey{pid, start_after, UINT64_MAX});
+  for (; it != rows_.end(); ++it) {
+    if (it->first.pid != pid) {
+      break;
+    }
+    if (it->first.name == kAttrName) {
+      continue;
+    }
+    out.push_back({it->first, it->second});
+    if (limit != 0 && out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Shard::Entry> Shard::ScanDeltas(InodeId dir_id) const {
+  std::vector<Entry> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto it = rows_.lower_bound(MetaKey{dir_id, std::string(kAttrName), 1}); it != rows_.end();
+       ++it) {
+    if (it->first.pid != dir_id || it->first.name != kAttrName) {
+      break;
+    }
+    out.push_back({it->first, it->second});
+  }
+  return out;
+}
+
+bool Shard::HasChildren(InodeId pid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto it = rows_.lower_bound(MetaKey{pid, "", 0}); it != rows_.end(); ++it) {
+    if (it->first.pid != pid) {
+      return false;
+    }
+    if (it->first.name != kAttrName) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<MetaValue> Shard::ReadAttrMerged(InodeId dir_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto primary = rows_.find(AttrKey(dir_id));
+  if (primary == rows_.end()) {
+    return std::nullopt;
+  }
+  MetaValue merged = primary->second;
+  for (auto it = rows_.upper_bound(AttrKey(dir_id)); it != rows_.end(); ++it) {
+    if (it->first.pid != dir_id || it->first.name != kAttrName) {
+      break;
+    }
+    merged.child_count += it->second.child_count;
+    if (it->second.mtime > merged.mtime) {
+      merged.mtime = it->second.mtime;
+    }
+  }
+  return merged;
+}
+
+size_t Shard::Size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rows_.size();
+}
+
+void Shard::ForEach(const std::function<void(const MetaKey&, const MetaValue&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [key, value] : rows_) {
+    fn(key, value);
+  }
+}
+
+bool Shard::TryLockKey(const MetaKey& key, uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto [it, inserted] = key_locks_.try_emplace(key, txn_id);
+  if (inserted || it->second == txn_id) {
+    return true;
+  }
+  ++lock_conflicts_;
+  return false;
+}
+
+void Shard::UnlockKey(const MetaKey& key, uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto it = key_locks_.find(key);
+  if (it != key_locks_.end() && it->second == txn_id) {
+    key_locks_.erase(it);
+  }
+}
+
+Status Shard::CheckPreconditionLocked(const WriteOp& op) const {
+  if (op.expect == WriteOp::Expect::kNone) {
+    return Status::Ok();
+  }
+  auto it = rows_.find(op.key);
+  const bool exists = it != rows_.end();
+  switch (op.expect) {
+    case WriteOp::Expect::kMustExist:
+      if (!exists) {
+        return Status::NotFound(op.key.ToString());
+      }
+      break;
+    case WriteOp::Expect::kMustNotExist:
+      if (exists) {
+        return Status::AlreadyExists(op.key.ToString());
+      }
+      break;
+    case WriteOp::Expect::kMustBeObject:
+      if (!exists) {
+        return Status::NotFound(op.key.ToString());
+      }
+      if (!it->second.IsObjectEntry()) {
+        return Status::NotFound(op.key.ToString() + " is not an object");
+      }
+      break;
+    case WriteOp::Expect::kNone:
+      break;
+  }
+  return Status::Ok();
+}
+
+Status Shard::CheckPrecondition(const WriteOp& op) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CheckPreconditionLocked(op);
+}
+
+Status Shard::CheckAndApply(const std::vector<WriteOp>& ops,
+                            const std::function<void()>& while_locked) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (while_locked) {
+    while_locked();
+  }
+  for (const auto& op : ops) {
+    Status status = CheckPreconditionLocked(op);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  ApplyOpsLocked(ops);
+  return Status::Ok();
+}
+
+void Shard::ApplyOps(const std::vector<WriteOp>& ops) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ApplyOpsLocked(ops);
+}
+
+void Shard::ApplyOpsLocked(const std::vector<WriteOp>& ops) {
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case WriteOp::Kind::kPut: {
+        MetaValue value = op.value;
+        auto it = rows_.find(op.key);
+        value.version = (it != rows_.end()) ? it->second.version + 1 : 1;
+        rows_[op.key] = value;
+        break;
+      }
+      case WriteOp::Kind::kDelete:
+        rows_.erase(op.key);
+        break;
+      case WriteOp::Kind::kAddChildCount: {
+        auto [it, inserted] = rows_.try_emplace(op.key);
+        if (inserted) {
+          it->second.type = op.key.ts == 0 ? EntryType::kAttrPrimary : EntryType::kAttrDelta;
+        }
+        it->second.child_count += op.count_delta;
+        if (op.bump_mtime) {
+          ++it->second.mtime;
+        }
+        ++it->second.version;
+        break;
+      }
+    }
+  }
+}
+
+void Shard::LoadPut(const MetaKey& key, const MetaValue& value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  rows_[key] = value;
+}
+
+void Shard::CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
+                          uint64_t max_mtime) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto primary = rows_.find(AttrKey(dir_id));
+  if (primary == rows_.end()) {
+    // Directory disappeared (rmdir raced ahead); drop the deltas anyway.
+    for (uint64_t ts : consumed) {
+      rows_.erase(DeltaKey(dir_id, ts));
+    }
+    return;
+  }
+  primary->second.child_count += fold;
+  if (max_mtime > primary->second.mtime) {
+    primary->second.mtime = max_mtime;
+  }
+  ++primary->second.version;
+  for (uint64_t ts : consumed) {
+    rows_.erase(DeltaKey(dir_id, ts));
+  }
+}
+
+}  // namespace mantle

@@ -1,0 +1,141 @@
+// One ordered shard of the MetaTable.
+//
+// A shard is an ordered map from MetaKey to MetaValue guarded by a
+// reader-writer lock, with a per-key write-lock table used by the transaction
+// layer (src/txn) for two-phase commit. Reads never take write locks;
+// conflicting writers fail TryLockKey and abort their transaction, which is
+// the contention behaviour the paper measures in §3.2.
+
+#ifndef SRC_KV_SHARD_H_
+#define SRC_KV_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+// A buffered mutation applied atomically at transaction commit.
+struct WriteOp {
+  enum class Kind : uint8_t { kPut, kDelete, kAddChildCount };
+  // Preconditions validated while the key lock is held (prepare phase).
+  // kMustBeObject additionally requires the existing row to describe an
+  // object (guards object deletion against directory entries).
+  enum class Expect : uint8_t { kNone, kMustExist, kMustNotExist, kMustBeObject };
+
+  Kind kind = Kind::kPut;
+  Expect expect = Expect::kNone;
+  MetaKey key;
+  MetaValue value;          // payload for kPut
+  int64_t count_delta = 0;  // for kAddChildCount: in-place child_count += delta
+  bool bump_mtime = false;  // for kAddChildCount: also advance mtime
+};
+
+class Shard {
+ public:
+  explicit Shard(uint32_t shard_id) : shard_id_(shard_id) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  uint32_t shard_id() const { return shard_id_; }
+
+  // --- reads ---------------------------------------------------------------
+
+  std::optional<MetaValue> Get(const MetaKey& key) const;
+
+  struct Entry {
+    MetaKey key;
+    MetaValue value;
+  };
+
+  // All primary rows with the given pid (a directory listing), in name order,
+  // excluding attribute and delta rows. `limit` of 0 means unlimited.
+  std::vector<Entry> ScanChildren(InodeId pid, size_t limit = 0) const;
+  // Paged variant: entries with name strictly greater than `start_after`.
+  std::vector<Entry> ScanChildrenAfter(InodeId pid, const std::string& start_after,
+                                       size_t limit) const;
+
+  // All delta rows (ts > 0) for the directory's attribute.
+  std::vector<Entry> ScanDeltas(InodeId dir_id) const;
+
+  // True if the directory has at least one child entry row.
+  bool HasChildren(InodeId pid) const;
+
+  // Atomically reads the attribute primary row of `dir_id` and folds all live
+  // delta rows into it (child_count sums, mtime maxes). Returns nullopt if the
+  // primary row does not exist. This is the dirstat read path when delta
+  // records are active (paper §5.2.1: "dirstat operations must scan delta
+  // records to compute accurate results").
+  std::optional<MetaValue> ReadAttrMerged(InodeId dir_id) const;
+
+  size_t Size() const;
+
+  // Visits every row under a shared lock (diagnostics / consistency audits).
+  void ForEach(const std::function<void(const MetaKey&, const MetaValue&)>& fn) const;
+
+  // --- transactional write support ------------------------------------------
+
+  // Attempts to lock `key` on behalf of `txn_id`. Re-entrant for the same
+  // transaction. Returns false on conflict (another transaction holds it).
+  bool TryLockKey(const MetaKey& key, uint64_t txn_id);
+  void UnlockKey(const MetaKey& key, uint64_t txn_id);
+
+  // Validates `op`'s precondition; caller must hold the key lock.
+  Status CheckPrecondition(const WriteOp& op) const;
+
+  // Applies buffered ops; caller must hold all key locks. Infallible given
+  // validated preconditions (kAddChildCount on a missing key creates it).
+  void ApplyOps(const std::vector<WriteOp>& ops);
+
+  // Validates all preconditions and applies the ops under one exclusive latch
+  // acquisition - atomic, never aborts, serializes with other writers. Used
+  // by the relaxed-consistency and single-shard-atomic-primitive baselines.
+  // `while_locked` (optional) runs holding the latch and models the row-write
+  // CPU cost, so contended rows serialize at the storage-engine rate.
+  Status CheckAndApply(const std::vector<WriteOp>& ops,
+                       const std::function<void()>& while_locked = {});
+
+  // Non-transactional single put used by bulk loading.
+  void LoadPut(const MetaKey& key, const MetaValue& value);
+
+  // Removes delta rows [dir_id] with ts in `consumed` and folds `fold` into
+  // the primary attribute row, holding the shard latch so the primary cannot
+  // vanish mid-compaction (paper §5.2.1).
+  void CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
+                     uint64_t max_mtime);
+
+  // --- stats -----------------------------------------------------------------
+  uint64_t lock_conflicts() const { return lock_conflicts_; }
+
+ private:
+  Status CheckPreconditionLocked(const WriteOp& op) const;
+  void ApplyOpsLocked(const std::vector<WriteOp>& ops);
+
+  uint32_t shard_id_;
+  mutable std::shared_mutex mu_;
+  std::map<MetaKey, MetaValue> rows_;
+
+  struct KeyHash {
+    size_t operator()(const MetaKey& k) const {
+      return std::hash<uint64_t>()(k.pid) ^ (std::hash<std::string>()(k.name) << 1) ^
+             std::hash<uint64_t>()(k.ts);
+    }
+  };
+  mutable std::mutex lock_mu_;
+  std::unordered_map<MetaKey, uint64_t, KeyHash> key_locks_;
+  uint64_t lock_conflicts_ = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_KV_SHARD_H_

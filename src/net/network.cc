@@ -1,0 +1,50 @@
+#include "src/net/network.h"
+
+namespace mantle {
+
+namespace {
+thread_local int64_t t_rpc_count = 0;
+}  // namespace
+
+ServerExecutor::ServerExecutor(Network* network, std::string name, size_t workers)
+    : network_(network), name_(std::move(name)), pool_(workers, name_) {}
+
+Network::Network(NetworkOptions options) : options_(options) {}
+
+ServerExecutor* Network::AddServer(const std::string& name, size_t workers) {
+  servers_.push_back(std::make_unique<ServerExecutor>(this, name, workers));
+  return servers_.back().get();
+}
+
+void Network::NoteRpc() {
+  ++t_rpc_count;
+  total_rpcs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Network::ChargeRtt() { ChargeRtt(1.0); }
+
+void Network::ChargeRtt(double scale) {
+  NoteRpc();
+  InjectDelay(scale);
+}
+
+void Network::InjectDelay(double scale) {
+  if (options_.zero_latency) {
+    return;
+  }
+  PreciseSleep(static_cast<int64_t>(static_cast<double>(options_.rtt_nanos) * scale),
+               options_.spin_tail_nanos);
+}
+
+void Network::ChargeService(int64_t nanos) {
+  if (options_.zero_latency || nanos <= 0) {
+    return;
+  }
+  PreciseSleep(nanos, options_.spin_tail_nanos);
+}
+
+int64_t Network::ThreadRpcCount() { return t_rpc_count; }
+
+void Network::ResetThreadRpcCount() { t_rpc_count = 0; }
+
+}  // namespace mantle

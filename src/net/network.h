@@ -1,0 +1,167 @@
+// Simulated cluster fabric.
+//
+// Every logical machine in the evaluation topology (TafDB nodes, IndexNode
+// leader/followers/learners, the LocoFS directory server, the InfiniFS rename
+// coordinator) is a ServerExecutor: a named, bounded thread pool. An RPC from
+// a client thread to a server
+//   1. charges the configured round-trip latency on the caller's thread,
+//   2. enqueues the handler on the destination server's pool (real queueing
+//      delay under load -> CPU-ceiling effects), and
+//   3. blocks on the handler's result.
+//
+// Per-thread RPC counters let services report how many round trips an
+// operation needed (the paper's central lookup metric), and per-server task
+// counters expose utilization for the benches.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/thread_pool.h"
+
+namespace mantle {
+
+struct NetworkOptions {
+  // Full round-trip latency charged per RPC. The paper's testbed is 25 Gbps
+  // Ethernet with "single RPC plus tens of microseconds" service floors; we
+  // default to 80 us and scale everything relative to it.
+  int64_t rtt_nanos = 80'000;
+  // Portion of each injected wait that is busy-polled for precision. Zero by
+  // default: the harness may run on few cores and spinning would starve the
+  // very threads being simulated.
+  int64_t spin_tail_nanos = 0;
+  // Modeled CPU cost of one storage-engine row access on a TafDB server.
+  // Handlers sleep this long while *occupying a bounded executor worker*, so
+  // a server with W workers saturates at W / cost ops/s - that is how
+  // single-node CPU ceilings (LocoFS's directory server, IndexNode before
+  // TopDirPathCache) reproduce on arbitrary host hardware.
+  int64_t db_row_access_nanos = 20'000;
+  // Modeled CPU cost of one in-memory index probe (IndexTable level, LocoFS
+  // dirserver hash lookup, TopDirPathCache hit).
+  int64_t mem_index_access_nanos = 4'000;
+  // When true, RPCs charge no latency (fast unit tests); counters still work.
+  bool zero_latency = false;
+};
+
+class Network;
+
+// One logical server with a fixed CPU budget (worker count).
+class ServerExecutor {
+ public:
+  ServerExecutor(Network* network, std::string name, size_t workers);
+
+  // Synchronous RPC: charge one RTT, run `handler` on this server, return its
+  // result. Handler runs on a server worker; the calling thread blocks.
+  template <typename Fn>
+  auto Call(Fn&& handler) -> decltype(handler());
+
+  // Asynchronous RPC: counts the RPC and enqueues the handler, but does not
+  // charge the RTT (callers issuing a parallel fan-out charge it once via
+  // Network::ChargeRtt and then wait on all futures).
+  template <typename Fn>
+  auto CallAsync(Fn&& handler) -> std::future<decltype(handler())>;
+
+  // Runs `handler` on this server without charging network latency. Models
+  // server-local work initiated by the server itself (compaction, apply
+  // threads are separate; this is for intra-chassis hops).
+  template <typename Fn>
+  auto CallLocal(Fn&& handler) -> decltype(handler());
+
+  const std::string& name() const { return name_; }
+  size_t workers() const { return pool_.num_workers(); }
+  uint64_t completed_tasks() const { return pool_.completed_tasks(); }
+  size_t queue_depth() const { return pool_.QueueDepth(); }
+  Network* network() const { return network_; }
+
+ private:
+  Network* network_;
+  std::string name_;
+  ThreadPool pool_;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkOptions options = {});
+
+  ServerExecutor* AddServer(const std::string& name, size_t workers);
+
+  // Sleeps one round trip on the calling thread and bumps the thread's RPC
+  // counter.
+  void ChargeRtt();
+  // Charges a scaled round trip (e.g. 0.5 for the RDMA proof-of-concept knob).
+  void ChargeRtt(double scale);
+  // Sleeps a scaled round trip without bumping RPC counters. Used for
+  // parallel fan-outs: the caller issues CallAsync to N servers (each counts
+  // one RPC) and then waits a single shared round trip.
+  void InjectDelay(double scale = 1.0);
+
+  // Modeled handler CPU: sleeps `nanos` on the calling (server worker)
+  // thread. Call from inside RPC handlers only - holding the worker slot is
+  // what creates the capacity ceiling.
+  void ChargeService(int64_t nanos);
+  // Convenience units derived from the options.
+  void ChargeDbRowAccess(int64_t rows = 1) { ChargeService(rows * options_.db_row_access_nanos); }
+  void ChargeMemIndexAccess(int64_t probes = 1) {
+    ChargeService(probes * options_.mem_index_access_nanos);
+  }
+
+  const NetworkOptions& options() const { return options_; }
+  void set_rtt_nanos(int64_t rtt_nanos) { options_.rtt_nanos = rtt_nanos; }
+
+  uint64_t total_rpcs() const { return total_rpcs_.load(std::memory_order_relaxed); }
+
+  // --- per-thread RPC accounting -------------------------------------------
+  // Services wrap each metadata operation in a ScopedRpcCounter to report the
+  // number of round trips that operation needed.
+  static int64_t ThreadRpcCount();
+  static void ResetThreadRpcCount();
+
+ private:
+  friend class ServerExecutor;
+  void NoteRpc();
+
+  NetworkOptions options_;
+  std::vector<std::unique_ptr<ServerExecutor>> servers_;
+  std::atomic<uint64_t> total_rpcs_{0};
+};
+
+// RAII: zeroes the calling thread's RPC counter on construction and exposes
+// the count accumulated during its lifetime.
+class ScopedRpcCounter {
+ public:
+  ScopedRpcCounter() { Network::ResetThreadRpcCount(); }
+  int64_t count() const { return Network::ThreadRpcCount(); }
+};
+
+// --- template implementations ----------------------------------------------
+
+template <typename Fn>
+auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
+  network_->ChargeRtt();
+  auto future = pool_.SubmitWithResult(std::forward<Fn>(handler));
+  return future.get();
+}
+
+template <typename Fn>
+auto ServerExecutor::CallAsync(Fn&& handler) -> std::future<decltype(handler())> {
+  network_->NoteRpc();
+  return pool_.SubmitWithResult(std::forward<Fn>(handler));
+}
+
+template <typename Fn>
+auto ServerExecutor::CallLocal(Fn&& handler) -> decltype(handler()) {
+  auto future = pool_.SubmitWithResult(std::forward<Fn>(handler));
+  return future.get();
+}
+
+}  // namespace mantle
+
+#endif  // SRC_NET_NETWORK_H_

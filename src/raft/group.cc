@@ -1,0 +1,79 @@
+#include "src/raft/group.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace mantle {
+
+RaftGroup::RaftGroup(Network* network, const std::string& name, uint32_t num_voters,
+                     uint32_t num_learners, const StateMachineFactory& factory,
+                     RaftOptions options)
+    : network_(network), num_voters_(num_voters), options_(options) {
+  const uint32_t total = num_voters + num_learners;
+  nodes_.reserve(total);
+  for (uint32_t id = 0; id < total; ++id) {
+    const bool voter = id < num_voters;
+    ServerExecutor* server = network_->AddServer(name + "-" + std::to_string(id),
+                                                 options_.workers_per_node);
+    ServerExecutor* raft_server =
+        network_->AddServer(name + "-" + std::to_string(id) + "-raft", 2);
+    nodes_.push_back(std::make_unique<RaftNode>(this, id, voter, server, raft_server,
+                                                factory(id), options_));
+  }
+  for (auto& node : nodes_) {
+    RaftNodeStartThreads(*node);
+  }
+}
+
+RaftGroup::~RaftGroup() = default;
+
+void RaftGroup::Start() {
+  nodes_[0]->Campaign();
+  RaftNode* leader = WaitForLeader();
+  if (leader == nullptr) {
+    MANTLE_ELOG << "raft group failed to elect a leader at startup";
+  }
+}
+
+RaftNode* RaftGroup::leader() const {
+  for (const auto& node : nodes_) {
+    if (!node->IsDown() && node->role() == RaftRole::kLeader) {
+      return node.get();
+    }
+  }
+  return nullptr;
+}
+
+RaftNode* RaftGroup::WaitForLeader(int64_t timeout_nanos) {
+  const int64_t deadline = MonotonicNanos() + timeout_nanos;
+  while (MonotonicNanos() < deadline) {
+    RaftNode* node = leader();
+    if (node != nullptr) {
+      return node;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return leader();
+}
+
+Result<std::string> RaftGroup::Propose(const std::string& command) {
+  const int64_t deadline = MonotonicNanos() + options_.propose_timeout_nanos;
+  while (MonotonicNanos() < deadline) {
+    RaftNode* node = leader();
+    if (node == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    network_->ChargeRtt();  // proxy -> leader round trip
+    Result<std::string> result = node->ProposeAndWait(command);
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::Timeout("no leader accepted the proposal");
+}
+
+}  // namespace mantle

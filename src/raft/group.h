@@ -1,0 +1,61 @@
+// A Raft replication group: voters + learners over the simulated fabric.
+
+#ifndef SRC_RAFT_GROUP_H_
+#define SRC_RAFT_GROUP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/network.h"
+#include "src/raft/node.h"
+
+namespace mantle {
+
+class RaftGroup {
+ public:
+  using StateMachineFactory = std::function<std::unique_ptr<StateMachine>(uint32_t node_id)>;
+
+  // Creates `num_voters` voting replicas and `num_learners` read replicas,
+  // each on its own logical server named "<name>-<id>".
+  RaftGroup(Network* network, const std::string& name, uint32_t num_voters, uint32_t num_learners,
+            const StateMachineFactory& factory, RaftOptions options = {});
+  ~RaftGroup();
+
+  RaftGroup(const RaftGroup&) = delete;
+  RaftGroup& operator=(const RaftGroup&) = delete;
+
+  // Deterministic bootstrap: node 0 campaigns and the call blocks until a
+  // leader exists.
+  void Start();
+
+  // Current leader, or nullptr. WaitForLeader blocks (with timeout) until an
+  // election settles.
+  RaftNode* leader() const;
+  RaftNode* WaitForLeader(int64_t timeout_nanos = 5'000'000'000);
+
+  // Routes a proposal to the leader (one RPC) and waits for apply. Retries
+  // through leader changes until `options.propose_timeout_nanos` expires.
+  Result<std::string> Propose(const std::string& command);
+
+  RaftNode* node(uint32_t id) const { return nodes_[id].get(); }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t num_voters() const { return num_voters_; }
+  Network* network() const { return network_; }
+  const RaftOptions& options() const { return options_; }
+
+  // Number of votes needed to win an election / commit an entry.
+  uint32_t Majority() const { return num_voters_ / 2 + 1; }
+
+ private:
+  Network* network_;
+  uint32_t num_voters_;
+  RaftOptions options_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_GROUP_H_

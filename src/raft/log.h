@@ -1,0 +1,99 @@
+// Raft log entry and in-memory log with 1-based indexing.
+
+#ifndef SRC_RAFT_LOG_H_
+#define SRC_RAFT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mantle {
+
+struct LogEntry {
+  uint64_t term = 0;
+  uint64_t index = 0;
+  std::string payload;  // opaque state-machine command
+};
+
+// In-memory Raft log with prefix compaction. A sentinel entry marks the
+// compaction point (initially index 0, term 0); real entries follow it.
+// Not thread-safe; guarded by the owning node's mutex.
+class RaftLog {
+ public:
+  RaftLog() { entries_.push_back(LogEntry{0, 0, ""}); }
+
+  // Index of the sentinel: everything at or below it has been compacted away
+  // (its state lives in the snapshot).
+  uint64_t FirstIndex() const { return entries_.front().index; }
+  uint64_t LastIndex() const { return entries_.back().index; }
+  uint64_t LastTerm() const { return entries_.back().term; }
+
+  // True if `index` is the sentinel or a live entry (term/payload readable).
+  bool Has(uint64_t index) const { return index >= FirstIndex() && index <= LastIndex(); }
+  // True if the entry was compacted into the snapshot.
+  bool Compacted(uint64_t index) const { return index < FirstIndex(); }
+
+  uint64_t TermAt(uint64_t index) const {
+    return Has(index) ? entries_[index - FirstIndex()].term : 0;
+  }
+
+  const LogEntry& At(uint64_t index) const { return entries_[index - FirstIndex()]; }
+
+  void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
+
+  // Removes entries with index >= first_removed (conflict resolution).
+  void TruncateFrom(uint64_t first_removed) {
+    if (first_removed > FirstIndex() && first_removed <= LastIndex()) {
+      entries_.resize(first_removed - FirstIndex());
+    }
+  }
+
+  // Drops all entries at or below `upto` (which must be <= LastIndex),
+  // leaving a sentinel carrying upto's term. State below the sentinel is
+  // assumed captured by a snapshot.
+  void CompactPrefix(uint64_t upto) {
+    if (upto <= FirstIndex() || upto > LastIndex()) {
+      return;
+    }
+    const uint64_t keep_term = TermAt(upto);
+    std::vector<LogEntry> kept;
+    kept.push_back(LogEntry{keep_term, upto, ""});
+    for (uint64_t i = upto + 1; i <= LastIndex(); ++i) {
+      kept.push_back(entries_[i - FirstIndex()]);
+    }
+    entries_ = std::move(kept);
+  }
+
+  // Resets to a bare sentinel at (index, term) - used after InstallSnapshot.
+  void ResetToSnapshot(uint64_t index, uint64_t term) {
+    entries_.clear();
+    entries_.push_back(LogEntry{term, index, ""});
+  }
+
+  // Copies entries (from, from+count] capped at the log end. `from_exclusive`
+  // must not be compacted.
+  std::vector<LogEntry> Slice(uint64_t from_exclusive, size_t max_count) const {
+    std::vector<LogEntry> out;
+    for (uint64_t i = from_exclusive + 1; i <= LastIndex() && out.size() < max_count; ++i) {
+      out.push_back(entries_[i - FirstIndex()]);
+    }
+    return out;
+  }
+
+  size_t LiveEntries() const { return entries_.size() - 1; }
+
+  size_t SizeBytes() const {
+    size_t total = 0;
+    for (const auto& entry : entries_) {
+      total += entry.payload.size() + sizeof(LogEntry);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_LOG_H_

@@ -1,0 +1,59 @@
+// Raft RPC message types (Ongaro & Ousterhout, "In Search of an
+// Understandable Consensus Algorithm").
+
+#ifndef SRC_RAFT_MESSAGES_H_
+#define SRC_RAFT_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/raft/log.h"
+
+namespace mantle {
+
+struct AppendEntriesRequest {
+  uint64_t term = 0;
+  uint32_t leader_id = 0;
+  uint64_t prev_log_index = 0;
+  uint64_t prev_log_term = 0;
+  uint64_t leader_commit = 0;
+  std::vector<LogEntry> entries;  // empty = heartbeat
+};
+
+struct AppendEntriesReply {
+  uint64_t term = 0;
+  bool success = false;
+  // On success: last replicated index. On failure: a hint for next_index.
+  uint64_t match_index = 0;
+  bool peer_down = false;
+};
+
+struct RequestVoteRequest {
+  uint64_t term = 0;
+  uint32_t candidate_id = 0;
+  uint64_t last_log_index = 0;
+  uint64_t last_log_term = 0;
+};
+
+struct RequestVoteReply {
+  uint64_t term = 0;
+  bool vote_granted = false;
+};
+
+struct InstallSnapshotRequest {
+  uint64_t term = 0;
+  uint32_t leader_id = 0;
+  uint64_t snapshot_index = 0;  // last index covered by the snapshot
+  uint64_t snapshot_term = 0;
+  std::string data;             // StateMachine::Snapshot() payload
+};
+
+struct InstallSnapshotReply {
+  uint64_t term = 0;
+  bool success = false;
+  bool peer_down = false;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_MESSAGES_H_

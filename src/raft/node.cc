@@ -1,0 +1,650 @@
+#include "src/raft/node.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/raft/group.h"
+
+namespace mantle {
+
+namespace {
+
+// Fulfils a proposal promise, tolerating the (never-expected) case of a
+// second fulfilment racing a failover path: losing a result beats calling
+// std::terminate through std::future_error.
+void SafeSetValue(const std::shared_ptr<std::promise<Result<std::string>>>& promise,
+                  Result<std::string> value) {
+  if (promise == nullptr) {
+    return;
+  }
+  try {
+    promise->set_value(std::move(value));
+  } catch (const std::future_error&) {
+    MANTLE_WLOG << "proposal promise fulfilled twice (failover race)";
+  }
+}
+
+}  // namespace
+
+RaftNode::RaftNode(RaftGroup* group, uint32_t id, bool voter, ServerExecutor* server,
+                   ServerExecutor* raft_server, std::unique_ptr<StateMachine> state_machine,
+                   const RaftOptions& options)
+    : group_(group),
+      id_(id),
+      voter_(voter),
+      server_(server),
+      raft_server_(raft_server),
+      state_machine_(std::move(state_machine)),
+      options_(options),
+      storage_(options.fsync_nanos),
+      role_(voter ? RaftRole::kFollower : RaftRole::kLearner),
+      rng_(0x9a7f00d + id) {
+  last_heartbeat_nanos_ = MonotonicNanos();
+  election_timeout_nanos_ = RandomElectionTimeout();
+}
+
+// Threads are started by RaftGroup after all nodes exist (replicators need
+// group_->node(peer) to be valid), via this friend-style late init.
+void RaftNodeStartThreads(RaftNode& node);
+
+RaftNode::~RaftNode() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FailPendingLocked(Status::Unavailable("shutting down"));
+  }
+  apply_cv_.notify_all();
+  applied_cv_.notify_all();
+  proposal_cv_.notify_all();
+  replicate_cv_.notify_all();
+  read_cv_.notify_all();
+  if (apply_thread_.joinable()) {
+    apply_thread_.join();
+  }
+  if (election_thread_.joinable()) {
+    election_thread_.join();
+  }
+  if (pipeline_thread_.joinable()) {
+    pipeline_thread_.join();
+  }
+  for (auto& replicator : replicator_threads_) {
+    if (replicator.joinable()) {
+      replicator.join();
+    }
+  }
+}
+
+int64_t RaftNode::RandomElectionTimeout() {
+  return options_.election_timeout_min_nanos +
+         static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
+             options_.election_timeout_max_nanos - options_.election_timeout_min_nanos + 1)));
+}
+
+RaftRole RaftNode::role() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_;
+}
+
+uint64_t RaftNode::term() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return term_;
+}
+
+uint64_t RaftNode::commit_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_index_;
+}
+
+uint64_t RaftNode::last_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_applied_;
+}
+
+uint64_t RaftNode::last_log_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.LastIndex();
+}
+
+void RaftNode::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_.store(true, std::memory_order_release);
+  FailPendingLocked(Status::Unavailable("node stopped"));
+}
+
+void RaftNode::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A restarted node rejoins as follower/learner with its persisted log.
+  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+  last_heartbeat_nanos_ = MonotonicNanos();
+  election_timeout_nanos_ = RandomElectionTimeout();
+  down_.store(false, std::memory_order_release);
+}
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  term_ = term;
+  voted_for_ = -1;
+  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+}
+
+void RaftNode::StepDownLocked(uint64_t term) {
+  BecomeFollower(term);
+  // Queued-but-unappended proposals can never commit under this node; fail
+  // them so proxies retry against the new leader. Appended entries stay
+  // pending - they may still commit if the new leader carries them.
+  while (!proposal_queue_.empty()) {
+    SafeSetValue(proposal_queue_.front().done, Status::Unavailable("leadership lost"));
+    proposal_queue_.pop_front();
+  }
+}
+
+void RaftNode::FailPendingLocked(const Status& status) {
+  while (!proposal_queue_.empty()) {
+    SafeSetValue(proposal_queue_.front().done, status);
+    proposal_queue_.pop_front();
+  }
+  for (auto& [index, promise] : pending_applies_) {
+    SafeSetValue(promise, status);
+  }
+  pending_applies_.clear();
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_hint_ = id_;
+  const uint64_t last = log_.LastIndex();
+  next_index_.assign(group_->num_nodes(), last + 1);
+  match_index_.assign(group_->num_nodes(), 0);
+  // Commit a no-op to finalize entries from previous terms (Raft §5.4.2).
+  log_.Append(LogEntry{term_, last + 1, ""});
+  match_index_[id_] = last + 1;
+  MaybeAdvanceCommitLocked();
+  proposal_cv_.notify_all();
+  replicate_cv_.notify_all();
+  MANTLE_ILOG << "raft node " << id_ << " became leader (term " << term_ << ")";
+}
+
+void RaftNode::MaybeAdvanceCommitLocked() {
+  const uint64_t last = log_.LastIndex();
+  for (uint64_t n = last; n > commit_index_; --n) {
+    if (log_.TermAt(n) != term_) {
+      break;  // only entries from the current term commit by counting
+    }
+    uint32_t votes = 0;
+    for (uint32_t peer = 0; peer < group_->num_nodes(); ++peer) {
+      if (group_->node(peer)->is_voter() && match_index_[peer] >= n) {
+        ++votes;
+      }
+    }
+    if (votes >= group_->Majority()) {
+      commit_index_ = n;
+      apply_cv_.notify_all();
+      replicate_cv_.notify_all();  // piggyback the new commit index
+      break;
+    }
+  }
+}
+
+AppendEntriesReply RaftNode::HandleAppendEntries(const AppendEntriesRequest& request) {
+  if (down_.load(std::memory_order_acquire)) {
+    return AppendEntriesReply{0, false, 0, /*peer_down=*/true};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (request.term < term_) {
+    return AppendEntriesReply{term_, false, 0, false};
+  }
+  if (request.term > term_ || role_ == RaftRole::kCandidate || role_ == RaftRole::kLeader) {
+    StepDownLocked(request.term);
+  }
+  last_heartbeat_nanos_ = MonotonicNanos();
+  leader_hint_ = request.leader_id;
+
+  if (!log_.Has(request.prev_log_index) ||
+      log_.TermAt(request.prev_log_index) != request.prev_log_term) {
+    const uint64_t hint = std::min(log_.LastIndex(),
+                                   request.prev_log_index > 0 ? request.prev_log_index - 1 : 0);
+    return AppendEntriesReply{term_, false, hint, false};
+  }
+
+  size_t appended = 0;
+  for (const auto& entry : request.entries) {
+    if (log_.Has(entry.index)) {
+      if (log_.TermAt(entry.index) == entry.term) {
+        continue;  // duplicate from a retransmission
+      }
+      // Conflict: discard the divergent suffix (it can never commit here).
+      for (auto it = pending_applies_.lower_bound(entry.index); it != pending_applies_.end();) {
+        SafeSetValue(it->second, Status::Unavailable("entry truncated by new leader"));
+        it = pending_applies_.erase(it);
+      }
+      log_.TruncateFrom(entry.index);
+    }
+    log_.Append(entry);
+    ++appended;
+  }
+
+  const uint64_t match = request.prev_log_index + request.entries.size();
+  const uint64_t new_commit = std::min(request.leader_commit, log_.LastIndex());
+  if (new_commit > commit_index_) {
+    commit_index_ = new_commit;
+    apply_cv_.notify_all();
+  }
+  lock.unlock();
+  if (appended > 0) {
+    storage_.Persist(appended);
+  }
+  return AppendEntriesReply{request.term, true, match, false};
+}
+
+RequestVoteReply RaftNode::HandleRequestVote(const RequestVoteRequest& request) {
+  if (down_.load(std::memory_order_acquire) || !voter_) {
+    return RequestVoteReply{0, false};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (request.term < term_) {
+    return RequestVoteReply{term_, false};
+  }
+  if (request.term > term_) {
+    StepDownLocked(request.term);
+  }
+  const bool log_ok = request.last_log_term > log_.LastTerm() ||
+                      (request.last_log_term == log_.LastTerm() &&
+                       request.last_log_index >= log_.LastIndex());
+  bool granted = false;
+  if (log_ok && (voted_for_ == -1 || voted_for_ == static_cast<int32_t>(request.candidate_id))) {
+    voted_for_ = static_cast<int32_t>(request.candidate_id);
+    granted = true;
+    last_heartbeat_nanos_ = MonotonicNanos();  // granting a vote resets the timer
+  }
+  const uint64_t reply_term = term_;
+  lock.unlock();
+  if (granted) {
+    storage_.Persist(0);  // vote durability
+  }
+  return RequestVoteReply{reply_term, granted};
+}
+
+std::optional<uint64_t> RaftNode::HandleReadIndexQuery() {
+  if (down_.load(std::memory_order_acquire)) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (role_ != RaftRole::kLeader) {
+    return std::nullopt;
+  }
+  return commit_index_;
+}
+
+Result<std::string> RaftNode::ProposeAndWait(std::string command) {
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  std::future<Result<std::string>> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("node down");
+    }
+    if (role_ != RaftRole::kLeader) {
+      return Status::Unavailable("not leader");
+    }
+    stats_.proposals.fetch_add(1, std::memory_order_relaxed);
+    proposal_queue_.push_back(PendingProposal{std::move(command), promise});
+  }
+  proposal_cv_.notify_one();
+  if (future.wait_for(std::chrono::nanoseconds(options_.propose_timeout_nanos)) !=
+      std::future_status::ready) {
+    return Status::Timeout("propose timed out");
+  }
+  return future.get();
+}
+
+void RaftNode::WaitApplied(uint64_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  applied_cv_.wait(lock, [this, index]() {
+    return stopping_.load(std::memory_order_acquire) || last_applied_ >= index;
+  });
+}
+
+Result<uint64_t> RaftNode::FollowerReadFence() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (role_ == RaftRole::kLeader) {
+      return commit_index_;
+    }
+  }
+  Result<uint64_t> fence = Status::Unavailable("no leader");
+  std::unique_lock<std::mutex> read_lock(read_mu_);
+  const uint64_t generation = read_generation_;
+  if (read_inflight_) {
+    // Piggyback on the in-flight leader query (paper §5.1.3: "queries for the
+    // commitIndex are batched").
+    stats_.read_index_batched.fetch_add(1, std::memory_order_relaxed);
+    read_cv_.wait(read_lock, [this, generation]() {
+      return stopping_.load(std::memory_order_acquire) || read_generation_ != generation;
+    });
+    fence = last_read_fence_;
+  } else {
+    read_inflight_ = true;
+    read_lock.unlock();
+    stats_.read_index_queries.fetch_add(1, std::memory_order_relaxed);
+    RaftNode* leader = group_->leader();
+    if (leader != nullptr && leader != this) {
+      auto commit =
+          leader->raft_server()->Call([leader]() { return leader->HandleReadIndexQuery(); });
+      if (commit.has_value()) {
+        fence = *commit;
+      }
+    } else if (leader == this) {
+      fence = commit_index();
+    }
+    read_lock.lock();
+    last_read_fence_ = fence;
+    ++read_generation_;
+    read_inflight_ = false;
+    read_cv_.notify_all();
+  }
+  read_lock.unlock();
+  if (fence.ok()) {
+    WaitApplied(*fence);
+  }
+  return fence;
+}
+
+void RaftNode::Campaign() { RunElection(); }
+
+void RaftNode::RunElection() {
+  RequestVoteRequest request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (role_ == RaftRole::kLeader || !voter_ || down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    ++term_;
+    role_ = RaftRole::kCandidate;
+    voted_for_ = static_cast<int32_t>(id_);
+    stats_.elections_started.fetch_add(1, std::memory_order_relaxed);
+    last_heartbeat_nanos_ = MonotonicNanos();
+    election_timeout_nanos_ = RandomElectionTimeout();
+    request = RequestVoteRequest{term_, id_, log_.LastIndex(), log_.LastTerm()};
+  }
+  storage_.Persist(0);
+
+  std::vector<std::future<RequestVoteReply>> replies;
+  for (uint32_t peer = 0; peer < group_->num_nodes(); ++peer) {
+    RaftNode* peer_node = group_->node(peer);
+    if (peer == id_ || !peer_node->is_voter()) {
+      continue;
+    }
+    replies.push_back(peer_node->raft_server()->CallAsync(
+        [peer_node, request]() { return peer_node->HandleRequestVote(request); }));
+  }
+  group_->network()->InjectDelay();
+
+  uint32_t votes = 1;  // self
+  uint64_t max_term = request.term;
+  for (auto& reply_future : replies) {
+    RequestVoteReply reply = reply_future.get();
+    if (reply.vote_granted) {
+      ++votes;
+    }
+    max_term = std::max(max_term, reply.term);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_term > term_) {
+    StepDownLocked(max_term);
+    return;
+  }
+  if (role_ == RaftRole::kCandidate && term_ == request.term && votes >= group_->Majority()) {
+    BecomeLeader();
+  }
+}
+
+void RaftNode::ElectionLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options_.election_poll_nanos));
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (!options_.enable_election_timer || !voter_ || down_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    bool should_campaign = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      should_campaign = role_ != RaftRole::kLeader &&
+                        MonotonicNanos() - last_heartbeat_nanos_ > election_timeout_nanos_;
+    }
+    if (should_campaign) {
+      RunElection();
+    }
+  }
+}
+
+void RaftNode::PipelineLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    proposal_cv_.wait(lock, [this]() {
+      return stopping_.load(std::memory_order_acquire) ||
+             (role_ == RaftRole::kLeader && !proposal_queue_.empty());
+    });
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    const size_t take =
+        options_.log_batching ? std::min(proposal_queue_.size(), options_.max_batch_entries) : 1;
+    for (size_t i = 0; i < take; ++i) {
+      PendingProposal proposal = std::move(proposal_queue_.front());
+      proposal_queue_.pop_front();
+      const uint64_t index = log_.LastIndex() + 1;
+      log_.Append(LogEntry{term_, index, std::move(proposal.command)});
+      pending_applies_[index] = std::move(proposal.done);
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t last = log_.LastIndex();
+    lock.unlock();
+    storage_.Persist(take);
+    lock.lock();
+    if (role_ == RaftRole::kLeader) {
+      match_index_[id_] = std::max(match_index_[id_], last);
+      MaybeAdvanceCommitLocked();
+    }
+    replicate_cv_.notify_all();
+  }
+}
+
+void RaftNode::ReplicatorLoop(uint32_t peer_id) {
+  RaftNode* peer = group_->node(peer_id);
+  // Tracks the commit index last shipped so commit-only updates also flow.
+  uint64_t last_sent_commit = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    replicate_cv_.wait_for(
+        lock, std::chrono::nanoseconds(options_.heartbeat_interval_nanos),
+        [this, peer_id, &last_sent_commit]() {
+          return stopping_.load(std::memory_order_acquire) ||
+                 (role_ == RaftRole::kLeader && !down_.load(std::memory_order_acquire) &&
+                  (next_index_[peer_id] <= log_.LastIndex() || commit_index_ > last_sent_commit));
+        });
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (role_ != RaftRole::kLeader || down_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (log_.Compacted(next_index_[peer_id] - 1)) {
+      // The entries this peer needs are gone: install the snapshot instead.
+      InstallSnapshotRequest snap;
+      snap.term = term_;
+      snap.leader_id = id_;
+      snap.snapshot_index = snapshot_index_;
+      snap.snapshot_term = snapshot_term_;
+      snap.data = snapshot_data_;
+      lock.unlock();
+      stats_.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
+      InstallSnapshotReply snap_reply = peer->raft_server()->Call(
+          [peer, snap]() { return peer->HandleInstallSnapshot(snap); });
+      lock.lock();
+      if (snap_reply.peer_down) {
+        continue;
+      }
+      if (snap_reply.term > term_) {
+        StepDownLocked(snap_reply.term);
+        continue;
+      }
+      if (role_ == RaftRole::kLeader && snap_reply.success) {
+        match_index_[peer_id] = std::max(match_index_[peer_id], snap.snapshot_index);
+        next_index_[peer_id] = std::max(next_index_[peer_id], snap.snapshot_index + 1);
+        MaybeAdvanceCommitLocked();
+      }
+      continue;
+    }
+    const uint64_t prev = next_index_[peer_id] - 1;
+    AppendEntriesRequest request;
+    request.term = term_;
+    request.leader_id = id_;
+    request.prev_log_index = prev;
+    request.prev_log_term = log_.TermAt(prev);
+    request.leader_commit = commit_index_;
+    request.entries = log_.Slice(prev, options_.max_entries_per_append);
+    lock.unlock();
+
+    if (request.entries.empty()) {
+      stats_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.appends_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    AppendEntriesReply reply = peer->raft_server()->Call(
+        [peer, request]() { return peer->HandleAppendEntries(request); });
+    last_sent_commit = request.leader_commit;
+
+    lock.lock();
+    if (reply.peer_down) {
+      continue;
+    }
+    if (reply.term > term_) {
+      StepDownLocked(reply.term);
+      continue;
+    }
+    if (role_ != RaftRole::kLeader || term_ != request.term) {
+      continue;
+    }
+    if (reply.success) {
+      match_index_[peer_id] = std::max(match_index_[peer_id], reply.match_index);
+      next_index_[peer_id] = match_index_[peer_id] + 1;
+      MaybeAdvanceCommitLocked();
+    } else {
+      next_index_[peer_id] =
+          std::max<uint64_t>(1, std::min(next_index_[peer_id] - 1, reply.match_index + 1));
+    }
+  }
+}
+
+void RaftNode::ApplyLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    apply_cv_.wait(lock, [this]() {
+      return stopping_.load(std::memory_order_acquire) || last_applied_ < commit_index_;
+    });
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    while (last_applied_ < commit_index_) {
+      const uint64_t index = last_applied_ + 1;
+      const std::string payload = log_.At(index).payload;
+      std::shared_ptr<std::promise<Result<std::string>>> waiter;
+      auto it = pending_applies_.find(index);
+      if (it != pending_applies_.end()) {
+        waiter = std::move(it->second);
+        pending_applies_.erase(it);
+      }
+      lock.unlock();
+      std::string result;
+      if (!payload.empty()) {
+        result = state_machine_->Apply(index, payload);
+      }
+      SafeSetValue(waiter, Result<std::string>(std::move(result)));
+      lock.lock();
+      last_applied_ = index;
+      applied_cv_.notify_all();
+    }
+    MaybeSnapshot(lock);
+  }
+}
+
+void RaftNode::MaybeSnapshot(std::unique_lock<std::mutex>& lock) {
+  if (options_.snapshot_threshold_entries == 0 ||
+      last_applied_ <= log_.FirstIndex() ||
+      last_applied_ - log_.FirstIndex() < options_.snapshot_threshold_entries) {
+    return;
+  }
+  const uint64_t snap_index = last_applied_;
+  const uint64_t snap_term = log_.TermAt(snap_index);
+  lock.unlock();
+  // Only the apply thread mutates the state machine, so this serialization
+  // observes exactly the applied prefix [1, snap_index].
+  std::string data = state_machine_->Snapshot();
+  lock.lock();
+  if (data.empty()) {
+    // Machine is not snapshottable; disable further attempts.
+    options_.snapshot_threshold_entries = 0;
+    return;
+  }
+  if (snap_index <= snapshot_index_) {
+    return;
+  }
+  snapshot_index_ = snap_index;
+  snapshot_term_ = snap_term;
+  snapshot_data_ = std::move(data);
+  log_.CompactPrefix(snap_index);
+  stats_.snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  storage_.Persist(1);  // snapshot durability
+  lock.lock();
+}
+
+InstallSnapshotReply RaftNode::HandleInstallSnapshot(const InstallSnapshotRequest& request) {
+  if (down_.load(std::memory_order_acquire)) {
+    return InstallSnapshotReply{0, false, /*peer_down=*/true};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (request.term < term_) {
+    return InstallSnapshotReply{term_, false, false};
+  }
+  if (request.term > term_ || role_ == RaftRole::kCandidate || role_ == RaftRole::kLeader) {
+    StepDownLocked(request.term);
+  }
+  last_heartbeat_nanos_ = MonotonicNanos();
+  leader_hint_ = request.leader_id;
+  if (request.snapshot_index <= snapshot_index_ ||
+      request.snapshot_index <= last_applied_) {
+    // Already covered locally; treat as success so the leader advances.
+    return InstallSnapshotReply{term_, true, false};
+  }
+  // Replace the state machine and restart the log at the snapshot point.
+  state_machine_->Restore(request.data);
+  log_.ResetToSnapshot(request.snapshot_index, request.snapshot_term);
+  snapshot_index_ = request.snapshot_index;
+  snapshot_term_ = request.snapshot_term;
+  snapshot_data_ = request.data;
+  last_applied_ = request.snapshot_index;
+  commit_index_ = std::max(commit_index_, request.snapshot_index);
+  stats_.snapshots_installed.fetch_add(1, std::memory_order_relaxed);
+  applied_cv_.notify_all();
+  const uint64_t reply_term = term_;
+  lock.unlock();
+  storage_.Persist(1);
+  return InstallSnapshotReply{reply_term, true, false};
+}
+
+void RaftNodeStartThreads(RaftNode& node) {
+  node.apply_thread_ = std::thread([&node]() { node.ApplyLoop(); });
+  node.election_thread_ = std::thread([&node]() { node.ElectionLoop(); });
+  node.pipeline_thread_ = std::thread([&node]() { node.PipelineLoop(); });
+  for (uint32_t peer = 0; peer < node.group_->num_nodes(); ++peer) {
+    if (peer != node.id_) {
+      node.replicator_threads_.emplace_back([&node, peer]() { node.ReplicatorLoop(peer); });
+    }
+  }
+}
+
+}  // namespace mantle

@@ -1,0 +1,223 @@
+// One Raft peer: election, log replication, commit and apply.
+//
+// Threads per node:
+//   * apply thread        - applies committed entries to the state machine;
+//   * election thread     - (voters) campaigns when heartbeats stop;
+//   * pipeline thread     - (acting leader) drains the proposal queue into
+//                           the log; one simulated fsync per *batch* when log
+//                           batching is on (paper §5.2.3), per entry when off;
+//   * replicator threads  - (acting leader) one per peer, ships AppendEntries
+//                           and heartbeats over the simulated fabric.
+// Pipeline and replicator threads exist from construction and idle unless the
+// node is leader, which keeps role transitions free of thread lifecycles.
+
+#ifndef SRC_RAFT_NODE_H_
+#define SRC_RAFT_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/net/network.h"
+#include "src/raft/log.h"
+#include "src/raft/messages.h"
+#include "src/raft/state_machine.h"
+#include "src/raft/storage.h"
+
+namespace mantle {
+
+class RaftGroup;
+
+struct RaftOptions {
+  int64_t fsync_nanos = 60'000;  // NVMe-class flush latency
+  bool log_batching = true;      // amortize fsync across queued proposals
+  size_t max_batch_entries = 512;
+  size_t max_entries_per_append = 512;
+  int64_t heartbeat_interval_nanos = 20'000'000;     // 20 ms
+  int64_t election_timeout_min_nanos = 150'000'000;  // 150 ms
+  int64_t election_timeout_max_nanos = 300'000'000;  // 300 ms
+  int64_t election_poll_nanos = 10'000'000;          // election-timer resolution
+  int64_t propose_timeout_nanos = 10'000'000'000;    // 10 s
+  bool enable_election_timer = true;
+  size_t workers_per_node = 4;  // executor width of each replica server
+  // Log compaction: snapshot the state machine and drop the applied prefix
+  // once this many live entries accumulate. 0 disables compaction. Requires
+  // a snapshottable StateMachine (non-empty Snapshot()).
+  uint64_t snapshot_threshold_entries = 0;
+};
+
+enum class RaftRole : uint8_t { kFollower, kCandidate, kLeader, kLearner };
+
+struct RaftNodeStats {
+  std::atomic<uint64_t> proposals{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> appends_sent{0};
+  std::atomic<uint64_t> heartbeats_sent{0};
+  std::atomic<uint64_t> elections_started{0};
+  std::atomic<uint64_t> read_index_queries{0};        // queries actually sent to the leader
+  std::atomic<uint64_t> read_index_batched{0};        // follower reads served by coalescing
+  std::atomic<uint64_t> snapshots_taken{0};
+  std::atomic<uint64_t> snapshots_installed{0};       // received from a leader
+  std::atomic<uint64_t> snapshots_sent{0};
+};
+
+class RaftNode {
+ public:
+  // `server` handles client operations (resolution, proposals); `raft_server`
+  // handles consensus traffic (AppendEntries, votes, ReadIndex queries). The
+  // split mirrors a real deployment's separate service ports and guarantees
+  // that client handlers blocked on an apply fence can never starve the pool
+  // that delivers the very entries they wait for.
+  RaftNode(RaftGroup* group, uint32_t id, bool voter, ServerExecutor* server,
+           ServerExecutor* raft_server, std::unique_ptr<StateMachine> state_machine,
+           const RaftOptions& options);
+  ~RaftNode();
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  // --- RPC handlers (invoked via the fabric by peers) ------------------------
+  AppendEntriesReply HandleAppendEntries(const AppendEntriesRequest& request);
+  RequestVoteReply HandleRequestVote(const RequestVoteRequest& request);
+  // Leader-side ReadIndex service: current commit index, or nullopt if this
+  // node is not (or no longer) the leader.
+  std::optional<uint64_t> HandleReadIndexQuery();
+  // Installs a leader-provided snapshot on a lagging follower/learner.
+  InstallSnapshotReply HandleInstallSnapshot(const InstallSnapshotRequest& request);
+
+  // --- client API -------------------------------------------------------------
+  // Appends `command` through consensus and waits until it is applied locally;
+  // returns the state machine's result. Fails with kUnavailable when this node
+  // is not the leader.
+  Result<std::string> ProposeAndWait(std::string command);
+
+  // Follower/learner read fence (paper §5.1.3): obtain the leader's commit
+  // index (coalescing concurrent queries into one RPC) and wait until the
+  // local apply index catches up. Returns the read fence index.
+  Result<uint64_t> FollowerReadFence();
+
+  // Blocks until last_applied >= index.
+  void WaitApplied(uint64_t index);
+
+  // Forces this node to start a campaign now (deterministic bootstrap).
+  void Campaign();
+
+  // Crash-stop simulation.
+  void Stop();
+  void Restart();
+  bool IsDown() const { return down_.load(std::memory_order_acquire); }
+
+  // --- introspection -----------------------------------------------------------
+  uint32_t id() const { return id_; }
+  bool is_voter() const { return voter_; }
+  RaftRole role() const;
+  uint64_t term() const;
+  uint64_t commit_index() const;
+  uint64_t last_applied() const;
+  uint64_t last_log_index() const;
+  ServerExecutor* server() const { return server_; }
+  ServerExecutor* raft_server() const { return raft_server_; }
+  StateMachine* state_machine() const { return state_machine_.get(); }
+  RaftStorage& storage() { return storage_; }
+  const RaftNodeStats& stats() const { return stats_; }
+
+ private:
+  friend void RaftNodeStartThreads(RaftNode& node);
+
+  struct PendingProposal {
+    std::string command;
+    std::shared_ptr<std::promise<Result<std::string>>> done;
+  };
+
+  // All Become* methods require mu_ held.
+  void BecomeFollower(uint64_t term);
+  void BecomeLeader();
+  void StepDownLocked(uint64_t term);
+  void FailPendingLocked(const Status& status);
+
+  // Advances commit_index_ from voter match indices; requires mu_ held.
+  void MaybeAdvanceCommitLocked();
+
+  // Takes a state-machine snapshot and compacts the log; apply thread only,
+  // requires mu_ held (released around the state-machine call).
+  void MaybeSnapshot(std::unique_lock<std::mutex>& lock);
+
+  void ApplyLoop();
+  void ElectionLoop();
+  void PipelineLoop();
+  void ReplicatorLoop(uint32_t peer_id);
+  void RunElection();
+
+  int64_t RandomElectionTimeout();
+
+  RaftGroup* group_;
+  const uint32_t id_;
+  const bool voter_;
+  ServerExecutor* server_;
+  ServerExecutor* raft_server_;
+  std::unique_ptr<StateMachine> state_machine_;
+  RaftOptions options_;
+  RaftStorage storage_;
+  RaftNodeStats stats_;
+
+  mutable std::mutex mu_;
+  RaftRole role_;
+  uint64_t term_ = 0;
+  int32_t voted_for_ = -1;
+  uint32_t leader_hint_ = UINT32_MAX;
+  RaftLog log_;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+  // Latest snapshot (covers indices <= snapshot_index_).
+  uint64_t snapshot_index_ = 0;
+  uint64_t snapshot_term_ = 0;
+  std::string snapshot_data_;
+  int64_t last_heartbeat_nanos_ = 0;
+  int64_t election_timeout_nanos_ = 0;
+
+  // Leader state (valid while role_ == kLeader).
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+  std::deque<PendingProposal> proposal_queue_;
+  std::map<uint64_t, std::shared_ptr<std::promise<Result<std::string>>>> pending_applies_;
+
+  // Follower ReadIndex coalescing.
+  std::mutex read_mu_;
+  std::condition_variable read_cv_;
+  bool read_inflight_ = false;
+  uint64_t read_generation_ = 0;
+  Result<uint64_t> last_read_fence_ = Status::Unavailable("no fence yet");
+
+  std::condition_variable apply_cv_;      // commit advanced
+  std::condition_variable applied_cv_;    // last_applied advanced
+  std::condition_variable proposal_cv_;   // proposal queued
+  std::condition_variable replicate_cv_;  // log grew / commit moved / role change
+
+  std::atomic<bool> down_{false};
+  std::atomic<bool> stopping_{false};
+  Rng rng_;
+
+  std::thread apply_thread_;
+  std::thread election_thread_;
+  std::thread pipeline_thread_;
+  std::vector<std::thread> replicator_threads_;
+};
+
+// Starts a node's background threads. Called by RaftGroup once every node in
+// the group has been constructed (replicators dereference peers).
+void RaftNodeStartThreads(RaftNode& node);
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_NODE_H_

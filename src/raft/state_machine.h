@@ -1,0 +1,30 @@
+// State machine interface applied by every replica in a Raft group.
+
+#ifndef SRC_RAFT_STATE_MACHINE_H_
+#define SRC_RAFT_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mantle {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Applies a committed command. Must be deterministic: every replica applies
+  // the same sequence and must converge. The return value is delivered to the
+  // proposer (leader side) and discarded elsewhere.
+  virtual std::string Apply(uint64_t index, const std::string& command) = 0;
+
+  // Serializes the full state for log compaction / InstallSnapshot. Called
+  // from the apply thread, so it observes exactly the applied prefix. The
+  // default (empty string) marks the machine as not snapshottable.
+  virtual std::string Snapshot() { return ""; }
+  // Replaces the state with a previously serialized snapshot.
+  virtual void Restore(const std::string& snapshot) {}
+};
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_STATE_MACHINE_H_

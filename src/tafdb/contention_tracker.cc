@@ -1,0 +1,47 @@
+#include "src/tafdb/contention_tracker.h"
+
+#include "src/common/clock.h"
+
+namespace mantle {
+
+void ContentionTracker::NoteAbort(InodeId dir_id) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_aborts_;
+  DirState& state = dirs_[dir_id];
+  if (now - state.window_start > options_.window_nanos) {
+    state.window_start = now;
+    state.count_in_window = 0;
+  }
+  ++state.count_in_window;
+  state.last_abort = now;
+  if (state.count_in_window >= options_.abort_threshold) {
+    state.active = true;
+  }
+}
+
+bool ContentionTracker::DeltaModeActive(InodeId dir_id) const {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dirs_.find(dir_id);
+  if (it == dirs_.end() || !it->second.active) {
+    return false;
+  }
+  if (now - it->second.last_abort > options_.cooldown_nanos) {
+    // Sustained quiet: fall back to in-place updates to keep dirstat cheap.
+    return false;
+  }
+  return true;
+}
+
+uint64_t ContentionTracker::total_aborts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_aborts_;
+}
+
+size_t ContentionTracker::tracked_directories() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirs_.size();
+}
+
+}  // namespace mantle

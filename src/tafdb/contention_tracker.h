@@ -1,0 +1,53 @@
+// Per-directory contention detector.
+//
+// Delta records trade dirstat read cost for conflict-free attribute updates,
+// so Mantle enables them "selectively, activated only under sustained
+// contention within a directory" (paper §5.2.1). The tracker counts
+// transaction aborts per directory in a sliding window; a directory whose
+// abort count crosses the threshold enters delta mode and stays there until
+// aborts go quiet for a cooldown period.
+
+#ifndef SRC_TAFDB_CONTENTION_TRACKER_H_
+#define SRC_TAFDB_CONTENTION_TRACKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/kv/meta_record.h"
+
+namespace mantle {
+
+struct ContentionOptions {
+  int64_t window_nanos = 100'000'000;    // abort-count window (100 ms)
+  int64_t cooldown_nanos = 500'000'000;  // quiet period before delta mode exits
+  int abort_threshold = 4;               // aborts within window to activate
+};
+
+class ContentionTracker {
+ public:
+  explicit ContentionTracker(ContentionOptions options = {}) : options_(options) {}
+
+  void NoteAbort(InodeId dir_id);
+  bool DeltaModeActive(InodeId dir_id) const;
+
+  uint64_t total_aborts() const;
+  size_t tracked_directories() const;
+
+ private:
+  struct DirState {
+    int64_t window_start = 0;
+    int64_t last_abort = 0;
+    int count_in_window = 0;
+    bool active = false;
+  };
+
+  ContentionOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<InodeId, DirState> dirs_;
+  uint64_t total_aborts_ = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_TAFDB_CONTENTION_TRACKER_H_

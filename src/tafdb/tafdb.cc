@@ -1,0 +1,218 @@
+#include "src/tafdb/tafdb.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace mantle {
+
+TafDb::TafDb(Network* network, TafDbOptions options)
+    : network_(network), options_(options), contention_(options.contention) {
+  servers_.reserve(options_.num_servers);
+  for (uint32_t i = 0; i < options_.num_servers; ++i) {
+    servers_.push_back(
+        network_->AddServer("tafdb-" + std::to_string(i), options_.workers_per_server));
+  }
+  shards_ = std::make_unique<ShardMap>(options_.num_shards, servers_);
+  coordinator_ = std::make_unique<TxnCoordinator>(shards_.get(), network_);
+  coordinator_->set_abort_listener([this](InodeId pid) { contention_.NoteAbort(pid); });
+  if (options_.start_compactor) {
+    compactor_ = std::thread([this]() { CompactorLoop(); });
+  }
+}
+
+TafDb::~TafDb() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (compactor_.joinable()) {
+    compactor_.join();
+  }
+}
+
+Result<MetaValue> TafDb::Get(const MetaKey& key) {
+  Shard* shard = shards_->Route(key.pid);
+  ServerExecutor* server = shards_->RouteServer(key.pid);
+  auto row = server->Call([this, shard, &key]() {
+    network_->ChargeDbRowAccess();
+    return shard->Get(key);
+  });
+  if (!row.has_value()) {
+    return Status::NotFound(key.ToString());
+  }
+  return *row;
+}
+
+Result<std::vector<Shard::Entry>> TafDb::ListChildren(InodeId pid, size_t limit) {
+  Shard* shard = shards_->Route(pid);
+  ServerExecutor* server = shards_->RouteServer(pid);
+  return server->Call([this, shard, pid, limit]() {
+    auto entries = shard->ScanChildren(pid, limit);
+    // One seek plus amortized per-row iteration cost.
+    network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+    return entries;
+  });
+}
+
+Result<std::vector<Shard::Entry>> TafDb::ListChildrenAfter(InodeId pid,
+                                                           const std::string& start_after,
+                                                           size_t limit) {
+  Shard* shard = shards_->Route(pid);
+  ServerExecutor* server = shards_->RouteServer(pid);
+  return server->Call([this, shard, pid, &start_after, limit]() {
+    auto entries = shard->ScanChildrenAfter(pid, start_after, limit);
+    network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+    return entries;
+  });
+}
+
+Result<MetaValue> TafDb::ReadDirAttr(InodeId dir_id) {
+  Shard* shard = shards_->Route(dir_id);
+  ServerExecutor* server = shards_->RouteServer(dir_id);
+  auto merged = server->Call([this, shard, dir_id]() {
+    network_->ChargeDbRowAccess();
+    return shard->ReadAttrMerged(dir_id);
+  });
+  if (!merged.has_value()) {
+    return Status::NotFound("attr of dir " + std::to_string(dir_id));
+  }
+  return *merged;
+}
+
+bool TafDb::HasChildren(InodeId pid) {
+  Shard* shard = shards_->Route(pid);
+  ServerExecutor* server = shards_->RouteServer(pid);
+  return server->Call([this, shard, pid]() {
+    network_->ChargeDbRowAccess();
+    return shard->HasChildren(pid);
+  });
+}
+
+Status TafDb::ApplyAtomicSingleShard(const std::vector<WriteOp>& ops) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  const uint32_t shard_index = shards_->ShardIndex(ops.front().key.pid);
+  for (const auto& op : ops) {
+    if (shards_->ShardIndex(op.key.pid) != shard_index) {
+      return Status::InvalidArgument("ops span shards; use Execute()");
+    }
+  }
+  Shard* shard = shards_->ShardAt(shard_index);
+  ServerExecutor* server = shards_->ServerAt(shard_index);
+  return server->Call([this, shard, &ops]() {
+    // Row-write cost is charged holding the shard latch: concurrent updates
+    // to the same rows serialize at storage-engine speed (the parent
+    // attribute latch behaviour of Tectonic/LocoFS, paper §6.3).
+    return shard->CheckAndApply(
+        ops, [this, &ops]() { network_->ChargeDbRowAccess(static_cast<int64_t>(ops.size())); });
+  });
+}
+
+WriteOp TafDb::MakeAttrUpdate(InodeId dir_id, int64_t count_delta, bool bump_mtime,
+                              uint64_t txn_id) {
+  if (DeltaModeActive(dir_id)) {
+    // Conflict-free append: a delta row keyed by the transaction timestamp.
+    WriteOp op;
+    op.kind = WriteOp::Kind::kPut;
+    op.expect = WriteOp::Expect::kNone;
+    op.key = DeltaKey(dir_id, txn_id);
+    op.value.type = EntryType::kAttrDelta;
+    op.value.id = dir_id;
+    op.value.child_count = count_delta;
+    op.value.mtime = bump_mtime ? txn_id : 0;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_compaction_.insert(dir_id);
+    }
+    return op;
+  }
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddChildCount;
+  op.expect = WriteOp::Expect::kMustExist;
+  op.key = AttrKey(dir_id);
+  op.count_delta = count_delta;
+  op.bump_mtime = bump_mtime;
+  return op;
+}
+
+bool TafDb::DeltaModeActive(InodeId dir_id) const {
+  if (!options_.enable_delta_records) {
+    return false;
+  }
+  if (options_.force_delta_records) {
+    return true;
+  }
+  return contention_.DeltaModeActive(dir_id);
+}
+
+void TafDb::LoadPut(const MetaKey& key, const MetaValue& value) {
+  shards_->Route(key.pid)->LoadPut(key, value);
+}
+
+void TafDb::LoadAdjustChildCount(InodeId dir_id, int64_t delta) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddChildCount;
+  op.key = AttrKey(dir_id);
+  op.count_delta = delta;
+  shards_->Route(dir_id)->ApplyOps({op});
+}
+
+void TafDb::CompactDirectory(InodeId dir_id) {
+  Shard* shard = shards_->Route(dir_id);
+  auto deltas = shard->ScanDeltas(dir_id);
+  if (deltas.empty()) {
+    return;
+  }
+  int64_t fold = 0;
+  uint64_t max_mtime = 0;
+  std::vector<uint64_t> consumed;
+  consumed.reserve(deltas.size());
+  for (const auto& entry : deltas) {
+    fold += entry.value.child_count;
+    if (entry.value.mtime > max_mtime) {
+      max_mtime = entry.value.mtime;
+    }
+    consumed.push_back(entry.key.ts);
+  }
+  shard->CompactDeltas(dir_id, consumed, fold, max_mtime);
+}
+
+void TafDb::CompactAllPending() {
+  std::unordered_set<InodeId> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    batch.swap(pending_compaction_);
+  }
+  for (InodeId dir_id : batch) {
+    CompactDirectory(dir_id);
+    // Deltas may have landed after the scan; keep the directory pending so
+    // the next pass picks up the remainder.
+    if (!shards_->Route(dir_id)->ScanDeltas(dir_id).empty()) {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_compaction_.insert(dir_id);
+    }
+  }
+}
+
+size_t TafDb::PendingCompactions() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_compaction_.size();
+}
+
+void TafDb::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    stop_cv_.wait_for(lock, std::chrono::nanoseconds(options_.compaction_interval_nanos));
+    if (stopping_) {
+      break;
+    }
+    lock.unlock();
+    CompactAllPending();
+    lock.lock();
+  }
+}
+
+}  // namespace mantle

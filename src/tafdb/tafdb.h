@@ -1,0 +1,142 @@
+// TafDB: the scalable, sharded metadata database shared across namespaces.
+//
+// TafDB stores every MetaTable row (access + attribute metadata) hash-
+// partitioned by pid across a fleet of logical servers. It offers:
+//   * point reads, directory listings and merged attribute reads, each one
+//     RPC to the owning server;
+//   * strongly consistent transactions through TxnCoordinator (single-shard
+//     fast path, cross-shard 2PC);
+//   * delta records: when a directory is contended (or when forced by
+//     configuration), attribute updates become conflict-free delta-row
+//     inserts that a background compactor folds into the primary row.
+//
+// TafDB is namespace-agnostic; IndexNode and every baseline build on it.
+
+#ifndef SRC_TAFDB_TAFDB_H_
+#define SRC_TAFDB_TAFDB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/network.h"
+#include "src/tafdb/contention_tracker.h"
+#include "src/txn/coordinator.h"
+#include "src/txn/shard_map.h"
+
+namespace mantle {
+
+struct TafDbOptions {
+  uint32_t num_shards = 32;
+  uint32_t num_servers = 6;         // paper deploys 18; scaled with the testbed
+  uint32_t workers_per_server = 2;  // CPU budget per logical server
+  // Delta-record policy (paper §5.2.1). `enable` makes the mechanism
+  // available behind the contention detector; `force` applies it to every
+  // attribute update regardless of contention (ablation benches).
+  bool enable_delta_records = true;
+  bool force_delta_records = false;
+  ContentionOptions contention;
+  int64_t compaction_interval_nanos = 2'000'000;  // 2 ms compactor cadence
+  bool start_compactor = true;
+};
+
+class TafDb {
+ public:
+  TafDb(Network* network, TafDbOptions options = {});
+  ~TafDb();
+
+  TafDb(const TafDb&) = delete;
+  TafDb& operator=(const TafDb&) = delete;
+
+  // --- reads (one RPC to the owning server each) -----------------------------
+
+  Result<MetaValue> Get(const MetaKey& key);
+  Result<std::vector<Shard::Entry>> ListChildren(InodeId pid, size_t limit = 0);
+  // Paged listing: children with names strictly after `start_after`.
+  Result<std::vector<Shard::Entry>> ListChildrenAfter(InodeId pid,
+                                                      const std::string& start_after,
+                                                      size_t limit);
+  // Attribute primary merged with live deltas (accurate dirstat).
+  Result<MetaValue> ReadDirAttr(InodeId dir_id);
+  bool HasChildren(InodeId pid);
+
+  // --- transactional writes --------------------------------------------------
+
+  uint64_t NextTxnId() { return coordinator_->NextTxnId(); }
+  Status Execute(const std::vector<WriteOp>& ops, uint64_t txn_id) {
+    return coordinator_->Execute(ops, txn_id);
+  }
+  Status Execute(const std::vector<WriteOp>& ops) { return coordinator_->Execute(ops); }
+
+  // Non-transactional single mutation: precondition checked and the op
+  // applied under the shard's internal latch, with no key locks and hence no
+  // aborts - writers serialize instead. This is the relaxed-consistency write
+  // path of the Tectonic re-implementation (paper §6.1) and the CFS-style
+  // "single-shard atomic primitive" used by the InfiniFS baseline. All ops
+  // must route to one shard; violations return kInvalidArgument.
+  Status ApplyAtomicSingleShard(const std::vector<WriteOp>& ops);
+  Status ApplySingle(const WriteOp& op) { return ApplyAtomicSingleShard({op}); }
+
+  // Builds the attribute-update op for directory `dir_id`. In delta mode the
+  // result is a conflict-free insert of (dir_id, "/_ATTR", txn_id); otherwise
+  // an in-place read-modify-write on the primary row (lock-conflicting).
+  WriteOp MakeAttrUpdate(InodeId dir_id, int64_t count_delta, bool bump_mtime, uint64_t txn_id);
+
+  // True if the directory currently routes attribute updates through deltas.
+  bool DeltaModeActive(InodeId dir_id) const;
+
+  // --- bulk loading (no RPC, no locks; only valid before serving) ------------
+
+  void LoadPut(const MetaKey& key, const MetaValue& value);
+  // Direct child-count adjustment used while bulk-populating a namespace.
+  void LoadAdjustChildCount(InodeId dir_id, int64_t delta);
+  // Direct read with no RPC or latency charge (bulk-load resolution, tests).
+  std::optional<MetaValue> LocalGet(const MetaKey& key) {
+    return shards_->Route(key.pid)->Get(key);
+  }
+
+  // --- compaction -------------------------------------------------------------
+
+  // Folds every pending delta for `dir_id` into its primary row. The
+  // background compactor calls this; tests may call it directly.
+  void CompactDirectory(InodeId dir_id);
+  // Drains the entire pending set once (deterministic tests).
+  void CompactAllPending();
+  size_t PendingCompactions() const;
+
+  // --- introspection -----------------------------------------------------------
+
+  ShardMap* shard_map() { return shards_.get(); }
+  const TxnStats& txn_stats() const { return coordinator_->stats(); }
+  const ContentionTracker& contention() const { return contention_; }
+  Network* network() const { return network_; }
+  size_t TotalRows() const { return shards_->TotalRows(); }
+
+ private:
+  void CompactorLoop();
+
+  Network* network_;
+  TafDbOptions options_;
+  std::vector<ServerExecutor*> servers_;
+  std::unique_ptr<ShardMap> shards_;
+  std::unique_ptr<TxnCoordinator> coordinator_;
+  ContentionTracker contention_;
+
+  mutable std::mutex pending_mu_;
+  std::unordered_set<InodeId> pending_compaction_;
+
+  std::thread compactor_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_TAFDB_TAFDB_H_

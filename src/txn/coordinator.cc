@@ -1,0 +1,169 @@
+#include "src/txn/coordinator.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+
+namespace mantle {
+
+TxnCoordinator::TxnCoordinator(ShardMap* shards, Network* network)
+    : shards_(shards), network_(network) {}
+
+std::vector<TxnCoordinator::Participant> TxnCoordinator::GroupByShard(
+    const std::vector<WriteOp>& ops) const {
+  std::map<uint32_t, std::vector<WriteOp>> grouped;
+  for (const auto& op : ops) {
+    grouped[shards_->ShardIndex(op.key.pid)].push_back(op);
+  }
+  std::vector<Participant> participants;
+  participants.reserve(grouped.size());
+  for (auto& [index, shard_ops] : grouped) {
+    // Deterministic key order within a shard keeps local locking canonical.
+    std::sort(shard_ops.begin(), shard_ops.end(),
+              [](const WriteOp& a, const WriteOp& b) { return a.key < b.key; });
+    participants.push_back({index, std::move(shard_ops)});
+  }
+  return participants;
+}
+
+Status TxnCoordinator::PrepareOnShard(const Participant& participant, uint64_t txn_id) {
+  Shard* shard = shards_->ShardAt(participant.shard_index);
+  std::vector<const MetaKey*> locked;
+  locked.reserve(participant.ops.size());
+  for (const auto& op : participant.ops) {
+    if (!shard->TryLockKey(op.key, txn_id)) {
+      for (const MetaKey* key : locked) {
+        shard->UnlockKey(*key, txn_id);
+      }
+      return Status::Aborted("lock conflict on " + op.key.ToString());
+    }
+    locked.push_back(&op.key);
+  }
+  for (const auto& op : participant.ops) {
+    Status status = shard->CheckPrecondition(op);
+    if (!status.ok()) {
+      for (const MetaKey* key : locked) {
+        shard->UnlockKey(*key, txn_id);
+      }
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+void TxnCoordinator::CommitOnShard(const Participant& participant, uint64_t txn_id) {
+  Shard* shard = shards_->ShardAt(participant.shard_index);
+  shard->ApplyOps(participant.ops);
+  for (const auto& op : participant.ops) {
+    shard->UnlockKey(op.key, txn_id);
+  }
+}
+
+void TxnCoordinator::AbortOnShard(const Participant& participant, uint64_t txn_id) {
+  Shard* shard = shards_->ShardAt(participant.shard_index);
+  for (const auto& op : participant.ops) {
+    shard->UnlockKey(op.key, txn_id);
+  }
+}
+
+void TxnCoordinator::NotifyAbort(const std::vector<WriteOp>& ops) {
+  if (!on_abort_) {
+    return;
+  }
+  // Report contention against attribute rows only - that is where
+  // shared-directory conflicts land and where delta records help.
+  InodeId last = 0;
+  for (const auto& op : ops) {
+    if (op.key.name == kAttrName && op.key.pid != last) {
+      on_abort_(op.key.pid);
+      last = op.key.pid;
+    }
+  }
+}
+
+Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  stats_.started.fetch_add(1, std::memory_order_relaxed);
+  auto participants = GroupByShard(ops);
+
+  if (participants.size() == 1) {
+    // Single-shard fast path: lock, validate, apply and release in one RPC.
+    stats_.single_shard.fetch_add(1, std::memory_order_relaxed);
+    const Participant& participant = participants.front();
+    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
+    Status status = server->Call([this, &participant, txn_id]() {
+      network_->ChargeDbRowAccess(static_cast<int64_t>(participant.ops.size()));
+      Status prepared = PrepareOnShard(participant, txn_id);
+      if (!prepared.ok()) {
+        return prepared;
+      }
+      CommitOnShard(participant, txn_id);
+      return Status::Ok();
+    });
+    if (!status.ok()) {
+      stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+      if (status.IsAborted()) {
+        NotifyAbort(ops);
+      }
+      return status;
+    }
+    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // Two-phase commit. Prepare round: parallel try-lock + validate.
+  stats_.multi_shard.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::future<Status>> prepares;
+  prepares.reserve(participants.size());
+  for (const auto& participant : participants) {
+    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
+    prepares.push_back(server->CallAsync([this, &participant, txn_id]() {
+      network_->ChargeDbRowAccess(static_cast<int64_t>(participant.ops.size()));
+      return PrepareOnShard(participant, txn_id);
+    }));
+  }
+  network_->InjectDelay();
+
+  Status failure = Status::Ok();
+  std::vector<bool> prepared(participants.size(), false);
+  for (size_t i = 0; i < prepares.size(); ++i) {
+    Status status = prepares[i].get();
+    prepared[i] = status.ok();
+    if (!status.ok() && failure.ok()) {
+      failure = status;
+    }
+  }
+
+  // Commit or abort round, also parallel.
+  std::vector<std::future<void>> finishes;
+  finishes.reserve(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const Participant& participant = participants[i];
+    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
+    if (failure.ok()) {
+      finishes.push_back(
+          server->CallAsync([this, &participant, txn_id]() { CommitOnShard(participant, txn_id); }));
+    } else if (prepared[i]) {
+      finishes.push_back(
+          server->CallAsync([this, &participant, txn_id]() { AbortOnShard(participant, txn_id); }));
+    }
+  }
+  network_->InjectDelay();
+  for (auto& finish : finishes) {
+    finish.get();
+  }
+
+  if (!failure.ok()) {
+    stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    if (failure.IsAborted()) {
+      NotifyAbort(ops);
+    }
+    return failure;
+  }
+  stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace mantle

@@ -1,0 +1,74 @@
+// Distributed transaction coordinator for the MetaTable.
+//
+// Writes grouped on one shard commit through a single-RPC fast path; writes
+// spanning shards run two-phase commit: a parallel prepare round (try-lock
+// every key, validate preconditions) and a parallel commit/abort round. Lock
+// acquisition never blocks - any conflict aborts the whole transaction, which
+// the proxy retries with randomized backoff. This is the abort/retry behaviour
+// whose collapse under shared-directory contention motivates Mantle's delta
+// records (paper §3.2, §5.2.1).
+
+#ifndef SRC_TXN_COORDINATOR_H_
+#define SRC_TXN_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/txn/shard_map.h"
+
+namespace mantle {
+
+struct TxnStats {
+  std::atomic<uint64_t> started{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> single_shard{0};
+  std::atomic<uint64_t> multi_shard{0};
+};
+
+class TxnCoordinator {
+ public:
+  // `on_abort(pid)` fires once per aborted transaction per touched directory
+  // attribute row; TafDB's contention detector subscribes to it.
+  using AbortListener = std::function<void(InodeId pid)>;
+
+  TxnCoordinator(ShardMap* shards, Network* network);
+
+  // Allocates a transaction id; also used as the delta-record timestamp.
+  uint64_t NextTxnId() { return next_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  // Runs the transaction. On conflict returns kAborted (caller retries).
+  // Precondition failures surface as their own codes (kAlreadyExists etc.).
+  Status Execute(const std::vector<WriteOp>& ops, uint64_t txn_id);
+  Status Execute(const std::vector<WriteOp>& ops) { return Execute(ops, NextTxnId()); }
+
+  void set_abort_listener(AbortListener listener) { on_abort_ = std::move(listener); }
+
+  const TxnStats& stats() const { return stats_; }
+
+ private:
+  struct Participant {
+    uint32_t shard_index;
+    std::vector<WriteOp> ops;
+  };
+
+  std::vector<Participant> GroupByShard(const std::vector<WriteOp>& ops) const;
+  // Runs lock+validate on one shard; on failure unlocks what it took.
+  Status PrepareOnShard(const Participant& participant, uint64_t txn_id);
+  void CommitOnShard(const Participant& participant, uint64_t txn_id);
+  void AbortOnShard(const Participant& participant, uint64_t txn_id);
+  void NotifyAbort(const std::vector<WriteOp>& ops);
+
+  ShardMap* shards_;
+  Network* network_;
+  std::atomic<uint64_t> next_txn_id_{0};
+  TxnStats stats_;
+  AbortListener on_abort_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_TXN_COORDINATOR_H_

@@ -1,0 +1,25 @@
+#include "src/txn/shard_map.h"
+
+#include <cassert>
+
+namespace mantle {
+
+ShardMap::ShardMap(uint32_t num_shards, std::vector<ServerExecutor*> servers)
+    : servers_(std::move(servers)) {
+  assert(num_shards > 0);
+  assert(!servers_.empty());
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i));
+  }
+}
+
+size_t ShardMap::TotalRows() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->Size();
+  }
+  return total;
+}
+
+}  // namespace mantle

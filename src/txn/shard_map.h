@@ -1,0 +1,45 @@
+// Routing from pid to the shard that stores its rows, and from shard to the
+// logical server that hosts it. Shards are distributed round-robin across the
+// TafDB server fleet, mirroring the paper's 18-node TafDB deployment.
+
+#ifndef SRC_TXN_SHARD_MAP_H_
+#define SRC_TXN_SHARD_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/kv/meta_record.h"
+#include "src/kv/shard.h"
+#include "src/net/network.h"
+
+namespace mantle {
+
+class ShardMap {
+ public:
+  // Creates `num_shards` shards spread over `servers` (shard i lives on
+  // servers[i % servers.size()]).
+  ShardMap(uint32_t num_shards, std::vector<ServerExecutor*> servers);
+
+  uint32_t ShardIndex(InodeId pid) const {
+    return static_cast<uint32_t>(RouteHash(pid) % shards_.size());
+  }
+
+  Shard* ShardAt(uint32_t index) { return shards_[index].get(); }
+  const Shard* ShardAt(uint32_t index) const { return shards_[index].get(); }
+  ServerExecutor* ServerAt(uint32_t index) const { return servers_[index % servers_.size()]; }
+
+  Shard* Route(InodeId pid) { return ShardAt(ShardIndex(pid)); }
+  ServerExecutor* RouteServer(InodeId pid) const { return ServerAt(ShardIndex(pid)); }
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  size_t TotalRows() const;
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ServerExecutor*> servers_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_TXN_SHARD_MAP_H_

@@ -1,0 +1,183 @@
+#include "src/workload/applications.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/sync.h"
+
+namespace mantle {
+
+namespace {
+
+// Fixed-width worker pool that drains `count` indexed jobs.
+void ParallelFor(int threads, int count, const std::function<void(int)>& job) {
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        const int index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count) {
+          return;
+        }
+        job(index);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}
+
+}  // namespace
+
+AppResult RunAnalytics(MetadataService* service, const std::string& base,
+                       const AnalyticsOptions& options) {
+  AppResult result;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+
+  service->BulkLoadDir(base);
+  Stopwatch run_timer;
+  for (int query = 0; query < options.queries; ++query) {
+    const std::string query_dir = base + "/q" + std::to_string(query);
+    const std::string out_dir = query_dir + "/output";
+    const std::string tmp_dir = query_dir + "/_temporary";
+    for (const std::string& dir : {query_dir, out_dir, tmp_dir}) {
+      if (!service->Mkdir(dir).ok()) {
+        errors.fetch_add(1);
+      }
+      ops.fetch_add(1);
+    }
+
+    // Map phase: every subtask builds its temporary directory and writes its
+    // partial results there.
+    ParallelFor(options.threads, options.subtasks_per_query, [&](int task) {
+      const std::string task_dir = tmp_dir + "/attempt_" + std::to_string(task);
+      OpResult mk = service->Mkdir(task_dir);
+      result.mkdir_latency.Record(mk.breakdown.total_nanos());
+      ops.fetch_add(1);
+      if (!mk.ok()) {
+        errors.fetch_add(1);
+      }
+      for (int object = 0; object < options.objects_per_subtask; ++object) {
+        const std::string path = task_dir + "/part-" + std::to_string(object);
+        OpResult created = service->CreateObject(path, options.object_bytes);
+        ops.fetch_add(1);
+        if (!created.ok()) {
+          errors.fetch_add(1);
+        }
+        const int64_t data_cost = options.data.CostNanos(options.object_bytes);
+        if (data_cost > 0) {
+          PreciseSleep(data_cost);
+        }
+      }
+    });
+
+    // Commit phase: all subtasks rename into the shared output directory
+    // concurrently - the §3.2 contention storm.
+    ParallelFor(options.threads, options.subtasks_per_query, [&](int task) {
+      const std::string task_dir = tmp_dir + "/attempt_" + std::to_string(task);
+      OpResult renamed =
+          service->RenameDir(task_dir, out_dir + "/part_" + std::to_string(task));
+      result.rename_latency.Record(renamed.breakdown.total_nanos());
+      ops.fetch_add(1);
+      if (!renamed.ok()) {
+        errors.fetch_add(1);
+      }
+    });
+
+    // Interactive read-back: stat the committed outputs.
+    ParallelFor(options.threads, options.subtasks_per_query, [&](int task) {
+      const std::string part_dir = out_dir + "/part_" + std::to_string(task);
+      OpResult stat = service->StatDir(part_dir);
+      result.dirstat_latency.Record(stat.breakdown.total_nanos());
+      ops.fetch_add(1);
+      if (!stat.ok()) {
+        errors.fetch_add(1);
+      }
+      for (int object = 0; object < options.objects_per_subtask; ++object) {
+        OpResult ostat = service->StatObject(part_dir + "/part-" + std::to_string(object));
+        result.objstat_latency.Record(ostat.breakdown.total_nanos());
+        ops.fetch_add(1);
+        if (!ostat.ok()) {
+          errors.fetch_add(1);
+        }
+        const int64_t data_cost = options.data.CostNanos(options.object_bytes);
+        if (data_cost > 0) {
+          PreciseSleep(data_cost);
+        }
+      }
+    });
+  }
+  result.completion_seconds = run_timer.ElapsedSeconds();
+  result.metadata_ops = ops.load();
+  result.errors = errors.load();
+  return result;
+}
+
+AppResult RunAudio(MetadataService* service, const std::string& base,
+                   const AudioOptions& options) {
+  AppResult result;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+
+  // Input corpus lives along deep paths (average access depth > 10, Fig. 3b).
+  std::string deep = base;
+  service->BulkLoadDir(deep);
+  for (int level = 1; level < options.dir_depth; ++level) {
+    deep += "/a" + std::to_string(level);
+    service->BulkLoadDir(deep);
+  }
+  const std::string input_dir = deep + "/input";
+  const std::string output_dir = deep + "/output";
+  service->BulkLoadDir(input_dir);
+  service->BulkLoadDir(output_dir);
+  for (int object = 0; object < options.input_objects; ++object) {
+    service->BulkLoadObject(input_dir + "/clip" + std::to_string(object) + ".wav",
+                            options.input_bytes);
+  }
+
+  Stopwatch run_timer;
+  ParallelFor(options.threads, options.input_objects, [&](int object) {
+    const std::string input = input_dir + "/clip" + std::to_string(object) + ".wav";
+    OpResult stat = service->StatObject(input);
+    result.objstat_latency.Record(stat.breakdown.total_nanos());
+    ops.fetch_add(1);
+    if (!stat.ok()) {
+      errors.fetch_add(1);
+    }
+    const int64_t read_cost = options.data.CostNanos(options.input_bytes);
+    if (read_cost > 0) {
+      PreciseSleep(read_cost);
+    }
+    for (int segment = 0; segment < options.segments_per_object; ++segment) {
+      const std::string output = output_dir + "/clip" + std::to_string(object) + "_seg" +
+                                 std::to_string(segment) + ".wav";
+      OpResult created = service->CreateObject(output, options.output_bytes);
+      ops.fetch_add(1);
+      if (!created.ok()) {
+        errors.fetch_add(1);
+      }
+      const int64_t write_cost = options.data.CostNanos(options.output_bytes);
+      if (write_cost > 0) {
+        PreciseSleep(write_cost);
+      }
+      OpResult verify = service->StatObject(output);
+      result.objstat_latency.Record(verify.breakdown.total_nanos());
+      ops.fetch_add(1);
+      if (!verify.ok()) {
+        errors.fetch_add(1);
+      }
+    }
+  });
+  result.completion_seconds = run_timer.ElapsedSeconds();
+  result.metadata_ops = ops.load();
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace mantle

@@ -1,0 +1,83 @@
+// Real-world application workload models (paper §6.2).
+//
+// Analytics - interactive Spark ad-hoc queries: each query spawns subtasks
+// that write results into per-task temporary directories and then atomically
+// rename them into ONE shared output directory. The concurrent commit phase
+// concentrates directory-attribute updates on that directory - the contention
+// storm of §3.2.
+//
+// Audio - AI audio preprocessing: scan a large set of small input objects
+// along deep paths, segment each, and create the output objects. Entirely
+// conflict-free; performance is dominated by path resolution.
+//
+// Both can model data access (Fig. 10b): each object read/write adds a
+// latency charge of one data-service round trip plus size/bandwidth.
+
+#ifndef SRC_WORKLOAD_APPLICATIONS_H_
+#define SRC_WORKLOAD_APPLICATIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/core/metadata_service.h"
+#include "src/net/network.h"
+#include "src/workload/namespace_gen.h"
+
+namespace mantle {
+
+struct DataAccessModel {
+  bool enabled = false;
+  int64_t rtt_nanos = 80'000;                  // proxy <-> data service
+  double bandwidth_bytes_per_sec = 2.5e9;      // 25 Gbps wire, paper's testbed
+  int64_t device_nanos = 40'000;               // SSD access floor
+
+  int64_t CostNanos(uint64_t bytes) const {
+    if (!enabled) {
+      return 0;
+    }
+    return rtt_nanos + device_nanos +
+           static_cast<int64_t>(static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e9);
+  }
+};
+
+struct AppResult {
+  double completion_seconds = 0;
+  uint64_t metadata_ops = 0;
+  uint64_t errors = 0;
+  Histogram mkdir_latency;
+  Histogram rename_latency;
+  Histogram objstat_latency;
+  Histogram dirstat_latency;
+};
+
+struct AnalyticsOptions {
+  int queries = 4;            // sequential interactive queries
+  int subtasks_per_query = 48;  // concurrent subtasks (commit storm width)
+  int objects_per_subtask = 2;
+  uint64_t object_bytes = 8 * 1024 * 1024;  // ~10 GB over the default run
+  int threads = 16;           // executor pool driving subtasks
+  DataAccessModel data;
+};
+
+// Runs the full Analytics workload; the namespace must be pre-populated with
+// `base` available as a fresh subtree root.
+AppResult RunAnalytics(MetadataService* service, const std::string& base,
+                       const AnalyticsOptions& options);
+
+struct AudioOptions {
+  int input_objects = 2'000;       // small audio segments to process
+  int segments_per_object = 4;     // outputs per input
+  uint64_t input_bytes = 256 * 1024;
+  uint64_t output_bytes = 64 * 1024;
+  int threads = 16;
+  int dir_depth = 10;              // working directory depth (deep paths)
+  DataAccessModel data;
+};
+
+AppResult RunAudio(MetadataService* service, const std::string& base,
+                   const AudioOptions& options);
+
+}  // namespace mantle
+
+#endif  // SRC_WORKLOAD_APPLICATIONS_H_

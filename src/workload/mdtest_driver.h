@@ -1,0 +1,98 @@
+// mdtest-style workload driver (paper §6.1: "we adapt mdtest benchmarks").
+//
+// Runs N closed-loop client threads (the proxy fleet) against a
+// MetadataService for a fixed duration or op budget, collecting throughput
+// and per-phase latency histograms. Operation generators implement the seven
+// mdtest operations - create, delete, objstat, dirstat, mkdir, rmdir,
+// dirrename - each in exclusive ('-e', per-thread directories) or shared
+// ('-s', one contended directory) mode.
+
+#ifndef SRC_WORKLOAD_MDTEST_DRIVER_H_
+#define SRC_WORKLOAD_MDTEST_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/core/metadata_service.h"
+#include "src/workload/namespace_gen.h"
+
+namespace mantle {
+
+struct DriverOptions {
+  int threads = 32;
+  int64_t duration_nanos = 2'000'000'000;  // wall-clock budget per run
+  uint64_t max_ops_per_thread = 0;         // 0 = unlimited (duration-bound)
+  int64_t warmup_nanos = 0;
+};
+
+struct WorkloadResult {
+  Histogram total;        // end-to-end op latency
+  Histogram lookup;       // phase: path resolution
+  Histogram loop_detect;  // phase: rename loop detection
+  Histogram execute;      // phase: metadata execution
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  uint64_t retries = 0;
+  uint64_t rpcs = 0;
+  double elapsed_seconds = 0;
+
+  double Throughput() const { return elapsed_seconds > 0 ? ops / elapsed_seconds : 0; }
+  double MeanRpcsPerOp() const { return ops > 0 ? static_cast<double>(rpcs) / ops : 0; }
+};
+
+// One operation issued by `thread_index` as its `op_index`-th op.
+using OpFn = std::function<OpResult(int thread_index, uint64_t op_index, Rng& rng)>;
+
+// Closed-loop run: each thread issues ops back to back until the budget ends.
+WorkloadResult RunClosedLoop(const DriverOptions& options, const OpFn& op);
+
+// --- mdtest operation generators --------------------------------------------
+//
+// Each factory prepares any needed directories on `service` and returns the
+// OpFn. `shared` selects '-s' (all threads in one directory) vs '-e'.
+
+class MdtestOps {
+ public:
+  // `work_depth` is the directory depth at which mutation workloads operate
+  // (the paper's mdtest runs use an average path depth of 10).
+  MdtestOps(MetadataService* service, const GeneratedNamespace* ns, int work_depth = 10)
+      : service_(service), ns_(ns), work_depth_(work_depth) {}
+
+  // objstat/dirstat sample uniformly from the populated namespace.
+  OpFn ObjStat() const;
+  OpFn DirStat() const;
+  // Lookup-only (path resolution benches); `paths` sampled uniformly.
+  OpFn LookupPaths(std::vector<std::string> paths) const;
+
+  // create/delete pair ops run in per-thread work dirs beneath `base`
+  // (created here); create-then-delete keeps the namespace size stable.
+  OpFn CreateDelete(const std::string& base, int threads) const;
+  // Pure create into per-thread dirs (namespace grows).
+  OpFn Create(const std::string& base, int threads) const;
+
+  // mkdir: exclusive = per-thread parent dirs; shared = one parent dir.
+  OpFn Mkdir(const std::string& base, int threads, bool shared) const;
+  // mkdir+rmdir pair (bounded namespace).
+  OpFn MkdirRmdir(const std::string& base, int threads, bool shared) const;
+  // dirrename: create a temp dir, rename it into the target parent
+  // (exclusive: per-thread parents; shared: one parent - the Spark commit
+  // pattern of §3.2).
+  OpFn DirRename(const std::string& base, int threads, bool shared) const;
+
+ private:
+  // Bulk-loads a chain under `base` so per-thread work dirs sit at
+  // work_depth_ - 2 (leaf entries then land at work_depth_).
+  std::string DeepBase(const std::string& base) const;
+
+  MetadataService* service_;
+  const GeneratedNamespace* ns_;
+  int work_depth_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_WORKLOAD_MDTEST_DRIVER_H_

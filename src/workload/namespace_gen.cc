@@ -1,0 +1,138 @@
+#include "src/workload/namespace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace mantle {
+
+const std::vector<std::string>& GeneratedNamespace::DirsAtDepth(int depth) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = dirs_by_depth.find(depth);
+  return it == dirs_by_depth.end() ? kEmpty : it->second;
+}
+
+double GeneratedNamespace::AverageDirDepth() const {
+  if (dirs.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const auto& [depth, bucket] : dirs_by_depth) {
+    total += static_cast<double>(depth) * static_cast<double>(bucket.size());
+  }
+  return total / static_cast<double>(dirs.size());
+}
+
+namespace {
+
+// Approximate normal via the sum of three uniforms (Irwin-Hall), clamped.
+int SampleDepth(Rng& rng, const NamespaceSpec& spec) {
+  const double u =
+      (rng.NextDouble() + rng.NextDouble() + rng.NextDouble() - 1.5) / std::sqrt(0.25 * 3);
+  int depth = spec.mean_depth + static_cast<int>(std::lround(u * spec.depth_stddev));
+  return std::clamp(depth, spec.min_depth, spec.max_depth);
+}
+
+}  // namespace
+
+GeneratedNamespace GenerateNamespace(const NamespaceSpec& spec) {
+  GeneratedNamespace out;
+  Rng rng(spec.seed);
+  out.dirs.reserve(spec.num_dirs);
+
+  // Grow directory chains until the budget is spent. Each chain descends from
+  // the root (or an existing directory) to a sampled target depth, producing
+  // the deep-hierarchy shape of Fig. 3b.
+  struct DirRef {
+    std::string path;
+    int depth;
+  };
+  std::vector<DirRef> all_dirs;
+  uint64_t next_dir_seq = 0;
+  while (all_dirs.size() < spec.num_dirs) {
+    // Branch from a random existing directory one third of the time to give
+    // the tree realistic fanout; otherwise start a fresh top-level chain.
+    std::string base;
+    int base_depth = 0;
+    if (!all_dirs.empty() && rng.Bernoulli(0.33)) {
+      const DirRef& anchor = all_dirs[rng.Uniform(all_dirs.size())];
+      base = anchor.path;
+      base_depth = anchor.depth;
+    }
+    // Chains descend to the sampled absolute depth; branches that start deep
+    // still grow a couple of levels. A 2% tail of extra-deep chains gives the
+    // long maximum depths of the production study (up to 95).
+    int target_depth;
+    if (rng.Bernoulli(0.02)) {
+      target_depth = spec.mean_depth +
+                     static_cast<int>(rng.Uniform(
+                         static_cast<uint64_t>(std::max(1, spec.max_depth - spec.mean_depth))));
+    } else {
+      target_depth = SampleDepth(rng, spec);
+    }
+    target_depth = std::max(target_depth, base_depth + 2);
+    target_depth = std::min(target_depth, spec.max_depth);
+    for (int depth = base_depth; depth < target_depth && all_dirs.size() < spec.num_dirs;
+         ++depth) {
+      base += "/d" + std::to_string(next_dir_seq++);
+      all_dirs.push_back(DirRef{base, depth + 1});
+    }
+  }
+  for (const auto& dir : all_dirs) {
+    out.dirs.push_back(dir.path);
+    out.dirs_by_depth[dir.depth].push_back(dir.path);
+  }
+
+  // Objects attach to directories, biased toward deeper ones (access depth in
+  // the study exceeds 10 on average).
+  out.objects.reserve(spec.num_objects);
+  out.object_sizes.reserve(spec.num_objects);
+  for (uint64_t i = 0; i < spec.num_objects; ++i) {
+    const DirRef* home = nullptr;
+    // Two draws, keep the deeper: a cheap depth bias.
+    const DirRef& a = all_dirs[rng.Uniform(all_dirs.size())];
+    const DirRef& b = all_dirs[rng.Uniform(all_dirs.size())];
+    home = (a.depth >= b.depth) ? &a : &b;
+    out.objects.push_back(home->path + "/o" + std::to_string(i));
+    const bool small = rng.Bernoulli(spec.small_object_ratio);
+    const uint64_t size = small ? 1 + rng.Uniform(spec.small_object_max_bytes)
+                                : spec.small_object_max_bytes +
+                                      rng.Uniform(spec.large_object_max_bytes -
+                                                  spec.small_object_max_bytes);
+    out.object_sizes.push_back(size);
+  }
+  return out;
+}
+
+GeneratedNamespace PopulateNamespace(MetadataService* service, const NamespaceSpec& spec) {
+  GeneratedNamespace generated = GenerateNamespace(spec);
+  for (const auto& dir : generated.dirs) {
+    Status status = service->BulkLoadDir(dir);
+    if (!status.ok()) {
+      MANTLE_WLOG << "bulk load dir " << dir << " failed: " << status;
+    }
+  }
+  for (size_t i = 0; i < generated.objects.size(); ++i) {
+    Status status = service->BulkLoadObject(generated.objects[i], generated.object_sizes[i]);
+    if (!status.ok()) {
+      MANTLE_WLOG << "bulk load object " << generated.objects[i] << " failed: " << status;
+    }
+  }
+  return generated;
+}
+
+std::vector<std::string> BulkLoadChain(MetadataService* service, const std::string& name,
+                                       int depth) {
+  std::vector<std::string> levels;
+  std::string path;
+  for (int level = 0; level < depth; ++level) {
+    path += "/" + name + std::to_string(level);
+    service->BulkLoadDir(path);
+    levels.push_back(path);
+  }
+  return levels;
+}
+
+}  // namespace mantle

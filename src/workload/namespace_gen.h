@@ -1,0 +1,56 @@
+// Namespace generator: synthesizes hierarchies shaped like the production
+// namespaces of the paper's §3 study - deep directory chains (average depth
+// ~10-11, long tails), a ~10:1 object-to-directory ratio, and mostly-small
+// objects - and bulk-loads them into any MetadataService.
+
+#ifndef SRC_WORKLOAD_NAMESPACE_GEN_H_
+#define SRC_WORKLOAD_NAMESPACE_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/metadata_service.h"
+
+namespace mantle {
+
+struct NamespaceSpec {
+  uint64_t num_dirs = 1000;
+  uint64_t num_objects = 10'000;  // paper ratio: ~10 objects per directory
+  int mean_depth = 10;            // target depth of leaf directories
+  int depth_stddev = 2;
+  int min_depth = 4;
+  int max_depth = 24;
+  double small_object_ratio = 0.4;      // fraction of objects <= 512 KB
+  uint64_t small_object_max_bytes = 512 * 1024;
+  uint64_t large_object_max_bytes = 64ull * 1024 * 1024;
+  uint64_t seed = 42;
+};
+
+// The generated shape: every directory and object path, plus directories
+// bucketed by depth for depth-targeted workloads.
+struct GeneratedNamespace {
+  std::vector<std::string> dirs;
+  std::vector<std::string> objects;
+  std::vector<uint64_t> object_sizes;
+  std::map<int, std::vector<std::string>> dirs_by_depth;
+
+  const std::vector<std::string>& DirsAtDepth(int depth) const;
+  double AverageDirDepth() const;
+};
+
+// Generates paths only (no service interaction).
+GeneratedNamespace GenerateNamespace(const NamespaceSpec& spec);
+
+// Generates and bulk-loads into `service`. Parents always precede children.
+GeneratedNamespace PopulateNamespace(MetadataService* service, const NamespaceSpec& spec);
+
+// Creates (via BulkLoadDir) a chain /<name>0/<name>1/.../<name>{depth-1} and
+// returns the full path at each level; used by the depth-sweep benches.
+std::vector<std::string> BulkLoadChain(MetadataService* service, const std::string& name,
+                                       int depth);
+
+}  // namespace mantle
+
+#endif  // SRC_WORKLOAD_NAMESPACE_GEN_H_

@@ -1,0 +1,225 @@
+#include "src/workload/trace_replay.h"
+
+#include <sstream>
+#include <thread>
+
+#include "src/common/random.h"
+
+namespace mantle {
+
+namespace {
+
+const char* TraceOpName(TraceOpType type) {
+  switch (type) {
+    case TraceOpType::kMkdir:
+      return "mkdir";
+    case TraceOpType::kRmdir:
+      return "rmdir";
+    case TraceOpType::kCreate:
+      return "create";
+    case TraceOpType::kDelete:
+      return "delete";
+    case TraceOpType::kObjStat:
+      return "objstat";
+    case TraceOpType::kDirStat:
+      return "dirstat";
+    case TraceOpType::kReadDir:
+      return "readdir";
+    case TraceOpType::kLookup:
+      return "lookup";
+    case TraceOpType::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<std::vector<TraceOp>> ParseTrace(const std::string& text) {
+  std::vector<TraceOp> ops;
+  std::istringstream input(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string verb;
+    TraceOp op;
+    fields >> verb >> op.path;
+    if (verb.empty() || op.path.empty()) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_number) +
+                                     ": missing fields");
+    }
+    if (verb == "mkdir") {
+      op.type = TraceOpType::kMkdir;
+    } else if (verb == "rmdir") {
+      op.type = TraceOpType::kRmdir;
+    } else if (verb == "create") {
+      op.type = TraceOpType::kCreate;
+      if (!(fields >> op.bytes)) {
+        return Status::InvalidArgument("trace line " + std::to_string(line_number) +
+                                       ": create needs a size");
+      }
+    } else if (verb == "delete") {
+      op.type = TraceOpType::kDelete;
+    } else if (verb == "objstat") {
+      op.type = TraceOpType::kObjStat;
+    } else if (verb == "dirstat") {
+      op.type = TraceOpType::kDirStat;
+    } else if (verb == "readdir") {
+      op.type = TraceOpType::kReadDir;
+    } else if (verb == "lookup") {
+      op.type = TraceOpType::kLookup;
+    } else if (verb == "rename") {
+      op.type = TraceOpType::kRename;
+      if (!(fields >> op.path2)) {
+        return Status::InvalidArgument("trace line " + std::to_string(line_number) +
+                                       ": rename needs two paths");
+      }
+    } else {
+      return Status::InvalidArgument("trace line " + std::to_string(line_number) +
+                                     ": unknown op '" + verb + "'");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::string FormatTrace(const std::vector<TraceOp>& ops) {
+  std::string out;
+  for (const auto& op : ops) {
+    out += TraceOpName(op.type);
+    out += ' ';
+    out += op.path;
+    if (op.type == TraceOpType::kCreate) {
+      out += ' ';
+      out += std::to_string(op.bytes);
+    } else if (op.type == TraceOpType::kRename) {
+      out += ' ';
+      out += op.path2;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TraceOp> SynthesizeTrace(const GeneratedNamespace& ns, const TraceMix& mix,
+                                     size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TraceOp> ops;
+  ops.reserve(count + 2);
+
+  // Mutations live under /trace_mut so they never disturb the read targets.
+  TraceOp root;
+  root.type = TraceOpType::kMkdir;
+  root.path = "/trace_mut";
+  ops.push_back(root);
+  TraceOp out_root;
+  out_root.type = TraceOpType::kMkdir;
+  out_root.path = "/trace_mut/out";
+  ops.push_back(out_root);
+
+  const double total = mix.objstat + mix.dirstat + mix.create + mix.del + mix.mkdir +
+                       mix.rename + mix.readdir;
+  uint64_t sequence = 0;
+  std::vector<std::string> live_objects;
+  std::vector<std::string> live_dirs;
+  while (ops.size() < count + 2) {
+    const double roll = rng.NextDouble() * total;
+    TraceOp op;
+    double edge = mix.objstat;
+    if (roll < edge) {
+      op.type = TraceOpType::kObjStat;
+      op.path = ns.objects[rng.Uniform(ns.objects.size())];
+    } else if (roll < (edge += mix.dirstat)) {
+      op.type = TraceOpType::kDirStat;
+      op.path = ns.dirs[rng.Uniform(ns.dirs.size())];
+    } else if (roll < (edge += mix.create)) {
+      op.type = TraceOpType::kCreate;
+      op.path = "/trace_mut/obj" + std::to_string(sequence++);
+      op.bytes = 1 + rng.Uniform(512 * 1024);
+      live_objects.push_back(op.path);
+    } else if (roll < (edge += mix.del)) {
+      if (live_objects.empty()) {
+        continue;
+      }
+      op.type = TraceOpType::kDelete;
+      op.path = live_objects.back();
+      live_objects.pop_back();
+    } else if (roll < (edge += mix.mkdir)) {
+      op.type = TraceOpType::kMkdir;
+      op.path = "/trace_mut/dir" + std::to_string(sequence++);
+      live_dirs.push_back(op.path);
+    } else if (roll < (edge += mix.rename)) {
+      if (live_dirs.empty()) {
+        continue;
+      }
+      op.type = TraceOpType::kRename;
+      op.path = live_dirs.back();
+      live_dirs.pop_back();
+      op.path2 = "/trace_mut/out/moved" + std::to_string(sequence++);
+    } else {
+      op.type = TraceOpType::kReadDir;
+      op.path = ns.dirs[rng.Uniform(ns.dirs.size())];
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+WorkloadResult ReplayTrace(MetadataService* service, const std::vector<TraceOp>& ops,
+                           int threads) {
+  // The first few ops establish mutation roots; run them inline so every
+  // worker sees them.
+  size_t start = 0;
+  while (start < ops.size() && ops[start].type == TraceOpType::kMkdir &&
+         ops[start].path.rfind("/trace_mut", 0) == 0) {
+    service->Mkdir(ops[start].path);
+    ++start;
+  }
+
+  DriverOptions options;
+  options.threads = threads;
+  options.max_ops_per_thread =
+      (ops.size() - start + static_cast<size_t>(threads) - 1) / threads;
+  const std::vector<TraceOp>* trace = &ops;
+  return RunClosedLoop(options, [service, trace, start, threads](int thread_index,
+                                                                 uint64_t op_index, Rng&) {
+    const size_t global = start + static_cast<size_t>(op_index) * threads +
+                          static_cast<size_t>(thread_index);
+    OpResult noop;
+    noop.status = Status::Ok();
+    if (global >= trace->size()) {
+      return noop;
+    }
+    const TraceOp& op = (*trace)[global];
+    switch (op.type) {
+      case TraceOpType::kMkdir:
+        return service->Mkdir(op.path);
+      case TraceOpType::kRmdir:
+        return service->Rmdir(op.path);
+      case TraceOpType::kCreate:
+        return service->CreateObject(op.path, op.bytes);
+      case TraceOpType::kDelete:
+        return service->DeleteObject(op.path);
+      case TraceOpType::kObjStat:
+        return service->StatObject(op.path);
+      case TraceOpType::kDirStat:
+        return service->StatDir(op.path);
+      case TraceOpType::kReadDir: {
+        std::vector<std::string> names;
+        return service->ReadDir(op.path, &names);
+      }
+      case TraceOpType::kLookup:
+        return service->Lookup(op.path);
+      case TraceOpType::kRename:
+        return service->RenameDir(op.path, op.path2);
+    }
+    return noop;
+  });
+}
+
+}  // namespace mantle

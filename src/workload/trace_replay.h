@@ -1,0 +1,80 @@
+// Trace replay: parse and replay metadata-operation traces against any
+// MetadataService. Production traces are not public, so the module also
+// synthesizes traces with configurable operation mixes from a generated
+// namespace - the same substitution DESIGN.md documents for the §3 study.
+//
+// Trace format: one operation per line,
+//   mkdir <path>
+//   rmdir <path>
+//   create <path> <bytes>
+//   delete <path>
+//   objstat <path>
+//   dirstat <path>
+//   readdir <path>
+//   lookup <path>
+//   rename <src> <dst>
+// Blank lines and lines starting with '#' are ignored.
+
+#ifndef SRC_WORKLOAD_TRACE_REPLAY_H_
+#define SRC_WORKLOAD_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/workload/mdtest_driver.h"
+#include "src/workload/namespace_gen.h"
+
+namespace mantle {
+
+enum class TraceOpType : uint8_t {
+  kMkdir,
+  kRmdir,
+  kCreate,
+  kDelete,
+  kObjStat,
+  kDirStat,
+  kReadDir,
+  kLookup,
+  kRename,
+};
+
+struct TraceOp {
+  TraceOpType type = TraceOpType::kObjStat;
+  std::string path;
+  std::string path2;   // rename destination
+  uint64_t bytes = 0;  // create size
+};
+
+// Parses a trace; fails on the first malformed line (message names it).
+Result<std::vector<TraceOp>> ParseTrace(const std::string& text);
+
+// Serializes ops back to the text format (round-trips with ParseTrace).
+std::string FormatTrace(const std::vector<TraceOp>& ops);
+
+// Operation mix for synthetic traces; weights need not sum to anything.
+struct TraceMix {
+  double objstat = 60;
+  double dirstat = 10;
+  double create = 15;
+  double del = 5;
+  double mkdir = 5;
+  double rename = 2;
+  double readdir = 3;
+};
+
+// Builds `count` ops over paths of `ns`, in the given mix. Mutations target a
+// dedicated subtree so the trace is replayable against a service populated
+// with the same namespace.
+std::vector<TraceOp> SynthesizeTrace(const GeneratedNamespace& ns, const TraceMix& mix,
+                                     size_t count, uint64_t seed);
+
+// Replays ops round-robin over `threads` closed-loop workers (each worker
+// takes ops i, i+threads, ...), preserving per-worker order.
+WorkloadResult ReplayTrace(MetadataService* service, const std::vector<TraceOp>& ops,
+                           int threads);
+
+}  // namespace mantle
+
+#endif  // SRC_WORKLOAD_TRACE_REPLAY_H_

@@ -1,0 +1,284 @@
+// Baseline-specific mechanics: InfiniFS id prediction and speculative
+// fallback, the rename coordinator, LocoFS's directory machine, and the
+// Tectonic relaxed-vs-transactional split.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/loco_dir_machine.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "src/common/path.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// --- InfiniFS ------------------------------------------------------------------
+
+class InfiniFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    InfiniFsOptions options;
+    options.tafdb = FastTafDbOptions();
+    service_ = std::make_unique<InfiniFsService>(network_.get(), options);
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<InfiniFsService> service_;
+};
+
+TEST_F(InfiniFsTest, PredictIdIsDeterministicAndDistinct) {
+  EXPECT_EQ(InfiniFsService::PredictId("/a/b"), InfiniFsService::PredictId("/a/b"));
+  EXPECT_NE(InfiniFsService::PredictId("/a/b"), InfiniFsService::PredictId("/a/c"));
+  EXPECT_EQ(InfiniFsService::PredictId("/"), kRootId);
+  // Predicted ids carry the high bit (disjoint from sequential object ids).
+  EXPECT_NE(InfiniFsService::PredictId("/a") & 0x8000000000000000ULL, 0u);
+}
+
+TEST_F(InfiniFsTest, FreshDirectoriesResolveInOneRound) {
+  std::string path;
+  for (int i = 0; i < 8; ++i) {
+    path += "/s" + std::to_string(i);
+    ASSERT_TRUE(service_->Mkdir(path).ok());
+  }
+  ASSERT_TRUE(service_->CreateObject(path + "/o", 1).ok());
+  const uint64_t rounds_before = service_->resolve_stats().rounds.load();
+  const uint64_t fallbacks_before = service_->resolve_stats().fallbacks.load();
+  ASSERT_TRUE(service_->StatObject(path + "/o").ok());
+  // All ids match their predictions: exactly one speculative round, no
+  // fallback.
+  EXPECT_EQ(service_->resolve_stats().rounds.load(), rounds_before + 1);
+  EXPECT_EQ(service_->resolve_stats().fallbacks.load(), fallbacks_before);
+}
+
+TEST_F(InfiniFsTest, RenameBreaksPredictionAndForcesFallback) {
+  ASSERT_TRUE(service_->Mkdir("/top").ok());
+  ASSERT_TRUE(service_->Mkdir("/top/mid").ok());
+  ASSERT_TRUE(service_->Mkdir("/top/mid/deep").ok());
+  ASSERT_TRUE(service_->CreateObject("/top/mid/deep/o", 1).ok());
+  ASSERT_TRUE(service_->Mkdir("/dest").ok());
+  ASSERT_TRUE(service_->RenameDir("/top/mid", "/dest/moved").ok());
+
+  const uint64_t fallbacks_before = service_->resolve_stats().fallbacks.load();
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/dest/moved/deep/o", &info).ok());
+  // The moved directory keeps its (now mispredicted) id: extra rounds.
+  EXPECT_GT(service_->resolve_stats().fallbacks.load(), fallbacks_before);
+}
+
+TEST_F(InfiniFsTest, RenameCoordinatorBlocksConcurrentConflicts) {
+  ASSERT_TRUE(service_->Mkdir("/r1").ok());
+  ASSERT_TRUE(service_->Mkdir("/r2").ok());
+  ASSERT_TRUE(service_->Mkdir("/r2/inner").ok());
+  // Loop: renaming /r2 into its own subtree must be rejected.
+  EXPECT_TRUE(service_->RenameDir("/r2", "/r2/inner/in").status.IsLoopDetected());
+  // Tree intact afterwards (locks released).
+  EXPECT_TRUE(service_->RenameDir("/r1", "/r2/inner/ok").ok());
+}
+
+TEST_F(InfiniFsTest, AmCacheAcceleratesRepeatedResolutions) {
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.enable_am_cache = true;
+  service_ = std::make_unique<InfiniFsService>(network_.get(), options);
+
+  std::string path;
+  for (int i = 0; i < 6; ++i) {
+    path += "/c" + std::to_string(i);
+    ASSERT_TRUE(service_->Mkdir(path).ok());
+  }
+  ASSERT_TRUE(service_->CreateObject(path + "/o", 1).ok());
+  ASSERT_TRUE(service_->StatObject(path + "/o").ok());
+  EXPECT_GT(service_->am_cache()->Size(), 0u);
+  // Cached prefix: the next stat issues fewer DB RPCs.
+  ScopedRpcCounter counter;
+  ASSERT_TRUE(service_->StatObject(path + "/o").ok());
+  EXPECT_LE(counter.count(), 2);
+}
+
+TEST_F(InfiniFsTest, AmCacheInvalidatedOnRename) {
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.enable_am_cache = true;
+  service_ = std::make_unique<InfiniFsService>(network_.get(), options);
+
+  ASSERT_TRUE(service_->Mkdir("/m").ok());
+  ASSERT_TRUE(service_->Mkdir("/m/x").ok());
+  ASSERT_TRUE(service_->Mkdir("/m/x/y").ok());
+  ASSERT_TRUE(service_->Mkdir("/m/x/y/z").ok());
+  ASSERT_TRUE(service_->CreateObject("/m/x/y/z/o", 1).ok());
+  ASSERT_TRUE(service_->StatObject("/m/x/y/z/o").ok());  // warm cache
+  ASSERT_TRUE(service_->Mkdir("/m2").ok());
+  ASSERT_TRUE(service_->RenameDir("/m/x", "/m2/x2").ok());
+  EXPECT_TRUE(service_->StatObject("/m/x/y/z/o").status.IsNotFound());
+  EXPECT_TRUE(service_->StatObject("/m2/x2/y/z/o").ok());
+}
+
+// --- LocoFS directory machine ------------------------------------------------------
+
+class LocoDirMachineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(NetworkOptions{.zero_latency = true});
+    machine_ = std::make_unique<LocoDirMachine>(network_.get());
+  }
+
+  Status ApplyCommand(const IndexCommand& command) {
+    return DecodeApplyStatus(machine_->Apply(1, EncodeIndexCommand(command)));
+  }
+
+  Status ApplyMkdir(const std::string& path, InodeId id) {
+    IndexCommand command;
+    command.type = IndexCommandType::kAddDir;
+    command.id = id;
+    command.permission = kPermAll;
+    command.inval_path = path;
+    return ApplyCommand(command);
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<LocoDirMachine> machine_;
+};
+
+TEST_F(LocoDirMachineTest, MkdirResolvesDuringApply) {
+  EXPECT_TRUE(ApplyMkdir("/a", 2).ok());
+  EXPECT_TRUE(ApplyMkdir("/a/b", 3).ok());
+  EXPECT_TRUE(ApplyMkdir("/missing/child", 4).IsNotFound());
+  auto info = machine_->ResolveNoCharge(SplitPath("/a/b"), 2);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->id, 3u);
+}
+
+TEST_F(LocoDirMachineTest, AttrsTrackChildDirectories) {
+  ASSERT_TRUE(ApplyMkdir("/a", 2).ok());
+  ASSERT_TRUE(ApplyMkdir("/a/b", 3).ok());
+  ASSERT_TRUE(ApplyMkdir("/a/c", 4).ok());
+  auto stat = machine_->DirStat(SplitPath("/a"));
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->child_count, 2);
+  EXPECT_EQ(machine_->ChildDirs(2).size(), 2u);
+}
+
+TEST_F(LocoDirMachineTest, RmdirRequiresEmpty) {
+  ASSERT_TRUE(ApplyMkdir("/a", 2).ok());
+  ASSERT_TRUE(ApplyMkdir("/a/b", 3).ok());
+  IndexCommand rm;
+  rm.type = IndexCommandType::kRemoveDir;
+  rm.inval_path = "/a";
+  EXPECT_EQ(ApplyCommand(rm).code(), StatusCode::kNotEmpty);
+  rm.inval_path = "/a/b";
+  EXPECT_TRUE(ApplyCommand(rm).ok());
+  rm.inval_path = "/a";
+  EXPECT_TRUE(ApplyCommand(rm).ok());
+}
+
+TEST_F(LocoDirMachineTest, RenamePrepareAndApply) {
+  ASSERT_TRUE(ApplyMkdir("/src", 2).ok());
+  ASSERT_TRUE(ApplyMkdir("/src/kid", 3).ok());
+  ASSERT_TRUE(ApplyMkdir("/dst", 4).ok());
+
+  auto prepared = machine_->RenamePrepare(SplitPath("/src"), SplitPath("/dst/moved"), 9);
+  ASSERT_TRUE(prepared.ok());
+  // Competing rename busy.
+  EXPECT_TRUE(
+      machine_->RenamePrepare(SplitPath("/src"), SplitPath("/dst/other"), 10).status().IsBusy());
+
+  IndexCommand rename;
+  rename.type = IndexCommandType::kRenameDir;
+  rename.uuid = 9;
+  rename.inval_path = "/src";
+  rename.dst_name = "/dst/moved";
+  ASSERT_TRUE(ApplyCommand(rename).ok());
+  EXPECT_TRUE(machine_->ResolveNoCharge(SplitPath("/dst/moved/kid"), 3).ok());
+  EXPECT_TRUE(machine_->ResolveNoCharge(SplitPath("/src"), 1).status().IsNotFound());
+  // Attr bookkeeping moved with it.
+  EXPECT_EQ(machine_->DirStat(SplitPath("/dst"))->child_count, 1);
+}
+
+TEST_F(LocoDirMachineTest, RenameLoopRejectedAtPrepareAndApply) {
+  ASSERT_TRUE(ApplyMkdir("/p", 2).ok());
+  ASSERT_TRUE(ApplyMkdir("/p/q", 3).ok());
+  EXPECT_TRUE(
+      machine_->RenamePrepare(SplitPath("/p"), SplitPath("/p/q/under"), 5).status().IsLoopDetected());
+  IndexCommand rename;
+  rename.type = IndexCommandType::kRenameDir;
+  rename.uuid = 6;
+  rename.inval_path = "/p";
+  rename.dst_name = "/p/q/under";
+  EXPECT_TRUE(ApplyCommand(rename).IsLoopDetected());
+}
+
+TEST_F(LocoDirMachineTest, SnapshotRoundTripsTreeAndAttrs) {
+  ASSERT_TRUE(ApplyMkdir("/a", 2).ok());
+  ASSERT_TRUE(ApplyMkdir("/a/b", 3).ok());
+  ASSERT_TRUE(ApplyMkdir("/a/c", 4).ok());
+
+  LocoDirMachine target(network_.get());
+  IndexCommand noise;
+  noise.type = IndexCommandType::kAddDir;
+  noise.id = 50;
+  noise.permission = kPermAll;
+  noise.inval_path = "/stale";
+  ASSERT_TRUE(DecodeApplyStatus(target.Apply(1, EncodeIndexCommand(noise))).ok());
+
+  target.Restore(machine_->Snapshot());
+  EXPECT_EQ(target.DirCount(), 3u);
+  EXPECT_TRUE(target.ResolveNoCharge(SplitPath("/stale"), 1).status().IsNotFound());
+  auto stat = target.DirStat(SplitPath("/a"));
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->child_count, 2);
+  EXPECT_EQ(target.ChildDirs(stat->id).size(), 2u);
+  // Post-restore mutations keep working.
+  IndexCommand rm;
+  rm.type = IndexCommandType::kRemoveDir;
+  rm.inval_path = "/a/b";
+  EXPECT_TRUE(DecodeApplyStatus(target.Apply(2, EncodeIndexCommand(rm))).ok());
+  EXPECT_EQ(target.DirStat(SplitPath("/a"))->child_count, 1);
+}
+
+// --- Tectonic consistency modes -----------------------------------------------------
+
+TEST(TectonicModesTest, DistributedTxnVariantRetriesUnderConflict) {
+  Network network(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.use_distributed_txn = true;
+  TectonicService service(&network, options);
+  EXPECT_EQ(service.name(), "DBtable");
+  ASSERT_TRUE(service.Mkdir("/shared").ok());
+  // Hold a foreign lock on the shared directory's attribute row: mkdir inside
+  // must abort/retry and eventually give up (capped attempts).
+  Shard* shard = service.tafdb()->shard_map()->Route(2);
+  auto row = service.tafdb()->LocalGet(EntryKey(kRootId, "shared"));
+  ASSERT_TRUE(row.has_value());
+  Shard* attr_shard = service.tafdb()->shard_map()->Route(row->id);
+  ASSERT_TRUE(attr_shard->TryLockKey(AttrKey(row->id), 31337));
+  OpResult result = service.Mkdir("/shared/blocked");
+  EXPECT_TRUE(result.status.IsAborted());
+  EXPECT_GT(result.retries, 0);
+  attr_shard->UnlockKey(AttrKey(row->id), 31337);
+  EXPECT_TRUE(service.Mkdir("/shared/blocked").ok());
+  (void)shard;
+}
+
+TEST(TectonicModesTest, RelaxedVariantSerializesInsteadOfAborting) {
+  Network network(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.use_distributed_txn = false;
+  TectonicService service(&network, options);
+  EXPECT_EQ(service.name(), "Tectonic");
+  ASSERT_TRUE(service.Mkdir("/shared").ok());
+  OpResult result = service.Mkdir("/shared/child");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.retries, 0);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+#include "src/common/config.h"
+#include "src/common/logging.h"
+
+namespace mantle {
+namespace {
+
+TEST(FormatTest, OpsScalesUnits) {
+  EXPECT_EQ(FormatOps(512), "512 op/s");
+  EXPECT_EQ(FormatOps(12'300), "12.3 Kop/s");
+  EXPECT_EQ(FormatOps(2'500'000), "2.50 Mop/s");
+}
+
+TEST(FormatTest, MicrosScalesUnits) {
+  EXPECT_EQ(FormatMicros(1'500), "1.5 us");
+  EXPECT_EQ(FormatMicros(2'500'000), "2.50 ms");
+  EXPECT_EQ(FormatMicros(3'200'000'000.0), "3.20 s");
+}
+
+TEST(FormatTest, CountScalesUnits) {
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1'500), "1.5K");
+  EXPECT_EQ(FormatCount(2'500'000), "2.5M");
+  EXPECT_EQ(FormatCount(3'000'000'000ULL), "3.0B");
+}
+
+TEST(BenchConfigTest, EnvOverridesApply) {
+  setenv("MANTLE_BENCH_THREADS", "7", 1);
+  setenv("MANTLE_BENCH_SECONDS", "0.5", 1);
+  setenv("MANTLE_BENCH_DIRS", "123", 1);
+  setenv("MANTLE_BENCH_OBJECTS", "456", 1);
+  BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.threads, 7);
+  EXPECT_DOUBLE_EQ(config.seconds_per_cell, 0.5);
+  EXPECT_EQ(config.ns_dirs, 123u);
+  EXPECT_EQ(config.ns_objects, 456u);
+  EXPECT_EQ(config.DurationNanos(), 500'000'000);
+  unsetenv("MANTLE_BENCH_THREADS");
+  unsetenv("MANTLE_BENCH_SECONDS");
+  unsetenv("MANTLE_BENCH_DIRS");
+  unsetenv("MANTLE_BENCH_OBJECTS");
+}
+
+TEST(BenchConfigTest, QuickModeShrinksDefaults) {
+  setenv("MANTLE_BENCH_QUICK", "1", 1);
+  BenchConfig quick = BenchConfig::FromEnv();
+  unsetenv("MANTLE_BENCH_QUICK");
+  BenchConfig full = BenchConfig::FromEnv();
+  EXPECT_LT(quick.threads, full.threads);
+  EXPECT_LT(quick.ns_dirs, full.ns_dirs);
+  EXPECT_LT(quick.WarmupNanos(), full.WarmupNanos());
+}
+
+TEST(ConfigTest, EnvHelpers) {
+  setenv("MANTLE_TEST_INT", "42", 1);
+  setenv("MANTLE_TEST_DBL", "2.5", 1);
+  setenv("MANTLE_TEST_BOOL", "false", 1);
+  setenv("MANTLE_TEST_STR", "hello", 1);
+  EXPECT_EQ(EnvInt("MANTLE_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("MANTLE_TEST_DBL", 0), 2.5);
+  EXPECT_FALSE(EnvBool("MANTLE_TEST_BOOL", true));
+  EXPECT_EQ(EnvString("MANTLE_TEST_STR", ""), "hello");
+  EXPECT_EQ(EnvInt("MANTLE_TEST_ABSENT", 7), 7);
+  EXPECT_TRUE(EnvBool("MANTLE_TEST_ABSENT", true));
+  setenv("MANTLE_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(EnvInt("MANTLE_TEST_INT", 9), 9);
+  unsetenv("MANTLE_TEST_INT");
+  unsetenv("MANTLE_TEST_DBL");
+  unsetenv("MANTLE_TEST_BOOL");
+  unsetenv("MANTLE_TEST_STR");
+}
+
+TEST(LoggingTest, LevelGating) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(before);
+}
+
+TEST(SystemFactoryTest, MakesEverySystemKind) {
+  // Constructing each paper-scaled topology must succeed and serve one op.
+  for (SystemKind kind : {SystemKind::kMantle, SystemKind::kTectonic, SystemKind::kDbTable,
+                          SystemKind::kInfiniFs, SystemKind::kLocoFs}) {
+    SystemInstance instance = MakeSystem(kind);
+    ASSERT_NE(instance.get(), nullptr);
+    EXPECT_TRUE(instance.get()->Mkdir("/smoke").ok()) << SystemName(kind);
+    EXPECT_TRUE(instance.get()->StatDir("/smoke").ok()) << SystemName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mantle

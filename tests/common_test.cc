@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/path.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/sync.h"
+#include "src/common/thread_pool.h"
+
+namespace mantle {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status status = Status::NotFound("missing /a/b");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "missing /a/b");
+  EXPECT_EQ(status.ToString(), "NotFound: missing /a/b");
+}
+
+TEST(StatusTest, RetriableCodes) {
+  EXPECT_TRUE(Status::Aborted().IsRetriable());
+  EXPECT_TRUE(Status::Busy().IsRetriable());
+  EXPECT_FALSE(Status::NotFound().IsRetriable());
+  EXPECT_FALSE(Status::Ok().IsRetriable());
+  EXPECT_FALSE(Status::LoopDetected().IsRetriable());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kLoopDetected), "LoopDetected");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+Result<int> HelperThatPropagates(bool fail) {
+  auto inner = [&]() -> Result<int> {
+    if (fail) {
+      return Status::Aborted("inner");
+    }
+    return 5;
+  };
+  MANTLE_ASSIGN_OR_RETURN(int value, inner());
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*HelperThatPropagates(false), 10);
+  EXPECT_TRUE(HelperThatPropagates(true).status().IsAborted());
+}
+
+// --- Path utilities -------------------------------------------------------------
+
+TEST(PathTest, SplitBasic) {
+  EXPECT_EQ(SplitPath("/A/B/c"), (std::vector<std::string>{"A", "B", "c"}));
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+}
+
+TEST(PathTest, SplitIgnoresRepeatedSeparators) {
+  EXPECT_EQ(SplitPath("//A///B/"), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(PathTest, JoinRoundTrips) {
+  EXPECT_EQ(JoinPath({"A", "B", "c"}), "/A/B/c");
+  EXPECT_EQ(JoinPath({}), "/");
+  EXPECT_EQ(NormalizePath("a//b/"), "/a/b");
+}
+
+TEST(PathTest, PrefixAndParent) {
+  std::vector<std::string> components{"A", "B", "C"};
+  EXPECT_EQ(PathPrefix(components, 0), "/");
+  EXPECT_EQ(PathPrefix(components, 2), "/A/B");
+  EXPECT_EQ(PathPrefix(components, 9), "/A/B/C");
+  EXPECT_EQ(ParentPath("/A/B/c"), "/A/B");
+  EXPECT_EQ(ParentPath("/A"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+  EXPECT_EQ(BaseName("/A/B/c"), "c");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, Depth) {
+  EXPECT_EQ(PathDepth("/"), 0u);
+  EXPECT_EQ(PathDepth("/A/B/c"), 3u);
+}
+
+TEST(PathTest, IsPathPrefixSemantics) {
+  EXPECT_TRUE(IsPathPrefix("/", "/A/B"));
+  EXPECT_TRUE(IsPathPrefix("/A/B", "/A/B"));
+  EXPECT_TRUE(IsPathPrefix("/A/B", "/A/B/C"));
+  EXPECT_FALSE(IsPathPrefix("/A/B", "/A/BC"));
+  EXPECT_FALSE(IsPathPrefix("/A/B/C", "/A/B"));
+}
+
+TEST(PathTest, Validation) {
+  EXPECT_TRUE(IsValidPath("/a/b"));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath(""));
+}
+
+// --- Histogram -------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.Percentile(50), 0);
+  EXPECT_EQ(histogram.Mean(), 0);
+}
+
+TEST(HistogramTest, RecordsValuesWithBoundedError) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(i * 1000);
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_NEAR(static_cast<double>(histogram.Percentile(50)), 500'000, 500'000 * 0.05);
+  EXPECT_NEAR(static_cast<double>(histogram.Percentile(99)), 990'000, 990'000 * 0.05);
+  EXPECT_EQ(histogram.max(), 1'000'000);
+  EXPECT_EQ(histogram.min(), 1000);
+  EXPECT_NEAR(histogram.Mean(), 500'500, 1000);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(100);
+  b.Record(1'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 1'000'000);
+  EXPECT_EQ(a.min(), 100);
+}
+
+TEST(HistogramTest, CdfIsMonotone) {
+  Histogram histogram;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    histogram.Record(static_cast<int64_t>(rng.Uniform(10'000'000)));
+  }
+  auto cdf = histogram.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_fraction = 0;
+  int64_t prev_value = -1;
+  for (const auto& point : cdf) {
+    EXPECT_GE(point.fraction, prev_fraction);
+    EXPECT_GT(point.value_nanos, prev_value);
+    prev_fraction = point.fraction;
+    prev_value = point.value_nanos;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&histogram]() {
+      for (int i = 0; i < 10'000; ++i) {
+        histogram.Record(i);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.count(), 40'000u);
+}
+
+// --- Random ------------------------------------------------------------------------
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, ZipfianSkewsTowardsHead) {
+  ZipfianGenerator zipf(1000, 0.99, 3);
+  int head_hits = 0;
+  const int samples = 20'000;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t v = zipf.Next();
+    EXPECT_LT(v, 1000u);
+    if (v < 10) {
+      ++head_hits;
+    }
+  }
+  // The top 1% of keys should draw far more than 1% of accesses.
+  EXPECT_GT(head_hits, samples / 10);
+}
+
+// --- ThreadPool ----------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter]() { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.completed_tasks(), 100u);
+}
+
+TEST(ThreadPoolTest, FuturesDeliverResults) {
+  ThreadPool pool(2);
+  auto future = pool.SubmitWithResult([]() { return 7 * 6; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([]() {}));
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnShutdown) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --- Clock / sync ----------------------------------------------------------------------
+
+TEST(ClockTest, PreciseSleepWaitsAtLeastRequested) {
+  const int64_t start = MonotonicNanos();
+  PreciseSleep(2'000'000);  // 2 ms
+  EXPECT_GE(MonotonicNanos() - start, 2'000'000);
+}
+
+TEST(SyncTest, CountDownLatchReleases) {
+  CountDownLatch latch(3);
+  std::thread worker([&latch]() {
+    latch.CountDown();
+    latch.CountDown();
+    latch.CountDown();
+  });
+  latch.Wait();
+  worker.join();
+}
+
+TEST(SyncTest, SpinLockMutualExclusion) {
+  SpinLock lock;
+  int shared = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 10'000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++shared;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(shared, 40'000);
+}
+
+}  // namespace
+}  // namespace mantle

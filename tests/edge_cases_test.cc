@@ -1,0 +1,211 @@
+// Edge cases across modules: protocol corner states, odd path shapes, cache
+// statistics, and listing under concurrent renames.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/path.h"
+#include "src/raft/group.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// --- InstallSnapshot protocol corners ------------------------------------------
+
+class NullMachine final : public StateMachine {
+ public:
+  std::string Apply(uint64_t, const std::string& command) override { return command; }
+  std::string Snapshot() override { return "S"; }
+  void Restore(const std::string&) override { restored = true; }
+  bool restored = false;
+};
+
+TEST(InstallSnapshotEdgeTest, StaleTermRejectedAndCoveredIndexAccepted) {
+  Network network(FastNetworkOptions());
+  RaftOptions options = FastRaftOptions();
+  options.enable_election_timer = false;
+  std::vector<NullMachine*> machines(3, nullptr);
+  RaftGroup group(
+      &network, "snapedge", 3, 0,
+      [&machines](uint32_t id) -> std::unique_ptr<StateMachine> {
+        auto machine = std::make_unique<NullMachine>();
+        machines[id] = machine.get();
+        return machine;
+      },
+      options);
+
+  RaftNode* node = group.node(0);
+  AppendEntriesRequest fill;
+  fill.term = 5;
+  fill.leader_id = 1;
+  ASSERT_TRUE(node->HandleAppendEntries(fill).success);
+
+  InstallSnapshotRequest stale;
+  stale.term = 3;  // behind the node's term
+  stale.snapshot_index = 100;
+  InstallSnapshotReply reply = node->HandleInstallSnapshot(stale);
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.term, 5u);
+  EXPECT_FALSE(machines[0]->restored);
+
+  // A snapshot at-or-below the local apply point is acknowledged but not
+  // installed (nothing to gain).
+  InstallSnapshotRequest covered;
+  covered.term = 5;
+  covered.snapshot_index = 0;
+  EXPECT_TRUE(node->HandleInstallSnapshot(covered).success);
+  EXPECT_FALSE(machines[0]->restored);
+
+  // A genuinely ahead snapshot installs and fast-forwards the apply point.
+  InstallSnapshotRequest ahead;
+  ahead.term = 5;
+  ahead.snapshot_index = 40;
+  ahead.snapshot_term = 5;
+  ahead.data = "S";
+  EXPECT_TRUE(node->HandleInstallSnapshot(ahead).success);
+  EXPECT_TRUE(machines[0]->restored);
+  EXPECT_EQ(node->last_applied(), 40u);
+  EXPECT_EQ(node->last_log_index(), 40u);
+}
+
+// --- odd path shapes -------------------------------------------------------------
+
+TEST(PathEdgeTest, LongComponentsAndManySlashes) {
+  const std::string long_name(200, 'x');
+  EXPECT_EQ(SplitPath("/" + long_name).size(), 1u);
+  EXPECT_EQ(BaseName("///" + long_name + "///"), long_name);
+  EXPECT_EQ(NormalizePath("////a////b////"), "/a/b");
+  EXPECT_TRUE(IsPathPrefix("/a", "/a///b"));  // prefix check on normalized forms
+}
+
+TEST(PathEdgeTest, ServiceHandlesUnusualNames) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  // Names with dots, dashes, spaces and unicode bytes are plain bytes here.
+  for (const char* name : {"/.hidden", "/with space", "/d.o.t.s", "/uni\xc3\xa9"}) {
+    ASSERT_TRUE(service.Mkdir(name).ok()) << name;
+    EXPECT_TRUE(service.StatDir(name).ok()) << name;
+  }
+  // Repeated separators normalize to the same entry.
+  ASSERT_TRUE(service.CreateObject("/.hidden//obj", 5).ok());
+  EXPECT_TRUE(service.StatObject("/.hidden/obj").ok());
+  EXPECT_TRUE(service.CreateObject("/.hidden/obj", 5).status.IsAlreadyExists());
+}
+
+TEST(PathEdgeTest, RootOperationsRejectedEverywhere) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  EXPECT_FALSE(service.Rmdir("/").ok());
+  EXPECT_FALSE(service.CreateObject("/", 1).ok());
+  EXPECT_FALSE(service.DeleteObject("/").ok());
+  EXPECT_FALSE(service.RenameDir("/", "/x").ok());
+  EXPECT_TRUE(service.Mkdir("/").status.IsAlreadyExists());
+  EXPECT_TRUE(service.StatDir("/").ok());  // the root itself is stat-able
+  std::vector<std::string> names;
+  EXPECT_TRUE(service.ReadDir("/", &names).ok());
+}
+
+// --- cache statistics and deep-nesting behaviour ----------------------------------
+
+TEST(CacheStatsTest, HitRateRisesOnRepeatedDeepLookups) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.index.follower_read = false;
+  MantleService service(&network, options);
+  std::string path;
+  for (int level = 0; level < 8; ++level) {
+    path += "/lv" + std::to_string(level);
+    ASSERT_TRUE(service.BulkLoadDir(path).ok());
+  }
+  ASSERT_TRUE(service.BulkLoadObject(path + "/o", 1).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.StatObject(path + "/o").ok());
+  }
+  auto stats = service.index()->LeaderReplica()->cache().stats();
+  EXPECT_EQ(stats.fills, 1u);
+  EXPECT_GE(stats.hits, 19u);
+}
+
+TEST(CacheStatsTest, VeryDeepPathsResolveAndCacheOnePrefix) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  std::string path;
+  for (int level = 0; level < 40; ++level) {  // far beyond the study's average
+    path += "/deep" + std::to_string(level);
+    ASSERT_TRUE(service.BulkLoadDir(path).ok());
+  }
+  ASSERT_TRUE(service.BulkLoadObject(path + "/o", 1).ok());
+  OpResult result = service.StatObject(path + "/o");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.rpcs, 2);
+  // Prefix cached at depth 40 - k.
+  EXPECT_TRUE(service.index()
+                  ->LeaderReplica()
+                  ->cache()
+                  .Lookup(PathPrefix(SplitPath(path + "/o"), 41 - 3))
+                  .has_value());
+}
+
+// --- listing under concurrent rename ----------------------------------------------
+
+TEST(ListingEdgeTest, PagingAcrossARenamedDirectoryFailsCleanly) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/pages").ok());
+  for (int i = 0; i < 20; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "o%02d", i);
+    ASSERT_TRUE(service.CreateObject(std::string("/pages/") + name, 1).ok());
+  }
+  MetadataService::ListPage page;
+  ASSERT_TRUE(service.ListObjects("/pages", "", 5, &page).ok());
+  ASSERT_TRUE(service.Mkdir("/elsewhere").ok());
+  ASSERT_TRUE(service.RenameDir("/pages", "/elsewhere/pages2").ok());
+  // Continuing under the old path reports NotFound - no phantom results.
+  EXPECT_TRUE(
+      service.ListObjects("/pages", page.next_start_after, 5, &page).status.IsNotFound());
+  // Continuation tokens remain valid under the new path.
+  MetadataService::ListPage moved;
+  ASSERT_TRUE(service.ListObjects("/elsewhere/pages2", "o04", 100, &moved).ok());
+  EXPECT_EQ(moved.names.size(), 15u);
+}
+
+// --- removal list version monotonicity under concurrency ---------------------------
+
+TEST(RemovalVersionTest, VersionNeverDecreasesUnderConcurrentInserts) {
+  RemovalList list;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread observer([&]() {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t now = list.version();
+      if (now < last) {
+        violations.fetch_add(1);
+      }
+      last = now;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&list, t]() {
+      for (int i = 0; i < 1000; ++i) {
+        auto token = list.Insert("/w" + std::to_string(t) + "/" + std::to_string(i));
+        list.MarkDone(token);
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(list.version(), 4000u);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,201 @@
+// Fault tolerance (paper §5.3): IndexNode leader failover during live
+// traffic, proxy-failover idempotence via rename UUIDs, and follower-read
+// behaviour with degraded replicas.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/common/path.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+MantleOptions FailoverMantleOptions() {
+  MantleOptions options = FastMantleOptions();
+  // Faster elections so failover tests stay quick.
+  options.index.raft.election_timeout_min_nanos = 60'000'000;
+  options.index.raft.election_timeout_max_nanos = 120'000'000;
+  options.index.raft.election_poll_nanos = 5'000'000;
+  options.index.raft.propose_timeout_nanos = 8'000'000'000;
+  return options;
+}
+
+TEST(FaultToleranceTest, IndexNodeLeaderFailoverPreservesNamespace) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FailoverMantleOptions());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.Mkdir("/pre" + std::to_string(i)).ok());
+  }
+
+  RaftGroup* group = service.index()->group();
+  RaftNode* old_leader = group->WaitForLeader();
+  ASSERT_NE(old_leader, nullptr);
+  old_leader->Stop();
+
+  // New leader emerges; the namespace is intact and writable.
+  RaftNode* new_leader = nullptr;
+  const int64_t deadline = MonotonicNanos() + 10'000'000'000;
+  while (MonotonicNanos() < deadline) {
+    new_leader = group->leader();
+    if (new_leader != nullptr && new_leader != old_leader) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader, old_leader);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service.StatDir("/pre" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_TRUE(service.Mkdir("/post").ok());
+  EXPECT_TRUE(service.StatDir("/post").ok());
+}
+
+TEST(FaultToleranceTest, MkdirsDuringFailoverNeverCorruptState) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FailoverMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/work").ok());
+
+  std::atomic<int> successes{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t]() {
+      for (int i = 0; i < 200 && !stop.load(); ++i) {
+        if (service.Mkdir("/work/d" + std::to_string(t) + "_" + std::to_string(i)).ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  RaftGroup* group = service.index()->group();
+  RaftNode* old_leader = group->WaitForLeader();
+  ASSERT_NE(old_leader, nullptr);
+  old_leader->Stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& writer : writers) {
+    writer.join();
+  }
+
+  // Every directory whose mkdir reported success must be resolvable.
+  int verified = 0;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string path = "/work/d" + std::to_string(t) + "_" + std::to_string(i);
+      if (service.StatDir(path).ok()) {
+        ++verified;
+      }
+    }
+  }
+  EXPECT_GE(verified, successes.load());
+  EXPECT_GT(successes.load(), 0);
+}
+
+TEST(FaultToleranceTest, RenameUuidMakesPrepareIdempotent) {
+  // §5.3: a proxy crash after taking the rename lock must not deadlock the
+  // namespace - the retry (same UUID) re-acquires the lock and completes.
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/victim").ok());
+  ASSERT_TRUE(service.Mkdir("/target").ok());
+
+  IndexService* index = service.index();
+  const uint64_t uuid = 777;
+  auto first = index->RenamePrepare(SplitPath("/victim"), SplitPath("/target"), "v", uuid);
+  ASSERT_TRUE(first.ok());
+  // "Proxy dies" here. The replacement proxy retries the same UUID.
+  auto retry = index->RenamePrepare(SplitPath("/victim"), SplitPath("/target"), "v", uuid);
+  ASSERT_TRUE(retry.ok());
+  // A different rename (different UUID) is still excluded until completion.
+  auto foreign = index->RenamePrepare(SplitPath("/victim"), SplitPath("/target"), "x", 888);
+  EXPECT_TRUE(foreign.status().IsBusy());
+  // Complete the original: lock released, foreign proceeds.
+  ASSERT_TRUE(index
+                  ->RenameCommit(retry->src_pid, "victim", retry->dst_pid, "v", uuid,
+                                 retry->src_path)
+                  .ok());
+  EXPECT_FALSE(index->LeaderReplica()->table().IsLocked(first->src_id));
+}
+
+TEST(FaultToleranceTest, FollowerReadsSurviveFollowerCrash) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.index.follower_read = true;
+  options.index.offload_queue_threshold = 0;  // exercise replicas aggressively
+  MantleService service(&network, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.Mkdir("/f" + std::to_string(i)).ok());
+  }
+  // Crash one follower; lookups must keep succeeding via the survivors.
+  RaftGroup* group = service.index()->group();
+  RaftNode* leader = group->WaitForLeader();
+  for (uint32_t i = 0; i < group->num_nodes(); ++i) {
+    if (group->node(i) != leader) {
+      group->node(i)->Stop();
+      break;
+    }
+  }
+  for (int round = 0; round < 30; ++round) {
+    EXPECT_TRUE(service.StatDir("/f" + std::to_string(round % 5)).ok()) << round;
+  }
+}
+
+TEST(FaultToleranceTest, TafDbTransactionAbortLeavesNoPartialState) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  // Pure transactional behaviour: keep delta records out of the picture so
+  // the contended mkdir cannot sidestep the conflict.
+  options.tafdb.enable_delta_records = false;
+  options.retry.max_attempts = 4;
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/atomic").ok());
+  // Force the mkdir's cross-shard transaction to abort by locking the parent
+  // attribute row, then verify no orphan rows were left behind.
+  auto parent_row = service.tafdb()->LocalGet(EntryKey(kRootId, "atomic"));
+  ASSERT_TRUE(parent_row.has_value());
+  const InodeId pid = parent_row->id;
+  Shard* shard = service.tafdb()->shard_map()->Route(pid);
+  ASSERT_TRUE(shard->TryLockKey(AttrKey(pid), 55555));
+  OpResult blocked = service.Mkdir("/atomic/child");
+  EXPECT_TRUE(blocked.status.IsAborted());
+  EXPECT_GT(blocked.retries, 0);
+  // No entry row, no attr row, no IndexNode entry.
+  EXPECT_FALSE(service.tafdb()->LocalGet(EntryKey(pid, "child")).has_value());
+  EXPECT_TRUE(service.StatDir("/atomic/child").status.IsNotFound());
+  shard->UnlockKey(AttrKey(pid), 55555);
+  EXPECT_TRUE(service.Mkdir("/atomic/child").ok());
+}
+
+TEST(FaultToleranceTest, DeltaRecordsRescueContendedMkdirWhenEnabled) {
+  // The same scenario with delta records available: sustained aborts flip the
+  // directory into delta mode and the operation completes despite the foreign
+  // lock on the attribute primary row.
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.tafdb.contention.abort_threshold = 2;
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/rescued").ok());
+  auto parent_row = service.tafdb()->LocalGet(EntryKey(kRootId, "rescued"));
+  ASSERT_TRUE(parent_row.has_value());
+  const InodeId pid = parent_row->id;
+  Shard* shard = service.tafdb()->shard_map()->Route(pid);
+  ASSERT_TRUE(shard->TryLockKey(AttrKey(pid), 55555));
+  OpResult result = service.Mkdir("/rescued/child");
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.retries, 0);
+  shard->UnlockKey(AttrKey(pid), 55555);
+  service.tafdb()->CompactAllPending();
+  StatInfo info;
+  ASSERT_TRUE(service.StatDir("/rescued", &info).ok());
+  EXPECT_EQ(info.child_count, 1);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,153 @@
+// IndexService: replicated IndexNode behaviour - consistency across replicas,
+// follower reads, and the single-RPC lookup property.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/path.h"
+#include "src/index/index_service.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+class IndexServiceTest : public ::testing::Test {
+ protected:
+  void Build(bool follower_read, uint32_t learners = 0) {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    IndexServiceOptions options;
+    options.num_voters = 3;
+    options.num_learners = learners;
+    options.follower_read = follower_read;
+    options.offload_queue_threshold = 0;  // always willing to offload in tests
+    options.raft = FastRaftOptions();
+    options.node.start_invalidator = true;
+    options.node.invalidator_interval_nanos = 200'000;
+    service_ = std::make_unique<IndexService>(network_.get(), "idx", options);
+    service_->Start();
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<IndexService> service_;
+};
+
+TEST_F(IndexServiceTest, AddDirReplicatesToAllReplicas) {
+  Build(false);
+  ASSERT_TRUE(service_->AddDir(kRootId, "a", 2, kPermAll).ok());
+  ASSERT_TRUE(service_->AddDir(2, "b", 3, kPermAll).ok());
+  for (uint32_t i = 0; i < service_->num_replicas(); ++i) {
+    // Replication is synchronous for the proposer; followers may apply a hair
+    // later - wait for convergence.
+    const int64_t deadline = MonotonicNanos() + 2'000'000'000;
+    while (MonotonicNanos() < deadline &&
+           !service_->replica(i)->table().Lookup(2, "b").has_value()) {
+      PreciseSleep(1'000'000);
+    }
+    EXPECT_TRUE(service_->replica(i)->table().Lookup(2, "b").has_value()) << i;
+  }
+}
+
+TEST_F(IndexServiceTest, LookupResolvesThroughLeader) {
+  Build(false);
+  ASSERT_TRUE(service_->AddDir(kRootId, "a", 2, kPermAll).ok());
+  ASSERT_TRUE(service_->AddDir(2, "b", 3, kPermAll).ok());
+  auto outcome = service_->LookupDir(SplitPath("/a/b"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->dir_id, 3u);
+}
+
+TEST_F(IndexServiceTest, FollowerReadsObserveOwnWrites) {
+  Build(true, /*learners=*/1);
+  // Every write followed by a read that may land on any replica: the
+  // ReadIndex fence guarantees read-your-write.
+  InodeId parent = kRootId;
+  for (InodeId id = 2; id < 30; ++id) {
+    const std::string name = "d" + std::to_string(id);
+    ASSERT_TRUE(service_->AddDir(parent, name, id, kPermAll).ok());
+    std::vector<std::string> components;
+    IndexReplica* leader = service_->LeaderReplica();
+    ASSERT_NE(leader, nullptr);
+    auto path = leader->table().PathOf(id);
+    ASSERT_TRUE(path.has_value());
+    auto outcome = service_->LookupDir(SplitPath(*path));
+    ASSERT_TRUE(outcome.ok()) << *path << " " << outcome.status();
+    EXPECT_EQ(outcome->dir_id, id);
+    parent = id;
+  }
+}
+
+TEST_F(IndexServiceTest, RemoveDirReplicates) {
+  Build(false);
+  ASSERT_TRUE(service_->AddDir(kRootId, "gone", 2, kPermAll).ok());
+  ASSERT_TRUE(service_->RemoveDir(kRootId, "gone", "/gone").ok());
+  EXPECT_TRUE(service_->LookupDir(SplitPath("/gone")).status().IsNotFound());
+  EXPECT_TRUE(service_->RemoveDir(kRootId, "gone", "/gone").IsNotFound());
+}
+
+TEST_F(IndexServiceTest, RenameWorkflowEndToEnd) {
+  Build(false);
+  ASSERT_TRUE(service_->AddDir(kRootId, "src", 2, kPermAll).ok());
+  ASSERT_TRUE(service_->AddDir(2, "inner", 3, kPermAll).ok());
+  ASSERT_TRUE(service_->AddDir(kRootId, "dst", 4, kPermAll).ok());
+
+  // Invalid coordination requests are rejected outright.
+  EXPECT_EQ(service_->RenamePrepare(SplitPath("/src"), SplitPath("/"), "", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  auto prepared = service_->RenamePrepare(SplitPath("/src"), SplitPath("/dst"), "moved", 11);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(service_
+                  ->RenameCommit(prepared->src_pid, "src", prepared->dst_pid, "moved", 11,
+                                 prepared->src_path)
+                  .ok());
+  EXPECT_TRUE(service_->LookupDir(SplitPath("/dst/moved/inner")).ok());
+  EXPECT_TRUE(service_->LookupDir(SplitPath("/src")).status().IsNotFound());
+  // Lock released by the apply.
+  IndexReplica* leader = service_->LeaderReplica();
+  EXPECT_FALSE(leader->table().IsLocked(2));
+}
+
+TEST_F(IndexServiceTest, RenameAbortReleasesLock) {
+  Build(false);
+  ASSERT_TRUE(service_->AddDir(kRootId, "src", 2, kPermAll).ok());
+  ASSERT_TRUE(service_->AddDir(kRootId, "dst", 3, kPermAll).ok());
+  auto prepared = service_->RenamePrepare(SplitPath("/src"), SplitPath("/dst"), "m", 21);
+  ASSERT_TRUE(prepared.ok());
+  service_->RenameAbort(prepared->src_id, 21);
+  EXPECT_FALSE(service_->LeaderReplica()->table().IsLocked(2));
+  // Another rename can now proceed.
+  auto again = service_->RenamePrepare(SplitPath("/src"), SplitPath("/dst"), "m", 22);
+  EXPECT_TRUE(again.ok());
+  service_->RenameAbort(again->src_id, 22);
+}
+
+TEST_F(IndexServiceTest, SetPermissionReplicatesAndInvalidates) {
+  Build(false);
+  InodeId parent = kRootId;
+  for (InodeId id = 2; id <= 7; ++id) {
+    ASSERT_TRUE(service_->AddDir(parent, "p" + std::to_string(id), id, kPermAll).ok());
+    parent = id;
+  }
+  const std::string deep = "/p2/p3/p4/p5/p6/p7";
+  ASSERT_TRUE(service_->LookupDir(SplitPath(deep)).ok());  // warms cache
+  ASSERT_TRUE(service_->SetPermission(kRootId, "p2", kPermRead, "/p2").ok());
+  auto outcome = service_->LookupDir(SplitPath(deep));
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(IndexServiceTest, LookupIsSingleRpcLeaderRead) {
+  Build(false);
+  InodeId parent = kRootId;
+  for (InodeId id = 2; id <= 11; ++id) {
+    ASSERT_TRUE(service_->AddDir(parent, "n" + std::to_string(id), id, kPermAll).ok());
+    parent = id;
+  }
+  ScopedRpcCounter counter;
+  auto outcome = service_->LookupDir(
+      SplitPath("/n2/n3/n4/n5/n6/n7/n8/n9/n10/n11"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(counter.count(), 1);
+}
+
+}  // namespace
+}  // namespace mantle

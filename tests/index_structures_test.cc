@@ -1,0 +1,383 @@
+// Unit tests for the IndexNode data structures: IndexTable, RemovalList,
+// PrefixTree, TopDirPathCache, and the Invalidator that ties them together.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/index/index_table.h"
+#include "src/index/invalidator.h"
+#include "src/index/prefix_tree.h"
+#include "src/index/removal_list.h"
+#include "src/index/top_dir_path_cache.h"
+
+namespace mantle {
+namespace {
+
+// --- IndexTable ---------------------------------------------------------------
+
+TEST(IndexTableTest, InsertLookupRemove) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "a", 2, kPermAll).ok());
+  auto entry = table.Lookup(kRootId, "a");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->id, 2u);
+  EXPECT_TRUE(table.Insert(kRootId, "a", 3, kPermAll).IsAlreadyExists());
+  EXPECT_TRUE(table.Remove(kRootId, "a").ok());
+  EXPECT_FALSE(table.Lookup(kRootId, "a").has_value());
+  EXPECT_TRUE(table.Remove(kRootId, "a").IsNotFound());
+}
+
+TEST(IndexTableTest, PathReconstruction) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "a", 2, kPermAll).ok());
+  ASSERT_TRUE(table.Insert(2, "b", 3, kPermAll).ok());
+  ASSERT_TRUE(table.Insert(3, "c", 4, kPermAll).ok());
+  EXPECT_EQ(table.PathOf(4).value(), "/a/b/c");
+  EXPECT_EQ(table.PathOf(kRootId).value(), "/");
+  EXPECT_FALSE(table.PathOf(99).has_value());
+}
+
+TEST(IndexTableTest, AncestorQueries) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "a", 2, kPermAll).ok());
+  ASSERT_TRUE(table.Insert(2, "b", 3, kPermAll).ok());
+  EXPECT_TRUE(table.IsSelfOrAncestor(2, 3));
+  EXPECT_TRUE(table.IsSelfOrAncestor(3, 3));
+  EXPECT_TRUE(table.IsSelfOrAncestor(kRootId, 3));
+  EXPECT_FALSE(table.IsSelfOrAncestor(3, 2));
+  auto chain = table.AncestorChain(3);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], 3u);
+  EXPECT_EQ(chain[2], kRootId);
+}
+
+TEST(IndexTableTest, RenameMovesEntryAndReverseLink) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "src", 2, kPermAll).ok());
+  ASSERT_TRUE(table.Insert(kRootId, "dstdir", 3, kPermAll).ok());
+  ASSERT_TRUE(table.Rename(kRootId, "src", 3, "moved").ok());
+  EXPECT_FALSE(table.Lookup(kRootId, "src").has_value());
+  EXPECT_EQ(table.Lookup(3, "moved")->id, 2u);
+  EXPECT_EQ(table.PathOf(2).value(), "/dstdir/moved");
+}
+
+TEST(IndexTableTest, RenameRejectsBadEndpoints) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "a", 2, kPermAll).ok());
+  ASSERT_TRUE(table.Insert(kRootId, "b", 3, kPermAll).ok());
+  EXPECT_TRUE(table.Rename(kRootId, "missing", kRootId, "x").IsNotFound());
+  EXPECT_TRUE(table.Rename(kRootId, "a", kRootId, "b").IsAlreadyExists());
+}
+
+TEST(IndexTableTest, RenameLockBits) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "d", 2, kPermAll).ok());
+  EXPECT_TRUE(table.TryLockDir(2, 111));
+  EXPECT_TRUE(table.TryLockDir(2, 111));   // same uuid (proxy retry)
+  EXPECT_FALSE(table.TryLockDir(2, 222));  // foreign uuid
+  EXPECT_EQ(table.LockOwner(2), 111u);
+  table.UnlockDir(2, 222);  // wrong owner ignored
+  EXPECT_TRUE(table.IsLocked(2));
+  table.UnlockDir(2, 111);
+  EXPECT_FALSE(table.IsLocked(2));
+}
+
+TEST(IndexTableTest, RemoveClearsLock) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "d", 2, kPermAll).ok());
+  ASSERT_TRUE(table.TryLockDir(2, 9));
+  ASSERT_TRUE(table.Remove(kRootId, "d").ok());
+  EXPECT_FALSE(table.IsLocked(2));
+}
+
+TEST(IndexTableTest, RenameClearsLockAutomatically) {
+  // "The rename lock is automatically released when the access metadata of
+  // the source directory is deleted in IndexTable" (paper §5.2.2).
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "d", 2, kPermAll).ok());
+  ASSERT_TRUE(table.TryLockDir(2, 9));
+  ASSERT_TRUE(table.Rename(kRootId, "d", kRootId, "d2").ok());
+  EXPECT_FALSE(table.IsLocked(2));
+}
+
+TEST(IndexTableTest, SetPermissionUpdatesBothMaps) {
+  IndexTable table;
+  ASSERT_TRUE(table.Insert(kRootId, "d", 2, kPermAll).ok());
+  ASSERT_TRUE(table.SetPermission(kRootId, "d", kPermRead).ok());
+  EXPECT_EQ(table.Lookup(kRootId, "d")->permission, kPermRead);
+  EXPECT_EQ(table.GetParent(2)->permission, kPermRead);
+}
+
+TEST(IndexTableTest, ConcurrentLookupsDuringMutation) {
+  IndexTable table;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert(kRootId, "d" + std::to_string(i), 10u + i, kPermAll).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread mutator([&]() {
+    for (int round = 0; round < 50; ++round) {
+      table.Insert(kRootId, "new" + std::to_string(round), 1000u + round, kPermAll);
+      table.Remove(kRootId, "new" + std::to_string(round));
+    }
+    stop.store(true);
+  });
+  while (!stop.load()) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(table.Lookup(kRootId, "d" + std::to_string(i)).has_value());
+    }
+  }
+  mutator.join();
+}
+
+// --- RemovalList -----------------------------------------------------------------
+
+TEST(RemovalListTest, EmptyByDefault) {
+  RemovalList list;
+  EXPECT_TRUE(list.Empty());
+  EXPECT_FALSE(list.ContainsPrefixOf("/a/b/c"));
+  EXPECT_EQ(list.LiveCount(), 0u);
+}
+
+TEST(RemovalListTest, PrefixSemantics) {
+  RemovalList list;
+  list.Insert("/a/b");
+  EXPECT_TRUE(list.ContainsPrefixOf("/a/b"));
+  EXPECT_TRUE(list.ContainsPrefixOf("/a/b/c/d"));
+  EXPECT_FALSE(list.ContainsPrefixOf("/a/bc"));
+  EXPECT_FALSE(list.ContainsPrefixOf("/a"));
+  EXPECT_FALSE(list.Empty());
+}
+
+TEST(RemovalListTest, VersionBumpsOnInsert) {
+  RemovalList list;
+  const uint64_t v0 = list.version();
+  list.Insert("/x");
+  EXPECT_GT(list.version(), v0);
+}
+
+TEST(RemovalListTest, MaintenancePurgesOnceAndRetiresDone) {
+  RemovalList list;
+  auto token = list.Insert("/spark/out");
+  int purges = 0;
+  list.RunMaintenancePass([&purges](const std::string& path) {
+    EXPECT_EQ(path, "/spark/out");
+    ++purges;
+  });
+  EXPECT_EQ(purges, 1);
+  // Entry purged but not done: stays live (still shields lookups).
+  EXPECT_TRUE(list.ContainsPrefixOf("/spark/out/tmp"));
+  list.RunMaintenancePass([&purges](const std::string&) { ++purges; });
+  EXPECT_EQ(purges, 1);  // never re-purged
+
+  list.MarkDone(token);
+  list.RunMaintenancePass([&purges](const std::string&) { ++purges; });
+  EXPECT_FALSE(list.ContainsPrefixOf("/spark/out/tmp"));
+  EXPECT_TRUE(list.Empty());
+  EXPECT_EQ(list.stats().removals, 1u);
+}
+
+TEST(RemovalListTest, NodesReclaimAtQuiescence) {
+  RemovalList list;
+  for (int i = 0; i < 32; ++i) {
+    auto token = list.Insert("/dir" + std::to_string(i));
+    list.MarkDone(token);
+  }
+  list.RunMaintenancePass([](const std::string&) {});  // purge all
+  list.RunMaintenancePass([](const std::string&) {});  // retire all
+  // One more pass with no readers active frees the retirees.
+  list.RunMaintenancePass([](const std::string&) {});
+  EXPECT_EQ(list.stats().reclaimed, 32u);
+}
+
+TEST(RemovalListTest, ConcurrentInsertScanRemove) {
+  RemovalList list;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 3; ++t) {
+    scanners.emplace_back([&]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        list.ContainsPrefixOf("/w2/deep/path/leaf");
+        scans.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t]() {
+      for (int i = 0; i < 500; ++i) {
+        auto token = list.Insert("/w" + std::to_string(t) + "/" + std::to_string(i));
+        list.MarkDone(token);
+      }
+    });
+  }
+  // The single Invalidator thread (here: this thread) retires continuously.
+  for (int pass = 0; pass < 200; ++pass) {
+    list.RunMaintenancePass([](const std::string&) {});
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  // Drain what remains.
+  for (int pass = 0; pass < 10; ++pass) {
+    list.RunMaintenancePass([](const std::string&) {});
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& scanner : scanners) {
+    scanner.join();
+  }
+  EXPECT_TRUE(list.Empty());
+  EXPECT_EQ(list.stats().inserts, 1500u);
+  EXPECT_EQ(list.stats().removals, 1500u);
+  EXPECT_GT(scans.load(), 0u);
+}
+
+// --- PrefixTree -------------------------------------------------------------------
+
+TEST(PrefixTreeTest, InsertContains) {
+  PrefixTree tree;
+  tree.Insert("/a/b");
+  EXPECT_TRUE(tree.Contains("/a/b"));
+  EXPECT_FALSE(tree.Contains("/a"));
+  EXPECT_FALSE(tree.Contains("/a/b/c"));
+  EXPECT_EQ(tree.Size(), 1u);
+  tree.Insert("/a/b");  // idempotent
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(PrefixTreeTest, RemoveSubtreeCollectsDescendants) {
+  PrefixTree tree;
+  tree.Insert("/a");
+  tree.Insert("/a/b");
+  tree.Insert("/a/b/c");
+  tree.Insert("/a/x");
+  tree.Insert("/other");
+  auto removed = tree.RemoveSubtree("/a/b");
+  std::set<std::string> removed_set(removed.begin(), removed.end());
+  EXPECT_EQ(removed_set, (std::set<std::string>{"/a/b", "/a/b/c"}));
+  EXPECT_TRUE(tree.Contains("/a"));
+  EXPECT_TRUE(tree.Contains("/a/x"));
+  EXPECT_TRUE(tree.Contains("/other"));
+  EXPECT_EQ(tree.Size(), 3u);
+}
+
+TEST(PrefixTreeTest, RemoveSubtreeOfUnknownPathIsEmpty) {
+  PrefixTree tree;
+  tree.Insert("/a");
+  EXPECT_TRUE(tree.RemoveSubtree("/zzz").empty());
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(PrefixTreeTest, CollectWithoutRemoval) {
+  PrefixTree tree;
+  tree.Insert("/p/q");
+  tree.Insert("/p/q/r");
+  auto collected = tree.CollectSubtree("/p");
+  EXPECT_EQ(collected.size(), 2u);
+  EXPECT_EQ(tree.Size(), 2u);
+}
+
+TEST(PrefixTreeTest, ExactRemove) {
+  PrefixTree tree;
+  tree.Insert("/a/b");
+  tree.Insert("/a/b/c");
+  tree.Remove("/a/b");
+  EXPECT_FALSE(tree.Contains("/a/b"));
+  EXPECT_TRUE(tree.Contains("/a/b/c"));
+}
+
+// --- TopDirPathCache ----------------------------------------------------------------
+
+TEST(TopDirPathCacheTest, InsertLookupErase) {
+  TopDirPathCache cache;
+  EXPECT_FALSE(cache.Lookup("/a/b").has_value());
+  EXPECT_TRUE(cache.TryInsert("/a/b", PathCacheEntry{7, kPermRead}));
+  auto hit = cache.Lookup("/a/b");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->dir_id, 7u);
+  EXPECT_EQ(hit->permission_mask, kPermRead);
+  EXPECT_FALSE(cache.TryInsert("/a/b", PathCacheEntry{8, kPermAll}));  // no overwrite
+  cache.Erase("/a/b");
+  EXPECT_FALSE(cache.Lookup("/a/b").has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(TopDirPathCacheTest, CapacityRejectsWhenFull) {
+  TopDirPathCache cache(2);
+  EXPECT_TRUE(cache.TryInsert("/p1", PathCacheEntry{1, kPermAll}));
+  EXPECT_TRUE(cache.TryInsert("/p2", PathCacheEntry{2, kPermAll}));
+  EXPECT_FALSE(cache.TryInsert("/p3", PathCacheEntry{3, kPermAll}));
+  EXPECT_EQ(cache.stats().rejected_full, 1u);
+  cache.Erase("/p1");
+  EXPECT_TRUE(cache.TryInsert("/p3", PathCacheEntry{3, kPermAll}));
+}
+
+TEST(TopDirPathCacheTest, MemoryAccountingTracksEntries) {
+  TopDirPathCache cache;
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  cache.TryInsert("/some/prefix/path", PathCacheEntry{1, kPermAll});
+  const size_t with_one = cache.MemoryBytes();
+  EXPECT_GT(with_one, 0u);
+  cache.Erase("/some/prefix/path");
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+}
+
+TEST(TopDirPathCacheTest, HitMissCounters) {
+  TopDirPathCache cache;
+  cache.TryInsert("/x", PathCacheEntry{1, kPermAll});
+  cache.Lookup("/x");
+  cache.Lookup("/y");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// --- Invalidator --------------------------------------------------------------------
+
+TEST(InvalidatorTest, PurgesCacheSubtreeForRemovalEntries) {
+  RemovalList list;
+  PrefixTree tree;
+  TopDirPathCache cache;
+  Invalidator invalidator(&list, &tree, &cache, 1'000'000, /*start_thread=*/false);
+
+  cache.TryInsert("/a/b", PathCacheEntry{2, kPermAll});
+  tree.Insert("/a/b");
+  cache.TryInsert("/a/b/c", PathCacheEntry{3, kPermAll});
+  tree.Insert("/a/b/c");
+  cache.TryInsert("/z", PathCacheEntry{9, kPermAll});
+  tree.Insert("/z");
+
+  auto token = list.Insert("/a/b");
+  list.MarkDone(token);
+  invalidator.RunPassNow();
+
+  EXPECT_FALSE(cache.Lookup("/a/b").has_value());
+  EXPECT_FALSE(cache.Lookup("/a/b/c").has_value());
+  EXPECT_TRUE(cache.Lookup("/z").has_value());
+  EXPECT_EQ(invalidator.prefixes_invalidated(), 2u);
+  invalidator.RunPassNow();
+  EXPECT_TRUE(list.Empty());
+}
+
+TEST(InvalidatorTest, BackgroundThreadDrains) {
+  RemovalList list;
+  PrefixTree tree;
+  TopDirPathCache cache;
+  Invalidator invalidator(&list, &tree, &cache, 200'000, /*start_thread=*/true);
+  cache.TryInsert("/hot", PathCacheEntry{2, kPermAll});
+  tree.Insert("/hot");
+  auto token = list.Insert("/hot");
+  list.MarkDone(token);
+  const int64_t deadline = MonotonicNanos() + 2'000'000'000;
+  while (cache.Lookup("/hot").has_value() && MonotonicNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(cache.Lookup("/hot").has_value());
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/kv/shard.h"
+
+namespace mantle {
+namespace {
+
+MetaValue DirValue(InodeId id) { return MetaValue{EntryType::kDirectory, id, kPermAll, 0, 0, 0, 0, 0}; }
+MetaValue ObjValue(InodeId id, uint64_t size) {
+  return MetaValue{EntryType::kObject, id, kPermAll, size, 0, 0, 0, 0};
+}
+
+TEST(MetaKeyTest, OrderingIsPidNameTs) {
+  EXPECT_LT((MetaKey{1, "a", 0}), (MetaKey{1, "b", 0}));
+  EXPECT_LT((MetaKey{1, "b", 0}), (MetaKey{2, "a", 0}));
+  EXPECT_LT((MetaKey{1, "a", 0}), (MetaKey{1, "a", 5}));
+}
+
+TEST(MetaKeyTest, AttrNameCannotCollideWithChildNames) {
+  // '/' never appears inside a component, so "/_ATTR" is reserved.
+  EXPECT_EQ(kAttrName.find('/'), 0u);
+}
+
+TEST(ShardTest, PutGetDelete) {
+  Shard shard(0);
+  shard.LoadPut(EntryKey(1, "a"), ObjValue(10, 100));
+  auto row = shard.Get(EntryKey(1, "a"));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->id, 10u);
+  WriteOp erase;
+  erase.kind = WriteOp::Kind::kDelete;
+  erase.key = EntryKey(1, "a");
+  shard.ApplyOps({erase});
+  EXPECT_FALSE(shard.Get(EntryKey(1, "a")).has_value());
+}
+
+TEST(ShardTest, ScanChildrenSkipsAttrRows) {
+  Shard shard(0);
+  shard.LoadPut(AttrKey(1), DirValue(1));
+  shard.LoadPut(EntryKey(1, "x"), ObjValue(2, 1));
+  shard.LoadPut(EntryKey(1, "y"), ObjValue(3, 1));
+  shard.LoadPut(EntryKey(2, "z"), ObjValue(4, 1));
+  auto children = shard.ScanChildren(1);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].key.name, "x");
+  EXPECT_EQ(children[1].key.name, "y");
+}
+
+TEST(ShardTest, ScanChildrenHonorsLimit) {
+  Shard shard(0);
+  for (int i = 0; i < 10; ++i) {
+    shard.LoadPut(EntryKey(1, "c" + std::to_string(i)), ObjValue(10 + i, 1));
+  }
+  EXPECT_EQ(shard.ScanChildren(1, 3).size(), 3u);
+}
+
+TEST(ShardTest, HasChildrenIgnoresAttrRows) {
+  Shard shard(0);
+  shard.LoadPut(AttrKey(7), DirValue(7));
+  EXPECT_FALSE(shard.HasChildren(7));
+  shard.LoadPut(EntryKey(7, "kid"), ObjValue(8, 1));
+  EXPECT_TRUE(shard.HasChildren(7));
+}
+
+TEST(ShardTest, KeyLocksConflictAcrossTxns) {
+  Shard shard(0);
+  EXPECT_TRUE(shard.TryLockKey(EntryKey(1, "a"), 100));
+  EXPECT_TRUE(shard.TryLockKey(EntryKey(1, "a"), 100));  // re-entrant
+  EXPECT_FALSE(shard.TryLockKey(EntryKey(1, "a"), 200));
+  EXPECT_EQ(shard.lock_conflicts(), 1u);
+  shard.UnlockKey(EntryKey(1, "a"), 200);  // wrong owner: no-op
+  EXPECT_FALSE(shard.TryLockKey(EntryKey(1, "a"), 200));
+  shard.UnlockKey(EntryKey(1, "a"), 100);
+  EXPECT_TRUE(shard.TryLockKey(EntryKey(1, "a"), 200));
+}
+
+TEST(ShardTest, PreconditionsValidate) {
+  Shard shard(0);
+  shard.LoadPut(EntryKey(1, "exists"), ObjValue(2, 1));
+  WriteOp must_exist;
+  must_exist.expect = WriteOp::Expect::kMustExist;
+  must_exist.key = EntryKey(1, "exists");
+  EXPECT_TRUE(shard.CheckPrecondition(must_exist).ok());
+  must_exist.key = EntryKey(1, "missing");
+  EXPECT_TRUE(shard.CheckPrecondition(must_exist).IsNotFound());
+  WriteOp must_not;
+  must_not.expect = WriteOp::Expect::kMustNotExist;
+  must_not.key = EntryKey(1, "exists");
+  EXPECT_TRUE(shard.CheckPrecondition(must_not).IsAlreadyExists());
+}
+
+TEST(ShardTest, AddChildCountCreatesAndAccumulates) {
+  Shard shard(0);
+  WriteOp add;
+  add.kind = WriteOp::Kind::kAddChildCount;
+  add.key = AttrKey(5);
+  add.count_delta = 3;
+  add.bump_mtime = true;
+  shard.ApplyOps({add});
+  add.count_delta = -1;
+  shard.ApplyOps({add});
+  auto row = shard.Get(AttrKey(5));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->child_count, 2);
+  EXPECT_EQ(row->mtime, 2u);
+  EXPECT_EQ(row->type, EntryType::kAttrPrimary);
+}
+
+TEST(ShardTest, VersionBumpsOnOverwrite) {
+  Shard shard(0);
+  WriteOp put;
+  put.kind = WriteOp::Kind::kPut;
+  put.key = EntryKey(1, "v");
+  put.value = ObjValue(2, 1);
+  shard.ApplyOps({put});
+  shard.ApplyOps({put});
+  EXPECT_EQ(shard.Get(EntryKey(1, "v"))->version, 2u);
+}
+
+TEST(ShardTest, CheckAndApplyIsAtomic) {
+  Shard shard(0);
+  shard.LoadPut(EntryKey(1, "taken"), ObjValue(2, 1));
+  WriteOp good;
+  good.kind = WriteOp::Kind::kPut;
+  good.expect = WriteOp::Expect::kMustNotExist;
+  good.key = EntryKey(1, "fresh");
+  good.value = ObjValue(3, 1);
+  WriteOp bad;
+  bad.kind = WriteOp::Kind::kPut;
+  bad.expect = WriteOp::Expect::kMustNotExist;
+  bad.key = EntryKey(1, "taken");
+  bad.value = ObjValue(4, 1);
+  EXPECT_TRUE(shard.CheckAndApply({good, bad}).IsAlreadyExists());
+  // Nothing applied: atomicity.
+  EXPECT_FALSE(shard.Get(EntryKey(1, "fresh")).has_value());
+}
+
+TEST(ShardTest, DeltaRowsScanAndMerge) {
+  Shard shard(0);
+  shard.LoadPut(AttrKey(9), [] {
+    MetaValue v = DirValue(9);
+    v.type = EntryType::kAttrPrimary;
+    v.child_count = 5;
+    return v;
+  }());
+  for (uint64_t ts = 1; ts <= 3; ++ts) {
+    MetaValue delta;
+    delta.type = EntryType::kAttrDelta;
+    delta.child_count = 1;
+    delta.mtime = ts * 10;
+    shard.LoadPut(DeltaKey(9, ts), delta);
+  }
+  EXPECT_EQ(shard.ScanDeltas(9).size(), 3u);
+  auto merged = shard.ReadAttrMerged(9);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->child_count, 8);
+  EXPECT_EQ(merged->mtime, 30u);
+}
+
+TEST(ShardTest, CompactDeltasFoldsIntoPrimary) {
+  Shard shard(0);
+  shard.LoadPut(AttrKey(9), [] {
+    MetaValue v = DirValue(9);
+    v.type = EntryType::kAttrPrimary;
+    v.child_count = 5;
+    return v;
+  }());
+  MetaValue delta;
+  delta.type = EntryType::kAttrDelta;
+  delta.child_count = 2;
+  delta.mtime = 77;
+  shard.LoadPut(DeltaKey(9, 1), delta);
+  shard.LoadPut(DeltaKey(9, 2), delta);
+  shard.CompactDeltas(9, {1, 2}, 4, 77);
+  EXPECT_TRUE(shard.ScanDeltas(9).empty());
+  auto primary = shard.Get(AttrKey(9));
+  EXPECT_EQ(primary->child_count, 9);
+  EXPECT_EQ(primary->mtime, 77u);
+}
+
+TEST(ShardTest, CompactDeltasToleratesMissingPrimary) {
+  Shard shard(0);
+  MetaValue delta;
+  delta.type = EntryType::kAttrDelta;
+  delta.child_count = 1;
+  shard.LoadPut(DeltaKey(4, 1), delta);
+  shard.CompactDeltas(4, {1}, 1, 0);  // primary never existed (rmdir raced)
+  EXPECT_TRUE(shard.ScanDeltas(4).empty());
+}
+
+TEST(ShardTest, CompactConsumesOnlyListedDeltas) {
+  Shard shard(0);
+  shard.LoadPut(AttrKey(9), [] {
+    MetaValue v = DirValue(9);
+    v.type = EntryType::kAttrPrimary;
+    return v;
+  }());
+  MetaValue delta;
+  delta.type = EntryType::kAttrDelta;
+  delta.child_count = 1;
+  shard.LoadPut(DeltaKey(9, 1), delta);
+  shard.LoadPut(DeltaKey(9, 2), delta);  // arrives after the scan
+  shard.CompactDeltas(9, {1}, 1, 0);
+  auto remaining = shard.ScanDeltas(9);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].key.ts, 2u);
+  // The merged view stays exact either way.
+  EXPECT_EQ(shard.ReadAttrMerged(9)->child_count, 2);
+}
+
+TEST(ShardTest, ConcurrentLoadAndScan) {
+  Shard shard(0);
+  std::thread writer([&shard]() {
+    for (int i = 0; i < 2000; ++i) {
+      shard.LoadPut(EntryKey(1, "w" + std::to_string(i)), ObjValue(100 + i, 1));
+    }
+  });
+  size_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const size_t now = shard.ScanChildren(1).size();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(shard.ScanChildren(1).size(), 2000u);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,267 @@
+// End-to-end integration tests of the Mantle metadata service: full stack
+// (proxy logic -> IndexService/Raft -> TafDB transactions).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "src/common/path.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+class MantleServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    service_ = std::make_unique<MantleService>(network_.get(), FastMantleOptions());
+  }
+
+  void TearDown() override {
+    service_.reset();
+    network_.reset();
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<MantleService> service_;
+};
+
+TEST_F(MantleServiceTest, MkdirThenStat) {
+  EXPECT_TRUE(service_->Mkdir("/a").ok());
+  EXPECT_TRUE(service_->Mkdir("/a/b").ok());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatDir("/a/b", &info).ok());
+  EXPECT_TRUE(info.is_dir);
+  EXPECT_EQ(info.child_count, 0);
+  ASSERT_TRUE(service_->StatDir("/a", &info).ok());
+  EXPECT_EQ(info.child_count, 1);
+}
+
+TEST_F(MantleServiceTest, MkdirDuplicateFails) {
+  EXPECT_TRUE(service_->Mkdir("/dup").ok());
+  EXPECT_TRUE(service_->Mkdir("/dup").status.IsAlreadyExists());
+}
+
+TEST_F(MantleServiceTest, MkdirMissingParentFails) {
+  EXPECT_TRUE(service_->Mkdir("/no/such/parent").status.IsNotFound());
+}
+
+TEST_F(MantleServiceTest, CreateStatDeleteObject) {
+  ASSERT_TRUE(service_->Mkdir("/data").ok());
+  EXPECT_TRUE(service_->CreateObject("/data/obj1", 4096).ok());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/data/obj1", &info).ok());
+  EXPECT_FALSE(info.is_dir);
+  EXPECT_EQ(info.size, 4096u);
+  ASSERT_TRUE(service_->StatDir("/data", &info).ok());
+  EXPECT_EQ(info.child_count, 1);
+  EXPECT_TRUE(service_->DeleteObject("/data/obj1").ok());
+  EXPECT_TRUE(service_->StatObject("/data/obj1").status.IsNotFound());
+  ASSERT_TRUE(service_->StatDir("/data", &info).ok());
+  EXPECT_EQ(info.child_count, 0);
+}
+
+TEST_F(MantleServiceTest, CreateDuplicateObjectFails) {
+  ASSERT_TRUE(service_->Mkdir("/d").ok());
+  ASSERT_TRUE(service_->CreateObject("/d/x", 1).ok());
+  EXPECT_TRUE(service_->CreateObject("/d/x", 1).status.IsAlreadyExists());
+}
+
+TEST_F(MantleServiceTest, DeleteMissingObjectFails) {
+  ASSERT_TRUE(service_->Mkdir("/d").ok());
+  EXPECT_TRUE(service_->DeleteObject("/d/nope").status.IsNotFound());
+}
+
+TEST_F(MantleServiceTest, LookupIsSingleRpc) {
+  ASSERT_TRUE(service_->Mkdir("/l1").ok());
+  ASSERT_TRUE(service_->Mkdir("/l1/l2").ok());
+  ASSERT_TRUE(service_->Mkdir("/l1/l2/l3").ok());
+  ASSERT_TRUE(service_->CreateObject("/l1/l2/l3/obj", 1).ok());
+  OpResult result = service_->Lookup("/l1/l2/l3/obj");
+  ASSERT_TRUE(result.ok());
+  // The headline property: one RPC regardless of path depth.
+  EXPECT_EQ(result.rpcs, 1);
+}
+
+TEST_F(MantleServiceTest, DeepPathResolution) {
+  std::string path;
+  for (int depth = 0; depth < 12; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(service_->Mkdir(path).ok()) << path;
+  }
+  ASSERT_TRUE(service_->CreateObject(path + "/leaf", 10).ok());
+  StatInfo info;
+  EXPECT_TRUE(service_->StatObject(path + "/leaf", &info).ok());
+  OpResult lookup = service_->Lookup(path + "/leaf");
+  EXPECT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup.rpcs, 1);
+}
+
+TEST_F(MantleServiceTest, RmdirRemovesEmptyDirectory) {
+  ASSERT_TRUE(service_->Mkdir("/gone").ok());
+  EXPECT_TRUE(service_->Rmdir("/gone").ok());
+  EXPECT_TRUE(service_->StatDir("/gone").status.IsNotFound());
+  // Name becomes reusable.
+  EXPECT_TRUE(service_->Mkdir("/gone").ok());
+}
+
+TEST_F(MantleServiceTest, RmdirNonEmptyFails) {
+  ASSERT_TRUE(service_->Mkdir("/full").ok());
+  ASSERT_TRUE(service_->CreateObject("/full/obj", 1).ok());
+  EXPECT_EQ(service_->Rmdir("/full").status.code(), StatusCode::kNotEmpty);
+}
+
+TEST_F(MantleServiceTest, ReadDirListsChildren) {
+  ASSERT_TRUE(service_->Mkdir("/list").ok());
+  ASSERT_TRUE(service_->Mkdir("/list/sub").ok());
+  ASSERT_TRUE(service_->CreateObject("/list/o1", 1).ok());
+  ASSERT_TRUE(service_->CreateObject("/list/o2", 1).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(service_->ReadDir("/list", &names).ok());
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+            (std::set<std::string>{"sub", "o1", "o2"}));
+}
+
+TEST_F(MantleServiceTest, RenameMovesSubtree) {
+  ASSERT_TRUE(service_->Mkdir("/src").ok());
+  ASSERT_TRUE(service_->Mkdir("/src/sub").ok());
+  ASSERT_TRUE(service_->CreateObject("/src/sub/obj", 7).ok());
+  ASSERT_TRUE(service_->Mkdir("/dst").ok());
+
+  ASSERT_TRUE(service_->RenameDir("/src/sub", "/dst/moved").ok());
+
+  EXPECT_TRUE(service_->StatObject("/src/sub/obj").status.IsNotFound());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/dst/moved/obj", &info).ok());
+  EXPECT_EQ(info.size, 7u);
+  EXPECT_TRUE(service_->StatDir("/dst/moved", &info).ok());
+}
+
+TEST_F(MantleServiceTest, RenameRejectsLoops) {
+  ASSERT_TRUE(service_->Mkdir("/p").ok());
+  ASSERT_TRUE(service_->Mkdir("/p/q").ok());
+  ASSERT_TRUE(service_->Mkdir("/p/q/r").ok());
+  OpResult result = service_->RenameDir("/p", "/p/q/r/into");
+  EXPECT_TRUE(result.status.IsLoopDetected());
+  // Original tree intact.
+  EXPECT_TRUE(service_->StatDir("/p/q/r").ok());
+}
+
+TEST_F(MantleServiceTest, RenameSelfIntoSelfRejected) {
+  ASSERT_TRUE(service_->Mkdir("/s").ok());
+  EXPECT_TRUE(service_->RenameDir("/s", "/s/child").status.IsLoopDetected());
+}
+
+TEST_F(MantleServiceTest, RenameDestinationExistsFails) {
+  ASSERT_TRUE(service_->Mkdir("/a1").ok());
+  ASSERT_TRUE(service_->Mkdir("/a2").ok());
+  EXPECT_TRUE(service_->RenameDir("/a1", "/a2").status.IsAlreadyExists());
+}
+
+TEST_F(MantleServiceTest, RenameMissingSourceFails) {
+  ASSERT_TRUE(service_->Mkdir("/t").ok());
+  EXPECT_TRUE(service_->RenameDir("/ghost", "/t/in").status.IsNotFound());
+}
+
+TEST_F(MantleServiceTest, PermissionDeniedOnWriteProtectedDir) {
+  ASSERT_TRUE(service_->Mkdir("/ro").ok());
+  ASSERT_TRUE(service_->SetDirPermission("/ro", kPermRead | kPermTraverse).ok());
+  EXPECT_EQ(service_->CreateObject("/ro/obj", 1).status.code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(MantleServiceTest, PermissionDeniedWithoutTraverse) {
+  ASSERT_TRUE(service_->Mkdir("/nt").ok());
+  ASSERT_TRUE(service_->Mkdir("/nt/inner").ok());
+  ASSERT_TRUE(service_->SetDirPermission("/nt", kPermRead | kPermWrite).ok());
+  EXPECT_EQ(service_->StatDir("/nt/inner").status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(MantleServiceTest, BulkLoadPopulatesAllComponents) {
+  ASSERT_TRUE(service_->BulkLoadDir("/w").ok());
+  ASSERT_TRUE(service_->BulkLoadDir("/w/x").ok());
+  ASSERT_TRUE(service_->BulkLoadObject("/w/x/obj", 123).ok());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/w/x/obj", &info).ok());
+  EXPECT_EQ(info.size, 123u);
+  ASSERT_TRUE(service_->StatDir("/w/x", &info).ok());
+  EXPECT_EQ(info.child_count, 1);
+}
+
+TEST_F(MantleServiceTest, ConcurrentMkdirSharedParent) {
+  ASSERT_TRUE(service_->Mkdir("/shared").ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = service_->Mkdir("/shared/d" + std::to_string(t) + "_" +
+                                      std::to_string(i));
+        if (!result.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  StatInfo info;
+  service_->tafdb()->CompactAllPending();
+  ASSERT_TRUE(service_->StatDir("/shared", &info).ok());
+  EXPECT_EQ(info.child_count, kThreads * kPerThread);
+}
+
+TEST_F(MantleServiceTest, ConcurrentRenameIntoSharedTarget) {
+  // The Spark commit storm in miniature: temp dirs renamed into one output
+  // directory concurrently.
+  ASSERT_TRUE(service_->Mkdir("/out").ok());
+  constexpr int kThreads = 8;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(service_->Mkdir("/tmp" + std::to_string(t)).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      auto result = service_->RenameDir("/tmp" + std::to_string(t),
+                                        "/out/part" + std::to_string(t));
+      if (!result.ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  std::vector<std::string> names;
+  ASSERT_TRUE(service_->ReadDir("/out", &names).ok());
+  EXPECT_EQ(names.size(), static_cast<size_t>(kThreads));
+}
+
+TEST_F(MantleServiceTest, LookupAfterRenameSeesNewPathNotOld) {
+  ASSERT_TRUE(service_->Mkdir("/m1").ok());
+  ASSERT_TRUE(service_->Mkdir("/m1/deep").ok());
+  ASSERT_TRUE(service_->Mkdir("/m1/deep/deeper").ok());
+  ASSERT_TRUE(service_->Mkdir("/m1/deep/deeper/deepest").ok());
+  ASSERT_TRUE(service_->CreateObject("/m1/deep/deeper/deepest/o", 1).ok());
+  // Warm the path cache.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service_->StatObject("/m1/deep/deeper/deepest/o").ok());
+  }
+  ASSERT_TRUE(service_->Mkdir("/m2").ok());
+  ASSERT_TRUE(service_->RenameDir("/m1/deep", "/m2/relocated").ok());
+  EXPECT_TRUE(service_->StatObject("/m1/deep/deeper/deepest/o").status.IsNotFound());
+  EXPECT_TRUE(service_->StatObject("/m2/relocated/deeper/deepest/o").ok());
+}
+
+}  // namespace
+}  // namespace mantle

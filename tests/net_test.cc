@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/net/network.h"
+
+namespace mantle {
+namespace {
+
+TEST(NetworkTest, CallExecutesHandlerAndReturnsValue) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 2);
+  EXPECT_EQ(server->Call([]() { return 41 + 1; }), 42);
+}
+
+TEST(NetworkTest, CallCountsOneRpcPerCall) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 2);
+  ScopedRpcCounter counter;
+  server->Call([]() { return 0; });
+  server->Call([]() { return 0; });
+  EXPECT_EQ(counter.count(), 2);
+  EXPECT_EQ(network.total_rpcs(), 2u);
+}
+
+TEST(NetworkTest, AsyncCallsCountButShareOneDelay) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 4);
+  ScopedRpcCounter counter;
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(server->CallAsync([i]() { return i; }));
+  }
+  network.InjectDelay();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(futures[i].get(), i);
+  }
+  EXPECT_EQ(counter.count(), 5);
+}
+
+TEST(NetworkTest, RttChargeInjectsLatency) {
+  NetworkOptions options;
+  options.rtt_nanos = 2'000'000;  // 2 ms, comfortably above sleep noise
+  Network network(options);
+  ServerExecutor* server = network.AddServer("s", 1);
+  Stopwatch timer;
+  server->Call([]() { return 0; });
+  EXPECT_GE(timer.ElapsedNanos(), 2'000'000);
+}
+
+TEST(NetworkTest, ZeroLatencySkipsSleeps) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 1);
+  Stopwatch timer;
+  for (int i = 0; i < 100; ++i) {
+    server->Call([]() { return 0; });
+  }
+  EXPECT_LT(timer.ElapsedNanos(), 500'000'000);  // sanity bound only
+}
+
+TEST(NetworkTest, BoundedExecutorCreatesQueueing) {
+  NetworkOptions options;
+  options.zero_latency = true;
+  Network network(options);
+  ServerExecutor* server = network.AddServer("s", 1);  // single worker
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&]() {
+      server->Call([&]() {
+        const int now = concurrent.fetch_add(1) + 1;
+        int expected = max_concurrent.load();
+        while (now > expected && !max_concurrent.compare_exchange_weak(expected, now)) {
+        }
+        PreciseSleep(3'000'000);
+        concurrent.fetch_sub(1);
+        return 0;
+      });
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  // One worker => handlers never overlap.
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+TEST(NetworkTest, ServiceChargeRespectsZeroLatency) {
+  Network network(NetworkOptions{.zero_latency = true});
+  Stopwatch timer;
+  network.ChargeDbRowAccess(100);
+  network.ChargeMemIndexAccess(100);
+  EXPECT_LT(timer.ElapsedNanos(), 100'000'000);
+}
+
+TEST(NetworkTest, ThreadRpcCountersAreIndependent) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 2);
+  std::thread other([&]() {
+    ScopedRpcCounter counter;
+    server->Call([]() { return 0; });
+    EXPECT_EQ(counter.count(), 1);
+  });
+  ScopedRpcCounter counter;
+  EXPECT_EQ(counter.count(), 0);
+  other.join();
+  EXPECT_EQ(counter.count(), 0);
+}
+
+TEST(NetworkTest, CompletedTaskCounting) {
+  Network network(NetworkOptions{.zero_latency = true});
+  ServerExecutor* server = network.AddServer("s", 2);
+  for (int i = 0; i < 10; ++i) {
+    server->Call([]() { return 0; });
+  }
+  // The counter increments just after the handler's future resolves; give the
+  // final worker a beat to record it.
+  const int64_t deadline = MonotonicNanos() + 1'000'000'000;
+  while (server->completed_tasks() < 10u && MonotonicNanos() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server->completed_tasks(), 10u);
+}
+
+}  // namespace
+}  // namespace mantle

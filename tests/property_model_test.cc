@@ -1,0 +1,316 @@
+// Property-based model checking: random operation sequences run against both
+// a reference in-memory filesystem model and each MetadataService; outcomes
+// and final namespace state must agree. Parameterized over (system, seed) so
+// every system faces multiple independent random programs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "src/common/path.h"
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// --- reference model -----------------------------------------------------------
+
+class ModelFs {
+ public:
+  ModelFs() { dirs_.insert("/"); }
+
+  Status Mkdir(const std::string& path) {
+    if (path == "/") {
+      return Status::AlreadyExists("/");
+    }
+    if (Exists(path)) {
+      return Status::AlreadyExists(path);
+    }
+    if (!dirs_.contains(ParentPath(path))) {
+      return ParentMissingError(path);
+    }
+    dirs_.insert(path);
+    return Status::Ok();
+  }
+
+  Status CreateObject(const std::string& path, uint64_t size) {
+    if (Exists(path)) {
+      return Status::AlreadyExists(path);
+    }
+    if (!dirs_.contains(ParentPath(path))) {
+      return ParentMissingError(path);
+    }
+    objects_[path] = size;
+    return Status::Ok();
+  }
+
+  Status DeleteObject(const std::string& path) {
+    if (!dirs_.contains(ParentPath(path))) {
+      return ParentMissingError(path);
+    }
+    return objects_.erase(path) > 0 ? Status::Ok() : Status::NotFound(path);
+  }
+
+  Status Rmdir(const std::string& path) {
+    if (path == "/") {
+      return Status::InvalidArgument("cannot remove the root");
+    }
+    if (!dirs_.contains(path)) {
+      return dirs_.contains(ParentPath(path)) ? Status::NotFound(path)
+                                              : ParentMissingError(path);
+    }
+    if (HasChildren(path)) {
+      return Status::NotEmpty(path);
+    }
+    dirs_.erase(path);
+    return Status::Ok();
+  }
+
+  Status RenameDir(const std::string& src, const std::string& dst) {
+    if (!dirs_.contains(src)) {
+      return Status::NotFound(src);
+    }
+    if (Exists(dst)) {
+      return Status::AlreadyExists(dst);
+    }
+    if (!dirs_.contains(ParentPath(dst))) {
+      return ParentMissingError(dst);
+    }
+    if (IsPathPrefix(src, ParentPath(dst)) || src == dst) {
+      return Status::LoopDetected(dst);
+    }
+    // Move the whole subtree.
+    std::set<std::string> new_dirs;
+    for (auto it = dirs_.begin(); it != dirs_.end();) {
+      if (IsPathPrefix(src, *it)) {
+        new_dirs.insert(dst + it->substr(src.size()));
+        it = dirs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    dirs_.insert(new_dirs.begin(), new_dirs.end());
+    std::map<std::string, uint64_t> new_objects;
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      if (IsPathPrefix(src, it->first)) {
+        new_objects[dst + it->first.substr(src.size())] = it->second;
+        it = objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    objects_.insert(new_objects.begin(), new_objects.end());
+    return Status::Ok();
+  }
+
+  bool IsDir(const std::string& path) const { return dirs_.contains(path); }
+  bool IsObject(const std::string& path) const { return objects_.contains(path); }
+  uint64_t ObjectSize(const std::string& path) const { return objects_.at(path); }
+
+  std::set<std::string> Children(const std::string& dir) const {
+    std::set<std::string> names;
+    for (const auto& d : dirs_) {
+      if (d != "/" && ParentPath(d) == dir) {
+        names.insert(BaseName(d));
+      }
+    }
+    for (const auto& [path, size] : objects_) {
+      if (ParentPath(path) == dir) {
+        names.insert(BaseName(path));
+      }
+    }
+    return names;
+  }
+
+  const std::set<std::string>& dirs() const { return dirs_; }
+  const std::map<std::string, uint64_t>& objects() const { return objects_; }
+
+ private:
+  bool Exists(const std::string& path) const {
+    return dirs_.contains(path) || objects_.contains(path);
+  }
+  bool HasChildren(const std::string& dir) const { return !Children(dir).empty(); }
+  // A missing intermediate component surfaces as NotFound in every system.
+  static Status ParentMissingError(const std::string& path) { return Status::NotFound(path); }
+
+  std::set<std::string> dirs_;
+  std::map<std::string, uint64_t> objects_;
+};
+
+// --- harness --------------------------------------------------------------------
+
+enum class SystemUnderTest { kMantle, kTectonic, kDbTable, kInfiniFs, kLocoFs };
+
+const char* SutName(SystemUnderTest sut) {
+  switch (sut) {
+    case SystemUnderTest::kMantle:
+      return "Mantle";
+    case SystemUnderTest::kTectonic:
+      return "Tectonic";
+    case SystemUnderTest::kDbTable:
+      return "DBtable";
+    case SystemUnderTest::kInfiniFs:
+      return "InfiniFS";
+    case SystemUnderTest::kLocoFs:
+      return "LocoFS";
+  }
+  return "?";
+}
+
+class PropertyModelTest
+    : public ::testing::TestWithParam<std::tuple<SystemUnderTest, uint64_t>> {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    switch (std::get<0>(GetParam())) {
+      case SystemUnderTest::kMantle:
+        service_ = std::make_unique<MantleService>(network_.get(), FastMantleOptions());
+        break;
+      case SystemUnderTest::kTectonic:
+      case SystemUnderTest::kDbTable: {
+        TectonicOptions options;
+        options.tafdb = FastTafDbOptions();
+        options.use_distributed_txn = std::get<0>(GetParam()) == SystemUnderTest::kDbTable;
+        service_ = std::make_unique<TectonicService>(network_.get(), options);
+        break;
+      }
+      case SystemUnderTest::kInfiniFs: {
+        InfiniFsOptions options;
+        options.tafdb = FastTafDbOptions();
+        service_ = std::make_unique<InfiniFsService>(network_.get(), options);
+        break;
+      }
+      case SystemUnderTest::kLocoFs: {
+        LocoFsOptions options;
+        options.tafdb = FastTafDbOptions();
+        options.raft = FastRaftOptions();
+        service_ = std::make_unique<LocoFsService>(network_.get(), options);
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<MetadataService> service_;
+};
+
+std::string PickName(Rng& rng) { return "n" + std::to_string(rng.Uniform(6)); }
+
+std::string PickPath(const ModelFs& model, Rng& rng, int max_extra_levels = 2) {
+  // Start from a random known directory and append 0..max_extra random
+  // components, producing a healthy mix of valid and invalid paths.
+  std::vector<std::string> dirs(model.dirs().begin(), model.dirs().end());
+  std::string path = dirs[rng.Uniform(dirs.size())];
+  const uint64_t extra = rng.Uniform(max_extra_levels + 1);
+  for (uint64_t i = 0; i < extra; ++i) {
+    if (path == "/") {
+      path.clear();
+    }
+    path += "/" + PickName(rng);
+  }
+  return path.empty() ? "/" : path;
+}
+
+TEST_P(PropertyModelTest, RandomProgramMatchesReferenceModel) {
+  const uint64_t seed = std::get<1>(GetParam());
+  Rng rng(seed);
+  ModelFs model;
+
+  constexpr int kSteps = 300;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    if (action < 30) {  // mkdir
+      const std::string path = PickPath(model, rng);
+      Status expected = model.Mkdir(path);
+      OpResult actual = service_->Mkdir(path);
+      if (expected.ok()) {
+        ASSERT_TRUE(actual.ok()) << SutName(std::get<0>(GetParam())) << " mkdir " << path
+                                 << ": " << actual.status;
+      } else {
+        ASSERT_FALSE(actual.ok()) << "mkdir " << path << " should fail";
+      }
+    } else if (action < 55) {  // create object
+      const std::string path = PickPath(model, rng);
+      const uint64_t size = rng.Uniform(1 << 20) + 1;
+      Status expected = model.CreateObject(path, size);
+      OpResult actual = service_->CreateObject(path, size);
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << "create " << path << " model=" << expected << " sut=" << actual.status;
+    } else if (action < 65) {  // delete object
+      const std::string path = PickPath(model, rng);
+      Status expected = model.DeleteObject(path);
+      OpResult actual = service_->DeleteObject(path);
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << "delete " << path << " model=" << expected << " sut=" << actual.status;
+    } else if (action < 75) {  // rmdir
+      const std::string path = PickPath(model, rng);
+      Status expected = model.Rmdir(path);
+      OpResult actual = service_->Rmdir(path);
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << "rmdir " << path << " model=" << expected << " sut=" << actual.status;
+    } else if (action < 90) {  // rename
+      const std::string src = PickPath(model, rng, 1);
+      const std::string dst = PickPath(model, rng, 1);
+      if (src == "/" || dst == "/") {
+        continue;
+      }
+      Status expected = model.RenameDir(src, dst);
+      OpResult actual = service_->RenameDir(src, dst);
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << "rename " << src << " -> " << dst << " model=" << expected
+          << " sut=" << actual.status;
+    } else {  // stat probes
+      const std::string path = PickPath(model, rng);
+      StatInfo info;
+      OpResult dir_stat = service_->StatDir(path);
+      ASSERT_EQ(model.IsDir(path), dir_stat.ok()) << "dirstat " << path;
+      OpResult obj_stat = service_->StatObject(path, &info);
+      ASSERT_EQ(model.IsObject(path), obj_stat.ok() && !info.is_dir)
+          << "objstat " << path;
+    }
+  }
+
+  // Final-state audit: every model path visible with correct identity; model
+  // directory listings match ReadDir exactly.
+  for (const auto& dir : model.dirs()) {
+    if (dir == "/") {
+      continue;
+    }
+    ASSERT_TRUE(service_->StatDir(dir).ok()) << "missing dir " << dir;
+  }
+  for (const auto& [path, size] : model.objects()) {
+    StatInfo info;
+    ASSERT_TRUE(service_->StatObject(path, &info).ok()) << "missing object " << path;
+    EXPECT_EQ(info.size, size) << path;
+  }
+  Rng audit_rng(seed ^ 0xa0d17);
+  std::vector<std::string> dirs(model.dirs().begin(), model.dirs().end());
+  for (int probe = 0; probe < 20; ++probe) {
+    const std::string& dir = dirs[audit_rng.Uniform(dirs.size())];
+    std::vector<std::string> names;
+    ASSERT_TRUE(service_->ReadDir(dir, &names).ok()) << dir;
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), model.Children(dir)) << dir;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, PropertyModelTest,
+    ::testing::Combine(::testing::Values(SystemUnderTest::kMantle, SystemUnderTest::kTectonic,
+                                         SystemUnderTest::kDbTable, SystemUnderTest::kInfiniFs,
+                                         SystemUnderTest::kLocoFs),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<SystemUnderTest, uint64_t>>& info) {
+      return std::string(SutName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,186 @@
+// Raft protocol edge cases exercised by constructing RPCs directly against
+// nodes: term dominance, log-consistency rejection, conflict truncation,
+// vote persistence, and ReadIndex leader checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/raft/group.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+class NullMachine final : public StateMachine {
+ public:
+  std::string Apply(uint64_t, const std::string& command) override { return command; }
+};
+
+struct ProtoHarness {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<RaftGroup> group;
+};
+
+ProtoHarness MakeQuietGroup(uint32_t voters) {
+  // Elections disabled: nodes stay followers until poked, so tests control
+  // every message.
+  ProtoHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  RaftOptions options = FastRaftOptions();
+  options.enable_election_timer = false;
+  harness.group = std::make_unique<RaftGroup>(
+      harness.network.get(), "proto", voters, 0,
+      [](uint32_t) -> std::unique_ptr<StateMachine> { return std::make_unique<NullMachine>(); },
+      options);
+  return harness;
+}
+
+LogEntry Entry(uint64_t term, uint64_t index, const std::string& payload) {
+  return LogEntry{term, index, payload};
+}
+
+TEST(RaftProtocolTest, AppendFromStaleTermRejected) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  AppendEntriesRequest fresh;
+  fresh.term = 5;
+  fresh.leader_id = 1;
+  EXPECT_TRUE(node->HandleAppendEntries(fresh).success);
+  AppendEntriesRequest stale;
+  stale.term = 3;
+  stale.leader_id = 2;
+  AppendEntriesReply reply = node->HandleAppendEntries(stale);
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.term, 5u);
+}
+
+TEST(RaftProtocolTest, AppendRejectsMissingPrevEntry) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  AppendEntriesRequest request;
+  request.term = 2;
+  request.leader_id = 1;
+  request.prev_log_index = 7;  // log is empty
+  request.prev_log_term = 2;
+  request.entries = {Entry(2, 8, "x")};
+  AppendEntriesReply reply = node->HandleAppendEntries(request);
+  EXPECT_FALSE(reply.success);
+  EXPECT_LE(reply.match_index, 6u);  // hint for next_index backoff
+}
+
+TEST(RaftProtocolTest, ConflictingSuffixTruncated) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  // Old leader (term 2) appends 1..3.
+  AppendEntriesRequest old_leader;
+  old_leader.term = 2;
+  old_leader.leader_id = 1;
+  old_leader.entries = {Entry(2, 1, "a"), Entry(2, 2, "b"), Entry(2, 3, "c")};
+  ASSERT_TRUE(node->HandleAppendEntries(old_leader).success);
+  EXPECT_EQ(node->last_log_index(), 3u);
+  // New leader (term 4) rewrites from index 2.
+  AppendEntriesRequest new_leader;
+  new_leader.term = 4;
+  new_leader.leader_id = 2;
+  new_leader.prev_log_index = 1;
+  new_leader.prev_log_term = 2;
+  new_leader.entries = {Entry(4, 2, "B")};
+  AppendEntriesReply reply = node->HandleAppendEntries(new_leader);
+  ASSERT_TRUE(reply.success);
+  EXPECT_EQ(reply.match_index, 2u);
+  EXPECT_EQ(node->last_log_index(), 2u);  // old index 3 discarded
+}
+
+TEST(RaftProtocolTest, DuplicateEntriesAreIdempotent) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  AppendEntriesRequest request;
+  request.term = 2;
+  request.leader_id = 1;
+  request.entries = {Entry(2, 1, "a"), Entry(2, 2, "b")};
+  ASSERT_TRUE(node->HandleAppendEntries(request).success);
+  ASSERT_TRUE(node->HandleAppendEntries(request).success);  // retransmission
+  EXPECT_EQ(node->last_log_index(), 2u);
+  const uint64_t persisted = node->storage().entries_persisted();
+  EXPECT_EQ(persisted, 2u);  // duplicates were not re-persisted
+}
+
+TEST(RaftProtocolTest, VoteGrantedOncePerTerm) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  RequestVoteRequest candidate1;
+  candidate1.term = 3;
+  candidate1.candidate_id = 1;
+  EXPECT_TRUE(node->HandleRequestVote(candidate1).vote_granted);
+  RequestVoteRequest candidate2 = candidate1;
+  candidate2.candidate_id = 2;
+  EXPECT_FALSE(node->HandleRequestVote(candidate2).vote_granted);  // already voted
+  EXPECT_TRUE(node->HandleRequestVote(candidate1).vote_granted);   // same candidate ok
+}
+
+TEST(RaftProtocolTest, VoteDeniedToStaleLog) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  AppendEntriesRequest fill;
+  fill.term = 2;
+  fill.leader_id = 1;
+  fill.entries = {Entry(2, 1, "a"), Entry(2, 2, "b")};
+  ASSERT_TRUE(node->HandleAppendEntries(fill).success);
+  // Candidate with a shorter log at the same last term loses.
+  RequestVoteRequest behind;
+  behind.term = 3;
+  behind.candidate_id = 2;
+  behind.last_log_index = 1;
+  behind.last_log_term = 2;
+  EXPECT_FALSE(node->HandleRequestVote(behind).vote_granted);
+  // Candidate with a higher last term wins despite a shorter log.
+  RequestVoteRequest newer;
+  newer.term = 4;
+  newer.candidate_id = 2;
+  newer.last_log_index = 1;
+  newer.last_log_term = 3;
+  EXPECT_TRUE(node->HandleRequestVote(newer).vote_granted);
+}
+
+TEST(RaftProtocolTest, CommitFollowsLeaderCommitBoundedByLog) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  RaftNode* node = harness.group->node(0);
+  AppendEntriesRequest request;
+  request.term = 2;
+  request.leader_id = 1;
+  request.leader_commit = 99;  // far beyond what we deliver
+  request.entries = {Entry(2, 1, "a")};
+  ASSERT_TRUE(node->HandleAppendEntries(request).success);
+  EXPECT_EQ(node->commit_index(), 1u);  // min(leader_commit, last index)
+}
+
+TEST(RaftProtocolTest, ReadIndexQueryOnlyServedByLeader) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  EXPECT_FALSE(harness.group->node(0)->HandleReadIndexQuery().has_value());
+  harness.group->node(0)->Campaign();
+  RaftNode* leader = harness.group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_TRUE(leader->HandleReadIndexQuery().has_value());
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    if (harness.group->node(i) != leader) {
+      EXPECT_FALSE(harness.group->node(i)->HandleReadIndexQuery().has_value());
+    }
+  }
+}
+
+TEST(RaftProtocolTest, HigherTermAppendDethronesLeader) {
+  ProtoHarness harness = MakeQuietGroup(3);
+  harness.group->node(0)->Campaign();
+  RaftNode* leader = harness.group->WaitForLeader();
+  ASSERT_EQ(leader, harness.group->node(0));
+  AppendEntriesRequest usurper;
+  usurper.term = leader->term() + 10;
+  usurper.leader_id = 2;
+  EXPECT_TRUE(leader->HandleAppendEntries(usurper).success);
+  EXPECT_NE(leader->role(), RaftRole::kLeader);
+  EXPECT_EQ(leader->term(), usurper.term);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/raft/group.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// Records every applied command; replicas must converge on the same sequence.
+class RecordingMachine final : public StateMachine {
+ public:
+  std::string Apply(uint64_t index, const std::string& command) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_.push_back(command);
+    return "ack:" + command;
+  }
+
+  std::vector<std::string> applied() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return applied_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> applied_;
+};
+
+struct GroupHarness {
+  std::unique_ptr<Network> network;
+  std::vector<RecordingMachine*> machines;
+  std::unique_ptr<RaftGroup> group;
+};
+
+GroupHarness MakeGroup(uint32_t voters, uint32_t learners, RaftOptions options) {
+  GroupHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  harness.machines.resize(voters + learners, nullptr);
+  harness.group = std::make_unique<RaftGroup>(
+      harness.network.get(), "raft-test", voters, learners,
+      [&harness](uint32_t id) -> std::unique_ptr<StateMachine> {
+        auto machine = std::make_unique<RecordingMachine>();
+        harness.machines[id] = machine.get();
+        return machine;
+      },
+      options);
+  harness.group->Start();
+  return harness;
+}
+
+void WaitAllApplied(GroupHarness& harness, size_t count, int64_t timeout_nanos = 5'000'000'000) {
+  const int64_t deadline = MonotonicNanos() + timeout_nanos;
+  for (;;) {
+    bool done = true;
+    for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+      if (!harness.group->node(i)->IsDown() &&
+          harness.machines[i]->applied().size() < count) {
+        done = false;
+      }
+    }
+    if (done || MonotonicNanos() > deadline) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(RaftTest, ElectsLeaderAtStartup) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  RaftNode* leader = harness.group->leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->role(), RaftRole::kLeader);
+  EXPECT_TRUE(leader->is_voter());
+}
+
+TEST(RaftTest, ProposeAppliesOnAllReplicas) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  auto result = harness.group->Propose("cmd-1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "ack:cmd-1");
+  WaitAllApplied(harness, 1);
+  for (auto* machine : harness.machines) {
+    ASSERT_EQ(machine->applied().size(), 1u);
+    EXPECT_EQ(machine->applied()[0], "cmd-1");
+  }
+}
+
+TEST(RaftTest, ReplicasConvergeOnSameOrder) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> proposers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    proposers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!harness.group->Propose("t" + std::to_string(t) + "-" + std::to_string(i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& proposer : proposers) {
+    proposer.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  WaitAllApplied(harness, kThreads * kPerThread);
+  const auto reference = harness.machines[0]->applied();
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (auto* machine : harness.machines) {
+    EXPECT_EQ(machine->applied(), reference);
+  }
+}
+
+TEST(RaftTest, LearnersReplicateButDoNotVote) {
+  GroupHarness harness = MakeGroup(3, 2, FastRaftOptions());
+  EXPECT_EQ(harness.group->Majority(), 2u);  // 3 voters -> majority 2
+  EXPECT_FALSE(harness.group->node(3)->is_voter());
+  EXPECT_EQ(harness.group->node(4)->role(), RaftRole::kLearner);
+  ASSERT_TRUE(harness.group->Propose("learned").ok());
+  WaitAllApplied(harness, 1);
+  EXPECT_EQ(harness.machines[3]->applied().size(), 1u);
+  EXPECT_EQ(harness.machines[4]->applied().size(), 1u);
+}
+
+TEST(RaftTest, LogBatchingAmortizesFsync) {
+  RaftOptions batched = FastRaftOptions();
+  batched.fsync_nanos = 0;
+  batched.log_batching = true;
+  GroupHarness harness = MakeGroup(3, 0, batched);
+  constexpr int kOps = 200;
+  std::vector<std::thread> proposers;
+  for (int t = 0; t < 8; ++t) {
+    proposers.emplace_back([&, t]() {
+      for (int i = 0; i < kOps / 8; ++i) {
+        harness.group->Propose("b" + std::to_string(t) + "-" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& proposer : proposers) {
+    proposer.join();
+  }
+  RaftNode* leader = harness.group->leader();
+  ASSERT_NE(leader, nullptr);
+  // Batching must have grouped at least some proposals: fewer persistence
+  // calls than entries persisted.
+  EXPECT_LT(leader->stats().batches.load(), leader->stats().proposals.load());
+  EXPECT_GE(leader->storage().entries_persisted(), static_cast<uint64_t>(kOps));
+}
+
+TEST(RaftTest, UnbatchedModePersistsPerEntry) {
+  RaftOptions unbatched = FastRaftOptions();
+  unbatched.fsync_nanos = 0;
+  unbatched.log_batching = false;
+  GroupHarness harness = MakeGroup(1, 0, unbatched);  // single voter: no replication noise
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(harness.group->Propose("u" + std::to_string(i)).ok());
+  }
+  RaftNode* leader = harness.group->leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->stats().batches.load(), 20u);
+}
+
+TEST(RaftTest, FollowerReadFenceSeesCommittedWrites) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(harness.group->Propose("w" + std::to_string(i)).ok());
+  }
+  RaftNode* leader = harness.group->leader();
+  ASSERT_NE(leader, nullptr);
+  const uint64_t commit = leader->commit_index();
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    RaftNode* node = harness.group->node(i);
+    if (node == leader) {
+      continue;
+    }
+    auto fence = node->FollowerReadFence();
+    ASSERT_TRUE(fence.ok());
+    EXPECT_GE(*fence, commit);
+    EXPECT_GE(node->last_applied(), *fence);
+    // Every committed command is now visible locally.
+    EXPECT_GE(harness.machines[i]->applied().size(), 10u);
+  }
+}
+
+TEST(RaftTest, ConcurrentFollowerReadsBatchLeaderQueries) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  ASSERT_TRUE(harness.group->Propose("seed").ok());
+  RaftNode* leader = harness.group->leader();
+  RaftNode* follower = nullptr;
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    if (harness.group->node(i) != leader) {
+      follower = harness.group->node(i);
+      break;
+    }
+  }
+  ASSERT_NE(follower, nullptr);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 16; ++t) {
+    readers.emplace_back([follower]() {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(follower->FollowerReadFence().ok());
+      }
+    });
+  }
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  const uint64_t queries = follower->stats().read_index_queries.load();
+  const uint64_t batched = follower->stats().read_index_batched.load();
+  EXPECT_EQ(queries + batched, 16u * 20u);
+}
+
+TEST(RaftTest, LeaderFailoverElectsNewLeaderAndRetainsLog) {
+  RaftOptions options = FastRaftOptions();
+  GroupHarness harness = MakeGroup(3, 0, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(harness.group->Propose("pre" + std::to_string(i)).ok());
+  }
+  RaftNode* old_leader = harness.group->leader();
+  ASSERT_NE(old_leader, nullptr);
+  old_leader->Stop();
+
+  RaftNode* new_leader = nullptr;
+  const int64_t deadline = MonotonicNanos() + 10'000'000'000;
+  while (MonotonicNanos() < deadline) {
+    new_leader = harness.group->leader();
+    if (new_leader != nullptr && new_leader != old_leader) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader, old_leader);
+
+  // The new leader still accepts and commits proposals.
+  ASSERT_TRUE(harness.group->Propose("post").ok());
+  // Survivors converge including the old entries.
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    RaftNode* node = harness.group->node(i);
+    if (node->IsDown()) {
+      continue;
+    }
+    const int64_t converge_deadline = MonotonicNanos() + 5'000'000'000;
+    while (harness.machines[i]->applied().size() < 6 &&
+           MonotonicNanos() < converge_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    auto applied = harness.machines[i]->applied();
+    ASSERT_GE(applied.size(), 6u);
+    EXPECT_EQ(applied[0], "pre0");
+    EXPECT_EQ(applied.back(), "post");
+  }
+}
+
+TEST(RaftTest, RestartedNodeCatchesUp) {
+  GroupHarness harness = MakeGroup(3, 0, FastRaftOptions());
+  ASSERT_TRUE(harness.group->Propose("one").ok());
+  // Stop a follower, write more, restart it.
+  RaftNode* leader = harness.group->leader();
+  RaftNode* follower = nullptr;
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    if (harness.group->node(i) != leader) {
+      follower = harness.group->node(i);
+      break;
+    }
+  }
+  ASSERT_NE(follower, nullptr);
+  follower->Stop();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(harness.group->Propose("while-down" + std::to_string(i)).ok());
+  }
+  follower->Restart();
+  const int64_t deadline = MonotonicNanos() + 5'000'000'000;
+  while (harness.machines[follower->id()]->applied().size() < 6 &&
+         MonotonicNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(harness.machines[follower->id()]->applied().size(), 6u);
+}
+
+TEST(RaftTest, ProposalToDownGroupTimesOut) {
+  RaftOptions options = FastRaftOptions();
+  options.propose_timeout_nanos = 300'000'000;  // 300 ms
+  options.enable_election_timer = false;        // nobody can recover leadership
+  GroupHarness harness = MakeGroup(3, 0, options);
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    harness.group->node(i)->Stop();
+  }
+  auto result = harness.group->Propose("doomed");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RaftLogTest, SliceAndTruncate) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    log.Append(LogEntry{1, i, "e" + std::to_string(i)});
+  }
+  EXPECT_EQ(log.LastIndex(), 5u);
+  auto slice = log.Slice(2, 2);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].index, 3u);
+  log.TruncateFrom(4);
+  EXPECT_EQ(log.LastIndex(), 3u);
+  EXPECT_EQ(log.TermAt(9), 0u);
+  EXPECT_FALSE(log.Has(4));
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,179 @@
+// Rename safety under adversarial interleavings: concurrent renames that
+// would jointly create a cycle must never both succeed (the orphaned-island
+// failure loop detection exists to prevent), across every system that
+// implements loop detection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "src/workload/applications.h"
+#include "src/workload/namespace_gen.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// Runs `rounds` iterations of the cycle race on `service`: /x and /y exist;
+// one thread renames /x -> /y/xin while another renames /y -> /x/yin.
+// Exactly zero or one of the two may succeed; afterwards both directories
+// must still be reachable from the root.
+void RunCycleRace(MetadataService* service, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    const std::string x = "/x" + std::to_string(round);
+    const std::string y = "/y" + std::to_string(round);
+    ASSERT_TRUE(service->Mkdir(x).ok());
+    ASSERT_TRUE(service->Mkdir(y).ok());
+
+    std::atomic<int> successes{0};
+    std::thread mover_a([&]() {
+      if (service->RenameDir(x, y + "/xin").ok()) {
+        successes.fetch_add(1);
+      }
+    });
+    std::thread mover_b([&]() {
+      if (service->RenameDir(y, x + "/yin").ok()) {
+        successes.fetch_add(1);
+      }
+    });
+    mover_a.join();
+    mover_b.join();
+
+    ASSERT_LE(successes.load(), 1) << "both cycle-forming renames succeeded";
+    // Every directory is still reachable from the root: x (or y/xin) and
+    // y (or x/yin) resolve.
+    const bool x_at_home = service->StatDir(x).ok();
+    const bool x_moved = service->StatDir(y + "/xin").ok();
+    EXPECT_TRUE(x_at_home || x_moved) << "round " << round;
+    const bool y_at_home = service->StatDir(y).ok();
+    const bool y_moved = service->StatDir(x + "/yin").ok();
+    EXPECT_TRUE(y_at_home || y_moved) << "round " << round;
+    EXPECT_FALSE(x_moved && y_moved) << "cycle materialized";
+  }
+}
+
+TEST(RenameSafetyTest, MantleNeverFormsCycles) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  RunCycleRace(&service, 20);
+}
+
+TEST(RenameSafetyTest, LocoFsNeverFormsCycles) {
+  Network network(FastNetworkOptions());
+  LocoFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.raft = FastRaftOptions();
+  LocoFsService service(&network, options);
+  RunCycleRace(&service, 10);
+}
+
+TEST(RenameSafetyTest, InfiniFsNeverFormsCycles) {
+  Network network(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  InfiniFsService service(&network, options);
+  RunCycleRace(&service, 10);
+}
+
+TEST(RenameSafetyTest, ChainedRenamesKeepTreeConnected) {
+  // A deeper interleaving: three directories renamed around a triangle
+  // concurrently, repeatedly; the namespace must stay a tree.
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/a").ok());
+  ASSERT_TRUE(service.Mkdir("/b").ok());
+  ASSERT_TRUE(service.Mkdir("/c").ok());
+
+  std::vector<std::thread> movers;
+  for (int t = 0; t < 3; ++t) {
+    movers.emplace_back([&, t]() {
+      const char* sources[] = {"/a", "/b", "/c"};
+      const char* targets[] = {"/b/a_in", "/c/b_in", "/a/c_in"};
+      for (int i = 0; i < 10; ++i) {
+        service.RenameDir(sources[t], targets[t]);
+        service.RenameDir(targets[t], sources[t]);  // move back if it landed
+      }
+    });
+  }
+  for (auto& mover : movers) {
+    mover.join();
+  }
+  // Audit: every indexed directory reconstructs a full path to the root, and
+  // fsck is clean.
+  IndexReplica* leader = service.index()->LeaderReplica();
+  for (const auto& entry : leader->table().Export()) {
+    EXPECT_TRUE(leader->table().PathOf(entry.id).has_value())
+        << "orphaned directory id " << entry.id;
+  }
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+// Application workloads complete without errors on every system (the
+// Fig. 10/11 harness path end to end at miniature scale).
+class AppOnEverySystemTest : public ::testing::Test {};
+
+void RunMiniApps(MetadataService* service) {
+  AnalyticsOptions analytics;
+  analytics.queries = 1;
+  analytics.subtasks_per_query = 6;
+  analytics.objects_per_subtask = 1;
+  analytics.threads = 3;
+  AppResult a = RunAnalytics(service, "/spark", analytics);
+  EXPECT_EQ(a.errors, 0u);
+
+  AudioOptions audio;
+  audio.input_objects = 12;
+  audio.segments_per_object = 2;
+  audio.threads = 3;
+  audio.dir_depth = 6;
+  AppResult b = RunAudio(service, "/audio", audio);
+  EXPECT_EQ(b.errors, 0u);
+}
+
+TEST_F(AppOnEverySystemTest, Mantle) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  RunMiniApps(&service);
+}
+
+TEST_F(AppOnEverySystemTest, Tectonic) {
+  Network network(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  TectonicService service(&network, options);
+  RunMiniApps(&service);
+}
+
+TEST_F(AppOnEverySystemTest, DbTable) {
+  Network network(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.use_distributed_txn = true;
+  TectonicService service(&network, options);
+  RunMiniApps(&service);
+}
+
+TEST_F(AppOnEverySystemTest, InfiniFs) {
+  Network network(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  InfiniFsService service(&network, options);
+  RunMiniApps(&service);
+}
+
+TEST_F(AppOnEverySystemTest, LocoFs) {
+  Network network(FastNetworkOptions());
+  LocoFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.raft = FastRaftOptions();
+  LocoFsService service(&network, options);
+  RunMiniApps(&service);
+}
+
+}  // namespace
+}  // namespace mantle

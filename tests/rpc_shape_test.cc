@@ -1,0 +1,205 @@
+// Architecture invariants, asserted as RPC counts: the paper's Table 1
+// ("#RTTs for lookup") and the per-operation round-trip structure of each
+// system. These pin down exactly *why* the benches produce their shapes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+constexpr int kDepth = 10;
+
+struct Harness {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<MetadataService> service;
+  std::string deep_object;  // object at directory depth kDepth
+};
+
+void BuildTree(Harness& harness) {
+  std::string path;
+  for (int level = 0; level < kDepth; ++level) {
+    path += "/L" + std::to_string(level);
+    ASSERT_TRUE(harness.service->BulkLoadDir(path).ok());
+  }
+  harness.deep_object = path + "/object.bin";
+  ASSERT_TRUE(harness.service->BulkLoadObject(harness.deep_object, 1024).ok());
+}
+
+Harness MakeMantleH() {
+  Harness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  harness.service = std::make_unique<MantleService>(harness.network.get(), FastMantleOptions());
+  BuildTree(harness);
+  return harness;
+}
+
+Harness MakeTectonicH() {
+  Harness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<TectonicService>(harness.network.get(), options);
+  BuildTree(harness);
+  return harness;
+}
+
+Harness MakeInfiniFsH() {
+  Harness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<InfiniFsService>(harness.network.get(), options);
+  BuildTree(harness);
+  return harness;
+}
+
+Harness MakeLocoFsH() {
+  Harness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  LocoFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.raft = FastRaftOptions();
+  harness.service = std::make_unique<LocoFsService>(harness.network.get(), options);
+  BuildTree(harness);
+  return harness;
+}
+
+// --- Table 1: lookup round trips ------------------------------------------------
+
+TEST(RpcShapeTest, MantleLookupIsOneRpcAtAnyDepth) {
+  Harness harness = MakeMantleH();
+  for (int warm = 0; warm < 2; ++warm) {
+    OpResult result = harness.service->Lookup(harness.deep_object);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.rpcs, 1);
+  }
+}
+
+TEST(RpcShapeTest, TectonicLookupIsOneRpcPerLevel) {
+  Harness harness = MakeTectonicH();
+  OpResult result = harness.service->Lookup(harness.deep_object);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.rpcs, kDepth);  // parent resolution: one Get per directory level
+}
+
+TEST(RpcShapeTest, InfiniFsLookupFansOutButOneRound) {
+  Harness harness = MakeInfiniFsH();
+  OpResult result = harness.service->Lookup(harness.deep_object);
+  ASSERT_TRUE(result.ok());
+  // Same number of per-level RPCs as Tectonic, issued in one parallel round.
+  EXPECT_EQ(result.rpcs, kDepth);
+}
+
+TEST(RpcShapeTest, LocoFsLookupIsOneRpcToDirserver) {
+  Harness harness = MakeLocoFsH();
+  OpResult result = harness.service->Lookup(harness.deep_object);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.rpcs, 1);
+}
+
+// --- per-operation structure ------------------------------------------------------
+
+TEST(RpcShapeTest, MantleObjstatIsTwoRpcs) {
+  Harness harness = MakeMantleH();
+  OpResult result = harness.service->StatObject(harness.deep_object);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.rpcs, 2);  // IndexNode lookup + TafDB row read
+}
+
+TEST(RpcShapeTest, MantleCreateIsTwoRpcs) {
+  Harness harness = MakeMantleH();
+  OpResult result =
+      harness.service->CreateObject("/L0/L1/L2/L3/L4/L5/L6/L7/L8/L9/new.bin", 1);
+  ASSERT_TRUE(result.ok());
+  // Lookup (1) + single-shard transaction (1): entry row and parent attribute
+  // colocate on shard(parent), the paper's locality argument for pid routing.
+  EXPECT_EQ(result.rpcs, 2);
+}
+
+TEST(RpcShapeTest, MantleMkdirPaysCrossShardTxnPlusRaft) {
+  Harness harness = MakeMantleH();
+  OpResult result = harness.service->Mkdir("/L0/L1/L2/L3/L4/L5/L6/L7/L8/L9/newdir");
+  ASSERT_TRUE(result.ok());
+  // 1 lookup + 2PC (prepare/commit to >=1 participants) + 1 raft propose;
+  // exact participant count depends on shard placement, so bound it.
+  EXPECT_GE(result.rpcs, 3);
+  EXPECT_LE(result.rpcs, 7);
+}
+
+TEST(RpcShapeTest, TectonicStatCostGrowsWithDepth) {
+  Harness harness = MakeTectonicH();
+  OpResult deep = harness.service->StatObject(harness.deep_object);
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(harness.service->BulkLoadObject("/shallow.bin", 1).ok());
+  OpResult shallow = harness.service->StatObject("/shallow.bin");
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(deep.rpcs - shallow.rpcs, kDepth);
+}
+
+TEST(RpcShapeTest, MantleStatCostIsDepthIndependent) {
+  Harness harness = MakeMantleH();
+  ASSERT_TRUE(harness.service->BulkLoadObject("/shallow.bin", 1).ok());
+  OpResult deep = harness.service->StatObject(harness.deep_object);
+  OpResult shallow = harness.service->StatObject("/shallow.bin");
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(deep.rpcs, shallow.rpcs);
+}
+
+TEST(RpcShapeTest, MantleRenameMergesLookupIntoLoopDetection) {
+  Harness harness = MakeMantleH();
+  ASSERT_TRUE(harness.service->BulkLoadDir("/L0/victim").ok());
+  ASSERT_TRUE(harness.service->BulkLoadDir("/L0/target").ok());
+  OpResult result = harness.service->RenameDir("/L0/victim", "/L0/target/moved");
+  ASSERT_TRUE(result.ok());
+  // Mantle reports zero lookup time for dirrename (§6.3): resolution happens
+  // inside the loop-detection RPC.
+  EXPECT_EQ(result.breakdown.lookup_nanos, 0);
+  EXPECT_GT(result.breakdown.loop_detect_nanos, 0);
+  // 1 prepare RPC + TafDB transaction + raft propose.
+  EXPECT_GE(result.rpcs, 3);
+}
+
+TEST(RpcShapeTest, InfiniFsLoopDetectionWalksAncestorsViaDb) {
+  Harness harness = MakeInfiniFsH();
+  ASSERT_TRUE(harness.service->BulkLoadDir("/L0/L1/L2/L3/L4/L5/L6/L7/L8/L9/victim").ok());
+  // Rename into a deep destination: the coordinator walks the destination's
+  // ancestor chain with one DB Get per level.
+  ScopedRpcCounter counter;
+  OpResult result = harness.service->RenameDir("/L0/L1/L2/L3/L4/L5/L6/L7/L8/L9/victim",
+                                               "/L0/L1/L2/L3/L4/L5/L6/L7/L8/L9/moved");
+  ASSERT_TRUE(result.ok());
+  // Far more round trips than Mantle's constant-RPC rename.
+  EXPECT_GT(result.rpcs, kDepth);
+}
+
+TEST(RpcShapeTest, FollowerReadFenceAddsBoundedCost) {
+  // With follower reads forced on (offload threshold 0), a lookup from a
+  // follower still resolves in <= 2 RPCs (replica call + fence query).
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.index.follower_read = true;
+  options.index.offload_queue_threshold = 0;
+  MantleService service(&network, options);
+  std::string path;
+  for (int level = 0; level < kDepth; ++level) {
+    path += "/F" + std::to_string(level);
+    ASSERT_TRUE(service.BulkLoadDir(path).ok());
+  }
+  ASSERT_TRUE(service.BulkLoadObject(path + "/o", 1).ok());
+  for (int i = 0; i < 6; ++i) {
+    OpResult result = service.Lookup(path + "/o");
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.rpcs, 2);
+  }
+}
+
+}  // namespace
+}  // namespace mantle

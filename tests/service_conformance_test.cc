@@ -1,0 +1,327 @@
+// Cross-system conformance suite: every MetadataService implementation
+// (Mantle, Tectonic, the legacy DBtable variant, InfiniFS, LocoFS) must agree
+// on the visible semantics of the metadata API. Parameterized so each
+// behaviour is verified against all five systems.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+struct ServiceHarness {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<MetadataService> service;
+};
+
+using HarnessFactory = ServiceHarness (*)();
+
+ServiceHarness MakeMantle() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  harness.service = std::make_unique<MantleService>(harness.network.get(), FastMantleOptions());
+  return harness;
+}
+
+ServiceHarness MakeTectonic() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<TectonicService>(harness.network.get(), options);
+  return harness;
+}
+
+ServiceHarness MakeDbTable() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.use_distributed_txn = true;
+  harness.service = std::make_unique<TectonicService>(harness.network.get(), options);
+  return harness;
+}
+
+ServiceHarness MakeInfiniFs() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<InfiniFsService>(harness.network.get(), options);
+  return harness;
+}
+
+ServiceHarness MakeLocoFs() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  LocoFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.raft = FastRaftOptions();
+  harness.service = std::make_unique<LocoFsService>(harness.network.get(), options);
+  return harness;
+}
+
+struct NamedFactory {
+  const char* name;
+  HarnessFactory factory;
+};
+
+class ConformanceTest : public ::testing::TestWithParam<NamedFactory> {
+ protected:
+  void SetUp() override {
+    harness_ = GetParam().factory();
+    service_ = harness_.service.get();
+  }
+  void TearDown() override {
+    harness_.service.reset();
+    harness_.network.reset();
+  }
+
+  ServiceHarness harness_;
+  MetadataService* service_ = nullptr;
+};
+
+TEST_P(ConformanceTest, MkdirAndStatDir) {
+  ASSERT_TRUE(service_->Mkdir("/a").ok());
+  ASSERT_TRUE(service_->Mkdir("/a/b").ok());
+  StatInfo info;
+  EXPECT_TRUE(service_->StatDir("/a/b", &info).ok());
+  EXPECT_TRUE(info.is_dir);
+}
+
+TEST_P(ConformanceTest, MkdirDuplicateRejected) {
+  ASSERT_TRUE(service_->Mkdir("/dup").ok());
+  EXPECT_TRUE(service_->Mkdir("/dup").status.IsAlreadyExists());
+}
+
+TEST_P(ConformanceTest, MkdirMissingParentRejected) {
+  EXPECT_TRUE(service_->Mkdir("/missing/child").status.IsNotFound());
+}
+
+TEST_P(ConformanceTest, ObjectLifecycle) {
+  ASSERT_TRUE(service_->Mkdir("/d").ok());
+  ASSERT_TRUE(service_->CreateObject("/d/o", 512).ok());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/d/o", &info).ok());
+  EXPECT_EQ(info.size, 512u);
+  EXPECT_TRUE(service_->CreateObject("/d/o", 1).status.IsAlreadyExists());
+  EXPECT_TRUE(service_->DeleteObject("/d/o").ok());
+  EXPECT_TRUE(service_->StatObject("/d/o").status.IsNotFound());
+  EXPECT_TRUE(service_->DeleteObject("/d/o").status.IsNotFound());
+}
+
+TEST_P(ConformanceTest, StatObjectMissingParent) {
+  EXPECT_TRUE(service_->StatObject("/nowhere/o").status.IsNotFound());
+}
+
+TEST_P(ConformanceTest, DeepHierarchy) {
+  std::string path;
+  for (int depth = 0; depth < 10; ++depth) {
+    path += "/lvl" + std::to_string(depth);
+    ASSERT_TRUE(service_->Mkdir(path).ok()) << GetParam().name << " " << path;
+  }
+  ASSERT_TRUE(service_->CreateObject(path + "/obj", 64).ok());
+  EXPECT_TRUE(service_->StatObject(path + "/obj").ok());
+  EXPECT_TRUE(service_->Lookup(path + "/obj").ok());
+}
+
+TEST_P(ConformanceTest, RmdirSemantics) {
+  ASSERT_TRUE(service_->Mkdir("/rm").ok());
+  ASSERT_TRUE(service_->CreateObject("/rm/o", 1).ok());
+  EXPECT_EQ(service_->Rmdir("/rm").status.code(), StatusCode::kNotEmpty);
+  ASSERT_TRUE(service_->DeleteObject("/rm/o").ok());
+  EXPECT_TRUE(service_->Rmdir("/rm").ok());
+  EXPECT_TRUE(service_->StatDir("/rm").status.IsNotFound());
+  EXPECT_TRUE(service_->Rmdir("/rm").status.IsNotFound());
+}
+
+TEST_P(ConformanceTest, ReadDirListsEntries) {
+  ASSERT_TRUE(service_->Mkdir("/ls").ok());
+  ASSERT_TRUE(service_->Mkdir("/ls/sub").ok());
+  ASSERT_TRUE(service_->CreateObject("/ls/o1", 1).ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(service_->ReadDir("/ls", &names).ok());
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+            (std::set<std::string>{"sub", "o1"}));
+}
+
+TEST_P(ConformanceTest, RenameMovesDirectoryAndContents) {
+  ASSERT_TRUE(service_->Mkdir("/from").ok());
+  ASSERT_TRUE(service_->Mkdir("/from/inner").ok());
+  ASSERT_TRUE(service_->CreateObject("/from/inner/o", 9).ok());
+  ASSERT_TRUE(service_->Mkdir("/to").ok());
+  ASSERT_TRUE(service_->RenameDir("/from/inner", "/to/inner2").ok());
+  EXPECT_TRUE(service_->StatObject("/from/inner/o").status.IsNotFound());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/to/inner2/o", &info).ok());
+  EXPECT_EQ(info.size, 9u);
+}
+
+TEST_P(ConformanceTest, RenameMissingSourceRejected) {
+  ASSERT_TRUE(service_->Mkdir("/t").ok());
+  EXPECT_FALSE(service_->RenameDir("/ghost", "/t/g").ok());
+}
+
+TEST_P(ConformanceTest, RenameExistingDestinationRejected) {
+  ASSERT_TRUE(service_->Mkdir("/r1").ok());
+  ASSERT_TRUE(service_->Mkdir("/r2").ok());
+  EXPECT_TRUE(service_->RenameDir("/r1", "/r2").status.IsAlreadyExists());
+}
+
+TEST_P(ConformanceTest, LookupReportsMissingPath) {
+  ASSERT_TRUE(service_->Mkdir("/x").ok());
+  EXPECT_TRUE(service_->Lookup("/x/y/z/obj").status.IsNotFound());
+}
+
+TEST_P(ConformanceTest, BulkLoadMatchesOnlineSemantics) {
+  ASSERT_TRUE(service_->BulkLoadDir("/bulk").ok());
+  ASSERT_TRUE(service_->BulkLoadDir("/bulk/inner").ok());
+  ASSERT_TRUE(service_->BulkLoadObject("/bulk/inner/o", 77).ok());
+  StatInfo info;
+  ASSERT_TRUE(service_->StatObject("/bulk/inner/o", &info).ok());
+  EXPECT_EQ(info.size, 77u);
+  // Online operations continue on top of bulk-loaded state.
+  ASSERT_TRUE(service_->Mkdir("/bulk/inner/online").ok());
+  EXPECT_TRUE(service_->StatDir("/bulk/inner/online").ok());
+}
+
+TEST_P(ConformanceTest, ConcurrentCreatesInSharedDirectoryAllSucceed) {
+  ASSERT_TRUE(service_->Mkdir("/hot").ok());
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 15;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!service_
+                 ->CreateObject("/hot/o" + std::to_string(t) + "_" + std::to_string(i), 1)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0) << GetParam().name;
+  std::vector<std::string> names;
+  ASSERT_TRUE(service_->ReadDir("/hot", &names).ok());
+  EXPECT_EQ(names.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_P(ConformanceTest, ConcurrentMkdirUniqueNamesAllSucceed) {
+  ASSERT_TRUE(service_->Mkdir("/mk").ok());
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 10; ++i) {
+        if (!service_->Mkdir("/mk/d" + std::to_string(t) + "_" + std::to_string(i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0) << GetParam().name;
+}
+
+TEST_P(ConformanceTest, ConcurrentMkdirSameNameExactlyOneWins) {
+  ASSERT_TRUE(service_->Mkdir("/race").ok());
+  constexpr int kThreads = 4;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      if (service_->Mkdir("/race/same").ok()) {
+        successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(successes.load(), 1) << GetParam().name;
+}
+
+TEST_P(ConformanceTest, PagedListingWalksEntireDirectoryInOrder) {
+  ASSERT_TRUE(service_->Mkdir("/paged").ok());
+  std::set<std::string> expected;
+  for (int i = 0; i < 23; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "o%03d", i);
+    ASSERT_TRUE(service_->CreateObject(std::string("/paged/") + name, 1).ok());
+    expected.insert(name);
+  }
+  ASSERT_TRUE(service_->Mkdir("/paged/subdir").ok());
+  expected.insert("subdir");
+
+  std::vector<std::string> collected;
+  std::string token;
+  for (int page_index = 0;; ++page_index) {
+    ASSERT_LT(page_index, 10) << "paging did not terminate";
+    MetadataService::ListPage page;
+    OpResult result = service_->ListObjects("/paged", token, 7, &page);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(page.names.size(), 7u);
+    for (const auto& name : page.names) {
+      if (!collected.empty()) {
+        EXPECT_LT(collected.back(), name);  // strictly ordered, no repeats
+      }
+      collected.push_back(name);
+    }
+    if (!page.truncated) {
+      break;
+    }
+    token = page.next_start_after;
+  }
+  EXPECT_EQ(std::set<std::string>(collected.begin(), collected.end()), expected);
+}
+
+TEST_P(ConformanceTest, PagedListingEdgeCases) {
+  ASSERT_TRUE(service_->Mkdir("/edge").ok());
+  MetadataService::ListPage page;
+  // Empty directory.
+  ASSERT_TRUE(service_->ListObjects("/edge", "", 10, &page).ok());
+  EXPECT_TRUE(page.names.empty());
+  EXPECT_FALSE(page.truncated);
+  // Missing directory.
+  EXPECT_FALSE(service_->ListObjects("/nope", "", 10, &page).ok());
+  // Exact page boundary: max == count leaves truncated false on the 2nd call.
+  ASSERT_TRUE(service_->CreateObject("/edge/a", 1).ok());
+  ASSERT_TRUE(service_->CreateObject("/edge/b", 1).ok());
+  ASSERT_TRUE(service_->ListObjects("/edge", "", 2, &page).ok());
+  EXPECT_EQ(page.names.size(), 2u);
+  MetadataService::ListPage rest;
+  ASSERT_TRUE(service_->ListObjects("/edge", page.next_start_after, 2, &rest).ok());
+  EXPECT_TRUE(rest.names.empty());
+  EXPECT_FALSE(rest.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ConformanceTest,
+                         ::testing::Values(NamedFactory{"Mantle", &MakeMantle},
+                                           NamedFactory{"Tectonic", &MakeTectonic},
+                                           NamedFactory{"DBtable", &MakeDbTable},
+                                           NamedFactory{"InfiniFS", &MakeInfiniFs},
+                                           NamedFactory{"LocoFS", &MakeLocoFs}),
+                         [](const ::testing::TestParamInfo<NamedFactory>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,262 @@
+// Parameterized property sweeps over the core data structures: each suite
+// checks an invariant across randomized inputs (seeds) or a configuration
+// dimension (k, thread counts, distributions).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "src/common/histogram.h"
+#include "src/common/path.h"
+#include "src/common/random.h"
+#include "src/index/index_replica.h"
+#include "src/index/prefix_tree.h"
+#include "src/index/removal_list.h"
+#include "src/index/top_dir_path_cache.h"
+
+namespace mantle {
+namespace {
+
+// --- PrefixTree vs. a reference set ---------------------------------------------
+
+class PrefixTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomPath(Rng& rng, int max_depth = 5, int name_space = 4) {
+  const uint64_t depth = rng.Uniform(max_depth) + 1;
+  std::string path;
+  for (uint64_t level = 0; level < depth; ++level) {
+    path += "/c" + std::to_string(rng.Uniform(name_space));
+  }
+  return path;
+}
+
+TEST_P(PrefixTreePropertyTest, MatchesReferenceSetUnderRandomOps) {
+  Rng rng(GetParam());
+  PrefixTree tree;
+  std::set<std::string> reference;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    const std::string path = RandomPath(rng);
+    if (action < 50) {
+      tree.Insert(path);
+      reference.insert(path);
+    } else if (action < 70) {
+      tree.Remove(path);
+      reference.erase(path);
+    } else if (action < 85) {
+      // Subtree removal: both sides drop everything prefixed by `path`.
+      auto removed = tree.RemoveSubtree(path);
+      std::set<std::string> expected_removed;
+      for (auto it = reference.begin(); it != reference.end();) {
+        if (IsPathPrefix(path, *it)) {
+          expected_removed.insert(*it);
+          it = reference.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(std::set<std::string>(removed.begin(), removed.end()), expected_removed)
+          << "subtree " << path;
+    } else {
+      EXPECT_EQ(tree.Contains(path), reference.contains(path)) << path;
+    }
+    ASSERT_EQ(tree.Size(), reference.size());
+  }
+  // Full-collection audit from the root.
+  auto all = tree.CollectSubtree("/");
+  EXPECT_EQ(std::set<std::string>(all.begin(), all.end()), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTreePropertyTest, ::testing::Values(11, 22, 33, 44, 55));
+
+// --- TopDirPathCache under concurrent mixed load -----------------------------------
+
+class PathCachePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathCachePropertyTest, NeverServesAnEntryItWasNotGiven) {
+  const int threads = GetParam();
+  TopDirPathCache cache;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(1000 + t);
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t key_index = rng.Uniform(64);
+        const std::string prefix = "/p" + std::to_string(key_index);
+        const uint64_t action = rng.Uniform(3);
+        if (action == 0) {
+          // The entry's id always encodes its key: torn reads would surface
+          // as an id/key mismatch.
+          cache.TryInsert(prefix, PathCacheEntry{1000 + key_index, kPermAll});
+        } else if (action == 1) {
+          cache.Erase(prefix);
+        } else {
+          auto hit = cache.Lookup(prefix);
+          if (hit.has_value() && hit->dir_id != 1000 + key_index) {
+            violations.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  stop.store(true);
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PathCachePropertyTest, ::testing::Values(2, 4, 8));
+
+// --- RemovalList under concurrent writers + one invalidator -------------------------
+
+class RemovalListPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemovalListPropertyTest, EveryInsertIsEventuallyRetiredExactlyOnce) {
+  const int writers = GetParam();
+  RemovalList list;
+  constexpr int kPerWriter = 400;
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> purged{0};
+  std::thread invalidator([&]() {
+    while (!writers_done.load(std::memory_order_acquire) || !list.Empty()) {
+      purged.fetch_add(list.RunMaintenancePass([](const std::string&) {}));
+    }
+    // Final drain.
+    for (int i = 0; i < 4; ++i) {
+      list.RunMaintenancePass([](const std::string&) {});
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int w = 0; w < writers; ++w) {
+    producers.emplace_back([&, w]() {
+      Rng rng(77 + w);
+      for (int i = 0; i < kPerWriter; ++i) {
+        auto token = list.Insert("/w" + std::to_string(w) + "/" + std::to_string(i));
+        // Hold the entry "pending" briefly sometimes, exercising the
+        // purged-but-not-done state.
+        if (rng.Uniform(4) == 0) {
+          std::this_thread::yield();
+        }
+        list.MarkDone(token);
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  invalidator.join();
+
+  const auto stats = list.stats();
+  EXPECT_EQ(stats.inserts, static_cast<uint64_t>(writers) * kPerWriter);
+  EXPECT_EQ(stats.removals, stats.inserts);   // exactly once retired
+  EXPECT_EQ(purged.load(), stats.inserts);    // exactly once purged
+  EXPECT_TRUE(list.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Writers, RemovalListPropertyTest, ::testing::Values(1, 2, 4, 6));
+
+// --- Histogram percentile bounds over distributions ---------------------------------
+
+struct DistributionCase {
+  const char* name;
+  uint64_t seed;
+  bool zipfian;
+};
+
+class HistogramPropertyTest : public ::testing::TestWithParam<DistributionCase> {};
+
+TEST_P(HistogramPropertyTest, PercentilesBracketExactOrderStatistics) {
+  const DistributionCase& param = GetParam();
+  Rng rng(param.seed);
+  ZipfianGenerator zipf(1'000'000, 0.99, param.seed);
+  Histogram histogram;
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    const int64_t value = param.zipfian ? static_cast<int64_t>(zipf.Next() + 1)
+                                        : static_cast<int64_t>(rng.Uniform(50'000'000) + 1);
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const size_t rank = std::min(
+        samples.size() - 1, static_cast<size_t>(p / 100.0 * static_cast<double>(samples.size())));
+    const double exact = static_cast<double>(samples[rank]);
+    const double approx = static_cast<double>(histogram.Percentile(p));
+    // Log-bucketed histograms guarantee bounded relative error.
+    EXPECT_NEAR(approx, exact, std::max(4.0, exact * 0.07)) << param.name << " p" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramPropertyTest,
+                         ::testing::Values(DistributionCase{"uniform_a", 1, false},
+                                           DistributionCase{"uniform_b", 2, false},
+                                           DistributionCase{"zipf_a", 3, true},
+                                           DistributionCase{"zipf_b", 4, true}),
+                         [](const ::testing::TestParamInfo<DistributionCase>& info) {
+                           return info.param.name;
+                         });
+
+// --- IndexReplica resolution correctness across k ------------------------------------
+
+class TruncateKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncateKPropertyTest, ResolutionIdenticalForAnyK) {
+  Network network(NetworkOptions{.zero_latency = true});
+  IndexNodeOptions options;
+  options.truncate_k = GetParam();
+  options.start_invalidator = false;
+  IndexReplica replica(&network, options);
+
+  // A random tree of 200 directories.
+  Rng rng(99);
+  std::vector<std::pair<std::string, InodeId>> dirs{{"", kRootId}};
+  InodeId next_id = 2;
+  for (int i = 0; i < 200; ++i) {
+    const auto& [parent_path, parent_id] = dirs[rng.Uniform(dirs.size())];
+    const std::string name = "d" + std::to_string(i);
+    replica.LoadDir(parent_id, name, next_id, kPermAll);
+    dirs.push_back({parent_path + "/" + name, next_id});
+    ++next_id;
+  }
+  // Every path resolves to its exact id, twice (cold, then cache-assisted).
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 1; i < dirs.size(); ++i) {
+      auto outcome = replica.ResolveDir(SplitPath(dirs[i].first));
+      ASSERT_TRUE(outcome.ok()) << dirs[i].first << " k=" << GetParam();
+      EXPECT_EQ(outcome->dir_id, dirs[i].second) << dirs[i].first;
+    }
+  }
+  // Cache respects the k truncation rule: no cached prefix is within k levels
+  // of any resolved leaf... equivalently, no cached path has depth greater
+  // than (max depth resolved - k). Weaker but checkable: every cached prefix
+  // has a live directory at least k levels deeper.
+  auto cached = replica.prefix_tree().CollectSubtree("/");
+  for (const auto& prefix : cached) {
+    bool has_deep_descendant = false;
+    for (size_t i = 1; i < dirs.size() && !has_deep_descendant; ++i) {
+      if (IsPathPrefix(prefix, dirs[i].first) &&
+          PathDepth(dirs[i].first) >= PathDepth(prefix) + static_cast<size_t>(GetParam())) {
+        has_deep_descendant = true;
+      }
+    }
+    EXPECT_TRUE(has_deep_descendant) << prefix;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, TruncateKPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/tafdb/tafdb.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+class TafDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    TafDbOptions options = FastTafDbOptions();
+    options.start_compactor = false;  // deterministic compaction in tests
+    db_ = std::make_unique<TafDb>(network_.get(), options);
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<TafDb> db_;
+};
+
+TEST_F(TafDbTest, GetMissingReturnsNotFound) {
+  EXPECT_TRUE(db_->Get(EntryKey(1, "nope")).status().IsNotFound());
+}
+
+TEST_F(TafDbTest, LoadAndGet) {
+  db_->LoadPut(EntryKey(1, "a"), MetaValue{EntryType::kObject, 7, kPermAll, 99, 0, 0, 0, 1});
+  auto row = db_->Get(EntryKey(1, "a"));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size, 99u);
+}
+
+TEST_F(TafDbTest, ListChildrenAcrossLoads) {
+  for (int i = 0; i < 5; ++i) {
+    db_->LoadPut(EntryKey(3, "c" + std::to_string(i)),
+                 MetaValue{EntryType::kObject, 10u + i, kPermAll, 0, 0, 0, 0, 3});
+  }
+  auto listing = db_->ListChildren(3);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 5u);
+}
+
+TEST_F(TafDbTest, InPlaceAttrUpdateWhenUncontended) {
+  db_->LoadPut(AttrKey(5), MetaValue{EntryType::kAttrPrimary, 5, kPermAll, 0, 0, 0, 0, 1});
+  EXPECT_FALSE(db_->DeltaModeActive(5));
+  const uint64_t txn = db_->NextTxnId();
+  WriteOp update = db_->MakeAttrUpdate(5, +1, true, txn);
+  EXPECT_EQ(update.kind, WriteOp::Kind::kAddChildCount);
+  ASSERT_TRUE(db_->Execute({update}, txn).ok());
+  auto attr = db_->ReadDirAttr(5);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->child_count, 1);
+}
+
+TEST_F(TafDbTest, ForcedDeltaModeAppendsAndCompacts) {
+  db_.reset();
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  TafDbOptions options = FastTafDbOptions();
+  options.force_delta_records = true;
+  options.start_compactor = false;
+  db_ = std::make_unique<TafDb>(network_.get(), options);
+
+  db_->LoadPut(AttrKey(5), MetaValue{EntryType::kAttrPrimary, 5, kPermAll, 0, 0, 0, 0, 1});
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t txn = db_->NextTxnId();
+    WriteOp update = db_->MakeAttrUpdate(5, +1, true, txn);
+    EXPECT_EQ(update.kind, WriteOp::Kind::kPut);
+    EXPECT_EQ(update.key.ts, txn);
+    ASSERT_TRUE(db_->Execute({update}, txn).ok());
+  }
+  EXPECT_EQ(db_->PendingCompactions(), 1u);
+  // dirstat merges live deltas before compaction.
+  EXPECT_EQ(db_->ReadDirAttr(5)->child_count, 4);
+  db_->CompactAllPending();
+  EXPECT_EQ(db_->PendingCompactions(), 0u);
+  // Still exact after compaction, and the primary row carries it.
+  EXPECT_EQ(db_->ReadDirAttr(5)->child_count, 4);
+  EXPECT_EQ(db_->LocalGet(AttrKey(5))->child_count, 4);
+}
+
+TEST_F(TafDbTest, DeltaModeEliminatesConflictsUnderConcurrency) {
+  db_.reset();
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  TafDbOptions options = FastTafDbOptions();
+  options.force_delta_records = true;
+  db_ = std::make_unique<TafDb>(network_.get(), options);  // compactor on
+
+  db_->LoadPut(AttrKey(9), MetaValue{EntryType::kAttrPrimary, 9, kPermAll, 0, 0, 0, 0, 1});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 100;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t txn = db_->NextTxnId();
+        if (!db_->Execute({db_->MakeAttrUpdate(9, +1, true, txn)}, txn).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Delta records are conflict-free appends: zero aborts.
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db_->txn_stats().aborted.load(), 0u);
+  db_->CompactAllPending();
+  EXPECT_EQ(db_->ReadDirAttr(9)->child_count, kThreads * kOps);
+}
+
+TEST_F(TafDbTest, ContentionDetectorActivatesDeltaMode) {
+  ContentionOptions contention;
+  contention.abort_threshold = 3;
+  ContentionTracker tracker(contention);
+  EXPECT_FALSE(tracker.DeltaModeActive(1));
+  tracker.NoteAbort(1);
+  tracker.NoteAbort(1);
+  EXPECT_FALSE(tracker.DeltaModeActive(1));
+  tracker.NoteAbort(1);
+  EXPECT_TRUE(tracker.DeltaModeActive(1));
+  EXPECT_FALSE(tracker.DeltaModeActive(2));
+  EXPECT_EQ(tracker.total_aborts(), 3u);
+}
+
+TEST_F(TafDbTest, ContentionDetectorCoolsDown) {
+  ContentionOptions contention;
+  contention.abort_threshold = 2;
+  contention.cooldown_nanos = 10'000'000;  // 10 ms
+  ContentionTracker tracker(contention);
+  tracker.NoteAbort(1);
+  tracker.NoteAbort(1);
+  EXPECT_TRUE(tracker.DeltaModeActive(1));
+  PreciseSleep(25'000'000);
+  EXPECT_FALSE(tracker.DeltaModeActive(1));
+}
+
+TEST_F(TafDbTest, ContentionWindowResets) {
+  ContentionOptions contention;
+  contention.abort_threshold = 3;
+  contention.window_nanos = 5'000'000;  // 5 ms
+  ContentionTracker tracker(contention);
+  tracker.NoteAbort(1);
+  PreciseSleep(10'000'000);
+  tracker.NoteAbort(1);
+  PreciseSleep(10'000'000);
+  tracker.NoteAbort(1);
+  // Aborts spread across windows never accumulate to the threshold.
+  EXPECT_FALSE(tracker.DeltaModeActive(1));
+}
+
+TEST_F(TafDbTest, EndToEndAbortsFlipDeltaModeOn) {
+  db_.reset();
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  TafDbOptions options = FastTafDbOptions();
+  options.contention.abort_threshold = 2;
+  db_ = std::make_unique<TafDb>(network_.get(), options);
+  db_->LoadPut(AttrKey(3), MetaValue{EntryType::kAttrPrimary, 3, kPermAll, 0, 0, 0, 0, 1});
+
+  // Manufacture aborts: hold a foreign lock on the attribute row. The first
+  // two in-place updates abort; that crosses the threshold, so the THIRD
+  // update routes through a conflict-free delta row and succeeds even though
+  // the primary row is still locked - delta records rescuing a contended
+  // directory end to end.
+  Shard* shard = db_->shard_map()->Route(3);
+  ASSERT_TRUE(shard->TryLockKey(AttrKey(3), 424242));
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t txn = db_->NextTxnId();
+    EXPECT_TRUE(db_->Execute({db_->MakeAttrUpdate(3, 1, true, txn)}, txn).IsAborted());
+  }
+  EXPECT_TRUE(db_->DeltaModeActive(3));
+  const uint64_t txn = db_->NextTxnId();
+  WriteOp update = db_->MakeAttrUpdate(3, 1, true, txn);
+  EXPECT_EQ(update.key.ts, txn);  // delta row keyed by the txn timestamp
+  EXPECT_TRUE(db_->Execute({update}, txn).ok());
+  shard->UnlockKey(AttrKey(3), 424242);
+  EXPECT_EQ(db_->ReadDirAttr(3)->child_count, 1);
+}
+
+TEST_F(TafDbTest, ApplyAtomicSingleShardRejectsCrossShard) {
+  InodeId a = 1;
+  InodeId b = 2;
+  while (db_->shard_map()->ShardIndex(b) == db_->shard_map()->ShardIndex(a)) {
+    ++b;
+  }
+  WriteOp op1;
+  op1.key = EntryKey(a, "x");
+  WriteOp op2;
+  op2.key = EntryKey(b, "y");
+  EXPECT_EQ(db_->ApplyAtomicSingleShard({op1, op2}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TafDbTest, BackgroundCompactorDrainsDeltas) {
+  db_.reset();
+  network_ = std::make_unique<Network>(FastNetworkOptions());
+  TafDbOptions options = FastTafDbOptions();
+  options.force_delta_records = true;
+  options.compaction_interval_nanos = 500'000;  // 0.5 ms cadence
+  db_ = std::make_unique<TafDb>(network_.get(), options);
+  db_->LoadPut(AttrKey(6), MetaValue{EntryType::kAttrPrimary, 6, kPermAll, 0, 0, 0, 0, 1});
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t txn = db_->NextTxnId();
+    ASSERT_TRUE(db_->Execute({db_->MakeAttrUpdate(6, 1, false, txn)}, txn).ok());
+  }
+  // Wait for the compactor to fold everything.
+  const int64_t deadline = MonotonicNanos() + 2'000'000'000;
+  while (MonotonicNanos() < deadline &&
+         !db_->shard_map()->Route(6)->ScanDeltas(6).empty()) {
+    PreciseSleep(1'000'000);
+  }
+  EXPECT_TRUE(db_->shard_map()->Route(6)->ScanDeltas(6).empty());
+  EXPECT_EQ(db_->ReadDirAttr(6)->child_count, 10);
+}
+
+}  // namespace
+}  // namespace mantle

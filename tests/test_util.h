@@ -1,0 +1,54 @@
+// Shared fixtures: fast configurations for unit/integration tests.
+//
+// Tests run with zero injected network latency and zero simulated fsync so
+// correctness is exercised at full speed; latency-model behaviour has its own
+// targeted tests.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include "src/core/mantle_service.h"
+#include "src/net/network.h"
+#include "src/raft/group.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+
+inline NetworkOptions FastNetworkOptions() {
+  NetworkOptions options;
+  options.zero_latency = true;
+  return options;
+}
+
+inline RaftOptions FastRaftOptions() {
+  RaftOptions options;
+  options.fsync_nanos = 0;
+  options.heartbeat_interval_nanos = 5'000'000;        // 5 ms
+  options.election_timeout_min_nanos = 80'000'000;     // 80 ms
+  options.election_timeout_max_nanos = 160'000'000;    // 160 ms
+  options.election_poll_nanos = 5'000'000;             // 5 ms
+  options.workers_per_node = 4;
+  return options;
+}
+
+inline TafDbOptions FastTafDbOptions() {
+  TafDbOptions options;
+  options.num_shards = 8;
+  options.num_servers = 2;
+  options.workers_per_server = 2;
+  return options;
+}
+
+inline MantleOptions FastMantleOptions() {
+  MantleOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.index.num_voters = 3;
+  options.index.num_learners = 0;
+  options.index.raft = FastRaftOptions();
+  options.index.node.invalidator_interval_nanos = 200'000;  // 0.2 ms
+  return options;
+}
+
+}  // namespace mantle
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/txn/coordinator.h"
+
+namespace mantle {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(NetworkOptions{.zero_latency = true});
+    std::vector<ServerExecutor*> servers;
+    for (int i = 0; i < 3; ++i) {
+      servers.push_back(network_->AddServer("db-" + std::to_string(i), 2));
+    }
+    shards_ = std::make_unique<ShardMap>(8, servers);
+    coordinator_ = std::make_unique<TxnCoordinator>(shards_.get(), network_.get());
+  }
+
+  // Two pids guaranteed to land on different shards.
+  std::pair<InodeId, InodeId> TwoShardPids() {
+    const InodeId a = 1;
+    for (InodeId b = 2; b < 1000; ++b) {
+      if (shards_->ShardIndex(b) != shards_->ShardIndex(a)) {
+        return {a, b};
+      }
+    }
+    ADD_FAILURE() << "no distinct shards found";
+    return {1, 2};
+  }
+
+  static WriteOp Put(InodeId pid, const std::string& name, InodeId id,
+                     WriteOp::Expect expect = WriteOp::Expect::kNone) {
+    WriteOp op;
+    op.kind = WriteOp::Kind::kPut;
+    op.expect = expect;
+    op.key = EntryKey(pid, name);
+    op.value = MetaValue{EntryType::kObject, id, kPermAll, 0, 0, 0, 0, 0};
+    return op;
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<ShardMap> shards_;
+  std::unique_ptr<TxnCoordinator> coordinator_;
+};
+
+TEST_F(TxnTest, SingleShardCommit) {
+  EXPECT_TRUE(coordinator_->Execute({Put(1, "a", 10)}).ok());
+  EXPECT_TRUE(shards_->Route(1)->Get(EntryKey(1, "a")).has_value());
+  EXPECT_EQ(coordinator_->stats().single_shard.load(), 1u);
+  EXPECT_EQ(coordinator_->stats().committed.load(), 1u);
+}
+
+TEST_F(TxnTest, CrossShardCommitIsAtomicallyVisible) {
+  auto [a, b] = TwoShardPids();
+  EXPECT_TRUE(coordinator_->Execute({Put(a, "x", 10), Put(b, "y", 11)}).ok());
+  EXPECT_TRUE(shards_->Route(a)->Get(EntryKey(a, "x")).has_value());
+  EXPECT_TRUE(shards_->Route(b)->Get(EntryKey(b, "y")).has_value());
+  EXPECT_EQ(coordinator_->stats().multi_shard.load(), 1u);
+}
+
+TEST_F(TxnTest, PreconditionFailureAbortsWholeTxn) {
+  auto [a, b] = TwoShardPids();
+  ASSERT_TRUE(coordinator_->Execute({Put(a, "dup", 10)}).ok());
+  Status status = coordinator_->Execute(
+      {Put(a, "dup", 11, WriteOp::Expect::kMustNotExist), Put(b, "other", 12)});
+  EXPECT_TRUE(status.IsAlreadyExists());
+  // The other shard's write must not have applied.
+  EXPECT_FALSE(shards_->Route(b)->Get(EntryKey(b, "other")).has_value());
+}
+
+TEST_F(TxnTest, LockConflictAborts) {
+  const MetaKey contended = EntryKey(1, "hot");
+  Shard* shard = shards_->Route(1);
+  ASSERT_TRUE(shard->TryLockKey(contended, 999));  // foreign lock
+  Status status = coordinator_->Execute({Put(1, "hot", 10)});
+  EXPECT_TRUE(status.IsAborted());
+  EXPECT_EQ(coordinator_->stats().aborted.load(), 1u);
+  shard->UnlockKey(contended, 999);
+  EXPECT_TRUE(coordinator_->Execute({Put(1, "hot", 10)}).ok());
+}
+
+TEST_F(TxnTest, LocksReleasedAfterCommitAndAbort) {
+  auto [a, b] = TwoShardPids();
+  ASSERT_TRUE(coordinator_->Execute({Put(a, "k1", 1), Put(b, "k2", 2)}).ok());
+  // Same keys committable again (locks were released).
+  EXPECT_TRUE(coordinator_->Execute({Put(a, "k1", 3), Put(b, "k2", 4)}).ok());
+
+  // Abort path: foreign lock on one participant.
+  Shard* shard_b = shards_->Route(b);
+  ASSERT_TRUE(shard_b->TryLockKey(EntryKey(b, "k2"), 777));
+  EXPECT_TRUE(coordinator_->Execute({Put(a, "k1", 5), Put(b, "k2", 6)}).IsAborted());
+  shard_b->UnlockKey(EntryKey(b, "k2"), 777);
+  // Shard a's lock must have been rolled back.
+  EXPECT_TRUE(coordinator_->Execute({Put(a, "k1", 7), Put(b, "k2", 8)}).ok());
+}
+
+TEST_F(TxnTest, AbortListenerFiresForAttrRows) {
+  std::atomic<int> notifications{0};
+  coordinator_->set_abort_listener([&](InodeId) { notifications.fetch_add(1); });
+  WriteOp attr;
+  attr.kind = WriteOp::Kind::kAddChildCount;
+  attr.key = AttrKey(1);
+  attr.count_delta = 1;
+  Shard* shard = shards_->Route(1);
+  ASSERT_TRUE(shard->TryLockKey(AttrKey(1), 999));
+  EXPECT_TRUE(coordinator_->Execute({attr}).IsAborted());
+  EXPECT_EQ(notifications.load(), 1);
+  // Non-attr aborts do not notify.
+  ASSERT_TRUE(shard->TryLockKey(EntryKey(1, "plain"), 999));
+  EXPECT_TRUE(coordinator_->Execute({Put(1, "plain", 3)}).IsAborted());
+  EXPECT_EQ(notifications.load(), 1);
+}
+
+TEST_F(TxnTest, ConcurrentConflictingTxnsSerialize) {
+  // All threads update the same attribute row transactionally; some abort,
+  // but the final count must equal the number of successes.
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        WriteOp attr;
+        attr.kind = WriteOp::Kind::kAddChildCount;
+        attr.key = AttrKey(42);
+        attr.count_delta = 1;
+        if (coordinator_->Execute({attr}).ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  auto row = shards_->Route(42)->Get(AttrKey(42));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->child_count, successes.load());
+  EXPECT_GT(successes.load(), 0);
+}
+
+TEST_F(TxnTest, ConcurrentDisjointTxnsAllCommit) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 50; ++i) {
+        if (!coordinator_
+                 ->Execute({Put(static_cast<InodeId>(t + 1),
+                                "obj" + std::to_string(i), 100)})
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(TxnTest, EmptyTransactionIsOk) { EXPECT_TRUE(coordinator_->Execute({}).ok()); }
+
+TEST_F(TxnTest, TxnIdsAreUnique) {
+  const uint64_t a = coordinator_->NextTxnId();
+  const uint64_t b = coordinator_->NextTxnId();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mantle

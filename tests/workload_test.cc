@@ -1,0 +1,250 @@
+// Workload layer: namespace generator shape properties, the closed-loop
+// driver, mdtest op generators, and the two application models.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/common/path.h"
+#include "src/workload/applications.h"
+#include "src/workload/mdtest_driver.h"
+#include "src/workload/namespace_gen.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+TEST(NamespaceGenTest, GeneratesRequestedCounts) {
+  NamespaceSpec spec;
+  spec.num_dirs = 500;
+  spec.num_objects = 2'000;
+  GeneratedNamespace ns = GenerateNamespace(spec);
+  EXPECT_EQ(ns.dirs.size(), 500u);
+  EXPECT_EQ(ns.objects.size(), 2'000u);
+  EXPECT_EQ(ns.object_sizes.size(), 2'000u);
+}
+
+TEST(NamespaceGenTest, DepthDistributionCentersNearMean) {
+  NamespaceSpec spec;
+  spec.num_dirs = 3'000;
+  spec.num_objects = 100;
+  spec.mean_depth = 10;
+  GeneratedNamespace ns = GenerateNamespace(spec);
+  const double avg = ns.AverageDirDepth();
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 14.0);
+  // Depths never exceed the cap.
+  for (const auto& [depth, bucket] : ns.dirs_by_depth) {
+    EXPECT_LE(depth, spec.max_depth);
+    EXPECT_GE(depth, 1);
+    EXPECT_FALSE(bucket.empty());
+  }
+}
+
+TEST(NamespaceGenTest, PathsAreUniqueAndParentsPrecedeChildren) {
+  NamespaceSpec spec;
+  spec.num_dirs = 800;
+  spec.num_objects = 800;
+  GeneratedNamespace ns = GenerateNamespace(spec);
+  std::set<std::string> seen{"/"};
+  for (const auto& dir : ns.dirs) {
+    EXPECT_TRUE(seen.insert(dir).second) << "duplicate " << dir;
+    EXPECT_TRUE(seen.contains(ParentPath(dir))) << "orphan " << dir;
+  }
+  std::set<std::string> object_names(ns.objects.begin(), ns.objects.end());
+  EXPECT_EQ(object_names.size(), ns.objects.size());
+  for (const auto& object : ns.objects) {
+    EXPECT_TRUE(seen.contains(ParentPath(object))) << "orphan object " << object;
+  }
+}
+
+TEST(NamespaceGenTest, SmallObjectRatioHolds) {
+  NamespaceSpec spec;
+  spec.num_dirs = 100;
+  spec.num_objects = 5'000;
+  spec.small_object_ratio = 0.6;
+  GeneratedNamespace ns = GenerateNamespace(spec);
+  size_t small = 0;
+  for (uint64_t size : ns.object_sizes) {
+    if (size <= spec.small_object_max_bytes) {
+      ++small;
+    }
+  }
+  const double ratio = static_cast<double>(small) / static_cast<double>(ns.objects.size());
+  EXPECT_NEAR(ratio, 0.6, 0.05);
+}
+
+TEST(NamespaceGenTest, DeterministicForSeed) {
+  NamespaceSpec spec;
+  spec.num_dirs = 200;
+  spec.num_objects = 200;
+  GeneratedNamespace a = GenerateNamespace(spec);
+  GeneratedNamespace b = GenerateNamespace(spec);
+  EXPECT_EQ(a.dirs, b.dirs);
+  EXPECT_EQ(a.objects, b.objects);
+}
+
+TEST(NamespaceGenTest, PopulateMakesEveryPathVisible) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  NamespaceSpec spec;
+  spec.num_dirs = 200;
+  spec.num_objects = 600;
+  GeneratedNamespace ns = PopulateNamespace(&service, spec);
+  // Spot-check a sample of paths end to end.
+  for (size_t i = 0; i < ns.objects.size(); i += 97) {
+    EXPECT_TRUE(service.StatObject(ns.objects[i]).ok()) << ns.objects[i];
+  }
+  for (size_t i = 0; i < ns.dirs.size(); i += 41) {
+    EXPECT_TRUE(service.StatDir(ns.dirs[i]).ok()) << ns.dirs[i];
+  }
+}
+
+TEST(NamespaceGenTest, BulkLoadChainBuildsEveryLevel) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  auto levels = BulkLoadChain(&service, "lvl", 8);
+  ASSERT_EQ(levels.size(), 8u);
+  EXPECT_EQ(PathDepth(levels.back()), 8u);
+  EXPECT_TRUE(service.StatDir(levels.back()).ok());
+}
+
+TEST(DriverTest, OpBudgetStopsThreads) {
+  DriverOptions options;
+  options.threads = 4;
+  options.max_ops_per_thread = 25;
+  std::atomic<uint64_t> issued{0};
+  WorkloadResult result = RunClosedLoop(options, [&](int, uint64_t, Rng&) {
+    issued.fetch_add(1);
+    OpResult op;
+    op.status = Status::Ok();
+    op.breakdown.lookup_nanos = 1000;
+    return op;
+  });
+  EXPECT_EQ(result.ops, 100u);
+  EXPECT_EQ(issued.load(), 100u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.lookup.count(), 100u);
+}
+
+TEST(DriverTest, DurationBoundTerminates) {
+  DriverOptions options;
+  options.threads = 2;
+  options.duration_nanos = 50'000'000;  // 50 ms
+  Stopwatch timer;
+  WorkloadResult result = RunClosedLoop(options, [&](int, uint64_t, Rng&) {
+    PreciseSleep(500'000);
+    OpResult op;
+    op.status = Status::Ok();
+    return op;
+  });
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_GT(result.Throughput(), 0.0);
+}
+
+TEST(DriverTest, ErrorsAndRetriesAggregate) {
+  DriverOptions options;
+  options.threads = 2;
+  options.max_ops_per_thread = 10;
+  WorkloadResult result = RunClosedLoop(options, [&](int, uint64_t index, Rng&) {
+    OpResult op;
+    op.status = (index % 2 == 0) ? Status::Ok() : Status::Aborted();
+    op.retries = 3;
+    op.rpcs = 2;
+    return op;
+  });
+  EXPECT_EQ(result.errors, 10u);
+  EXPECT_EQ(result.retries, 60u);
+  EXPECT_DOUBLE_EQ(result.MeanRpcsPerOp(), 2.0);
+}
+
+TEST(MdtestOpsTest, GeneratorsProduceWorkingOps) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  NamespaceSpec spec;
+  spec.num_dirs = 100;
+  spec.num_objects = 300;
+  GeneratedNamespace ns = PopulateNamespace(&service, spec);
+  MdtestOps ops(&service, &ns, /*work_depth=*/6);
+  Rng rng(7);
+
+  EXPECT_TRUE(ops.ObjStat()(0, 0, rng).ok());
+  EXPECT_TRUE(ops.DirStat()(0, 0, rng).ok());
+  EXPECT_TRUE(ops.LookupPaths(ns.objects)(0, 0, rng).ok());
+
+  auto create = ops.Create("/md_create", 2);
+  EXPECT_TRUE(create(0, 0, rng).ok());
+  EXPECT_TRUE(create(1, 0, rng).ok());
+  EXPECT_TRUE(create(0, 0, rng).status.IsAlreadyExists());  // same name again
+
+  auto create_delete = ops.CreateDelete("/md_cd", 2);
+  EXPECT_TRUE(create_delete(0, 0, rng).ok());
+  EXPECT_TRUE(create_delete(0, 0, rng).ok());  // pair cleans up after itself
+
+  auto mkdir_e = ops.Mkdir("/md_mk", 2, /*shared=*/false);
+  EXPECT_TRUE(mkdir_e(0, 0, rng).ok());
+  auto mkdir_s = ops.Mkdir("/md_mks", 2, /*shared=*/true);
+  EXPECT_TRUE(mkdir_s(0, 0, rng).ok());
+  EXPECT_TRUE(mkdir_s(1, 0, rng).ok());
+
+  auto mkdir_rmdir = ops.MkdirRmdir("/md_mr", 2, false);
+  EXPECT_TRUE(mkdir_rmdir(0, 0, rng).ok());
+  EXPECT_TRUE(mkdir_rmdir(0, 1, rng).ok());
+
+  auto rename_s = ops.DirRename("/md_rn", 2, /*shared=*/true);
+  EXPECT_TRUE(rename_s(0, 0, rng).ok());
+  EXPECT_TRUE(rename_s(1, 0, rng).ok());
+}
+
+TEST(ApplicationsTest, AnalyticsRunsCleanAndRecordsLatencies) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  AnalyticsOptions options;
+  options.queries = 2;
+  options.subtasks_per_query = 8;
+  options.objects_per_subtask = 1;
+  options.threads = 4;
+  AppResult result = RunAnalytics(&service, "/spark", options);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.completion_seconds, 0.0);
+  EXPECT_EQ(result.rename_latency.count(), 16u);
+  EXPECT_EQ(result.mkdir_latency.count(), 16u);
+  // Output committed: every part visible.
+  for (int q = 0; q < 2; ++q) {
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_TRUE(service
+                      .StatDir("/spark/q" + std::to_string(q) + "/output/part_" +
+                               std::to_string(t))
+                      .ok());
+    }
+  }
+}
+
+TEST(ApplicationsTest, AudioRunsCleanAndCreatesSegments) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  AudioOptions options;
+  options.input_objects = 20;
+  options.segments_per_object = 2;
+  options.threads = 4;
+  options.dir_depth = 6;
+  AppResult result = RunAudio(&service, "/audio", options);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.objstat_latency.count(), 20u + 40u);  // scans + verifies
+}
+
+TEST(ApplicationsTest, DataAccessModelAddsCost) {
+  DataAccessModel disabled;
+  EXPECT_EQ(disabled.CostNanos(1 << 20), 0);
+  DataAccessModel enabled;
+  enabled.enabled = true;
+  const int64_t small = enabled.CostNanos(4 * 1024);
+  const int64_t large = enabled.CostNanos(64 * 1024 * 1024);
+  EXPECT_GT(small, 0);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace mantle
