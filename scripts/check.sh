@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification under a sanitizer.
+#
+# Usage: scripts/check.sh [thread|address|none]   (default: thread)
+#
+# Builds the tree into build-<sanitizer>/ with -DMANTLE_SANITIZE=<mode> and
+# runs the full test suite. Exits non-zero on any build failure, test failure,
+# or sanitizer report (sanitizers abort the offending test binary).
+
+set -euo pipefail
+
+MODE="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+case "$MODE" in
+  thread|address)
+    BUILD_DIR="$ROOT/build-$MODE"
+    SANITIZE="$MODE"
+    ;;
+  none)
+    BUILD_DIR="$ROOT/build"
+    SANITIZE=""
+    ;;
+  *)
+    echo "usage: $0 [thread|address|none]" >&2
+    exit 2
+    ;;
+esac
+
+# Fail on any sanitizer finding instead of just logging it.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0 halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DMANTLE_SANITIZE="$SANITIZE" >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Sanitized binaries run several times slower; scale the per-test timeouts.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" --timeout 900

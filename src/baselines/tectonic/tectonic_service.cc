@@ -261,7 +261,14 @@ OpResult TectonicService::Rmdir(const std::string& path) {
     return result;
   }
   timer.Reset();
-  if (tafdb_->HasChildren(dir->dir_id)) {
+  auto has_children = tafdb_->HasChildren(dir->dir_id);
+  if (!has_children.ok()) {
+    result.status = has_children.status();
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if (*has_children) {
     result.status = Status::NotEmpty(path);
     result.breakdown.execute_nanos = timer.ElapsedNanos();
     result.rpcs = rpcs.count();

@@ -1,0 +1,94 @@
+// Thread-local operation deadline budget.
+//
+// A metadata operation entering the proxy layer opens a ScopedDeadline with
+// its total time budget. Every blocking primitive underneath - RPC waits in
+// ServerExecutor::Call, leader waits in RaftGroup, retry backoff loops -
+// consults DeadlineBudget::RemainingNanos() and gives up with kTimeout
+// instead of outliving the operation. ServerExecutor propagates the absolute
+// deadline onto the worker thread that runs the RPC handler, so nested RPCs
+// issued from inside a handler (e.g. a follower's ReadIndex query to the
+// leader) inherit the same budget.
+
+#ifndef SRC_COMMON_DEADLINE_H_
+#define SRC_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/clock.h"
+
+namespace mantle {
+
+class DeadlineBudget {
+ public:
+  // Absolute monotonic deadline of the current operation; 0 = unlimited.
+  static int64_t AbsoluteNanos() { return t_deadline; }
+
+  static bool Limited() { return t_deadline != 0; }
+
+  static int64_t RemainingNanos() {
+    if (t_deadline == 0) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    return t_deadline - MonotonicNanos();
+  }
+
+  static bool Expired() { return t_deadline != 0 && MonotonicNanos() >= t_deadline; }
+
+  // Clamps `nanos` (a relative wait) to the remaining budget. A non-positive
+  // result means the budget is already spent.
+  static int64_t Clamp(int64_t nanos) {
+    if (t_deadline == 0) {
+      return nanos;
+    }
+    return std::min(nanos, t_deadline - MonotonicNanos());
+  }
+
+ private:
+  friend class ScopedDeadline;
+  friend class ScopedAbsoluteDeadline;
+  static inline thread_local int64_t t_deadline = 0;
+};
+
+// Opens a deadline of `budget_nanos` from now for the current thread. Nested
+// scopes keep the tighter of the two deadlines. A zero/negative budget leaves
+// the enclosing deadline (possibly unlimited) in force.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(int64_t budget_nanos) : saved_(DeadlineBudget::t_deadline) {
+    if (budget_nanos > 0) {
+      const int64_t absolute = MonotonicNanos() + budget_nanos;
+      DeadlineBudget::t_deadline =
+          saved_ == 0 ? absolute : std::min(saved_, absolute);
+    }
+  }
+  ~ScopedDeadline() { DeadlineBudget::t_deadline = saved_; }
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  int64_t saved_;
+};
+
+// Installs an already-absolute deadline (deadline propagation onto an RPC
+// handler's worker thread). Zero installs "unlimited".
+class ScopedAbsoluteDeadline {
+ public:
+  explicit ScopedAbsoluteDeadline(int64_t absolute_nanos)
+      : saved_(DeadlineBudget::t_deadline) {
+    DeadlineBudget::t_deadline = absolute_nanos;
+  }
+  ~ScopedAbsoluteDeadline() { DeadlineBudget::t_deadline = saved_; }
+
+  ScopedAbsoluteDeadline(const ScopedAbsoluteDeadline&) = delete;
+  ScopedAbsoluteDeadline& operator=(const ScopedAbsoluteDeadline&) = delete;
+
+ private:
+  int64_t saved_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_COMMON_DEADLINE_H_

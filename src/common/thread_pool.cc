@@ -47,6 +47,11 @@ size_t ThreadPool::QueueDepth() const {
   return queue_.size();
 }
 
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -59,9 +64,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
     completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
   }
 }
 

@@ -45,6 +45,11 @@ class ThreadPool {
   // Signals shutdown and joins all workers. Pending tasks are drained first.
   void Shutdown();
 
+  // Blocks until the queue is empty and no worker is executing a task. Owners
+  // of RPC-handler state call this before destruction: a deadline-expired
+  // caller abandons its handler, which may still be queued here.
+  void WaitIdle();
+
   size_t num_workers() const { return workers_.size(); }
   size_t QueueDepth() const;
   // Total tasks executed since construction.
@@ -56,8 +61,10 @@ class ThreadPool {
   std::string name_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t active_ = 0;
   bool shutting_down_ = false;
   std::atomic<uint64_t> completed_{0};
 };

@@ -60,6 +60,7 @@ Result<IndexReplica::ResolveOutcome> MantleService::LookupParentCached(
 
 OpResult MantleService::Lookup(const std::string& path) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -74,6 +75,7 @@ OpResult MantleService::Lookup(const std::string& path) {
 
 OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -119,6 +121,7 @@ OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
 
 OpResult MantleService::DeleteObject(const std::string& path) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -155,6 +158,7 @@ OpResult MantleService::DeleteObject(const std::string& path) {
 
 OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -194,6 +198,7 @@ OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
 
 OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -221,6 +226,7 @@ OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
 
 OpResult MantleService::Mkdir(const std::string& path) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -277,6 +283,7 @@ OpResult MantleService::Mkdir(const std::string& path) {
 
 OpResult MantleService::Rmdir(const std::string& path) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -294,7 +301,14 @@ OpResult MantleService::Rmdir(const std::string& path) {
   timer.Reset();
   const InodeId pid = dir->parent_id;
   const InodeId dir_id = dir->dir_id;
-  if (tafdb_->HasChildren(dir_id)) {
+  auto has_children = tafdb_->HasChildren(dir_id);
+  if (!has_children.ok()) {
+    result.status = has_children.status();
+    result.breakdown.execute_nanos = timer.ElapsedNanos();
+    result.rpcs = rpcs.count();
+    return result;
+  }
+  if (*has_children) {
     result.status = Status::NotEmpty(path);
     result.breakdown.execute_nanos = timer.ElapsedNanos();
     result.rpcs = rpcs.count();
@@ -330,6 +344,7 @@ OpResult MantleService::Rmdir(const std::string& path) {
 
 OpResult MantleService::RenameDir(const std::string& src_path, const std::string& dst_path) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   const auto src_components = SplitPath(src_path);
   const auto dst_components = SplitPath(dst_path);
@@ -397,6 +412,7 @@ OpResult MantleService::RenameDir(const std::string& src_path, const std::string
 
 OpResult MantleService::ReadDir(const std::string& path, std::vector<std::string>* names) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -430,6 +446,7 @@ OpResult MantleService::ListObjects(const std::string& dir_path,
                                     const std::string& start_after, size_t max_entries,
                                     ListPage* out) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(dir_path);
@@ -466,6 +483,7 @@ OpResult MantleService::ListObjects(const std::string& dir_path,
 
 OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permission) {
   OpResult result;
+  ScopedDeadline op_deadline(options_.op_deadline_nanos);
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);

@@ -27,6 +27,11 @@ struct MantleOptions {
   TafDbOptions tafdb;
   IndexServiceOptions index;
   RetryOptions retry;
+  // Total wall-clock budget per metadata operation (lookups, retries and all
+  // nested RPCs share it); 0 = unlimited. Under an active fault plan a finite
+  // budget guarantees every operation resolves - ok, retriable, kTimeout or
+  // kUnavailable - instead of hanging on a dead or partitioned server.
+  int64_t op_deadline_nanos = 0;
   std::string namespace_name = "ns";
   // Base of this namespace's inode-id space. The root gets `id_base + 1`;
   // every allocation stays above it. Namespaces sharing a TafDB must use

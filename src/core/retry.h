@@ -2,15 +2,21 @@
 //
 // Proxies retry retriable failures (kAborted, kBusy) with capped exponential
 // backoff plus jitter - the behaviour whose cost explodes under shared-
-// directory contention in the DBtable architecture (paper §3.2).
+// directory contention in the DBtable architecture (paper §3.2). The loop is
+// bounded twice: by `max_attempts` and by the calling operation's
+// DeadlineBudget - a retrier never sleeps past the operation's deadline, and
+// an exhausted budget surfaces kTimeout instead of burning further attempts.
 
 #ifndef SRC_CORE_RETRY_H_
 #define SRC_CORE_RETRY_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/deadline.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 
@@ -22,11 +28,21 @@ struct RetryOptions {
   int64_t max_backoff_nanos = 5'000'000; // 5 ms
 };
 
-// Runs `attempt()` until it returns a non-retriable status or attempts are
-// exhausted. `retries` (optional) receives the number of re-executions.
+// Seeds each thread's backoff RNG from its own identity. A shared constant
+// seed would make every concurrent retrier draw identical "jitter" and back
+// off in lockstep - re-colliding on every attempt (thundering herd).
+inline uint64_t PerThreadJitterSeed() {
+  uint64_t state = static_cast<uint64_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  state ^= 0xfeedbeefULL;
+  return SplitMix64(state);
+}
+
+// Runs `attempt()` until it returns a non-retriable status, attempts are
+// exhausted, or the operation's deadline budget runs out. `retries`
+// (optional) receives the number of re-executions.
 template <typename Fn>
 Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries) {
-  thread_local Rng rng{0xfeedbeef};
+  thread_local Rng rng{PerThreadJitterSeed()};
   Status status;
   for (int attempt_index = 0; attempt_index < options.max_attempts; ++attempt_index) {
     status = attempt();
@@ -36,10 +52,18 @@ Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries)
       }
       return status;
     }
+    if (DeadlineBudget::Expired()) {
+      if (retries != nullptr) {
+        *retries = attempt_index;
+      }
+      return Status::Timeout("retry budget exhausted; last: " + status.ToString());
+    }
     const int shift = std::min(attempt_index, 6);
     const int64_t ceiling =
         std::min(options.base_backoff_nanos << shift, options.max_backoff_nanos);
-    PreciseSleep(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(ceiling)) + 1));
+    const int64_t backoff =
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(ceiling)) + 1);
+    PreciseSleep(DeadlineBudget::Clamp(backoff));
   }
   if (retries != nullptr) {
     *retries = options.max_attempts;

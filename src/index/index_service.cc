@@ -1,5 +1,9 @@
 #include "src/index/index_service.h"
 
+#include <memory>
+
+#include "src/common/deadline.h"
+
 namespace mantle {
 
 IndexService::IndexService(Network* network, const std::string& name, IndexServiceOptions options)
@@ -39,25 +43,67 @@ RaftNode* IndexService::PickReadReplica() {
   return leader;
 }
 
+Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
+    RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
+    bool parent_only) {
+  IndexReplica* replica = replicas_[node->id()];
+  // Deadline-aware call: the handler may be abandoned on timeout, so it owns
+  // its inputs (shared_ptr) instead of borrowing the caller's stack.
+  return node->server()->Call(
+      [node, replica, components, parent_only]() -> Result<IndexReplica::ResolveOutcome> {
+        if (node->role() != RaftRole::kLeader) {
+          // Follower read: fence on the leader's commit index so the local
+          // state is at least as fresh as any write acknowledged before this
+          // lookup.
+          auto fence = node->FollowerReadFence();
+          if (!fence.ok()) {
+            return fence.status();
+          }
+        }
+        return parent_only ? replica->ResolveParent(*components)
+                           : replica->ResolveDir(*components);
+      },
+      [](const Status& fault) -> Result<IndexReplica::ResolveOutcome> { return fault; });
+}
+
 Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
     const std::vector<std::string>& components, bool parent_only) {
-  RaftNode* node = PickReadReplica();
-  if (node == nullptr) {
+  RaftNode* primary = PickReadReplica();
+  if (primary == nullptr) {
     return Status::Unavailable("indexnode has no live replica");
   }
-  IndexReplica* replica = replicas_[node->id()];
-  return node->server()->Call([node, replica, &components,
-                               parent_only]() -> Result<IndexReplica::ResolveOutcome> {
-    if (node->role() != RaftRole::kLeader) {
-      // Follower read: fence on the leader's commit index so the local state
-      // is at least as fresh as any write acknowledged before this lookup.
-      auto fence = node->FollowerReadFence();
-      if (!fence.ok()) {
-        return fence.status();
-      }
+  auto owned = std::make_shared<const std::vector<std::string>>(components);
+  Result<IndexReplica::ResolveOutcome> result = ResolveOn(primary, owned, parent_only);
+  if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
+                      result.status().code() != StatusCode::kUnavailable)) {
+    return result;
+  }
+  // Graceful degradation: the chosen replica timed out, crashed, or could not
+  // fence. Fall back to the remaining live replicas, the leader last (it can
+  // always serve without a fence).
+  RaftNode* leader = group_->leader();
+  std::vector<RaftNode*> fallbacks;
+  for (uint32_t id = 0; id < group_->num_nodes(); ++id) {
+    RaftNode* node = group_->node(id);
+    if (node != primary && node != leader && !node->IsDown()) {
+      fallbacks.push_back(node);
     }
-    return parent_only ? replica->ResolveParent(components) : replica->ResolveDir(components);
-  });
+  }
+  if (leader != nullptr && leader != primary) {
+    fallbacks.push_back(leader);
+  }
+  for (RaftNode* node : fallbacks) {
+    if (DeadlineBudget::Expired()) {
+      return Status::Timeout("lookup: deadline exhausted during replica fallback");
+    }
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    result = ResolveOn(node, owned, parent_only);
+    if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
+                        result.status().code() != StatusCode::kUnavailable)) {
+      return result;
+    }
+  }
+  return result;
 }
 
 Status IndexService::ProposeCommand(const IndexCommand& command) {

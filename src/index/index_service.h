@@ -82,10 +82,16 @@ class IndexService {
   uint32_t num_replicas() const { return group_->num_nodes(); }
   IndexReplica* LeaderReplica();
   const IndexServiceOptions& options() const { return options_; }
+  // Lookups that fell back to another replica after the first choice timed
+  // out, crashed, or failed its read fence.
+  uint64_t degraded_reads() const { return degraded_reads_.load(std::memory_order_relaxed); }
 
  private:
   Result<IndexReplica::ResolveOutcome> Resolve(const std::vector<std::string>& components,
                                                bool parent_only);
+  Result<IndexReplica::ResolveOutcome> ResolveOn(
+      RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
+      bool parent_only);
   Status ProposeCommand(const IndexCommand& command);
   RaftNode* PickReadReplica();
 
@@ -94,6 +100,7 @@ class IndexService {
   std::vector<IndexReplica*> replicas_;
   std::unique_ptr<RaftGroup> group_;
   std::atomic<uint64_t> read_rr_{0};
+  std::atomic<uint64_t> degraded_reads_{0};
 };
 
 }  // namespace mantle

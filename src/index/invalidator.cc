@@ -27,6 +27,7 @@ Invalidator::~Invalidator() {
 }
 
 size_t Invalidator::RunPassNow() {
+  std::lock_guard<std::mutex> pass_lock(pass_mu_);
   const size_t purged = removal_list_->RunMaintenancePass([this](const std::string& path) {
     for (const std::string& prefix : prefix_tree_->RemoveSubtree(path)) {
       cache_->Erase(prefix);

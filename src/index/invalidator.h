@@ -50,6 +50,10 @@ class Invalidator {
   std::atomic<uint64_t> passes_{0};
   std::atomic<uint64_t> prefixes_invalidated_{0};
 
+  // RemovalList's reclamation assumes a single remover; serializes the
+  // background thread against RunPassNow callers.
+  std::mutex pass_mu_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -66,6 +66,9 @@ RemovalList::Token RemovalList::Insert(std::string path) {
   Node* node = new Node(std::move(path), seq, height);
   inserts_.fetch_add(1, std::memory_order_relaxed);
 
+  // Inserts traverse the list like readers do, so they register in the same
+  // quiescence counter: reclamation must never free a node mid-FindPosition.
+  active_readers_.fetch_add(1, std::memory_order_seq_cst);
   Node* preds[kMaxHeight];
   Node* succs[kMaxHeight];
   // Level 0 first: once linked there, the node is live.
@@ -92,6 +95,7 @@ RemovalList::Token RemovalList::Insert(std::string path) {
       }
     }
   }
+  active_readers_.fetch_sub(1, std::memory_order_seq_cst);
   version_.fetch_add(1, std::memory_order_acq_rel);
   return node;
 }

@@ -9,13 +9,13 @@
 // Concurrency design:
 //   * Inserts are lock-free (CAS per level, keys are monotonically increasing
 //     sequence numbers so inserts append near the tail).
-//   * Readers traverse level 0 wait-free, registering in an active-reader
-//     counter.
+//   * Readers traverse level 0 wait-free. Every traversal - reads and the
+//     insert position scans alike - registers in an active-traverser counter.
 //   * The single Invalidator thread is the only physical remover: it marks a
 //     dead node's next pointers (Harris-style tagging, so racing inserts
 //     retry instead of resurrecting the node), unlinks it, and retires it.
-//     Retired nodes are freed only after the active-reader counter has been
-//     observed at zero, at which point no traversal can still hold them.
+//     Retired nodes are freed only after the active-traverser counter has
+//     been observed at zero, at which point no traversal can still hold them.
 
 #ifndef SRC_INDEX_REMOVAL_LIST_H_
 #define SRC_INDEX_REMOVAL_LIST_H_

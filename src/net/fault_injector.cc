@@ -1,0 +1,213 @@
+#include "src/net/fault_injector.h"
+
+#include <chrono>
+#include <functional>
+
+#include "src/common/random.h"
+
+namespace mantle {
+
+namespace {
+
+// Stable 64-bit hash of a string (FNV-1a); std::hash is not guaranteed stable
+// across implementations and the injector's determinism contract is.
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  link_seq_.clear();
+}
+
+bool FaultInjector::Matches(const std::string& prefix, const std::string& name) {
+  if (name.size() < prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return name.size() == prefix.size() || name[prefix.size()] == '-';
+}
+
+void FaultInjector::SetRule(const std::string& server_prefix, const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[server_prefix] = rule;
+  RefreshActiveLocked();
+  pause_cv_.notify_all();  // a rule change may clear a pause
+}
+
+void FaultInjector::ClearRule(const std::string& server_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase(server_prefix);
+  RefreshActiveLocked();
+  pause_cv_.notify_all();
+}
+
+void FaultInjector::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  partitions_.clear();
+  RefreshActiveLocked();
+  pause_cv_.notify_all();
+}
+
+void FaultInjector::CrashServer(const std::string& server_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[server_prefix].crashed = true;
+  RefreshActiveLocked();
+}
+
+void FaultInjector::RestartServer(const std::string& server_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(server_prefix);
+  if (it != rules_.end()) {
+    it->second.crashed = false;
+  }
+  RefreshActiveLocked();
+}
+
+void FaultInjector::PauseServer(const std::string& server_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[server_prefix].paused = true;
+  RefreshActiveLocked();
+}
+
+void FaultInjector::ResumeServer(const std::string& server_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(server_prefix);
+  if (it != rules_.end()) {
+    it->second.paused = false;
+  }
+  RefreshActiveLocked();
+  pause_cv_.notify_all();
+}
+
+void FaultInjector::Partition(const std::string& partition_name,
+                              std::vector<std::string> members) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_[partition_name] = std::move(members);
+  RefreshActiveLocked();
+}
+
+void FaultInjector::Heal(const std::string& partition_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(partition_name);
+  RefreshActiveLocked();
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+  RefreshActiveLocked();
+}
+
+void FaultInjector::RefreshActiveLocked() {
+  active_.store(!rules_.empty() || !partitions_.empty(), std::memory_order_release);
+}
+
+const FaultRule* FaultInjector::FindRuleLocked(const std::string& name) const {
+  for (const auto& [prefix, rule] : rules_) {
+    if (Matches(prefix, name)) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::PartitionedLocked(const std::string& origin,
+                                      const std::string& destination) const {
+  for (const auto& [name, members] : partitions_) {
+    bool origin_inside = false;
+    bool destination_inside = false;
+    for (const auto& prefix : members) {
+      origin_inside = origin_inside || Matches(prefix, origin);
+      destination_inside = destination_inside || Matches(prefix, destination);
+    }
+    if (origin_inside != destination_inside) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::NextLinkDrawLocked(const std::string& origin,
+                                         const std::string& destination) {
+  const std::string link = origin + "\x1f" + destination;
+  const uint64_t seq = link_seq_[link]++;
+  uint64_t state = seed_ ^ HashName(link) ^ (seq * 0x9e3779b97f4a7c15ULL);
+  const uint64_t draw = SplitMix64(state);
+  return static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+}
+
+FaultInjector::Decision FaultInjector::Preflight(const std::string& origin,
+                                                 const std::string& destination) {
+  if (!active()) {
+    return Decision{Status::Ok(), 0};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PartitionedLocked(origin, destination)) {
+    stats_.rpcs_partitioned.fetch_add(1, std::memory_order_relaxed);
+    return Decision{Status::Timeout("partitioned: " + origin + " -/- " + destination), 0};
+  }
+  const FaultRule* rule = FindRuleLocked(destination);
+  if (rule == nullptr) {
+    return Decision{Status::Ok(), 0};
+  }
+  if (rule->crashed) {
+    stats_.rpcs_crash_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Decision{Status::Unavailable("server crashed: " + destination), 0};
+  }
+  Decision decision{Status::Ok(), 0};
+  if (rule->drop_probability > 0.0 &&
+      NextLinkDrawLocked(origin, destination) < rule->drop_probability) {
+    stats_.rpcs_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Decision{Status::Timeout("rpc dropped to " + destination), 0};
+  }
+  if (rule->delay_probability > 0.0 &&
+      NextLinkDrawLocked(origin, destination) < rule->delay_probability) {
+    int64_t extra = rule->delay_nanos;
+    if (rule->delay_jitter_nanos > 0) {
+      extra += static_cast<int64_t>(NextLinkDrawLocked(origin, destination) *
+                                    static_cast<double>(rule->delay_jitter_nanos));
+    }
+    if (extra > 0) {
+      stats_.rpcs_delayed.fetch_add(1, std::memory_order_relaxed);
+      decision.extra_delay_nanos = extra;
+    }
+  }
+  return decision;
+}
+
+bool FaultInjector::HandlerEntry(const std::string& destination) {
+  if (!active()) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const FaultRule* rule = FindRuleLocked(destination);
+  if (rule == nullptr || !rule->paused) {
+    return true;
+  }
+  stats_.pause_waits.fetch_add(1, std::memory_order_relaxed);
+  pause_cv_.wait(lock, [this, &destination]() {
+    if (shutdown_) {
+      return true;
+    }
+    const FaultRule* current = FindRuleLocked(destination);
+    return current == nullptr || !current->paused;
+  });
+  return !shutdown_;
+}
+
+void FaultInjector::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  pause_cv_.notify_all();
+}
+
+}  // namespace mantle

@@ -1,0 +1,145 @@
+// FaultInjector: a deterministic, per-server fault plan for the simulated
+// cluster fabric.
+//
+// Every RPC the fabric carries consults the injector twice:
+//   * Preflight (caller side, before the handler is enqueued): probabilistic
+//     drops, latency spikes/jitter, crashed destinations and named partitions
+//     all resolve here. A dropped or partitioned RPC surfaces kTimeout (the
+//     message is lost and the caller's deadline expires); a crashed server
+//     surfaces kUnavailable (connection refused).
+//   * HandlerEntry (server side, as the handler starts): a paused server
+//     blocks its workers until resumed, so queued work stalls exactly as it
+//     would behind a SIGSTOPped process, while callers time out on their
+//     deadlines.
+//
+// Determinism: probabilistic decisions are a pure function of
+// (seed, origin, destination, per-link sequence number) - no global RNG
+// state shared across links. Replaying the same per-link RPC sequence with
+// the same seed reproduces the same drop/delay pattern regardless of what
+// unrelated links (Raft heartbeats, compactor traffic) do in between.
+//
+// Rules are keyed by server-name prefix: a rule for "ns-index-0" governs the
+// servers "ns-index-0" and "ns-index-0-raft", so one line of chaos script
+// covers both of a Raft node's service ports.
+
+#ifndef SRC_NET_FAULT_INJECTOR_H_
+#define SRC_NET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mantle {
+
+// Injected-fault counters, exposed through Network for bench reports.
+struct FaultStats {
+  std::atomic<uint64_t> rpcs_dropped{0};        // probabilistic drops
+  std::atomic<uint64_t> rpcs_delayed{0};        // latency spikes applied
+  std::atomic<uint64_t> rpcs_crash_rejected{0};  // destination crashed
+  std::atomic<uint64_t> rpcs_partitioned{0};    // origin/destination separated
+  std::atomic<uint64_t> rpcs_timed_out{0};      // caller-side deadline expiry
+  std::atomic<uint64_t> pause_waits{0};         // handlers stalled by a pause
+
+  uint64_t injected_faults() const {
+    return rpcs_dropped.load(std::memory_order_relaxed) +
+           rpcs_crash_rejected.load(std::memory_order_relaxed) +
+           rpcs_partitioned.load(std::memory_order_relaxed);
+  }
+};
+
+// Per-server (prefix-matched) fault plan.
+struct FaultRule {
+  double drop_probability = 0.0;    // P(RPC silently lost)
+  double delay_probability = 0.0;   // P(latency spike)
+  int64_t delay_nanos = 0;          // spike base
+  int64_t delay_jitter_nanos = 0;   // + uniform[0, jitter)
+  bool crashed = false;             // connection refused until restart
+  bool paused = false;              // handlers stall until resume
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0x5eedfab1eULL) : seed_(seed) {}
+
+  // Re-seeds and forgets all per-link sequence numbers (fresh replay).
+  void Reseed(uint64_t seed);
+
+  // --- fault plan -------------------------------------------------------------
+  void SetRule(const std::string& server_prefix, const FaultRule& rule);
+  void ClearRule(const std::string& server_prefix);
+  // Removes every rule and partition and unblocks paused handlers.
+  void ClearAll();
+
+  void CrashServer(const std::string& server_prefix);
+  void RestartServer(const std::string& server_prefix);
+  void PauseServer(const std::string& server_prefix);
+  void ResumeServer(const std::string& server_prefix);
+
+  // Isolates `members` (prefixes) from every server outside the set. RPCs
+  // crossing the cut are lost in both directions. Multiple named partitions
+  // may coexist.
+  void Partition(const std::string& partition_name, std::vector<std::string> members);
+  void Heal(const std::string& partition_name);
+  void HealAll();
+
+  // --- fabric hooks -----------------------------------------------------------
+
+  // Caller-side verdict for one RPC. On success, `extra_delay_nanos` carries
+  // the injected latency spike the caller must charge (already clamped to be
+  // non-negative; the fabric clamps it against the caller's deadline).
+  struct Decision {
+    Status status;
+    int64_t extra_delay_nanos = 0;
+  };
+  Decision Preflight(const std::string& origin, const std::string& destination);
+
+  // Server-side hook run as a handler starts: blocks while the destination is
+  // paused. Returns false if the injector shut down while waiting (fabric
+  // teardown) - the handler should proceed so queued futures resolve.
+  bool HandlerEntry(const std::string& destination);
+
+  // Unblocks every pause-waiter permanently (called by Network's destructor
+  // ahead of executor shutdown so drained handlers cannot deadlock).
+  void Shutdown();
+
+  // Records a caller-side deadline expiry (the fabric observes these; the
+  // injector merely owns the counter block).
+  void NoteTimeout() { stats_.rpcs_timed_out.fetch_add(1, std::memory_order_relaxed); }
+
+  const FaultStats& stats() const { return stats_; }
+
+  // True when any rule or partition is active (lock-free fast path).
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+ private:
+  // True if `name` is `prefix` or starts with `prefix` + '-'.
+  static bool Matches(const std::string& prefix, const std::string& name);
+
+  // Deterministic per-link uniform draw in [0, 1). Requires mu_ held (bumps
+  // the link's sequence number).
+  double NextLinkDrawLocked(const std::string& origin, const std::string& destination);
+
+  const FaultRule* FindRuleLocked(const std::string& name) const;
+  bool PartitionedLocked(const std::string& origin, const std::string& destination) const;
+  void RefreshActiveLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable pause_cv_;
+  uint64_t seed_;
+  std::map<std::string, FaultRule> rules_;
+  std::map<std::string, std::vector<std::string>> partitions_;
+  std::map<std::string, uint64_t> link_seq_;
+  bool shutdown_ = false;
+  std::atomic<bool> active_{false};
+  FaultStats stats_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_NET_FAULT_INJECTOR_H_

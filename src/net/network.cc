@@ -4,12 +4,32 @@ namespace mantle {
 
 namespace {
 thread_local int64_t t_rpc_count = 0;
+
+const std::string& EmptyOrigin() {
+  static const std::string empty;
+  return empty;
+}
+
+thread_local const std::string* t_origin = nullptr;
 }  // namespace
+
+ScopedNetOrigin::ScopedNetOrigin(const std::string& server_name) : saved_(t_origin) {
+  t_origin = &server_name;
+}
+
+ScopedNetOrigin::~ScopedNetOrigin() { t_origin = saved_; }
 
 ServerExecutor::ServerExecutor(Network* network, std::string name, size_t workers)
     : network_(network), name_(std::move(name)), pool_(workers, name_) {}
 
-Network::Network(NetworkOptions options) : options_(options) {}
+Network::Network(NetworkOptions options)
+    : options_(options), faults_(options.fault_seed) {}
+
+Network::~Network() {
+  // Unblock any handler stalled on a paused server before the executor pools
+  // drain their queues; otherwise teardown would deadlock on the pause gate.
+  faults_.Shutdown();
+}
 
 ServerExecutor* Network::AddServer(const std::string& name, size_t workers) {
   servers_.push_back(std::make_unique<ServerExecutor>(this, name, workers));
@@ -43,8 +63,36 @@ void Network::ChargeService(int64_t nanos) {
   PreciseSleep(nanos, options_.spin_tail_nanos);
 }
 
+Status Network::PreflightRpc(const std::string& destination) {
+  if (!faults_.active()) {
+    return Status::Ok();
+  }
+  FaultInjector::Decision decision = faults_.Preflight(ThreadOrigin(), destination);
+  if (!decision.status.ok()) {
+    return decision.status;
+  }
+  if (decision.extra_delay_nanos > 0) {
+    // A latency spike larger than the remaining budget is indistinguishable
+    // from a lost message: sleep out the budget and report timeout.
+    const int64_t allowed = DeadlineBudget::Clamp(decision.extra_delay_nanos);
+    if (allowed < decision.extra_delay_nanos) {
+      if (allowed > 0) {
+        PreciseSleep(allowed, options_.spin_tail_nanos);
+      }
+      NoteCallerTimeout();
+      return Status::Timeout("injected delay outlived deadline to " + destination);
+    }
+    PreciseSleep(decision.extra_delay_nanos, options_.spin_tail_nanos);
+  }
+  return Status::Ok();
+}
+
 int64_t Network::ThreadRpcCount() { return t_rpc_count; }
 
 void Network::ResetThreadRpcCount() { t_rpc_count = 0; }
+
+const std::string& Network::ThreadOrigin() {
+  return t_origin == nullptr ? EmptyOrigin() : *t_origin;
+}
 
 }  // namespace mantle

@@ -5,27 +5,39 @@
 // coordinator) is a ServerExecutor: a named, bounded thread pool. An RPC from
 // a client thread to a server
 //   1. charges the configured round-trip latency on the caller's thread,
-//   2. enqueues the handler on the destination server's pool (real queueing
+//   2. consults the FaultInjector (drops, latency spikes, crashes, named
+//      partitions - all deterministic per link under a fixed seed),
+//   3. enqueues the handler on the destination server's pool (real queueing
 //      delay under load -> CPU-ceiling effects), and
-//   3. blocks on the handler's result.
+//   4. waits for the handler's result, bounded by the tighter of the per-RPC
+//      deadline and the calling operation's remaining DeadlineBudget. An
+//      expired wait surfaces Status::Timeout through the caller-supplied
+//      fault translator instead of hanging.
 //
 // Per-thread RPC counters let services report how many round trips an
-// operation needed (the paper's central lookup metric), and per-server task
-// counters expose utilization for the benches.
+// operation needed (the paper's central lookup metric), per-server task
+// counters expose utilization, and FaultStats report injected-fault and
+// timeout rates for the chaos benches.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/deadline.h"
+#include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/net/fault_injector.h"
 
 namespace mantle {
 
@@ -49,9 +61,31 @@ struct NetworkOptions {
   int64_t mem_index_access_nanos = 4'000;
   // When true, RPCs charge no latency (fast unit tests); counters still work.
   bool zero_latency = false;
+  // Cap on how long a deadline-aware RPC waits for its handler when the
+  // calling operation carries no tighter DeadlineBudget. Generous by design:
+  // it exists so no RPC can hang forever, not to shape normal latency.
+  int64_t default_rpc_deadline_nanos = 10'000'000'000;  // 10 s
+  // Seed for the fault injector's deterministic per-link decisions.
+  uint64_t fault_seed = 0x5eedfab1eULL;
 };
 
 class Network;
+
+// RAII: tags the current thread as originating RPCs from `server_name` (used
+// for partition membership checks). Server workers get this automatically;
+// Raft node threads install it for the node they belong to. Threads with no
+// origin are external clients (the proxy fleet).
+class ScopedNetOrigin {
+ public:
+  explicit ScopedNetOrigin(const std::string& server_name);
+  ~ScopedNetOrigin();
+
+  ScopedNetOrigin(const ScopedNetOrigin&) = delete;
+  ScopedNetOrigin& operator=(const ScopedNetOrigin&) = delete;
+
+ private:
+  const std::string* saved_;
+};
 
 // One logical server with a fixed CPU budget (worker count).
 class ServerExecutor {
@@ -59,21 +93,48 @@ class ServerExecutor {
   ServerExecutor(Network* network, std::string name, size_t workers);
 
   // Synchronous RPC: charge one RTT, run `handler` on this server, return its
-  // result. Handler runs on a server worker; the calling thread blocks.
+  // result. Handler runs on a server worker; the calling thread blocks until
+  // the handler finishes (fault-plan preflight failures - crashed or
+  // partitioned destination, dropped request - short-circuit when the return
+  // type can carry a Status; other return types stay fault-blind).
   template <typename Fn>
   auto Call(Fn&& handler) -> decltype(handler());
 
+  // Deadline-aware synchronous RPC. `on_fault(status)` translates an injected
+  // fault or an expired deadline into the handler's return type, so callers
+  // keep their native result shape (e.g. AppendEntriesReply with peer_down).
+  // `deadline_nanos` (0 = options().default_rpc_deadline_nanos) bounds the
+  // wait; the operation's DeadlineBudget tightens it further. IMPORTANT: a
+  // timed-out handler may still run later, so handlers passed here must own
+  // their captures (no references to caller stack frames).
+  template <typename Fn, typename FaultFn>
+  auto Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nanos = 0)
+      -> decltype(handler());
+
   // Asynchronous RPC: counts the RPC and enqueues the handler, but does not
   // charge the RTT (callers issuing a parallel fan-out charge it once via
-  // Network::ChargeRtt and then wait on all futures).
+  // Network::ChargeRtt and then wait on all futures). The no-translator form
+  // is delivery-reliable: the fault plan cannot drop it (used for 2PC
+  // phase-two decisions, which a real coordinator retries until delivered).
   template <typename Fn>
   auto CallAsync(Fn&& handler) -> std::future<decltype(handler())>;
+
+  // Fault-aware asynchronous RPC: preflight failures resolve the returned
+  // future immediately with `on_fault(status)`.
+  template <typename Fn, typename FaultFn>
+  auto CallAsync(Fn&& handler, FaultFn&& on_fault) -> std::future<decltype(handler())>;
 
   // Runs `handler` on this server without charging network latency. Models
   // server-local work initiated by the server itself (compaction, apply
   // threads are separate; this is for intra-chassis hops).
   template <typename Fn>
   auto CallLocal(Fn&& handler) -> decltype(handler());
+
+  // Blocks until every queued and in-flight handler has finished. Owners of
+  // handler-referenced state (Raft nodes, TafDB shards) drain before freeing
+  // it: a deadline-expired caller abandons its handler, which may still be
+  // queued here. Requires the server not be paused by the fault plan.
+  void Drain() { pool_.WaitIdle(); }
 
   const std::string& name() const { return name_; }
   size_t workers() const { return pool_.num_workers(); }
@@ -82,6 +143,12 @@ class ServerExecutor {
   Network* network() const { return network_; }
 
  private:
+  // Decorates a handler with the server-side fabric hooks: pause gate,
+  // RPC-origin tagging, and propagation of the caller's absolute deadline
+  // onto the worker thread.
+  template <typename Fn>
+  auto Wrap(Fn&& handler, int64_t absolute_deadline_nanos);
+
   Network* network_;
   std::string name_;
   ThreadPool pool_;
@@ -90,6 +157,7 @@ class ServerExecutor {
 class Network {
  public:
   explicit Network(NetworkOptions options = {});
+  ~Network();
 
   ServerExecutor* AddServer(const std::string& name, size_t workers);
 
@@ -113,6 +181,21 @@ class Network {
     ChargeService(probes * options_.mem_index_access_nanos);
   }
 
+  // --- fault plan ------------------------------------------------------------
+
+  FaultInjector& faults() { return faults_; }
+  const FaultStats& fault_stats() const { return faults_.stats(); }
+
+  // Caller-side fault verdict for an RPC from the current thread's origin to
+  // `destination`: applies partitions, crashes, probabilistic drops and
+  // latency spikes (spikes sleep here, clamped to the operation's remaining
+  // DeadlineBudget). Components that route to servers without going through
+  // ServerExecutor::Call (e.g. RaftGroup::Propose) call this directly.
+  Status PreflightRpc(const std::string& destination);
+
+  // Records a caller-side deadline expiry in the fault stats.
+  void NoteCallerTimeout() { faults_.NoteTimeout(); }
+
   const NetworkOptions& options() const { return options_; }
   void set_rtt_nanos(int64_t rtt_nanos) { options_.rtt_nanos = rtt_nanos; }
 
@@ -124,11 +207,16 @@ class Network {
   static int64_t ThreadRpcCount();
   static void ResetThreadRpcCount();
 
+  // Name of the server the current thread originates RPCs from ("" = client).
+  static const std::string& ThreadOrigin();
+
  private:
   friend class ServerExecutor;
+  friend class ScopedNetOrigin;
   void NoteRpc();
 
   NetworkOptions options_;
+  FaultInjector faults_;
   std::vector<std::unique_ptr<ServerExecutor>> servers_;
   std::atomic<uint64_t> total_rpcs_{0};
 };
@@ -144,21 +232,80 @@ class ScopedRpcCounter {
 // --- template implementations ----------------------------------------------
 
 template <typename Fn>
+auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos) {
+  return [this, absolute_deadline_nanos, fn = std::forward<Fn>(handler)]() mutable {
+    network_->faults().HandlerEntry(name_);
+    ScopedNetOrigin origin(name_);
+    ScopedAbsoluteDeadline deadline(absolute_deadline_nanos);
+    return fn();
+  };
+}
+
+template <typename Fn>
 auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
+  using R = decltype(handler());
   network_->ChargeRtt();
-  auto future = pool_.SubmitWithResult(std::forward<Fn>(handler));
+  if constexpr (std::is_constructible_v<R, Status>) {
+    Status pre = network_->PreflightRpc(name_);
+    if (!pre.ok()) {
+      return R(std::move(pre));
+    }
+  }
+  auto future =
+      pool_.SubmitWithResult(Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
+  return future.get();
+}
+
+template <typename Fn, typename FaultFn>
+auto ServerExecutor::Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nanos)
+    -> decltype(handler()) {
+  network_->ChargeRtt();
+  Status pre = network_->PreflightRpc(name_);
+  if (!pre.ok()) {
+    return on_fault(std::move(pre));
+  }
+  const int64_t cap =
+      deadline_nanos > 0 ? deadline_nanos : network_->options().default_rpc_deadline_nanos;
+  const int64_t wait_nanos = DeadlineBudget::Clamp(cap);
+  if (wait_nanos <= 0) {
+    network_->NoteCallerTimeout();
+    return on_fault(Status::Timeout("deadline exhausted before rpc to " + name_));
+  }
+  auto future = pool_.SubmitWithResult(
+      Wrap(std::forward<Fn>(handler), MonotonicNanos() + wait_nanos));
+  if (future.wait_for(std::chrono::nanoseconds(wait_nanos)) != std::future_status::ready) {
+    network_->NoteCallerTimeout();
+    return on_fault(Status::Timeout("rpc to " + name_ + " timed out"));
+  }
   return future.get();
 }
 
 template <typename Fn>
 auto ServerExecutor::CallAsync(Fn&& handler) -> std::future<decltype(handler())> {
   network_->NoteRpc();
-  return pool_.SubmitWithResult(std::forward<Fn>(handler));
+  return pool_.SubmitWithResult(
+      Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
+}
+
+template <typename Fn, typename FaultFn>
+auto ServerExecutor::CallAsync(Fn&& handler, FaultFn&& on_fault)
+    -> std::future<decltype(handler())> {
+  using R = decltype(handler());
+  network_->NoteRpc();
+  Status pre = network_->PreflightRpc(name_);
+  if (!pre.ok()) {
+    std::promise<R> ready;
+    ready.set_value(on_fault(std::move(pre)));
+    return ready.get_future();
+  }
+  return pool_.SubmitWithResult(
+      Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
 }
 
 template <typename Fn>
 auto ServerExecutor::CallLocal(Fn&& handler) -> decltype(handler()) {
-  auto future = pool_.SubmitWithResult(std::forward<Fn>(handler));
+  auto future =
+      pool_.SubmitWithResult(Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
   return future.get();
 }
 

@@ -27,7 +27,22 @@ RaftGroup::RaftGroup(Network* network, const std::string& name, uint32_t num_vot
   }
 }
 
-RaftGroup::~RaftGroup() = default;
+RaftGroup::~RaftGroup() {
+  // Nodes hold raw pointers to their peers (replicator and vote fan-out), so
+  // teardown is three-phase: stop every node's threads, then drain the
+  // executors (a deadline-expired caller may have abandoned a handler that is
+  // still queued and captures a peer), and only then free any node.
+  for (auto& node : nodes_) {
+    node->BeginShutdown();
+  }
+  for (auto& node : nodes_) {
+    node->JoinThreads();
+  }
+  for (auto& node : nodes_) {
+    node->server()->Drain();
+    node->raft_server()->Drain();
+  }
+}
 
 void RaftGroup::Start() {
   nodes_[0]->Campaign();
@@ -38,16 +53,26 @@ void RaftGroup::Start() {
 }
 
 RaftNode* RaftGroup::leader() const {
+  // During a partition the stale leader keeps its role until it hears the new
+  // term; preferring the highest-term leader routes clients to the live one.
+  RaftNode* best = nullptr;
+  uint64_t best_term = 0;
   for (const auto& node : nodes_) {
     if (!node->IsDown() && node->role() == RaftRole::kLeader) {
-      return node.get();
+      const uint64_t term = node->term();
+      if (best == nullptr || term > best_term) {
+        best = node.get();
+        best_term = term;
+      }
     }
   }
-  return nullptr;
+  return best;
 }
 
 RaftNode* RaftGroup::WaitForLeader(int64_t timeout_nanos) {
-  const int64_t deadline = MonotonicNanos() + timeout_nanos;
+  // Never outlive the calling operation's deadline budget: an election window
+  // then surfaces as kUnavailable at the caller instead of a stall.
+  const int64_t deadline = MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos);
   while (MonotonicNanos() < deadline) {
     RaftNode* node = leader();
     if (node != nullptr) {
@@ -59,21 +84,37 @@ RaftNode* RaftGroup::WaitForLeader(int64_t timeout_nanos) {
 }
 
 Result<std::string> RaftGroup::Propose(const std::string& command) {
-  const int64_t deadline = MonotonicNanos() + options_.propose_timeout_nanos;
+  const int64_t deadline =
+      MonotonicNanos() + DeadlineBudget::Clamp(options_.propose_timeout_nanos);
+  Status last = Status::Timeout("no leader accepted the proposal");
   while (MonotonicNanos() < deadline) {
     RaftNode* node = leader();
     if (node == nullptr) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
+    // The proposal rides the fabric: a partition, crash, or drop between this
+    // proxy thread and the leader loses it, and the loop retries until the
+    // deadline. Idempotence across such retries is the caller's contract
+    // (rename UUIDs; add/remove ops are natural no-ops on re-apply).
     network_->ChargeRtt();  // proxy -> leader round trip
+    Status pre = network_->PreflightRpc(node->server()->name());
+    if (!pre.ok()) {
+      last = pre;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
     Result<std::string> result = node->ProposeAndWait(command);
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
       return result;
     }
+    last = result.status();
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  return Status::Timeout("no leader accepted the proposal");
+  if (last.code() == StatusCode::kUnavailable) {
+    return last;
+  }
+  return Status::Timeout("no leader accepted the proposal: " + last.ToString());
 }
 
 }  // namespace mantle

@@ -49,6 +49,11 @@ RaftNode::RaftNode(RaftGroup* group, uint32_t id, bool voter, ServerExecutor* se
 void RaftNodeStartThreads(RaftNode& node);
 
 RaftNode::~RaftNode() {
+  BeginShutdown();
+  JoinThreads();
+}
+
+void RaftNode::BeginShutdown() {
   stopping_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,6 +64,9 @@ RaftNode::~RaftNode() {
   proposal_cv_.notify_all();
   replicate_cv_.notify_all();
   read_cv_.notify_all();
+}
+
+void RaftNode::JoinThreads() {
   if (apply_thread_.joinable()) {
     apply_thread_.join();
   }
@@ -276,6 +284,10 @@ std::optional<uint64_t> RaftNode::HandleReadIndexQuery() {
 }
 
 Result<std::string> RaftNode::ProposeAndWait(std::string command) {
+  const int64_t wait_nanos = DeadlineBudget::Clamp(options_.propose_timeout_nanos);
+  if (wait_nanos <= 0) {
+    return Status::Timeout("propose: deadline exhausted");
+  }
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   std::future<Result<std::string>> future = promise->get_future();
   {
@@ -290,8 +302,7 @@ Result<std::string> RaftNode::ProposeAndWait(std::string command) {
     proposal_queue_.push_back(PendingProposal{std::move(command), promise});
   }
   proposal_cv_.notify_one();
-  if (future.wait_for(std::chrono::nanoseconds(options_.propose_timeout_nanos)) !=
-      std::future_status::ready) {
+  if (future.wait_for(std::chrono::nanoseconds(wait_nanos)) != std::future_status::ready) {
     return Status::Timeout("propose timed out");
   }
   return future.get();
@@ -304,6 +315,16 @@ void RaftNode::WaitApplied(uint64_t index) {
   });
 }
 
+bool RaftNode::WaitAppliedFor(uint64_t index, int64_t timeout_nanos) {
+  std::unique_lock<std::mutex> lock(mu_);
+  applied_cv_.wait_for(lock, std::chrono::nanoseconds(std::max<int64_t>(timeout_nanos, 0)),
+                       [this, index]() {
+                         return stopping_.load(std::memory_order_acquire) ||
+                                last_applied_ >= index;
+                       });
+  return last_applied_ >= index;
+}
+
 Result<uint64_t> RaftNode::FollowerReadFence() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -311,6 +332,13 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
       return commit_index_;
     }
   }
+  // Total fence budget: the configured cap, tightened by the calling
+  // operation's deadline (propagated onto this worker thread by the fabric).
+  const int64_t budget = DeadlineBudget::Clamp(options_.read_fence_timeout_nanos);
+  if (budget <= 0) {
+    return Status::Timeout("read fence: deadline exhausted");
+  }
+  const int64_t fence_deadline = MonotonicNanos() + budget;
   Result<uint64_t> fence = Status::Unavailable("no leader");
   std::unique_lock<std::mutex> read_lock(read_mu_);
   const uint64_t generation = read_generation_;
@@ -318,9 +346,13 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
     // Piggyback on the in-flight leader query (paper §5.1.3: "queries for the
     // commitIndex are batched").
     stats_.read_index_batched.fetch_add(1, std::memory_order_relaxed);
-    read_cv_.wait(read_lock, [this, generation]() {
-      return stopping_.load(std::memory_order_acquire) || read_generation_ != generation;
-    });
+    const bool advanced =
+        read_cv_.wait_for(read_lock, std::chrono::nanoseconds(budget), [this, generation]() {
+          return stopping_.load(std::memory_order_acquire) || read_generation_ != generation;
+        });
+    if (!advanced) {
+      return Status::Timeout("read fence: batched commit-index query timed out");
+    }
     fence = last_read_fence_;
   } else {
     read_inflight_ = true;
@@ -328,10 +360,16 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
     stats_.read_index_queries.fetch_add(1, std::memory_order_relaxed);
     RaftNode* leader = group_->leader();
     if (leader != nullptr && leader != this) {
-      auto commit =
-          leader->raft_server()->Call([leader]() { return leader->HandleReadIndexQuery(); });
+      // A partitioned or crashed leader link loses the query: the translator
+      // maps the fault to "no fence", and the caller falls back to another
+      // replica or the leader rather than blocking.
+      auto commit = leader->raft_server()->Call(
+          [leader]() { return leader->HandleReadIndexQuery(); },
+          [](const Status&) { return std::optional<uint64_t>{}; });
       if (commit.has_value()) {
         fence = *commit;
+      } else {
+        fence = Status::Unavailable("read fence: leader unreachable");
       }
     } else if (leader == this) {
       fence = commit_index();
@@ -343,8 +381,8 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
     read_cv_.notify_all();
   }
   read_lock.unlock();
-  if (fence.ok()) {
-    WaitApplied(*fence);
+  if (fence.ok() && !WaitAppliedFor(*fence, fence_deadline - MonotonicNanos())) {
+    return Status::Timeout("read fence: apply index did not catch up");
   }
   return fence;
 }
@@ -352,6 +390,9 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
 void RaftNode::Campaign() { RunElection(); }
 
 void RaftNode::RunElection() {
+  // Votes travel the fabric as this node's consensus endpoint, so a named
+  // partition isolating this replica also isolates its campaigns.
+  ScopedNetOrigin origin(raft_server_->name());
   RequestVoteRequest request;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -375,7 +416,8 @@ void RaftNode::RunElection() {
       continue;
     }
     replies.push_back(peer_node->raft_server()->CallAsync(
-        [peer_node, request]() { return peer_node->HandleRequestVote(request); }));
+        [peer_node, request]() { return peer_node->HandleRequestVote(request); },
+        [](const Status&) { return RequestVoteReply{0, false}; }));
   }
   group_->network()->InjectDelay();
 
@@ -453,6 +495,9 @@ void RaftNode::PipelineLoop() {
 }
 
 void RaftNode::ReplicatorLoop(uint32_t peer_id) {
+  // Replication traffic originates from this node's consensus endpoint; a
+  // partition rule naming this replica severs its leader->follower links.
+  ScopedNetOrigin origin(raft_server_->name());
   RaftNode* peer = group_->node(peer_id);
   // Tracks the commit index last shipped so commit-only updates also flow.
   uint64_t last_sent_commit = 0;
@@ -482,7 +527,8 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
       lock.unlock();
       stats_.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
       InstallSnapshotReply snap_reply = peer->raft_server()->Call(
-          [peer, snap]() { return peer->HandleInstallSnapshot(snap); });
+          [peer, snap]() { return peer->HandleInstallSnapshot(snap); },
+          [](const Status&) { return InstallSnapshotReply{0, false, /*peer_down=*/true}; });
       lock.lock();
       if (snap_reply.peer_down) {
         continue;
@@ -514,7 +560,8 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
       stats_.appends_sent.fetch_add(1, std::memory_order_relaxed);
     }
     AppendEntriesReply reply = peer->raft_server()->Call(
-        [peer, request]() { return peer->HandleAppendEntries(request); });
+        [peer, request]() { return peer->HandleAppendEntries(request); },
+        [](const Status&) { return AppendEntriesReply{0, false, 0, /*peer_down=*/true}; });
     last_sent_commit = request.leader_commit;
 
     lock.lock();

@@ -49,6 +49,9 @@ struct RaftOptions {
   int64_t election_timeout_max_nanos = 300'000'000;  // 300 ms
   int64_t election_poll_nanos = 10'000'000;          // election-timer resolution
   int64_t propose_timeout_nanos = 10'000'000'000;    // 10 s
+  // Cap on a follower read fence (leader commit-index query + local apply
+  // catch-up); the operation's DeadlineBudget tightens it further.
+  int64_t read_fence_timeout_nanos = 2'000'000'000;  // 2 s
   bool enable_election_timer = true;
   size_t workers_per_node = 4;  // executor width of each replica server
   // Log compaction: snapshot the state machine and drop the applied prefix
@@ -109,6 +112,9 @@ class RaftNode {
 
   // Blocks until last_applied >= index.
   void WaitApplied(uint64_t index);
+  // Bounded variant: true once last_applied >= index, false on timeout (the
+  // node may be partitioned from the leader and never catch up).
+  bool WaitAppliedFor(uint64_t index, int64_t timeout_nanos);
 
   // Forces this node to start a campaign now (deterministic bootstrap).
   void Campaign();
@@ -117,6 +123,13 @@ class RaftNode {
   void Stop();
   void Restart();
   bool IsDown() const { return down_.load(std::memory_order_acquire); }
+
+  // Two-phase teardown, used by RaftGroup: nodes hold raw peer pointers, so
+  // the group stops every node's threads (BeginShutdown on all, then
+  // JoinThreads on all) before destroying any node. Both are idempotent; the
+  // destructor calls them for standalone use.
+  void BeginShutdown();
+  void JoinThreads();
 
   // --- introspection -----------------------------------------------------------
   uint32_t id() const { return id_; }

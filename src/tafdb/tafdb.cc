@@ -30,30 +30,53 @@ TafDb::~TafDb() {
   if (compactor_.joinable()) {
     compactor_.join();
   }
+  // Deadline-expired callers may have abandoned handlers still queued on our
+  // servers; they capture raw Shard pointers, so drain before the shard map
+  // and coordinator members destruct.
+  for (ServerExecutor* server : servers_) {
+    server->Drain();
+  }
 }
+
+// Read paths use the deadline-aware Call overload: a paused or slow TafDB
+// server surfaces kTimeout instead of wedging the proxy, and all captures are
+// by value because an abandoned handler may still run after the caller left.
+
+namespace {
+
+template <typename T>
+Result<T> FaultToStatus(const Status& fault) {
+  return fault;
+}
+
+}  // namespace
 
 Result<MetaValue> TafDb::Get(const MetaKey& key) {
   Shard* shard = shards_->Route(key.pid);
   ServerExecutor* server = shards_->RouteServer(key.pid);
-  auto row = server->Call([this, shard, &key]() {
-    network_->ChargeDbRowAccess();
-    return shard->Get(key);
-  });
-  if (!row.has_value()) {
-    return Status::NotFound(key.ToString());
-  }
-  return *row;
+  return server->Call(
+      [this, shard, key]() -> Result<MetaValue> {
+        network_->ChargeDbRowAccess();
+        auto row = shard->Get(key);
+        if (!row.has_value()) {
+          return Status::NotFound(key.ToString());
+        }
+        return *row;
+      },
+      FaultToStatus<MetaValue>);
 }
 
 Result<std::vector<Shard::Entry>> TafDb::ListChildren(InodeId pid, size_t limit) {
   Shard* shard = shards_->Route(pid);
   ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call([this, shard, pid, limit]() {
-    auto entries = shard->ScanChildren(pid, limit);
-    // One seek plus amortized per-row iteration cost.
-    network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
-    return entries;
-  });
+  return server->Call(
+      [this, shard, pid, limit]() -> Result<std::vector<Shard::Entry>> {
+        auto entries = shard->ScanChildren(pid, limit);
+        // One seek plus amortized per-row iteration cost.
+        network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+        return entries;
+      },
+      FaultToStatus<std::vector<Shard::Entry>>);
 }
 
 Result<std::vector<Shard::Entry>> TafDb::ListChildrenAfter(InodeId pid,
@@ -61,33 +84,39 @@ Result<std::vector<Shard::Entry>> TafDb::ListChildrenAfter(InodeId pid,
                                                            size_t limit) {
   Shard* shard = shards_->Route(pid);
   ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call([this, shard, pid, &start_after, limit]() {
-    auto entries = shard->ScanChildrenAfter(pid, start_after, limit);
-    network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
-    return entries;
-  });
+  return server->Call(
+      [this, shard, pid, start_after, limit]() -> Result<std::vector<Shard::Entry>> {
+        auto entries = shard->ScanChildrenAfter(pid, start_after, limit);
+        network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+        return entries;
+      },
+      FaultToStatus<std::vector<Shard::Entry>>);
 }
 
 Result<MetaValue> TafDb::ReadDirAttr(InodeId dir_id) {
   Shard* shard = shards_->Route(dir_id);
   ServerExecutor* server = shards_->RouteServer(dir_id);
-  auto merged = server->Call([this, shard, dir_id]() {
-    network_->ChargeDbRowAccess();
-    return shard->ReadAttrMerged(dir_id);
-  });
-  if (!merged.has_value()) {
-    return Status::NotFound("attr of dir " + std::to_string(dir_id));
-  }
-  return *merged;
+  return server->Call(
+      [this, shard, dir_id]() -> Result<MetaValue> {
+        network_->ChargeDbRowAccess();
+        auto merged = shard->ReadAttrMerged(dir_id);
+        if (!merged.has_value()) {
+          return Status::NotFound("attr of dir " + std::to_string(dir_id));
+        }
+        return *merged;
+      },
+      FaultToStatus<MetaValue>);
 }
 
-bool TafDb::HasChildren(InodeId pid) {
+Result<bool> TafDb::HasChildren(InodeId pid) {
   Shard* shard = shards_->Route(pid);
   ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call([this, shard, pid]() {
-    network_->ChargeDbRowAccess();
-    return shard->HasChildren(pid);
-  });
+  return server->Call(
+      [this, shard, pid]() -> Result<bool> {
+        network_->ChargeDbRowAccess();
+        return shard->HasChildren(pid);
+      },
+      FaultToStatus<bool>);
 }
 
 Status TafDb::ApplyAtomicSingleShard(const std::vector<WriteOp>& ops) {

@@ -64,7 +64,7 @@ class TafDb {
                                                       size_t limit);
   // Attribute primary merged with live deltas (accurate dirstat).
   Result<MetaValue> ReadDirAttr(InodeId dir_id);
-  bool HasChildren(InodeId pid);
+  Result<bool> HasChildren(InodeId pid);
 
   // --- transactional writes --------------------------------------------------
 

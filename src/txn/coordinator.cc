@@ -1,8 +1,12 @@
 #include "src/txn/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <map>
+#include <memory>
+
+#include "src/common/deadline.h"
 
 namespace mantle {
 
@@ -26,7 +30,23 @@ std::vector<TxnCoordinator::Participant> TxnCoordinator::GroupByShard(
   return participants;
 }
 
+bool TxnCoordinator::IsDoomed(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(doomed_mu_);
+  return doomed_.count(txn_id) > 0;
+}
+
+void TxnCoordinator::Doom(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    doomed_.insert(txn_id);
+  }
+  stats_.doomed.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status TxnCoordinator::PrepareOnShard(const Participant& participant, uint64_t txn_id) {
+  if (IsDoomed(txn_id)) {
+    return Status::Aborted("txn abandoned by coordinator");
+  }
   Shard* shard = shards_->ShardAt(participant.shard_index);
   std::vector<const MetaKey*> locked;
   locked.reserve(participant.ops.size());
@@ -47,6 +67,16 @@ Status TxnCoordinator::PrepareOnShard(const Participant& participant, uint64_t t
       }
       return status;
     }
+  }
+  // Re-check after taking locks: if the coordinator abandoned this txn while
+  // the prepare sat in a (paused / delayed) server queue, its cleanup abort
+  // may already have run and found nothing to unlock. Releasing here instead
+  // of returning ok closes that lock-leak race.
+  if (IsDoomed(txn_id)) {
+    for (const MetaKey* key : locked) {
+      shard->UnlockKey(*key, txn_id);
+    }
+    return Status::Aborted("txn abandoned by coordinator");
   }
   return Status::Ok();
 }
@@ -86,22 +116,32 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     return Status::Ok();
   }
   stats_.started.fetch_add(1, std::memory_order_relaxed);
-  auto participants = GroupByShard(ops);
+  // Participants are shared-owned: a deadline-abandoned handler may run after
+  // Execute returned, so it must never borrow this stack frame.
+  std::vector<std::shared_ptr<const Participant>> participants;
+  for (auto& participant : GroupByShard(ops)) {
+    participants.push_back(std::make_shared<const Participant>(std::move(participant)));
+  }
 
   if (participants.size() == 1) {
     // Single-shard fast path: lock, validate, apply and release in one RPC.
+    // A timeout here is ambiguous (the handler may still commit once a paused
+    // server resumes) - exactly the semantics of a lost ack in a real system;
+    // preconditions make blind client retries safe.
     stats_.single_shard.fetch_add(1, std::memory_order_relaxed);
-    const Participant& participant = participants.front();
-    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
-    Status status = server->Call([this, &participant, txn_id]() {
-      network_->ChargeDbRowAccess(static_cast<int64_t>(participant.ops.size()));
-      Status prepared = PrepareOnShard(participant, txn_id);
-      if (!prepared.ok()) {
-        return prepared;
-      }
-      CommitOnShard(participant, txn_id);
-      return Status::Ok();
-    });
+    auto participant = participants.front();
+    ServerExecutor* server = shards_->ServerAt(participant->shard_index);
+    Status status = server->Call(
+        [this, participant, txn_id]() {
+          network_->ChargeDbRowAccess(static_cast<int64_t>(participant->ops.size()));
+          Status prepared = PrepareOnShard(*participant, txn_id);
+          if (!prepared.ok()) {
+            return prepared;
+          }
+          CommitOnShard(*participant, txn_id);
+          return Status::Ok();
+        },
+        [](const Status& fault) { return fault; });
     if (!status.ok()) {
       stats_.aborted.fetch_add(1, std::memory_order_relaxed);
       if (status.IsAborted()) {
@@ -113,22 +153,51 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     return Status::Ok();
   }
 
-  // Two-phase commit. Prepare round: parallel try-lock + validate.
+  // Two-phase commit. Prepare round: parallel try-lock + validate. Preflight
+  // faults (drop/partition/crash) resolve the future immediately with the
+  // fault status; a submitted-but-unresponsive prepare is bounded below.
   stats_.multi_shard.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::future<Status>> prepares;
   prepares.reserve(participants.size());
   for (const auto& participant : participants) {
-    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
-    prepares.push_back(server->CallAsync([this, &participant, txn_id]() {
-      network_->ChargeDbRowAccess(static_cast<int64_t>(participant.ops.size()));
-      return PrepareOnShard(participant, txn_id);
-    }));
+    ServerExecutor* server = shards_->ServerAt(participant->shard_index);
+    prepares.push_back(server->CallAsync(
+        [this, participant, txn_id]() {
+          network_->ChargeDbRowAccess(static_cast<int64_t>(participant->ops.size()));
+          return PrepareOnShard(*participant, txn_id);
+        },
+        [](const Status& fault) { return fault; }));
   }
   network_->InjectDelay();
 
+  // One absolute deadline for the whole gather: per-future waits share it, so
+  // several slow shards cannot stack a full budget each.
+  const int64_t prepare_deadline =
+      MonotonicNanos() + DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
   Status failure = Status::Ok();
   std::vector<bool> prepared(participants.size(), false);
+  std::vector<bool> abandoned(participants.size(), false);
   for (size_t i = 0; i < prepares.size(); ++i) {
+    const int64_t remaining = prepare_deadline - MonotonicNanos();
+    if (remaining <= 0 ||
+        prepares[i].wait_for(std::chrono::nanoseconds(remaining)) !=
+            std::future_status::ready) {
+      // Outcome unknown: the prepare is queued on a slow or paused server and
+      // may still take locks later. Doom the txn (tombstone checked by
+      // PrepareOnShard) and send a cleanup abort below. Tombstones are kept
+      // for the process lifetime; a production coordinator would persist the
+      // decision in a txn table and GC it.
+      if (!IsDoomed(txn_id)) {
+        Doom(txn_id);
+      }
+      abandoned[i] = true;
+      network_->NoteCallerTimeout();
+      if (failure.ok()) {
+        failure = Status::Timeout("2pc prepare timed out on shard " +
+                                  std::to_string(participants[i]->shard_index));
+      }
+      continue;
+    }
     Status status = prepares[i].get();
     prepared[i] = status.ok();
     if (!status.ok() && failure.ok()) {
@@ -136,23 +205,36 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     }
   }
 
-  // Commit or abort round, also parallel.
+  // Commit or abort round. Phase-two decisions ride the delivery-reliable
+  // CallAsync: a real coordinator retries them until every participant acks,
+  // so the fault plan may delay but never lose them.
   std::vector<std::future<void>> finishes;
   finishes.reserve(participants.size());
   for (size_t i = 0; i < participants.size(); ++i) {
-    const Participant& participant = participants[i];
-    ServerExecutor* server = shards_->ServerAt(participant.shard_index);
+    auto participant = participants[i];
+    ServerExecutor* server = shards_->ServerAt(participant->shard_index);
     if (failure.ok()) {
-      finishes.push_back(
-          server->CallAsync([this, &participant, txn_id]() { CommitOnShard(participant, txn_id); }));
-    } else if (prepared[i]) {
-      finishes.push_back(
-          server->CallAsync([this, &participant, txn_id]() { AbortOnShard(participant, txn_id); }));
+      finishes.push_back(server->CallAsync(
+          [this, participant, txn_id]() { CommitOnShard(*participant, txn_id); }));
+    } else if (prepared[i] || abandoned[i]) {
+      // Abandoned prepares get an abort too: if the late prepare locked keys
+      // before noticing the tombstone it unlocks them itself; if it ran first
+      // and returned ok into the abandoned future, this abort releases them.
+      finishes.push_back(server->CallAsync(
+          [this, participant, txn_id]() { AbortOnShard(*participant, txn_id); }));
     }
   }
   network_->InjectDelay();
+  const int64_t finish_deadline =
+      MonotonicNanos() + DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
+  bool acked = true;
   for (auto& finish : finishes) {
-    finish.get();
+    const int64_t remaining = finish_deadline - MonotonicNanos();
+    if (remaining <= 0 ||
+        finish.wait_for(std::chrono::nanoseconds(remaining)) != std::future_status::ready) {
+      acked = false;
+      network_->NoteCallerTimeout();
+    }
   }
 
   if (!failure.ok()) {
@@ -161,6 +243,12 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
       NotifyAbort(ops);
     }
     return failure;
+  }
+  if (!acked) {
+    // Commit decided and queued everywhere, but not every ack arrived within
+    // budget (e.g. a paused shard). Surface the ambiguity instead of hanging;
+    // the mutation lands when the shard resumes.
+    return Status::Timeout("2pc commit decided but not fully acknowledged");
   }
   stats_.committed.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();

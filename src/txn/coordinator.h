@@ -14,6 +14,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -27,6 +29,9 @@ struct TxnStats {
   std::atomic<uint64_t> aborted{0};
   std::atomic<uint64_t> single_shard{0};
   std::atomic<uint64_t> multi_shard{0};
+  // Transactions abandoned mid-prepare (unresponsive participant); their
+  // tombstones make any late prepare self-abort instead of leaking locks.
+  std::atomic<uint64_t> doomed{0};
 };
 
 class TxnCoordinator {
@@ -56,17 +61,23 @@ class TxnCoordinator {
   };
 
   std::vector<Participant> GroupByShard(const std::vector<WriteOp>& ops) const;
-  // Runs lock+validate on one shard; on failure unlocks what it took.
+  // Runs lock+validate on one shard; on failure unlocks what it took. Checks
+  // the doomed-txn tombstones before and after locking so a prepare that
+  // outlived its coordinator's patience can never leak locks.
   Status PrepareOnShard(const Participant& participant, uint64_t txn_id);
   void CommitOnShard(const Participant& participant, uint64_t txn_id);
   void AbortOnShard(const Participant& participant, uint64_t txn_id);
   void NotifyAbort(const std::vector<WriteOp>& ops);
+  bool IsDoomed(uint64_t txn_id) const;
+  void Doom(uint64_t txn_id);
 
   ShardMap* shards_;
   Network* network_;
   std::atomic<uint64_t> next_txn_id_{0};
   TxnStats stats_;
   AbortListener on_abort_;
+  mutable std::mutex doomed_mu_;
+  std::unordered_set<uint64_t> doomed_;
 };
 
 }  // namespace mantle

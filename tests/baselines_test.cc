@@ -81,6 +81,7 @@ TEST_F(InfiniFsTest, RenameCoordinatorBlocksConcurrentConflicts) {
 }
 
 TEST_F(InfiniFsTest, AmCacheAcceleratesRepeatedResolutions) {
+  service_.reset();  // the SetUp service must go before its network
   network_ = std::make_unique<Network>(FastNetworkOptions());
   InfiniFsOptions options;
   options.tafdb = FastTafDbOptions();
@@ -102,6 +103,7 @@ TEST_F(InfiniFsTest, AmCacheAcceleratesRepeatedResolutions) {
 }
 
 TEST_F(InfiniFsTest, AmCacheInvalidatedOnRename) {
+  service_.reset();  // the SetUp service must go before its network
   network_ = std::make_unique<Network>(FastNetworkOptions());
   InfiniFsOptions options;
   options.tafdb = FastTafDbOptions();

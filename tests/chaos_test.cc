@@ -1,0 +1,518 @@
+// Chaos suite: deterministic fault injection against the full Mantle stack.
+//
+// Every scenario drives real client operations through a hostile fabric -
+// probabilistic RPC drops, latency spikes, crashed and paused servers, named
+// partitions - and asserts the robustness contract:
+//   * no operation hangs: everything resolves to ok / retriable / kTimeout /
+//     kUnavailable within its deadline budget;
+//   * reported successes are durable (an ok mkdir stats ok after healing);
+//   * the index never references metadata TafDB does not hold (garbage rows
+//     from ambiguous timeouts are tolerated, phantom directories are not);
+//   * the same fault seed replays the same fault decisions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/path.h"
+#include "src/net/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// Wall-clock ceiling for a single op in the assertions below. Far above every
+// configured budget: a breach means an op escaped its deadline, not jitter.
+constexpr int64_t kOpWallCeilingNanos = 8'000'000'000;
+
+MantleOptions ChaosMantleOptions() {
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 2'000'000'000;  // 2 s per op
+  options.index.raft.election_timeout_min_nanos = 60'000'000;
+  options.index.raft.election_timeout_max_nanos = 120'000'000;
+  options.index.raft.election_poll_nanos = 5'000'000;
+  return options;
+}
+
+bool IsCleanChaosCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kAborted:
+    case StatusCode::kBusy:
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The safety half of Fsck: the index must never reference directories TafDB
+// does not hold. Unindexed TafDB rows are expected garbage after ambiguous
+// timeouts (commit decided, ack lost) and are excluded on purpose.
+void ExpectNoPhantomDirs(MantleService& service) {
+  auto report = service.Fsck();
+  EXPECT_TRUE(report.missing_entry_row.empty())
+      << "indexed dir without entry row: " << report.missing_entry_row.front();
+  EXPECT_TRUE(report.id_mismatch.empty()) << report.id_mismatch.front();
+  EXPECT_TRUE(report.missing_attr_row.empty()) << report.missing_attr_row.front();
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(ChaosTest, FaultDecisionsAreDeterministicPerLink) {
+  FaultRule rule;
+  rule.drop_probability = 0.2;
+  rule.delay_probability = 0.15;
+  rule.delay_nanos = 1'000;
+  rule.delay_jitter_nanos = 500;
+
+  auto record = [&rule](uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.SetRule("tafdb-0", rule);
+    std::vector<int64_t> decisions;
+    for (int i = 0; i < 300; ++i) {
+      auto verdict = injector.Preflight("client", "tafdb-0");
+      decisions.push_back(!verdict.status.ok() ? -1 : verdict.extra_delay_nanos);
+    }
+    return decisions;
+  };
+
+  const auto base = record(42);
+  EXPECT_EQ(base, record(42));
+  EXPECT_NE(base, record(43));  // 2^-300 false-failure odds
+
+  // Unrelated traffic on other links (heartbeats, other shards) must not
+  // perturb this link's sequence - the core replayability guarantee.
+  FaultInjector interleaved(42);
+  interleaved.SetRule("tafdb-0", rule);
+  interleaved.SetRule("tafdb-1", rule);
+  std::vector<int64_t> decisions;
+  for (int i = 0; i < 300; ++i) {
+    interleaved.Preflight("raft-3", "tafdb-1");
+    interleaved.Preflight("client", "tafdb-1");
+    auto verdict = interleaved.Preflight("client", "tafdb-0");
+    decisions.push_back(!verdict.status.ok() ? -1 : verdict.extra_delay_nanos);
+  }
+  EXPECT_EQ(base, decisions);
+}
+
+TEST(ChaosTest, SameSeedReplaysSameClientOutcomes) {
+  // End-to-end determinism: a single-threaded client against a dropping
+  // TafDB fleet sees the identical status sequence under the same seed.
+  auto run = [](uint64_t seed) {
+    NetworkOptions net = FastNetworkOptions();
+    net.fault_seed = seed;
+    Network network(net);
+    MantleOptions options = ChaosMantleOptions();
+    options.index.raft.enable_election_timer = false;  // no timer randomness
+    MantleService service(&network, options);
+    EXPECT_TRUE(service.Mkdir("/det").ok());
+
+    FaultRule drop;
+    drop.drop_probability = 0.25;
+    network.faults().SetRule("tafdb", drop);
+
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 50; ++i) {
+      const std::string dir = "/det/d" + std::to_string(i);
+      codes.push_back(service.Mkdir(dir).status.code());
+      StatInfo info;
+      codes.push_back(service.StatDir(dir, &info).status.code());
+    }
+    network.faults().ClearAll();
+    return codes;
+  };
+
+  const auto first = run(0xc0ffee);
+  EXPECT_EQ(first, run(0xc0ffee));
+}
+
+// --- probabilistic drops ----------------------------------------------------
+
+TEST(ChaosTest, FivePercentDropsResolveCleanlyAndSuccessesAreDurable) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, ChaosMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/base").ok());
+
+  FaultRule drop;
+  drop.drop_probability = 0.05;
+  network.faults().SetRule("tafdb", drop);
+  network.faults().SetRule("ns-index", drop);
+
+  std::vector<std::string> created;
+  std::mutex created_mu;
+  std::atomic<int> dirty_codes{0};
+  std::atomic<int> over_budget{0};
+  auto worker = [&](int t) {
+    for (int i = 0; i < 120; ++i) {
+      const std::string dir =
+          "/base/t" + std::to_string(t) + "_" + std::to_string(i);
+      Stopwatch timer;
+      OpResult mk = service.Mkdir(dir);
+      if (timer.ElapsedNanos() > kOpWallCeilingNanos) {
+        over_budget.fetch_add(1);
+      }
+      if (!IsCleanChaosCode(mk.status.code())) {
+        dirty_codes.fetch_add(1);
+      }
+      if (mk.ok()) {
+        std::lock_guard<std::mutex> lock(created_mu);
+        created.push_back(dir);
+      }
+      timer.Reset();
+      OpResult stat = service.StatDir(dir);
+      if (timer.ElapsedNanos() > kOpWallCeilingNanos) {
+        over_budget.fetch_add(1);
+      }
+      if (!IsCleanChaosCode(stat.status.code())) {
+        dirty_codes.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(worker, 0), b(worker, 1);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(dirty_codes.load(), 0);
+  EXPECT_EQ(over_budget.load(), 0);
+  EXPECT_GT(network.fault_stats().rpcs_dropped.load(), 0u);
+
+  network.faults().ClearAll();
+  // Healed fabric: every reported success is fully there.
+  for (const auto& dir : created) {
+    EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
+  }
+  EXPECT_GT(created.size(), 0u);
+  ExpectNoPhantomDirs(service);
+}
+
+// --- crashes ----------------------------------------------------------------
+
+TEST(ChaosTest, FollowerCrashMidTrafficDegradesReadsGracefully) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  options.index.follower_read = true;
+  options.index.offload_queue_threshold = 0;  // hit replicas aggressively
+  MantleService service(&network, options);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Mkdir("/c" + std::to_string(i)).ok());
+  }
+
+  RaftGroup* group = service.index()->group();
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  uint32_t victim = leader->id() == 0 ? 1 : 0;
+  // Fabric-level crash (connection refused), not a clean node stop: the read
+  // scheduler still routes to the victim and must fall back on kUnavailable.
+  network.faults().CrashServer("ns-index-" + std::to_string(victim));
+
+  int failures = 0;
+  for (int round = 0; round < 60; ++round) {
+    Stopwatch timer;
+    if (!service.StatDir("/c" + std::to_string(round % 8)).ok()) {
+      ++failures;
+    }
+    EXPECT_LT(timer.ElapsedNanos(), kOpWallCeilingNanos);
+  }
+  EXPECT_EQ(failures, 0);
+  EXPECT_GT(service.index()->degraded_reads(), 0u);
+  EXPECT_GT(network.fault_stats().rpcs_crash_rejected.load(), 0u);
+
+  // Writes survive too (the crashed replica is a follower).
+  EXPECT_TRUE(service.Mkdir("/after-crash").ok());
+
+  network.faults().RestartServer("ns-index-" + std::to_string(victim));
+  EXPECT_TRUE(service.StatDir("/after-crash").ok());
+  ExpectNoPhantomDirs(service);
+}
+
+// --- partitions -------------------------------------------------------------
+
+TEST(ChaosTest, LeaderPartitionElectsNewLeaderAndOldLeaderStepsDown) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  options.op_deadline_nanos = 10'000'000'000;  // elections take ~100 ms; be safe
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/pre").ok());
+
+  RaftGroup* group = service.index()->group();
+  RaftNode* old_leader = group->WaitForLeader();
+  ASSERT_NE(old_leader, nullptr);
+  const uint64_t old_term = old_leader->term();
+  const std::string leader_name = "ns-index-" + std::to_string(old_leader->id());
+
+  // Isolate the leader (both its service and raft ports, by prefix). It keeps
+  // believing it leads; the majority side must elect a higher-term leader.
+  network.faults().Partition("leader-isolated", {leader_name});
+
+  RaftNode* new_leader = nullptr;
+  const int64_t deadline = MonotonicNanos() + 15'000'000'000;
+  while (MonotonicNanos() < deadline) {
+    RaftNode* candidate = group->leader();
+    if (candidate != nullptr && candidate != old_leader &&
+        candidate->term() > old_term) {
+      new_leader = candidate;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(new_leader, nullptr) << "no re-election within 15 s";
+  EXPECT_GT(new_leader->term(), old_term);
+
+  // The namespace stays writable and readable across the partition.
+  EXPECT_TRUE(service.Mkdir("/during-partition").ok());
+  EXPECT_TRUE(service.StatDir("/pre").ok());
+  EXPECT_GT(network.fault_stats().rpcs_partitioned.load(), 0u);
+
+  network.faults().Heal("leader-isolated");
+  // Healed: the stale leader hears the higher term and steps down.
+  const int64_t stepdown_deadline = MonotonicNanos() + 10'000'000'000;
+  while (old_leader->role() == RaftRole::kLeader &&
+         MonotonicNanos() < stepdown_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NE(old_leader->role(), RaftRole::kLeader);
+  EXPECT_TRUE(service.StatDir("/during-partition").ok());
+  ExpectNoPhantomDirs(service);
+}
+
+// --- pauses -----------------------------------------------------------------
+
+TEST(ChaosTest, PausedTafDbServerBoundsEveryOperation) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  options.op_deadline_nanos = 1'000'000'000;  // 1 s: keep timeouts quick
+  MantleService service(&network, options);
+  std::vector<std::string> dirs;
+  for (int i = 0; i < 6; ++i) {
+    dirs.push_back("/p" + std::to_string(i));
+    ASSERT_TRUE(service.Mkdir(dirs.back()).ok());
+  }
+
+  network.faults().PauseServer("tafdb-0");
+  int timed_out = 0;
+  for (const auto& dir : dirs) {
+    Stopwatch timer;
+    OpResult stat = service.StatDir(dir);  // dirstat reads the TafDB attr row
+    EXPECT_LT(timer.ElapsedNanos(), kOpWallCeilingNanos) << dir;
+    EXPECT_TRUE(IsCleanChaosCode(stat.status.code())) << stat.status.ToString();
+    if (stat.status.code() == StatusCode::kTimeout) {
+      ++timed_out;
+    }
+  }
+  // 8 shards across 2 servers: some of the 6 dirs must route to the paused
+  // one (and stall), some to the live one (and succeed).
+  EXPECT_GT(timed_out, 0);
+  EXPECT_LT(timed_out, static_cast<int>(dirs.size()));
+  EXPECT_GT(network.fault_stats().rpcs_timed_out.load(), 0u);
+  EXPECT_GT(network.fault_stats().pause_waits.load(), 0u);
+
+  // A write touching the paused server is also bounded.
+  Stopwatch timer;
+  OpResult mk = service.Mkdir("/paused-write");
+  EXPECT_LT(timer.ElapsedNanos(), kOpWallCeilingNanos);
+  EXPECT_TRUE(IsCleanChaosCode(mk.status.code()));
+
+  network.faults().ResumeServer("tafdb-0");
+  // Resumed: the stalled handlers drain and every dir reads fine again.
+  for (const auto& dir : dirs) {
+    EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
+  }
+  ExpectNoPhantomDirs(service);
+}
+
+// --- mixed scenario ---------------------------------------------------------
+
+TEST(ChaosTest, MixedDropCrashPartitionTrafficNeverHangs) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  options.index.follower_read = true;
+  options.index.offload_queue_threshold = 0;
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/mix").ok());
+  ASSERT_TRUE(service.Mkdir("/mix/stable").ok());
+
+  std::atomic<int> dirty_codes{0};
+  std::atomic<int> over_budget{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::string> created;
+  std::mutex created_mu;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < 150 && !stop.load(); ++i) {
+        const std::string dir =
+            "/mix/t" + std::to_string(t) + "_" + std::to_string(i);
+        Stopwatch timer;
+        OpResult mk = service.Mkdir(dir);
+        OpResult stat = service.StatDir("/mix/stable");
+        bool renamed_away = false;
+        if (i % 7 == 0) {
+          // Renames under chaos may time out mid-workflow (ambiguous whether
+          // the move landed), so renamed dirs are exempt from the durability
+          // sweep below; their statuses must still be clean.
+          OpResult ren = service.RenameDir(
+              dir, "/mix/r" + std::to_string(t) + "_" + std::to_string(i));
+          renamed_away = true;
+          if (!IsCleanChaosCode(ren.status.code()) && !ren.status.IsLoopDetected()) {
+            dirty_codes.fetch_add(1);
+          }
+        }
+        if (timer.ElapsedNanos() > 3 * kOpWallCeilingNanos) {
+          over_budget.fetch_add(1);
+        }
+        for (const OpResult* op : {&mk, &stat}) {
+          if (!IsCleanChaosCode(op->status.code())) {
+            dirty_codes.fetch_add(1);
+          }
+        }
+        if (mk.ok() && !renamed_away) {
+          std::lock_guard<std::mutex> lock(created_mu);
+          created.push_back(dir);
+        }
+      }
+    });
+  }
+
+  // Script the chaos while traffic flows: drops -> follower crash ->
+  // partition -> heal everything.
+  FaultRule drop;
+  drop.drop_probability = 0.05;
+  network.faults().SetRule("tafdb", drop);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  RaftGroup* group = service.index()->group();
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  const uint32_t victim = leader->id() == 0 ? 1 : 0;
+  network.faults().CrashServer("ns-index-" + std::to_string(victim));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  network.faults().RestartServer("ns-index-" + std::to_string(victim));
+
+  leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  network.faults().Partition("mix-iso",
+                             {"ns-index-" + std::to_string(leader->id())});
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  network.faults().HealAll();
+  network.faults().ClearAll();
+
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  EXPECT_EQ(dirty_codes.load(), 0);
+  EXPECT_EQ(over_budget.load(), 0);
+  EXPECT_GT(network.fault_stats().injected_faults(), 0u);
+
+  // Healed fabric: reported successes are durable.
+  for (const auto& dir : created) {
+    EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
+  }
+  ExpectNoPhantomDirs(service);
+}
+
+// --- invalidator / removal list under latency spikes (satellite) -------------
+
+TEST(ChaosTest, InvalidatorDrainsRemovalListUnderInjectedDelays) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  options.op_deadline_nanos = 5'000'000'000;
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/src").ok());
+  ASSERT_TRUE(service.Mkdir("/dst").ok());
+  const int kDirs = 12;
+  for (int i = 0; i < kDirs; ++i) {
+    const std::string base = "/src/d" + std::to_string(i);
+    ASSERT_TRUE(service.Mkdir(base).ok());
+    // TopDirPathCache only caches paths truncate_k (=3) levels above a
+    // resolved leaf, so give each dir a 3-deep subtree and resolve it: the
+    // lookup installs `base` itself in the leader's cache, which the rename's
+    // invalidation pass must later purge.
+    ASSERT_TRUE(service.Mkdir(base + "/x").ok());
+    ASSERT_TRUE(service.Mkdir(base + "/x/y").ok());
+    ASSERT_TRUE(service.Mkdir(base + "/x/y/z").ok());
+    ASSERT_TRUE(service.Lookup(base + "/x/y/z").ok());
+    ASSERT_TRUE(service.Lookup(base + "/x/y/z").ok());  // confirm the fill
+  }
+
+  // Latency spikes on every index and TafDB link: renames crawl, lookups
+  // race them, and the invalidator must still converge.
+  FaultRule spike;
+  spike.delay_probability = 0.6;
+  spike.delay_nanos = 200'000;         // 0.2 ms
+  spike.delay_jitter_nanos = 300'000;  // + up to 0.3 ms
+  network.faults().SetRule("ns-index", spike);
+  network.faults().SetRule("tafdb", spike);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> lookup_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      int i = 0;
+      while (!stop.load()) {
+        const std::string name = "d" + std::to_string(i++ % kDirs);
+        OpResult src = service.Lookup("/src/" + name);
+        OpResult dst = service.Lookup("/dst/" + name);
+        // Mid-rename both may miss transiently; any other failure is dirty.
+        for (const OpResult* op : {&src, &dst}) {
+          if (!op->ok() && !op->status.IsNotFound() &&
+              op->status.code() != StatusCode::kTimeout) {
+            lookup_errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  int renamed = 0;
+  for (int i = 0; i < kDirs; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    if (service.RenameDir("/src/" + name, "/dst/" + name).ok()) {
+      ++renamed;
+    }
+  }
+  stop.store(true);
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  network.faults().ClearAll();
+
+  EXPECT_EQ(lookup_errors.load(), 0);
+  EXPECT_EQ(renamed, kDirs);  // spikes delay but never lose RPCs
+  EXPECT_GT(network.fault_stats().rpcs_delayed.load(), 0u);
+
+  // Exactly-one-home: each dir is at its new path and gone from the old one.
+  for (int i = 0; i < kDirs; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    EXPECT_TRUE(service.StatDir("/dst/" + name).ok()) << name;
+    EXPECT_TRUE(service.StatDir("/src/" + name).status.IsNotFound()) << name;
+  }
+
+  // The invalidator kept pace: passes ran, prefixes were purged, and the
+  // removal list drains to empty once the traffic stops.
+  IndexReplica* leader_replica = service.index()->LeaderReplica();
+  ASSERT_NE(leader_replica, nullptr);
+  EXPECT_GT(leader_replica->invalidator().passes(), 0u);
+  EXPECT_GT(leader_replica->invalidator().prefixes_invalidated(), 0u);
+  const int64_t drain_deadline = MonotonicNanos() + 5'000'000'000;
+  while (leader_replica->removal_list().LiveCount() > 0 &&
+         MonotonicNanos() < drain_deadline) {
+    leader_replica->invalidator().RunPassNow();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(leader_replica->removal_list().LiveCount(), 0u);
+  ExpectNoPhantomDirs(service);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -70,6 +70,7 @@ TEST_F(IndexReplicaTest, ShallowPathsAreNeverCached) {
 }
 
 TEST_F(IndexReplicaTest, CacheDisabledWalksFully) {
+  replica_.reset();  // the SetUp replica must go before its network
   network_ = std::make_unique<Network>(NetworkOptions{.zero_latency = true});
   IndexNodeOptions options;
   options.enable_path_cache = false;
