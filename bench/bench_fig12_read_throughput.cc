@@ -6,13 +6,39 @@
 // stat-style operations; for create, LocoFS approaches Mantle because the
 // data-layer attribute updates shrink the resolution share.
 
+// Filters for smoke runs (comma-separated, case-sensitive, empty = all):
+//   MANTLE_BENCH_OPS      - subset of create,delete,objstat,dirstat
+//   MANTLE_BENCH_SYSTEMS  - subset of Tectonic,InfiniFS,LocoFS,Mantle
+
 #include <cstdio>
+#include <string>
 
 #include "src/bench_util/bench_env.h"
 #include "src/bench_util/report.h"
+#include "src/common/config.h"
 
 namespace mantle {
 namespace {
+
+// True if `list` is empty or contains `name` as a comma-separated element.
+bool ListSelects(const std::string& list, const std::string& name) {
+  if (list.empty()) {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (list.compare(pos, end - pos, name) == 0) {
+      return true;
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
 
 void Run() {
   const BenchConfig config = BenchConfig::FromEnv();
@@ -22,11 +48,19 @@ void Run() {
   static const SystemKind kSystems[] = {SystemKind::kTectonic, SystemKind::kInfiniFs,
                                         SystemKind::kLocoFs, SystemKind::kMantle};
   static const char* kOps[] = {"create", "delete", "objstat", "dirstat"};
+  const std::string op_filter = EnvString("MANTLE_BENCH_OPS", "");
+  const std::string system_filter = EnvString("MANTLE_BENCH_SYSTEMS", "");
 
   for (const char* op : kOps) {
+    if (!ListSelects(op_filter, op)) {
+      continue;
+    }
     std::printf("\n-- %s --\n", op);
     Table table(WorkloadColumns());
     for (SystemKind kind : kSystems) {
+      if (!ListSelects(system_filter, SystemName(kind))) {
+        continue;
+      }
       SystemInstance system = MakeSystem(kind);
       NamespaceSpec spec;
       spec.num_dirs = config.ns_dirs;

@@ -37,3 +37,19 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # Sanitized binaries run several times slower; scale the per-test timeouts.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" --timeout 900
+
+# Metrics smoke: a ~2s bench_fig12 slice must end with a JSON footer whose
+# index cache and RPC counters are non-zero, proving the observability layer
+# is wired through the full stack (not just compiled in).
+echo "== metrics smoke (bench_fig12 quick slice) =="
+SMOKE_OUT="$(MANTLE_BENCH_QUICK=1 MANTLE_BENCH_SECONDS=0.3 MANTLE_BENCH_THREADS=8 \
+  MANTLE_BENCH_OPS=objstat MANTLE_BENCH_SYSTEMS=Mantle \
+  "$BUILD_DIR/bench/bench_fig12_read_throughput")"
+for metric in '"index.cache.hit"' '"net.rpc.count"'; do
+  if ! echo "$SMOKE_OUT" | grep -E "${metric}: [1-9][0-9]*" >/dev/null; then
+    echo "metrics smoke FAILED: ${metric} missing or zero in bench_fig12 output" >&2
+    echo "$SMOKE_OUT" | tail -40 >&2
+    exit 1
+  fi
+done
+echo "metrics smoke OK"

@@ -630,36 +630,27 @@ Result<InodeId> InfiniFsService::LocalResolveParent(
   return current;
 }
 
-Status InfiniFsService::BulkLoadDir(const std::string& path) {
-  const auto components = SplitPath(path);
+Status InfiniFsService::BulkLoad(const BulkEntry& entry) {
+  const auto components = SplitPath(entry.path);
   if (components.empty()) {
-    return Status::Ok();
+    return entry.kind == BulkEntry::Kind::kDir ? Status::Ok()
+                                               : Status::InvalidArgument(entry.path);
   }
   auto pid = LocalResolveParent(components);
   if (!pid.ok()) {
     return pid.status();
   }
-  const InodeId dir_id = PredictId(NormalizePath(path));
-  tafdb_->LoadPut(EntryKey(*pid, components.back()),
-                  MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0, *pid});
-  tafdb_->LoadPut(AttrKey(dir_id),
-                  MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 0, 0, *pid});
-  tafdb_->LoadAdjustChildCount(*pid, +1);
-  return Status::Ok();
-}
-
-Status InfiniFsService::BulkLoadObject(const std::string& path, uint64_t size) {
-  const auto components = SplitPath(path);
-  if (components.empty()) {
-    return Status::InvalidArgument(path);
+  if (entry.kind == BulkEntry::Kind::kDir) {
+    const InodeId dir_id = PredictId(NormalizePath(entry.path));
+    tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                    MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+    tafdb_->LoadPut(AttrKey(dir_id),
+                    MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0, 0, 0, *pid});
+  } else {
+    tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                    MetaValue{EntryType::kObject, AllocateObjectId(), kPermAll, entry.size, 0,
+                              0, 0, *pid});
   }
-  auto pid = LocalResolveParent(components);
-  if (!pid.ok()) {
-    return pid.status();
-  }
-  tafdb_->LoadPut(EntryKey(*pid, components.back()),
-                  MetaValue{EntryType::kObject, AllocateObjectId(), kPermAll, size, 0, 0, 0,
-                            *pid});
   tafdb_->LoadAdjustChildCount(*pid, +1);
   return Status::Ok();
 }

@@ -374,29 +374,27 @@ OpResult LocoFsService::SetDirPermission(const std::string& path, uint32_t permi
   return result;
 }
 
-Status LocoFsService::BulkLoadDir(const std::string& path) {
-  const auto components = SplitPath(path);
-  if (components.empty()) {
+Status LocoFsService::BulkLoad(const BulkEntry& entry) {
+  const auto components = SplitPath(entry.path);
+  if (entry.kind == BulkEntry::Kind::kDir) {
+    if (components.empty()) {
+      return Status::Ok();
+    }
+    const InodeId id = AllocateId();
+    for (LocoDirMachine* machine : machines_) {
+      machine->LoadDir(components, id, kPermAll);
+    }
     return Status::Ok();
   }
-  const InodeId id = AllocateId();
-  for (LocoDirMachine* machine : machines_) {
-    machine->LoadDir(components, id, kPermAll);
-  }
-  return Status::Ok();
-}
-
-Status LocoFsService::BulkLoadObject(const std::string& path, uint64_t size) {
-  const auto components = SplitPath(path);
   if (components.empty()) {
-    return Status::InvalidArgument(path);
+    return Status::InvalidArgument(entry.path);
   }
   auto parent = machines_[0]->ResolveNoCharge(components, components.size() - 1);
   if (!parent.ok()) {
     return parent.status();
   }
   tafdb_->LoadPut(EntryKey(parent->id, components.back()),
-                  MetaValue{EntryType::kObject, AllocateId(), kPermAll, size, 0, 0, 0,
+                  MetaValue{EntryType::kObject, AllocateId(), kPermAll, entry.size, 0, 0, 0,
                             parent->id});
   return Status::Ok();
 }

@@ -54,8 +54,7 @@ class TectonicService final : public MetadataService {
   OpResult SetDirPermission(const std::string& path, uint32_t permission) override;
   OpResult Lookup(const std::string& path) override;
 
-  Status BulkLoadDir(const std::string& path) override;
-  Status BulkLoadObject(const std::string& path, uint64_t size) override;
+  Status BulkLoad(const BulkEntry& entry) override;
 
   TafDb* tafdb() { return tafdb_.get(); }
 

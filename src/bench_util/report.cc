@@ -1,11 +1,30 @@
 #include "src/bench_util/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
 
 namespace mantle {
 
+namespace {
+
+void PrintMetricsFooter() {
+  std::printf("\n== metrics ==\n%s\n", obs::Metrics::Instance().DumpJson().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
 void PrintHeader(const std::string& figure, const std::string& title,
                  const std::string& caption) {
+  static const bool installed = []() {
+    if (obs::MetricsEnabled()) {
+      std::atexit(PrintMetricsFooter);
+    }
+    return true;
+  }();
+  (void)installed;
   std::printf("\n== %s: %s ==\n", figure.c_str(), title.c_str());
   if (!caption.empty()) {
     std::printf("   %s\n", caption.c_str());

@@ -12,7 +12,10 @@
 namespace mantle {
 
 // Prints "== <figure id>: <title> ==" with a caption describing the paper
-// counterpart and what shape to expect.
+// counterpart and what shape to expect. Also installs (once) an atexit hook
+// that prints the process-wide metrics registry as a JSON footer, so every
+// bench binary ends with a machine-readable "== metrics ==" block. Disable
+// with MANTLE_METRICS=off (which also disables collection).
 void PrintHeader(const std::string& figure, const std::string& title,
                  const std::string& caption = "");
 

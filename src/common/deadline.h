@@ -72,6 +72,63 @@ class ScopedDeadline {
   int64_t saved_;
 };
 
+// A deadline as an explicit value (absolute monotonic nanos; 0 = unlimited),
+// for code that passes its time budget as a parameter (see obs/op_context.h)
+// instead of reading the thread-local budget. The two interoperate:
+// Deadline::After() starts from the ambient thread-local budget so an
+// explicit deadline opened inside e.g. an RPC handler still respects the
+// caller's propagated budget, and ScopedAbsoluteDeadline(d.absolute_nanos())
+// re-publishes an explicit deadline to layers that still read the
+// thread-local.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // The current thread-local deadline, captured as a value.
+  static Deadline Ambient() { return Deadline(DeadlineBudget::AbsoluteNanos()); }
+
+  static Deadline Unlimited() { return Deadline(0); }
+
+  static Deadline AtAbsolute(int64_t absolute_nanos) { return Deadline(absolute_nanos); }
+
+  // Now + budget, tightened by the ambient thread-local deadline if that is
+  // already closer. A zero/negative budget yields the ambient deadline.
+  static Deadline After(int64_t budget_nanos) {
+    const int64_t ambient = DeadlineBudget::AbsoluteNanos();
+    if (budget_nanos <= 0) {
+      return Deadline(ambient);
+    }
+    const int64_t absolute = MonotonicNanos() + budget_nanos;
+    return Deadline(ambient == 0 ? absolute : std::min(ambient, absolute));
+  }
+
+  int64_t absolute_nanos() const { return absolute_nanos_; }
+  bool limited() const { return absolute_nanos_ != 0; }
+
+  int64_t RemainingNanos() const {
+    if (absolute_nanos_ == 0) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    return absolute_nanos_ - MonotonicNanos();
+  }
+
+  bool Expired() const {
+    return absolute_nanos_ != 0 && MonotonicNanos() >= absolute_nanos_;
+  }
+
+  // Clamps `nanos` (a relative wait) to the remaining budget.
+  int64_t Clamp(int64_t nanos) const {
+    if (absolute_nanos_ == 0) {
+      return nanos;
+    }
+    return std::min(nanos, absolute_nanos_ - MonotonicNanos());
+  }
+
+ private:
+  explicit Deadline(int64_t absolute_nanos) : absolute_nanos_(absolute_nanos) {}
+  int64_t absolute_nanos_ = 0;
+};
+
 // Installs an already-absolute deadline (deadline propagation onto an RPC
 // handler's worker thread). Zero installs "unlimited".
 class ScopedAbsoluteDeadline {

@@ -1,8 +1,58 @@
 #include "src/core/mantle_service.h"
 
 #include "src/common/path.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
+
+namespace {
+
+// Per-op-type instruments, resolved once per op name (function-local static
+// at each call site) so the hot path never touches the registry map.
+struct OpMetrics {
+  obs::HistogramMetric* latency;
+  obs::Counter* count;
+  obs::Counter* failures;
+  obs::Counter* retries;
+};
+
+OpMetrics MakeOpMetrics(const char* op) {
+  auto& registry = obs::Metrics::Instance();
+  const std::string base = std::string("core.op.") + op;
+  return OpMetrics{registry.GetHistogram(base + ".latency_nanos"),
+                   registry.GetCounter(base + ".count"),
+                   registry.GetCounter(base + ".failures"),
+                   registry.GetCounter("core.op.retries")};
+}
+
+// Records one op completion as the enclosing scope unwinds. Declare it after
+// the OpResult it observes, so it is destroyed first and reads the final
+// value.
+class OpRecorder {
+ public:
+  OpRecorder(const OpMetrics& metrics, const OpResult* result)
+      : metrics_(metrics), result_(result) {}
+  ~OpRecorder() {
+    metrics_.count->Add();
+    metrics_.latency->Record(timer_.ElapsedNanos());
+    if (!result_->ok()) {
+      metrics_.failures->Add();
+    }
+    if (result_->retries > 0) {
+      metrics_.retries->Add(static_cast<uint64_t>(result_->retries));
+    }
+  }
+
+  OpRecorder(const OpRecorder&) = delete;
+  OpRecorder& operator=(const OpRecorder&) = delete;
+
+ private:
+  const OpMetrics& metrics_;
+  const OpResult* result_;
+  Stopwatch timer_;
+};
+
+}  // namespace
 
 MantleService::MantleService(Network* network, MantleOptions options)
     : network_(network), options_(std::move(options)) {
@@ -39,7 +89,7 @@ MantleService::MantleService(Network* network, TafDb* shared_tafdb, MantleOption
 MantleService::~MantleService() = default;
 
 Result<IndexReplica::ResolveOutcome> MantleService::LookupParentCached(
-    const std::vector<std::string>& components) {
+    const std::vector<std::string>& components, const OpContext* ctx) {
   if (am_cache_ != nullptr && !components.empty()) {
     auto hit = am_cache_->LongestPrefix(components, components.size() - 1);
     if (hit.has_value() && hit->levels == components.size() - 1) {
@@ -49,7 +99,7 @@ Result<IndexReplica::ResolveOutcome> MantleService::LookupParentCached(
       return outcome;
     }
   }
-  auto outcome = index_->LookupParent(components);
+  auto outcome = index_->LookupParent(components, ctx);
   if (outcome.ok() && am_cache_ != nullptr && components.size() > 1) {
     am_cache_->Insert(PathPrefix(components, components.size() - 1), outcome->dir_id);
   }
@@ -59,23 +109,43 @@ Result<IndexReplica::ResolveOutcome> MantleService::LookupParentCached(
 // --- lookups -----------------------------------------------------------------
 
 OpResult MantleService::Lookup(const std::string& path) {
+  OpContext ctx = MakeOpContext();
+  return Lookup(ctx, path);
+}
+
+OpResult MantleService::Lookup(OpContext& ctx, const std::string& path) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("lookup");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "lookup");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
-  auto outcome = LookupParentCached(components);
+  auto outcome = LookupParentCached(components, &ctx);
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
-  result.status = outcome.ok() ? Status::Ok() : outcome.status();
+  if (!outcome.ok()) {
+    result.status = outcome.status();
+    return result.FailAt(OpPhase::kLookup, outcome.status().message());
+  }
+  result.status = Status::Ok();
   return result;
 }
 
 // --- object operations ----------------------------------------------------------
 
 OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
+  OpContext ctx = MakeOpContext();
+  return CreateObject(ctx, path, size);
+}
+
+OpResult MantleService::CreateObject(OpContext& ctx, const std::string& path, uint64_t size) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("create_object");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "create_object");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -83,24 +153,29 @@ OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
     result.status = Status::InvalidArgument(path);
     return result;
   }
-  auto parent = LookupParentCached(components);
+  auto parent = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return LookupParentCached(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!parent.ok()) {
     result.status = parent.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, parent.status().message());
   }
   if ((parent->perm_mask & kPermWrite) == 0) {
     result.status = Status::PermissionDenied(path);
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, components.back());
   }
 
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   const InodeId pid = parent->dir_id;
   const InodeId object_id = AllocateId();
   result.status = RetryTransaction(
       [&]() {
+        obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
         const uint64_t txn_id = tafdb_->NextTxnId();
         std::vector<WriteOp> ops;
         WriteOp insert;
@@ -113,15 +188,26 @@ OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
         ops.push_back(tafdb_->MakeAttrUpdate(pid, +1, /*bump_mtime=*/true, txn_id));
         return tafdb_->Execute(ops, txn_id);
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(OpPhase::kExecute, components.back());
+  }
   return result;
 }
 
 OpResult MantleService::DeleteObject(const std::string& path) {
+  OpContext ctx = MakeOpContext();
+  return DeleteObject(ctx, path);
+}
+
+OpResult MantleService::DeleteObject(OpContext& ctx, const std::string& path) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("delete_object");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "delete_object");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -129,17 +215,22 @@ OpResult MantleService::DeleteObject(const std::string& path) {
     result.status = Status::InvalidArgument(path);
     return result;
   }
-  auto parent = LookupParentCached(components);
+  auto parent = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return LookupParentCached(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!parent.ok()) {
     result.status = parent.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, parent.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   const InodeId pid = parent->dir_id;
   result.status = RetryTransaction(
       [&]() {
+        obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
         const uint64_t txn_id = tafdb_->NextTxnId();
         std::vector<WriteOp> ops;
         WriteOp erase;
@@ -150,15 +241,26 @@ OpResult MantleService::DeleteObject(const std::string& path) {
         ops.push_back(tafdb_->MakeAttrUpdate(pid, -1, /*bump_mtime=*/true, txn_id));
         return tafdb_->Execute(ops, txn_id);
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(OpPhase::kExecute, components.back());
+  }
   return result;
 }
 
 OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
+  OpContext ctx = MakeOpContext();
+  return StatObject(ctx, path, out);
+}
+
+OpResult MantleService::StatObject(OpContext& ctx, const std::string& path, StatInfo* out) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("stat_object");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "stat_object");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -166,25 +268,29 @@ OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
     result.status = Status::InvalidArgument(path);
     return result;
   }
-  auto parent = LookupParentCached(components);
+  auto parent = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return LookupParentCached(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!parent.ok()) {
     result.status = parent.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, parent.status().message());
   }
   if ((parent->perm_mask & kPermRead) == 0) {
     result.status = Status::PermissionDenied(path);
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, components.back());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   auto row = tafdb_->Get(EntryKey(parent->dir_id, components.back()));
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
   if (!row.ok()) {
     result.status = row.status();
-    return result;
+    return result.FailAt(OpPhase::kExecute, components.back());
   }
   if (out != nullptr) {
     *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
@@ -197,25 +303,38 @@ OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
 // --- directory operations --------------------------------------------------------
 
 OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
+  OpContext ctx = MakeOpContext();
+  return StatDir(ctx, path, out);
+}
+
+OpResult MantleService::StatDir(OpContext& ctx, const std::string& path, StatInfo* out) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("stat_dir");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "stat_dir");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
-  auto dir = index_->LookupDir(components);
+  auto dir = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->LookupDir(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, dir.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   auto attr = tafdb_->ReadDirAttr(dir->dir_id);
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
   if (!attr.ok()) {
     result.status = attr.status();
-    return result;
+    const std::string leaf = components.empty() ? "/" : components.back();
+    return result.FailAt(OpPhase::kExecute, leaf);
   }
   if (out != nullptr) {
     *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
@@ -225,8 +344,16 @@ OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
 }
 
 OpResult MantleService::Mkdir(const std::string& path) {
+  OpContext ctx = MakeOpContext();
+  return Mkdir(ctx, path);
+}
+
+OpResult MantleService::Mkdir(OpContext& ctx, const std::string& path) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("mkdir");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "mkdir");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -234,26 +361,31 @@ OpResult MantleService::Mkdir(const std::string& path) {
     result.status = Status::AlreadyExists("/");
     return result;
   }
-  auto parent = LookupParentCached(components);
+  auto parent = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return LookupParentCached(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!parent.ok()) {
     result.status = parent.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, parent.status().message());
   }
   if ((parent->perm_mask & kPermWrite) == 0) {
     result.status = Status::PermissionDenied(path);
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, components.back());
   }
 
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   const InodeId pid = parent->dir_id;
   const InodeId dir_id = AllocateId();
   // TafDB first: the directory entry + its attribute primary + the parent's
   // attribute mutation, spanning shard(pid) and shard(dir_id) in general.
   result.status = RetryTransaction(
       [&]() {
+        obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
         const uint64_t txn_id = tafdb_->NextTxnId();
         std::vector<WriteOp> ops;
         WriteOp entry;
@@ -271,19 +403,31 @@ OpResult MantleService::Mkdir(const std::string& path) {
         ops.push_back(tafdb_->MakeAttrUpdate(pid, +1, /*bump_mtime=*/true, txn_id));
         return tafdb_->Execute(ops, txn_id);
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   if (result.status.ok()) {
     // Then refresh the IndexNode's access metadata through consensus.
+    obs::ScopedSpan index_span(ctx.trace, "index.add_dir");
     result.status = index_->AddDir(pid, components.back(), dir_id, kPermAll);
   }
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(OpPhase::kExecute, components.back());
+  }
   return result;
 }
 
 OpResult MantleService::Rmdir(const std::string& path) {
+  OpContext ctx = MakeOpContext();
+  return Rmdir(ctx, path);
+}
+
+OpResult MantleService::Rmdir(OpContext& ctx, const std::string& path) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("rmdir");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "rmdir");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -291,14 +435,18 @@ OpResult MantleService::Rmdir(const std::string& path) {
     result.status = Status::InvalidArgument("cannot remove the root");
     return result;
   }
-  auto dir = index_->LookupDir(components);
+  auto dir = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->LookupDir(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, dir.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   const InodeId pid = dir->parent_id;
   const InodeId dir_id = dir->dir_id;
   auto has_children = tafdb_->HasChildren(dir_id);
@@ -306,16 +454,17 @@ OpResult MantleService::Rmdir(const std::string& path) {
     result.status = has_children.status();
     result.breakdown.execute_nanos = timer.ElapsedNanos();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kExecute, components.back());
   }
   if (*has_children) {
     result.status = Status::NotEmpty(path);
     result.breakdown.execute_nanos = timer.ElapsedNanos();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kExecute, components.back());
   }
   result.status = RetryTransaction(
       [&]() {
+        obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
         const uint64_t txn_id = tafdb_->NextTxnId();
         std::vector<WriteOp> ops;
         WriteOp entry;
@@ -330,8 +479,9 @@ OpResult MantleService::Rmdir(const std::string& path) {
         ops.push_back(tafdb_->MakeAttrUpdate(pid, -1, /*bump_mtime=*/true, txn_id));
         return tafdb_->Execute(ops, txn_id);
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   if (result.status.ok()) {
+    obs::ScopedSpan index_span(ctx.trace, "index.remove_dir");
     result.status = index_->RemoveDir(pid, components.back(), NormalizePath(path));
     if (am_cache_ != nullptr) {
       am_cache_->InvalidateSubtree(NormalizePath(path));
@@ -339,12 +489,24 @@ OpResult MantleService::Rmdir(const std::string& path) {
   }
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(OpPhase::kExecute, components.back());
+  }
   return result;
 }
 
 OpResult MantleService::RenameDir(const std::string& src_path, const std::string& dst_path) {
+  OpContext ctx = MakeOpContext();
+  return RenameDir(ctx, src_path, dst_path);
+}
+
+OpResult MantleService::RenameDir(OpContext& ctx, const std::string& src_path,
+                                  const std::string& dst_path) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("rename_dir");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "rename_dir");
   ScopedRpcCounter rpcs;
   const auto src_components = SplitPath(src_path);
   const auto dst_components = SplitPath(dst_path);
@@ -355,6 +517,8 @@ OpResult MantleService::RenameDir(const std::string& src_path, const std::string
   std::vector<std::string> dst_parent(dst_components.begin(), dst_components.end() - 1);
   const std::string& dst_name = dst_components.back();
   const uint64_t uuid = NewUuid();
+  // Assume phase 1+2 failed unless the transaction phase is reached below.
+  OpPhase failing_phase = OpPhase::kLoopDetect;
 
   result.status = RetryTransaction(
       [&]() -> Status {
@@ -362,15 +526,20 @@ OpResult MantleService::RenameDir(const std::string& src_path, const std::string
         // lock bit, and loop detection in a single RPC to the IndexNode
         // leader. Mantle reports zero lookup time for dirrename because it is
         // folded into loop detection (§6.3).
+        failing_phase = OpPhase::kLoopDetect;
         Stopwatch loop_timer;
-        auto prepared =
-            index_->RenamePrepare(src_components, dst_parent, dst_name, uuid);
+        auto prepared = [&] {
+          obs::ScopedSpan prepare_span(ctx.trace, "index.rename_prepare");
+          return index_->RenamePrepare(src_components, dst_parent, dst_name, uuid);
+        }();
         result.breakdown.loop_detect_nanos += loop_timer.ElapsedNanos();
         if (!prepared.ok()) {
           return prepared.status();
         }
 
         // Phase 3 (steps 8a/8b): distributed transaction across TafDB shards.
+        failing_phase = OpPhase::kExecute;
+        obs::ScopedSpan execute_span(ctx.trace, "execute");
         Stopwatch exec_timer;
         const uint64_t txn_id = tafdb_->NextTxnId();
         std::vector<WriteOp> ops;
@@ -390,7 +559,10 @@ OpResult MantleService::RenameDir(const std::string& src_path, const std::string
         if (prepared->dst_pid != prepared->src_pid) {
           ops.push_back(tafdb_->MakeAttrUpdate(prepared->dst_pid, +1, true, txn_id));
         }
-        Status txn_status = tafdb_->Execute(ops, txn_id);
+        Status txn_status = [&] {
+          obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
+          return tafdb_->Execute(ops, txn_id);
+        }();
         if (!txn_status.ok()) {
           index_->RenameAbort(prepared->src_id, uuid);
           result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
@@ -405,31 +577,48 @@ OpResult MantleService::RenameDir(const std::string& src_path, const std::string
         result.breakdown.execute_nanos += exec_timer.ElapsedNanos();
         return apply_status;
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(failing_phase, src_components.back());
+  }
   return result;
 }
 
 OpResult MantleService::ReadDir(const std::string& path, std::vector<std::string>* names) {
+  OpContext ctx = MakeOpContext();
+  return ReadDir(ctx, path, names);
+}
+
+OpResult MantleService::ReadDir(OpContext& ctx, const std::string& path,
+                                std::vector<std::string>* names) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("read_dir");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "read_dir");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
-  auto dir = index_->LookupDir(components);
+  auto dir = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->LookupDir(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, dir.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   auto listing = tafdb_->ListChildren(dir->dir_id);
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
   if (!listing.ok()) {
     result.status = listing.status();
-    return result;
+    const std::string leaf = components.empty() ? "/" : components.back();
+    return result.FailAt(OpPhase::kExecute, leaf);
   }
   if (names != nullptr) {
     names->clear();
@@ -445,19 +634,33 @@ OpResult MantleService::ReadDir(const std::string& path, std::vector<std::string
 OpResult MantleService::ListObjects(const std::string& dir_path,
                                     const std::string& start_after, size_t max_entries,
                                     ListPage* out) {
+  OpContext ctx = MakeOpContext();
+  return ListObjects(ctx, dir_path, start_after, max_entries, out);
+}
+
+OpResult MantleService::ListObjects(OpContext& ctx, const std::string& dir_path,
+                                    const std::string& start_after, size_t max_entries,
+                                    ListPage* out) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("list_objects");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "list_objects");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(dir_path);
-  auto dir = index_->LookupDir(components);
+  auto dir = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->LookupDir(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, dir.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   // Fetch one extra row to learn whether the page is truncated.
   const size_t want = max_entries == 0 ? 0 : max_entries + 1;
   auto listing = tafdb_->ListChildrenAfter(dir->dir_id, start_after, want);
@@ -465,7 +668,8 @@ OpResult MantleService::ListObjects(const std::string& dir_path,
   result.rpcs = rpcs.count();
   if (!listing.ok()) {
     result.status = listing.status();
-    return result;
+    const std::string leaf = components.empty() ? "/" : components.back();
+    return result.FailAt(OpPhase::kExecute, leaf);
   }
   if (out != nullptr) {
     out->names.clear();
@@ -482,8 +686,17 @@ OpResult MantleService::ListObjects(const std::string& dir_path,
 }
 
 OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permission) {
+  OpContext ctx = MakeOpContext();
+  return SetDirPermission(ctx, path, permission);
+}
+
+OpResult MantleService::SetDirPermission(OpContext& ctx, const std::string& path,
+                                         uint32_t permission) {
   OpResult result;
-  ScopedDeadline op_deadline(options_.op_deadline_nanos);
+  static const OpMetrics metrics = MakeOpMetrics("set_dir_permission");
+  OpRecorder recorder(metrics, &result);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "set_dir_permission");
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -491,19 +704,24 @@ OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permi
     result.status = Status::InvalidArgument("cannot setattr the root");
     return result;
   }
-  auto dir = index_->LookupDir(components);
+  auto dir = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->LookupDir(components, &ctx);
+  }();
   result.breakdown.lookup_nanos = timer.ElapsedNanos();
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result;
+    return result.FailAt(OpPhase::kLookup, dir.status().message());
   }
   timer.Reset();
+  obs::ScopedSpan execute_span(ctx.trace, "execute");
   const InodeId pid = dir->parent_id;
   // Update the access-metadata row in TafDB, then replicate to the IndexNode
   // (which also invalidates cached prefixes through `path`).
   result.status = RetryTransaction(
       [&]() {
+        obs::ScopedSpan txn_span(ctx.trace, "tafdb.txn");
         const uint64_t txn_id = tafdb_->NextTxnId();
         WriteOp update;
         update.kind = WriteOp::Kind::kPut;
@@ -513,8 +731,9 @@ OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permi
             MetaValue{EntryType::kDirectory, dir->dir_id, permission, 0, 0, txn_id, 0};
         return tafdb_->Execute({update}, txn_id);
       },
-      options_.retry, &result.retries);
+      options_.retry, &result.retries, &ctx);
   if (result.status.ok()) {
+    obs::ScopedSpan index_span(ctx.trace, "index.set_permission");
     result.status =
         index_->SetPermission(pid, components.back(), permission, NormalizePath(path));
     if (am_cache_ != nullptr) {
@@ -523,6 +742,9 @@ OpResult MantleService::SetDirPermission(const std::string& path, uint32_t permi
   }
   result.breakdown.execute_nanos = timer.ElapsedNanos();
   result.rpcs = rpcs.count();
+  if (!result.status.ok()) {
+    result.FailAt(OpPhase::kExecute, components.back());
+  }
   return result;
 }
 
@@ -590,39 +812,55 @@ Result<InodeId> MantleService::LocalResolveParent(
   return current;
 }
 
-Status MantleService::BulkLoadDir(const std::string& path) {
-  const auto components = SplitPath(path);
+Status MantleService::BulkLoadOne(const BulkEntry& entry) {
+  const auto components = SplitPath(entry.path);
   if (components.empty()) {
-    return Status::Ok();  // root always exists
+    // The root: always exists as a directory, never valid as an object.
+    return entry.kind == BulkEntry::Kind::kDir ? Status::Ok()
+                                               : Status::InvalidArgument(entry.path);
   }
   auto pid = LocalResolveParent(components);
   if (!pid.ok()) {
     return pid.status();
   }
-  const InodeId dir_id = AllocateId();
-  tafdb_->LoadPut(EntryKey(*pid, components.back()),
-                  MetaValue{EntryType::kDirectory, dir_id, kPermAll, 0, 0, 0, 0});
-  tafdb_->LoadPut(AttrKey(dir_id), MetaValue{EntryType::kAttrPrimary, dir_id, kPermAll, 0, 0,
-                                             0, 0});
-  tafdb_->LoadAdjustChildCount(*pid, +1);
-  index_->LoadDir(*pid, components.back(), dir_id, kPermAll);
+  const InodeId id = AllocateId();
+  if (entry.kind == BulkEntry::Kind::kDir) {
+    tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                    MetaValue{EntryType::kDirectory, id, kPermAll, 0, 0, 0, 0});
+    tafdb_->LoadPut(AttrKey(id),
+                    MetaValue{EntryType::kAttrPrimary, id, kPermAll, 0, 0, 0, 0});
+    tafdb_->LoadAdjustChildCount(*pid, +1);
+    index_->LoadDir(*pid, components.back(), id, kPermAll);
+  } else {
+    tafdb_->LoadPut(EntryKey(*pid, components.back()),
+                    MetaValue{EntryType::kObject, id, kPermAll, entry.size, 0, 0, 0});
+    tafdb_->LoadAdjustChildCount(*pid, +1);
+  }
   return Status::Ok();
 }
 
-Status MantleService::BulkLoadObject(const std::string& path, uint64_t size) {
-  const auto components = SplitPath(path);
-  if (components.empty()) {
-    return Status::InvalidArgument(path);
+Status MantleService::BulkLoad(const BulkEntry& entry) { return BulkLoadOne(entry); }
+
+Status MantleService::BulkLoadMany(std::span<const BulkEntry> entries) {
+  for (const BulkEntry& entry : entries) {
+    Status status = BulkLoadOne(entry);
+    if (!status.ok()) {
+      return status;
+    }
   }
-  auto pid = LocalResolveParent(components);
-  if (!pid.ok()) {
-    return pid.status();
-  }
-  const InodeId object_id = AllocateId();
-  tafdb_->LoadPut(EntryKey(*pid, components.back()),
-                  MetaValue{EntryType::kObject, object_id, kPermAll, size, 0, 0, 0});
-  tafdb_->LoadAdjustChildCount(*pid, +1);
   return Status::Ok();
+}
+
+// --- stats snapshot ---------------------------------------------------------------
+
+std::string MantleService::DumpStats() {
+  auto& registry = obs::Metrics::Instance();
+  registry.GetGauge("tafdb.compaction.backlog")->Set(static_cast<int64_t>(tafdb_->PendingCompactions()));
+  if (IndexReplica* leader = index_->LeaderReplica(); leader != nullptr) {
+    registry.GetGauge("index.removal_list.depth")
+        ->Set(static_cast<int64_t>(leader->removal_list().LiveCount()));
+  }
+  return registry.DumpJson();
 }
 
 }  // namespace mantle

@@ -19,6 +19,7 @@
 #include "src/core/retry.h"
 #include "src/index/index_service.h"
 #include "src/net/network.h"
+#include "src/obs/op_context.h"
 #include "src/tafdb/tafdb.h"
 
 namespace mantle {
@@ -53,6 +54,9 @@ class MantleService final : public MetadataService {
 
   std::string name() const override { return "Mantle"; }
 
+  // MetadataService entry points (source-compatible): each builds a default
+  // OpContext (service-wide deadline, no trace) and delegates to the
+  // explicit-context overload below.
   OpResult CreateObject(const std::string& path, uint64_t size) override;
   OpResult DeleteObject(const std::string& path) override;
   OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
@@ -66,8 +70,37 @@ class MantleService final : public MetadataService {
   OpResult ListObjects(const std::string& dir_path, const std::string& start_after,
                        size_t max_entries, ListPage* out) override;
 
-  Status BulkLoadDir(const std::string& path) override;
-  Status BulkLoadObject(const std::string& path, uint64_t size) override;
+  // Explicit-context overloads: the caller owns the OpContext (deadline,
+  // optional OpTrace, optional retry override) for this one op. The context
+  // must outlive the call; a trace, when attached, collects the op's span
+  // tree and must only be read after the op returns.
+  OpResult CreateObject(OpContext& ctx, const std::string& path, uint64_t size);
+  OpResult DeleteObject(OpContext& ctx, const std::string& path);
+  OpResult StatObject(OpContext& ctx, const std::string& path, StatInfo* out = nullptr);
+  OpResult StatDir(OpContext& ctx, const std::string& path, StatInfo* out = nullptr);
+  OpResult Mkdir(OpContext& ctx, const std::string& path);
+  OpResult Rmdir(OpContext& ctx, const std::string& path);
+  OpResult RenameDir(OpContext& ctx, const std::string& src_path, const std::string& dst_path);
+  OpResult ReadDir(OpContext& ctx, const std::string& path, std::vector<std::string>* names);
+  OpResult SetDirPermission(OpContext& ctx, const std::string& path, uint32_t permission);
+  OpResult Lookup(OpContext& ctx, const std::string& path);
+  OpResult ListObjects(OpContext& ctx, const std::string& dir_path,
+                       const std::string& start_after, size_t max_entries, ListPage* out);
+
+  // The default context used by the compatibility entry points.
+  OpContext MakeOpContext() const {
+    OpContext ctx;
+    ctx.deadline = Deadline::After(options_.op_deadline_nanos);
+    return ctx;
+  }
+
+  Status BulkLoad(const BulkEntry& entry) override;
+  Status BulkLoadMany(std::span<const BulkEntry> entries) override;
+
+  // Publishes service-level gauges (compaction backlog, removal-list depth,
+  // cache occupancy) into the metrics registry and returns the full registry
+  // as JSON (see obs::Metrics::DumpJson for the schema).
+  std::string DumpStats();
 
   TafDb* tafdb() { return tafdb_; }
   IndexService* index() { return index_.get(); }
@@ -102,9 +135,13 @@ class MantleService final : public MetadataService {
   // loading only - no RPC, no latency).
   Result<InodeId> LocalResolveParent(const std::vector<std::string>& components) const;
 
+  // Non-virtual BulkLoad body, so BulkLoadMany pays one virtual dispatch per
+  // batch instead of one per entry.
+  Status BulkLoadOne(const BulkEntry& entry);
+
   // LookupParent with the optional AM-Cache consulted first (Fig. 20).
   Result<IndexReplica::ResolveOutcome> LookupParentCached(
-      const std::vector<std::string>& components);
+      const std::vector<std::string>& components, const OpContext* ctx);
 
   Network* network_;
   MantleOptions options_;

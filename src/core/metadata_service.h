@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,13 +27,73 @@ struct OpBreakdown {
   int64_t total_nanos() const { return lookup_nanos + loop_detect_nanos + execute_nanos; }
 };
 
+// Which phase of an operation produced its (non-ok) status. Stable,
+// machine-readable: callers switch on this instead of string-matching
+// Status::message().
+enum class OpPhase : uint8_t {
+  kNone = 0,     // op succeeded, or failed before any phase ran (bad argument)
+  kLookup,       // path resolution (index lookup / cache walk)
+  kLoopDetect,   // rename loop detection + lock acquisition
+  kExecute,      // the TafDB transaction / replicated index mutation
+};
+
+inline const char* OpPhaseName(OpPhase phase) {
+  switch (phase) {
+    case OpPhase::kLookup:
+      return "lookup";
+    case OpPhase::kLoopDetect:
+      return "loop_detect";
+    case OpPhase::kExecute:
+      return "execute";
+    case OpPhase::kNone:
+      break;
+  }
+  return "none";
+}
+
 struct OpResult {
   Status status;
   OpBreakdown breakdown;
   int64_t rpcs = 0;
   int retries = 0;
+  // Typed error payload, meaningful only when !status.ok(): the phase that
+  // failed and the path component (lookup: the deepest prefix that failed to
+  // resolve; execute: the leaf entry the transaction touched).
+  OpPhase failed_phase = OpPhase::kNone;
+  std::string failed_component;
 
   bool ok() const { return status.ok(); }
+
+  // Tags a failure with its phase + component and returns `*this` so error
+  // paths read `return result.FailAt(OpPhase::kLookup, path);`.
+  OpResult& FailAt(OpPhase phase, std::string component) {
+    failed_phase = phase;
+    failed_component = std::move(component);
+    return *this;
+  }
+};
+
+// One entry of a bulk-population batch (pre-serving load; bypasses RPC
+// latency). Directories must be created before their children.
+struct BulkEntry {
+  enum class Kind : uint8_t { kDir, kObject };
+  Kind kind = Kind::kObject;
+  std::string path;
+  uint64_t size = 0;
+
+  static BulkEntry Dir(std::string path) {
+    BulkEntry entry;
+    entry.kind = Kind::kDir;
+    entry.path = std::move(path);
+    return entry;
+  }
+  static BulkEntry Object(std::string path, uint64_t size = 0) {
+    BulkEntry entry;
+    entry.kind = Kind::kObject;
+    entry.path = std::move(path);
+    entry.size = size;
+    return entry;
+  }
 };
 
 struct StatInfo {
@@ -77,6 +138,12 @@ class MetadataService {
   // after `start_after`, in name order. The default implementation reads the
   // whole directory and slices - correct for every system; Mantle overrides
   // it with server-side paging.
+  //
+  // Contract (the COSS LIST shape, which the override must match): a page
+  // holding exactly the last `max_entries` entries reports truncated=false -
+  // `truncated` is "more entries follow", not "the page is full". A
+  // continuation from the final entry yields an empty page, truncated=false,
+  // empty next_start_after.
   virtual OpResult ListObjects(const std::string& dir_path, const std::string& start_after,
                                size_t max_entries, ListPage* out) {
     std::vector<std::string> names;
@@ -85,19 +152,13 @@ class MetadataService {
       return result;
     }
     std::sort(names.begin(), names.end());
-    out->names.clear();
-    out->truncated = false;
-    for (const auto& name : names) {
-      if (!start_after.empty() && name <= start_after) {
-        continue;
-      }
-      if (max_entries != 0 && out->names.size() == max_entries) {
-        out->truncated = true;
-        break;
-      }
-      out->names.push_back(name);
-    }
-    out->truncated = out->truncated && !out->names.empty();
+    auto first = start_after.empty()
+                     ? names.begin()
+                     : std::upper_bound(names.begin(), names.end(), start_after);
+    const size_t available = static_cast<size_t>(names.end() - first);
+    const size_t take = max_entries == 0 ? available : std::min(available, max_entries);
+    out->names.assign(first, first + static_cast<ptrdiff_t>(take));
+    out->truncated = max_entries != 0 && available > max_entries;
     out->next_start_after = out->names.empty() ? "" : out->names.back();
     return result;
   }
@@ -110,8 +171,28 @@ class MetadataService {
 
   // --- bulk population (pre-serving; bypasses RPC latency) ---------------------
 
-  virtual Status BulkLoadDir(const std::string& path) = 0;
-  virtual Status BulkLoadObject(const std::string& path, uint64_t size) = 0;
+  // Loads one pre-existing entry without charging RPCs or latency.
+  virtual Status BulkLoad(const BulkEntry& entry) = 0;
+
+  // Batched population: one API call for a whole namespace slice. The default
+  // loops BulkLoad; implementations may override to amortize per-entry
+  // dispatch. Stops at the first failure.
+  virtual Status BulkLoadMany(std::span<const BulkEntry> entries) {
+    for (const BulkEntry& entry : entries) {
+      Status status = BulkLoad(entry);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Convenience wrappers over BulkLoad (source compatibility for older call
+  // sites; intentionally non-virtual).
+  Status BulkLoadDir(const std::string& path) { return BulkLoad(BulkEntry::Dir(path)); }
+  Status BulkLoadObject(const std::string& path, uint64_t size) {
+    return BulkLoad(BulkEntry::Object(path, size));
+  }
 };
 
 }  // namespace mantle

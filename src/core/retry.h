@@ -3,9 +3,10 @@
 // Proxies retry retriable failures (kAborted, kBusy) with capped exponential
 // backoff plus jitter - the behaviour whose cost explodes under shared-
 // directory contention in the DBtable architecture (paper §3.2). The loop is
-// bounded twice: by `max_attempts` and by the calling operation's
-// DeadlineBudget - a retrier never sleeps past the operation's deadline, and
-// an exhausted budget surfaces kTimeout instead of burning further attempts.
+// bounded twice: by `max_attempts` and by the calling operation's deadline
+// (taken from the OpContext when supplied, else the ambient budget) - a
+// retrier never sleeps past the operation's deadline, and an exhausted budget
+// surfaces kTimeout instead of burning further attempts.
 
 #ifndef SRC_CORE_RETRY_H_
 #define SRC_CORE_RETRY_H_
@@ -16,9 +17,9 @@
 #include <thread>
 
 #include "src/common/clock.h"
-#include "src/common/deadline.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/obs/op_context.h"
 
 namespace mantle {
 
@@ -38,13 +39,19 @@ inline uint64_t PerThreadJitterSeed() {
 }
 
 // Runs `attempt()` until it returns a non-retriable status, attempts are
-// exhausted, or the operation's deadline budget runs out. `retries`
-// (optional) receives the number of re-executions.
+// exhausted, or the operation's deadline runs out. `retries` (optional)
+// receives the number of re-executions. `ctx` (optional) supplies the
+// deadline and a per-op RetryOptions override; without it the ambient
+// thread-local budget bounds the loop and `options` is used as-is.
 template <typename Fn>
-Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries) {
+Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries,
+                        const OpContext* ctx = nullptr) {
   thread_local Rng rng{PerThreadJitterSeed()};
+  const RetryOptions& policy =
+      (ctx != nullptr && ctx->retry_override != nullptr) ? *ctx->retry_override : options;
+  const Deadline deadline = OpContext::DeadlineOf(ctx);
   Status status;
-  for (int attempt_index = 0; attempt_index < options.max_attempts; ++attempt_index) {
+  for (int attempt_index = 0; attempt_index < policy.max_attempts; ++attempt_index) {
     status = attempt();
     if (!status.IsRetriable()) {
       if (retries != nullptr) {
@@ -52,7 +59,7 @@ Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries)
       }
       return status;
     }
-    if (DeadlineBudget::Expired()) {
+    if (deadline.Expired()) {
       if (retries != nullptr) {
         *retries = attempt_index;
       }
@@ -60,13 +67,13 @@ Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries)
     }
     const int shift = std::min(attempt_index, 6);
     const int64_t ceiling =
-        std::min(options.base_backoff_nanos << shift, options.max_backoff_nanos);
+        std::min(policy.base_backoff_nanos << shift, policy.max_backoff_nanos);
     const int64_t backoff =
         static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(ceiling)) + 1);
-    PreciseSleep(DeadlineBudget::Clamp(backoff));
+    PreciseSleep(deadline.Clamp(backoff));
   }
   if (retries != nullptr) {
-    *retries = options.max_attempts;
+    *retries = policy.max_attempts;
   }
   return status;
 }

@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include "src/common/deadline.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
 
@@ -67,7 +67,8 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
 }
 
 Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
-    const std::vector<std::string>& components, bool parent_only) {
+    const std::vector<std::string>& components, bool parent_only, const OpContext* ctx) {
+  obs::ScopedSpan span(OpContext::TraceOf(ctx), "index.resolve");
   RaftNode* primary = PickReadReplica();
   if (primary == nullptr) {
     return Status::Unavailable("indexnode has no live replica");
@@ -92,11 +93,14 @@ Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
   if (leader != nullptr && leader != primary) {
     fallbacks.push_back(leader);
   }
+  const Deadline deadline = OpContext::DeadlineOf(ctx);
   for (RaftNode* node : fallbacks) {
-    if (DeadlineBudget::Expired()) {
+    if (deadline.Expired()) {
       return Status::Timeout("lookup: deadline exhausted during replica fallback");
     }
     degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* degraded = obs::Metrics::Instance().GetCounter("index.read.degraded");
+    degraded->Add();
     result = ResolveOn(node, owned, parent_only);
     if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
                         result.status().code() != StatusCode::kUnavailable)) {

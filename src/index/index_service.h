@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/index/index_replica.h"
+#include "src/obs/op_context.h"
 #include "src/raft/group.h"
 
 namespace mantle {
@@ -48,12 +49,16 @@ class IndexService {
   void Start() { group_->Start(); }
 
   // --- lookups (one RPC to the chosen replica) --------------------------------
+  // `ctx` (optional) supplies the caller's deadline and trace; without it the
+  // ambient thread-local budget applies and no spans are recorded.
 
-  Result<IndexReplica::ResolveOutcome> LookupDir(const std::vector<std::string>& components) {
-    return Resolve(components, /*parent_only=*/false);
+  Result<IndexReplica::ResolveOutcome> LookupDir(const std::vector<std::string>& components,
+                                                 const OpContext* ctx = nullptr) {
+    return Resolve(components, /*parent_only=*/false, ctx);
   }
-  Result<IndexReplica::ResolveOutcome> LookupParent(const std::vector<std::string>& components) {
-    return Resolve(components, /*parent_only=*/true);
+  Result<IndexReplica::ResolveOutcome> LookupParent(const std::vector<std::string>& components,
+                                                    const OpContext* ctx = nullptr) {
+    return Resolve(components, /*parent_only=*/true, ctx);
   }
 
   // --- replicated mutations ------------------------------------------------------
@@ -88,7 +93,7 @@ class IndexService {
 
  private:
   Result<IndexReplica::ResolveOutcome> Resolve(const std::vector<std::string>& components,
-                                               bool parent_only);
+                                               bool parent_only, const OpContext* ctx);
   Result<IndexReplica::ResolveOutcome> ResolveOn(
       RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
       bool parent_only);

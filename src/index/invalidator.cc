@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+
 namespace mantle {
 
 Invalidator::Invalidator(RemovalList* removal_list, PrefixTree* prefix_tree,
@@ -28,6 +31,7 @@ Invalidator::~Invalidator() {
 
 size_t Invalidator::RunPassNow() {
   std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  Stopwatch timer;
   const size_t purged = removal_list_->RunMaintenancePass([this](const std::string& path) {
     for (const std::string& prefix : prefix_tree_->RemoveSubtree(path)) {
       cache_->Erase(prefix);
@@ -35,6 +39,11 @@ size_t Invalidator::RunPassNow() {
     }
   });
   passes_.fetch_add(1, std::memory_order_relaxed);
+  static obs::HistogramMetric* pass_nanos =
+      obs::Metrics::Instance().GetHistogram("index.invalidator.pass_nanos");
+  pass_nanos->Record(timer.ElapsedNanos());
+  static obs::Gauge* depth = obs::Metrics::Instance().GetGauge("index.removal_list.depth");
+  depth->Set(static_cast<int64_t>(removal_list_->LiveCount()));
   return purged;
 }
 

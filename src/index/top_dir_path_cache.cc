@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "src/obs/metrics.h"
+
 namespace mantle {
 
 TopDirPathCache::TopDirPathCache(size_t max_entries) : max_entries_(max_entries) {}
@@ -12,9 +14,13 @@ std::optional<PathCacheEntry> TopDirPathCache::Lookup(std::string_view prefix) c
   auto it = shard.map.find(std::string(prefix));
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* miss_metric = obs::Metrics::Instance().GetCounter("index.cache.miss");
+    miss_metric->Add();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* hit_metric = obs::Metrics::Instance().GetCounter("index.cache.hit");
+  hit_metric->Add();
   return it->second;
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
 
@@ -153,6 +154,8 @@ FaultInjector::Decision FaultInjector::Preflight(const std::string& origin,
   std::lock_guard<std::mutex> lock(mu_);
   if (PartitionedLocked(origin, destination)) {
     stats_.rpcs_partitioned.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* partitioned = obs::Metrics::Instance().GetCounter("net.fault.partitioned");
+    partitioned->Add();
     return Decision{Status::Timeout("partitioned: " + origin + " -/- " + destination), 0};
   }
   const FaultRule* rule = FindRuleLocked(destination);
@@ -161,12 +164,17 @@ FaultInjector::Decision FaultInjector::Preflight(const std::string& origin,
   }
   if (rule->crashed) {
     stats_.rpcs_crash_rejected.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* crash_rejected =
+        obs::Metrics::Instance().GetCounter("net.fault.crash_rejected");
+    crash_rejected->Add();
     return Decision{Status::Unavailable("server crashed: " + destination), 0};
   }
   Decision decision{Status::Ok(), 0};
   if (rule->drop_probability > 0.0 &&
       NextLinkDrawLocked(origin, destination) < rule->drop_probability) {
     stats_.rpcs_dropped.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* drops = obs::Metrics::Instance().GetCounter("net.fault.drops");
+    drops->Add();
     return Decision{Status::Timeout("rpc dropped to " + destination), 0};
   }
   if (rule->delay_probability > 0.0 &&
@@ -178,6 +186,8 @@ FaultInjector::Decision FaultInjector::Preflight(const std::string& origin,
     }
     if (extra > 0) {
       stats_.rpcs_delayed.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* delays = obs::Metrics::Instance().GetCounter("net.fault.delays");
+      delays->Add();
       decision.extra_delay_nanos = extra;
     }
   }
@@ -194,6 +204,8 @@ bool FaultInjector::HandlerEntry(const std::string& destination) {
     return true;
   }
   stats_.pause_waits.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* pause_waits = obs::Metrics::Instance().GetCounter("net.fault.pause_waits");
+  pause_waits->Add();
   pause_cv_.wait(lock, [this, &destination]() {
     if (shutdown_) {
       return true;
@@ -202,6 +214,12 @@ bool FaultInjector::HandlerEntry(const std::string& destination) {
     return current == nullptr || !current->paused;
   });
   return !shutdown_;
+}
+
+void FaultInjector::NoteTimeout() {
+  stats_.rpcs_timed_out.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* timeouts = obs::Metrics::Instance().GetCounter("net.fault.timeouts");
+  timeouts->Add();
 }
 
 void FaultInjector::Shutdown() {

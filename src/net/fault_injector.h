@@ -110,7 +110,7 @@ class FaultInjector {
 
   // Records a caller-side deadline expiry (the fabric observes these; the
   // injector merely owns the counter block).
-  void NoteTimeout() { stats_.rpcs_timed_out.fetch_add(1, std::memory_order_relaxed); }
+  void NoteTimeout();
 
   const FaultStats& stats() const { return stats_; }
 

@@ -20,7 +20,11 @@ ScopedNetOrigin::ScopedNetOrigin(const std::string& server_name) : saved_(t_orig
 ScopedNetOrigin::~ScopedNetOrigin() { t_origin = saved_; }
 
 ServerExecutor::ServerExecutor(Network* network, std::string name, size_t workers)
-    : network_(network), name_(std::move(name)), pool_(workers, name_) {}
+    : network_(network), name_(std::move(name)), pool_(workers, name_) {
+  auto& registry = obs::Metrics::Instance();
+  calls_metric_ = registry.GetCounter("net.server." + name_ + ".calls");
+  call_latency_metric_ = registry.GetHistogram("net.server." + name_ + ".call_nanos");
+}
 
 Network::Network(NetworkOptions options)
     : options_(options), faults_(options.fault_seed) {}
@@ -39,6 +43,8 @@ ServerExecutor* Network::AddServer(const std::string& name, size_t workers) {
 void Network::NoteRpc() {
   ++t_rpc_count;
   total_rpcs_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* rpc_count = obs::Metrics::Instance().GetCounter("net.rpc.count");
+  rpc_count->Add();
 }
 
 void Network::ChargeRtt() { ChargeRtt(1.0); }

@@ -38,6 +38,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/net/fault_injector.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
 
@@ -149,9 +150,29 @@ class ServerExecutor {
   template <typename Fn>
   auto Wrap(Fn&& handler, int64_t absolute_deadline_nanos);
 
+  // Caller-observed latency of synchronous RPCs to this server (queueing +
+  // handler service time), recorded on every exit path.
+  class ScopedRpcTimer {
+   public:
+    explicit ScopedRpcTimer(ServerExecutor* server) : server_(server) {
+      server_->calls_metric_->Add();
+    }
+    ~ScopedRpcTimer() { server_->call_latency_metric_->Record(timer_.ElapsedNanos()); }
+
+    ScopedRpcTimer(const ScopedRpcTimer&) = delete;
+    ScopedRpcTimer& operator=(const ScopedRpcTimer&) = delete;
+
+   private:
+    ServerExecutor* server_;
+    Stopwatch timer_;
+  };
+
   Network* network_;
   std::string name_;
   ThreadPool pool_;
+  // Per-link instruments (net.server.<name>.*), resolved once at construction.
+  obs::Counter* calls_metric_;
+  obs::HistogramMetric* call_latency_metric_;
 };
 
 class Network {
@@ -244,6 +265,7 @@ auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos) {
 template <typename Fn>
 auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
   using R = decltype(handler());
+  ScopedRpcTimer rpc_timer(this);
   network_->ChargeRtt();
   if constexpr (std::is_constructible_v<R, Status>) {
     Status pre = network_->PreflightRpc(name_);
@@ -259,6 +281,7 @@ auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
 template <typename Fn, typename FaultFn>
 auto ServerExecutor::Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nanos)
     -> decltype(handler()) {
+  ScopedRpcTimer rpc_timer(this);
   network_->ChargeRtt();
   Status pre = network_->PreflightRpc(name_);
   if (!pre.ok()) {

@@ -1,0 +1,295 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace mantle {
+namespace obs {
+
+namespace {
+
+bool ReadMetricsEnabledEnv() {
+  const char* value = std::getenv("MANTLE_METRICS");
+  if (value == nullptr || value[0] == '\0') {
+    return true;
+  }
+  return !(std::strcmp(value, "off") == 0 || std::strcmp(value, "OFF") == 0 ||
+           std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0 ||
+           std::strcmp(value, "no") == 0);
+}
+
+std::atomic<size_t> g_next_cell{0};
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  static const bool enabled = ReadMetricsEnabledEnv();
+  return enabled;
+}
+
+size_t ThreadCellIndex(size_t cells) {
+  thread_local const size_t assigned = g_next_cell.fetch_add(1, std::memory_order_relaxed);
+  return assigned % cells;
+}
+
+// --- HistogramSnapshot -------------------------------------------------------
+
+int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0 || buckets.empty()) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Rank of the target sample, 1-based; ceil so p=0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      int64_t bound = HistogramMetric::BucketUpperBound(static_cast<int>(i));
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+// --- HistogramMetric ---------------------------------------------------------
+
+HistogramMetric::HistogramMetric() : cells_(new Cell[kCells]) {
+  for (size_t c = 0; c < kCells; ++c) {
+    for (int b = 0; b < kBucketCount; ++b) {
+      cells_[c].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int HistogramMetric::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  // Values below 2^kSubBucketBits land in octave 0 linearly.
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  int octave = msb - kSubBucketBits + 1;
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    return octave * kSubBuckets + (kSubBuckets - 1);
+  }
+  // Linear position within the octave, using the kSubBucketBits bits below
+  // the leading bit.
+  const int sub = static_cast<int>((static_cast<uint64_t>(value) >> (msb - kSubBucketBits)) &
+                                   (kSubBuckets - 1));
+  return octave * kSubBuckets + sub;
+}
+
+int64_t HistogramMetric::BucketUpperBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (octave == 0) {
+    return sub;
+  }
+  // Octave o >= 1 spans [2^(o+B-1), 2^(o+B)); each sub-bucket is
+  // 2^(o-1) wide.
+  const int64_t base = int64_t{1} << (octave + kSubBucketBits - 1);
+  const int64_t width = int64_t{1} << (octave - 1);
+  return base + width * (sub + 1) - 1;
+}
+
+void HistogramMetric::Record(int64_t value) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  if (value < 0) {
+    value = 0;
+  }
+  Cell& cell = cells_[ThreadCellIndex(kCells)];
+  cell.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMax(cell.max, value);
+  AtomicMin(cell.min, value);
+}
+
+HistogramSnapshot HistogramMetric::Aggregate() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  int64_t min_seen = INT64_MAX;
+  for (size_t c = 0; c < kCells; ++c) {
+    const Cell& cell = cells_[c];
+    snap.count += cell.count.load(std::memory_order_relaxed);
+    snap.sum += cell.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, cell.max.load(std::memory_order_relaxed));
+    min_seen = std::min(min_seen, cell.min.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBucketCount; ++b) {
+      snap.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.min = (snap.count == 0) ? 0 : min_seen;
+  return snap;
+}
+
+void HistogramMetric::Reset() {
+  for (size_t c = 0; c < kCells; ++c) {
+    Cell& cell = cells_[c];
+    for (int b = 0; b < kBucketCount; ++b) {
+      cell.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    cell.max.store(0, std::memory_order_relaxed);
+    cell.min.store(INT64_MAX, std::memory_order_relaxed);
+  }
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+Metrics& Metrics::Instance() {
+  static Metrics* instance = new Metrics();  // leaked: outlives all recorders
+  return *instance;
+}
+
+Counter* Metrics::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Metrics::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* Metrics::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<HistogramMetric>()).first;
+  }
+  return it->second.get();
+}
+
+void Metrics::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+uint64_t Metrics::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t Metrics::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+HistogramSnapshot Metrics::HistogramValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second->Aggregate();
+}
+
+std::string Metrics::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(out, name);
+    out << ": " << counter->Value();
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(out, name);
+    out << ": " << gauge->Value();
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap = histogram->Aggregate();
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(out, name);
+    out << ": {\"count\": " << snap.count << ", \"mean\": " << static_cast<int64_t>(snap.Mean())
+        << ", \"min\": " << snap.min << ", \"p50\": " << snap.Percentile(50)
+        << ", \"p90\": " << snap.Percentile(90) << ", \"p99\": " << snap.Percentile(99)
+        << ", \"max\": " << snap.max << "}";
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace mantle

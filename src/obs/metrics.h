@@ -1,0 +1,189 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// latency histograms, exported as one stable JSON document.
+//
+// Design constraints (this registry sits on every hot path in the system):
+//   * Recording is lock-free: counters and histograms are sharded into
+//     cache-line-isolated cells, each thread pinned to one cell round-robin,
+//     so concurrent recorders touch disjoint atomics (relaxed ordering).
+//     Aggregation happens only on scrape.
+//   * Instruments are never deallocated: a pointer obtained from the registry
+//     stays valid for the process lifetime, so call sites cache it in a
+//     function-local static and pay one registry lookup ever.
+//   * TSan-clean: all shared state is std::atomic; registration (cold path)
+//     is mutex-protected.
+//   * `MANTLE_METRICS=off` (or `0`) disables recording globally; instruments
+//     still exist and scrape as zero, so consumers need no special casing.
+//
+// Naming convention: `layer.component.metric`, e.g. `index.cache.hit`,
+// `net.rpc.count`, `tafdb.txn.abort`, `core.op.mkdir.latency_nanos`.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mantle {
+namespace obs {
+
+// Returns a small per-thread cell index in [0, cells); threads are assigned
+// round-robin on first use so recorders spread evenly across cells.
+size_t ThreadCellIndex(size_t cells);
+
+// True unless the environment disabled metrics (MANTLE_METRICS=off|0|false).
+// Evaluated once per process; the result is a cached branch on the hot path.
+bool MetricsEnabled();
+
+// --- counter -----------------------------------------------------------------
+
+class Counter {
+ public:
+  static constexpr size_t kCells = 16;
+
+  void Add(uint64_t delta = 1) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    cells_[ThreadCellIndex(kCells)].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Cell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kCells];
+};
+
+// --- gauge -------------------------------------------------------------------
+
+// A last-writer-wins instantaneous value (queue depths, backlog sizes).
+// Add/Sub support callers that maintain the level incrementally.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(int64_t delta) { Add(-delta); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// --- log-bucketed histogram --------------------------------------------------
+
+// Aggregated view of a histogram at scrape time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  std::vector<uint64_t> buckets;  // log-bucketed occupancy (see HistogramCell)
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  // p in [0, 100]; returns the upper bound of the bucket holding the
+  // p-th-percentile sample. Monotone in p by construction.
+  int64_t Percentile(double p) const;
+};
+
+// Power-of-two octaves subdivided linearly (HdrHistogram-lite, ~6% relative
+// error), sharded into per-thread cells like Counter.
+class HistogramMetric {
+ public:
+  static constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 44;  // covers up to ~2^47 ns (~1.6 days)
+  static constexpr int kBucketCount = kOctaves * kSubBuckets;
+  static constexpr size_t kCells = 8;
+
+  HistogramMetric();
+
+  void Record(int64_t value);
+
+  HistogramSnapshot Aggregate() const;
+  void Reset();
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> buckets[kBucketCount];
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+    std::atomic<int64_t> min{INT64_MAX};
+  };
+  std::unique_ptr<Cell[]> cells_;
+};
+
+// --- registry ----------------------------------------------------------------
+
+class Metrics {
+ public:
+  // The process-wide registry. Never destroyed (background threads may record
+  // during static teardown).
+  static Metrics& Instance();
+
+  // Idempotent lookup-or-create; returned pointers are valid forever.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  HistogramMetric* GetHistogram(std::string_view name);
+
+  // Zeroes every registered instrument (bench cells reuse the registry).
+  void ResetAll();
+
+  // The full registry as a JSON object with three sections ("counters",
+  // "gauges", "histograms"), keys sorted lexicographically - the stable
+  // schema BENCH_* reports and DumpStats embed. One key per line.
+  std::string DumpJson() const;
+
+  // Convenience scrapes (0 / empty snapshot when the name is unregistered).
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  HistogramSnapshot HistogramValue(std::string_view name) const;
+
+ private:
+  Metrics() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_METRICS_H_

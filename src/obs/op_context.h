@@ -1,0 +1,60 @@
+// Explicit per-operation context.
+//
+// OpContext carries everything that used to travel through thread-locals for
+// a single metadata operation: its deadline, an optional trace, and an
+// optional retry-policy override. Core and index code take `const OpContext&`
+// (or a nullable pointer) instead of consulting DeadlineBudget directly; the
+// net/raft/txn layers below still read the thread-local budget, which
+// ScopedOpContext keeps in sync.
+//
+// Ownership rules:
+//   * OpContext is created on the op's calling thread and lives on its stack
+//     for the duration of the op; callees borrow it by reference and must not
+//     retain it past their return.
+//   * `trace` (when non-null) is owned by the caller and is single-threaded:
+//     spans may only be opened/closed on the op's calling thread, never from
+//     RPC handlers (which can outlive a timed-out caller).
+//   * `retry_override` (when non-null) outlives the op; it replaces the
+//     service-wide RetryOptions for this op only.
+
+#ifndef SRC_OBS_OP_CONTEXT_H_
+#define SRC_OBS_OP_CONTEXT_H_
+
+#include "src/common/deadline.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+
+struct RetryOptions;  // src/core/retry.h
+
+struct OpContext {
+  Deadline deadline;
+  obs::OpTrace* trace = nullptr;
+  const RetryOptions* retry_override = nullptr;
+
+  // Null-safe accessors for code handed an `const OpContext* ctx` that may be
+  // absent (public compatibility entry points pass nullptr and fall back to
+  // the ambient thread-local deadline).
+  static Deadline DeadlineOf(const OpContext* ctx) {
+    return ctx == nullptr ? Deadline::Ambient() : ctx->deadline;
+  }
+  static obs::OpTrace* TraceOf(const OpContext* ctx) {
+    return ctx == nullptr ? nullptr : ctx->trace;
+  }
+};
+
+// Publishes ctx.deadline to the thread-local DeadlineBudget for the layers
+// below core/index (net RPC waits, raft leader waits, txn coordination) that
+// still consume the ambient budget. Install once at the top of each op.
+class ScopedOpContext {
+ public:
+  explicit ScopedOpContext(const OpContext& ctx)
+      : shim_(ctx.deadline.absolute_nanos()) {}
+
+ private:
+  ScopedAbsoluteDeadline shim_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_OBS_OP_CONTEXT_H_

@@ -1,0 +1,50 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+
+namespace mantle {
+namespace obs {
+
+int OpTrace::Begin(std::string name) {
+  Span span;
+  span.name = std::move(name);
+  span.start_nanos = MonotonicNanos();
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void OpTrace::End(int id) {
+  if (id < 0 || id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  const int64_t now = MonotonicNanos();
+  // Close any nested spans the caller forgot (early returns inside a span).
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (spans_[top].end_nanos == 0) {
+      spans_[top].end_nanos = now;
+    }
+    if (top == id) {
+      return;
+    }
+  }
+}
+
+std::string OpTrace::Render() const {
+  std::ostringstream out;
+  for (const Span& span : spans_) {
+    for (int i = 0; i < span.depth; ++i) {
+      out << "  ";
+    }
+    out << span.name << "  " << span.DurationNanos() << "ns\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace mantle

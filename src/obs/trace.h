@@ -1,0 +1,90 @@
+// Request-scoped trace spans.
+//
+// An OpTrace belongs to exactly one in-flight metadata operation and records
+// a tree of timed spans (op root -> lookup -> index.resolve -> ...). It is
+// NOT thread-safe by design: spans must be opened and closed on the op's
+// calling thread only. Server-side RPC handlers may outlive a timed-out
+// caller (see src/net/network.h), so handlers must never touch the caller's
+// trace - cross-thread activity is visible through metrics instead.
+//
+// All of the API is null-safe: passing a nullptr OpTrace* (tracing disabled)
+// makes every call a no-op, so instrumented code needs no branches.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace mantle {
+namespace obs {
+
+class OpTrace {
+ public:
+  struct Span {
+    std::string name;
+    int64_t start_nanos = 0;
+    int64_t end_nanos = 0;  // 0 while the span is still open
+    int parent = -1;        // index into spans(); -1 for the root
+    int depth = 0;
+
+    int64_t DurationNanos() const {
+      return end_nanos == 0 ? 0 : end_nanos - start_nanos;
+    }
+  };
+
+  explicit OpTrace(std::string op_name) { Begin(std::move(op_name)); }
+  OpTrace() = default;
+
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+  // Opens a span as a child of the innermost open span; returns its id.
+  int Begin(std::string name);
+  // Closes span `id` (and any children left open inside it).
+  void End(int id);
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  // Total duration of the first (root) span, 0 if absent or still open.
+  int64_t RootDurationNanos() const {
+    return spans_.empty() ? 0 : spans_.front().DurationNanos();
+  }
+
+  // Human-readable indented rendering ("name  123456ns" per line).
+  std::string Render() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<int> open_;  // stack of open span ids
+};
+
+// RAII span; tolerates trace == nullptr.
+class ScopedSpan {
+ public:
+  ScopedSpan(OpTrace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) {
+      id_ = trace_->Begin(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) {
+      trace_->End(id_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  OpTrace* trace_;
+  int id_ = -1;
+};
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/raft/group.h"
 
 namespace mantle {
@@ -346,6 +347,8 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
     // Piggyback on the in-flight leader query (paper §5.1.3: "queries for the
     // commitIndex are batched").
     stats_.read_index_batched.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* batched = obs::Metrics::Instance().GetCounter("raft.read_index.batched");
+    batched->Add();
     const bool advanced =
         read_cv_.wait_for(read_lock, std::chrono::nanoseconds(budget), [this, generation]() {
           return stopping_.load(std::memory_order_acquire) || read_generation_ != generation;
@@ -358,6 +361,8 @@ Result<uint64_t> RaftNode::FollowerReadFence() {
     read_inflight_ = true;
     read_lock.unlock();
     stats_.read_index_queries.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* queries = obs::Metrics::Instance().GetCounter("raft.read_index.queries");
+    queries->Add();
     RaftNode* leader = group_->leader();
     if (leader != nullptr && leader != this) {
       // A partitioned or crashed leader link loses the query: the translator
@@ -403,6 +408,8 @@ void RaftNode::RunElection() {
     role_ = RaftRole::kCandidate;
     voted_for_ = static_cast<int32_t>(id_);
     stats_.elections_started.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* elections = obs::Metrics::Instance().GetCounter("raft.election.count");
+    elections->Add();
     last_heartbeat_nanos_ = MonotonicNanos();
     election_timeout_nanos_ = RandomElectionTimeout();
     request = RequestVoteRequest{term_, id_, log_.LastIndex(), log_.LastTerm()};
@@ -595,6 +602,10 @@ void RaftNode::ApplyLoop() {
     if (stopping_.load(std::memory_order_acquire)) {
       return;
     }
+    // Apply lag observed as the backlog waking the loop; the gauge tracks the
+    // worst backlog across nodes coarsely (last writer wins).
+    static obs::Gauge* apply_lag = obs::Metrics::Instance().GetGauge("raft.apply.lag");
+    apply_lag->Set(static_cast<int64_t>(commit_index_ - last_applied_));
     while (last_applied_ < commit_index_) {
       const uint64_t index = last_applied_ + 1;
       const std::string payload = log_.At(index).payload;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
 
@@ -156,6 +157,8 @@ WriteOp TafDb::MakeAttrUpdate(InodeId dir_id, int64_t count_delta, bool bump_mti
       std::lock_guard<std::mutex> lock(pending_mu_);
       pending_compaction_.insert(dir_id);
     }
+    static obs::Counter* appends = obs::Metrics::Instance().GetCounter("tafdb.delta.appends");
+    appends->Add();
     return op;
   }
   WriteOp op;
@@ -224,6 +227,8 @@ void TafDb::CompactAllPending() {
       pending_compaction_.insert(dir_id);
     }
   }
+  static obs::Gauge* backlog = obs::Metrics::Instance().GetGauge("tafdb.compaction.backlog");
+  backlog->Set(static_cast<int64_t>(PendingCompactions()));
 }
 
 size_t TafDb::PendingCompactions() const {

@@ -7,8 +7,23 @@
 #include <memory>
 
 #include "src/common/deadline.h"
+#include "src/obs/metrics.h"
 
 namespace mantle {
+
+namespace {
+
+void NoteTxnCommit() {
+  static obs::Counter* commits = obs::Metrics::Instance().GetCounter("tafdb.txn.commit");
+  commits->Add();
+}
+
+void NoteTxnAbort() {
+  static obs::Counter* aborts = obs::Metrics::Instance().GetCounter("tafdb.txn.abort");
+  aborts->Add();
+}
+
+}  // namespace
 
 TxnCoordinator::TxnCoordinator(ShardMap* shards, Network* network)
     : shards_(shards), network_(network) {}
@@ -41,6 +56,8 @@ void TxnCoordinator::Doom(uint64_t txn_id) {
     doomed_.insert(txn_id);
   }
   stats_.doomed.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* doomed = obs::Metrics::Instance().GetCounter("tafdb.txn.doomed");
+  doomed->Add();
 }
 
 Status TxnCoordinator::PrepareOnShard(const Participant& participant, uint64_t txn_id) {
@@ -144,12 +161,14 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
         [](const Status& fault) { return fault; });
     if (!status.ok()) {
       stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+      NoteTxnAbort();
       if (status.IsAborted()) {
         NotifyAbort(ops);
       }
       return status;
     }
     stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    NoteTxnCommit();
     return Status::Ok();
   }
 
@@ -239,6 +258,7 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
 
   if (!failure.ok()) {
     stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    NoteTxnAbort();
     if (failure.IsAborted()) {
       NotifyAbort(ops);
     }
@@ -251,6 +271,7 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     return Status::Timeout("2pc commit decided but not fully acknowledged");
   }
   stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  NoteTxnCommit();
   return Status::Ok();
 }
 

@@ -108,17 +108,19 @@ GeneratedNamespace GenerateNamespace(const NamespaceSpec& spec) {
 
 GeneratedNamespace PopulateNamespace(MetadataService* service, const NamespaceSpec& spec) {
   GeneratedNamespace generated = GenerateNamespace(spec);
+  // One batched call: directories first (parents precede children by
+  // construction), then the objects that hang off them.
+  std::vector<BulkEntry> batch;
+  batch.reserve(generated.dirs.size() + generated.objects.size());
   for (const auto& dir : generated.dirs) {
-    Status status = service->BulkLoadDir(dir);
-    if (!status.ok()) {
-      MANTLE_WLOG << "bulk load dir " << dir << " failed: " << status;
-    }
+    batch.push_back(BulkEntry::Dir(dir));
   }
   for (size_t i = 0; i < generated.objects.size(); ++i) {
-    Status status = service->BulkLoadObject(generated.objects[i], generated.object_sizes[i]);
-    if (!status.ok()) {
-      MANTLE_WLOG << "bulk load object " << generated.objects[i] << " failed: " << status;
-    }
+    batch.push_back(BulkEntry::Object(generated.objects[i], generated.object_sizes[i]));
+  }
+  Status status = service->BulkLoadMany(batch);
+  if (!status.ok()) {
+    MANTLE_WLOG << "bulk load failed: " << status;
   }
   return generated;
 }

@@ -20,10 +20,17 @@
 #include "src/common/clock.h"
 #include "src/common/path.h"
 #include "src/net/fault_injector.h"
+#include "src/obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace mantle {
 namespace {
+
+// Registry scrape helper: counters are process-global and tests share the
+// process, so every assertion is a before/after delta.
+uint64_t MetricValue(const char* name) {
+  return obs::Metrics::Instance().CounterValue(name);
+}
 
 // Wall-clock ceiling for a single op in the assertions below. Far above every
 // configured budget: a breach means an op escaped its deadline, not jitter.
@@ -140,6 +147,7 @@ TEST(ChaosTest, FivePercentDropsResolveCleanlyAndSuccessesAreDurable) {
   Network network(FastNetworkOptions());
   MantleService service(&network, ChaosMantleOptions());
   ASSERT_TRUE(service.Mkdir("/base").ok());
+  const uint64_t drops_before = MetricValue("net.fault.drops");
 
   FaultRule drop;
   drop.drop_probability = 0.05;
@@ -183,6 +191,9 @@ TEST(ChaosTest, FivePercentDropsResolveCleanlyAndSuccessesAreDurable) {
   EXPECT_EQ(dirty_codes.load(), 0);
   EXPECT_EQ(over_budget.load(), 0);
   EXPECT_GT(network.fault_stats().rpcs_dropped.load(), 0u);
+  // The injector's drops are mirrored into the process-wide metrics registry.
+  EXPECT_GE(MetricValue("net.fault.drops") - drops_before,
+            network.fault_stats().rpcs_dropped.load());
 
   network.faults().ClearAll();
   // Healed fabric: every reported success is fully there.
@@ -205,6 +216,7 @@ TEST(ChaosTest, FollowerCrashMidTrafficDegradesReadsGracefully) {
     ASSERT_TRUE(service.Mkdir("/c" + std::to_string(i)).ok());
   }
 
+  const uint64_t crash_rejected_before = MetricValue("net.fault.crash_rejected");
   RaftGroup* group = service.index()->group();
   RaftNode* leader = group->WaitForLeader();
   ASSERT_NE(leader, nullptr);
@@ -224,6 +236,8 @@ TEST(ChaosTest, FollowerCrashMidTrafficDegradesReadsGracefully) {
   EXPECT_EQ(failures, 0);
   EXPECT_GT(service.index()->degraded_reads(), 0u);
   EXPECT_GT(network.fault_stats().rpcs_crash_rejected.load(), 0u);
+  EXPECT_GT(MetricValue("net.fault.crash_rejected"), crash_rejected_before);
+  EXPECT_GT(MetricValue("index.read.degraded"), 0u);
 
   // Writes survive too (the crashed replica is a follower).
   EXPECT_TRUE(service.Mkdir("/after-crash").ok());
@@ -250,6 +264,8 @@ TEST(ChaosTest, LeaderPartitionElectsNewLeaderAndOldLeaderStepsDown) {
 
   // Isolate the leader (both its service and raft ports, by prefix). It keeps
   // believing it leads; the majority side must elect a higher-term leader.
+  const uint64_t partitioned_before = MetricValue("net.fault.partitioned");
+  const uint64_t elections_before = MetricValue("raft.election.count");
   network.faults().Partition("leader-isolated", {leader_name});
 
   RaftNode* new_leader = nullptr;
@@ -265,11 +281,13 @@ TEST(ChaosTest, LeaderPartitionElectsNewLeaderAndOldLeaderStepsDown) {
   }
   ASSERT_NE(new_leader, nullptr) << "no re-election within 15 s";
   EXPECT_GT(new_leader->term(), old_term);
+  EXPECT_GT(MetricValue("raft.election.count"), elections_before);
 
   // The namespace stays writable and readable across the partition.
   EXPECT_TRUE(service.Mkdir("/during-partition").ok());
   EXPECT_TRUE(service.StatDir("/pre").ok());
   EXPECT_GT(network.fault_stats().rpcs_partitioned.load(), 0u);
+  EXPECT_GT(MetricValue("net.fault.partitioned"), partitioned_before);
 
   network.faults().Heal("leader-isolated");
   // Healed: the stale leader hears the higher term and steps down.
@@ -296,6 +314,8 @@ TEST(ChaosTest, PausedTafDbServerBoundsEveryOperation) {
     ASSERT_TRUE(service.Mkdir(dirs.back()).ok());
   }
 
+  const uint64_t timeouts_before = MetricValue("net.fault.timeouts");
+  const uint64_t pause_waits_before = MetricValue("net.fault.pause_waits");
   network.faults().PauseServer("tafdb-0");
   int timed_out = 0;
   for (const auto& dir : dirs) {
@@ -313,6 +333,8 @@ TEST(ChaosTest, PausedTafDbServerBoundsEveryOperation) {
   EXPECT_LT(timed_out, static_cast<int>(dirs.size()));
   EXPECT_GT(network.fault_stats().rpcs_timed_out.load(), 0u);
   EXPECT_GT(network.fault_stats().pause_waits.load(), 0u);
+  EXPECT_GT(MetricValue("net.fault.timeouts"), timeouts_before);
+  EXPECT_GT(MetricValue("net.fault.pause_waits"), pause_waits_before);
 
   // A write touching the paused server is also bounded.
   Stopwatch timer;
@@ -417,6 +439,45 @@ TEST(ChaosTest, MixedDropCrashPartitionTrafficNeverHangs) {
   for (const auto& dir : created) {
     EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
   }
+  ExpectNoPhantomDirs(service);
+}
+
+// --- contention: retries and aborts surface in the registry ------------------
+
+TEST(ChaosTest, SharedDirectoryContentionSurfacesRetriesInMetrics) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = ChaosMantleOptions();
+  // Without delta records every create under one parent contends on the same
+  // attribute row, so 2PC lock conflicts (-> aborts -> retries) are certain.
+  options.tafdb.enable_delta_records = false;
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.Mkdir("/hot").ok());
+
+  const uint64_t retries_before = MetricValue("core.op.retries");
+  const uint64_t aborts_before = MetricValue("tafdb.txn.abort");
+  const uint64_t commits_before = MetricValue("tafdb.txn.commit");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t]() {
+      for (int i = 0; i < 40; ++i) {
+        const std::string path =
+            "/hot/o" + std::to_string(t) + "_" + std::to_string(i);
+        if (!service.CreateObject(path, 1).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);  // retry absorbs every conflict
+  EXPECT_GT(MetricValue("tafdb.txn.commit"), commits_before);
+  EXPECT_GT(MetricValue("tafdb.txn.abort"), aborts_before);
+  EXPECT_GT(MetricValue("core.op.retries"), retries_before);
   ExpectNoPhantomDirs(service);
 }
 

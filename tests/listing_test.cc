@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "src/baselines/tectonic/tectonic_service.h"
 #include "tests/test_util.h"
 
 namespace mantle {
@@ -89,6 +90,87 @@ TEST(MantlePagingTest, PageCostIsConstantRegardlessOfDirectorySize) {
     ASSERT_LT(++pages, 20);
   }
   EXPECT_EQ(seen, 500u);
+}
+
+// --- truncation contract regressions -----------------------------------------
+//
+// `truncated` means "more entries follow this page", NOT "the page is full".
+// A page that happens to end exactly at the last entry must report
+// truncated=false, and a continuation from the final entry must return an
+// empty, non-truncated page. The default MetadataService implementation and
+// Mantle's pushdown override must agree on both.
+
+TEST(ListingContractTest, ExactBoundaryFinalPageIsNotTruncated) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.BulkLoad(BulkEntry::Dir("/edge")).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        service.BulkLoad(BulkEntry::Object("/edge/e" + std::to_string(i), 1)).ok());
+  }
+  MetadataService::ListPage page;
+  // 6 entries, pages of 3: the second page ends exactly at the last entry.
+  ASSERT_TRUE(service.ListObjects("/edge", "", 3, &page).ok());
+  EXPECT_EQ(page.names.size(), 3u);
+  EXPECT_TRUE(page.truncated);
+  ASSERT_TRUE(service.ListObjects("/edge", page.next_start_after, 3, &page).ok());
+  EXPECT_EQ(page.names.size(), 3u);
+  EXPECT_FALSE(page.truncated) << "exact-boundary full page must not claim more entries";
+}
+
+TEST(ListingContractTest, ContinuationPastLastEntryIsEmptyAndFinal) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.BulkLoad(BulkEntry::Dir("/tail")).ok());
+  ASSERT_TRUE(service.BulkLoad(BulkEntry::Object("/tail/only", 1)).ok());
+  MetadataService::ListPage page;
+  ASSERT_TRUE(service.ListObjects("/tail", "only", 5, &page).ok());
+  EXPECT_TRUE(page.names.empty());
+  EXPECT_FALSE(page.truncated);
+}
+
+TEST(ListingContractTest, DefaultImplementationAgreesWithMantleOverride) {
+  // Drive the same boundary walk through Mantle's pushdown override and a
+  // baseline that inherits MetadataService's default ListObjects; the page
+  // contents and truncation flags must match step for step.
+  Network mantle_net(FastNetworkOptions());
+  MantleService mantle(&mantle_net, FastMantleOptions());
+  Network tectonic_net(FastNetworkOptions());
+  TectonicOptions tectonic_options;
+  tectonic_options.tafdb = FastTafDbOptions();
+  TectonicService tectonic(&tectonic_net, tectonic_options);
+
+  for (MetadataService* service :
+       {static_cast<MetadataService*>(&mantle), static_cast<MetadataService*>(&tectonic)}) {
+    ASSERT_TRUE(service->BulkLoad(BulkEntry::Dir("/agree")).ok());
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(
+          service->BulkLoad(BulkEntry::Object("/agree/a" + std::to_string(i), 1)).ok());
+    }
+  }
+
+  for (size_t page_size : {1u, 3u, 7u, 100u}) {
+    MetadataService::ListPage mantle_page;
+    MetadataService::ListPage default_page;
+    std::string mantle_cursor;
+    std::string default_cursor;
+    for (int step = 0; step < 12; ++step) {
+      ASSERT_TRUE(
+          mantle.ListObjects("/agree", mantle_cursor, page_size, &mantle_page).ok());
+      ASSERT_TRUE(
+          tectonic.ListObjects("/agree", default_cursor, page_size, &default_page).ok());
+      EXPECT_EQ(mantle_page.names, default_page.names)
+          << "page_size=" << page_size << " step=" << step;
+      EXPECT_EQ(mantle_page.truncated, default_page.truncated)
+          << "page_size=" << page_size << " step=" << step;
+      if (!mantle_page.truncated) {
+        break;
+      }
+      mantle_cursor = mantle_page.next_start_after;
+      default_cursor = default_page.next_start_after;
+    }
+    EXPECT_FALSE(mantle_page.truncated);
+  }
 }
 
 TEST(MantlePagingTest, ListSeesLiveMutations) {

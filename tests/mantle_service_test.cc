@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "src/common/path.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "tests/test_util.h"
 
 namespace mantle {
@@ -245,6 +247,92 @@ TEST_F(MantleServiceTest, ConcurrentRenameIntoSharedTarget) {
   std::vector<std::string> names;
   ASSERT_TRUE(service_->ReadDir("/out", &names).ok());
   EXPECT_EQ(names.size(), static_cast<size_t>(kThreads));
+}
+
+// --- typed error payload ------------------------------------------------------
+//
+// Failures carry the phase and failing component as structured fields;
+// callers switch on OpPhase instead of string-matching Status::message().
+
+TEST_F(MantleServiceTest, LookupFailureReportsPhaseAndMissingPrefix) {
+  OpResult missing = service_->Mkdir("/no/such/parent");
+  EXPECT_TRUE(missing.status.IsNotFound());
+  EXPECT_EQ(missing.failed_phase, OpPhase::kLookup);
+  EXPECT_EQ(missing.failed_component, "/no");  // deepest prefix that resolved to nothing
+}
+
+TEST_F(MantleServiceTest, ExecuteFailureReportsPhaseAndLeaf) {
+  ASSERT_TRUE(service_->Mkdir("/typed").ok());
+  OpResult dup = service_->Mkdir("/typed");
+  EXPECT_TRUE(dup.status.IsAlreadyExists());
+  EXPECT_EQ(dup.failed_phase, OpPhase::kExecute);  // MustNotExist txn precondition
+  EXPECT_EQ(dup.failed_component, "typed");
+}
+
+TEST_F(MantleServiceTest, RenameLoopReportsLoopDetectPhase) {
+  ASSERT_TRUE(service_->Mkdir("/cycle").ok());
+  ASSERT_TRUE(service_->Mkdir("/cycle/sub").ok());
+  OpResult loop = service_->RenameDir("/cycle", "/cycle/sub/in");
+  EXPECT_TRUE(loop.status.IsLoopDetected());
+  EXPECT_EQ(loop.failed_phase, OpPhase::kLoopDetect);
+  EXPECT_EQ(loop.failed_component, "cycle");
+}
+
+TEST_F(MantleServiceTest, SuccessLeavesErrorPayloadEmpty) {
+  OpResult ok = service_->Mkdir("/clean");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.failed_phase, OpPhase::kNone);
+  EXPECT_TRUE(ok.failed_component.empty());
+  EXPECT_STREQ(OpPhaseName(OpPhase::kNone), "none");
+  EXPECT_STREQ(OpPhaseName(OpPhase::kLookup), "lookup");
+  EXPECT_STREQ(OpPhaseName(OpPhase::kLoopDetect), "loop_detect");
+  EXPECT_STREQ(OpPhaseName(OpPhase::kExecute), "execute");
+}
+
+TEST_F(MantleServiceTest, PerOpMetricsAccumulateInRegistry) {
+  const uint64_t count_before =
+      obs::Metrics::Instance().CounterValue("core.op.mkdir.count");
+  const uint64_t failures_before =
+      obs::Metrics::Instance().CounterValue("core.op.mkdir.failures");
+  ASSERT_TRUE(service_->Mkdir("/metered").ok());
+  EXPECT_TRUE(service_->Mkdir("/metered").status.IsAlreadyExists());
+  EXPECT_GE(obs::Metrics::Instance().CounterValue("core.op.mkdir.count"),
+            count_before + 2);
+  EXPECT_GE(obs::Metrics::Instance().CounterValue("core.op.mkdir.failures"),
+            failures_before + 1);
+  EXPECT_GT(obs::Metrics::Instance()
+                .HistogramValue("core.op.mkdir.latency_nanos")
+                .count,
+            0u);
+}
+
+TEST_F(MantleServiceTest, ExplicitOpContextCarriesTraceThroughAnOperation) {
+  ASSERT_TRUE(service_->Mkdir("/traced").ok());
+  obs::OpTrace trace;
+  OpContext ctx = service_->MakeOpContext();
+  ctx.trace = &trace;
+  ASSERT_TRUE(service_->Mkdir(ctx, "/traced/child").ok());
+  // The op recorded a root span plus nested lookup/execute children.
+  ASSERT_FALSE(trace.spans().empty());
+  bool saw_lookup = false;
+  bool saw_execute = false;
+  for (const auto& span : trace.spans()) {
+    saw_lookup = saw_lookup || span.name == "lookup";
+    saw_execute = saw_execute || span.name == "execute";
+  }
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(saw_execute);
+  EXPECT_EQ(trace.spans().front().name, "mkdir");
+}
+
+TEST_F(MantleServiceTest, DumpStatsEmitsStableJsonSections) {
+  ASSERT_TRUE(service_->Mkdir("/stats").ok());
+  const std::string json = service_->DumpStats();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"tafdb.compaction.backlog\""), std::string::npos);
+  EXPECT_NE(json.find("\"index.removal_list.depth\""), std::string::npos);
 }
 
 TEST_F(MantleServiceTest, LookupAfterRenameSeesNewPathNotOld) {

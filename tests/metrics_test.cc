@@ -1,0 +1,267 @@
+// Unit tests for the observability layer: the sharded metrics registry
+// (exactness under concurrency, histogram quantile behaviour, stable JSON
+// export) and the request-scoped trace spans / OpContext plumbing.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/op_context.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+namespace {
+
+using obs::HistogramMetric;
+using obs::HistogramSnapshot;
+using obs::Metrics;
+
+TEST(MetricsTest, EnabledByDefault) { EXPECT_TRUE(obs::MetricsEnabled()); }
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  auto& registry = Metrics::Instance();
+  obs::Counter* a = registry.GetCounter("test.registry.counter");
+  obs::Counter* b = registry.GetCounter("test.registry.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.GetGauge("test.registry.gauge"),
+            registry.GetGauge("test.registry.gauge"));
+  EXPECT_EQ(registry.GetHistogram("test.registry.histogram"),
+            registry.GetHistogram("test.registry.histogram"));
+}
+
+TEST(MetricsTest, CounterConcurrentIncrementsAreExact) {
+  obs::Counter* counter = Metrics::Instance().GetCounter("test.counter.concurrent");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, CounterAddDelta) {
+  obs::Counter* counter = Metrics::Instance().GetCounter("test.counter.delta");
+  counter->Reset();
+  counter->Add(5);
+  counter->Add(7);
+  EXPECT_EQ(counter->Value(), 12u);
+}
+
+TEST(MetricsTest, GaugeSetAddSub) {
+  obs::Gauge* gauge = Metrics::Instance().GetGauge("test.gauge.basic");
+  gauge->Reset();
+  gauge->Set(10);
+  gauge->Add(5);
+  gauge->Sub(3);
+  EXPECT_EQ(gauge->Value(), 12);
+  gauge->Set(-4);
+  EXPECT_EQ(gauge->Value(), -4);
+}
+
+TEST(MetricsTest, HistogramSmallValuesAreExact) {
+  // Values below one octave's linear range land in unit-width buckets, so the
+  // reported percentiles are exact.
+  obs::HistogramMetric* histogram =
+      Metrics::Instance().GetHistogram("test.histogram.small");
+  histogram->Reset();
+  for (int64_t v = 1; v <= 10; ++v) {
+    histogram->Record(v);
+  }
+  HistogramSnapshot snap = histogram->Aggregate();
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 55);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 10);
+  EXPECT_EQ(snap.Percentile(50), 5);
+  EXPECT_EQ(snap.Percentile(100), 10);
+}
+
+TEST(MetricsTest, HistogramQuantilesMonotoneAndBounded) {
+  obs::HistogramMetric* histogram =
+      Metrics::Instance().GetHistogram("test.histogram.monotone");
+  histogram->Reset();
+  // A wide deterministic spread across many octaves.
+  for (int64_t v = 1; v <= 1'000'000; v = v * 3 / 2 + 1) {
+    histogram->Record(v);
+  }
+  HistogramSnapshot snap = histogram->Aggregate();
+  ASSERT_GT(snap.count, 0u);
+  int64_t previous = 0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const int64_t value = snap.Percentile(p);
+    EXPECT_GE(value, previous) << "quantiles must be monotone in p (p=" << p << ")";
+    EXPECT_GE(value, snap.min);
+    EXPECT_LE(value, snap.max);
+    previous = value;
+  }
+  EXPECT_EQ(snap.Percentile(100), snap.max);
+}
+
+TEST(MetricsTest, HistogramRelativeErrorWithinBucketWidth) {
+  // Every recorded value must fall into a bucket whose upper bound is within
+  // the advertised ~6% relative error (1/16 sub-bucket granularity).
+  for (int64_t value : {1LL, 17LL, 100LL, 1'000LL, 123'456LL, 80'000'000LL,
+                        123'456'789'012LL}) {
+    const int index = HistogramMetric::BucketIndex(value);
+    const int64_t upper = HistogramMetric::BucketUpperBound(index);
+    EXPECT_GE(upper, value);
+    EXPECT_LE(static_cast<double>(upper - value), 0.0625 * static_cast<double>(value) + 1.0)
+        << "value " << value << " bucket upper bound " << upper;
+  }
+}
+
+TEST(MetricsTest, HistogramBucketIndexMonotone) {
+  int previous = -1;
+  for (int64_t v = 0; v < 100'000; v += 7) {
+    const int index = HistogramMetric::BucketIndex(v);
+    EXPECT_GE(index, previous);
+    previous = index;
+  }
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordsKeepExactCountAndSum) {
+  obs::HistogramMetric* histogram =
+      Metrics::Instance().GetHistogram("test.histogram.concurrent");
+  histogram->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Record(1 + ((t + i) % 1000));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  HistogramSnapshot snap = histogram->Aggregate();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 1000);
+  EXPECT_GT(snap.sum, 0);
+}
+
+TEST(MetricsTest, DumpJsonIsSortedAndStable) {
+  auto& registry = Metrics::Instance();
+  // Register deliberately out of lexicographic order.
+  registry.GetCounter("test.zzz.counter")->Add();
+  registry.GetCounter("test.aaa.counter")->Add();
+  registry.GetCounter("test.mmm.counter")->Add();
+  const std::string dump = registry.DumpJson();
+  const size_t aaa = dump.find("\"test.aaa.counter\"");
+  const size_t mmm = dump.find("\"test.mmm.counter\"");
+  const size_t zzz = dump.find("\"test.zzz.counter\"");
+  ASSERT_NE(aaa, std::string::npos);
+  ASSERT_NE(mmm, std::string::npos);
+  ASSERT_NE(zzz, std::string::npos);
+  EXPECT_LT(aaa, mmm);
+  EXPECT_LT(mmm, zzz);
+  // Stable: a second scrape of unchanged instruments is byte-identical.
+  EXPECT_EQ(dump, registry.DumpJson());
+  // Schema: three sections in fixed order.
+  const size_t counters = dump.find("\"counters\"");
+  const size_t gauges = dump.find("\"gauges\"");
+  const size_t histograms = dump.find("\"histograms\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(gauges, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  EXPECT_LT(counters, gauges);
+  EXPECT_LT(gauges, histograms);
+}
+
+TEST(MetricsTest, ConvenienceScrapesHandleUnknownNames) {
+  auto& registry = Metrics::Instance();
+  EXPECT_EQ(registry.CounterValue("test.unknown.counter.name"), 0u);
+  EXPECT_EQ(registry.GaugeValue("test.unknown.gauge.name"), 0);
+  EXPECT_EQ(registry.HistogramValue("test.unknown.histogram.name").count, 0u);
+}
+
+TEST(TraceTest, SpansNestAndClose) {
+  obs::OpTrace trace("mkdir");
+  {
+    obs::ScopedSpan lookup(&trace, "lookup");
+    obs::ScopedSpan resolve(&trace, "index.resolve");
+  }
+  {
+    obs::ScopedSpan execute(&trace, "execute");
+  }
+  trace.End(0);
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_EQ(trace.spans()[0].name, "mkdir");
+  EXPECT_EQ(trace.spans()[0].parent, -1);
+  EXPECT_EQ(trace.spans()[1].name, "lookup");
+  EXPECT_EQ(trace.spans()[1].parent, 0);
+  EXPECT_EQ(trace.spans()[2].name, "index.resolve");
+  EXPECT_EQ(trace.spans()[2].parent, 1);
+  EXPECT_EQ(trace.spans()[2].depth, 2);
+  EXPECT_EQ(trace.spans()[3].name, "execute");
+  EXPECT_EQ(trace.spans()[3].parent, 0);
+  for (const auto& span : trace.spans()) {
+    EXPECT_GT(span.end_nanos, 0) << span.name << " left open";
+    EXPECT_GE(span.end_nanos, span.start_nanos);
+  }
+  EXPECT_GT(trace.RootDurationNanos(), 0);
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("mkdir"), std::string::npos);
+  EXPECT_NE(rendered.find("index.resolve"), std::string::npos);
+}
+
+TEST(TraceTest, EndClosesForgottenChildren) {
+  obs::OpTrace trace;
+  const int root = trace.Begin("root");
+  trace.Begin("leaked-child");
+  trace.End(root);
+  for (const auto& span : trace.spans()) {
+    EXPECT_GT(span.end_nanos, 0) << span.name;
+  }
+}
+
+TEST(TraceTest, ScopedSpanToleratesNullTrace) {
+  obs::ScopedSpan span(nullptr, "noop");  // must not crash
+}
+
+TEST(OpContextTest, NullContextIsUnlimitedAndTraceless) {
+  EXPECT_FALSE(OpContext::DeadlineOf(nullptr).limited());
+  EXPECT_EQ(OpContext::TraceOf(nullptr), nullptr);
+}
+
+TEST(OpContextTest, ContextCarriesDeadlineAndTrace) {
+  obs::OpTrace trace("op");
+  OpContext ctx;
+  ctx.deadline = Deadline::After(1'000'000'000);
+  ctx.trace = &trace;
+  EXPECT_TRUE(OpContext::DeadlineOf(&ctx).limited());
+  EXPECT_GT(OpContext::DeadlineOf(&ctx).RemainingNanos(), 0);
+  EXPECT_EQ(OpContext::TraceOf(&ctx), &trace);
+}
+
+TEST(OpContextTest, ScopedOpContextPublishesAmbientDeadline) {
+  EXPECT_FALSE(Deadline::Ambient().limited());
+  {
+    OpContext ctx;
+    ctx.deadline = Deadline::After(5'000'000'000);
+    ScopedOpContext shim(ctx);
+    EXPECT_TRUE(Deadline::Ambient().limited());
+  }
+  EXPECT_FALSE(Deadline::Ambient().limited());
+}
+
+}  // namespace
+}  // namespace mantle
