@@ -53,3 +53,21 @@ for metric in '"index.cache.hit"' '"net.rpc.count"'; do
   fi
 done
 echo "metrics smoke OK"
+
+# Recovery smoke: the seeded acceptance drill (coordinator killed mid-2PC plus
+# total index-group loss) must end with zero in-doubt transactions and a clean
+# fsck, straight from the built tree.
+echo "== recovery smoke (seeded crash drill) =="
+"$BUILD_DIR/tests/crash_recovery_test" \
+  --gtest_filter='CrashRecoveryTest.AcceptanceSeededCrashDrillEndsCleanWithoutRepair'
+echo "recovery smoke OK"
+
+# The rename TOCTOU fix is only as good as its race coverage: under TSan,
+# hammer the rename-safety suite repeatedly so the seqlock-validated prepare
+# section sees many interleavings.
+if [ "$MODE" = thread ]; then
+  echo "== rename safety under TSan (10 repeats) =="
+  "$BUILD_DIR/tests/rename_safety_test" --gtest_repeat=10 \
+    --gtest_filter='RenameSafetyTest.*'
+  echo "rename safety OK"
+fi

@@ -1,5 +1,9 @@
 #include "src/core/mantle_service.h"
 
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "src/common/path.h"
 #include "src/obs/metrics.h"
 
@@ -748,7 +752,7 @@ OpResult MantleService::SetDirPermission(OpContext& ctx, const std::string& path
   return result;
 }
 
-MantleService::ConsistencyReport MantleService::Fsck() {
+MantleService::ConsistencyReport MantleService::FsckScan(FsckFindings& findings) {
   ConsistencyReport report;
   IndexReplica* leader = index_->LeaderReplica();
   if (leader == nullptr) {
@@ -763,21 +767,30 @@ MantleService::ConsistencyReport MantleService::Fsck() {
     auto row = tafdb_->LocalGet(EntryKey(entry.pid, entry.name));
     if (!row.has_value()) {
       report.missing_entry_row.push_back(label);
+      findings.missing_entry.push_back({entry.pid, entry.name, entry.id, entry.permission});
     } else if (row->id != entry.id || !row->IsDirectoryEntry()) {
       report.id_mismatch.push_back(label);
+      findings.id_mismatch.push_back({entry.pid, entry.name, entry.id, entry.permission});
     }
     if (!tafdb_->LocalGet(AttrKey(entry.id)).has_value()) {
       report.missing_attr_row.push_back(label);
+      findings.missing_attr.push_back({entry.pid, entry.name, entry.id, entry.permission});
     }
   }
   // Pass 2: every directory entry row in this namespace is indexed. Ownership
   // is decided by walking the row's parent chain in the index: rows whose pid
-  // is unknown to this namespace's index belong to another tenant.
+  // is unknown to this namespace's index belong to another tenant. Delta rows
+  // are collected here too (pass 3 below decides whether they are orphaned).
   IndexTable& table = leader->table();
   ShardMap* shards = tafdb_->shard_map();
+  std::unordered_set<InodeId> delta_dirs;
   for (uint32_t i = 0; i < shards->num_shards(); ++i) {
     shards->ShardAt(i)->ForEach([&](const MetaKey& key, const MetaValue& value) {
       ++report.rows_scanned;
+      if (key.ts != 0 && key.name == kAttrName) {
+        delta_dirs.insert(key.pid);
+        return;
+      }
       if (key.ts != 0 || key.name == kAttrName || !value.IsDirectoryEntry()) {
         return;
       }
@@ -790,9 +803,137 @@ MantleService::ConsistencyReport MantleService::Fsck() {
       if (!indexed.has_value() || indexed->id != value.id) {
         report.unindexed_dir_row.push_back("(" + std::to_string(key.pid) + "," + key.name +
                                            ")");
+        findings.unindexed.push_back({key.pid, key.name, value.id, value.permission});
       }
     });
   }
+  // Pass 3: delta rows the compactor no longer tracks. A compactor crash
+  // loses the in-memory pending set, stranding fully-written delta rows that
+  // dirstat must keep merging forever. Scoped to this namespace's dirs.
+  for (InodeId dir_id : delta_dirs) {
+    const bool owned = dir_id == root_id_ || table.GetParent(dir_id).has_value();
+    if (!owned || tafdb_->PendingCompactionContains(dir_id)) {
+      continue;
+    }
+    report.orphaned_delta.push_back("dir " + std::to_string(dir_id));
+    findings.orphaned_delta_dirs.push_back(dir_id);
+  }
+  return report;
+}
+
+MantleService::ConsistencyReport MantleService::Fsck() {
+  FsckFindings findings;
+  return FsckScan(findings);
+}
+
+MantleService::RepairReport MantleService::Fsck(const RepairOptions& options) {
+  RepairReport report;
+  FsckFindings findings;
+  FsckScan(findings);
+
+  static obs::Counter* entry_rows =
+      obs::Metrics::Instance().GetCounter("fsck.repaired.entry_rows");
+  static obs::Counter* ids = obs::Metrics::Instance().GetCounter("fsck.repaired.id_mismatch");
+  static obs::Counter* attr_rows =
+      obs::Metrics::Instance().GetCounter("fsck.repaired.attr_rows");
+  static obs::Counter* indexed = obs::Metrics::Instance().GetCounter("fsck.repaired.dirs_indexed");
+  static obs::Counter* deltas = obs::Metrics::Instance().GetCounter("fsck.repaired.delta_dirs");
+
+  if (options.restore_entry_rows) {
+    for (const auto& finding : findings.missing_entry) {
+      tafdb_->LoadPut(EntryKey(finding.pid, finding.name),
+                      MetaValue{EntryType::kDirectory, finding.id, finding.permission, 0, 0, 0, 0});
+      ++report.entry_rows_restored;
+    }
+    entry_rows->Add(report.entry_rows_restored);
+  }
+  if (options.fix_id_mismatches) {
+    for (const auto& finding : findings.id_mismatch) {
+      tafdb_->LoadPut(EntryKey(finding.pid, finding.name),
+                      MetaValue{EntryType::kDirectory, finding.id, finding.permission, 0, 0, 0, 0});
+      ++report.ids_corrected;
+    }
+    ids->Add(report.ids_corrected);
+  }
+  if (options.restore_attr_rows) {
+    for (const auto& finding : findings.missing_attr) {
+      // Recount rather than trust anything cached: the children rows are the
+      // durable truth for the directory's size.
+      const int64_t child_count = static_cast<int64_t>(
+          tafdb_->shard_map()->Route(finding.id)->ScanChildren(finding.id).size());
+      tafdb_->LoadPut(AttrKey(finding.id), MetaValue{EntryType::kAttrPrimary, finding.id,
+                                                     finding.permission, 0, child_count, 0, 0});
+      ++report.attr_rows_restored;
+    }
+    attr_rows->Add(report.attr_rows_restored);
+  }
+  if (options.index_unindexed_dirs) {
+    for (const auto& finding : findings.unindexed) {
+      if (index_->AddDir(finding.pid, finding.name, finding.id, finding.permission).ok()) {
+        ++report.dirs_indexed;
+      }
+    }
+    indexed->Add(report.dirs_indexed);
+  }
+  if (options.compact_orphaned_deltas && !findings.orphaned_delta_dirs.empty()) {
+    report.delta_dirs_compacted = findings.orphaned_delta_dirs.size();
+    tafdb_->RecoverCompactionBacklog();
+    tafdb_->CompactAllPending();
+    deltas->Add(report.delta_dirs_compacted);
+  }
+
+  FsckFindings remaining;
+  report.remaining = FsckScan(remaining);
+  return report;
+}
+
+MantleService::IndexRebuildReport MantleService::RecoverIndexFromTafDb() {
+  IndexRebuildReport report;
+  // Collect this namespace's directory entry rows, then order them parents-
+  // before-children by BFS from the root (LoadDir can only resolve a child
+  // whose parent is already present). Collect-then-walk: Shard::ForEach holds
+  // the shard's shared lock, so no nested shard reads from the callback. BFS
+  // from the root also scopes the load to this tenant - rows whose parent
+  // chain never reaches root_id_ belong to other namespaces in the shared
+  // TafDB.
+  struct DirRow {
+    std::string name;
+    InodeId id;
+    uint32_t permission;
+  };
+  std::unordered_map<InodeId, std::vector<DirRow>> by_parent;
+  ShardMap* shards = tafdb_->shard_map();
+  for (uint32_t i = 0; i < shards->num_shards(); ++i) {
+    shards->ShardAt(i)->ForEach([&](const MetaKey& key, const MetaValue& value) {
+      if (key.ts != 0 || key.name == kAttrName || !value.IsDirectoryEntry()) {
+        return;
+      }
+      by_parent[key.pid].push_back(DirRow{key.name, value.id, value.permission});
+    });
+  }
+  std::vector<IndexTable::ExportedEntry> dirs;
+  std::deque<InodeId> frontier;
+  frontier.push_back(root_id_);
+  while (!frontier.empty()) {
+    const InodeId pid = frontier.front();
+    frontier.pop_front();
+    auto it = by_parent.find(pid);
+    if (it == by_parent.end()) {
+      continue;
+    }
+    for (const DirRow& row : it->second) {
+      dirs.push_back({pid, row.name, row.id, row.permission});
+      frontier.push_back(row.id);
+    }
+    by_parent.erase(it);  // corrupt-cycle guard: visit each parent once
+  }
+  index_->ColdStartRebuild(dirs);
+  report.dirs_loaded = dirs.size();
+  report.replicas_rebuilt = index_->num_replicas();
+  static obs::Counter* rebuilds = obs::Metrics::Instance().GetCounter("index.rebuild.count");
+  static obs::Counter* loaded = obs::Metrics::Instance().GetCounter("index.rebuild.dirs_loaded");
+  rebuilds->Add();
+  loaded->Add(report.dirs_loaded);
   return report;
 }
 

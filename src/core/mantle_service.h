@@ -118,6 +118,11 @@ class MantleService final : public MetadataService {
     std::vector<std::string> id_mismatch;        // entry row id differs from the index
     std::vector<std::string> missing_attr_row;   // directory without an attr primary
     std::vector<std::string> unindexed_dir_row;  // DB dir row absent from the index
+    // Delta rows whose directory the compactor no longer tracks (a compactor
+    // crash loses its in-memory pending set). Reported but excluded from
+    // clean(): deltas are legitimately in flight during normal operation and
+    // the pending set empties transiently mid-pass.
+    std::vector<std::string> orphaned_delta;
 
     bool clean() const {
       return missing_entry_row.empty() && id_mismatch.empty() && missing_attr_row.empty() &&
@@ -125,9 +130,63 @@ class MantleService final : public MetadataService {
     }
   };
   ConsistencyReport Fsck();
+
+  // Repair mode: re-runs the audit and fixes each divergence class in place.
+  // The IndexNode (Raft-replicated) is authoritative for access metadata, so
+  // entry-row damage heals from the index; unindexed TafDB dir rows (a crash
+  // between the TafDB txn and the index propose) heal into the index.
+  struct RepairOptions {
+    bool restore_entry_rows = true;      // re-create missing entry rows from the index
+    bool fix_id_mismatches = true;       // rewrite entry rows to the index's id
+    bool restore_attr_rows = true;       // re-create attr primaries (child count recounted)
+    bool index_unindexed_dirs = true;    // propose missing dirs into the index
+    bool compact_orphaned_deltas = true; // re-pend and fold stranded delta rows
+  };
+  struct RepairReport {
+    uint64_t entry_rows_restored = 0;
+    uint64_t ids_corrected = 0;
+    uint64_t attr_rows_restored = 0;
+    uint64_t dirs_indexed = 0;
+    uint64_t delta_dirs_compacted = 0;
+    ConsistencyReport remaining;  // post-repair audit
+  };
+  RepairReport Fsck(const RepairOptions& options);
+
+  // --- crash recovery ---------------------------------------------------------
+
+  struct IndexRebuildReport {
+    uint64_t dirs_loaded = 0;
+    uint32_t replicas_rebuilt = 0;
+  };
+
+  // Crash-stops the entire IndexNode Raft group (total group loss - the one
+  // failure replication cannot mask).
+  void CrashIndexGroup() { index_->CrashGroup(); }
+
+  // Cold-start rebuild from TafDB's durable rows: scans this namespace's
+  // directory entry rows, orders parents before children, reloads every
+  // replica and re-elects a leader. The namespace serves again on return.
+  IndexRebuildReport RecoverIndexFromTafDb();
+
   Network* network() { return network_; }
 
  private:
+  // Structured audit findings backing both Fsck overloads: the repair pass
+  // needs (pid, name, id) tuples, not display labels.
+  struct FsckFinding {
+    InodeId pid = 0;
+    std::string name;
+    InodeId id = 0;  // index-side id for passes over the index, row id otherwise
+    uint32_t permission = kPermAll;
+  };
+  struct FsckFindings {
+    std::vector<FsckFinding> missing_entry;
+    std::vector<FsckFinding> id_mismatch;
+    std::vector<FsckFinding> missing_attr;
+    std::vector<FsckFinding> unindexed;
+    std::vector<InodeId> orphaned_delta_dirs;
+  };
+  ConsistencyReport FsckScan(FsckFindings& findings);
   InodeId AllocateId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
   uint64_t NewUuid() { return next_uuid_.fetch_add(1, std::memory_order_relaxed) + 1; }
 

@@ -282,30 +282,51 @@ Result<IndexReplica::RenamePrepared> IndexReplica::RenamePrepare(
     }
   };
 
-  // Loop detection: the destination parent must not live under the source.
-  if (table_.IsSelfOrAncestor(src_id, dst_pid)) {
-    release();
-    return Status::LoopDetected(JoinPath(dst_parent_components) + " is under " + src_path);
-  }
+  // Loop detection + lock-bit scan, validated against the table's mutation
+  // version. The two reads are individually consistent but not atomic as a
+  // pair: a rename that commits (and releases its lock bit) between them can
+  // restructure the tree after our loop check passed yet before our scan saw
+  // its lock - the TOCTOU that once let two opposing renames both commit and
+  // form a cycle. An unchanged version across the whole section proves no
+  // apply-thread mutation interleaved, so the pair is as-if atomic.
+  constexpr int kMaxValidationRetries = 16;
+  for (int attempt = 0;; ++attempt) {
+    const uint64_t version_before = table_.mutation_version();
 
-  // Step 6: examine lock bits from the least common ancestor of src and dst
-  // down to the destination. A foreign lock there means a concurrent rename
-  // could invalidate our loop check - abort and retry.
-  const auto src_chain = table_.AncestorChain(src_id);
-  std::unordered_set<InodeId> src_ancestors(src_chain.begin(), src_chain.end());
-  const auto dst_chain = table_.AncestorChain(dst_pid);
-  // Ancestor hops are parent-pointer dereferences, far cheaper than the
-  // hashed IndexTable probes of resolution: charge them at quarter weight.
-  network_->ChargeService(static_cast<int64_t>(src_chain.size() + dst_chain.size()) *
-                          network_->options().mem_index_access_nanos / 4);
-  for (InodeId ancestor : dst_chain) {
-    if (src_ancestors.contains(ancestor)) {
-      break;  // reached the LCA; locks above it cannot move dst relative to src
-    }
-    const uint64_t owner = table_.LockOwner(ancestor);
-    if (owner != 0 && owner != uuid) {
+    // The destination parent must not live under the source.
+    if (table_.IsSelfOrAncestor(src_id, dst_pid)) {
       release();
-      return Status::Busy("conflicting rename on ancestor of destination");
+      return Status::LoopDetected(JoinPath(dst_parent_components) + " is under " + src_path);
+    }
+
+    // Step 6: examine lock bits from the least common ancestor of src and dst
+    // down to the destination. A foreign lock there means a concurrent rename
+    // could invalidate our loop check - abort and retry.
+    const auto src_chain = table_.AncestorChain(src_id);
+    std::unordered_set<InodeId> src_ancestors(src_chain.begin(), src_chain.end());
+    const auto dst_chain = table_.AncestorChain(dst_pid);
+    // Ancestor hops are parent-pointer dereferences, far cheaper than the
+    // hashed IndexTable probes of resolution: charge them at quarter weight.
+    network_->ChargeService(static_cast<int64_t>(src_chain.size() + dst_chain.size()) *
+                            network_->options().mem_index_access_nanos / 4);
+    for (InodeId ancestor : dst_chain) {
+      if (src_ancestors.contains(ancestor)) {
+        break;  // reached the LCA; locks above it cannot move dst relative to src
+      }
+      const uint64_t owner = table_.LockOwner(ancestor);
+      if (owner != 0 && owner != uuid) {
+        release();
+        return Status::Busy("conflicting rename on ancestor of destination");
+      }
+    }
+
+    if (table_.mutation_version() == version_before) {
+      break;
+    }
+    if (attempt >= kMaxValidationRetries) {
+      // Pathological mutation churn; bail out and let the proxy retry.
+      release();
+      return Status::Busy("index mutated throughout rename validation");
     }
   }
 
@@ -327,6 +348,24 @@ void IndexReplica::LoadDir(InodeId pid, const std::string& name, InodeId id,
   Status status = table_.Insert(pid, name, id, permission);
   if (!status.ok()) {
     MANTLE_WLOG << "LoadDir failed for " << name << ": " << status;
+  }
+}
+
+void IndexReplica::ResetForRebuild() {
+  {
+    // In-flight renames died with the group: their lock bits vanish with the
+    // table, and marking the RemovalList entries done lets the Invalidator
+    // retire them instead of pinning removal-list versions forever.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto& [uuid, token] : pending_renames_) {
+      removal_list_.MarkDone(token);
+    }
+    pending_renames_.clear();
+  }
+  table_.Reset();
+  // Cached resolutions predate the rebuilt state: drop them wholesale.
+  for (const std::string& prefix : prefix_tree_.RemoveSubtree("/")) {
+    cache_.Erase(prefix);
   }
 }
 

@@ -88,6 +88,12 @@ class IndexReplica final : public StateMachine {
   // --- bulk loading (pre-serving; applied identically to every replica) -------
   void LoadDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
 
+  // Cold-start rebuild: clears every in-memory structure (IndexTable, path
+  // cache, prefix tree, in-flight rename registrations) back to the bare
+  // root. The caller re-populates via LoadDir from a TafDB scan before the
+  // replica rejoins serving. Only valid while the owning Raft node is down.
+  void ResetForRebuild();
+
   // --- introspection ------------------------------------------------------------
   IndexTable& table() { return table_; }
   TopDirPathCache& cache() { return cache_; }

@@ -7,7 +7,7 @@
 namespace mantle {
 
 IndexService::IndexService(Network* network, const std::string& name, IndexServiceOptions options)
-    : network_(network), options_(options) {
+    : network_(network), name_(name), options_(options) {
   const uint32_t total = options_.num_voters + options_.num_learners;
   replicas_.resize(total, nullptr);
   group_ = std::make_unique<RaftGroup>(
@@ -196,6 +196,52 @@ void IndexService::LoadDir(InodeId pid, const std::string& name, InodeId id,
   for (IndexReplica* replica : replicas_) {
     replica->LoadDir(pid, name, id, permission);
   }
+}
+
+void IndexService::CrashGroup() {
+  for (uint32_t id = 0; id < group_->num_nodes(); ++id) {
+    group_->node(id)->Stop();
+  }
+  // The group-name prefix rule covers every "<name>-<id>" and
+  // "<name>-<id>-raft" server in one shot.
+  network_->faults().CrashServer(name_);
+}
+
+void IndexService::ColdStartRebuild(const std::vector<IndexTable::ExportedEntry>& dirs) {
+  const uint32_t total = group_->num_nodes();
+  for (uint32_t id = 0; id < total; ++id) {
+    RaftNode* node = group_->node(id);
+    if (!node->IsDown()) {
+      node->Stop();
+    }
+  }
+  // Deadline-abandoned resolve handlers may still be queued on the dead
+  // servers; let them run against the old structures before the wipe.
+  for (uint32_t id = 0; id < total; ++id) {
+    group_->node(id)->server()->Drain();
+    group_->node(id)->raft_server()->Drain();
+  }
+  for (uint32_t id = 0; id < total; ++id) {
+    group_->node(id)->WipeState();
+  }
+  for (IndexReplica* replica : replicas_) {
+    replica->ResetForRebuild();
+    for (const auto& dir : dirs) {
+      replica->LoadDir(dir.pid, dir.name, dir.id, dir.permission);
+    }
+  }
+  // RestartServer clears only the exact rule key, so undo both the group
+  // prefix rule CrashGroup installs and any per-node rules tests added.
+  network_->faults().RestartServer(name_);
+  for (uint32_t id = 0; id < total; ++id) {
+    const std::string node_name = name_ + "-" + std::to_string(id);
+    network_->faults().RestartServer(node_name);
+    network_->faults().RestartServer(node_name + "-raft");
+  }
+  for (uint32_t id = 0; id < total; ++id) {
+    group_->node(id)->Restart();
+  }
+  group_->Start();
 }
 
 IndexReplica* IndexService::LeaderReplica() {

@@ -81,6 +81,19 @@ class IndexService {
   // --- bulk loading (applies to every replica; pre-serving only) ----------------
   void LoadDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
 
+  // --- crash recovery (total group loss) ---------------------------------------
+
+  // Crash-stops every replica and marks all of the group's servers crashed in
+  // the fault plan. Models simultaneous loss of the whole IndexNode group -
+  // the one failure Raft cannot mask and snapshots cannot heal.
+  void CrashGroup();
+
+  // Cold-start rebuild after CrashGroup: wipes every node's Raft state back
+  // to a blank disk, reloads every replica's structures from `dirs` (a TafDB
+  // scan, parents before children), clears the crash rules, restarts the
+  // nodes and re-elects a leader. The group serves again when this returns.
+  void ColdStartRebuild(const std::vector<IndexTable::ExportedEntry>& dirs);
+
   // --- introspection --------------------------------------------------------------
   RaftGroup* group() { return group_.get(); }
   IndexReplica* replica(uint32_t id) { return replicas_[id]; }
@@ -101,6 +114,7 @@ class IndexService {
   RaftNode* PickReadReplica();
 
   Network* network_;
+  std::string name_;
   IndexServiceOptions options_;
   std::vector<IndexReplica*> replicas_;
   std::unique_ptr<RaftGroup> group_;

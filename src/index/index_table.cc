@@ -101,6 +101,7 @@ void IndexTable::Reset() {
     entries_.clear();
     by_id_.clear();
     by_id_[root_id_] = ReverseEntry{kNoParent, "", kPermAll};
+    BumpVersionLocked();
   }
   std::lock_guard<std::mutex> lock(lock_mu_);
   rename_locks_.clear();
@@ -113,6 +114,7 @@ Status IndexTable::Insert(InodeId pid, const std::string& name, InodeId id, uint
     return Status::AlreadyExists(name);
   }
   by_id_[id] = ReverseEntry{pid, name, permission};
+  BumpVersionLocked();
   return Status::Ok();
 }
 
@@ -125,6 +127,7 @@ Status IndexTable::Remove(InodeId pid, const std::string& name) {
   const InodeId id = it->second.id;
   entries_.erase(it);
   by_id_.erase(id);
+  BumpVersionLocked();
   lock.unlock();
   ClearLock(id);
   return Status::Ok();
@@ -144,6 +147,7 @@ Status IndexTable::Rename(InodeId src_pid, const std::string& src_name, InodeId 
   entries_.erase(src);
   entries_[PairKey{dst_pid, dst_name}] = moved;
   by_id_[moved.id] = ReverseEntry{dst_pid, dst_name, moved.permission};
+  BumpVersionLocked();
   lock.unlock();
   ClearLock(moved.id);
   return Status::Ok();
@@ -157,6 +161,7 @@ Status IndexTable::SetPermission(InodeId pid, const std::string& name, uint32_t 
   }
   it->second.permission = permission;
   by_id_[it->second.id].permission = permission;
+  BumpVersionLocked();
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #ifndef SRC_INDEX_INDEX_TABLE_H_
 #define SRC_INDEX_INDEX_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -60,6 +61,16 @@ class IndexTable {
   std::vector<InodeId> AncestorChain(InodeId id) const;
 
   size_t Size() const;
+
+  // Monotone counter bumped by every successful structural mutation (Insert,
+  // Remove, Rename, SetPermission, Reset). Multi-read validation sections -
+  // e.g. rename loop detection followed by the ancestor lock-bit scan - take
+  // a snapshot before the first read and retry if it moved by the last, which
+  // closes the TOCTOU window between reads without holding the table lock
+  // across the whole section.
+  uint64_t mutation_version() const {
+    return mutation_version_.load(std::memory_order_acquire);
+  }
 
   // Snapshot support: every entry as (pid, name, id, permission).
   struct ExportedEntry {
@@ -112,7 +123,12 @@ class IndexTable {
     uint32_t permission;
   };
 
+  void BumpVersionLocked() {
+    mutation_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   const InodeId root_id_;
+  std::atomic<uint64_t> mutation_version_{0};
   mutable std::shared_mutex mu_;
   std::unordered_map<PairKey, IndexEntry, PairKeyHash> entries_;
   std::unordered_map<InodeId, ReverseEntry> by_id_;

@@ -118,6 +118,12 @@ bool Shard::TryLockKey(const MetaKey& key, uint64_t txn_id) {
   return false;
 }
 
+uint64_t Shard::LockHolder(const MetaKey& key) const {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  auto it = key_locks_.find(key);
+  return it == key_locks_.end() ? 0 : it->second;
+}
+
 void Shard::UnlockKey(const MetaKey& key, uint64_t txn_id) {
   std::lock_guard<std::mutex> lock(lock_mu_);
   auto it = key_locks_.find(key);

@@ -89,6 +89,10 @@ class Shard {
   // transaction. Returns false on conflict (another transaction holds it).
   bool TryLockKey(const MetaKey& key, uint64_t txn_id);
   void UnlockKey(const MetaKey& key, uint64_t txn_id);
+  // Transaction currently holding `key`'s write lock, or 0. Crash recovery
+  // keys commit redelivery off this: a participant still holding an intent's
+  // locks was prepared but never received the decision.
+  uint64_t LockHolder(const MetaKey& key) const;
 
   // Validates `op`'s precondition; caller must hold the key lock.
   Status CheckPrecondition(const WriteOp& op) const;

@@ -130,6 +130,26 @@ void RaftNode::Restart() {
   down_.store(false, std::memory_order_release);
 }
 
+void RaftNode::WipeState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!down_.load(std::memory_order_acquire)) {
+    // Only a stopped node can lose its disk; live threads would race the
+    // reset. Total-group-loss recovery stops every node first.
+    return;
+  }
+  FailPendingLocked(Status::Unavailable("node state wiped"));
+  log_.ResetToSnapshot(0, 0);
+  term_ = 0;
+  voted_for_ = -1;
+  leader_hint_ = UINT32_MAX;
+  commit_index_ = 0;
+  last_applied_ = 0;
+  snapshot_index_ = 0;
+  snapshot_term_ = 0;
+  snapshot_data_.clear();
+  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+}
+
 void RaftNode::BecomeFollower(uint64_t term) {
   term_ = term;
   voted_for_ = -1;

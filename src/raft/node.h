@@ -122,6 +122,11 @@ class RaftNode {
   // Crash-stop simulation.
   void Stop();
   void Restart();
+  // Cold-restart support: discards all Raft state - log, term, vote, commit
+  // and apply cursors, retained snapshot - as if the node came back on a
+  // blank disk. No-op unless the node is stopped. The caller rebuilds the
+  // state machine (or lets InstallSnapshot do it) before Restart().
+  void WipeState();
   bool IsDown() const { return down_.load(std::memory_order_acquire); }
 
   // Two-phase teardown, used by RaftGroup: nodes hold raw peer pointers, so

@@ -218,6 +218,12 @@ void TafDb::CompactAllPending() {
     std::lock_guard<std::mutex> lock(pending_mu_);
     batch.swap(pending_compaction_);
   }
+  if (!batch.empty() && compaction_crash_once_.exchange(false)) {
+    // Simulated compactor crash between dequeue and fold: the batch (and with
+    // it the only in-memory record of these directories) is dropped, leaving
+    // their delta rows orphaned until RecoverCompactionBacklog re-scans.
+    return;
+  }
   for (InodeId dir_id : batch) {
     CompactDirectory(dir_id);
     // Deltas may have landed after the scan; keep the directory pending so
@@ -231,9 +237,41 @@ void TafDb::CompactAllPending() {
   backlog->Set(static_cast<int64_t>(PendingCompactions()));
 }
 
+TxnRecoveryReport TafDb::RecoverCoordinator() {
+  coordinator_->SimulateRestart();
+  return coordinator_->Recover();
+}
+
+size_t TafDb::RecoverCompactionBacklog() {
+  std::unordered_set<InodeId> dirs;
+  for (uint32_t i = 0; i < shards_->num_shards(); ++i) {
+    // Collect only; Shard::ForEach holds the shard's shared lock, so no
+    // nested shard reads from inside the callback.
+    shards_->ShardAt(i)->ForEach([&dirs](const MetaKey& key, const MetaValue&) {
+      if (key.ts != 0 && key.name == kAttrName) {
+        dirs.insert(key.pid);
+      }
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (InodeId dir_id : dirs) {
+      pending_compaction_.insert(dir_id);
+    }
+  }
+  static obs::Gauge* backlog = obs::Metrics::Instance().GetGauge("tafdb.compaction.backlog");
+  backlog->Set(static_cast<int64_t>(PendingCompactions()));
+  return dirs.size();
+}
+
 size_t TafDb::PendingCompactions() const {
   std::lock_guard<std::mutex> lock(pending_mu_);
   return pending_compaction_.size();
+}
+
+bool TafDb::PendingCompactionContains(InodeId dir_id) const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_compaction_.count(dir_id) > 0;
 }
 
 void TafDb::CompactorLoop() {

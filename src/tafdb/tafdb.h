@@ -109,6 +109,30 @@ class TafDb {
   // Drains the entire pending set once (deterministic tests).
   void CompactAllPending();
   size_t PendingCompactions() const;
+  // True if the compactor still tracks `dir_id` (fsck's orphaned-delta probe).
+  bool PendingCompactionContains(InodeId dir_id) const;
+
+  // --- crash recovery ---------------------------------------------------------
+
+  TxnCoordinator& coordinator() { return *coordinator_; }
+
+  // Coordinator cold start: volatile state is dropped (SimulateRestart) and
+  // the durable intent table replayed (Recover). After this returns there are
+  // zero in-doubt transactions and no stranded shard locks.
+  TxnRecoveryReport RecoverCoordinator();
+
+  // Compactor cold start: the pending-compaction set is process-local and
+  // dies with a crash, stranding fully-written delta rows. Re-scans every
+  // shard for delta keys and re-pends their directories; returns how many
+  // directories were re-queued.
+  size_t RecoverCompactionBacklog();
+
+  // Arms a one-shot crash in the next compaction pass that has pending work:
+  // the batch is dropped between dequeue and fold, exactly the window where a
+  // real compactor crash orphans delta rows.
+  void SimulateCompactionCrashOnce() {
+    compaction_crash_once_.store(true, std::memory_order_release);
+  }
 
   // --- introspection -----------------------------------------------------------
 
@@ -130,6 +154,7 @@ class TafDb {
 
   mutable std::mutex pending_mu_;
   std::unordered_set<InodeId> pending_compaction_;
+  std::atomic<bool> compaction_crash_once_{false};
 
   std::thread compactor_;
   std::mutex stop_mu_;

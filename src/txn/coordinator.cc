@@ -5,6 +5,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <unordered_set>
 
 #include "src/common/deadline.h"
 #include "src/obs/metrics.h"
@@ -46,8 +47,18 @@ std::vector<TxnCoordinator::Participant> TxnCoordinator::GroupByShard(
 }
 
 bool TxnCoordinator::IsDoomed(uint64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(doomed_mu_);
-  return doomed_.count(txn_id) > 0;
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    if (doomed_.count(txn_id) > 0) {
+      return true;
+    }
+  }
+  // A durable abort decision dooms the txn too. This is what keeps presumed
+  // abort safe across a coordinator restart: the volatile tombstone set is
+  // gone, but a prepare arriving after recovery aborted the txn still finds
+  // the decision in the intent table (participants in a real deployment
+  // consult the txn table for suspiciously late prepares).
+  return intent_log_.DecisionOf(txn_id) == TxnDecision::kAborted;
 }
 
 void TxnCoordinator::Doom(uint64_t txn_id) {
@@ -55,9 +66,55 @@ void TxnCoordinator::Doom(uint64_t txn_id) {
     std::lock_guard<std::mutex> lock(doomed_mu_);
     doomed_.insert(txn_id);
   }
+  UpdateDoomedGauge();
   stats_.doomed.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* doomed = obs::Metrics::Instance().GetCounter("tafdb.txn.doomed");
   doomed->Add();
+}
+
+void TxnCoordinator::FinishTxn(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    doomed_.erase(txn_id);
+  }
+  UpdateDoomedGauge();
+  // GC piggybacks on the last acknowledged phase-two delivery, so it charges
+  // no extra RPC (a production coordinator batches these removals lazily).
+  intent_log_.Remove(txn_id);
+}
+
+void TxnCoordinator::SimulateRestart() {
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    doomed_.clear();
+  }
+  UpdateDoomedGauge();
+  crash_point_.store(CrashPoint::kNone, std::memory_order_release);
+}
+
+size_t TxnCoordinator::DoomedLive() const {
+  std::lock_guard<std::mutex> lock(doomed_mu_);
+  return doomed_.size();
+}
+
+void TxnCoordinator::UpdateDoomedGauge() {
+  static obs::Gauge* live = obs::Metrics::Instance().GetGauge("txn.doomed.live");
+  size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    size = doomed_.size();
+  }
+  live->Set(static_cast<int64_t>(size));
+}
+
+bool TxnCoordinator::ConsumeCrashPoint(CrashPoint point) {
+  CrashPoint expected = point;
+  return crash_point_.compare_exchange_strong(expected, CrashPoint::kNone,
+                                              std::memory_order_acq_rel);
+}
+
+ServerExecutor* TxnCoordinator::IntentLogServer(uint64_t txn_id) const {
+  return shards_->ServerAt(static_cast<uint32_t>(txn_id % shards_->num_shards()));
 }
 
 Status TxnCoordinator::PrepareOnShard(const Participant& participant, uint64_t txn_id) {
@@ -144,7 +201,8 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     // Single-shard fast path: lock, validate, apply and release in one RPC.
     // A timeout here is ambiguous (the handler may still commit once a paused
     // server resumes) - exactly the semantics of a lost ack in a real system;
-    // preconditions make blind client retries safe.
+    // preconditions make blind client retries safe. No intent row: there is
+    // no distributed decision to recover.
     stats_.single_shard.fetch_add(1, std::memory_order_relaxed);
     auto participant = participants.front();
     ServerExecutor* server = shards_->ServerAt(participant->shard_index);
@@ -172,20 +230,62 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     return Status::Ok();
   }
 
+  stats_.multi_shard.fetch_add(1, std::memory_order_relaxed);
+
+  // Write-ahead intent row, durable before the first lock is taken. Routed to
+  // the intent table's home server so it pays (and can suffer) a real RPC.
+  {
+    auto logged_ops = std::make_shared<std::vector<WriteOp>>(ops);
+    Status logged = IntentLogServer(txn_id)->Call(
+        [this, txn_id, logged_ops]() {
+          network_->ChargeDbRowAccess(1);
+          intent_log_.LogIntent(txn_id, std::move(*logged_ops));
+          return Status::Ok();
+        },
+        [](const Status& fault) { return fault; });
+    if (!logged.ok()) {
+      // No locks were taken, so aborting to the caller is safe. If the write
+      // actually landed (lost ack), the kInDoubt row sits in the table until
+      // a recovery pass presumed-aborts and GCs it.
+      stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+      NoteTxnAbort();
+      return logged;
+    }
+  }
+
+  // Every handler that can consult this txn's tombstone or intent row holds a
+  // reference: the prepare fan-out (one each), every phase-two delivery (one
+  // each, taken before submission), and the coordinator itself (+1, released
+  // at the end of Execute). The last reference out GCs both - this is what
+  // lets doomed tombstones and intent rows be reclaimed instead of living for
+  // the process lifetime, without ever GCing under a handler that still needs
+  // them.
+  auto inflight =
+      std::make_shared<std::atomic<int>>(static_cast<int>(participants.size()) + 1);
+  auto release_ref = [this, txn_id, inflight]() {
+    if (inflight->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinishTxn(txn_id);
+    }
+  };
+
   // Two-phase commit. Prepare round: parallel try-lock + validate. Preflight
   // faults (drop/partition/crash) resolve the future immediately with the
   // fault status; a submitted-but-unresponsive prepare is bounded below.
-  stats_.multi_shard.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::future<Status>> prepares;
   prepares.reserve(participants.size());
   for (const auto& participant : participants) {
     ServerExecutor* server = shards_->ServerAt(participant->shard_index);
     prepares.push_back(server->CallAsync(
-        [this, participant, txn_id]() {
+        [this, participant, txn_id, release_ref]() {
           network_->ChargeDbRowAccess(static_cast<int64_t>(participant->ops.size()));
-          return PrepareOnShard(*participant, txn_id);
+          Status status = PrepareOnShard(*participant, txn_id);
+          release_ref();
+          return status;
         },
-        [](const Status& fault) { return fault; }));
+        [release_ref](const Status& fault) {
+          release_ref();
+          return fault;
+        }));
   }
   network_->InjectDelay();
 
@@ -203,9 +303,9 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
             std::future_status::ready) {
       // Outcome unknown: the prepare is queued on a slow or paused server and
       // may still take locks later. Doom the txn (tombstone checked by
-      // PrepareOnShard) and send a cleanup abort below. Tombstones are kept
-      // for the process lifetime; a production coordinator would persist the
-      // decision in a txn table and GC it.
+      // PrepareOnShard) and send a cleanup abort below. The tombstone lives
+      // until every handler holding a reference has run, then FinishTxn GCs
+      // it together with the intent row.
       if (!IsDoomed(txn_id)) {
         Doom(txn_id);
       }
@@ -224,6 +324,41 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     }
   }
 
+  if (failure.ok() && ConsumeCrashPoint(CrashPoint::kAfterPrepare)) {
+    // Simulated process death in the in-doubt window: the coordinator's +1
+    // reference is never released, so the intent row stays kInDoubt and every
+    // prepared shard keeps its locks until Recover() presumed-aborts them.
+    return Status::Unavailable("coordinator crashed after prepare");
+  }
+
+  // Write-ahead decision row, durable before any phase-two message. A commit
+  // whose decision cannot be proven durable must not be applied: doom it and
+  // fall through to the abort round instead.
+  {
+    const TxnDecision decision = failure.ok() ? TxnDecision::kCommitted : TxnDecision::kAborted;
+    Status logged = IntentLogServer(txn_id)->Call(
+        [this, txn_id, decision]() {
+          network_->ChargeDbRowAccess(1);
+          intent_log_.LogDecision(txn_id, decision);
+          return Status::Ok();
+        },
+        [](const Status& fault) { return fault; });
+    if (failure.ok() && !logged.ok()) {
+      // Recovery stays consistent either way the ambiguity resolves: the
+      // abort round below releases all locks, and a kCommitted row with no
+      // locks held redelivers nothing.
+      Doom(txn_id);
+      failure = logged;
+    }
+  }
+
+  if (failure.ok() && ConsumeCrashPoint(CrashPoint::kAfterDecisionLogged)) {
+    // Simulated process death after the commit point: no phase-two message
+    // goes out, all participants keep their prepare locks, and Recover() must
+    // redeliver the logged commit.
+    return Status::Unavailable("coordinator crashed after logging commit");
+  }
+
   // Commit or abort round. Phase-two decisions ride the delivery-reliable
   // CallAsync: a real coordinator retries them until every participant acks,
   // so the fault plan may delay but never lose them.
@@ -233,14 +368,20 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     auto participant = participants[i];
     ServerExecutor* server = shards_->ServerAt(participant->shard_index);
     if (failure.ok()) {
-      finishes.push_back(server->CallAsync(
-          [this, participant, txn_id]() { CommitOnShard(*participant, txn_id); }));
+      inflight->fetch_add(1, std::memory_order_acq_rel);
+      finishes.push_back(server->CallAsync([this, participant, txn_id, release_ref]() {
+        CommitOnShard(*participant, txn_id);
+        release_ref();
+      }));
     } else if (prepared[i] || abandoned[i]) {
       // Abandoned prepares get an abort too: if the late prepare locked keys
       // before noticing the tombstone it unlocks them itself; if it ran first
       // and returned ok into the abandoned future, this abort releases them.
-      finishes.push_back(server->CallAsync(
-          [this, participant, txn_id]() { AbortOnShard(*participant, txn_id); }));
+      inflight->fetch_add(1, std::memory_order_acq_rel);
+      finishes.push_back(server->CallAsync([this, participant, txn_id, release_ref]() {
+        AbortOnShard(*participant, txn_id);
+        release_ref();
+      }));
     }
   }
   network_->InjectDelay();
@@ -255,6 +396,9 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
       network_->NoteCallerTimeout();
     }
   }
+  // Coordinator's own reference; once every queued handler has drained the
+  // tombstone and intent row are GC'd.
+  release_ref();
 
   if (!failure.ok()) {
     stats_.aborted.fetch_add(1, std::memory_order_relaxed);
@@ -273,6 +417,149 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
   stats_.committed.fetch_add(1, std::memory_order_relaxed);
   NoteTxnCommit();
   return Status::Ok();
+}
+
+TxnRecoveryReport TxnCoordinator::Recover() {
+  TxnRecoveryReport report;
+
+  // Releases whatever of the txn's locks this participant still holds;
+  // returns how many. Handlers own their captures (deadline abandonment).
+  auto release_locks = [this](std::shared_ptr<const Participant> participant,
+                              uint64_t txn_id) -> uint64_t {
+    ServerExecutor* server = shards_->ServerAt(participant->shard_index);
+    return server->Call(
+        [this, participant, txn_id]() -> uint64_t {
+          Shard* shard = shards_->ShardAt(participant->shard_index);
+          network_->ChargeDbRowAccess(static_cast<int64_t>(participant->ops.size()));
+          uint64_t released = 0;
+          for (const auto& op : participant->ops) {
+            if (shard->LockHolder(op.key) == txn_id) {
+              shard->UnlockKey(op.key, txn_id);
+              ++released;
+            }
+          }
+          return released;
+        },
+        [](const Status&) -> uint64_t { return 0; });
+  };
+
+  // Redelivers a logged commit if this participant still holds the txn's
+  // locks (it prepared but never heard the decision). A participant holding
+  // none already applied the commit - or the txn in fact aborted after an
+  // ambiguous decision-write failure, in which case there is nothing to
+  // apply and doing nothing is the consistent choice.
+  auto redeliver_commit = [this](std::shared_ptr<const Participant> participant,
+                                 uint64_t txn_id) -> uint64_t {
+    ServerExecutor* server = shards_->ServerAt(participant->shard_index);
+    return server->Call(
+        [this, participant, txn_id]() -> uint64_t {
+          Shard* shard = shards_->ShardAt(participant->shard_index);
+          network_->ChargeDbRowAccess(static_cast<int64_t>(participant->ops.size()));
+          bool holds = false;
+          for (const auto& op : participant->ops) {
+            if (shard->LockHolder(op.key) == txn_id) {
+              holds = true;
+              break;
+            }
+          }
+          if (!holds) {
+            return 0;
+          }
+          shard->ApplyOps(participant->ops);
+          uint64_t released = 0;
+          for (const auto& op : participant->ops) {
+            shard->UnlockKey(op.key, txn_id);
+            ++released;
+          }
+          return released;
+        },
+        [](const Status&) -> uint64_t { return 0; });
+  };
+
+  std::vector<uint64_t> pass_tombstones;
+  std::unordered_set<ServerExecutor*> touched_servers;
+  for (const auto& row : intent_log_.Scan()) {
+    ++report.scanned;
+    std::vector<std::shared_ptr<const Participant>> participants;
+    for (auto& participant : GroupByShard(row.ops)) {
+      touched_servers.insert(shards_->ServerAt(participant.shard_index));
+      participants.push_back(std::make_shared<const Participant>(std::move(participant)));
+    }
+    switch (row.decision) {
+      case TxnDecision::kInDoubt: {
+        // Presumed abort. Tombstone first so a prepare still queued from
+        // before the crash self-aborts instead of re-locking behind us; then
+        // make the abort durable in case this pass itself dies mid-cleanup.
+        Doom(row.txn_id);
+        pass_tombstones.push_back(row.txn_id);
+        IntentLogServer(row.txn_id)
+            ->Call(
+                [this, txn_id = row.txn_id]() {
+                  network_->ChargeDbRowAccess(1);
+                  intent_log_.LogDecision(txn_id, TxnDecision::kAborted);
+                  return Status::Ok();
+                },
+                [](const Status& fault) { return fault; });
+        for (const auto& participant : participants) {
+          report.locks_released += release_locks(participant, row.txn_id);
+        }
+        ++report.in_doubt_aborted;
+        break;
+      }
+      case TxnDecision::kCommitted: {
+        uint64_t released = 0;
+        for (const auto& participant : participants) {
+          released += redeliver_commit(participant, row.txn_id);
+        }
+        if (released > 0) {
+          ++report.commits_redelivered;
+          report.locks_released += released;
+        }
+        break;
+      }
+      case TxnDecision::kAborted: {
+        Doom(row.txn_id);
+        pass_tombstones.push_back(row.txn_id);
+        for (const auto& participant : participants) {
+          report.locks_released += release_locks(participant, row.txn_id);
+        }
+        break;
+      }
+    }
+    if (intent_log_.Remove(row.txn_id)) {
+      ++report.rows_gced;
+    }
+  }
+
+  // Drain the involved servers so any prepare queued from before the crash
+  // runs now - self-aborting against this pass's tombstones - then drop the
+  // tombstones: nothing that could consult them is left in flight. Recovery
+  // is a cold-start pass; it assumes the fabric is unpaused.
+  for (ServerExecutor* server : touched_servers) {
+    server->Drain();
+  }
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    for (uint64_t txn_id : pass_tombstones) {
+      doomed_.erase(txn_id);
+    }
+  }
+  UpdateDoomedGauge();
+
+  static obs::Counter* scanned = obs::Metrics::Instance().GetCounter("txn.recovery.scanned");
+  static obs::Counter* in_doubt =
+      obs::Metrics::Instance().GetCounter("txn.recovery.in_doubt_aborted");
+  static obs::Counter* redelivered =
+      obs::Metrics::Instance().GetCounter("txn.recovery.commits_redelivered");
+  static obs::Counter* released =
+      obs::Metrics::Instance().GetCounter("txn.recovery.locks_released");
+  static obs::Counter* gced = obs::Metrics::Instance().GetCounter("txn.recovery.rows_gced");
+  scanned->Add(report.scanned);
+  in_doubt->Add(report.in_doubt_aborted);
+  redelivered->Add(report.commits_redelivered);
+  released->Add(report.locks_released);
+  gced->Add(report.rows_gced);
+  return report;
 }
 
 }  // namespace mantle

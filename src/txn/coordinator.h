@@ -7,6 +7,14 @@
 // the proxy retries with randomized backoff. This is the abort/retry behaviour
 // whose collapse under shared-directory contention motivates Mantle's delta
 // records (paper §3.2, §5.2.1).
+//
+// Multi-shard transactions are write-ahead logged in a durable intent table
+// (src/txn/intent_log.h): an intent row before phase one, the decision before
+// phase two, garbage-collected once every phase-two delivery has been
+// acknowledged. A coordinator crash at any point is therefore recoverable:
+// Recover() resolves in-doubt rows by presumed abort, redelivers logged
+// commits to participants still holding their prepare locks, and re-releases
+// locks for logged aborts.
 
 #ifndef SRC_TXN_COORDINATOR_H_
 #define SRC_TXN_COORDINATOR_H_
@@ -14,11 +22,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/txn/intent_log.h"
 #include "src/txn/shard_map.h"
 
 namespace mantle {
@@ -34,11 +44,40 @@ struct TxnStats {
   std::atomic<uint64_t> doomed{0};
 };
 
+// What TxnCoordinator::Recover() found and fixed. Field meanings:
+//   scanned             intent rows examined
+//   in_doubt_aborted    kInDoubt rows resolved by presumed abort
+//   commits_redelivered kCommitted rows whose participants still held prepare
+//                       locks (decision never arrived) and got the commit
+//   locks_released      shard key locks freed across all resolutions
+//   rows_gced           intent rows removed after resolution
+struct TxnRecoveryReport {
+  uint64_t scanned = 0;
+  uint64_t in_doubt_aborted = 0;
+  uint64_t commits_redelivered = 0;
+  uint64_t locks_released = 0;
+  uint64_t rows_gced = 0;
+};
+
 class TxnCoordinator {
  public:
   // `on_abort(pid)` fires once per aborted transaction per touched directory
   // attribute row; TafDB's contention detector subscribes to it.
   using AbortListener = std::function<void(InodeId pid)>;
+
+  // Deterministic kill switches for crash-recovery tests: the next multi-shard
+  // transaction that reaches the armed point returns early as if the
+  // coordinator process died there - intent row, tombstone and participant
+  // locks are all left stranded for Recover() to clean up.
+  enum class CrashPoint : uint8_t {
+    kNone,
+    // After a unanimous prepare round, before the decision is logged: the
+    // classic in-doubt window, resolved by presumed abort.
+    kAfterPrepare,
+    // After the commit decision is durably logged, before any phase-two
+    // message is sent: recovery must redeliver the commit.
+    kAfterDecisionLogged,
+  };
 
   TxnCoordinator(ShardMap* shards, Network* network);
 
@@ -49,6 +88,28 @@ class TxnCoordinator {
   // Precondition failures surface as their own codes (kAlreadyExists etc.).
   Status Execute(const std::vector<WriteOp>& ops, uint64_t txn_id);
   Status Execute(const std::vector<WriteOp>& ops) { return Execute(ops, NextTxnId()); }
+
+  // --- crash recovery -------------------------------------------------------
+
+  void SetCrashPoint(CrashPoint point) { crash_point_.store(point, std::memory_order_release); }
+
+  // Models a coordinator process restart: volatile state (doomed-txn
+  // tombstones, armed crash point) is lost; the durable intent table and the
+  // shards survive. Callers then run Recover() as the cold-start pass.
+  void SimulateRestart();
+
+  // Cold-start recovery: scans the intent table and resolves every row.
+  //   kInDoubt   -> presumed abort: doom the txn (late prepares self-abort),
+  //                 log the abort decision, release participant locks, GC.
+  //   kCommitted -> redeliver the commit to any participant still holding the
+  //                 txn's locks (it prepared but never heard the decision);
+  //                 participants without locks already applied it. GC.
+  //   kAborted   -> re-release locks (idempotent), GC.
+  TxnRecoveryReport Recover();
+
+  const TxnIntentLog& intent_log() const { return intent_log_; }
+  // Live doomed-txn tombstones (also exported as the txn.doomed.live gauge).
+  size_t DoomedLive() const;
 
   void set_abort_listener(AbortListener listener) { on_abort_ = std::move(listener); }
 
@@ -70,6 +131,15 @@ class TxnCoordinator {
   void NotifyAbort(const std::vector<WriteOp>& ops);
   bool IsDoomed(uint64_t txn_id) const;
   void Doom(uint64_t txn_id);
+  // Terminal GC once every handler that could consult the txn's tombstone or
+  // intent row has run: erases the tombstone and the intent row.
+  void FinishTxn(uint64_t txn_id);
+  // Consumes the armed crash point if it matches (one-shot).
+  bool ConsumeCrashPoint(CrashPoint point);
+  // The intent table's home server for a txn (rows are hash-placed like any
+  // other TafDB row, so log writes pay - and can suffer - real RPCs).
+  ServerExecutor* IntentLogServer(uint64_t txn_id) const;
+  void UpdateDoomedGauge();
 
   ShardMap* shards_;
   Network* network_;
@@ -78,6 +148,9 @@ class TxnCoordinator {
   AbortListener on_abort_;
   mutable std::mutex doomed_mu_;
   std::unordered_set<uint64_t> doomed_;
+  // Durable: survives SimulateRestart(), as the backing TafDB table would.
+  TxnIntentLog intent_log_;
+  std::atomic<CrashPoint> crash_point_{CrashPoint::kNone};
 };
 
 }  // namespace mantle

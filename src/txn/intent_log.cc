@@ -1,0 +1,50 @@
+#include "src/txn/intent_log.h"
+
+namespace mantle {
+
+void TxnIntentLog::LogIntent(uint64_t txn_id, std::vector<WriteOp> ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnIntentRecord& row = rows_[txn_id];
+  row.txn_id = txn_id;
+  row.decision = TxnDecision::kInDoubt;
+  row.ops = std::move(ops);
+}
+
+void TxnIntentLog::LogDecision(uint64_t txn_id, TxnDecision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(txn_id);
+  if (it != rows_.end()) {
+    it->second.decision = decision;
+  }
+}
+
+std::optional<TxnDecision> TxnIntentLog::DecisionOf(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rows_.find(txn_id);
+  if (it == rows_.end()) {
+    return std::nullopt;
+  }
+  return it->second.decision;
+}
+
+bool TxnIntentLog::Remove(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.erase(txn_id) > 0;
+}
+
+std::vector<TxnIntentRecord> TxnIntentLog::Scan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnIntentRecord> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) {
+    out.push_back(row);
+  }
+  return out;
+}
+
+size_t TxnIntentLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+}  // namespace mantle

@@ -1,0 +1,80 @@
+// TxnIntentLog: the durable transaction intent table (a TafDB system table).
+//
+// Two-phase commit leaves ambiguity windows that only durable coordinator
+// state can close: a coordinator that dies between the prepare round and the
+// decision strands participant locks forever, and one that dies after
+// deciding commit but before every participant heard it leaves the mutation
+// half-delivered. The intent log is the write-ahead record that makes both
+// recoverable:
+//
+//   * before phase one the coordinator force-writes an intent row carrying
+//     the transaction's buffered ops (kInDoubt);
+//   * before phase two it force-writes the decision (kCommitted/kAborted);
+//   * once every phase-two delivery has been acknowledged, the row is GC'd.
+//
+// Recovery scans surviving rows: kInDoubt resolves by presumed abort,
+// kCommitted redelivers the commit (idempotently, keyed off still-held
+// participant locks), kAborted re-releases locks. See
+// TxnCoordinator::Recover().
+//
+// The log models a replicated TafDB table: rows are hash-bucketed by txn id
+// and the coordinator routes every access through a TafDB server executor,
+// so intent writes pay (and can suffer) real RPCs. The object itself lives
+// outside the coordinator's volatile state - it survives a simulated
+// coordinator crash/restart just as the backing table would.
+
+#ifndef SRC_TXN_INTENT_LOG_H_
+#define SRC_TXN_INTENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kv/shard.h"
+
+namespace mantle {
+
+enum class TxnDecision : uint8_t { kInDoubt, kCommitted, kAborted };
+
+struct TxnIntentRecord {
+  uint64_t txn_id = 0;
+  TxnDecision decision = TxnDecision::kInDoubt;
+  // The transaction's buffered mutations, exactly as handed to Execute();
+  // recovery re-derives participants (and their lock keys) from these.
+  std::vector<WriteOp> ops;
+};
+
+class TxnIntentLog {
+ public:
+  TxnIntentLog() = default;
+
+  TxnIntentLog(const TxnIntentLog&) = delete;
+  TxnIntentLog& operator=(const TxnIntentLog&) = delete;
+
+  // Inserts (or overwrites) the intent row for `txn_id` as kInDoubt.
+  void LogIntent(uint64_t txn_id, std::vector<WriteOp> ops);
+
+  // Records the outcome. No-op if the row was already GC'd (late decision
+  // racing a completed recovery pass).
+  void LogDecision(uint64_t txn_id, TxnDecision decision);
+
+  std::optional<TxnDecision> DecisionOf(uint64_t txn_id) const;
+
+  // Removes the row; true if it existed.
+  bool Remove(uint64_t txn_id);
+
+  // Snapshot of every live row (recovery scan, tests).
+  std::vector<TxnIntentRecord> Scan() const;
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, TxnIntentRecord> rows_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_TXN_INTENT_LOG_H_

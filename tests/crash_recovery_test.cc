@@ -1,0 +1,518 @@
+// Crash recovery and self-healing: the durable intent table, the IndexNode
+// cold-start rebuild, and fsck repair mode.
+//
+// Every scenario kills a component at a deliberately nasty point - the 2PC
+// in-doubt window, right after the commit point, mid-compaction, the whole
+// index Raft group at once - then runs the matching recovery pass and asserts
+// the contract:
+//   * zero in-doubt transactions and zero stranded locks after recovery;
+//   * every write that passed its commit point survives, every write that did
+//     not is cleanly absent (presumed abort);
+//   * doomed-txn tombstones and intent rows are garbage, not permanent state;
+//   * Fsck() comes back clean, and where a divergence is expected (a commit
+//     redelivered without its index propose), Fsck(RepairOptions) heals it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+// Counters are process-global and tests share the process: assert deltas.
+uint64_t MetricValue(const char* name) {
+  return obs::Metrics::Instance().CounterValue(name);
+}
+
+MantleOptions RecoveryMantleOptions() {
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 2'000'000'000;  // 2 s per op
+  options.index.raft.election_timeout_min_nanos = 60'000'000;
+  options.index.raft.election_timeout_max_nanos = 120'000'000;
+  options.index.raft.election_poll_nanos = 5'000'000;
+  return options;
+}
+
+bool IsCleanChaosCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kAborted:
+    case StatusCode::kBusy:
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Arms `point` and issues mkdirs under `stem` until one trips it. Only a
+// cross-shard transaction reaches the 2PC crash points; the occasional mkdir
+// whose allocated id lands on the parent's shard takes the single-shard fast
+// path and simply succeeds (appended to `succeeded` when provided). Returns
+// the path whose coordinator "died".
+std::string MkdirUntilCrash(MantleService& service, TxnCoordinator& coordinator,
+                            TxnCoordinator::CrashPoint point, const std::string& stem,
+                            std::vector<std::string>* succeeded = nullptr) {
+  coordinator.SetCrashPoint(point);
+  for (int i = 0; i < 64; ++i) {
+    const std::string path = stem + std::to_string(i);
+    auto result = service.Mkdir(path);
+    if (result.status.code() == StatusCode::kUnavailable) {
+      return path;
+    }
+    EXPECT_TRUE(result.ok()) << path << ": " << result.status.ToString();
+    if (!result.ok()) {
+      break;
+    }
+    if (succeeded != nullptr) {
+      succeeded->push_back(path);
+    }
+  }
+  ADD_FAILURE() << "no mkdir consumed the armed crash point";
+  return "";
+}
+
+// --- coordinator crash: the in-doubt window ---------------------------------
+
+TEST(CrashRecoveryTest, CoordinatorCrashBeforeDecisionPresumedAborts) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  TxnCoordinator& coordinator = service.tafdb()->coordinator();
+  ASSERT_TRUE(service.Mkdir("/survivor").ok());
+
+  const uint64_t in_doubt_before = MetricValue("txn.recovery.in_doubt_aborted");
+  const std::string victim = MkdirUntilCrash(
+      service, coordinator, TxnCoordinator::CrashPoint::kAfterPrepare, "/d");
+  ASSERT_FALSE(victim.empty());
+  // The crash stranded exactly one kInDoubt intent row plus the prepare locks.
+  EXPECT_EQ(coordinator.intent_log().Size(), 1u);
+
+  auto report = service.tafdb()->RecoverCoordinator();
+  EXPECT_EQ(report.scanned, 1u);
+  EXPECT_EQ(report.in_doubt_aborted, 1u);
+  EXPECT_GE(report.locks_released, 1u);
+  EXPECT_EQ(report.commits_redelivered, 0u);
+  EXPECT_EQ(report.rows_gced, 1u);
+  EXPECT_EQ(coordinator.intent_log().Size(), 0u);
+  EXPECT_EQ(coordinator.DoomedLive(), 0u);
+  EXPECT_EQ(MetricValue("txn.recovery.in_doubt_aborted"), in_doubt_before + 1);
+
+  // Presumed abort: the directory never existed, the name is free, and the
+  // parent's stranded attribute lock is gone (the retry would otherwise spin).
+  EXPECT_EQ(service.StatDir(victim).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(service.Mkdir(victim).ok());
+  EXPECT_TRUE(service.StatDir("/survivor").ok());
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+// --- coordinator crash: after the commit point ------------------------------
+
+TEST(CrashRecoveryTest, CoordinatorCrashAfterCommitDecisionRedelivers) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  TxnCoordinator& coordinator = service.tafdb()->coordinator();
+  const InodeId root = service.index()->LeaderReplica()->table().root_id();
+
+  const uint64_t redelivered_before = MetricValue("txn.recovery.commits_redelivered");
+  const std::string victim = MkdirUntilCrash(
+      service, coordinator, TxnCoordinator::CrashPoint::kAfterDecisionLogged, "/r");
+  ASSERT_FALSE(victim.empty());
+  const std::string name = victim.substr(1);
+  // Phase two never ran: the participants hold locks and no row is visible.
+  EXPECT_FALSE(service.tafdb()->LocalGet(EntryKey(root, name)).has_value());
+
+  auto report = service.tafdb()->RecoverCoordinator();
+  EXPECT_EQ(report.scanned, 1u);
+  EXPECT_EQ(report.commits_redelivered, 1u);
+  EXPECT_EQ(report.in_doubt_aborted, 0u);
+  EXPECT_GE(report.locks_released, 1u);
+  EXPECT_EQ(coordinator.intent_log().Size(), 0u);
+  EXPECT_EQ(MetricValue("txn.recovery.commits_redelivered"), redelivered_before + 1);
+
+  // The redelivered commit materialized the TafDB rows. The index never heard
+  // of the directory (the client died before the propose), so fsck flags an
+  // unindexed row and repair heals it into the index.
+  ASSERT_TRUE(service.tafdb()->LocalGet(EntryKey(root, name)).has_value());
+  auto audit = service.Fsck();
+  ASSERT_EQ(audit.unindexed_dir_row.size(), 1u);
+
+  const uint64_t indexed_before = MetricValue("fsck.repaired.dirs_indexed");
+  auto repair = service.Fsck(MantleService::RepairOptions{});
+  EXPECT_EQ(repair.dirs_indexed, 1u);
+  EXPECT_TRUE(repair.remaining.clean());
+  EXPECT_EQ(MetricValue("fsck.repaired.dirs_indexed"), indexed_before + 1);
+  EXPECT_TRUE(service.StatDir(victim).ok());
+}
+
+// --- doomed tombstones are garbage, not permanent state ---------------------
+
+TEST(CrashRecoveryTest, DoomedTombstonesAreGarbageCollected) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  TafDb* db = service.tafdb();
+  TxnCoordinator& coordinator = db->coordinator();
+  ShardMap* shards = db->shard_map();
+  ASSERT_TRUE(service.Mkdir("/base").ok());
+
+  // Deterministic doom: a transaction spanning one key on a server that stays
+  // up and one on a server we pause, with the intent row placed on the live
+  // server. The paused prepare outlives the deadline, so the coordinator
+  // dooms the txn instead of waiting.
+  const std::string paused = "tafdb-1";
+  InodeId on_up = 0;
+  InodeId on_paused = 0;
+  for (InodeId pid = 1'000'000; pid < 1'000'064 && (on_up == 0 || on_paused == 0); ++pid) {
+    if (shards->RouteServer(pid)->name() == paused) {
+      if (on_paused == 0) {
+        on_paused = pid;
+      }
+    } else if (on_up == 0) {
+      on_up = pid;
+    }
+  }
+  ASSERT_NE(on_up, 0u);
+  ASSERT_NE(on_paused, 0u);
+  uint64_t txn_id = 5'000'000;
+  while (shards->ServerAt(static_cast<uint32_t>(txn_id % shards->num_shards()))->name() ==
+         paused) {
+    ++txn_id;
+  }
+  std::vector<WriteOp> ops;
+  for (InodeId pid : {on_up, on_paused}) {
+    WriteOp op;
+    op.kind = WriteOp::Kind::kPut;
+    op.expect = WriteOp::Expect::kNone;
+    op.key = EntryKey(pid, "doomed-probe");
+    op.value = MetaValue{EntryType::kObject, pid, kPermAll, 0, 0, 0, 0};
+    ops.push_back(std::move(op));
+  }
+
+  const uint64_t doomed_before = coordinator.stats().doomed.load();
+  network.faults().PauseServer(paused);
+  {
+    OpContext ctx;
+    ctx.deadline = Deadline::After(300'000'000);  // 300 ms budget for the txn
+    ScopedOpContext scoped(ctx);
+    Status status = db->Execute(ops, txn_id);
+    EXPECT_EQ(status.code(), StatusCode::kTimeout) << status.ToString();
+  }
+  EXPECT_EQ(coordinator.stats().doomed.load(), doomed_before + 1);
+  EXPECT_GE(coordinator.DoomedLive(), 1u);
+  network.faults().ResumeServer(paused);
+
+  // Once the resumed server drains, the abandoned prepare has self-aborted
+  // against its tombstone and every cleanup abort has acked: the last
+  // reference out GCs the tombstone and its intent row. No recovery needed.
+  for (uint32_t i = 0; i < shards->num_shards(); ++i) {
+    shards->ServerAt(i)->Drain();
+  }
+  EXPECT_EQ(coordinator.DoomedLive(), 0u);
+  EXPECT_EQ(obs::Metrics::Instance().GaugeValue("txn.doomed.live"), 0);
+  EXPECT_EQ(coordinator.intent_log().Size(), 0u);
+  // The aborted probe applied nothing.
+  EXPECT_FALSE(db->LocalGet(EntryKey(on_up, "doomed-probe")).has_value());
+  EXPECT_FALSE(db->LocalGet(EntryKey(on_paused, "doomed-probe")).has_value());
+
+  // A recovery pass over the already-GC'd table is a no-op.
+  auto report = db->RecoverCoordinator();
+  EXPECT_EQ(report.scanned, 0u);
+  EXPECT_EQ(coordinator.DoomedLive(), 0u);
+
+  EXPECT_TRUE(service.Mkdir("/base/after").ok());
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+// --- compactor crash mid-CompactDirectory -----------------------------------
+
+TEST(CrashRecoveryTest, CompactorCrashOrphansDeltasAndRecoveryFoldsExactlyOnce) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = RecoveryMantleOptions();
+  options.tafdb.force_delta_records = true;
+  options.tafdb.start_compactor = false;  // deterministic passes only
+  MantleService service(&network, options);
+  TafDb* db = service.tafdb();
+
+  ASSERT_TRUE(service.Mkdir("/hot").ok());
+  constexpr int kObjects = 24;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(service.CreateObject("/hot/o" + std::to_string(i), 1).ok());
+  }
+
+  // Crash between dequeue and fold: the batch - the only in-memory record of
+  // these directories - is dropped, the delta rows stay behind.
+  db->SimulateCompactionCrashOnce();
+  db->CompactAllPending();
+  EXPECT_EQ(db->PendingCompactions(), 0u);
+
+  auto audit = service.Fsck();
+  EXPECT_FALSE(audit.orphaned_delta.empty());
+  EXPECT_TRUE(audit.clean());  // flagged, but not corruption: merged reads still work
+
+  // Nothing lost while stranded: merged attribute reads fold live deltas.
+  StatInfo info;
+  ASSERT_TRUE(service.StatDir("/hot", &info).ok());
+  EXPECT_EQ(info.child_count, kObjects);
+
+  const uint64_t compacted_before = MetricValue("fsck.repaired.delta_dirs");
+  auto repair = service.Fsck(MantleService::RepairOptions{});
+  EXPECT_GE(repair.delta_dirs_compacted, 1u);
+  EXPECT_TRUE(repair.remaining.orphaned_delta.empty());
+  EXPECT_TRUE(repair.remaining.clean());
+  EXPECT_GE(MetricValue("fsck.repaired.delta_dirs"), compacted_before + 1);
+
+  // Folded exactly once: the primary row carries the full count, no delta
+  // rows remain, and another pass does not double-apply.
+  auto hot = service.index()->LeaderReplica()->table().Lookup(
+      service.index()->LeaderReplica()->table().root_id(), "hot");
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_TRUE(db->shard_map()->Route(hot->id)->ScanDeltas(hot->id).empty());
+  db->CompactAllPending();
+  ASSERT_TRUE(service.StatDir("/hot", &info).ok());
+  EXPECT_EQ(info.child_count, kObjects);
+}
+
+// --- total IndexNode group loss ---------------------------------------------
+
+TEST(CrashRecoveryTest, IndexGroupLossRebuildsFromTafDb) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/a").ok());
+  ASSERT_TRUE(service.Mkdir("/a/b").ok());
+  ASSERT_TRUE(service.Mkdir("/c").ok());
+  ASSERT_TRUE(service.CreateObject("/a/b/o", 7).ok());
+
+  const uint64_t rebuilds_before = MetricValue("index.rebuild.count");
+  service.CrashIndexGroup();
+  // Every replica is gone - the one failure replication cannot mask. Clients
+  // fail clean within their deadline instead of hanging.
+  auto down = service.StatDir("/a");
+  EXPECT_FALSE(down.ok());
+  EXPECT_TRUE(IsCleanChaosCode(down.status.code())) << down.status.ToString();
+
+  auto report = service.RecoverIndexFromTafDb();
+  EXPECT_EQ(report.dirs_loaded, 3u);     // /a, /a/b, /c (root is implicit)
+  EXPECT_EQ(report.replicas_rebuilt, 3u);
+  EXPECT_EQ(MetricValue("index.rebuild.count"), rebuilds_before + 1);
+
+  // Acknowledged metadata is all back: lookups, object reads, and new writes.
+  StatInfo info;
+  EXPECT_TRUE(service.StatDir("/a/b", &info).ok());
+  EXPECT_TRUE(service.StatObject("/a/b/o").ok());
+  EXPECT_TRUE(service.Mkdir("/c/fresh").ok());
+  EXPECT_TRUE(service.StatDir("/c/fresh").ok());
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+TEST(CrashRecoveryTest, IndexGroupLossUnderConcurrentTraffic) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/live").ok());
+
+  // Object creates and stats only: directory creation during the outage would
+  // legitimately strand unindexed rows (txn committed, propose dead), which
+  // is repair's job, not this test's. Here we assert the liveness contract.
+  std::atomic<bool> stop{false};
+  std::atomic<int> dirty{0};
+  std::vector<std::string> created[2];
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([w, &service, &stop, &dirty, &created]() {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const std::string path =
+            "/live/w" + std::to_string(w) + "-" + std::to_string(i);
+        auto create = service.CreateObject(path, 1);
+        if (create.ok()) {
+          created[w].push_back(path);
+        }
+        if (!IsCleanChaosCode(create.status.code())) {
+          dirty.fetch_add(1);
+        }
+        auto stat = service.StatDir("/live");
+        if (!IsCleanChaosCode(stat.status.code())) {
+          dirty.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.CrashIndexGroup();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto report = service.RecoverIndexFromTafDb();
+  EXPECT_EQ(report.dirs_loaded, 1u);  // /live
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  EXPECT_EQ(dirty.load(), 0);
+  // Every acknowledged create survived the group loss and the rebuild.
+  for (const auto& paths : created) {
+    for (const auto& path : paths) {
+      EXPECT_TRUE(service.StatObject(path).ok()) << path;
+    }
+  }
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+// --- fsck repair round-trips ------------------------------------------------
+
+TEST(CrashRecoveryTest, FsckRepairsEveryCorruptionClass) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, RecoveryMantleOptions());
+  TafDb* db = service.tafdb();
+  const IndexTable& table = service.index()->LeaderReplica()->table();
+  const InodeId root = table.root_id();
+  ASSERT_TRUE(service.Mkdir("/lost-entry").ok());
+  ASSERT_TRUE(service.Mkdir("/lost-attr").ok());
+  ASSERT_TRUE(service.Mkdir("/forged-id").ok());
+  ASSERT_TRUE(service.Mkdir("/parent").ok());
+  ASSERT_TRUE(service.CreateObject("/lost-attr/keep", 1).ok());
+
+  // Class 1: the entry row vanishes behind the service's back.
+  WriteOp erase_entry;
+  erase_entry.kind = WriteOp::Kind::kDelete;
+  erase_entry.key = EntryKey(root, "lost-entry");
+  db->shard_map()->Route(root)->ApplyOps({erase_entry});
+
+  // Class 2: the attribute primary vanishes.
+  auto lost_attr = table.Lookup(root, "lost-attr");
+  ASSERT_TRUE(lost_attr.has_value());
+  WriteOp erase_attr;
+  erase_attr.kind = WriteOp::Kind::kDelete;
+  erase_attr.key = AttrKey(lost_attr->id);
+  db->shard_map()->Route(lost_attr->id)->ApplyOps({erase_attr});
+
+  // Class 3: the entry row's id diverges from the index.
+  auto forged_row = db->LocalGet(EntryKey(root, "forged-id"));
+  ASSERT_TRUE(forged_row.has_value());
+  MetaValue forged = *forged_row;
+  forged.id = 999999;
+  WriteOp put_forged;
+  put_forged.kind = WriteOp::Kind::kPut;
+  put_forged.key = EntryKey(root, "forged-id");
+  put_forged.value = forged;
+  db->shard_map()->Route(root)->ApplyOps({put_forged});
+
+  // Class 4: a directory row the index never heard of (crash between the
+  // TafDB transaction and the Raft propose).
+  auto parent = table.Lookup(root, "parent");
+  ASSERT_TRUE(parent.has_value());
+  db->LoadPut(EntryKey(parent->id, "orphan"),
+              MetaValue{EntryType::kDirectory, 424242, kPermAll, 0, 0, 0, 0, parent->id});
+  db->LoadPut(AttrKey(424242),
+              MetaValue{EntryType::kAttrPrimary, 424242, kPermAll, 0, 0, 0, 0, parent->id});
+
+  auto before = service.Fsck();
+  EXPECT_FALSE(before.clean());
+
+  auto repair = service.Fsck(MantleService::RepairOptions{});
+  EXPECT_EQ(repair.entry_rows_restored, 1u);
+  EXPECT_EQ(repair.ids_corrected, 1u);
+  EXPECT_EQ(repair.attr_rows_restored, 1u);
+  EXPECT_GE(repair.dirs_indexed, 1u);
+  EXPECT_TRUE(repair.remaining.clean())
+      << "entry=" << repair.remaining.missing_entry_row.size()
+      << " id=" << repair.remaining.id_mismatch.size()
+      << " attr=" << repair.remaining.missing_attr_row.size()
+      << " unindexed=" << repair.remaining.unindexed_dir_row.size();
+
+  // Repaired metadata actually serves again.
+  EXPECT_TRUE(service.StatDir("/lost-entry").ok());
+  StatInfo info;
+  ASSERT_TRUE(service.StatDir("/lost-attr", &info).ok());
+  EXPECT_EQ(info.child_count, 1);  // recounted from the entry rows
+  EXPECT_TRUE(service.StatDir("/forged-id").ok());
+  EXPECT_TRUE(service.StatDir("/parent/orphan").ok());
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+// --- the acceptance drill: coordinator crash mid-2PC + total index loss -----
+
+TEST(CrashRecoveryTest, AcceptanceSeededCrashDrillEndsCleanWithoutRepair) {
+  NetworkOptions net = FastNetworkOptions();
+  net.fault_seed = 0xabad1deaULL;  // seeded: the drill replays identically
+  Network network(net);
+  MantleService service(&network, RecoveryMantleOptions());
+  TxnCoordinator& coordinator = service.tafdb()->coordinator();
+
+  // A small acknowledged workload that must survive everything below.
+  std::vector<std::string> acked_dirs = {"/p1", "/p2"};
+  std::vector<std::string> acked_objects;
+  for (const auto& dir : acked_dirs) {
+    ASSERT_TRUE(service.Mkdir(dir).ok());
+    const std::string object = dir + "/o";
+    ASSERT_TRUE(service.CreateObject(object, 3).ok());
+    acked_objects.push_back(object);
+  }
+
+  // Crash 1: a coordinator dies in the in-doubt window under /p1, stranding
+  // the intent row and the prepare locks (including /p1's attribute row).
+  std::vector<std::string> extra_dirs;  // fast-path mkdirs that slipped through
+  const std::string in_doubt = MkdirUntilCrash(
+      service, coordinator, TxnCoordinator::CrashPoint::kAfterPrepare, "/p1/x", &extra_dirs);
+  ASSERT_FALSE(in_doubt.empty());
+  // Crash 2: another dies right after its commit point under /p2 (disjoint
+  // keys, so the stranded /p1 locks cannot interfere with this prepare).
+  const std::string committed = MkdirUntilCrash(
+      service, coordinator, TxnCoordinator::CrashPoint::kAfterDecisionLogged, "/p2/y",
+      &extra_dirs);
+  ASSERT_FALSE(committed.empty());
+  EXPECT_EQ(coordinator.intent_log().Size(), 2u);
+
+  // Crash 3: the entire IndexNode Raft group goes down at once.
+  service.CrashIndexGroup();
+  EXPECT_FALSE(service.StatDir("/p1").ok());
+
+  // Recovery, in cold-start order: resolve the transaction log first (TafDB
+  // is self-contained), then rebuild the index from the recovered rows - the
+  // redelivered commit's directory is picked up by the rebuild scan, so no
+  // manual fsck repair is needed.
+  auto txn_report = service.tafdb()->RecoverCoordinator();
+  EXPECT_EQ(txn_report.scanned, 2u);
+  EXPECT_EQ(txn_report.in_doubt_aborted, 1u);
+  EXPECT_EQ(txn_report.commits_redelivered, 1u);
+  EXPECT_EQ(txn_report.rows_gced, 2u);
+
+  auto index_report = service.RecoverIndexFromTafDb();
+  // /p1, /p2, the redelivered dir, and any fast-path mkdirs from the loops.
+  EXPECT_EQ(index_report.dirs_loaded, 3u + extra_dirs.size());
+  EXPECT_EQ(index_report.replicas_rebuilt, 3u);
+
+  // Zero in-doubt transactions, zero live tombstones.
+  EXPECT_EQ(coordinator.intent_log().Size(), 0u);
+  EXPECT_EQ(coordinator.DoomedLive(), 0u);
+
+  // Every acknowledged write is readable.
+  for (const auto& dir : acked_dirs) {
+    EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
+  }
+  for (const auto& object : acked_objects) {
+    EXPECT_TRUE(service.StatObject(object).ok()) << object;
+  }
+  for (const auto& dir : extra_dirs) {
+    EXPECT_TRUE(service.StatDir(dir).ok()) << dir;
+  }
+  // The presumed-aborted mkdir is absent and retriable; the post-commit-point
+  // mkdir survived its coordinator and the group loss.
+  EXPECT_EQ(service.StatDir(in_doubt).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(service.Mkdir(in_doubt).ok());
+  EXPECT_TRUE(service.StatDir(committed).ok());
+
+  // And the namespace audits clean with no manual repair.
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+}  // namespace
+}  // namespace mantle
