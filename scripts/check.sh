@@ -62,6 +62,15 @@ echo "== recovery smoke (seeded crash drill) =="
   --gtest_filter='CrashRecoveryTest.AcceptanceSeededCrashDrillEndsCleanWithoutRepair'
 echo "recovery smoke OK"
 
+# Overload smoke: the seeded overload drill (open-loop burst at 4x one
+# server's capacity) must show admission control at least doubling goodput
+# with zero handlers executed past their in-queue deadline, straight from the
+# built tree.
+echo "== overload smoke (seeded 4x-capacity drill) =="
+"$BUILD_DIR/tests/overload_test" \
+  --gtest_filter='OverloadTest.AdmissionDoublesGoodputAtFourTimesCapacity'
+echo "overload smoke OK"
+
 # The rename TOCTOU fix is only as good as its race coverage: under TSan,
 # hammer the rename-safety suite repeatedly so the seqlock-validated prepare
 # section sees many interleavings.
@@ -70,4 +79,12 @@ if [ "$MODE" = thread ]; then
   "$BUILD_DIR/tests/rename_safety_test" --gtest_repeat=10 \
     --gtest_filter='RenameSafetyTest.*'
   echo "rename safety OK"
+
+  # Overload protection is all cross-thread state (breaker transitions, token
+  # buckets, racing hedges): repeat its concurrency-heavy scenarios under TSan
+  # so the interleavings actually vary.
+  echo "== overload protection under TSan (5 repeats) =="
+  "$BUILD_DIR/tests/overload_test" --gtest_repeat=5 \
+    --gtest_filter='OverloadTest.BreakerTripsHalfOpensAndRecovers:OverloadTest.RetryBudgetBoundsRetryAmplification:OverloadTest.Hedg*'
+  echo "overload protection OK"
 fi

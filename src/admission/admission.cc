@@ -1,0 +1,88 @@
+#include "src/admission/admission.h"
+
+#include "src/obs/metrics.h"
+
+namespace mantle {
+
+namespace {
+thread_local OpPriority g_op_priority = OpPriority::kForeground;
+}  // namespace
+
+OpPriority CurrentOpPriority() { return g_op_priority; }
+
+ScopedOpPriority::ScopedOpPriority(OpPriority priority) : saved_(g_op_priority) {
+  g_op_priority = priority;
+}
+
+ScopedOpPriority::~ScopedOpPriority() { g_op_priority = saved_; }
+
+AdmissionController::AdmissionController(const std::string& server_name,
+                                         const AdmissionOptions& options, int workers)
+    : options_(options), workers_(workers < 1 ? 1 : workers) {
+  (void)server_name;  // policy is per-server, instruments are fleet-wide
+  obs::Metrics& metrics = obs::Metrics::Instance();
+  admitted_ = metrics.GetCounter("admission.admitted");
+  rejected_depth_ = metrics.GetCounter("admission.rejected.depth");
+  rejected_delay_ = metrics.GetCounter("admission.rejected.delay");
+  rejected_background_ = metrics.GetCounter("admission.rejected.background");
+  shed_expired_ = metrics.GetCounter("admission.shed.expired");
+  expired_executed_ = metrics.GetCounter("admission.expired.executed");
+  ema_gauge_ = metrics.GetGauge("admission.service.ema_nanos");
+}
+
+Status AdmissionController::Admit(int queue_depth, OpPriority priority) {
+  if (!enabled()) {
+    return Status::Ok();
+  }
+  if (options_.max_queue_depth > 0) {
+    int threshold = options_.max_queue_depth;
+    if (priority == OpPriority::kBackground) {
+      threshold = static_cast<int>(threshold * options_.background_fraction);
+      if (threshold < 1) {
+        threshold = 1;
+      }
+      if (QueueBusy(queue_depth, threshold)) {
+        rejected_background_->Add();
+        return Status::Overloaded("admission: background shed at queue depth " +
+                                  std::to_string(queue_depth));
+      }
+    } else if (QueueBusy(queue_depth, threshold)) {
+      rejected_depth_->Add();
+      return Status::Overloaded("admission: queue depth " + std::to_string(queue_depth) +
+                                " >= " + std::to_string(threshold));
+    }
+  }
+  if (options_.max_queue_delay_nanos > 0) {
+    const int64_t estimated = EstimatedQueueDelayNanos(queue_depth);
+    if (estimated > options_.max_queue_delay_nanos) {
+      rejected_delay_->Add();
+      return Status::Overloaded("admission: estimated queue delay " +
+                                std::to_string(estimated) + "ns exceeds bound");
+    }
+  }
+  admitted_->Add();
+  return Status::Ok();
+}
+
+void AdmissionController::RecordServiceTime(int64_t nanos) {
+  if (nanos < 0) {
+    return;
+  }
+  // EMA with alpha = 1/8; a single relaxed load/store race only blurs the
+  // estimate, which the age policy tolerates.
+  const int64_t prev = ema_service_nanos_.load(std::memory_order_relaxed);
+  const int64_t next = prev == 0 ? nanos : prev - prev / 8 + nanos / 8;
+  ema_service_nanos_.store(next, std::memory_order_relaxed);
+  ema_gauge_->Set(next);
+}
+
+void AdmissionController::RecordShedExpired() { shed_expired_->Add(); }
+
+void AdmissionController::RecordExpiredExecuted() { expired_executed_->Add(); }
+
+int64_t AdmissionController::EstimatedQueueDelayNanos(int queue_depth) const {
+  const int64_t ema = ema_service_nanos_.load(std::memory_order_relaxed);
+  return queue_depth <= 0 ? 0 : (queue_depth * ema) / workers_;
+}
+
+}  // namespace mantle

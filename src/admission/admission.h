@@ -1,0 +1,128 @@
+// Server-side admission control (overload protection, FoundationDB Record
+// Layer-style resource governance adapted to the simulated fabric).
+//
+// Every ServerExecutor owns one AdmissionController. Callers consult it
+// before enqueuing a handler; it rejects with kOverloaded when the queue is
+// deeper than the configured bound or when the estimated in-queue delay
+// (depth x EMA service time / workers) exceeds the configured age bound.
+// Background work (invalidator sweeps, compaction, fsck repair) is tagged via
+// ScopedOpPriority and is shed earlier than foreground traffic, so elastic
+// maintenance load yields first when a server saturates.
+//
+// The controller also centralises the repo's one definition of "busy"
+// (QueueBusy): follower-read offload in IndexService and admission rejection
+// read the same predicate, so the two load signals cannot drift apart.
+//
+// All policy knobs default to "disabled" (zero), preserving the unbounded
+// seed behaviour unless a configuration opts in.
+
+#ifndef SRC_ADMISSION_ADMISSION_H_
+#define SRC_ADMISSION_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mantle {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+// Priority tier of the work the current thread is performing. Foreground is
+// client-visible metadata traffic; background is maintenance (invalidator,
+// compactor, fsck repair, index rebuild) that should be shed first under
+// load. Propagated thread-locally, like DeadlineBudget.
+enum class OpPriority : uint8_t {
+  kForeground = 0,
+  kBackground = 1,
+};
+
+OpPriority CurrentOpPriority();
+
+// RAII tag: marks all work on this thread as `priority` for its scope.
+class ScopedOpPriority {
+ public:
+  explicit ScopedOpPriority(OpPriority priority);
+  ~ScopedOpPriority();
+
+  ScopedOpPriority(const ScopedOpPriority&) = delete;
+  ScopedOpPriority& operator=(const ScopedOpPriority&) = delete;
+
+ private:
+  OpPriority saved_;
+};
+
+struct AdmissionOptions {
+  // Reject foreground work when the server queue already holds this many
+  // handlers. 0 = unbounded (admission control disabled).
+  int max_queue_depth = 0;
+
+  // Background work is rejected once the queue reaches this fraction of
+  // max_queue_depth, so maintenance yields capacity before clients notice.
+  double background_fraction = 0.5;
+
+  // Reject when the estimated in-queue wait (depth x EMA service time /
+  // workers) exceeds this bound. 0 = no age-based rejection.
+  int64_t max_queue_delay_nanos = 0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const std::string& server_name, const AdmissionOptions& options,
+                      int workers);
+
+  // The single definition of "queue is busy" shared by admission control and
+  // IndexService follower-read offload. threshold <= 0 means "always busy"
+  // (offload everything); a queue at or beyond the threshold is busy.
+  static bool QueueBusy(int queue_depth, int threshold) {
+    return threshold <= 0 || queue_depth >= threshold;
+  }
+
+  bool enabled() const {
+    return options_.max_queue_depth > 0 || options_.max_queue_delay_nanos > 0;
+  }
+
+  // Decides whether a handler may be enqueued given the current queue depth.
+  // Returns kOverloaded (retriable) on rejection.
+  Status Admit(int queue_depth, OpPriority priority);
+
+  // Called by the executor after a handler finishes; feeds the EMA used for
+  // the age-based policy.
+  void RecordServiceTime(int64_t nanos);
+
+  // A queued handler was dropped because its deadline expired before a worker
+  // picked it up.
+  void RecordShedExpired();
+
+  // A handler with an already-expired deadline executed anyway (only possible
+  // on paths that cannot synthesize a Status result). The overload drill
+  // asserts this stays zero for protected configurations.
+  void RecordExpiredExecuted();
+
+  int64_t EstimatedQueueDelayNanos(int queue_depth) const;
+  int64_t ema_service_nanos() const {
+    return ema_service_nanos_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  const int workers_;
+  std::atomic<int64_t> ema_service_nanos_{0};
+
+  obs::Counter* admitted_;
+  obs::Counter* rejected_depth_;
+  obs::Counter* rejected_delay_;
+  obs::Counter* rejected_background_;
+  obs::Counter* shed_expired_;
+  obs::Counter* expired_executed_;
+  obs::Gauge* ema_gauge_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_ADMISSION_ADMISSION_H_

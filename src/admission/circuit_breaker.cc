@@ -1,0 +1,85 @@
+#include "src/admission/circuit_breaker.h"
+
+#include "src/obs/metrics.h"
+
+namespace mantle {
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& options) : options_(options) {
+  obs::Metrics& metrics = obs::Metrics::Instance();
+  tripped_ = metrics.GetCounter("breaker.trip");
+  fast_failed_ = metrics.GetCounter("breaker.fastfail");
+  probes_ = metrics.GetCounter("breaker.halfopen.probe");
+  closed_ = metrics.GetCounter("breaker.close");
+}
+
+bool CircuitBreaker::Allow(int64_t now_nanos) {
+  if (!enabled()) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_nanos < open_until_nanos_) {
+        fast_failed_->Add();
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        fast_failed_->Add();
+        return false;
+      }
+      probe_in_flight_ = true;
+      probes_->Add();
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++probe_successes_ >= options_.half_open_successes) {
+      state_ = State::kClosed;
+      closed_->Add();
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_nanos) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to open for another cooling-off window.
+    state_ = State::kOpen;
+    probe_in_flight_ = false;
+    open_until_nanos_ = now_nanos + options_.open_nanos;
+    tripped_->Add();
+    return;
+  }
+  if (state_ == State::kClosed && ++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    consecutive_failures_ = 0;
+    open_until_nanos_ = now_nanos + options_.open_nanos;
+    tripped_->Add();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace mantle

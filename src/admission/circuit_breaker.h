@@ -1,0 +1,78 @@
+// Per-destination circuit breaker: fail calls to a melting server fast.
+//
+// One breaker guards each ServerExecutor ("link" = every caller's path to
+// that destination). Consecutive kOverloaded / kTimeout outcomes trip it
+// open; while open, callers get kOverloaded immediately without charging RTT
+// or occupying a queue slot. After `open_nanos` the breaker half-opens and
+// admits one probe at a time; `half_open_successes` consecutive probe
+// successes close it, any probe failure re-opens it.
+//
+// failure_threshold == 0 disables the breaker (seed behaviour).
+
+#ifndef SRC_ADMISSION_CIRCUIT_BREAKER_H_
+#define SRC_ADMISSION_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mantle {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+struct BreakerOptions {
+  // Consecutive overloaded/timeout outcomes before tripping. 0 disables.
+  int failure_threshold = 0;
+
+  // How long a tripped breaker stays open before admitting probes.
+  int64_t open_nanos = 20'000'000;  // 20 ms
+
+  // Consecutive half-open probe successes required to close.
+  int half_open_successes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const BreakerOptions& options);
+
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  // Returns true when the call may proceed; false means fail fast with
+  // kOverloaded. In half-open state only one probe is allowed in flight;
+  // every Allow() == true in half-open MUST be matched by RecordSuccess() or
+  // RecordFailure() so the probe slot is released.
+  bool Allow(int64_t now_nanos);
+
+  // Outcome feedback. Only overloaded/timeout outcomes count as breaker
+  // failures; logical errors (NotFound, Aborted...) are successes here
+  // because the server is answering.
+  void RecordSuccess();
+  void RecordFailure(int64_t now_nanos);
+
+  State state() const;
+
+ private:
+  const BreakerOptions options_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t open_until_nanos_ = 0;
+
+  obs::Counter* tripped_;
+  obs::Counter* fast_failed_;
+  obs::Counter* probes_;
+  obs::Counter* closed_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_ADMISSION_CIRCUIT_BREAKER_H_

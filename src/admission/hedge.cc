@@ -1,0 +1,40 @@
+#include "src/admission/hedge.h"
+
+#include <algorithm>
+
+namespace mantle {
+
+LatencyEstimator::LatencyEstimator() { window_.reserve(kWindow); }
+
+void LatencyEstimator::Record(int64_t nanos) {
+  if (nanos < 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.size() < kWindow) {
+    window_.push_back(nanos);
+  } else {
+    window_[next_] = nanos;
+    next_ = (next_ + 1) % kWindow;
+  }
+  ++total_samples_;
+}
+
+int64_t LatencyEstimator::Quantile(double q, int min_samples) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.empty() || total_samples_ < min_samples) {
+    return 0;
+  }
+  std::vector<int64_t> sorted = window_;
+  q = std::min(1.0, std::max(0.0, q));
+  size_t rank = static_cast<size_t>(q * (sorted.size() - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
+  return sorted[rank];
+}
+
+int64_t LatencyEstimator::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_samples_;
+}
+
+}  // namespace mantle

@@ -1,0 +1,59 @@
+// Hedged-read support: a latency estimator that turns observed read
+// latencies into a quantile-derived hedge delay ("The Tail at Scale").
+//
+// IndexService records each successful replica read; when hedging is enabled
+// and the primary replica has not answered within the observed
+// `quantile`-percentile latency, a second read is issued to another replica
+// and the first useful answer wins. Hedges spend retry-budget tokens so a
+// saturated fleet cannot hedge itself deeper into overload.
+
+#ifndef SRC_ADMISSION_HEDGE_H_
+#define SRC_ADMISSION_HEDGE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mantle {
+
+struct HedgeOptions {
+  bool enable = false;
+
+  // Hedge after the observed `quantile` of read latency (0.95 = p95).
+  double quantile = 0.95;
+
+  // Clamp on the derived delay, so cold estimators and latency spikes keep
+  // the hedge point sane.
+  int64_t min_delay_nanos = 200'000;      // 0.2 ms
+  int64_t max_delay_nanos = 50'000'000;   // 50 ms
+
+  // Do not hedge until this many latency samples exist.
+  int min_samples = 16;
+};
+
+// Sliding window of recent latency samples with on-demand quantiles.
+// Thread-safe; sized for a few hundred samples so Quantile() stays cheap.
+class LatencyEstimator {
+ public:
+  static constexpr size_t kWindow = 256;
+
+  LatencyEstimator();
+
+  void Record(int64_t nanos);
+
+  // The q-quantile (q in [0,1]) over the current window; 0 when fewer than
+  // `min_samples` samples have ever been recorded.
+  int64_t Quantile(double q, int min_samples) const;
+
+  int64_t samples() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> window_;
+  size_t next_ = 0;
+  int64_t total_samples_ = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_ADMISSION_HEDGE_H_

@@ -1,0 +1,53 @@
+#include "src/admission/retry_budget.h"
+
+#include "src/obs/metrics.h"
+
+namespace mantle {
+
+RetryBudget::RetryBudget(const RetryBudgetOptions& options)
+    : options_(options), tokens_(options.initial_tokens) {
+  obs::Metrics& metrics = obs::Metrics::Instance();
+  spent_ = metrics.GetCounter("retry.budget.spent");
+  denied_ = metrics.GetCounter("retry.budget.denied");
+  earned_ = metrics.GetCounter("retry.budget.earned");
+  tokens_gauge_ = metrics.GetGauge("retry.budget.tokens");
+}
+
+bool RetryBudget::TrySpendRetry() { return TrySpend(options_.retry_cost); }
+
+bool RetryBudget::TrySpendHedge() { return TrySpend(options_.hedge_cost); }
+
+bool RetryBudget::TrySpend(double cost) {
+  if (!options_.enabled) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < cost) {
+    denied_->Add();
+    return false;
+  }
+  tokens_ -= cost;
+  spent_->Add();
+  tokens_gauge_->Set(static_cast<int64_t>(tokens_));
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  if (!options_.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ += options_.earn_per_success;
+  if (tokens_ > options_.max_tokens) {
+    tokens_ = options_.max_tokens;
+  }
+  earned_->Add();
+  tokens_gauge_->Set(static_cast<int64_t>(tokens_));
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+}  // namespace mantle

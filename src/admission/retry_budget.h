@@ -1,0 +1,69 @@
+// Client-side retry budget: a token bucket that bounds fleet-wide retry
+// amplification (the classic metastable-failure fuel).
+//
+// Each MantleService (one "client" of the fabric) owns one budget. The first
+// attempt of an operation is always free; every retry spends `retry_cost`
+// tokens and every hedged read spends `hedge_cost`. Successful operations
+// earn `earn_per_success` tokens back. When the bucket runs dry, retries and
+// hedges are denied and the operation fails fast with the last error, so a
+// fleet of failing callers converges to at most
+//   earn_per_success / retry_cost
+// retries per success instead of max_attempts per caller.
+
+#ifndef SRC_ADMISSION_RETRY_BUDGET_H_
+#define SRC_ADMISSION_RETRY_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace mantle {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+struct RetryBudgetOptions {
+  // Master switch. Disabled preserves the seed behaviour (attempt-count and
+  // deadline are the only retry bounds).
+  bool enabled = false;
+
+  double max_tokens = 32.0;        // bucket capacity
+  double initial_tokens = 32.0;    // starting balance
+  double earn_per_success = 0.1;   // tokens earned per successful operation
+  double retry_cost = 1.0;         // tokens spent per retry attempt
+  double hedge_cost = 1.0;         // tokens spent per hedged read
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetOptions& options);
+
+  // False when the budget is exhausted (the retry/hedge must not be sent).
+  // Always true when the budget is disabled.
+  bool TrySpendRetry();
+  bool TrySpendHedge();
+
+  // Earn tokens back on a successful operation.
+  void RecordSuccess();
+
+  double tokens() const;
+  bool enabled() const { return options_.enabled; }
+  const RetryBudgetOptions& options() const { return options_; }
+
+ private:
+  bool TrySpend(double cost);
+
+  const RetryBudgetOptions options_;
+  mutable std::mutex mu_;
+  double tokens_;
+
+  obs::Counter* spent_;
+  obs::Counter* denied_;
+  obs::Counter* earned_;
+  obs::Gauge* tokens_gauge_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_ADMISSION_RETRY_BUDGET_H_

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kInternal:
       return "Internal";
   }

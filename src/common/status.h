@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kLoopDetected,      // dirrename would create a cycle.
   kUnavailable,       // Server down / no leader elected.
   kTimeout,           // RPC or consensus deadline exceeded.
+  kOverloaded,        // Admission control rejected the request; caller may retry.
   kInternal,          // Invariant violation; indicates a bug.
 };
 
@@ -67,6 +68,9 @@ class Status {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Timeout(std::string msg = "") { return Status(StatusCode::kTimeout, std::move(msg)); }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   static Status Internal(std::string msg = "") { return Status(StatusCode::kInternal, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -78,10 +82,13 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsLoopDetected() const { return code_ == StatusCode::kLoopDetected; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   // True for failures the proxy layer is expected to retry (transaction
-  // aborts and lock-bit conflicts), as opposed to terminal errors.
-  bool IsRetriable() const { return IsAborted() || IsBusy(); }
+  // aborts, lock-bit conflicts, admission rejections), as opposed to
+  // terminal errors. Retries against an overloaded server are expected to
+  // pass through a retry budget so they cannot amplify the overload.
+  bool IsRetriable() const { return IsAborted() || IsBusy() || IsOverloaded(); }
 
   std::string ToString() const;
 

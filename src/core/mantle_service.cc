@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/admission/admission.h"
 #include "src/common/path.h"
 #include "src/obs/metrics.h"
 
@@ -827,6 +828,9 @@ MantleService::ConsistencyReport MantleService::Fsck() {
 }
 
 MantleService::RepairReport MantleService::Fsck(const RepairOptions& options) {
+  // Repair traffic is maintenance: under admission control it is shed before
+  // foreground metadata ops.
+  ScopedOpPriority background(OpPriority::kBackground);
   RepairReport report;
   FsckFindings findings;
   FsckScan(findings);
@@ -888,6 +892,7 @@ MantleService::RepairReport MantleService::Fsck(const RepairOptions& options) {
 }
 
 MantleService::IndexRebuildReport MantleService::RecoverIndexFromTafDb() {
+  ScopedOpPriority background(OpPriority::kBackground);
   IndexRebuildReport report;
   // Collect this namespace's directory entry rows, then order them parents-
   // before-children by BFS from the root (LoadDir can only resolve a child

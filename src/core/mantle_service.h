@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/admission/retry_budget.h"
 #include "src/core/am_cache.h"
 #include "src/core/metadata_service.h"
 #include "src/core/retry.h"
@@ -28,6 +29,9 @@ struct MantleOptions {
   TafDbOptions tafdb;
   IndexServiceOptions index;
   RetryOptions retry;
+  // Client-wide retry/hedge token bucket shared by every op on this service
+  // (this service is one "client" of the fabric). Disabled by default.
+  RetryBudgetOptions retry_budget;
   // Total wall-clock budget per metadata operation (lookups, retries and all
   // nested RPCs share it); 0 = unlimited. Under an active fault plan a finite
   // budget guarantees every operation resolves - ok, retriable, kTimeout or
@@ -88,11 +92,14 @@ class MantleService final : public MetadataService {
                        const std::string& start_after, size_t max_entries, ListPage* out);
 
   // The default context used by the compatibility entry points.
-  OpContext MakeOpContext() const {
+  OpContext MakeOpContext() {
     OpContext ctx;
     ctx.deadline = Deadline::After(options_.op_deadline_nanos);
+    ctx.retry_budget = &retry_budget_;
     return ctx;
   }
+
+  RetryBudget& retry_budget() { return retry_budget_; }
 
   Status BulkLoad(const BulkEntry& entry) override;
   Status BulkLoadMany(std::span<const BulkEntry> entries) override;
@@ -204,6 +211,7 @@ class MantleService final : public MetadataService {
 
   Network* network_;
   MantleOptions options_;
+  RetryBudget retry_budget_{options_.retry_budget};
   std::unique_ptr<TafDb> owned_tafdb_;
   TafDb* tafdb_;
   std::unique_ptr<IndexService> index_;

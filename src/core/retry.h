@@ -16,9 +16,11 @@
 #include <functional>
 #include <thread>
 
+#include "src/admission/retry_budget.h"
 #include "src/common/clock.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/obs/op_context.h"
 
 namespace mantle {
@@ -39,17 +41,25 @@ inline uint64_t PerThreadJitterSeed() {
 }
 
 // Runs `attempt()` until it returns a non-retriable status, attempts are
-// exhausted, or the operation's deadline runs out. `retries` (optional)
+// exhausted, the operation's deadline runs out, or the client's retry budget
+// (OpContext::retry_budget, when present) runs dry. `retries` (optional)
 // receives the number of re-executions. `ctx` (optional) supplies the
-// deadline and a per-op RetryOptions override; without it the ambient
-// thread-local budget bounds the loop and `options` is used as-is.
+// deadline, a per-op RetryOptions override, and the budget; without it the
+// ambient thread-local budget bounds the loop and `options` is used as-is.
+//
+// Exhaustion is tagged: running out of attempts or budget returns
+// kOverloaded (and bumps `retry.exhausted`), running out of deadline returns
+// kTimeout - both distinguishable from a single raw failure, with the last
+// raw status preserved in the message.
 template <typename Fn>
 Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries,
                         const OpContext* ctx = nullptr) {
   thread_local Rng rng{PerThreadJitterSeed()};
+  static obs::Counter* exhausted_metric = obs::Metrics::Instance().GetCounter("retry.exhausted");
   const RetryOptions& policy =
       (ctx != nullptr && ctx->retry_override != nullptr) ? *ctx->retry_override : options;
   const Deadline deadline = OpContext::DeadlineOf(ctx);
+  RetryBudget* budget = OpContext::BudgetOf(ctx);
   Status status;
   for (int attempt_index = 0; attempt_index < policy.max_attempts; ++attempt_index) {
     status = attempt();
@@ -57,13 +67,23 @@ Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries,
       if (retries != nullptr) {
         *retries = attempt_index;
       }
+      if (status.ok() && budget != nullptr) {
+        budget->RecordSuccess();
+      }
       return status;
     }
     if (deadline.Expired()) {
       if (retries != nullptr) {
         *retries = attempt_index;
       }
-      return Status::Timeout("retry budget exhausted; last: " + status.ToString());
+      return Status::Timeout("retry deadline exhausted; last: " + status.ToString());
+    }
+    if (budget != nullptr && !budget->TrySpendRetry()) {
+      if (retries != nullptr) {
+        *retries = attempt_index;
+      }
+      exhausted_metric->Add();
+      return Status::Overloaded("retry budget exhausted; last: " + status.ToString());
     }
     const int shift = std::min(attempt_index, 6);
     const int64_t ceiling =
@@ -75,7 +95,9 @@ Status RetryTransaction(Fn&& attempt, const RetryOptions& options, int* retries,
   if (retries != nullptr) {
     *retries = policy.max_attempts;
   }
-  return status;
+  exhausted_metric->Add();
+  return Status::Overloaded("retry attempts exhausted (" + std::to_string(policy.max_attempts) +
+                            "); last: " + status.ToString());
 }
 
 }  // namespace mantle

@@ -1,7 +1,11 @@
 #include "src/index/index_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 
+#include "src/admission/retry_budget.h"
 #include "src/obs/metrics.h"
 
 namespace mantle {
@@ -25,12 +29,16 @@ RaftNode* IndexService::PickReadReplica() {
   if (!options_.follower_read) {
     return leader;
   }
-  // Leader-first: only offload once the leader's executor is backlogged.
-  // A zero threshold means no leader preference at all.
-  if (options_.offload_queue_threshold > 0 && leader != nullptr &&
-      leader->server()->queue_depth() < options_.offload_queue_threshold) {
+  // Leader-first: only offload once the leader's executor is busy - the same
+  // ServerExecutor::Busy predicate admission control rejects on, so "offload
+  // to a follower" and "start shedding" describe one load level. A zero
+  // threshold means no leader preference at all (always busy).
+  if (leader != nullptr &&
+      !leader->server()->Busy(static_cast<int>(options_.offload_queue_threshold))) {
     return leader;
   }
+  static obs::Counter* offloaded = obs::Metrics::Instance().GetCounter("index.read.offload");
+  offloaded->Add();
   const uint32_t total = group_->num_nodes();
   for (uint32_t attempt = 0; attempt < total; ++attempt) {
     const uint32_t id =
@@ -41,6 +49,19 @@ RaftNode* IndexService::PickReadReplica() {
     }
   }
   return leader;
+}
+
+RaftNode* IndexService::PickHedgeReplica(const RaftNode* primary) {
+  const uint32_t total = group_->num_nodes();
+  for (uint32_t attempt = 0; attempt < total; ++attempt) {
+    const uint32_t id =
+        static_cast<uint32_t>(read_rr_.fetch_add(1, std::memory_order_relaxed) % total);
+    RaftNode* node = group_->node(id);
+    if (node != primary && !node->IsDown()) {
+      return node;
+    }
+  }
+  return nullptr;
 }
 
 Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
@@ -66,6 +87,110 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
       [](const Status& fault) -> Result<IndexReplica::ResolveOutcome> { return fault; });
 }
 
+std::future<Result<IndexReplica::ResolveOutcome>> IndexService::IssueResolveAsync(
+    RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
+    bool parent_only) {
+  IndexReplica* replica = replicas_[node->id()];
+  return node->server()->CallAsync(
+      [node, replica, components, parent_only]() -> Result<IndexReplica::ResolveOutcome> {
+        if (node->role() != RaftRole::kLeader) {
+          auto fence = node->FollowerReadFence();
+          if (!fence.ok()) {
+            return fence.status();
+          }
+        }
+        return parent_only ? replica->ResolveParent(*components)
+                           : replica->ResolveDir(*components);
+      },
+      [](const Status& fault) -> Result<IndexReplica::ResolveOutcome> { return fault; });
+}
+
+Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
+    RaftNode* primary, const std::shared_ptr<const std::vector<std::string>>& components,
+    bool parent_only, const OpContext* ctx) {
+  using R = Result<IndexReplica::ResolveOutcome>;
+  static obs::Counter* issued = obs::Metrics::Instance().GetCounter("hedge.issued");
+  static obs::Counter* won = obs::Metrics::Instance().GetCounter("hedge.won");
+  static obs::Counter* denied = obs::Metrics::Instance().GetCounter("hedge.denied");
+
+  const int64_t wait_nanos = DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
+  if (wait_nanos <= 0) {
+    network_->NoteCallerTimeout();
+    return R(Status::Timeout("deadline exhausted before hedged lookup"));
+  }
+  const int64_t start_nanos = MonotonicNanos();
+  const int64_t deadline_nanos = start_nanos + wait_nanos;
+  auto primary_future = IssueResolveAsync(primary, components, parent_only);
+  // CallAsync counts the RPC but leaves the RTT to the caller; a hedge later
+  // overlaps this same round trip instead of charging a second one.
+  network_->InjectDelay();
+
+  auto settle = [&](R result, RaftNode* responder, bool was_hedge) {
+    responder->server()->RecordOutcome(result.ok() ? Status::Ok() : result.status());
+    if (result.ok()) {
+      read_latency_.Record(MonotonicNanos() - start_nanos);
+      if (was_hedge) {
+        won->Add();
+      }
+    }
+    return result;
+  };
+
+  // Hedge point: the observed hedge-quantile latency, clamped. Zero until the
+  // estimator has warmed up - then the primary gets the whole deadline.
+  int64_t hedge_delay =
+      read_latency_.Quantile(options_.hedge.quantile, options_.hedge.min_samples);
+  if (hedge_delay > 0) {
+    hedge_delay = std::clamp(hedge_delay, options_.hedge.min_delay_nanos,
+                             options_.hedge.max_delay_nanos);
+  }
+  const bool can_hedge = hedge_delay > 0 && hedge_delay < wait_nanos && group_->num_nodes() > 1;
+  const int64_t first_wait = can_hedge ? hedge_delay : wait_nanos;
+  if (primary_future.wait_for(std::chrono::nanoseconds(first_wait)) ==
+      std::future_status::ready) {
+    return settle(primary_future.get(), primary, /*was_hedge=*/false);
+  }
+  RaftNode* hedge_node = can_hedge ? PickHedgeReplica(primary) : nullptr;
+  RetryBudget* budget = OpContext::BudgetOf(ctx);
+  if (hedge_node != nullptr && budget != nullptr && !budget->TrySpendHedge()) {
+    denied->Add();
+    hedge_node = nullptr;
+  }
+  if (hedge_node == nullptr) {
+    // No hedge available (cold estimator, lone replica, or budget dry): just
+    // wait out the primary.
+    const int64_t rest = deadline_nanos - MonotonicNanos();
+    if (rest > 0 && primary_future.wait_for(std::chrono::nanoseconds(rest)) ==
+                        std::future_status::ready) {
+      return settle(primary_future.get(), primary, /*was_hedge=*/false);
+    }
+    primary->server()->RecordOutcome(Status::Timeout());
+    network_->NoteCallerTimeout();
+    return R(Status::Timeout("lookup on " + primary->server()->name() + " timed out"));
+  }
+  issued->Add();
+  auto hedge_future = IssueResolveAsync(hedge_node, components, parent_only);
+  // First answer wins. Poll both futures on a fine quantum; the abandoned
+  // handler owns its captures, so dropping its future is safe.
+  constexpr auto kZero = std::chrono::nanoseconds::zero();
+  const int64_t quantum = std::max<int64_t>(network_->options().rtt_nanos / 4, 20'000);
+  while (true) {
+    if (primary_future.wait_for(kZero) == std::future_status::ready) {
+      return settle(primary_future.get(), primary, /*was_hedge=*/false);
+    }
+    if (hedge_future.wait_for(kZero) == std::future_status::ready) {
+      return settle(hedge_future.get(), hedge_node, /*was_hedge=*/true);
+    }
+    const int64_t rest = deadline_nanos - MonotonicNanos();
+    if (rest <= 0) {
+      primary->server()->RecordOutcome(Status::Timeout());
+      network_->NoteCallerTimeout();
+      return R(Status::Timeout("hedged lookup timed out on both replicas"));
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(std::min(rest, quantum)));
+  }
+}
+
 Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
     const std::vector<std::string>& components, bool parent_only, const OpContext* ctx) {
   obs::ScopedSpan span(OpContext::TraceOf(ctx), "index.resolve");
@@ -74,7 +199,9 @@ Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
     return Status::Unavailable("indexnode has no live replica");
   }
   auto owned = std::make_shared<const std::vector<std::string>>(components);
-  Result<IndexReplica::ResolveOutcome> result = ResolveOn(primary, owned, parent_only);
+  Result<IndexReplica::ResolveOutcome> result =
+      options_.hedge.enable ? ResolveHedged(primary, owned, parent_only, ctx)
+                            : ResolveOn(primary, owned, parent_only);
   if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
                       result.status().code() != StatusCode::kUnavailable)) {
     return result;

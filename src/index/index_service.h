@@ -12,10 +12,12 @@
 #define SRC_INDEX_INDEX_SERVICE_H_
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/admission/hedge.h"
 #include "src/index/index_replica.h"
 #include "src/obs/op_context.h"
 #include "src/raft/group.h"
@@ -32,8 +34,14 @@ struct IndexServiceOptions {
   bool follower_read = false;
   // Leader executor queue depth at which lookups offload to replicas. Zero
   // disables the leader-first preference entirely (pure round-robin; used by
-  // tests and aggressive-offload experiments).
+  // tests and aggressive-offload experiments). The predicate is the shared
+  // ServerExecutor::Busy signal, the same one admission control reads.
   size_t offload_queue_threshold = 2;
+  // Hedged reads ("tail at scale"): when the chosen replica has not answered
+  // within the observed hedge-quantile latency, issue the lookup to a second
+  // replica and take the first answer. Hedges spend the caller's retry-budget
+  // tokens, so hedging self-disables when the client is out of budget.
+  HedgeOptions hedge;
   RaftOptions raft;
   IndexNodeOptions node;
 };
@@ -103,6 +111,8 @@ class IndexService {
   // Lookups that fell back to another replica after the first choice timed
   // out, crashed, or failed its read fence.
   uint64_t degraded_reads() const { return degraded_reads_.load(std::memory_order_relaxed); }
+  // Observed read-latency window feeding the hedge delay.
+  const LatencyEstimator& read_latency() const { return read_latency_; }
 
  private:
   Result<IndexReplica::ResolveOutcome> Resolve(const std::vector<std::string>& components,
@@ -110,8 +120,20 @@ class IndexService {
   Result<IndexReplica::ResolveOutcome> ResolveOn(
       RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
       bool parent_only);
+  // Non-blocking resolve on `node` (the hedged-read primitive). The caller
+  // owns the RTT charge and must report the consumed outcome to the node's
+  // server via RecordOutcome.
+  std::future<Result<IndexReplica::ResolveOutcome>> IssueResolveAsync(
+      RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
+      bool parent_only);
+  // Resolve with a hedge: primary first, a second replica after the derived
+  // hedge delay, first answer wins.
+  Result<IndexReplica::ResolveOutcome> ResolveHedged(
+      RaftNode* primary, const std::shared_ptr<const std::vector<std::string>>& components,
+      bool parent_only, const OpContext* ctx);
   Status ProposeCommand(const IndexCommand& command);
   RaftNode* PickReadReplica();
+  RaftNode* PickHedgeReplica(const RaftNode* primary);
 
   Network* network_;
   std::string name_;
@@ -120,6 +142,7 @@ class IndexService {
   std::unique_ptr<RaftGroup> group_;
   std::atomic<uint64_t> read_rr_{0};
   std::atomic<uint64_t> degraded_reads_{0};
+  LatencyEstimator read_latency_;
 };
 
 }  // namespace mantle

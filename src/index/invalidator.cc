@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/admission/admission.h"
 #include "src/common/clock.h"
 #include "src/obs/metrics.h"
 
@@ -48,6 +49,9 @@ size_t Invalidator::RunPassNow() {
 }
 
 void Invalidator::Loop() {
+  // Invalidation sweeps are maintenance traffic: shed first under admission
+  // control.
+  ScopedOpPriority background(OpPriority::kBackground);
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
     cv_.wait_for(lock, std::chrono::nanoseconds(interval_nanos_));

@@ -20,7 +20,11 @@ ScopedNetOrigin::ScopedNetOrigin(const std::string& server_name) : saved_(t_orig
 ScopedNetOrigin::~ScopedNetOrigin() { t_origin = saved_; }
 
 ServerExecutor::ServerExecutor(Network* network, std::string name, size_t workers)
-    : network_(network), name_(std::move(name)), pool_(workers, name_) {
+    : network_(network),
+      name_(std::move(name)),
+      pool_(workers, name_),
+      admission_(name_, network->options().admission, static_cast<int>(workers)),
+      breaker_(network->options().breaker) {
   auto& registry = obs::Metrics::Instance();
   calls_metric_ = registry.GetCounter("net.server." + name_ + ".calls");
   call_latency_metric_ = registry.GetHistogram("net.server." + name_ + ".call_nanos");

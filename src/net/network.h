@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/admission/admission.h"
+#include "src/admission/circuit_breaker.h"
 #include "src/common/clock.h"
 #include "src/common/deadline.h"
 #include "src/common/status.h"
@@ -68,6 +70,10 @@ struct NetworkOptions {
   int64_t default_rpc_deadline_nanos = 10'000'000'000;  // 10 s
   // Seed for the fault injector's deterministic per-link decisions.
   uint64_t fault_seed = 0x5eedfab1eULL;
+  // Overload protection, applied to every server on this network. Both
+  // default to disabled (unbounded queues, no breaker) - the seed behaviour.
+  AdmissionOptions admission;
+  BreakerOptions breaker;
 };
 
 class Network;
@@ -143,12 +149,38 @@ class ServerExecutor {
   size_t queue_depth() const { return pool_.QueueDepth(); }
   Network* network() const { return network_; }
 
+  // The repo-wide definition of "this server is busy": queue depth at or
+  // beyond `threshold` (<= 0 means always busy). IndexService follower-read
+  // offload and the admission policy both read this predicate.
+  bool Busy(int threshold) const {
+    return AdmissionController::QueueBusy(static_cast<int>(pool_.QueueDepth()), threshold);
+  }
+
+  AdmissionController& admission() { return admission_; }
+  CircuitBreaker& breaker() { return breaker_; }
+
+  // Feeds this server's circuit breaker with an RPC outcome observed by a
+  // caller. Only overload signals (kOverloaded, kTimeout) count as breaker
+  // failures; every other code proves the destination is answering. Callers
+  // that consume fault-aware CallAsync futures directly (e.g. hedged reads)
+  // must report the consumed outcome here themselves - the async path cannot
+  // observe it.
+  void RecordOutcome(const Status& status) {
+    if (status.IsOverloaded() || status.code() == StatusCode::kTimeout) {
+      breaker_.RecordFailure(MonotonicNanos());
+    } else {
+      breaker_.RecordSuccess();
+    }
+  }
+
  private:
   // Decorates a handler with the server-side fabric hooks: pause gate,
-  // RPC-origin tagging, and propagation of the caller's absolute deadline
-  // onto the worker thread.
+  // RPC-origin tagging, propagation of the caller's absolute deadline onto
+  // the worker thread, and (for sheddable handlers on admission-enabled
+  // servers) expired-work shedding: a handler whose deadline lapsed while
+  // queued returns a poisoned Timeout instead of burning a worker.
   template <typename Fn>
-  auto Wrap(Fn&& handler, int64_t absolute_deadline_nanos);
+  auto Wrap(Fn&& handler, int64_t absolute_deadline_nanos, bool sheddable = false);
 
   // Caller-observed latency of synchronous RPCs to this server (queueing +
   // handler service time), recorded on every exit path.
@@ -167,9 +199,21 @@ class ServerExecutor {
     Stopwatch timer_;
   };
 
+  // Admission verdict for enqueuing one more handler right now, at the
+  // calling thread's priority tier. Gated before reading the queue depth so a
+  // disabled controller costs the hot path nothing (QueueDepth locks the pool).
+  Status AdmitCall() {
+    if (!admission_.enabled()) {
+      return Status::Ok();
+    }
+    return admission_.Admit(static_cast<int>(pool_.QueueDepth()), CurrentOpPriority());
+  }
+
   Network* network_;
   std::string name_;
   ThreadPool pool_;
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
   // Per-link instruments (net.server.<name>.*), resolved once at construction.
   obs::Counter* calls_metric_;
   obs::HistogramMetric* call_latency_metric_;
@@ -253,12 +297,34 @@ class ScopedRpcCounter {
 // --- template implementations ----------------------------------------------
 
 template <typename Fn>
-auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos) {
-  return [this, absolute_deadline_nanos, fn = std::forward<Fn>(handler)]() mutable {
+auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos, bool sheddable) {
+  return [this, absolute_deadline_nanos, sheddable, fn = std::forward<Fn>(handler)]() mutable {
+    using R = decltype(fn());
+    if (absolute_deadline_nanos > 0 && MonotonicNanos() >= absolute_deadline_nanos) {
+      // The caller has already given up on this handler. Shed it if the
+      // result type can carry the poison and the path opted in (delivery-
+      // reliable calls and raft traffic never shed); otherwise count the
+      // wasted execution so the overload drill can see it.
+      if constexpr (std::is_constructible_v<R, Status>) {
+        if (sheddable && admission_.enabled()) {
+          admission_.RecordShedExpired();
+          return R(Status::Timeout("shed: deadline expired while queued on " + name_));
+        }
+      }
+      admission_.RecordExpiredExecuted();
+    }
     network_->faults().HandlerEntry(name_);
     ScopedNetOrigin origin(name_);
     ScopedAbsoluteDeadline deadline(absolute_deadline_nanos);
-    return fn();
+    Stopwatch service_timer;
+    if constexpr (std::is_void_v<R>) {
+      fn();
+      admission_.RecordServiceTime(service_timer.ElapsedNanos());
+    } else {
+      R result = fn();
+      admission_.RecordServiceTime(service_timer.ElapsedNanos());
+      return result;
+    }
   };
 }
 
@@ -272,6 +338,10 @@ auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
     if (!pre.ok()) {
       return R(std::move(pre));
     }
+    Status admit = AdmitCall();
+    if (!admit.ok()) {
+      return R(std::move(admit));
+    }
   }
   auto future =
       pool_.SubmitWithResult(Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
@@ -282,10 +352,19 @@ template <typename Fn, typename FaultFn>
 auto ServerExecutor::Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nanos)
     -> decltype(handler()) {
   ScopedRpcTimer rpc_timer(this);
+  if (!breaker_.Allow(MonotonicNanos())) {
+    return on_fault(Status::Overloaded("breaker open for " + name_));
+  }
   network_->ChargeRtt();
   Status pre = network_->PreflightRpc(name_);
   if (!pre.ok()) {
+    RecordOutcome(pre);
     return on_fault(std::move(pre));
+  }
+  Status admit = AdmitCall();
+  if (!admit.ok()) {
+    RecordOutcome(admit);
+    return on_fault(std::move(admit));
   }
   const int64_t cap =
       deadline_nanos > 0 ? deadline_nanos : network_->options().default_rpc_deadline_nanos;
@@ -295,11 +374,13 @@ auto ServerExecutor::Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nan
     return on_fault(Status::Timeout("deadline exhausted before rpc to " + name_));
   }
   auto future = pool_.SubmitWithResult(
-      Wrap(std::forward<Fn>(handler), MonotonicNanos() + wait_nanos));
+      Wrap(std::forward<Fn>(handler), MonotonicNanos() + wait_nanos, /*sheddable=*/true));
   if (future.wait_for(std::chrono::nanoseconds(wait_nanos)) != std::future_status::ready) {
+    RecordOutcome(Status::Timeout());
     network_->NoteCallerTimeout();
     return on_fault(Status::Timeout("rpc to " + name_ + " timed out"));
   }
+  RecordOutcome(Status::Ok());
   return future.get();
 }
 
@@ -315,14 +396,26 @@ auto ServerExecutor::CallAsync(Fn&& handler, FaultFn&& on_fault)
     -> std::future<decltype(handler())> {
   using R = decltype(handler());
   network_->NoteRpc();
+  auto fail_fast = [&](Status status) {
+    std::promise<R> ready;
+    ready.set_value(on_fault(std::move(status)));
+    return ready.get_future();
+  };
+  if (!breaker_.Allow(MonotonicNanos())) {
+    return fail_fast(Status::Overloaded("breaker open for " + name_));
+  }
   Status pre = network_->PreflightRpc(name_);
   if (!pre.ok()) {
-    std::promise<R> ready;
-    ready.set_value(on_fault(std::move(pre)));
-    return ready.get_future();
+    RecordOutcome(pre);
+    return fail_fast(std::move(pre));
+  }
+  Status admit = AdmitCall();
+  if (!admit.ok()) {
+    RecordOutcome(admit);
+    return fail_fast(std::move(admit));
   }
   return pool_.SubmitWithResult(
-      Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
+      Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos(), /*sheddable=*/true));
 }
 
 template <typename Fn>

@@ -26,11 +26,15 @@
 namespace mantle {
 
 struct RetryOptions;  // src/core/retry.h
+class RetryBudget;    // src/admission/retry_budget.h
 
 struct OpContext {
   Deadline deadline;
   obs::OpTrace* trace = nullptr;
   const RetryOptions* retry_override = nullptr;
+  // Client-wide retry/hedge token bucket (owned by the service, shared across
+  // all its ops). Null = unbudgeted (seed behaviour).
+  RetryBudget* retry_budget = nullptr;
 
   // Null-safe accessors for code handed an `const OpContext* ctx` that may be
   // absent (public compatibility entry points pass nullptr and fall back to
@@ -40,6 +44,9 @@ struct OpContext {
   }
   static obs::OpTrace* TraceOf(const OpContext* ctx) {
     return ctx == nullptr ? nullptr : ctx->trace;
+  }
+  static RetryBudget* BudgetOf(const OpContext* ctx) {
+    return ctx == nullptr ? nullptr : ctx->retry_budget;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/admission/admission.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
 
@@ -275,6 +276,9 @@ bool TafDb::PendingCompactionContains(InodeId dir_id) const {
 }
 
 void TafDb::CompactorLoop() {
+  // Compaction is maintenance traffic: any RPC it issues is shed first under
+  // admission control.
+  ScopedOpPriority background(OpPriority::kBackground);
   std::unique_lock<std::mutex> lock(stop_mu_);
   while (!stopping_) {
     stop_cv_.wait_for(lock, std::chrono::nanoseconds(options_.compaction_interval_nanos));

@@ -54,6 +54,7 @@ bool IsCleanChaosCode(StatusCode code) {
     case StatusCode::kBusy:
     case StatusCode::kTimeout:
     case StatusCode::kUnavailable:
+    case StatusCode::kOverloaded:  // tagged retry exhaustion / admission shed
       return true;
     default:
       return false;
@@ -448,10 +449,18 @@ TEST(ChaosTest, SharedDirectoryContentionSurfacesRetriesInMetrics) {
   Network network(FastNetworkOptions());
   MantleOptions options = ChaosMantleOptions();
   // Without delta records every create under one parent contends on the same
-  // attribute row, so 2PC lock conflicts (-> aborts -> retries) are certain.
+  // attribute row, so concurrent 2PC lock conflicts (-> aborts -> retries) are
+  // possible - but on a single-core host the writer threads can serialize into
+  // full timeslices and never overlap inside a transaction. Pin the conflict:
+  // hold a foreign lock on the hot directory's attribute row when the storm
+  // starts, and release it once the abort counter proves a conflict fired.
   options.tafdb.enable_delta_records = false;
   MantleService service(&network, options);
   ASSERT_TRUE(service.Mkdir("/hot").ok());
+  auto hot_row = service.tafdb()->LocalGet(EntryKey(kRootId, "hot"));
+  ASSERT_TRUE(hot_row.has_value());
+  Shard* attr_shard = service.tafdb()->shard_map()->Route(hot_row->id);
+  ASSERT_TRUE(attr_shard->TryLockKey(AttrKey(hot_row->id), 424242));
 
   const uint64_t retries_before = MetricValue("core.op.retries");
   const uint64_t aborts_before = MetricValue("tafdb.txn.abort");
@@ -470,6 +479,12 @@ TEST(ChaosTest, SharedDirectoryContentionSurfacesRetriesInMetrics) {
       }
     });
   }
+  // At least one writer has aborted against the foreign lock; release it and
+  // let the storm finish organically (retry absorbs the conflicts).
+  while (MetricValue("tafdb.txn.abort") == aborts_before) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  attr_shard->UnlockKey(AttrKey(hot_row->id), 424242);
   for (auto& writer : writers) {
     writer.join();
   }
