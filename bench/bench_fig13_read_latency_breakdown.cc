@@ -11,6 +11,7 @@
 
 #include "src/bench_util/bench_env.h"
 #include "src/bench_util/report.h"
+#include "src/bench_util/trace_probe.h"
 
 namespace mantle {
 namespace {
@@ -27,6 +28,7 @@ void Run() {
   for (const char* op : kOps) {
     std::printf("\n-- %s --\n", op);
     Table table({"system", "lookup", "execute", "total", "lookup %"});
+    TraceProbeResult probe;
     for (SystemKind kind : kSystems) {
       SystemInstance system = MakeSystem(kind);
       NamespaceSpec spec;
@@ -57,8 +59,17 @@ void Run() {
       table.AddRow({SystemName(kind), FormatMicros(lookup), FormatMicros(execute),
                     FormatMicros(total),
                     FormatDouble(total > 0 ? 100.0 * lookup / total : 0, 1) + "%"});
+      if (kind == SystemKind::kMantle) {
+        // Cross-check: re-derive the same breakdown from stitched span trees.
+        // Tracing is a second, independent measurement of where time went;
+        // the probe table reports per-phase agreement with the hand splits
+        // (expected within ~10% on a quiesced system).
+        const uint64_t probe_ops = config.quick ? 64 : 256;
+        probe = RunTraceProbe(fn, probe_ops);
+      }
     }
     table.Print();
+    PrintTraceProbe(std::string("Mantle ") + op, probe);
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include "src/bench_util/bench_env.h"
 #include "src/bench_util/report.h"
+#include "src/bench_util/trace_probe.h"
 
 namespace mantle {
 namespace {
@@ -36,6 +37,7 @@ void Run() {
   for (const Cell& cell : kCells) {
     std::printf("\n-- %s --\n", cell.label);
     Table table({"system", "lookup", "loopdetect", "execute", "total"});
+    TraceProbeResult probe;
     for (SystemKind kind : kSystems) {
       SystemInstance system = MakeSystem(kind);
       NamespaceSpec spec;
@@ -56,8 +58,15 @@ void Run() {
                     FormatMicros(result.loop_detect.Mean()),
                     FormatMicros(result.execute.Mean()),
                     FormatMicros(result.total.Mean())});
+      if (kind == SystemKind::kMantle) {
+        // Same breakdown, independently re-derived from stitched span trees
+        // ("index.rename_prepare" spans map onto the loop-detection phase).
+        const uint64_t probe_ops = config.quick ? 48 : 192;
+        probe = RunTraceProbe(fn, probe_ops);
+      }
     }
     table.Print();
+    PrintTraceProbe(std::string("Mantle ") + cell.label, probe);
   }
 }
 

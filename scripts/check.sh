@@ -71,6 +71,44 @@ echo "== overload smoke (seeded 4x-capacity drill) =="
   --gtest_filter='OverloadTest.AdmissionDoublesGoodputAtFourTimesCapacity'
 echo "overload smoke OK"
 
+# Trace smoke: run a bench slice with tracing sampled and the flight recorder
+# exporting, then assert the Chrome trace JSON parses, contains at least one
+# trace that crossed multiple servers, and that the critical-path rollups
+# reconcile (queue+service+wire+logic within 5% of each root span).
+echo "== trace smoke (bench_fig13 quick slice) =="
+TRACE_JSON="$BUILD_DIR/trace_smoke.json"
+rm -f "$TRACE_JSON"
+MANTLE_BENCH_QUICK=1 MANTLE_BENCH_SECONDS=0.2 MANTLE_BENCH_THREADS=4 \
+  MANTLE_TRACE_EXPORT="$TRACE_JSON" \
+  "$BUILD_DIR/bench/bench_fig13_read_latency_breakdown" >/dev/null
+python3 - "$TRACE_JSON" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # must parse as strict JSON
+
+events = doc["traceEvents"]
+summaries = doc["mantleTraceSummaries"]
+assert events, "no trace events exported"
+assert summaries, "no trace summaries exported"
+
+multi_server = [s for s in summaries if len(s.get("servers", [])) >= 2]
+assert multi_server, "no trace crossed multiple servers"
+
+checked = 0
+for s in summaries:
+    root = s["root_nanos"]
+    if root <= 0:
+        continue
+    attributed = s["queue_nanos"] + s["service_nanos"] + s["wire_nanos"] + s["logic_nanos"]
+    gap = abs(attributed - root) / root
+    assert gap <= 0.05, f"trace {s['trace_id']}: attribution off by {gap:.1%}"
+    checked += 1
+assert checked > 0, "no closed-root traces to reconcile"
+print(f"trace smoke OK: {len(events)} events, {len(summaries)} traces "
+      f"({len(multi_server)} multi-server), {checked} reconciled within 5%")
+PYEOF
+
 # The rename TOCTOU fix is only as good as its race coverage: under TSan,
 # hammer the rename-safety suite repeatedly so the seqlock-validated prepare
 # section sees many interleavings.
@@ -87,4 +125,12 @@ if [ "$MODE" = thread ]; then
   "$BUILD_DIR/tests/overload_test" --gtest_repeat=5 \
     --gtest_filter='OverloadTest.BreakerTripsHalfOpensAndRecovers:OverloadTest.RetryBudgetBoundsRetryAmplification:OverloadTest.Hedg*'
   echo "overload protection OK"
+
+  # Trace propagation is deliberately cross-thread (handler-local traces,
+  # depot hand-off, stitch-at-op-end): repeat the fault-heavy tracing tests
+  # under TSan so the orphan/stitch interleavings actually vary.
+  echo "== trace propagation under TSan (5 repeats) =="
+  "$BUILD_DIR/tests/tracing_test" --gtest_repeat=5 \
+    --gtest_filter='TracingTest.SpansPropagate*:TracingTest.Dropped*:TracingTest.TimedOut*:TracingTest.Hedged*:TracingTest.FlightRecorderRetains*'
+  echo "trace propagation OK"
 fi

@@ -10,6 +10,10 @@ thread_local OpPriority g_op_priority = OpPriority::kForeground;
 
 OpPriority CurrentOpPriority() { return g_op_priority; }
 
+const char* OpPriorityName(OpPriority priority) {
+  return priority == OpPriority::kBackground ? "bg" : "fg";
+}
+
 ScopedOpPriority::ScopedOpPriority(OpPriority priority) : saved_(g_op_priority) {
   g_op_priority = priority;
 }

@@ -43,6 +43,10 @@ enum class OpPriority : uint8_t {
 
 OpPriority CurrentOpPriority();
 
+// Short stable label ("fg" / "bg") used in metric and trace-span names, e.g.
+// the fabric's per-priority queue-wait segments ("queue.fg" / "queue.bg").
+const char* OpPriorityName(OpPriority priority);
+
 // RAII tag: marks all work on this thread as `priority` for its scope.
 class ScopedOpPriority {
  public:

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_export.h"
 
 namespace mantle {
 
@@ -11,6 +13,21 @@ namespace {
 
 void PrintMetricsFooter() {
   std::printf("\n== metrics ==\n%s\n", obs::Metrics::Instance().DumpJson().c_str());
+  std::fflush(stdout);
+}
+
+void ExportFlightRecorder() {
+  const char* path = std::getenv("MANTLE_TRACE_EXPORT");
+  if (path == nullptr || path[0] == '\0') {
+    return;
+  }
+  const auto traces = obs::FlightRecorder::Instance().Snapshot();
+  if (obs::WriteChromeTraceFile(path, traces)) {
+    std::printf("\n== traces ==\nwrote %zu traces to %s (chrome://tracing)\n",
+                traces.size(), path);
+  } else {
+    std::printf("\n== traces ==\nfailed to write %s\n", path);
+  }
   std::fflush(stdout);
 }
 
@@ -22,6 +39,9 @@ void PrintHeader(const std::string& figure, const std::string& title,
     if (obs::MetricsEnabled()) {
       std::atexit(PrintMetricsFooter);
     }
+    // Registered after the metrics footer so it runs first at exit: the
+    // trace file lands before the (large) JSON footer scrolls by.
+    std::atexit(ExportFlightRecorder);
     return true;
   }();
   (void)installed;

@@ -1,0 +1,174 @@
+#include "src/bench_util/trace_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/bench_util/report.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+
+namespace {
+
+double Disagreement(double trace_nanos, double hand_nanos) {
+  // Phases that barely register on either side are noise, not signal: a
+  // 300ns cache hit measured two ways can disagree by 2x without meaning
+  // anything. Gate on both estimates clearing 1us.
+  constexpr double kFloorNanos = 1'000.0;
+  if (trace_nanos < kFloorNanos || hand_nanos < kFloorNanos) {
+    return 0.0;
+  }
+  const double larger = std::max(trace_nanos, hand_nanos);
+  return std::abs(trace_nanos - hand_nanos) / larger;
+}
+
+}  // namespace
+
+double TraceProbeResult::MaxPhaseDisagreement() const {
+  double worst = Disagreement(trace_lookup_nanos, hand_lookup_nanos);
+  worst = std::max(worst, Disagreement(trace_loop_detect_nanos, hand_loop_detect_nanos));
+  worst = std::max(worst, Disagreement(trace_execute_nanos, hand_execute_nanos));
+  worst = std::max(worst, Disagreement(trace_total_nanos, hand_total_nanos));
+  return worst;
+}
+
+TraceProbeResult RunTraceProbe(const OpFn& op, uint64_t num_ops, uint64_t seed) {
+  TraceProbeResult out;
+  Rng rng(seed);
+  // Disjoint op-index space: generators that derive fresh paths from the op
+  // index (create) must not collide with paths the closed-loop run already
+  // created for thread 0.
+  constexpr uint64_t kProbeIndexBase = 1ULL << 40;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    // One capture per op: compound generators (create+delete pairs) issue
+    // several service calls, each getting its own capture-owned trace; the
+    // op's phases are the sum across them, mirroring how the hand-measured
+    // breakdown accumulates across the same calls.
+    obs::ScopedTraceCapture capture;
+    OpResult result = op(0, kProbeIndexBase + i, rng);
+    ++out.ops;
+    if (!result.ok()) {
+      ++out.errors;
+      continue;  // mirror RunClosedLoop's phase histograms: errors still
+                 // record, but a failed op's phases skew both sides equally,
+                 // so skipping keeps the comparison about attribution.
+    }
+    // One op may have produced several traces (compound generators issue
+    // several service calls). Analyze each, then map them onto the
+    // generator's reporting convention below.
+    struct TracedCall {
+      int64_t lookup = 0;
+      int64_t loop_detect = 0;
+      int64_t execute = 0;
+      obs::PathAttribution path;
+    };
+    std::vector<TracedCall> calls;
+    for (obs::OpTrace& trace : capture.traces()) {
+      const auto& spans = trace.spans();
+      if (spans.empty()) {
+        continue;
+      }
+      TracedCall call;
+      call.lookup = obs::TotalDurationOfNamed(spans, "lookup");
+      call.loop_detect = obs::TotalDurationOfNamed(spans, "index.rename_prepare");
+      call.execute = obs::TotalDurationOfNamed(spans, "execute");
+      call.path = obs::AnalyzeCriticalPath(spans);
+      calls.push_back(std::move(call));
+    }
+    if (calls.empty()) {
+      continue;
+    }
+    // Generators report compound ops two ways: pair ops (create+delete,
+    // mkdir+rmdir) measure the first call and fold the follow-up's entire
+    // latency into its execute phase; setup+measure ops (dirrename) report
+    // only the last call. Pick whichever convention the hand-measured total
+    // actually matches.
+    const double hand_total = static_cast<double>(result.breakdown.total_nanos());
+    double sum_roots = 0;
+    for (const TracedCall& call : calls) {
+      sum_roots += static_cast<double>(call.path.root_nanos);
+    }
+    const double last_root = static_cast<double>(calls.back().path.root_nanos);
+    const bool fold_all = std::abs(hand_total - sum_roots) <= std::abs(hand_total - last_root);
+    const size_t measured = fold_all ? 0 : calls.size() - 1;
+    int64_t lookup = calls[measured].lookup;
+    int64_t loop_detect = calls[measured].loop_detect;
+    int64_t execute = calls[measured].execute;
+    int64_t total = 0;
+    int64_t queue = 0;
+    int64_t service = 0;
+    int64_t wire = 0;
+    int64_t logic = 0;
+    for (size_t c = measured; c < calls.size(); ++c) {
+      if (c != measured && fold_all) {
+        execute += calls[c].path.root_nanos;
+      }
+      total += calls[c].path.root_nanos;
+      queue += calls[c].path.queue_nanos;
+      service += calls[c].path.service_nanos;
+      wire += calls[c].path.wire_nanos;
+      logic += calls[c].path.logic_nanos;
+    }
+    ++out.traced_ops;
+    out.trace_lookup_nanos += static_cast<double>(lookup);
+    out.trace_loop_detect_nanos += static_cast<double>(loop_detect);
+    out.trace_execute_nanos += static_cast<double>(execute);
+    out.trace_total_nanos += static_cast<double>(total);
+    out.queue_nanos += static_cast<double>(queue);
+    out.service_nanos += static_cast<double>(service);
+    out.wire_nanos += static_cast<double>(wire);
+    out.logic_nanos += static_cast<double>(logic);
+    out.hand_lookup_nanos += static_cast<double>(result.breakdown.lookup_nanos);
+    out.hand_loop_detect_nanos += static_cast<double>(result.breakdown.loop_detect_nanos);
+    out.hand_execute_nanos += static_cast<double>(result.breakdown.execute_nanos);
+    out.hand_total_nanos += static_cast<double>(result.breakdown.total_nanos());
+  }
+  if (out.traced_ops > 0) {
+    const double n = static_cast<double>(out.traced_ops);
+    out.trace_lookup_nanos /= n;
+    out.trace_loop_detect_nanos /= n;
+    out.trace_execute_nanos /= n;
+    out.trace_total_nanos /= n;
+    out.hand_lookup_nanos /= n;
+    out.hand_loop_detect_nanos /= n;
+    out.hand_execute_nanos /= n;
+    out.hand_total_nanos /= n;
+    out.queue_nanos /= n;
+    out.service_nanos /= n;
+    out.wire_nanos /= n;
+    out.logic_nanos /= n;
+  }
+  return out;
+}
+
+void PrintTraceProbe(const std::string& label, const TraceProbeResult& probe) {
+  std::printf("\n-- trace probe: %s (%llu ops, %llu traced) --\n", label.c_str(),
+              static_cast<unsigned long long>(probe.ops),
+              static_cast<unsigned long long>(probe.traced_ops));
+  if (probe.traced_ops == 0) {
+    std::printf("  no traces captured\n");
+    return;
+  }
+  Table table({"phase", "trace-derived", "hand-instrumented", "delta"});
+  auto add = [&table](const char* phase, double trace_nanos, double hand_nanos) {
+    table.AddRow({phase, FormatMicros(trace_nanos), FormatMicros(hand_nanos),
+                  FormatDouble(100.0 * Disagreement(trace_nanos, hand_nanos), 1) + "%"});
+  };
+  add("lookup", probe.trace_lookup_nanos, probe.hand_lookup_nanos);
+  add("loopdetect", probe.trace_loop_detect_nanos, probe.hand_loop_detect_nanos);
+  add("execute", probe.trace_execute_nanos, probe.hand_execute_nanos);
+  add("total", probe.trace_total_nanos, probe.hand_total_nanos);
+  table.Print();
+  std::printf("  critical path: queue %s  service %s  wire %s  logic %s  (root %s)\n",
+              FormatMicros(probe.queue_nanos).c_str(),
+              FormatMicros(probe.service_nanos).c_str(),
+              FormatMicros(probe.wire_nanos).c_str(),
+              FormatMicros(probe.logic_nanos).c_str(),
+              FormatMicros(probe.trace_total_nanos).c_str());
+  std::printf("  max phase disagreement: %.1f%%\n", 100.0 * probe.MaxPhaseDisagreement());
+}
+
+}  // namespace mantle

@@ -1,0 +1,62 @@
+// Trace-derived latency breakdowns for the bench harness.
+//
+// RunTraceProbe replays a bench OpFn single-threaded under a
+// ScopedTraceCapture, so every op yields a complete stitched span tree, and
+// derives the same per-phase means the driver measures by hand with
+// stopwatches. The two estimates come from independent machinery (explicit
+// Stopwatch splits in the op bodies vs. span trees stitched across servers),
+// so their agreement is the bench harness's self-check that the distributed
+// tracing pipeline attributes time where it actually went.
+
+#ifndef SRC_BENCH_UTIL_TRACE_PROBE_H_
+#define SRC_BENCH_UTIL_TRACE_PROBE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/workload/mdtest_driver.h"
+
+namespace mantle {
+
+struct TraceProbeResult {
+  uint64_t ops = 0;
+  uint64_t traced_ops = 0;  // ops that produced at least one non-empty trace
+  uint64_t errors = 0;
+
+  // Mean per-op phase latencies (nanos) over traced ops. trace_* sums the
+  // matching named spans ("lookup", "index.rename_prepare", "execute");
+  // hand_* reads OpResult.breakdown on the very same ops.
+  double trace_lookup_nanos = 0;
+  double trace_loop_detect_nanos = 0;
+  double trace_execute_nanos = 0;
+  double trace_total_nanos = 0;
+  double hand_lookup_nanos = 0;
+  double hand_loop_detect_nanos = 0;
+  double hand_execute_nanos = 0;
+  double hand_total_nanos = 0;
+
+  // Mean critical-path rollups per op (exact partition of the root span, so
+  // queue + service + wire + logic == trace_total up to rounding).
+  double queue_nanos = 0;
+  double service_nanos = 0;
+  double wire_nanos = 0;
+  double logic_nanos = 0;
+
+  // Largest relative disagreement between trace-derived and hand-instrumented
+  // means across the phases that registered (>=1us both ways); 0.07 = 7%.
+  double MaxPhaseDisagreement() const;
+};
+
+// Runs `num_ops` ops on one thread with tracing captured. The op must route
+// through a service whose MakeOpContext honours ScopedTraceCapture
+// (MantleService does; baselines fall back to hand splits only).
+TraceProbeResult RunTraceProbe(const OpFn& op, uint64_t num_ops,
+                               uint64_t seed = 0x7ace5eedULL);
+
+// Prints the trace-vs-hand comparison table plus the critical-path rollup
+// line for one probe (used by the Figure 13/15 breakdown benches).
+void PrintTraceProbe(const std::string& label, const TraceProbeResult& probe);
+
+}  // namespace mantle
+
+#endif  // SRC_BENCH_UTIL_TRACE_PROBE_H_

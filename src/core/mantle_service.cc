@@ -6,7 +6,9 @@
 
 #include "src/admission/admission.h"
 #include "src/common/path.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_export.h"
 
 namespace mantle {
 
@@ -16,6 +18,7 @@ namespace {
 // at each call site) so the hot path never touches the registry map.
 struct OpMetrics {
   obs::HistogramMetric* latency;
+  std::string latency_name;  // exemplar key linking buckets to trace ids
   obs::Counter* count;
   obs::Counter* failures;
   obs::Counter* retries;
@@ -25,26 +28,39 @@ OpMetrics MakeOpMetrics(const char* op) {
   auto& registry = obs::Metrics::Instance();
   const std::string base = std::string("core.op.") + op;
   return OpMetrics{registry.GetHistogram(base + ".latency_nanos"),
+                   base + ".latency_nanos",
                    registry.GetCounter(base + ".count"),
                    registry.GetCounter(base + ".failures"),
                    registry.GetCounter("core.op.retries")};
 }
 
 // Records one op completion as the enclosing scope unwinds. Declare it after
-// the OpResult it observes, so it is destroyed first and reads the final
-// value.
+// the OpResult it observes but before the op's root span, so it is destroyed
+// first among the epilogue scopes yet after the root span closed - at which
+// point it stitches the remote span subtrees into the op's trace and offers
+// the completed trace to the flight recorder.
 class OpRecorder {
  public:
-  OpRecorder(const OpMetrics& metrics, const OpResult* result)
-      : metrics_(metrics), result_(result) {}
+  OpRecorder(const OpMetrics& metrics, const OpResult* result, Network* network,
+             const OpContext* ctx)
+      : metrics_(metrics), result_(result), network_(network), ctx_(ctx) {}
   ~OpRecorder() {
     metrics_.count->Add();
-    metrics_.latency->Record(timer_.ElapsedNanos());
+    const int64_t latency = timer_.ElapsedNanos();
+    metrics_.latency->Record(latency);
     if (!result_->ok()) {
       metrics_.failures->Add();
     }
     if (result_->retries > 0) {
       metrics_.retries->Add(static_cast<uint64_t>(result_->retries));
+    }
+    obs::OpTrace* trace = OpContext::TraceOf(ctx_);
+    if (trace != nullptr && network_ != nullptr) {
+      network_->StitchTrace(trace);
+      const bool deadline_exceeded = result_->status.code() == StatusCode::kTimeout;
+      auto& recorder = obs::FlightRecorder::Instance();
+      recorder.Offer(*trace, result_->ok(), deadline_exceeded);
+      recorder.NoteExemplar(metrics_.latency_name, latency, trace->trace_id());
     }
   }
 
@@ -54,6 +70,8 @@ class OpRecorder {
  private:
   const OpMetrics& metrics_;
   const OpResult* result_;
+  Network* network_;
+  const OpContext* ctx_;
   Stopwatch timer_;
 };
 
@@ -121,7 +139,7 @@ OpResult MantleService::Lookup(const std::string& path) {
 OpResult MantleService::Lookup(OpContext& ctx, const std::string& path) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("lookup");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "lookup");
   ScopedRpcCounter rpcs;
@@ -148,7 +166,7 @@ OpResult MantleService::CreateObject(const std::string& path, uint64_t size) {
 OpResult MantleService::CreateObject(OpContext& ctx, const std::string& path, uint64_t size) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("create_object");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "create_object");
   ScopedRpcCounter rpcs;
@@ -210,7 +228,7 @@ OpResult MantleService::DeleteObject(const std::string& path) {
 OpResult MantleService::DeleteObject(OpContext& ctx, const std::string& path) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("delete_object");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "delete_object");
   ScopedRpcCounter rpcs;
@@ -263,7 +281,7 @@ OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
 OpResult MantleService::StatObject(OpContext& ctx, const std::string& path, StatInfo* out) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("stat_object");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "stat_object");
   ScopedRpcCounter rpcs;
@@ -315,7 +333,7 @@ OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
 OpResult MantleService::StatDir(OpContext& ctx, const std::string& path, StatInfo* out) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("stat_dir");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "stat_dir");
   ScopedRpcCounter rpcs;
@@ -356,7 +374,7 @@ OpResult MantleService::Mkdir(const std::string& path) {
 OpResult MantleService::Mkdir(OpContext& ctx, const std::string& path) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("mkdir");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "mkdir");
   ScopedRpcCounter rpcs;
@@ -430,7 +448,7 @@ OpResult MantleService::Rmdir(const std::string& path) {
 OpResult MantleService::Rmdir(OpContext& ctx, const std::string& path) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("rmdir");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "rmdir");
   ScopedRpcCounter rpcs;
@@ -509,7 +527,7 @@ OpResult MantleService::RenameDir(OpContext& ctx, const std::string& src_path,
                                   const std::string& dst_path) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("rename_dir");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "rename_dir");
   ScopedRpcCounter rpcs;
@@ -599,7 +617,7 @@ OpResult MantleService::ReadDir(OpContext& ctx, const std::string& path,
                                 std::vector<std::string>* names) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("read_dir");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "read_dir");
   ScopedRpcCounter rpcs;
@@ -648,7 +666,7 @@ OpResult MantleService::ListObjects(OpContext& ctx, const std::string& dir_path,
                                     ListPage* out) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("list_objects");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "list_objects");
   ScopedRpcCounter rpcs;
@@ -699,7 +717,7 @@ OpResult MantleService::SetDirPermission(OpContext& ctx, const std::string& path
                                          uint32_t permission) {
   OpResult result;
   static const OpMetrics metrics = MakeOpMetrics("set_dir_permission");
-  OpRecorder recorder(metrics, &result);
+  OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
   obs::ScopedSpan op_span(ctx.trace, "set_dir_permission");
   ScopedRpcCounter rpcs;
@@ -1007,6 +1025,10 @@ std::string MantleService::DumpStats() {
         ->Set(static_cast<int64_t>(leader->removal_list().LiveCount()));
   }
   return registry.DumpJson();
+}
+
+std::string MantleService::DumpSlowTraces(size_t max_traces) {
+  return obs::ToChromeTraceJson(obs::FlightRecorder::Instance().Slowest(max_traces));
 }
 
 }  // namespace mantle

@@ -91,11 +91,17 @@ class MantleService final : public MetadataService {
   OpResult ListObjects(OpContext& ctx, const std::string& dir_path,
                        const std::string& start_after, size_t max_entries, ListPage* out);
 
-  // The default context used by the compatibility entry points.
+  // The default context used by the compatibility entry points. When the
+  // calling thread carries a ScopedTraceCapture (bench probes, the mdtest
+  // driver's trace sampling), each op gets a fresh capture-owned OpTrace, so
+  // untraced call sites gain tracing with no signature change.
   OpContext MakeOpContext() {
     OpContext ctx;
     ctx.deadline = Deadline::After(options_.op_deadline_nanos);
     ctx.retry_budget = &retry_budget_;
+    if (obs::ScopedTraceCapture* capture = obs::ThreadTraceCapture()) {
+      ctx.trace = &capture->NewTrace();
+    }
     return ctx;
   }
 
@@ -108,6 +114,11 @@ class MantleService final : public MetadataService {
   // cache occupancy) into the metrics registry and returns the full registry
   // as JSON (see obs::Metrics::DumpJson for the schema).
   std::string DumpStats();
+
+  // The slowest traces the flight recorder retained, as Chrome trace_event
+  // JSON (load in chrome://tracing or Perfetto; per-trace critical-path
+  // rollups ride along in "mantleTraceSummaries").
+  std::string DumpSlowTraces(size_t max_traces = 16);
 
   TafDb* tafdb() { return tafdb_; }
   IndexService* index() { return index_.get(); }

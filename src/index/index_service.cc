@@ -7,6 +7,7 @@
 
 #include "src/admission/retry_budget.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace mantle {
 
@@ -169,6 +170,13 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
     return R(Status::Timeout("lookup on " + primary->server()->name() + " timed out"));
   }
   issued->Add();
+  if (obs::OpTrace* trace = obs::CurrentThreadTrace()) {
+    // Instant marker: a duplicate resolve is now racing the primary. The
+    // duplicate's server-side spans stitch in on their own via the depot.
+    const int64_t now = MonotonicNanos();
+    trace->AddClosedSpan("hedge.fire." + hedge_node->server()->name(), now, now,
+                         obs::SpanKind::kLogic, hedge_node->server()->name());
+  }
   auto hedge_future = IssueResolveAsync(hedge_node, components, parent_only);
   // First answer wins. Poll both futures on a fine quantum; the abandoned
   // handler owns its captures, so dropping its future is safe.

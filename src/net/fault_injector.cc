@@ -199,19 +199,23 @@ bool FaultInjector::HandlerEntry(const std::string& destination) {
     return true;
   }
   std::unique_lock<std::mutex> lock(mu_);
-  const FaultRule* rule = FindRuleLocked(destination);
-  if (rule == nullptr || !rule->paused) {
+  // Pause matches exactly, not by prefix: pausing "ns-index-0" must stall the
+  // service port only, never "ns-index-0-raft" alongside it (a SIGSTOPped
+  // process stops one port set, and tests that pause a node's service port
+  // rely on its raft port staying live). Crash/drop/delay/partition rules
+  // keep the prefix semantics.
+  auto paused_at = [this](const std::string& name) {
+    auto it = rules_.find(name);
+    return it != rules_.end() && it->second.paused;
+  };
+  if (!paused_at(destination)) {
     return true;
   }
   stats_.pause_waits.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* pause_waits = obs::Metrics::Instance().GetCounter("net.fault.pause_waits");
   pause_waits->Add();
-  pause_cv_.wait(lock, [this, &destination]() {
-    if (shutdown_) {
-      return true;
-    }
-    const FaultRule* current = FindRuleLocked(destination);
-    return current == nullptr || !current->paused;
+  pause_cv_.wait(lock, [this, &destination, &paused_at]() {
+    return shutdown_ || !paused_at(destination);
   });
   return !shutdown_;
 }

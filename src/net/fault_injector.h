@@ -20,7 +20,11 @@
 //
 // Rules are keyed by server-name prefix: a rule for "ns-index-0" governs the
 // servers "ns-index-0" and "ns-index-0-raft", so one line of chaos script
-// covers both of a Raft node's service ports.
+// covers both of a Raft node's service ports. The one exception is `paused`,
+// which matches exactly: PauseServer("ns-index-0") stalls only that server's
+// workers, leaving "ns-index-0-raft" live (pause emulates SIGSTOP on one
+// port's handler pool, and pausing a raft port by accident would halt
+// elections and fences the test never asked to halt).
 
 #ifndef SRC_NET_FAULT_INJECTOR_H_
 #define SRC_NET_FAULT_INJECTOR_H_

@@ -62,6 +62,9 @@ void Network::InjectDelay(double scale) {
   if (options_.zero_latency) {
     return;
   }
+  // Wire time observed by whichever trace this thread is recording into
+  // (caller-side rtt charges, fan-out shared waits, handler-nested charges).
+  obs::ScopedSpan wire(obs::CurrentThreadTrace(), "net.rtt", {}, obs::SpanKind::kWire);
   PreciseSleep(static_cast<int64_t>(static_cast<double>(options_.rtt_nanos) * scale),
                options_.spin_tail_nanos);
 }
@@ -95,6 +98,56 @@ Status Network::PreflightRpc(const std::string& destination) {
     PreciseSleep(decision.extra_delay_nanos, options_.spin_tail_nanos);
   }
   return Status::Ok();
+}
+
+void Network::StitchTrace(obs::OpTrace* trace) {
+  if (trace == nullptr || trace->spans().empty()) {
+    return;
+  }
+  std::vector<obs::SpanBatch> pending;
+  for (const auto& server : servers_) {
+    for (auto& batch : server->depot().Claim(trace->trace_id())) {
+      pending.push_back(std::move(batch));
+    }
+  }
+  // A nested hop's batch can only graft once its parent hop's batch has, and
+  // batches arrive in arbitrary per-server order - iterate to a fixpoint.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (trace->Graft(it->spans, it->parent_span_uid)) {
+        it = pending.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!pending.empty()) {
+    // Anchorless batches: the hop they hang under never completed (it timed
+    // out upstream and its own batch never deposited). Count, don't guess.
+    static obs::Counter* unanchored =
+        obs::Metrics::Instance().GetCounter("trace.stitch.unanchored");
+    unanchored->Add(pending.size());
+  }
+}
+
+size_t Network::UnclaimedSpanBatches() const {
+  size_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->depot().UnclaimedCount();
+  }
+  return total;
+}
+
+ServerExecutor* Network::FindServer(const std::string& name) const {
+  for (const auto& server : servers_) {
+    if (server->name() == name) {
+      return server.get();
+    }
+  }
+  return nullptr;
 }
 
 int64_t Network::ThreadRpcCount() { return t_rpc_count; }

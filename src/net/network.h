@@ -28,6 +28,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -41,6 +42,8 @@
 #include "src/common/thread_pool.h"
 #include "src/net/fault_injector.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_depot.h"
+#include "src/obs/trace.h"
 
 namespace mantle {
 
@@ -159,6 +162,11 @@ class ServerExecutor {
   AdmissionController& admission() { return admission_; }
   CircuitBreaker& breaker() { return breaker_; }
 
+  // Finished span subtrees recorded by traced handlers on this server, held
+  // until the owning op's StitchTrace claims them (or they age out as
+  // orphans - the fate of spans whose caller timed out).
+  obs::SpanDepot& depot() { return depot_; }
+
   // Feeds this server's circuit breaker with an RPC outcome observed by a
   // caller. Only overload signals (kOverloaded, kTimeout) count as breaker
   // failures; every other code proves the destination is answering. Callers
@@ -214,6 +222,7 @@ class ServerExecutor {
   ThreadPool pool_;
   AdmissionController admission_;
   CircuitBreaker breaker_;
+  obs::SpanDepot depot_;
   // Per-link instruments (net.server.<name>.*), resolved once at construction.
   obs::Counter* calls_metric_;
   obs::HistogramMetric* call_latency_metric_;
@@ -261,6 +270,20 @@ class Network {
   // Records a caller-side deadline expiry in the fault stats.
   void NoteCallerTimeout() { faults_.NoteTimeout(); }
 
+  // --- distributed tracing ---------------------------------------------------
+
+  // Claims every span batch deposited for `trace` across this network's
+  // server depots and grafts them under the caller-side spans they hang off.
+  // Nested hops (a handler's own RPCs) graft iteratively. Call from the op's
+  // owning thread at op end; batches that deposit later (handler outlived a
+  // timed-out caller) simply stay in their depot as orphans.
+  void StitchTrace(obs::OpTrace* trace);
+
+  // Batches currently sitting unclaimed across all server depots.
+  size_t UnclaimedSpanBatches() const;
+
+  ServerExecutor* FindServer(const std::string& name) const;
+
   const NetworkOptions& options() const { return options_; }
   void set_rtt_nanos(int64_t rtt_nanos) { options_.rtt_nanos = rtt_nanos; }
 
@@ -298,7 +321,15 @@ class ScopedRpcCounter {
 
 template <typename Fn>
 auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos, bool sheddable) {
-  return [this, absolute_deadline_nanos, sheddable, fn = std::forward<Fn>(handler)]() mutable {
+  // Captured on the caller's thread at enqueue time: the propagation record
+  // for the caller's trace (if any), the timestamp that starts the queue-wait
+  // segment, and the caller's priority tier (which names it).
+  const obs::TraceContext tctx = obs::CurrentTraceContext();
+  const int64_t enqueue_nanos = tctx.sampled ? MonotonicNanos() : 0;
+  const OpPriority enqueue_priority =
+      tctx.sampled ? CurrentOpPriority() : OpPriority::kForeground;
+  return [this, absolute_deadline_nanos, sheddable, tctx, enqueue_nanos, enqueue_priority,
+          fn = std::forward<Fn>(handler)]() mutable {
     using R = decltype(fn());
     if (absolute_deadline_nanos > 0 && MonotonicNanos() >= absolute_deadline_nanos) {
       // The caller has already given up on this handler. Shed it if the
@@ -308,6 +339,13 @@ auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos, bool sh
       if constexpr (std::is_constructible_v<R, Status>) {
         if (sheddable && admission_.enabled()) {
           admission_.RecordShedExpired();
+          if (tctx.sampled) {
+            // The handler never ran: its whole fabric life was queue wait.
+            obs::OpTrace dropped;
+            dropped.AddClosedSpan(std::string("queue.shed.") + OpPriorityName(enqueue_priority),
+                                  enqueue_nanos, MonotonicNanos(), obs::SpanKind::kQueue, name_);
+            depot_.Deposit({tctx.trace_id, tctx.parent_span_uid, dropped.TakeSpans()});
+          }
           return R(Status::Timeout("shed: deadline expired while queued on " + name_));
         }
       }
@@ -316,13 +354,36 @@ auto ServerExecutor::Wrap(Fn&& handler, int64_t absolute_deadline_nanos, bool sh
     network_->faults().HandlerEntry(name_);
     ScopedNetOrigin origin(name_);
     ScopedAbsoluteDeadline deadline(absolute_deadline_nanos);
+    // A traced handler records its fabric segments - queue wait (including
+    // any pause-gate stall, measured from enqueue to here) and service time -
+    // plus everything it opens itself into a handler-local trace, deposited
+    // on completion. It never touches the caller's trace: if the caller timed
+    // out and died, the deposit just goes unclaimed. See Network::StitchTrace.
+    std::optional<obs::OpTrace> remote;
+    std::optional<obs::ScopedThreadTrace> install;
+    int service_span = -1;
+    if (tctx.sampled) {
+      remote.emplace();
+      remote->AddClosedSpan(std::string("queue.") + OpPriorityName(enqueue_priority),
+                            enqueue_nanos, MonotonicNanos(), obs::SpanKind::kQueue, name_);
+      service_span = remote->Begin("service", obs::SpanKind::kService, name_);
+      install.emplace(&*remote);
+    }
     Stopwatch service_timer;
+    auto finish = [&]() {
+      admission_.RecordServiceTime(service_timer.ElapsedNanos());
+      if (remote.has_value()) {
+        install.reset();  // uninstall before the spans move out
+        remote->End(service_span);
+        depot_.Deposit({tctx.trace_id, tctx.parent_span_uid, remote->TakeSpans()});
+      }
+    };
     if constexpr (std::is_void_v<R>) {
       fn();
-      admission_.RecordServiceTime(service_timer.ElapsedNanos());
+      finish();
     } else {
       R result = fn();
-      admission_.RecordServiceTime(service_timer.ElapsedNanos());
+      finish();
       return result;
     }
   };
@@ -332,6 +393,10 @@ template <typename Fn>
 auto ServerExecutor::Call(Fn&& handler) -> decltype(handler()) {
   using R = decltype(handler());
   ScopedRpcTimer rpc_timer(this);
+  // The rpc span's self time (duration minus the grafted queue/service
+  // segments and nested wire charges) is reply-wait and fabric overhead -
+  // wire, from the caller's perspective.
+  obs::ScopedSpan rpc_span(obs::CurrentThreadTrace(), "rpc.", name_, obs::SpanKind::kWire);
   network_->ChargeRtt();
   if constexpr (std::is_constructible_v<R, Status>) {
     Status pre = network_->PreflightRpc(name_);
@@ -352,6 +417,7 @@ template <typename Fn, typename FaultFn>
 auto ServerExecutor::Call(Fn&& handler, FaultFn&& on_fault, int64_t deadline_nanos)
     -> decltype(handler()) {
   ScopedRpcTimer rpc_timer(this);
+  obs::ScopedSpan rpc_span(obs::CurrentThreadTrace(), "rpc.", name_, obs::SpanKind::kWire);
   if (!breaker_.Allow(MonotonicNanos())) {
     return on_fault(Status::Overloaded("breaker open for " + name_));
   }
@@ -420,6 +486,8 @@ auto ServerExecutor::CallAsync(Fn&& handler, FaultFn&& on_fault)
 
 template <typename Fn>
 auto ServerExecutor::CallLocal(Fn&& handler) -> decltype(handler()) {
+  // Intra-chassis: no wire segment; queue/service still graft underneath.
+  obs::ScopedSpan local_span(obs::CurrentThreadTrace(), "local.", name_, obs::SpanKind::kLogic);
   auto future =
       pool_.SubmitWithResult(Wrap(std::forward<Fn>(handler), DeadlineBudget::AbsoluteNanos()));
   return future.get();

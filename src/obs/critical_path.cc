@@ -1,0 +1,119 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mantle {
+namespace obs {
+
+namespace {
+
+struct Walker {
+  const std::vector<OpTrace::Span>& spans;
+  const std::vector<std::vector<int>>& children;
+  int64_t root_end;
+  std::map<std::pair<std::string, int>, int64_t>& totals;
+
+  int64_t EndOf(const OpTrace::Span& span) const {
+    return span.end_nanos == 0 ? root_end : span.end_nanos;
+  }
+
+  void Attribute(const OpTrace::Span& span, int64_t nanos) {
+    if (nanos > 0) {
+      totals[{span.server, static_cast<int>(span.kind)}] += nanos;
+    }
+  }
+
+  // Partitions [window_start, window_end) of span `idx` between its children
+  // (recursively) and its own self time.
+  void Walk(int idx, int64_t window_start, int64_t window_end) {
+    const OpTrace::Span& span = spans[idx];
+    int64_t cursor = window_start;
+    for (int child_idx : children[idx]) {
+      const OpTrace::Span& child = spans[child_idx];
+      const int64_t child_start = std::max(child.start_nanos, cursor);
+      const int64_t child_end = std::min(EndOf(child), window_end);
+      if (child_end <= child_start) {
+        continue;  // fully outside the window or covered by an earlier sibling
+      }
+      Attribute(span, child_start - cursor);  // gap before this child: self time
+      Walk(child_idx, child_start, child_end);
+      cursor = child_end;
+    }
+    Attribute(span, window_end - cursor);  // tail after the last child
+  }
+};
+
+}  // namespace
+
+PathAttribution AnalyzeCriticalPath(const std::vector<OpTrace::Span>& spans) {
+  PathAttribution result;
+  int root = -1;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == -1) {
+      root = static_cast<int>(i);
+      break;
+    }
+  }
+  if (root < 0 || spans[root].end_nanos == 0) {
+    return result;
+  }
+  result.root_nanos = spans[root].DurationNanos();
+
+  std::vector<std::vector<int>> children(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int parent = spans[i].parent;
+    if (parent >= 0 && parent < static_cast<int>(spans.size())) {
+      children[parent].push_back(static_cast<int>(i));
+    }
+  }
+  for (auto& list : children) {
+    std::sort(list.begin(), list.end(), [&spans](int a, int b) {
+      return spans[a].start_nanos < spans[b].start_nanos;
+    });
+  }
+
+  std::map<std::pair<std::string, int>, int64_t> totals;
+  Walker walker{spans, children, spans[root].end_nanos, totals};
+  walker.Walk(root, spans[root].start_nanos, spans[root].end_nanos);
+
+  for (const auto& [key, nanos] : totals) {
+    PathAttribution::Hop hop;
+    hop.server = key.first;
+    hop.kind = static_cast<SpanKind>(key.second);
+    hop.nanos = nanos;
+    switch (hop.kind) {
+      case SpanKind::kQueue:
+        result.queue_nanos += nanos;
+        break;
+      case SpanKind::kService:
+        result.service_nanos += nanos;
+        break;
+      case SpanKind::kWire:
+        result.wire_nanos += nanos;
+        break;
+      case SpanKind::kLogic:
+        result.logic_nanos += nanos;
+        break;
+    }
+    result.hops.push_back(std::move(hop));
+  }
+  std::sort(result.hops.begin(), result.hops.end(),
+            [](const PathAttribution::Hop& a, const PathAttribution::Hop& b) {
+              return a.nanos > b.nanos;
+            });
+  return result;
+}
+
+int64_t TotalDurationOfNamed(const std::vector<OpTrace::Span>& spans, std::string_view name) {
+  int64_t total = 0;
+  for (const OpTrace::Span& span : spans) {
+    if (span.name == name) {
+      total += span.DurationNanos();
+    }
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace mantle

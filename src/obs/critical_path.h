@@ -1,0 +1,61 @@
+// Critical-path analysis over a stitched span tree.
+//
+// Attributes every nanosecond of the root span to exactly one (server, kind)
+// pair: a span's children claim the sub-intervals they cover (clipped to the
+// parent and walked in start order; where siblings overlap - hedged
+// duplicates racing - the earlier-starting span keeps the overlap and the
+// later one contributes only its uncovered tail), and whatever no child
+// covers is the span's own self time, attributed to its (server, kind).
+// The partition is exact by construction: attributions sum to the root
+// duration, which is what lets check.sh assert queue+service+wire+logic
+// reconciles with the root and lets the benches cross-check trace-derived
+// breakdowns against hand-instrumented ones.
+
+#ifndef SRC_OBS_CRITICAL_PATH_H_
+#define SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace mantle {
+namespace obs {
+
+struct PathAttribution {
+  struct Hop {
+    std::string server;  // "" = client/proxy thread
+    SpanKind kind = SpanKind::kLogic;
+    int64_t nanos = 0;
+  };
+
+  int64_t root_nanos = 0;
+  // Rollups by kind (each the sum of the matching hops).
+  int64_t queue_nanos = 0;
+  int64_t service_nanos = 0;
+  int64_t wire_nanos = 0;
+  int64_t logic_nanos = 0;
+  // Per-(server, kind) attribution, largest first. Sums to root_nanos.
+  std::vector<Hop> hops;
+
+  int64_t AttributedNanos() const {
+    return queue_nanos + service_nanos + wire_nanos + logic_nanos;
+  }
+};
+
+// Analyzes the tree rooted at the first root span (parent == -1). Spans with
+// end_nanos == 0 (left open by a timed-out op) are treated as ending at the
+// root's end. Returns a zero attribution for an empty or open-rooted trace.
+PathAttribution AnalyzeCriticalPath(const std::vector<OpTrace::Span>& spans);
+
+// Sum of the durations of every span named `name` (closed spans only).
+// The benches use this to map trace spans onto hand-instrumented phases
+// ("lookup", "execute", "index.rename_prepare").
+int64_t TotalDurationOfNamed(const std::vector<OpTrace::Span>& spans, std::string_view name);
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_CRITICAL_PATH_H_

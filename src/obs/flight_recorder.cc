@@ -1,0 +1,171 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/obs/metrics.h"
+
+namespace mantle {
+namespace obs {
+
+FlightRecorder& FlightRecorder::Instance() {
+  // Never destroyed: bench atexit hooks export from it during shutdown.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  errors_.clear();
+  slow_.clear();
+  recent_.clear();
+  window_.clear();
+  exemplars_.clear();
+  offered_ = 0;
+}
+
+void FlightRecorder::Reset() { Configure(Options{}); }
+
+int64_t FlightRecorder::SlowThresholdLocked() const {
+  if (window_.size() < options_.min_samples) {
+    return INT64_MAX;
+  }
+  std::vector<int64_t> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(options_.slow_quantile * static_cast<double>(sorted.size()));
+  rank = std::min(rank, sorted.size() - 1);
+  return sorted[rank];
+}
+
+void FlightRecorder::PushLocked(std::deque<RecordedTrace>& ring, size_t capacity,
+                                RecordedTrace trace) {
+  static Counter* evicted = Metrics::Instance().GetCounter("trace.recorder.evicted");
+  if (capacity == 0) {
+    return;
+  }
+  if (ring.size() >= capacity) {
+    ring.pop_front();
+    evicted->Add();
+  }
+  ring.push_back(std::move(trace));
+}
+
+void FlightRecorder::Offer(const OpTrace& trace, bool ok, bool deadline_exceeded) {
+  static Counter* offered = Metrics::Instance().GetCounter("trace.recorder.offered");
+  static Counter* kept_error = Metrics::Instance().GetCounter("trace.recorder.kept.error");
+  static Counter* kept_slow = Metrics::Instance().GetCounter("trace.recorder.kept.slow");
+  if (trace.spans().empty()) {
+    return;
+  }
+  RecordedTrace rec;
+  rec.trace_id = trace.trace_id();
+  rec.op = trace.spans().front().name;
+  rec.ok = ok;
+  rec.deadline_exceeded = deadline_exceeded;
+  // ElapsedNanos, not RootDurationNanos: when an outer caller opened the
+  // trace before this op (nested root), the root span is still open here and
+  // the tail-sampling decision needs the duration *so far*.
+  rec.duration_nanos = trace.ElapsedNanos();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  offered->Add();
+  const int64_t slow_threshold = SlowThresholdLocked();
+  window_.push_back(rec.duration_nanos);
+  while (window_.size() > options_.quantile_window) {
+    window_.pop_front();
+  }
+  if (!ok || deadline_exceeded) {
+    rec.keep_reason = "error";
+    rec.spans = trace.spans();
+    kept_error->Add();
+    PushLocked(errors_, options_.error_capacity, std::move(rec));
+    return;
+  }
+  if (rec.duration_nanos >= slow_threshold) {
+    rec.keep_reason = "slow";
+    rec.spans = trace.spans();
+    kept_slow->Add();
+    PushLocked(slow_, options_.slow_capacity, std::move(rec));
+    return;
+  }
+  rec.keep_reason = "recent";
+  rec.spans = trace.spans();
+  PushLocked(recent_, options_.recent_capacity, std::move(rec));
+}
+
+bool FlightRecorder::Contains(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto* ring : {&errors_, &slow_, &recent_}) {
+    for (const RecordedTrace& rec : *ring) {
+      if (rec.trace_id == trace_id) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t FlightRecorder::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_.size() + slow_.size() + recent_.size();
+}
+
+uint64_t FlightRecorder::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+std::vector<RecordedTrace> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RecordedTrace> out;
+  std::unordered_set<uint64_t> seen;
+  for (const auto* ring : {&errors_, &slow_, &recent_}) {
+    for (const RecordedTrace& rec : *ring) {
+      if (seen.insert(rec.trace_id).second) {
+        out.push_back(rec);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RecordedTrace> FlightRecorder::Slowest(size_t n) const {
+  std::vector<RecordedTrace> all = Snapshot();
+  std::sort(all.begin(), all.end(), [](const RecordedTrace& a, const RecordedTrace& b) {
+    return a.duration_nanos > b.duration_nanos;
+  });
+  if (all.size() > n) {
+    all.resize(n);
+  }
+  return all;
+}
+
+void FlightRecorder::NoteExemplar(const std::string& histogram, int64_t value_nanos,
+                                  uint64_t trace_id) {
+  TraceExemplar exemplar;
+  exemplar.bucket = HistogramMetric::BucketIndex(value_nanos);
+  exemplar.bucket_upper_bound_nanos = HistogramMetric::BucketUpperBound(exemplar.bucket);
+  exemplar.value_nanos = value_nanos;
+  exemplar.trace_id = trace_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  exemplars_[histogram][exemplar.bucket] = exemplar;
+}
+
+std::vector<TraceExemplar> FlightRecorder::Exemplars(const std::string& histogram) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceExemplar> out;
+  auto it = exemplars_.find(histogram);
+  if (it == exemplars_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const auto& [bucket, exemplar] : it->second) {
+    out.push_back(exemplar);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mantle

@@ -1,0 +1,108 @@
+// Tail-sampled flight recorder: a bounded in-memory store of *complete*
+// stitched traces, biased toward the ops worth explaining.
+//
+// Every finished traced op is offered; the recorder keeps it when it is
+//   * an error or deadline-exceeded op (always kept, own ring),
+//   * slower than the rolling slow-quantile of recently offered ops
+//     (tail sampling proper), or
+//   * otherwise, as "recent" context in a small ring that churns fast.
+//
+// Alongside the rings it keeps histogram exemplars: for each
+// (histogram, bucket) it remembers the last trace id whose recorded value
+// landed in that bucket, so a latency histogram's p99 bucket links directly
+// to a concrete trace that explains it.
+//
+// Process-global like obs::Metrics, for the same reason: instrumented call
+// sites live in layers with no shared handle to thread through. Reset()
+// between bench cells / tests.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace mantle {
+namespace obs {
+
+struct RecordedTrace {
+  uint64_t trace_id = 0;
+  std::string op;  // root span name
+  bool ok = true;
+  bool deadline_exceeded = false;
+  int64_t duration_nanos = 0;
+  std::string keep_reason;  // "error" | "slow" | "recent"
+  std::vector<OpTrace::Span> spans;
+};
+
+// One (histogram, bucket) -> trace id link.
+struct TraceExemplar {
+  int bucket = 0;
+  int64_t bucket_upper_bound_nanos = 0;
+  int64_t value_nanos = 0;
+  uint64_t trace_id = 0;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t error_capacity = 64;
+    size_t slow_capacity = 64;
+    size_t recent_capacity = 32;
+    // Rolling window of root durations the slow threshold is derived from.
+    size_t quantile_window = 128;
+    // An op slower than this quantile of the window is tail-kept. Applied
+    // only once the window holds `min_samples` ops.
+    double slow_quantile = 0.90;
+    size_t min_samples = 16;
+  };
+
+  static FlightRecorder& Instance();
+
+  // Replaces the policy and clears all retained traces.
+  void Configure(const Options& options);
+  void Reset();
+
+  // Offers a finished op's trace. Copies the spans if kept.
+  void Offer(const OpTrace& trace, bool ok, bool deadline_exceeded);
+
+  bool Contains(uint64_t trace_id) const;
+  size_t Size() const;
+  uint64_t offered() const;
+
+  // Every retained trace (errors, slow tail, recent), deduplicated.
+  std::vector<RecordedTrace> Snapshot() const;
+  // The n slowest retained traces, slowest first.
+  std::vector<RecordedTrace> Slowest(size_t n) const;
+
+  // Links `value` (recorded into histogram `name`) to the trace. Call next to
+  // the HistogramMetric::Record of the same value.
+  void NoteExemplar(const std::string& histogram, int64_t value_nanos, uint64_t trace_id);
+  std::vector<TraceExemplar> Exemplars(const std::string& histogram) const;
+
+ private:
+  FlightRecorder() = default;
+
+  int64_t SlowThresholdLocked() const;
+  void PushLocked(std::deque<RecordedTrace>& ring, size_t capacity, RecordedTrace trace);
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::deque<RecordedTrace> errors_;
+  std::deque<RecordedTrace> slow_;
+  std::deque<RecordedTrace> recent_;
+  std::deque<int64_t> window_;  // recent root durations, offer order
+  uint64_t offered_ = 0;
+  std::map<std::string, std::map<int, TraceExemplar>> exemplars_;
+};
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

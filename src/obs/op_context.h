@@ -12,8 +12,10 @@
 //     for the duration of the op; callees borrow it by reference and must not
 //     retain it past their return.
 //   * `trace` (when non-null) is owned by the caller and is single-threaded:
-//     spans may only be opened/closed on the op's calling thread, never from
-//     RPC handlers (which can outlive a timed-out caller).
+//     spans may only be opened/closed on the op's calling thread. RPC
+//     handlers (which can outlive a timed-out caller) record into their own
+//     handler-local traces, stitched back via the SpanDepot - see
+//     src/obs/trace.h.
 //   * `retry_override` (when non-null) outlives the op; it replaces the
 //     service-wide RetryOptions for this op only.
 
@@ -50,16 +52,18 @@ struct OpContext {
   }
 };
 
-// Publishes ctx.deadline to the thread-local DeadlineBudget for the layers
-// below core/index (net RPC waits, raft leader waits, txn coordination) that
-// still consume the ambient budget. Install once at the top of each op.
+// Publishes ctx.deadline to the thread-local DeadlineBudget and ctx.trace as
+// the thread's recording trace, for the layers below core/index (net RPC
+// waits, raft leader waits, txn coordination) that consume ambient context.
+// Install once at the top of each op.
 class ScopedOpContext {
  public:
   explicit ScopedOpContext(const OpContext& ctx)
-      : shim_(ctx.deadline.absolute_nanos()) {}
+      : shim_(ctx.deadline.absolute_nanos()), trace_shim_(ctx.trace) {}
 
  private:
   ScopedAbsoluteDeadline shim_;
+  obs::ScopedThreadTrace trace_shim_;
 };
 
 }  // namespace mantle

@@ -1,0 +1,67 @@
+#include "src/obs/span_depot.h"
+
+#include "src/obs/metrics.h"
+
+namespace mantle {
+namespace obs {
+
+void SpanDepot::Deposit(SpanBatch batch) {
+  static Counter* deposited = Metrics::Instance().GetCounter("trace.depot.deposited");
+  static Counter* orphaned = Metrics::Instance().GetCounter("trace.depot.orphaned");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deposited_;
+  deposited->Add();
+  if (batches_.size() >= capacity_) {
+    batches_.pop_front();
+    ++evicted_;
+    orphaned->Add();
+  }
+  batches_.push_back(std::move(batch));
+}
+
+std::vector<SpanBatch> SpanDepot::Claim(uint64_t trace_id) {
+  static Counter* claimed = Metrics::Instance().GetCounter("trace.depot.claimed");
+  std::vector<SpanBatch> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = batches_.begin(); it != batches_.end();) {
+    if (it->trace_id == trace_id) {
+      out.push_back(std::move(*it));
+      it = batches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  claimed_ += out.size();
+  if (!out.empty()) {
+    claimed->Add(out.size());
+  }
+  return out;
+}
+
+size_t SpanDepot::UnclaimedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_.size();
+}
+
+std::vector<SpanBatch> SpanDepot::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {batches_.begin(), batches_.end()};
+}
+
+uint64_t SpanDepot::deposited() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deposited_;
+}
+
+uint64_t SpanDepot::claimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claimed_;
+}
+
+uint64_t SpanDepot::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+}  // namespace obs
+}  // namespace mantle

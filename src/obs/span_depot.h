@@ -1,0 +1,70 @@
+// Server-local buffer of finished handler span subtrees.
+//
+// A traced RPC handler records queue/service/nested spans into a
+// handler-local OpTrace and deposits the finished spans here, tagged with the
+// originating trace id and the caller-side span uid they hang under. The
+// caller's op thread claims matching batches at op end (Network::StitchTrace)
+// and grafts them into its own trace.
+//
+// This indirection is what makes the orphan rule trivial: a handler whose
+// caller timed out deposits like any other, but nobody ever claims the batch.
+// It ages out of the bounded ring without the handler ever having touched the
+// dead caller's trace. The ring is sized for "traces in flight", not history;
+// eviction of an unclaimed batch is the expected fate of orphans.
+
+#ifndef SRC_OBS_SPAN_DEPOT_H_
+#define SRC_OBS_SPAN_DEPOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace mantle {
+namespace obs {
+
+struct SpanBatch {
+  uint64_t trace_id = 0;
+  // Caller-side anchor span (OpTrace::Graft target); 0 = root level.
+  uint64_t parent_span_uid = 0;
+  std::vector<OpTrace::Span> spans;
+};
+
+class SpanDepot {
+ public:
+  explicit SpanDepot(size_t capacity = 256) : capacity_(capacity) {}
+
+  SpanDepot(const SpanDepot&) = delete;
+  SpanDepot& operator=(const SpanDepot&) = delete;
+
+  // Appends a finished batch; evicts the oldest unclaimed batch when full.
+  void Deposit(SpanBatch batch);
+
+  // Removes and returns every batch recorded for `trace_id`.
+  std::vector<SpanBatch> Claim(uint64_t trace_id);
+
+  // Batches deposited but not (yet) claimed - orphans-in-waiting.
+  size_t UnclaimedCount() const;
+  // Copies the unclaimed batches (test/debug inspection).
+  std::vector<SpanBatch> Snapshot() const;
+
+  uint64_t deposited() const;
+  uint64_t claimed() const;
+  // Unclaimed batches that aged out of the ring (the terminal orphan count).
+  uint64_t evicted() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<SpanBatch> batches_;
+  const size_t capacity_;
+  uint64_t deposited_ = 0;
+  uint64_t claimed_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_SPAN_DEPOT_H_

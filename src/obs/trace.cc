@@ -1,16 +1,53 @@
 #include "src/obs/trace.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace mantle {
 namespace obs {
 
-int OpTrace::Begin(std::string name) {
+namespace {
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NextSpanUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local OpTrace* t_current_trace = nullptr;
+thread_local ScopedTraceCapture* t_capture = nullptr;
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kLogic:
+      return "logic";
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kService:
+      return "service";
+    case SpanKind::kWire:
+      return "wire";
+  }
+  return "logic";
+}
+
+OpTrace::OpTrace() : trace_id_(NextTraceId()) {}
+
+int OpTrace::Begin(std::string name, SpanKind kind, std::string server) {
   Span span;
   span.name = std::move(name);
   span.start_nanos = MonotonicNanos();
   span.parent = open_.empty() ? -1 : open_.back();
   span.depth = static_cast<int>(open_.size());
+  span.uid = NextSpanUid();
+  span.kind = kind;
+  span.server = std::move(server);
   const int id = static_cast<int>(spans_.size());
   spans_.push_back(std::move(span));
   open_.push_back(id);
@@ -35,16 +72,95 @@ void OpTrace::End(int id) {
   }
 }
 
+int OpTrace::AddClosedSpan(std::string name, int64_t start_nanos, int64_t end_nanos,
+                           SpanKind kind, std::string server) {
+  Span span;
+  span.name = std::move(name);
+  span.start_nanos = start_nanos;
+  span.end_nanos = end_nanos;
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.uid = NextSpanUid();
+  span.kind = kind;
+  span.server = std::move(server);
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+std::vector<OpTrace::Span> OpTrace::TakeSpans() {
+  open_.clear();
+  std::vector<Span> out;
+  out.swap(spans_);
+  return out;
+}
+
+int OpTrace::IndexOfUid(uint64_t uid) const {
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].uid == uid) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool OpTrace::Graft(std::vector<Span>& batch_spans, uint64_t parent_uid) {
+  int anchor = -1;
+  if (parent_uid != 0) {
+    anchor = IndexOfUid(parent_uid);
+    if (anchor < 0) {
+      return false;
+    }
+  }
+  const int base = static_cast<int>(spans_.size());
+  const int depth_shift = anchor >= 0 ? spans_[anchor].depth + 1 : 0;
+  spans_.reserve(spans_.size() + batch_spans.size());
+  for (Span& span : batch_spans) {
+    span.parent = span.parent < 0 ? anchor : base + span.parent;
+    span.depth += depth_shift;
+    spans_.push_back(std::move(span));
+  }
+  batch_spans.clear();
+  return true;
+}
+
 std::string OpTrace::Render() const {
   std::ostringstream out;
   for (const Span& span : spans_) {
     for (int i = 0; i < span.depth; ++i) {
       out << "  ";
     }
-    out << span.name << "  " << span.DurationNanos() << "ns\n";
+    out << span.name;
+    if (!span.server.empty()) {
+      out << " @" << span.server;
+    }
+    out << "  " << span.DurationNanos() << "ns\n";
   }
   return out.str();
 }
+
+OpTrace* CurrentThreadTrace() { return t_current_trace; }
+
+TraceContext CurrentTraceContext() {
+  if (t_current_trace == nullptr) {
+    return TraceContext{};
+  }
+  return TraceContext{t_current_trace->trace_id(), t_current_trace->OpenSpanUid(), true};
+}
+
+ScopedThreadTrace::ScopedThreadTrace(OpTrace* trace) : saved_(t_current_trace) {
+  if (trace != nullptr) {
+    t_current_trace = trace;
+  }
+}
+
+ScopedThreadTrace::~ScopedThreadTrace() { t_current_trace = saved_; }
+
+ScopedTraceCapture::ScopedTraceCapture() : saved_(t_capture) { t_capture = this; }
+
+ScopedTraceCapture::~ScopedTraceCapture() { t_capture = saved_; }
+
+ScopedTraceCapture* ThreadTraceCapture() { return t_capture; }
 
 }  // namespace obs
 }  // namespace mantle

@@ -1,20 +1,39 @@
-// Request-scoped trace spans.
+// Request-scoped trace spans with cross-RPC propagation.
 //
 // An OpTrace belongs to exactly one in-flight metadata operation and records
-// a tree of timed spans (op root -> lookup -> index.resolve -> ...). It is
-// NOT thread-safe by design: spans must be opened and closed on the op's
-// calling thread only. Server-side RPC handlers may outlive a timed-out
-// caller (see src/net/network.h), so handlers must never touch the caller's
-// trace - cross-thread activity is visible through metrics instead.
+// a tree of timed spans (op root -> lookup -> rpc.tafdb-0 -> ...). Each
+// OpTrace is still single-threaded: spans are opened and closed on exactly
+// one thread at a time. Distribution works by *copying subtrees between
+// traces*, never by sharing one:
 //
-// All of the API is null-safe: passing a nullptr OpTrace* (tracing disabled)
-// makes every call a no-op, so instrumented code needs no branches.
+//   * The op's calling thread owns the root OpTrace (via OpContext).
+//   * ScopedThreadTrace publishes "the trace this thread is currently
+//     recording into" as a thread-local; instrumented code anywhere below
+//     (raft propose, txn phases, fabric wire charges) reads it with
+//     CurrentThreadTrace() and needs no plumbed parameter.
+//   * When a traced thread enqueues an RPC, ServerExecutor::Wrap captures a
+//     TraceContext{trace_id, parent_span_uid, sampled} by value. The server
+//     worker records its own handler-local OpTrace (queue/service segments
+//     plus whatever the handler opens) and deposits the finished spans into
+//     the server's SpanDepot. It never touches the caller's trace, so a
+//     handler outliving a timed-out caller is safe: its spans simply stay in
+//     the depot as orphans.
+//   * Network::StitchTrace sweeps the depots at op end and Grafts every
+//     deposited subtree under the caller-side span it hung off (matched by
+//     span uid). Hedged duplicates and retries stitch the same way - each
+//     enqueue captured its own parent uid.
+//
+// All of the client-facing API is null-safe: passing a nullptr OpTrace*
+// (tracing disabled) makes every call a no-op, so instrumented code needs no
+// branches, and the fabric's fast path pays one thread-local read.
 
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -22,42 +41,105 @@
 namespace mantle {
 namespace obs {
 
+// What a span's *self time* (duration not covered by child spans) was spent
+// on. The critical-path analyzer aggregates by (server, kind).
+enum class SpanKind : uint8_t {
+  kLogic = 0,    // caller-side computation (path walk, cache probes)
+  kQueue = 1,    // waiting in a server's bounded executor queue (or pause gate)
+  kService = 2,  // handler running on a server worker
+  kWire = 3,     // network round trips, injected delays, reply waits
+};
+
+const char* SpanKindName(SpanKind kind);
+
+// The per-RPC propagation record. Captured by value on the caller thread at
+// enqueue time; `parent_span_uid` anchors the server-side subtree when the
+// depot batch is stitched back.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_uid = 0;
+  bool sampled = false;
+};
+
 class OpTrace {
  public:
   struct Span {
     std::string name;
     int64_t start_nanos = 0;
     int64_t end_nanos = 0;  // 0 while the span is still open
-    int parent = -1;        // index into spans(); -1 for the root
+    int parent = -1;        // index into spans(); -1 for a root
     int depth = 0;
+    uint64_t uid = 0;  // process-unique; stitch anchor for remote subtrees
+    SpanKind kind = SpanKind::kLogic;
+    std::string server;  // recording server; "" = client/proxy thread
 
     int64_t DurationNanos() const {
       return end_nanos == 0 ? 0 : end_nanos - start_nanos;
     }
   };
 
-  explicit OpTrace(std::string op_name) { Begin(std::move(op_name)); }
-  OpTrace() = default;
+  explicit OpTrace(std::string op_name) : OpTrace() { Begin(std::move(op_name)); }
+  OpTrace();
 
   OpTrace(const OpTrace&) = delete;
   OpTrace& operator=(const OpTrace&) = delete;
 
+  // Process-unique id shared by every span batch belonging to this op.
+  uint64_t trace_id() const { return trace_id_; }
+
   // Opens a span as a child of the innermost open span; returns its id.
-  int Begin(std::string name);
+  int Begin(std::string name) { return Begin(std::move(name), SpanKind::kLogic, {}); }
+  int Begin(std::string name, SpanKind kind, std::string server);
   // Closes span `id` (and any children left open inside it).
   void End(int id);
 
+  // Records an already-finished interval as a child of the innermost open
+  // span (queue segments are only known once the handler starts).
+  int AddClosedSpan(std::string name, int64_t start_nanos, int64_t end_nanos, SpanKind kind,
+                    std::string server);
+
   const std::vector<Span>& spans() const { return spans_; }
+
+  // Moves the recorded spans out (for depositing into a SpanDepot); the trace
+  // is left empty.
+  std::vector<Span> TakeSpans();
+
+  // Uid of the innermost open span (the parent a nested RPC would stitch
+  // under); 0 when nothing is open.
+  uint64_t OpenSpanUid() const { return open_.empty() ? 0 : spans_[open_.back()].uid; }
+
+  // Appends a remote subtree under the span with uid `parent_uid` (0 = attach
+  // at root level), fixing up parent indices and depths. `batch_spans` use
+  // batch-local parent indices (-1 for batch roots). Consumes the batch and
+  // returns true on success; returns false (batch untouched) when the anchor
+  // is not in this trace.
+  bool Graft(std::vector<Span>& batch_spans, uint64_t parent_uid);
 
   // Total duration of the first (root) span, 0 if absent or still open.
   int64_t RootDurationNanos() const {
     return spans_.empty() ? 0 : spans_.front().DurationNanos();
   }
 
-  // Human-readable indented rendering ("name  123456ns" per line).
+  // Like RootDurationNanos, but usable mid-flight: while the root span is
+  // still open this returns "elapsed so far" instead of 0. Sampling decisions
+  // (flight-recorder tail policy) use this; final reporting should prefer
+  // RootDurationNanos.
+  int64_t ElapsedNanos() const {
+    if (spans_.empty()) {
+      return 0;
+    }
+    const Span& root = spans_.front();
+    const int64_t end = root.end_nanos != 0 ? root.end_nanos : MonotonicNanos();
+    return end - root.start_nanos;
+  }
+
+  // Human-readable indented rendering ("name @server  123456ns" per line).
   std::string Render() const;
 
  private:
+  int IndexOfUid(uint64_t uid) const;
+
+  uint64_t trace_id_;
   std::vector<Span> spans_;
   std::vector<int> open_;  // stack of open span ids
 };
@@ -68,6 +150,14 @@ class ScopedSpan {
   ScopedSpan(OpTrace* trace, const char* name) : trace_(trace) {
     if (trace_ != nullptr) {
       id_ = trace_->Begin(name);
+    }
+  }
+  // Names the span "<prefix><server>" (the concatenation is skipped when
+  // tracing is off, keeping the fabric's untraced path allocation-free).
+  ScopedSpan(OpTrace* trace, const char* prefix, const std::string& server, SpanKind kind)
+      : trace_(trace) {
+    if (trace_ != nullptr) {
+      id_ = trace_->Begin(std::string(prefix) + server, kind, server);
     }
   }
   ~ScopedSpan() {
@@ -83,6 +173,57 @@ class ScopedSpan {
   OpTrace* trace_;
   int id_ = -1;
 };
+
+// --- thread-local propagation ----------------------------------------------
+
+// The trace the current thread is recording into (nullptr = untraced).
+OpTrace* CurrentThreadTrace();
+
+// Propagation record for an RPC enqueued by the current thread right now.
+TraceContext CurrentTraceContext();
+
+// RAII: installs `trace` as the current thread's recording target for its
+// scope. Installed by ScopedOpContext on op threads and by the fabric on
+// server workers running a traced handler.
+class ScopedThreadTrace {
+ public:
+  explicit ScopedThreadTrace(OpTrace* trace);
+  ~ScopedThreadTrace();
+
+  ScopedThreadTrace(const ScopedThreadTrace&) = delete;
+  ScopedThreadTrace& operator=(const ScopedThreadTrace&) = delete;
+
+ private:
+  OpTrace* saved_;
+};
+
+// --- opt-in trace capture for untraced entry points -------------------------
+
+// Benches and the mdtest driver call the compatibility MetadataService entry
+// points, which build their own OpContext internally. A ScopedTraceCapture
+// installed on the calling thread makes MantleService::MakeOpContext attach a
+// fresh OpTrace (owned by the capture) to every op started in its scope - one
+// complete, stitched trace per operation, with zero signature changes.
+class ScopedTraceCapture {
+ public:
+  ScopedTraceCapture();
+  ~ScopedTraceCapture();
+
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+
+  // Allocates the trace for one op; stable address for the op's lifetime.
+  OpTrace& NewTrace() { return traces_.emplace_back(); }
+
+  std::deque<OpTrace>& traces() { return traces_; }
+
+ private:
+  ScopedTraceCapture* saved_;
+  std::deque<OpTrace> traces_;
+};
+
+// The innermost capture installed on this thread (nullptr = none).
+ScopedTraceCapture* ThreadTraceCapture();
 
 }  // namespace obs
 }  // namespace mantle

@@ -1,0 +1,154 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/obs/critical_path.h"
+
+namespace mantle {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+// Microsecond timestamps with nanosecond precision, as chrome expects.
+void AppendMicros(std::ostringstream& out, int64_t nanos) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(nanos / 1000),
+                static_cast<long long>(nanos % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<RecordedTrace>& traces) {
+  // Stable pid per server row; 1 is the client/proxy fleet.
+  std::map<std::string, int> pids;
+  pids[""] = 1;
+  for (const RecordedTrace& trace : traces) {
+    for (const OpTrace::Span& span : trace.spans) {
+      pids.emplace(span.server, 0);
+    }
+  }
+  int next_pid = 1;
+  for (auto& [server, pid] : pids) {
+    pid = next_pid++;
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[";
+  bool first_event = true;
+  auto event_sep = [&]() {
+    if (!first_event) {
+      out << ",";
+    }
+    first_event = false;
+    out << "\n";
+  };
+
+  for (const auto& [server, pid] : pids) {
+    event_sep();
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendEscaped(out, server.empty() ? std::string("client") : server);
+    out << "\"}}";
+  }
+
+  int tid = 0;
+  for (const RecordedTrace& trace : traces) {
+    ++tid;  // one thread row per trace so concurrent ops do not interleave
+    for (const OpTrace::Span& span : trace.spans) {
+      const int64_t end =
+          span.end_nanos != 0
+              ? span.end_nanos
+              : (trace.spans.empty() ? span.start_nanos : trace.spans.front().end_nanos);
+      event_sep();
+      out << "{\"ph\":\"X\",\"name\":\"";
+      AppendEscaped(out, span.name);
+      out << "\",\"cat\":\"" << SpanKindName(span.kind) << "\",\"pid\":" << pids[span.server]
+          << ",\"tid\":" << tid << ",\"ts\":";
+      AppendMicros(out, span.start_nanos);
+      out << ",\"dur\":";
+      AppendMicros(out, end > span.start_nanos ? end - span.start_nanos : 0);
+      out << ",\"args\":{\"trace_id\":" << trace.trace_id << ",\"op\":\"";
+      AppendEscaped(out, trace.op);
+      out << "\",\"keep\":\"" << trace.keep_reason << "\"}}";
+    }
+  }
+  out << "\n],\n\"mantleTraceSummaries\":[";
+
+  bool first_summary = true;
+  for (const RecordedTrace& trace : traces) {
+    const PathAttribution path = AnalyzeCriticalPath(trace.spans);
+    std::set<std::string> servers;
+    for (const OpTrace::Span& span : trace.spans) {
+      if (!span.server.empty()) {
+        servers.insert(span.server);
+      }
+    }
+    if (!first_summary) {
+      out << ",";
+    }
+    first_summary = false;
+    out << "\n{\"trace_id\":" << trace.trace_id << ",\"op\":\"";
+    AppendEscaped(out, trace.op);
+    out << "\",\"ok\":" << (trace.ok ? "true" : "false")
+        << ",\"deadline_exceeded\":" << (trace.deadline_exceeded ? "true" : "false")
+        << ",\"keep\":\"" << trace.keep_reason << "\",\"duration_nanos\":" << trace.duration_nanos
+        << ",\"root_nanos\":" << path.root_nanos << ",\"queue_nanos\":" << path.queue_nanos
+        << ",\"service_nanos\":" << path.service_nanos << ",\"wire_nanos\":" << path.wire_nanos
+        << ",\"logic_nanos\":" << path.logic_nanos << ",\"servers\":[";
+    bool first_server = true;
+    for (const std::string& server : servers) {
+      if (!first_server) {
+        out << ",";
+      }
+      first_server = false;
+      out << "\"";
+      AppendEscaped(out, server);
+      out << "\"";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool WriteChromeTraceFile(const std::string& path, const std::vector<RecordedTrace>& traces) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeTraceJson(traces);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+}  // namespace obs
+}  // namespace mantle

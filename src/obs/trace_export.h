@@ -1,0 +1,32 @@
+// Chrome trace_event JSON export for recorded traces.
+//
+// The output loads directly in chrome://tracing and Perfetto: each simulated
+// server is a process row (metadata "process_name" events), each trace gets
+// its own thread row within the servers it touched, and every span becomes a
+// complete ("ph":"X") event with its kind as the category. Alongside the
+// standard "traceEvents" array the document carries a "mantleTraceSummaries"
+// array (per-trace critical-path rollups) that tooling - check.sh's trace
+// smoke in particular - can consume without re-deriving the tree. Viewers
+// ignore unknown top-level keys.
+
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+
+namespace mantle {
+namespace obs {
+
+std::string ToChromeTraceJson(const std::vector<RecordedTrace>& traces);
+
+// Writes ToChromeTraceJson of the given traces to `path`; returns false on
+// I/O failure.
+bool WriteChromeTraceFile(const std::string& path, const std::vector<RecordedTrace>& traces);
+
+}  // namespace obs
+}  // namespace mantle
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

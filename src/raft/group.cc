@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace mantle {
 
@@ -104,7 +105,14 @@ Result<std::string> RaftGroup::Propose(const std::string& command) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
       continue;
     }
-    Result<std::string> result = node->ProposeAndWait(command);
+    Result<std::string> result = [&]() {
+      // Propose bypasses ServerExecutor::Call (the proxy thread talks to the
+      // leader's consensus state directly), so the fabric's automatic rpc
+      // span never fires; record the consensus round-trip explicitly.
+      obs::ScopedSpan propose_span(obs::CurrentThreadTrace(), "raft.propose.",
+                                   node->server()->name(), obs::SpanKind::kWire);
+      return node->ProposeAndWait(command);
+    }();
     if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
       return result;
     }

@@ -9,6 +9,7 @@
 
 #include "src/common/deadline.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace mantle {
 
@@ -268,9 +269,14 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
     }
   };
 
+  // Phase spans cannot be lexically scoped (each phase spans a fan-out loop
+  // plus its gather), so bracket them with explicit Begin/End.
+  obs::OpTrace* trace = obs::CurrentThreadTrace();
+
   // Two-phase commit. Prepare round: parallel try-lock + validate. Preflight
   // faults (drop/partition/crash) resolve the future immediately with the
   // fault status; a submitted-but-unresponsive prepare is bounded below.
+  const int prepare_span = trace != nullptr ? trace->Begin("txn.prepare") : -1;
   std::vector<std::future<Status>> prepares;
   prepares.reserve(participants.size());
   for (const auto& participant : participants) {
@@ -323,6 +329,9 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
       failure = status;
     }
   }
+  if (trace != nullptr) {
+    trace->End(prepare_span);
+  }
 
   if (failure.ok() && ConsumeCrashPoint(CrashPoint::kAfterPrepare)) {
     // Simulated process death in the in-doubt window: the coordinator's +1
@@ -362,6 +371,7 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
   // Commit or abort round. Phase-two decisions ride the delivery-reliable
   // CallAsync: a real coordinator retries them until every participant acks,
   // so the fault plan may delay but never lose them.
+  const int phase2_span = trace != nullptr ? trace->Begin("txn.phase2") : -1;
   std::vector<std::future<void>> finishes;
   finishes.reserve(participants.size());
   for (size_t i = 0; i < participants.size(); ++i) {
@@ -395,6 +405,9 @@ Status TxnCoordinator::Execute(const std::vector<WriteOp>& ops, uint64_t txn_id)
       acked = false;
       network_->NoteCallerTimeout();
     }
+  }
+  if (trace != nullptr) {
+    trace->End(phase2_span);
   }
   // Coordinator's own reference; once every queued handler has drained the
   // tombstone and intent row are GC'd.

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/common/clock.h"
+#include "src/obs/trace.h"
 
 namespace mantle {
 
@@ -29,7 +30,13 @@ WorkloadResult RunClosedLoop(const DriverOptions& options, const OpFn& op) {
         if (options.max_ops_per_thread != 0 && index >= options.max_ops_per_thread) {
           break;
         }
-        OpResult op_result = op(t, index++, rng);
+        OpResult op_result;
+        if (options.trace_sample_every != 0 && index % options.trace_sample_every == 0) {
+          obs::ScopedTraceCapture capture;
+          op_result = op(t, index++, rng);
+        } else {
+          op_result = op(t, index++, rng);
+        }
         if (!measuring.load(std::memory_order_acquire)) {
           continue;
         }

@@ -27,6 +27,10 @@ struct DriverOptions {
   int64_t duration_nanos = 2'000'000'000;  // wall-clock budget per run
   uint64_t max_ops_per_thread = 0;         // 0 = unlimited (duration-bound)
   int64_t warmup_nanos = 0;
+  // Trace every Nth op per thread (0 = tracing off). A sampled op runs under
+  // a ScopedTraceCapture, so its stitched span tree reaches the flight
+  // recorder (tail sampling, exemplars); the capture itself is discarded.
+  uint64_t trace_sample_every = 0;
 };
 
 struct WorkloadResult {

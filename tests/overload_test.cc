@@ -390,29 +390,6 @@ MantleOptions HedgeMantleOptions() {
   return options;
 }
 
-// Jams every worker of `server` on a shared gate, so new handlers queue
-// behind them indefinitely. Models a replica whose service port is slow (GC
-// pause, noisy neighbour) while its raft port keeps answering - the exact
-// stall hedging targets. (FaultInjector::PauseServer is a prefix match, so it
-// would freeze "<node>-raft" along with "<node>" and break read fences.)
-std::vector<std::future<Status>> JamServiceWorkers(ServerExecutor* server,
-                                                  std::shared_future<void> released) {
-  std::atomic<int> running{0};
-  std::vector<std::future<Status>> blockers;
-  const int workers = static_cast<int>(server->workers());
-  for (int i = 0; i < workers; ++i) {
-    blockers.push_back(server->CallAsync([&running, released]() {
-      running.fetch_add(1);
-      released.wait();
-      return Status::Ok();
-    }));
-  }
-  while (running.load() < workers) {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
-  return blockers;
-}
-
 TEST(OverloadTest, HedgedReadWinsUnderSlowReplica) {
   Network network(FastNetworkOptions());
   MantleService service(&network, HedgeMantleOptions());
@@ -423,12 +400,12 @@ TEST(OverloadTest, HedgedReadWinsUnderSlowReplica) {
   }
   ASSERT_GE(service.index()->read_latency().samples(), 4);
 
-  // Stall the read primary's service port; its raft port keeps serving, so
-  // follower read fences still work. The hedge must answer.
+  // SIGSTOP the read primary's service port. Pause matches server names
+  // exactly, so "<node>-raft" keeps serving and follower read fences still
+  // work - the precise stall hedging targets. The hedge must answer.
   RaftNode* leader = service.index()->group()->WaitForLeader();
   ASSERT_NE(leader, nullptr);
-  std::promise<void> release;
-  auto blockers = JamServiceWorkers(leader->server(), release.get_future().share());
+  network.faults().PauseServer(leader->server()->name());
 
   const uint64_t issued_before = MetricValue("hedge.issued");
   const uint64_t won_before = MetricValue("hedge.won");
@@ -438,10 +415,7 @@ TEST(OverloadTest, HedgedReadWinsUnderSlowReplica) {
   EXPECT_GT(MetricValue("hedge.issued"), issued_before);
   EXPECT_GT(MetricValue("hedge.won"), won_before);
 
-  release.set_value();
-  for (auto& blocker : blockers) {
-    EXPECT_TRUE(blocker.get().ok());
-  }
+  network.faults().ResumeServer(leader->server()->name());
 }
 
 TEST(OverloadTest, HedgingIsBoundedByTheRetryBudget) {
@@ -459,8 +433,7 @@ TEST(OverloadTest, HedgingIsBoundedByTheRetryBudget) {
 
   RaftNode* leader = service.index()->group()->WaitForLeader();
   ASSERT_NE(leader, nullptr);
-  std::promise<void> release;
-  auto blockers = JamServiceWorkers(leader->server(), release.get_future().share());
+  network.faults().PauseServer(leader->server()->name());
 
   const uint64_t denied_before = MetricValue("hedge.denied");
   const uint64_t issued_before = MetricValue("hedge.issued");
@@ -473,10 +446,7 @@ TEST(OverloadTest, HedgingIsBoundedByTheRetryBudget) {
   EXPECT_GT(MetricValue("hedge.denied"), denied_before);
   EXPECT_EQ(MetricValue("hedge.issued"), issued_before);
 
-  release.set_value();
-  for (auto& blocker : blockers) {
-    EXPECT_TRUE(blocker.get().ok());
-  }
+  network.faults().ResumeServer(leader->server()->name());
 }
 
 }  // namespace

@@ -1,0 +1,459 @@
+// Distributed causal tracing (ISSUE 7): cross-RPC span propagation,
+// queue/service/wire attribution, orphan handling, the tail-sampled flight
+// recorder, and the critical-path analyzer.
+//
+// The recurring setup: an op carries an OpTrace through its OpContext; every
+// server-side handler records its own handler-local spans and deposits them
+// into its server's SpanDepot; Network::StitchTrace (run by the op's
+// OpRecorder as the op returns) grafts the deposited subtrees back under the
+// caller-side rpc spans. These tests drive that pipeline through real
+// MantleService operations over the simulated fabric, including hostile
+// schedules (drops, pauses, caller timeouts).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/critical_path.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span_depot.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+using obs::OpTrace;
+using obs::SpanKind;
+
+// Deep enough that the parent's resolution cannot be served by the
+// TopDirPathCache alone - the lookup must RPC the IndexNode.
+constexpr const char* kDeepDir = "/t0/t1/t2/t3/t4";
+
+void MkdirChain(MantleService& service, const std::string& leaf) {
+  std::string path;
+  size_t from = 1;
+  while (from <= leaf.size()) {
+    const size_t next = leaf.find('/', from);
+    path = leaf.substr(0, next == std::string::npos ? leaf.size() : next);
+    ASSERT_TRUE(service.Mkdir(path).ok()) << path;
+    if (next == std::string::npos) {
+      break;
+    }
+    from = next + 1;
+  }
+}
+
+bool AllClosed(const std::vector<OpTrace::Span>& spans) {
+  return std::all_of(spans.begin(), spans.end(),
+                     [](const OpTrace::Span& span) { return span.end_nanos != 0; });
+}
+
+std::set<std::string> ServersIn(const std::vector<OpTrace::Span>& spans) {
+  std::set<std::string> servers;
+  for (const auto& span : spans) {
+    if (!span.server.empty()) {
+      servers.insert(span.server);
+    }
+  }
+  return servers;
+}
+
+bool HasKind(const std::vector<OpTrace::Span>& spans, SpanKind kind) {
+  return std::any_of(spans.begin(), spans.end(),
+                     [kind](const OpTrace::Span& span) { return span.kind == kind; });
+}
+
+// --- tentpole: cross-RPC propagation -----------------------------------------
+
+TEST(TracingTest, SpansPropagateAcrossServersWithQueueAndServiceSegments) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  MkdirChain(service, kDeepDir);
+
+  OpContext ctx = service.MakeOpContext();
+  OpTrace trace;
+  ctx.trace = &trace;
+  ASSERT_TRUE(service.StatDir(ctx, kDeepDir).ok());
+
+  const auto& spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().name, "stat_dir");
+  EXPECT_TRUE(AllClosed(spans)) << trace.Render();
+
+  // The op crossed at least two logical machines (IndexNode replica for the
+  // lookup, a TafDB server for the attr read), and each hop contributed its
+  // own queue-wait and service segments.
+  const std::set<std::string> servers = ServersIn(spans);
+  EXPECT_GE(servers.size(), 2u) << trace.Render();
+  EXPECT_TRUE(std::any_of(servers.begin(), servers.end(), [](const std::string& s) {
+    return s.find("-index") != std::string::npos;
+  })) << trace.Render();
+  EXPECT_TRUE(std::any_of(servers.begin(), servers.end(), [](const std::string& s) {
+    return s.rfind("tafdb-", 0) == 0;
+  })) << trace.Render();
+  EXPECT_TRUE(HasKind(spans, SpanKind::kQueue)) << trace.Render();
+  EXPECT_TRUE(HasKind(spans, SpanKind::kService)) << trace.Render();
+
+  // Grafted handler spans nest under the caller-side rpc span that issued
+  // them: every queue/service span has a parent.
+  for (const auto& span : spans) {
+    if (span.kind == SpanKind::kQueue || span.kind == SpanKind::kService) {
+      EXPECT_GE(span.parent, 0) << span.name;
+    }
+  }
+}
+
+TEST(TracingTest, CriticalPathPartitionIsExact) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  MkdirChain(service, kDeepDir);
+
+  for (int i = 0; i < 5; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    ASSERT_TRUE(service.StatDir(ctx, kDeepDir).ok());
+
+    const obs::PathAttribution path = obs::AnalyzeCriticalPath(trace.spans());
+    ASSERT_GT(path.root_nanos, 0);
+    // Exact partition: every nanosecond of the root lands in exactly one
+    // (server, kind) bucket.
+    EXPECT_EQ(path.AttributedNanos(), path.root_nanos) << trace.Render();
+    int64_t hop_sum = 0;
+    for (const auto& hop : path.hops) {
+      hop_sum += hop.nanos;
+    }
+    EXPECT_EQ(hop_sum, path.root_nanos);
+    EXPECT_GT(path.service_nanos, 0) << trace.Render();
+  }
+}
+
+// --- tentpole: traces survive a hostile network ------------------------------
+
+TEST(TracingTest, DroppedRpcsStillYieldClosedStitchableTraces) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 500'000'000;  // every op resolves
+  MantleService service(&network, options);
+  MkdirChain(service, kDeepDir);
+
+  FaultRule drops;
+  drops.drop_probability = 0.4;
+  network.faults().SetRule("tafdb", drops);
+
+  for (int i = 0; i < 8; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    OpResult result = service.StatDir(ctx, kDeepDir);
+    // ok or timeout both acceptable under drops; the trace must be complete
+    // and closed either way.
+    ASSERT_FALSE(trace.spans().empty());
+    EXPECT_TRUE(AllClosed(trace.spans()))
+        << result.status.ToString() << "\n" << trace.Render();
+    EXPECT_GT(trace.RootDurationNanos(), 0);
+  }
+  network.faults().ClearAll();
+}
+
+TEST(TracingTest, TimedOutCallerGetsOrphanBatchesNotLateGrafts) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 120'000'000;  // 120 ms, far below the pause
+  MantleService service(&network, options);
+  MkdirChain(service, kDeepDir);
+  // Warm path caches so the timed-out op's lookup is local and the op's only
+  // remote dependency is the paused TafDB read.
+  ASSERT_TRUE(service.StatDir(kDeepDir).ok());
+
+  network.faults().PauseServer("tafdb-0");
+  network.faults().PauseServer("tafdb-1");
+
+  OpContext ctx = service.MakeOpContext();
+  OpTrace trace;
+  ctx.trace = &trace;
+  OpResult result = service.StatDir(ctx, kDeepDir);
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout) << result.status;
+  ASSERT_FALSE(trace.spans().empty());
+  EXPECT_TRUE(AllClosed(trace.spans())) << trace.Render();
+  // The handler is still stuck behind the pause gate: its spans cannot have
+  // been stitched into this trace.
+  EXPECT_FALSE(std::any_of(trace.spans().begin(), trace.spans().end(),
+                           [](const OpTrace::Span& s) {
+                             return s.kind == SpanKind::kService &&
+                                    s.server.rfind("tafdb-", 0) == 0;
+                           }))
+      << trace.Render();
+  const size_t spans_at_op_end = trace.spans().size();
+
+  // Release the pause; the abandoned handler finishes, records its spans and
+  // deposits them - into the server-local depot, never into this trace.
+  network.faults().ResumeServer("tafdb-0");
+  network.faults().ResumeServer("tafdb-1");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (network.UnclaimedSpanBatches() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(network.UnclaimedSpanBatches(), 0u);
+  EXPECT_EQ(trace.spans().size(), spans_at_op_end);
+}
+
+TEST(TracingTest, HedgedDuplicateMarksAndStitchesIntoTheCallerTrace) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 2'000'000'000;
+  options.index.hedge.enable = true;
+  options.index.hedge.quantile = 0.5;
+  options.index.hedge.min_samples = 4;
+  options.index.hedge.min_delay_nanos = 200'000;
+  options.index.hedge.max_delay_nanos = 5'000'000;
+  MantleService service(&network, options);
+  MkdirChain(service, "/h0/h1/h2/h3/h4");
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.StatDir("/h0/h1/h2/h3/h4").ok());
+  }
+  ASSERT_GE(service.index()->read_latency().samples(), 4);
+
+  RaftNode* leader = service.index()->group()->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  network.faults().PauseServer(leader->server()->name());
+
+  bool saw_hedge_marker = false;
+  for (int i = 0; i < 5 && !saw_hedge_marker; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    ASSERT_TRUE(service.StatDir(ctx, "/h0/h1/h2/h3/h4").ok());
+    EXPECT_TRUE(AllClosed(trace.spans())) << trace.Render();
+    for (const auto& span : trace.spans()) {
+      if (span.name.rfind("hedge.fire.", 0) == 0) {
+        saw_hedge_marker = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_hedge_marker);
+  network.faults().ResumeServer(leader->server()->name());
+}
+
+// --- satellite: ElapsedNanos -------------------------------------------------
+
+TEST(TracingTest, ElapsedNanosWorksMidFlightAndConvergesWhenClosed) {
+  OpTrace empty;
+  EXPECT_EQ(empty.ElapsedNanos(), 0);
+
+  OpTrace trace("op");
+  EXPECT_EQ(trace.RootDurationNanos(), 0);  // root still open
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const int64_t mid = trace.ElapsedNanos();
+  EXPECT_GT(mid, 0);  // "so far", not 0
+  trace.End(0);
+  const int64_t closed = trace.ElapsedNanos();
+  EXPECT_EQ(closed, trace.RootDurationNanos());
+  EXPECT_GE(closed, mid);
+  // Stable once closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(trace.ElapsedNanos(), closed);
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(TracingTest, FlightRecorderRetainsEveryDeadlineExceededOp) {
+  auto& recorder = obs::FlightRecorder::Instance();
+  obs::FlightRecorder::Options opts;
+  opts.error_capacity = 256;  // hold every timeout this run can produce
+  recorder.Configure(opts);
+
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 150'000'000;
+  MantleService service(&network, options);
+  MkdirChain(service, kDeepDir);
+  ASSERT_TRUE(service.StatDir(kDeepDir).ok());
+
+  // Seeded chaos: heavy drops on the TafDB fleet force a stream of
+  // deadline-exceeded ops among successes.
+  network.faults().Reseed(0xc4a05);
+  FaultRule drops;
+  drops.drop_probability = 0.6;
+  network.faults().SetRule("tafdb", drops);
+
+  std::vector<uint64_t> timed_out_ids;
+  for (int i = 0; i < 24; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    OpResult result = service.StatDir(ctx, kDeepDir);
+    if (result.status.code() == StatusCode::kTimeout) {
+      timed_out_ids.push_back(trace.trace_id());
+    }
+  }
+  network.faults().ClearAll();
+
+  ASSERT_FALSE(timed_out_ids.empty()) << "chaos plan produced no timeouts";
+  for (uint64_t trace_id : timed_out_ids) {
+    EXPECT_TRUE(recorder.Contains(trace_id)) << "trace " << trace_id << " not retained";
+  }
+  // And they are queryable as errors in the snapshot.
+  size_t error_kept = 0;
+  for (const auto& kept : recorder.Snapshot()) {
+    if (kept.keep_reason == "error") {
+      ++error_kept;
+    }
+  }
+  EXPECT_GE(error_kept, timed_out_ids.size());
+  recorder.Configure(obs::FlightRecorder::Options{});
+}
+
+TEST(TracingTest, FlightRecorderTailKeepsTheSlowQuantileAndExemplars) {
+  auto& recorder = obs::FlightRecorder::Instance();
+  recorder.Configure(obs::FlightRecorder::Options{});
+
+  // Offer 64 fast ops and 4 slow outliers through hand-built traces (a
+  // closed root span whose duration we dictate).
+  std::vector<uint64_t> slow_ids;
+  for (int i = 0; i < 68; ++i) {
+    const bool slow = i >= 64;
+    OpTrace shaped;
+    shaped.AddClosedSpan("synthetic", 0, slow ? 50'000'000 : 1'000'000, SpanKind::kLogic, "");
+    recorder.Offer(shaped, /*ok=*/true, /*deadline_exceeded=*/false);
+    recorder.NoteExemplar("synthetic.latency_nanos", slow ? 50'000'000 : 1'000'000,
+                          shaped.trace_id());
+    if (slow) {
+      slow_ids.push_back(shaped.trace_id());
+    }
+  }
+  for (uint64_t trace_id : slow_ids) {
+    EXPECT_TRUE(recorder.Contains(trace_id)) << trace_id;
+  }
+  // The slow outliers landed in a higher histogram bucket than the fast ops,
+  // and that bucket's exemplar links back to one of them.
+  const auto exemplars = recorder.Exemplars("synthetic.latency_nanos");
+  ASSERT_GE(exemplars.size(), 2u);
+  bool slow_bucket_linked = false;
+  for (const auto& exemplar : exemplars) {
+    if (exemplar.value_nanos == 50'000'000 &&
+        std::find(slow_ids.begin(), slow_ids.end(), exemplar.trace_id) != slow_ids.end()) {
+      slow_bucket_linked = true;
+    }
+  }
+  EXPECT_TRUE(slow_bucket_linked);
+  recorder.Configure(obs::FlightRecorder::Options{});
+}
+
+// --- acceptance: analyzer vs hand-instrumented breakdown ---------------------
+
+TEST(TracingTest, TraceDerivedBreakdownMatchesHandInstrumentedWithin10Percent) {
+  // Paper-scaled latency model (not zero_latency): a seeded slow lookup where
+  // phases are macroscopic, so the two measurements' fixed overheads vanish.
+  NetworkOptions net_options;
+  net_options.rtt_nanos = 200'000;
+  net_options.db_row_access_nanos = 300'000;
+  net_options.mem_index_access_nanos = 150'000;
+  Network network(net_options);
+  MantleService service(&network, FastMantleOptions());
+  MkdirChain(service, kDeepDir);
+  ASSERT_TRUE(service.StatDir(kDeepDir).ok());
+
+  double trace_lookup = 0;
+  double hand_lookup = 0;
+  double trace_root = 0;
+  double hand_total = 0;
+  int sampled = 0;
+  for (int i = 0; i < 32; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    OpResult result = service.StatDir(ctx, kDeepDir);
+    ASSERT_TRUE(result.ok()) << result.status;
+    const obs::PathAttribution path = obs::AnalyzeCriticalPath(trace.spans());
+    ASSERT_GT(path.root_nanos, 0);
+    trace_lookup += static_cast<double>(
+        obs::TotalDurationOfNamed(trace.spans(), "lookup"));
+    hand_lookup += static_cast<double>(result.breakdown.lookup_nanos);
+    trace_root += static_cast<double>(path.root_nanos);
+    hand_total += static_cast<double>(result.breakdown.total_nanos());
+    ++sampled;
+  }
+  ASSERT_GT(sampled, 0);
+  ASSERT_GT(hand_lookup, 0);
+  const double lookup_gap = std::abs(trace_lookup - hand_lookup) /
+                            std::max(trace_lookup, hand_lookup);
+  const double total_gap = std::abs(trace_root - hand_total) /
+                           std::max(trace_root, hand_total);
+  EXPECT_LT(lookup_gap, 0.10) << "trace " << trace_lookup << " hand " << hand_lookup;
+  EXPECT_LT(total_gap, 0.10) << "trace " << trace_root << " hand " << hand_total;
+}
+
+// --- exporter ----------------------------------------------------------------
+
+TEST(TracingTest, ChromeTraceExportIsWellFormedAndCarriesSummaries) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  MkdirChain(service, kDeepDir);
+
+  auto& recorder = obs::FlightRecorder::Instance();
+  recorder.Configure(obs::FlightRecorder::Options{});
+  for (int i = 0; i < 4; ++i) {
+    OpContext ctx = service.MakeOpContext();
+    OpTrace trace;
+    ctx.trace = &trace;
+    ASSERT_TRUE(service.StatDir(ctx, kDeepDir).ok());
+  }
+  ASSERT_GT(recorder.Size(), 0u);
+
+  const std::string json = service.DumpSlowTraces(8);
+  // Structural smoke checks (check.sh parses it with a real JSON parser).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"mantleTraceSummaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("tafdb-"), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\": -"), std::string::npos);  // no negative durations
+  recorder.Configure(obs::FlightRecorder::Options{});
+}
+
+// --- depot mechanics (unit level) --------------------------------------------
+
+TEST(TracingTest, SpanDepotEvictsOldestUnclaimedBatches) {
+  obs::SpanDepot depot(4);
+  for (uint64_t id = 1; id <= 6; ++id) {
+    obs::SpanBatch batch;
+    batch.trace_id = id;
+    batch.spans.push_back(OpTrace::Span{"service", 0, 10, -1, 0, id, SpanKind::kService, "s"});
+    depot.Deposit(std::move(batch));
+  }
+  EXPECT_EQ(depot.UnclaimedCount(), 4u);
+  EXPECT_EQ(depot.evicted(), 2u);
+  // The oldest two (ids 1, 2) aged out.
+  EXPECT_TRUE(depot.Claim(1).empty());
+  EXPECT_EQ(depot.Claim(5).size(), 1u);
+  EXPECT_EQ(depot.claimed(), 1u);
+}
+
+TEST(TracingTest, GraftRefusesBatchesWithoutAnchorAndKeepsThemIntact) {
+  OpTrace trace;
+  const int root = trace.Begin("op");
+  trace.End(root);
+
+  std::vector<OpTrace::Span> batch;
+  batch.push_back(OpTrace::Span{"service", 5, 10, -1, 0, 999, SpanKind::kService, "s"});
+  // Anchor uid 12345 is not in the trace: graft must refuse and leave the
+  // batch for the orphan path.
+  EXPECT_FALSE(trace.Graft(batch, 12345));
+  EXPECT_EQ(batch.size(), 1u);
+  // Root-level graft (uid 0) always lands.
+  EXPECT_TRUE(trace.Graft(batch, 0));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(trace.spans().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mantle
