@@ -1,0 +1,216 @@
+// Batched & coalesced read path (ISSUE 8): batch-size sweep of MultiStat
+// (Mantle fast path vs the contract's looped default) and a skewed
+// hot-directory lookup workload with the singleflight coalescer on vs off.
+//
+// Expected shape: the fast path's advantage grows with batch size (ONE
+// IndexNode resolve + one TafDB RPC per touched shard vs 2 RPCs per path);
+// at batch 64 it clears 3x the looped default. On the skewed workload,
+// coalescing collapses duplicate in-flight resolves on the IndexNode leader
+// and clears 1.5x the uncoalesced run.
+//
+// Filters for smoke runs:
+//   MANTLE_BENCH_BATCH_SIZES   - comma-separated subset of 1,4,16,64,256
+//   MANTLE_BENCH_BATCH_THREADS - client threads for the sweep (default 8:
+//                                batching substitutes for client concurrency,
+//                                so the sweep runs at modest thread counts;
+//                                the coalescing part keeps the global default,
+//                                since singleflight needs concurrent
+//                                duplicates to collapse)
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+#include "src/common/config.h"
+
+namespace mantle {
+namespace {
+
+// Summary values exported as a machine-readable line for bench_snapshot.sh.
+struct SweepPoint {
+  size_t batch = 0;
+  double batched_paths_per_sec = 0;
+  double looped_paths_per_sec = 0;
+  double batched_rpcs_per_path = 0;
+  double looped_rpcs_per_path = 0;
+};
+
+SystemInstance MakeMantleWithCoalesce(bool enable) {
+  SystemInstance instance;
+  instance.network = std::make_unique<Network>(BenchNetworkOptions());
+  MantleOptions options;
+  options.tafdb = BenchTafDbOptions();
+  options.index.num_voters = 3;
+  options.index.raft = BenchRaftOptions();
+  options.index.coalesce.enable = enable;
+  auto mantle = std::make_unique<MantleService>(instance.network.get(), std::move(options));
+  instance.mantle = mantle.get();
+  instance.service = std::move(mantle);
+  return instance;
+}
+
+// One batch op per closed-loop iteration: MultiStat over `batch` paths taken
+// from a window of the namespace. The pool is sorted so a window looks like a
+// real batched stat - the stat-after-list pattern where a client lists a
+// directory and stats its entries, so most paths in a batch are siblings.
+// `fast` selects the Mantle override; otherwise the qualified call runs the
+// contract's looped default on the same service.
+OpFn BatchStatOp(MantleService* mantle, const GeneratedNamespace* ns, size_t batch,
+                 bool fast) {
+  auto pool = std::make_shared<std::vector<std::string>>(ns->objects);
+  std::sort(pool->begin(), pool->end());
+  return [mantle, pool, batch, fast](int, uint64_t, Rng& rng) -> OpResult {
+    const size_t span_max = pool->size() - batch;
+    const size_t offset = static_cast<size_t>(rng.Next()) % span_max;
+    const std::span<const std::string> paths(pool->data() + offset, batch);
+    const MultiOpResult result =
+        fast ? mantle->MultiStat(paths) : mantle->MetadataService::MultiStat(paths);
+    OpResult summary;
+    summary.status = result.all_ok() ? Status::Ok() : result.results.front().status;
+    summary.breakdown = result.breakdown;
+    summary.rpcs = result.rpcs;
+    summary.retries = result.retries;
+    return summary;
+  };
+}
+
+std::vector<SweepPoint> RunBatchSweep(const BenchConfig& config) {
+  std::printf("\n-- batch sweep: MultiStat fast path vs looped default --\n");
+  static const size_t kBatches[] = {1, 4, 16, 64, 256};
+  const std::string filter = EnvString("MANTLE_BENCH_BATCH_SIZES", "");
+  std::vector<SweepPoint> points;
+  Table table({"batch", "mode", "batches/s", "paths/s", "rpcs/path", "p50", "p99", "errors"});
+  for (size_t batch : kBatches) {
+    if (!filter.empty() &&
+        ("," + filter + ",").find("," + std::to_string(batch) + ",") == std::string::npos) {
+      continue;
+    }
+    SweepPoint point;
+    point.batch = batch;
+    for (const bool fast : {false, true}) {
+      SystemInstance system = MakeSystem(SystemKind::kMantle);
+      NamespaceSpec spec;
+      spec.num_dirs = config.ns_dirs;
+      spec.num_objects = config.ns_objects;
+      GeneratedNamespace ns = PopulateNamespace(system.get(), spec);
+
+      DriverOptions driver;
+      driver.threads = static_cast<int>(EnvInt("MANTLE_BENCH_BATCH_THREADS", 8));
+      driver.duration_nanos = config.DurationNanos();
+      driver.warmup_nanos = config.WarmupNanos();
+      WorkloadResult result =
+          RunClosedLoop(driver, BatchStatOp(system.mantle, &ns, batch, fast));
+
+      const double paths_per_sec = result.Throughput() * static_cast<double>(batch);
+      const double rpcs_per_path = result.MeanRpcsPerOp() / static_cast<double>(batch);
+      if (fast) {
+        point.batched_paths_per_sec = paths_per_sec;
+        point.batched_rpcs_per_path = rpcs_per_path;
+      } else {
+        point.looped_paths_per_sec = paths_per_sec;
+        point.looped_rpcs_per_path = rpcs_per_path;
+      }
+      table.AddRow({std::to_string(batch), fast ? "batched" : "looped",
+                    FormatOps(result.Throughput()), FormatOps(paths_per_sec),
+                    FormatDouble(rpcs_per_path), FormatMicros(result.total.Percentile(0.5)),
+                    FormatMicros(result.total.Percentile(0.99)),
+                    FormatCount(result.errors)});
+    }
+    points.push_back(point);
+  }
+  table.Print();
+  for (const SweepPoint& point : points) {
+    if (point.looped_paths_per_sec > 0) {
+      std::printf("batch=%zu speedup: %.2fx\n", point.batch,
+                  point.batched_paths_per_sec / point.looped_paths_per_sec);
+    }
+  }
+  return points;
+}
+
+// Skewed hot-directory lookups: most ops resolve the same few hot paths, the
+// exact duplicate-in-flight pattern singleflight collapses on the leader.
+double RunSkewedLookups(const BenchConfig& config, bool coalesce) {
+  SystemInstance system = MakeMantleWithCoalesce(coalesce);
+  MetadataService* service = system.get();
+  // A deep hot directory (depth 10, like the mdtest runs) with a handful of
+  // hot objects, plus a spread of cold siblings for the unskewed tail.
+  std::string hot_dir;
+  for (int level = 0; level < 10; ++level) {
+    hot_dir += "/h" + std::to_string(level);
+    if (!service->BulkLoadDir(hot_dir).ok()) {
+      return 0;
+    }
+  }
+  std::vector<std::string> lookup_paths;
+  for (int i = 0; i < 4; ++i) {
+    const std::string path = hot_dir + "/hot" + std::to_string(i);
+    if (!service->BulkLoadObject(path, 1).ok()) {
+      return 0;
+    }
+    // 90% of samples land on the 4 hot paths.
+    for (int weight = 0; weight < 18; ++weight) {
+      lookup_paths.push_back(path);
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = hot_dir + "/cold" + std::to_string(i);
+    if (!service->BulkLoadObject(path, 1).ok()) {
+      return 0;
+    }
+    lookup_paths.push_back(path);
+  }
+  GeneratedNamespace empty_ns;
+  MdtestOps ops(service, &empty_ns);
+  DriverOptions driver;
+  driver.threads = config.threads;
+  driver.duration_nanos = config.DurationNanos();
+  driver.warmup_nanos = config.WarmupNanos();
+  WorkloadResult result = RunClosedLoop(driver, ops.LookupPaths(lookup_paths));
+  Table table(WorkloadColumns(coalesce ? "coalesce=on" : "coalesce=off"));
+  table.AddRow(WorkloadRow(coalesce ? "skewed-hot-dir" : "skewed-hot-dir", result));
+  table.Print();
+  return result.Throughput();
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Batch read", "batched MultiStat sweep + coalesced hot-directory lookups",
+              "expect batched >= 3x looped at batch 64; coalesce on >= 1.5x off");
+
+  const std::vector<SweepPoint> sweep = RunBatchSweep(config);
+
+  std::printf("\n-- skewed hot-directory lookups: singleflight coalescing --\n");
+  const double off = RunSkewedLookups(config, false);
+  const double on = RunSkewedLookups(config, true);
+  if (off > 0) {
+    std::printf("coalesce speedup: %.2fx\n", on / off);
+  }
+
+  // Machine-readable summary consumed by scripts/bench_snapshot.sh.
+  std::printf("\nBATCH_READ_SUMMARY {\"sweep\":[");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& point = sweep[i];
+    std::printf("%s{\"batch\":%zu,\"batched_paths_per_sec\":%.1f,"
+                "\"looped_paths_per_sec\":%.1f,\"batched_rpcs_per_path\":%.3f,"
+                "\"looped_rpcs_per_path\":%.3f}",
+                i == 0 ? "" : ",", point.batch, point.batched_paths_per_sec,
+                point.looped_paths_per_sec, point.batched_rpcs_per_path,
+                point.looped_rpcs_per_path);
+  }
+  std::printf("],\"coalesce_off_ops_per_sec\":%.1f,\"coalesce_on_ops_per_sec\":%.1f}\n", off,
+              on);
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Quick-slice bench snapshots as machine-readable JSON.
+#
+# Usage: scripts/bench_snapshot.sh [build_dir] [out_dir]
+#   build_dir  tree with built bench binaries      (default: <repo>/build)
+#   out_dir    where the BENCH_*.json files land   (default: build_dir)
+#
+# Emits:
+#   BENCH_batch_read.json  the BATCH_READ_SUMMARY from a quick bench_batch_read
+#                          run, augmented with computed speedups and the run
+#                          configuration. The acceptance gates for ISSUE 8 ride
+#                          on this file: batch=64 >= 3x looped, coalesce >= 1.5x.
+#   BENCH_fig12.json       the "== metrics ==" counter footer of a quick
+#                          bench_fig12 slice plus its run configuration - a
+#                          coarse canary for read-path throughput regressions.
+#
+# Each run is a ~1s-per-cell quick slice: noisy, but cheap enough for CI. The
+# JSON is validated (strict parse) before it is written; a run whose summary
+# line is missing or malformed fails the script.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+OUT_DIR="${2:-$BUILD_DIR}"
+mkdir -p "$OUT_DIR"
+
+QUICK_ENV=(MANTLE_BENCH_QUICK=1 MANTLE_BENCH_SECONDS="${MANTLE_BENCH_SECONDS:-1}")
+
+echo "== bench_batch_read quick slice =="
+BATCH_OUT="$(env "${QUICK_ENV[@]}" MANTLE_METRICS=off \
+  "$BUILD_DIR/bench/bench_batch_read")"
+SUMMARY_LINE="$(echo "$BATCH_OUT" | grep '^BATCH_READ_SUMMARY ' | tail -1 | cut -d' ' -f2-)"
+if [ -z "$SUMMARY_LINE" ]; then
+  echo "bench_snapshot FAILED: no BATCH_READ_SUMMARY line in bench_batch_read output" >&2
+  echo "$BATCH_OUT" | tail -20 >&2
+  exit 1
+fi
+python3 - "$OUT_DIR/BENCH_batch_read.json" <<PYEOF
+import json, sys
+
+summary = json.loads('''$SUMMARY_LINE''')
+for point in summary["sweep"]:
+    looped = point["looped_paths_per_sec"]
+    point["speedup"] = point["batched_paths_per_sec"] / looped if looped > 0 else None
+off = summary["coalesce_off_ops_per_sec"]
+summary["coalesce_speedup"] = summary["coalesce_on_ops_per_sec"] / off if off > 0 else None
+summary["config"] = {
+    "quick": True,
+    "seconds_per_cell": float("${MANTLE_BENCH_SECONDS:-1}"),
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+by_batch = {p["batch"]: p["speedup"] for p in summary["sweep"]}
+print(f"wrote {sys.argv[1]}: batch speedups "
+      f"{ {b: round(s, 2) for b, s in by_batch.items() if s} }, "
+      f"coalesce {summary['coalesce_speedup']:.2f}x")
+PYEOF
+
+echo "== bench_fig12 quick slice =="
+FIG12_OUT="$(env "${QUICK_ENV[@]}" MANTLE_BENCH_THREADS=8 \
+  MANTLE_BENCH_OPS=objstat MANTLE_BENCH_SYSTEMS=Mantle \
+  "$BUILD_DIR/bench/bench_fig12_read_throughput")"
+# The counter footer is everything after the last "== metrics ==" marker
+# (no "== traces ==" section follows when MANTLE_TRACE_EXPORT is unset).
+METRICS_JSON="$(echo "$FIG12_OUT" | awk '/^== metrics ==$/{found=1; buf=""; next} found{buf=buf $0 "\n"} END{printf "%s", buf}')"
+if [ -z "$METRICS_JSON" ]; then
+  echo "bench_snapshot FAILED: no metrics footer in bench_fig12 output" >&2
+  echo "$FIG12_OUT" | tail -20 >&2
+  exit 1
+fi
+METRICS_FILE="$(mktemp)"
+trap 'rm -f "$METRICS_FILE"' EXIT
+echo "$METRICS_JSON" > "$METRICS_FILE"
+python3 - "$METRICS_FILE" "$OUT_DIR/BENCH_fig12.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)  # must parse as strict JSON
+doc = {
+    "config": {
+        "quick": True,
+        "threads": 8,
+        "ops": "objstat",
+        "systems": "Mantle",
+    },
+    "metrics": metrics,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[2]}: {len(metrics.get('counters', {}))} counters, "
+      f"{len(metrics.get('histograms', {}))} histograms")
+PYEOF
+
+echo "bench snapshot OK"

@@ -54,6 +54,13 @@ for metric in '"index.cache.hit"' '"net.rpc.count"'; do
 done
 echo "metrics smoke OK"
 
+# Bench snapshot: quick slices of bench_batch_read and bench_fig12 written as
+# BENCH_*.json next to the build. Fails if either binary stops emitting its
+# machine-readable summary, and leaves the batch/coalesce speedups where a
+# reviewer (or a trend job) can diff them.
+echo "== bench snapshot (batch_read + fig12 quick slices) =="
+"$ROOT/scripts/bench_snapshot.sh" "$BUILD_DIR" "$BUILD_DIR"
+
 # Recovery smoke: the seeded acceptance drill (coordinator killed mid-2PC plus
 # total index-group loss) must end with zero in-doubt transactions and a clean
 # fsck, straight from the built tree.
@@ -133,4 +140,13 @@ if [ "$MODE" = thread ]; then
   "$BUILD_DIR/tests/tracing_test" --gtest_repeat=5 \
     --gtest_filter='TracingTest.SpansPropagate*:TracingTest.Dropped*:TracingTest.TimedOut*:TracingTest.Hedged*:TracingTest.FlightRecorderRetains*'
   echo "trace propagation OK"
+
+  # The singleflight coalescer is pure cross-thread machinery (joiners racing
+  # the leader's resolve, registry eviction, started-flag publication): repeat
+  # its tests plus the chaos-mode batch conformance suite under TSan so the
+  # join/publish interleavings actually vary.
+  echo "== read coalescer under TSan (10 repeats) =="
+  "$BUILD_DIR/tests/batch_read_test" --gtest_repeat=10 \
+    --gtest_filter='BatchReadTest.Coalesc*:*BatchReadConformanceTest.MultiStatUnderSeededChaosStaysElementwise*'
+  echo "read coalescer OK"
 fi

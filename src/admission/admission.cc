@@ -6,9 +6,18 @@ namespace mantle {
 
 namespace {
 thread_local OpPriority g_op_priority = OpPriority::kForeground;
+thread_local int g_op_cost = 1;
 }  // namespace
 
 OpPriority CurrentOpPriority() { return g_op_priority; }
+
+int CurrentOpCost() { return g_op_cost; }
+
+ScopedOpCost::ScopedOpCost(int cost) : saved_(g_op_cost) {
+  g_op_cost = cost < 1 ? 1 : cost;
+}
+
+ScopedOpCost::~ScopedOpCost() { g_op_cost = saved_; }
 
 const char* OpPriorityName(OpPriority priority) {
   return priority == OpPriority::kBackground ? "bg" : "fg";
@@ -34,9 +43,14 @@ AdmissionController::AdmissionController(const std::string& server_name,
   ema_gauge_ = metrics.GetGauge("admission.service.ema_nanos");
 }
 
-Status AdmissionController::Admit(int queue_depth, OpPriority priority) {
+Status AdmissionController::Admit(int queue_depth, OpPriority priority, int cost) {
   if (!enabled()) {
     return Status::Ok();
+  }
+  // A handler worth `cost` units is judged as if the queue already held its
+  // extra cost-1 singular equivalents.
+  if (cost > 1) {
+    queue_depth += cost - 1;
   }
   if (options_.max_queue_depth > 0) {
     int threshold = options_.max_queue_depth;

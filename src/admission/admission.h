@@ -60,6 +60,26 @@ class ScopedOpPriority {
   OpPriority saved_;
 };
 
+// Cost units of the RPC the current thread is about to issue, in units of
+// "one singular handler" (default 1). Batched reads tag their scope with the
+// batch size so admission control sees the true queue pressure a single
+// batch RPC represents - without this, a 256-path batch would be admitted as
+// cheaply as one lookup. Propagated thread-locally, like OpPriority.
+int CurrentOpCost();
+
+// RAII tag: RPCs issued on this thread within the scope carry `cost` units.
+class ScopedOpCost {
+ public:
+  explicit ScopedOpCost(int cost);
+  ~ScopedOpCost();
+
+  ScopedOpCost(const ScopedOpCost&) = delete;
+  ScopedOpCost& operator=(const ScopedOpCost&) = delete;
+
+ private:
+  int saved_;
+};
+
 struct AdmissionOptions {
   // Reject foreground work when the server queue already holds this many
   // handlers. 0 = unbounded (admission control disabled).
@@ -91,8 +111,11 @@ class AdmissionController {
   }
 
   // Decides whether a handler may be enqueued given the current queue depth.
-  // Returns kOverloaded (retriable) on rejection.
-  Status Admit(int queue_depth, OpPriority priority);
+  // Returns kOverloaded (retriable) on rejection. `cost` (>= 1) is the
+  // handler's weight in singular-handler units: a batch RPC carrying N
+  // lookups is judged as if the queue were already N-1 entries deeper, so
+  // batching cannot smuggle load past the depth and delay policies.
+  Status Admit(int queue_depth, OpPriority priority, int cost = 1);
 
   // Called by the executor after a handler finishes; feeds the EMA used for
   // the age-based policy.

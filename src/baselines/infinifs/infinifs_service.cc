@@ -258,8 +258,8 @@ OpResult InfiniFsService::DeleteObject(const std::string& path) {
   return result;
 }
 
-OpResult InfiniFsService::StatObject(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult InfiniFsService::StatObject(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -286,16 +286,14 @@ OpResult InfiniFsService::StatObject(const std::string& path, StatInfo* out) {
     result.status = row.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
-                    row->permission};
-  }
+  result.info = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                         row->permission};
   result.status = Status::Ok();
   return result;
 }
 
-OpResult InfiniFsService::StatDir(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult InfiniFsService::StatDir(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -314,9 +312,7 @@ OpResult InfiniFsService::StatDir(const std::string& path, StatInfo* out) {
     result.status = attr.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
-  }
+  result.info = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
   result.status = Status::Ok();
   return result;
 }

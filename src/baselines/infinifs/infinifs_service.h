@@ -49,8 +49,11 @@ class InfiniFsService final : public MetadataService {
 
   OpResult CreateObject(const std::string& path, uint64_t size) override;
   OpResult DeleteObject(const std::string& path) override;
-  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
-  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  StatResult StatObject(const std::string& path) override;
+  StatResult StatDir(const std::string& path) override;
+  // Re-export the base out-param deprecation shims next to the overrides.
+  using MetadataService::StatObject;
+  using MetadataService::StatDir;
   OpResult Mkdir(const std::string& path) override;
   OpResult Rmdir(const std::string& path) override;
   OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;

@@ -1,5 +1,6 @@
 #include "src/baselines/locofs/locofs_service.h"
 
+#include "src/admission/admission.h"
 #include "src/common/path.h"
 
 namespace mantle {
@@ -132,8 +133,8 @@ OpResult LocoFsService::DeleteObject(const std::string& path) {
   return result;
 }
 
-OpResult LocoFsService::StatObject(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult LocoFsService::StatObject(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -163,15 +164,13 @@ OpResult LocoFsService::StatObject(const std::string& path, StatInfo* out) {
     result.status = row.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{row->id, false, row->size, 0, row->mtime, row->permission};
-  }
+  result.info = StatInfo{row->id, false, row->size, 0, row->mtime, row->permission};
   result.status = Status::Ok();
   return result;
 }
 
-OpResult LocoFsService::StatDir(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult LocoFsService::StatDir(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -184,11 +183,94 @@ OpResult LocoFsService::StatDir(const std::string& path, StatInfo* out) {
     result.status = info.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{info->id, true, 0, info->child_count, info->mtime, info->perm_mask};
-  }
+  result.info = StatInfo{info->id, true, 0, info->child_count, info->mtime, info->perm_mask};
   result.status = Status::Ok();
   return result;
+}
+
+// LocoFS-grouped batch stat: the dirserver already holds every directory's
+// metadata on one leader, so ONE leader RPC resolves the whole batch of
+// parents, then one TafDB MultiGet (one RPC per touched shard) reads the
+// leaf rows. Per-entry results match the singular StatObject.
+MultiOpResult LocoFsService::MultiStat(std::span<const std::string> paths) {
+  MultiOpResult batch;
+  batch.results.resize(paths.size());
+  if (paths.empty()) {
+    return batch;
+  }
+  ScopedRpcCounter rpcs;
+  Stopwatch timer;
+  std::vector<std::vector<std::string>> components(paths.size());
+  std::vector<size_t> live;
+  live.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    components[i] = SplitPath(paths[i]);
+    if (components[i].empty()) {
+      batch.results[i].status = Status::InvalidArgument(paths[i]);
+      batch.results[i].FailAt(OpPhase::kLookup, paths[i]);
+    } else {
+      live.push_back(i);
+    }
+  }
+  // One dirserver RPC resolves every parent; admission sees the batch at its
+  // true cost.
+  using ParentVector = std::vector<Result<LocoDirMachine::DirInfo>>;
+  auto parents = [&]() -> Result<ParentVector> {
+    ScopedOpCost cost(static_cast<int>(live.size()));
+    return LeaderCall([&](LocoDirMachine* machine) -> Result<ParentVector> {
+      ParentVector resolved;
+      resolved.reserve(live.size());
+      for (size_t slot : live) {
+        resolved.push_back(machine->Resolve(components[slot], components[slot].size() - 1));
+      }
+      return resolved;
+    });
+  }();
+  batch.breakdown.lookup_nanos = timer.ElapsedNanos();
+  std::vector<MetaKey> keys;
+  std::vector<size_t> key_slots;
+  keys.reserve(live.size());
+  key_slots.reserve(live.size());
+  for (size_t j = 0; j < live.size(); ++j) {
+    const size_t slot = live[j];
+    StatResult& entry = batch.results[slot];
+    if (!parents.ok()) {
+      entry.status = parents.status();
+      entry.FailAt(OpPhase::kLookup, parents.status().message());
+      continue;
+    }
+    const auto& parent = (*parents)[j];
+    if (!parent.ok()) {
+      entry.status = parent.status();
+      entry.FailAt(OpPhase::kLookup, parent.status().message());
+      continue;
+    }
+    if ((parent->perm_mask & kPermRead) == 0) {
+      entry.status = Status::PermissionDenied(paths[slot]);
+      entry.FailAt(OpPhase::kLookup, components[slot].back());
+      continue;
+    }
+    keys.push_back(EntryKey(parent->id, components[slot].back()));
+    key_slots.push_back(slot);
+  }
+  timer.Reset();
+  if (!keys.empty()) {
+    const auto rows = tafdb_->MultiGet(keys);
+    for (size_t k = 0; k < key_slots.size(); ++k) {
+      StatResult& entry = batch.results[key_slots[k]];
+      if (!rows[k].ok()) {
+        entry.status = rows[k].status();
+        entry.FailAt(OpPhase::kExecute, components[key_slots[k]].back());
+        continue;
+      }
+      const MetaValue& row = *rows[k];
+      entry.info = StatInfo{row.id, false, row.size, 0, row.mtime, row.permission};
+      entry.status = Status::Ok();
+    }
+  }
+  batch.breakdown.execute_nanos = timer.ElapsedNanos();
+  batch.rpcs = rpcs.count();
+  return batch;
 }
 
 OpResult LocoFsService::Mkdir(const std::string& path) {

@@ -41,8 +41,15 @@ class LocoFsService final : public MetadataService {
 
   OpResult CreateObject(const std::string& path, uint64_t size) override;
   OpResult DeleteObject(const std::string& path) override;
-  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
-  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  StatResult StatObject(const std::string& path) override;
+  StatResult StatDir(const std::string& path) override;
+  // Re-export the base out-param deprecation shims next to the overrides.
+  using MetadataService::StatObject;
+  using MetadataService::StatDir;
+  // LocoFS-grouped batch stat: ONE dirserver RPC resolves every parent on the
+  // leader, then one TafDB MultiGet reads the leaf rows (the "file metadata
+  // grouped by directory" trick applied to batched reads).
+  MultiOpResult MultiStat(std::span<const std::string> paths) override;
   OpResult Mkdir(const std::string& path) override;
   OpResult Rmdir(const std::string& path) override;
   OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;

@@ -131,8 +131,8 @@ OpResult TectonicService::DeleteObject(const std::string& path) {
   return result;
 }
 
-OpResult TectonicService::StatObject(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult TectonicService::StatObject(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -160,16 +160,14 @@ OpResult TectonicService::StatObject(const std::string& path, StatInfo* out) {
     result.status = row.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
-                    row->permission};
-  }
+  result.info = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                         row->permission};
   result.status = Status::Ok();
   return result;
 }
 
-OpResult TectonicService::StatDir(const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult TectonicService::StatDir(const std::string& path) {
+  StatResult result;
   ScopedRpcCounter rpcs;
   Stopwatch timer;
   const auto components = SplitPath(path);
@@ -188,9 +186,7 @@ OpResult TectonicService::StatDir(const std::string& path, StatInfo* out) {
     result.status = attr.status();
     return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
-  }
+  result.info = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
   result.status = Status::Ok();
   return result;
 }

@@ -273,13 +273,13 @@ OpResult MantleService::DeleteObject(OpContext& ctx, const std::string& path) {
   return result;
 }
 
-OpResult MantleService::StatObject(const std::string& path, StatInfo* out) {
+StatResult MantleService::StatObject(const std::string& path) {
   OpContext ctx = MakeOpContext();
-  return StatObject(ctx, path, out);
+  return StatObject(ctx, path);
 }
 
-OpResult MantleService::StatObject(OpContext& ctx, const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult MantleService::StatObject(OpContext& ctx, const std::string& path) {
+  StatResult result;
   static const OpMetrics metrics = MakeOpMetrics("stat_object");
   OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
@@ -299,12 +299,14 @@ OpResult MantleService::StatObject(OpContext& ctx, const std::string& path, Stat
   if (!parent.ok()) {
     result.status = parent.status();
     result.rpcs = rpcs.count();
-    return result.FailAt(OpPhase::kLookup, parent.status().message());
+    result.FailAt(OpPhase::kLookup, parent.status().message());
+    return result;
   }
   if ((parent->perm_mask & kPermRead) == 0) {
     result.status = Status::PermissionDenied(path);
     result.rpcs = rpcs.count();
-    return result.FailAt(OpPhase::kLookup, components.back());
+    result.FailAt(OpPhase::kLookup, components.back());
+    return result;
   }
   timer.Reset();
   obs::ScopedSpan execute_span(ctx.trace, "execute");
@@ -313,25 +315,24 @@ OpResult MantleService::StatObject(OpContext& ctx, const std::string& path, Stat
   result.rpcs = rpcs.count();
   if (!row.ok()) {
     result.status = row.status();
-    return result.FailAt(OpPhase::kExecute, components.back());
+    result.FailAt(OpPhase::kExecute, components.back());
+    return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
-                    row->permission};
-  }
+  result.info = StatInfo{row->id, row->IsDirectoryEntry(), row->size, 0, row->mtime,
+                         row->permission};
   result.status = Status::Ok();
   return result;
 }
 
 // --- directory operations --------------------------------------------------------
 
-OpResult MantleService::StatDir(const std::string& path, StatInfo* out) {
+StatResult MantleService::StatDir(const std::string& path) {
   OpContext ctx = MakeOpContext();
-  return StatDir(ctx, path, out);
+  return StatDir(ctx, path);
 }
 
-OpResult MantleService::StatDir(OpContext& ctx, const std::string& path, StatInfo* out) {
-  OpResult result;
+StatResult MantleService::StatDir(OpContext& ctx, const std::string& path) {
+  StatResult result;
   static const OpMetrics metrics = MakeOpMetrics("stat_dir");
   OpRecorder recorder(metrics, &result, network_, &ctx);
   ScopedOpContext shim(ctx);
@@ -347,7 +348,8 @@ OpResult MantleService::StatDir(OpContext& ctx, const std::string& path, StatInf
   if (!dir.ok()) {
     result.status = dir.status();
     result.rpcs = rpcs.count();
-    return result.FailAt(OpPhase::kLookup, dir.status().message());
+    result.FailAt(OpPhase::kLookup, dir.status().message());
+    return result;
   }
   timer.Reset();
   obs::ScopedSpan execute_span(ctx.trace, "execute");
@@ -357,13 +359,203 @@ OpResult MantleService::StatDir(OpContext& ctx, const std::string& path, StatInf
   if (!attr.ok()) {
     result.status = attr.status();
     const std::string leaf = components.empty() ? "/" : components.back();
-    return result.FailAt(OpPhase::kExecute, leaf);
+    result.FailAt(OpPhase::kExecute, leaf);
+    return result;
   }
-  if (out != nullptr) {
-    *out = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
-  }
+  result.info = StatInfo{dir->dir_id, true, 0, attr->child_count, attr->mtime, dir->perm_mask};
   result.status = Status::Ok();
   return result;
+}
+
+// --- batched reads ---------------------------------------------------------------
+//
+// The Mantle fast path: one IndexNode RPC resolves every parent under a
+// single ReadIndex fence, then one TafDB MultiGet (one RPC per touched
+// shard) reads the leaf rows. Per-entry results match what the singular op
+// would have returned; the batch-level summary status only reflects
+// whole-RPC failures (timeout/unavailable), never per-path outcomes.
+
+namespace {
+
+// A batch fails as a whole only when no entry succeeded and at least one
+// entry carries an RPC-level failure code. NotFound/PermissionDenied/
+// InvalidArgument are per-path verdicts, not batch failures.
+Status BatchSummaryStatus(const MultiOpResult& batch) {
+  Status rpc_failure = Status::Ok();
+  bool saw_rpc_failure = false;
+  for (const StatResult& entry : batch.results) {
+    if (entry.ok()) {
+      return Status::Ok();
+    }
+    const StatusCode code = entry.status.code();
+    if (!saw_rpc_failure &&
+        (code == StatusCode::kTimeout || code == StatusCode::kUnavailable ||
+         code == StatusCode::kOverloaded)) {
+      rpc_failure = entry.status;
+      saw_rpc_failure = true;
+    }
+  }
+  return saw_rpc_failure ? rpc_failure : Status::Ok();
+}
+
+obs::HistogramMetric* MultiStatBatchSizeHistogram() {
+  static obs::HistogramMetric* hist =
+      obs::Metrics::Instance().GetHistogram("mantle.multistat.batch_size");
+  return hist;
+}
+
+}  // namespace
+
+MultiOpResult MantleService::MultiStat(std::span<const std::string> paths) {
+  OpContext ctx = MakeOpContext();
+  return MultiStat(ctx, paths);
+}
+
+MultiOpResult MantleService::MultiLookup(std::span<const std::string> paths) {
+  OpContext ctx = MakeOpContext();
+  return MultiLookup(ctx, paths);
+}
+
+MultiOpResult MantleService::MultiStat(OpContext& ctx, std::span<const std::string> paths) {
+  MultiOpResult batch;
+  batch.results.resize(paths.size());
+  if (paths.empty()) {
+    return batch;
+  }
+  OpResult summary;
+  static const OpMetrics metrics = MakeOpMetrics("multi_stat");
+  OpRecorder recorder(metrics, &summary, network_, &ctx);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "multi_stat");
+  ScopedRpcCounter rpcs;
+  MultiStatBatchSizeHistogram()->Record(static_cast<int64_t>(paths.size()));
+  Stopwatch timer;
+
+  // Invalid paths fail locally and never join the batch RPC.
+  std::vector<std::vector<std::string>> components(paths.size());
+  std::vector<size_t> live;
+  live.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    components[i] = SplitPath(paths[i]);
+    if (components[i].empty()) {
+      batch.results[i].status = Status::InvalidArgument(paths[i]);
+      batch.results[i].FailAt(OpPhase::kLookup, paths[i]);
+    } else {
+      live.push_back(i);
+    }
+  }
+
+  // Stage 1: ONE RPC resolves every parent under a single read fence.
+  std::vector<std::vector<std::string>> lookup_paths;
+  lookup_paths.reserve(live.size());
+  for (size_t slot : live) {
+    lookup_paths.push_back(components[slot]);
+  }
+  const auto outcomes = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->ResolveBatch(lookup_paths, /*parent_only=*/true, &ctx);
+  }();
+  batch.breakdown.lookup_nanos = timer.ElapsedNanos();
+
+  // Stage 2: the surviving leaf reads, grouped into one MultiGet.
+  std::vector<MetaKey> keys;
+  std::vector<size_t> key_slots;
+  keys.reserve(live.size());
+  key_slots.reserve(live.size());
+  for (size_t j = 0; j < live.size(); ++j) {
+    const size_t slot = live[j];
+    StatResult& entry = batch.results[slot];
+    if (!outcomes[j].ok()) {
+      entry.status = outcomes[j].status();
+      entry.FailAt(OpPhase::kLookup, outcomes[j].status().message());
+      continue;
+    }
+    if ((outcomes[j]->perm_mask & kPermRead) == 0) {
+      entry.status = Status::PermissionDenied(paths[slot]);
+      entry.FailAt(OpPhase::kLookup, components[slot].back());
+      continue;
+    }
+    keys.push_back(EntryKey(outcomes[j]->dir_id, components[slot].back()));
+    key_slots.push_back(slot);
+  }
+  timer.Reset();
+  if (!keys.empty()) {
+    obs::ScopedSpan execute_span(ctx.trace, "execute");
+    const auto rows = tafdb_->MultiGet(keys);
+    for (size_t k = 0; k < key_slots.size(); ++k) {
+      StatResult& entry = batch.results[key_slots[k]];
+      if (!rows[k].ok()) {
+        entry.status = rows[k].status();
+        entry.FailAt(OpPhase::kExecute, components[key_slots[k]].back());
+        continue;
+      }
+      const MetaValue& row = *rows[k];
+      entry.info =
+          StatInfo{row.id, row.IsDirectoryEntry(), row.size, 0, row.mtime, row.permission};
+      entry.status = Status::Ok();
+    }
+  }
+  batch.breakdown.execute_nanos = timer.ElapsedNanos();
+  batch.rpcs = rpcs.count();
+  summary.breakdown = batch.breakdown;
+  summary.rpcs = batch.rpcs;
+  summary.status = BatchSummaryStatus(batch);
+  return batch;
+}
+
+MultiOpResult MantleService::MultiLookup(OpContext& ctx, std::span<const std::string> paths) {
+  MultiOpResult batch;
+  batch.results.resize(paths.size());
+  if (paths.empty()) {
+    return batch;
+  }
+  OpResult summary;
+  static const OpMetrics metrics = MakeOpMetrics("multi_lookup");
+  OpRecorder recorder(metrics, &summary, network_, &ctx);
+  ScopedOpContext shim(ctx);
+  obs::ScopedSpan op_span(ctx.trace, "multi_lookup");
+  ScopedRpcCounter rpcs;
+  MultiStatBatchSizeHistogram()->Record(static_cast<int64_t>(paths.size()));
+  Stopwatch timer;
+
+  std::vector<std::vector<std::string>> components(paths.size());
+  std::vector<size_t> live;
+  live.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    components[i] = SplitPath(paths[i]);
+    if (components[i].empty()) {
+      batch.results[i].status = Status::InvalidArgument(paths[i]);
+      batch.results[i].FailAt(OpPhase::kLookup, paths[i]);
+    } else {
+      live.push_back(i);
+    }
+  }
+
+  std::vector<std::vector<std::string>> lookup_paths;
+  lookup_paths.reserve(live.size());
+  for (size_t slot : live) {
+    lookup_paths.push_back(components[slot]);
+  }
+  const auto outcomes = [&] {
+    obs::ScopedSpan lookup_span(ctx.trace, "lookup");
+    return index_->ResolveBatch(lookup_paths, /*parent_only=*/true, &ctx);
+  }();
+  batch.breakdown.lookup_nanos = timer.ElapsedNanos();
+
+  for (size_t j = 0; j < live.size(); ++j) {
+    StatResult& entry = batch.results[live[j]];
+    if (!outcomes[j].ok()) {
+      entry.status = outcomes[j].status();
+      entry.FailAt(OpPhase::kLookup, outcomes[j].status().message());
+      continue;
+    }
+    entry.status = Status::Ok();
+  }
+  batch.rpcs = rpcs.count();
+  summary.breakdown = batch.breakdown;
+  summary.rpcs = batch.rpcs;
+  summary.status = BatchSummaryStatus(batch);
+  return batch;
 }
 
 OpResult MantleService::Mkdir(const std::string& path) {

@@ -63,8 +63,11 @@ class MantleService final : public MetadataService {
   // explicit-context overload below.
   OpResult CreateObject(const std::string& path, uint64_t size) override;
   OpResult DeleteObject(const std::string& path) override;
-  OpResult StatObject(const std::string& path, StatInfo* out = nullptr) override;
-  OpResult StatDir(const std::string& path, StatInfo* out = nullptr) override;
+  StatResult StatObject(const std::string& path) override;
+  StatResult StatDir(const std::string& path) override;
+  // Re-export the base out-param deprecation shims next to the overrides.
+  using MetadataService::StatObject;
+  using MetadataService::StatDir;
   OpResult Mkdir(const std::string& path) override;
   OpResult Rmdir(const std::string& path) override;
   OpResult RenameDir(const std::string& src_path, const std::string& dst_path) override;
@@ -80,8 +83,8 @@ class MantleService final : public MetadataService {
   // tree and must only be read after the op returns.
   OpResult CreateObject(OpContext& ctx, const std::string& path, uint64_t size);
   OpResult DeleteObject(OpContext& ctx, const std::string& path);
-  OpResult StatObject(OpContext& ctx, const std::string& path, StatInfo* out = nullptr);
-  OpResult StatDir(OpContext& ctx, const std::string& path, StatInfo* out = nullptr);
+  StatResult StatObject(OpContext& ctx, const std::string& path);
+  StatResult StatDir(OpContext& ctx, const std::string& path);
   OpResult Mkdir(OpContext& ctx, const std::string& path);
   OpResult Rmdir(OpContext& ctx, const std::string& path);
   OpResult RenameDir(OpContext& ctx, const std::string& src_path, const std::string& dst_path);
@@ -90,6 +93,14 @@ class MantleService final : public MetadataService {
   OpResult Lookup(OpContext& ctx, const std::string& path);
   OpResult ListObjects(OpContext& ctx, const std::string& dir_path,
                        const std::string& start_after, size_t max_entries, ListPage* out);
+
+  // Batched reads, Mantle fast path: ONE RPC to the IndexNode resolves every
+  // path under a single ReadIndex fence, then ONE TafDB MultiGet (one RPC per
+  // touched shard) reads the leaf rows. MultiLookup stops after the resolve.
+  MultiOpResult MultiStat(std::span<const std::string> paths) override;
+  MultiOpResult MultiLookup(std::span<const std::string> paths) override;
+  MultiOpResult MultiStat(OpContext& ctx, std::span<const std::string> paths);
+  MultiOpResult MultiLookup(OpContext& ctx, std::span<const std::string> paths);
 
   // The default context used by the compatibility entry points. When the
   // calling thread carries a ScopedTraceCapture (bench probes, the mdtest

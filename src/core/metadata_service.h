@@ -105,6 +105,41 @@ struct StatInfo {
   uint32_t permission = kPermAll;
 };
 
+// Value-carrying stat result: the OpResult (status, breakdown, rpcs) plus the
+// attributes themselves. `info` is meaningful only when ok(). Deriving from
+// OpResult keeps every existing `OpResult r = svc->StatObject(p)` call site
+// compiling (the info slice drops) while new code reads `r.info` directly.
+struct StatResult : OpResult {
+  StatInfo info;
+};
+
+// Result of a batched read (MultiStat / MultiLookup): one StatResult per
+// input path, in input order, plus the batch-level aggregates. Per-entry
+// `rpcs`/`breakdown` are zero on fast paths that amortize round trips across
+// the whole batch - the aggregate fields here are the meaningful ones.
+struct MultiOpResult {
+  std::vector<StatResult> results;  // results.size() == paths.size()
+  OpBreakdown breakdown;            // aggregate across the batch
+  int64_t rpcs = 0;                 // round trips the whole batch needed
+  int retries = 0;
+
+  bool all_ok() const {
+    for (const StatResult& r : results) {
+      if (!r.ok()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  size_t ok_count() const {
+    size_t n = 0;
+    for (const StatResult& r : results) {
+      n += r.ok() ? 1 : 0;
+    }
+    return n;
+  }
+};
+
 class MetadataService {
  public:
   virtual ~MetadataService() = default;
@@ -115,11 +150,32 @@ class MetadataService {
 
   virtual OpResult CreateObject(const std::string& path, uint64_t size) = 0;
   virtual OpResult DeleteObject(const std::string& path) = 0;
-  virtual OpResult StatObject(const std::string& path, StatInfo* out = nullptr) = 0;
+  virtual StatResult StatObject(const std::string& path) = 0;
+
+  // Deprecation shim for the old out-param signature. Non-virtual, no default
+  // argument (a default would make single-argument calls ambiguous);
+  // implementations override the value-returning virtual above and re-export
+  // this shim with `using MetadataService::StatObject;`.
+  OpResult StatObject(const std::string& path, StatInfo* out) {
+    StatResult result = StatObject(path);
+    if (out != nullptr && result.ok()) {
+      *out = result.info;
+    }
+    return std::move(static_cast<OpResult&>(result));
+  }
 
   // --- directory operations --------------------------------------------------
 
-  virtual OpResult StatDir(const std::string& path, StatInfo* out = nullptr) = 0;
+  virtual StatResult StatDir(const std::string& path) = 0;
+
+  // Deprecation shim, as for StatObject.
+  OpResult StatDir(const std::string& path, StatInfo* out) {
+    StatResult result = StatDir(path);
+    if (out != nullptr && result.ok()) {
+      *out = result.info;
+    }
+    return std::move(static_cast<OpResult&>(result));
+  }
   virtual OpResult Mkdir(const std::string& path) = 0;
   virtual OpResult Rmdir(const std::string& path) = 0;
   virtual OpResult RenameDir(const std::string& src_path, const std::string& dst_path) = 0;
@@ -169,6 +225,41 @@ class MetadataService {
   // metadata operation).
   virtual OpResult Lookup(const std::string& path) = 0;
 
+  // --- batched reads -----------------------------------------------------------
+  //
+  // Contract (which every override must preserve):
+  //   * results.size() == paths.size(), in input order;
+  //   * each entry's status/info is equivalent to the singular op on the same
+  //     path against the same namespace state (per-entry rpcs/breakdown may
+  //     be zero when the batch amortizes them);
+  //   * the aggregate rpcs/breakdown cover the whole batch;
+  //   * an empty batch returns an empty result and performs no RPCs.
+  // The defaults loop the singular ops - correct for every system; fast paths
+  // (Mantle's single-RPC batch resolve + sharded MultiGet, LocoFS's grouped
+  // dirserver resolve) override them.
+
+  virtual MultiOpResult MultiStat(std::span<const std::string> paths) {
+    MultiOpResult batch;
+    batch.results.reserve(paths.size());
+    for (const std::string& path : paths) {
+      batch.results.push_back(StatObject(path));
+      AggregateInto(batch, batch.results.back());
+    }
+    return batch;
+  }
+
+  virtual MultiOpResult MultiLookup(std::span<const std::string> paths) {
+    MultiOpResult batch;
+    batch.results.reserve(paths.size());
+    for (const std::string& path : paths) {
+      StatResult entry;
+      static_cast<OpResult&>(entry) = Lookup(path);
+      batch.results.push_back(std::move(entry));
+      AggregateInto(batch, batch.results.back());
+    }
+    return batch;
+  }
+
   // --- bulk population (pre-serving; bypasses RPC latency) ---------------------
 
   // Loads one pre-existing entry without charging RPCs or latency.
@@ -192,6 +283,17 @@ class MetadataService {
   Status BulkLoadDir(const std::string& path) { return BulkLoad(BulkEntry::Dir(path)); }
   Status BulkLoadObject(const std::string& path, uint64_t size) {
     return BulkLoad(BulkEntry::Object(path, size));
+  }
+
+ protected:
+  // Folds one entry's cost into the batch aggregates (looped defaults and
+  // fallback arms of fast-path overrides).
+  static void AggregateInto(MultiOpResult& batch, const OpResult& entry) {
+    batch.breakdown.lookup_nanos += entry.breakdown.lookup_nanos;
+    batch.breakdown.loop_detect_nanos += entry.breakdown.loop_detect_nanos;
+    batch.breakdown.execute_nanos += entry.breakdown.execute_nanos;
+    batch.rpcs += entry.rpcs;
+    batch.retries += entry.retries;
   }
 };
 

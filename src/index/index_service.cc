@@ -67,12 +67,19 @@ RaftNode* IndexService::PickHedgeReplica(const RaftNode* primary) {
 
 Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
     RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
-    bool parent_only) {
+    bool parent_only, const StartedFlag& started) {
   IndexReplica* replica = replicas_[node->id()];
   // Deadline-aware call: the handler may be abandoned on timeout, so it owns
   // its inputs (shared_ptr) instead of borrowing the caller's stack.
   return node->server()->Call(
-      [node, replica, components, parent_only]() -> Result<IndexReplica::ResolveOutcome> {
+      [node, replica, components, parent_only,
+       started]() -> Result<IndexReplica::ResolveOutcome> {
+        if (started != nullptr) {
+          // Close the coalescer's join window BEFORE taking the fence: every
+          // joiner attached strictly earlier than the fence point, so the
+          // shared result is at least as fresh as any joiner's own fence.
+          started->store(true, std::memory_order_release);
+        }
         if (node->role() != RaftRole::kLeader) {
           // Follower read: fence on the leader's commit index so the local
           // state is at least as fresh as any write acknowledged before this
@@ -90,25 +97,144 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
 
 std::future<Result<IndexReplica::ResolveOutcome>> IndexService::IssueResolveAsync(
     RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
-    bool parent_only) {
+    bool parent_only, const StartedFlag& started, bool duplicate) {
   IndexReplica* replica = replicas_[node->id()];
-  return node->server()->CallAsync(
-      [node, replica, components, parent_only]() -> Result<IndexReplica::ResolveOutcome> {
+  auto handler = [node, replica, components, parent_only,
+                  started]() -> Result<IndexReplica::ResolveOutcome> {
+    if (started != nullptr) {
+      started->store(true, std::memory_order_release);
+    }
+    if (node->role() != RaftRole::kLeader) {
+      auto fence = node->FollowerReadFence();
+      if (!fence.ok()) {
+        return fence.status();
+      }
+    }
+    return parent_only ? replica->ResolveParent(*components)
+                       : replica->ResolveDir(*components);
+  };
+  auto on_fault = [](const Status& fault) -> Result<IndexReplica::ResolveOutcome> {
+    return fault;
+  };
+  // A hedge is a duplicate of the primary's in-flight RPC: it overlaps the
+  // same round trip, so it must not inflate the op's per-thread RPC count.
+  return duplicate ? node->server()->CallAsyncDuplicate(handler, on_fault)
+                   : node->server()->CallAsync(handler, on_fault);
+}
+
+std::vector<Result<IndexReplica::ResolveOutcome>> IndexService::ResolveBatchOn(
+    RaftNode* node, const std::shared_ptr<const std::vector<std::vector<std::string>>>& paths,
+    bool parent_only) {
+  using R = Result<IndexReplica::ResolveOutcome>;
+  IndexReplica* replica = replicas_[node->id()];
+  // Admission judges this one RPC at the batch's true weight.
+  ScopedOpCost cost(static_cast<int>(paths->size()));
+  return node->server()->Call(
+      [this, node, replica, paths, parent_only]() -> std::vector<R> {
         if (node->role() != RaftRole::kLeader) {
+          // ONE fence covers the whole batch: every path then resolves
+          // against state at least as fresh as the fence point.
           auto fence = node->FollowerReadFence();
           if (!fence.ok()) {
-            return fence.status();
+            return std::vector<R>(paths->size(), R(fence.status()));
           }
         }
-        return parent_only ? replica->ResolveParent(*components)
-                           : replica->ResolveDir(*components);
+        std::vector<R> out;
+        out.reserve(paths->size());
+        // Intra-batch dedup: batched stats cluster in few directories, so
+        // resolve each distinct walk once and reuse the outcome (one hash
+        // probe) for its duplicates. A parent_only resolve only walks
+        // components[0..n-2], so siblings share a memo slot. Safe under the
+        // single fence above - every duplicate would walk identical state.
+        std::unordered_map<std::string, size_t> memo;
+        memo.reserve(paths->size());
+        for (const std::vector<std::string>& components : *paths) {
+          const size_t walked =
+              parent_only && !components.empty() ? components.size() - 1 : components.size();
+          std::string key;
+          for (size_t i = 0; i < walked; ++i) {
+            key.append(components[i]);
+            key.push_back('/');
+          }
+          // Memo hits cost a probe into a request-local map, negligible next
+          // to the modeled shared-index accesses, so they are not charged.
+          if (auto it = memo.find(key); it != memo.end()) {
+            out.push_back(out[it->second]);
+            continue;
+          }
+          memo.emplace(std::move(key), out.size());
+          out.push_back(parent_only ? replica->ResolveParent(components)
+                                    : replica->ResolveDir(components));
+        }
+        return out;
       },
-      [](const Status& fault) -> Result<IndexReplica::ResolveOutcome> { return fault; });
+      [paths](const Status& fault) { return std::vector<R>(paths->size(), R(fault)); });
+}
+
+std::vector<Result<IndexReplica::ResolveOutcome>> IndexService::ResolveBatch(
+    const std::vector<std::vector<std::string>>& paths, bool parent_only,
+    const OpContext* ctx) {
+  using R = Result<IndexReplica::ResolveOutcome>;
+  std::vector<R> results(paths.size(), R(Status::Unavailable("indexnode has no live replica")));
+  if (paths.empty()) {
+    return results;
+  }
+  obs::ScopedSpan span(OpContext::TraceOf(ctx), "index.resolve_batch");
+  static obs::Counter* batches = obs::Metrics::Instance().GetCounter("index.batch.count");
+  static obs::Counter* batch_paths = obs::Metrics::Instance().GetCounter("index.batch.paths");
+  batches->Add();
+  batch_paths->Add(paths.size());
+  RaftNode* primary = PickReadReplica();
+  if (primary == nullptr) {
+    return results;
+  }
+  auto owned = std::make_shared<const std::vector<std::vector<std::string>>>(paths);
+  results = ResolveBatchOn(primary, owned, parent_only);
+  // A whole-RPC failure (timeout, fence refusal, crash) poisons every entry
+  // with the same retriable code; per-path misses are ordinary NotFounds and
+  // never trigger fallback.
+  auto rpc_failed = [](const std::vector<R>& batch) {
+    for (const R& entry : batch) {
+      if (entry.ok() || (entry.status().code() != StatusCode::kTimeout &&
+                         entry.status().code() != StatusCode::kUnavailable)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!rpc_failed(results)) {
+    return results;
+  }
+  RaftNode* leader = group_->leader();
+  std::vector<RaftNode*> fallbacks;
+  for (uint32_t id = 0; id < group_->num_nodes(); ++id) {
+    RaftNode* node = group_->node(id);
+    if (node != primary && node != leader && !node->IsDown()) {
+      fallbacks.push_back(node);
+    }
+  }
+  if (leader != nullptr && leader != primary) {
+    fallbacks.push_back(leader);
+  }
+  const Deadline deadline = OpContext::DeadlineOf(ctx);
+  for (RaftNode* node : fallbacks) {
+    if (deadline.Expired()) {
+      return results;
+    }
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* degraded = obs::Metrics::Instance().GetCounter("index.read.degraded");
+    degraded->Add();
+    results = ResolveBatchOn(node, owned, parent_only);
+    if (!rpc_failed(results)) {
+      return results;
+    }
+  }
+  return results;
 }
 
 Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
     RaftNode* primary, const std::shared_ptr<const std::vector<std::string>>& components,
-    bool parent_only, const OpContext* ctx) {
+    bool parent_only, const OpContext* ctx, const StartedFlag& started) {
   using R = Result<IndexReplica::ResolveOutcome>;
   static obs::Counter* issued = obs::Metrics::Instance().GetCounter("hedge.issued");
   static obs::Counter* won = obs::Metrics::Instance().GetCounter("hedge.won");
@@ -121,9 +247,11 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
   }
   const int64_t start_nanos = MonotonicNanos();
   const int64_t deadline_nanos = start_nanos + wait_nanos;
-  auto primary_future = IssueResolveAsync(primary, components, parent_only);
+  auto primary_future =
+      IssueResolveAsync(primary, components, parent_only, started, /*duplicate=*/false);
   // CallAsync counts the RPC but leaves the RTT to the caller; a hedge later
-  // overlaps this same round trip instead of charging a second one.
+  // overlaps this same round trip instead of charging a second one (and, as a
+  // duplicate, does not count against the op's RPC tally either).
   network_->InjectDelay();
 
   auto settle = [&](R result, RaftNode* responder, bool was_hedge) {
@@ -177,7 +305,8 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
     trace->AddClosedSpan("hedge.fire." + hedge_node->server()->name(), now, now,
                          obs::SpanKind::kLogic, hedge_node->server()->name());
   }
-  auto hedge_future = IssueResolveAsync(hedge_node, components, parent_only);
+  auto hedge_future =
+      IssueResolveAsync(hedge_node, components, parent_only, started, /*duplicate=*/true);
   // First answer wins. Poll both futures on a fine quantum; the abandoned
   // handler owns its captures, so dropping its future is safe.
   constexpr auto kZero = std::chrono::nanoseconds::zero();
@@ -201,15 +330,83 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveHedged(
 
 Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
     const std::vector<std::string>& components, bool parent_only, const OpContext* ctx) {
+  if (!options_.coalesce.enable) {
+    return ResolveUncoalesced(components, parent_only, ctx, nullptr);
+  }
+  static obs::Counter* hit = obs::Metrics::Instance().GetCounter("index.coalesce.hit");
+  static obs::Counter* lead = obs::Metrics::Instance().GetCounter("index.coalesce.leader");
+  // Registry key: mode byte + joined components. Consistency mode is uniform
+  // across one IndexService (follower_read/hedging are service-wide options),
+  // so identical keys imply identical consistency.
+  std::string key = parent_only ? "p" : "d";
+  for (const std::string& component : components) {
+    key += '/';
+    key += component;
+  }
+  std::shared_ptr<InflightResolve> record;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // Join only while the in-flight resolve has not started: once its
+      // handler runs (and fences), a late joiner could receive a result older
+      // than its own fence point. Past the window, resolve independently.
+      if (!it->second->started->load(std::memory_order_acquire)) {
+        record = it->second;
+      }
+    } else if (inflight_.size() < options_.coalesce.max_inflight) {
+      record = std::make_shared<InflightResolve>();
+      record->future = record->promise.get_future().share();
+      record->started = std::make_shared<std::atomic<bool>>(false);
+      inflight_.emplace(key, record);
+      leader = true;
+    }
+  }
+  if (record == nullptr) {
+    // Registry full or join window closed: uncoalesced singular resolve.
+    return ResolveUncoalesced(components, parent_only, ctx, nullptr);
+  }
+  if (!leader) {
+    // Waiter: share the leader's in-flight resolution. No RPC is issued from
+    // this thread, so the op's RPC count gains nothing.
+    hit->Add();
+    obs::ScopedSpan join_span(OpContext::TraceOf(ctx), "coalesce.join");
+    const int64_t wait_nanos =
+        DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
+    if (wait_nanos <= 0 || record->future.wait_for(std::chrono::nanoseconds(wait_nanos)) !=
+                               std::future_status::ready) {
+      network_->NoteCallerTimeout();
+      return Status::Timeout("coalesced lookup: leader did not finish in time");
+    }
+    return record->future.get();
+  }
+  lead->Add();
+  Result<IndexReplica::ResolveOutcome> result =
+      ResolveUncoalesced(components, parent_only, ctx, record->started);
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    inflight_.erase(key);
+  }
+  record->promise.set_value(result);
+  return result;
+}
+
+Result<IndexReplica::ResolveOutcome> IndexService::ResolveUncoalesced(
+    const std::vector<std::string>& components, bool parent_only, const OpContext* ctx,
+    const StartedFlag& started) {
   obs::ScopedSpan span(OpContext::TraceOf(ctx), "index.resolve");
   RaftNode* primary = PickReadReplica();
   if (primary == nullptr) {
+    if (started != nullptr) {
+      started->store(true, std::memory_order_release);
+    }
     return Status::Unavailable("indexnode has no live replica");
   }
   auto owned = std::make_shared<const std::vector<std::string>>(components);
   Result<IndexReplica::ResolveOutcome> result =
-      options_.hedge.enable ? ResolveHedged(primary, owned, parent_only, ctx)
-                            : ResolveOn(primary, owned, parent_only);
+      options_.hedge.enable ? ResolveHedged(primary, owned, parent_only, ctx, started)
+                            : ResolveOn(primary, owned, parent_only, started);
   if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
                       result.status().code() != StatusCode::kUnavailable)) {
     return result;
@@ -236,7 +433,7 @@ Result<IndexReplica::ResolveOutcome> IndexService::Resolve(
     degraded_reads_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter* degraded = obs::Metrics::Instance().GetCounter("index.read.degraded");
     degraded->Add();
-    result = ResolveOn(node, owned, parent_only);
+    result = ResolveOn(node, owned, parent_only, started);
     if (result.ok() || (result.status().code() != StatusCode::kTimeout &&
                         result.status().code() != StatusCode::kUnavailable)) {
       return result;

@@ -14,7 +14,9 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/admission/hedge.h"
@@ -23,6 +25,20 @@
 #include "src/raft/group.h"
 
 namespace mantle {
+
+// Singleflight lookup coalescing: concurrent identical lookups (same path
+// components, same parent-vs-dir mode) share ONE in-flight resolution and its
+// result. Joiners report zero extra RPCs; the consistency rule is that a
+// joiner only attaches while the leader's resolve handler has not yet started
+// (and therefore has not yet taken its read fence), so the shared result is
+// never older than what the joiner's own fence would have returned.
+struct CoalesceOptions {
+  bool enable = false;  // off = seed behaviour, bit for bit
+  // In-flight registry bound. Lookups arriving while the registry is full (or
+  // whose key is registered but already past its join window) bypass
+  // coalescing and resolve on their own.
+  size_t max_inflight = 256;
+};
 
 struct IndexServiceOptions {
   uint32_t num_voters = 3;
@@ -42,6 +58,7 @@ struct IndexServiceOptions {
   // replica and take the first answer. Hedges spend the caller's retry-budget
   // tokens, so hedging self-disables when the client is out of budget.
   HedgeOptions hedge;
+  CoalesceOptions coalesce;
   RaftOptions raft;
   IndexNodeOptions node;
 };
@@ -68,6 +85,16 @@ class IndexService {
                                                     const OpContext* ctx = nullptr) {
     return Resolve(components, /*parent_only=*/true, ctx);
   }
+
+  // --- batched lookups (ONE RPC for the whole batch) ---------------------------
+  // Resolves every path on a single chosen replica under a single ReadIndex
+  // fence (the batch analogue of the paper's one-RPC lookup). Results come
+  // back in input order; each entry is what the singular lookup would have
+  // returned. Falls back to other replicas on a whole-RPC failure, like
+  // Resolve. Admission control sees the batch at its true cost.
+  std::vector<Result<IndexReplica::ResolveOutcome>> ResolveBatch(
+      const std::vector<std::vector<std::string>>& paths, bool parent_only,
+      const OpContext* ctx = nullptr);
 
   // --- replicated mutations ------------------------------------------------------
 
@@ -115,22 +142,47 @@ class IndexService {
   const LatencyEstimator& read_latency() const { return read_latency_; }
 
  private:
+  // Join-window flag shared between a coalescing leader and its resolve
+  // handlers: set (release) by whichever handler runs first, immediately
+  // before it takes its read fence. Joiners only attach while it is false,
+  // which guarantees the fence is taken AFTER every join - the shared result
+  // can never be older than a joiner's own fence point. Null = uncoalesced.
+  using StartedFlag = std::shared_ptr<std::atomic<bool>>;
+
+  // One in-flight coalescable resolution.
+  struct InflightResolve {
+    std::promise<Result<IndexReplica::ResolveOutcome>> promise;
+    std::shared_future<Result<IndexReplica::ResolveOutcome>> future;
+    StartedFlag started;
+  };
+
   Result<IndexReplica::ResolveOutcome> Resolve(const std::vector<std::string>& components,
                                                bool parent_only, const OpContext* ctx);
+  // The pre-coalescing resolve pipeline (replica choice, hedging, fallback).
+  Result<IndexReplica::ResolveOutcome> ResolveUncoalesced(
+      const std::vector<std::string>& components, bool parent_only, const OpContext* ctx,
+      const StartedFlag& started);
   Result<IndexReplica::ResolveOutcome> ResolveOn(
       RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
-      bool parent_only);
+      bool parent_only, const StartedFlag& started);
   // Non-blocking resolve on `node` (the hedged-read primitive). The caller
   // owns the RTT charge and must report the consumed outcome to the node's
-  // server via RecordOutcome.
+  // server via RecordOutcome. `duplicate` marks the RPC as a hedge copy of an
+  // in-flight request: it counts fleet-wide but not against the calling op.
   std::future<Result<IndexReplica::ResolveOutcome>> IssueResolveAsync(
       RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
-      bool parent_only);
+      bool parent_only, const StartedFlag& started, bool duplicate);
   // Resolve with a hedge: primary first, a second replica after the derived
   // hedge delay, first answer wins.
   Result<IndexReplica::ResolveOutcome> ResolveHedged(
       RaftNode* primary, const std::shared_ptr<const std::vector<std::string>>& components,
-      bool parent_only, const OpContext* ctx);
+      bool parent_only, const OpContext* ctx, const StartedFlag& started);
+  // One batch RPC to `node`: fence once (on followers), then resolve every
+  // path against the replica's local structures.
+  std::vector<Result<IndexReplica::ResolveOutcome>> ResolveBatchOn(
+      RaftNode* node,
+      const std::shared_ptr<const std::vector<std::vector<std::string>>>& paths,
+      bool parent_only);
   Status ProposeCommand(const IndexCommand& command);
   RaftNode* PickReadReplica();
   RaftNode* PickHedgeReplica(const RaftNode* primary);
@@ -143,6 +195,12 @@ class IndexService {
   std::atomic<uint64_t> read_rr_{0};
   std::atomic<uint64_t> degraded_reads_{0};
   LatencyEstimator read_latency_;
+
+  // Singleflight registry, keyed by mode + joined components. Bounded by
+  // options_.coalesce.max_inflight; entries live from leader registration to
+  // result publication.
+  std::mutex coalesce_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InflightResolve>> inflight_;
 };
 
 }  // namespace mantle

@@ -51,6 +51,14 @@ void Network::NoteRpc() {
   rpc_count->Add();
 }
 
+void Network::NoteDuplicateRpc() {
+  total_rpcs_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* rpc_count = obs::Metrics::Instance().GetCounter("net.rpc.count");
+  rpc_count->Add();
+  static obs::Counter* dup_count = obs::Metrics::Instance().GetCounter("net.rpc.duplicate");
+  dup_count->Add();
+}
+
 void Network::ChargeRtt() { ChargeRtt(1.0); }
 
 void Network::ChargeRtt(double scale) {

@@ -134,6 +134,15 @@ class ServerExecutor {
   template <typename Fn, typename FaultFn>
   auto CallAsync(Fn&& handler, FaultFn&& on_fault) -> std::future<decltype(handler())>;
 
+  // Fault-aware asynchronous RPC for a *duplicate* of an in-flight request
+  // (hedged reads). The duplicate overlaps the original's round trip, so it
+  // counts toward the fleet-wide RPC total but NOT the calling operation's
+  // per-thread counter: OpResult::rpcs reports round trips the op needed, and
+  // a hedge winner must not double-count the loser.
+  template <typename Fn, typename FaultFn>
+  auto CallAsyncDuplicate(Fn&& handler, FaultFn&& on_fault)
+      -> std::future<decltype(handler())>;
+
   // Runs `handler` on this server without charging network latency. Models
   // server-local work initiated by the server itself (compaction, apply
   // threads are separate; this is for intra-chassis hops).
@@ -208,14 +217,22 @@ class ServerExecutor {
   };
 
   // Admission verdict for enqueuing one more handler right now, at the
-  // calling thread's priority tier. Gated before reading the queue depth so a
-  // disabled controller costs the hot path nothing (QueueDepth locks the pool).
+  // calling thread's priority tier and cost (batch RPCs tag their scope with
+  // ScopedOpCost so they are charged their true weight). Gated before reading
+  // the queue depth so a disabled controller costs the hot path nothing
+  // (QueueDepth locks the pool).
   Status AdmitCall() {
     if (!admission_.enabled()) {
       return Status::Ok();
     }
-    return admission_.Admit(static_cast<int>(pool_.QueueDepth()), CurrentOpPriority());
+    return admission_.Admit(static_cast<int>(pool_.QueueDepth()), CurrentOpPriority(),
+                            CurrentOpCost());
   }
+
+  // Shared body of the fault-aware CallAsync variants (everything after the
+  // RPC has been counted).
+  template <typename Fn, typename FaultFn>
+  auto CallAsyncCounted(Fn&& handler, FaultFn&& on_fault) -> std::future<decltype(handler())>;
 
   Network* network_;
   std::string name_;
@@ -302,6 +319,9 @@ class Network {
   friend class ServerExecutor;
   friend class ScopedNetOrigin;
   void NoteRpc();
+  // A duplicate of an in-flight RPC (hedge): fleet-total only, never the
+  // issuing thread's counter.
+  void NoteDuplicateRpc();
 
   NetworkOptions options_;
   FaultInjector faults_;
@@ -460,8 +480,21 @@ auto ServerExecutor::CallAsync(Fn&& handler) -> std::future<decltype(handler())>
 template <typename Fn, typename FaultFn>
 auto ServerExecutor::CallAsync(Fn&& handler, FaultFn&& on_fault)
     -> std::future<decltype(handler())> {
-  using R = decltype(handler());
   network_->NoteRpc();
+  return CallAsyncCounted(std::forward<Fn>(handler), std::forward<FaultFn>(on_fault));
+}
+
+template <typename Fn, typename FaultFn>
+auto ServerExecutor::CallAsyncDuplicate(Fn&& handler, FaultFn&& on_fault)
+    -> std::future<decltype(handler())> {
+  network_->NoteDuplicateRpc();
+  return CallAsyncCounted(std::forward<Fn>(handler), std::forward<FaultFn>(on_fault));
+}
+
+template <typename Fn, typename FaultFn>
+auto ServerExecutor::CallAsyncCounted(Fn&& handler, FaultFn&& on_fault)
+    -> std::future<decltype(handler())> {
+  using R = decltype(handler());
   auto fail_fast = [&](Status status) {
     std::promise<R> ready;
     ready.set_value(on_fault(std::move(status)));

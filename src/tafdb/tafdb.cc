@@ -1,6 +1,7 @@
 #include "src/tafdb/tafdb.h"
 
 #include <chrono>
+#include <unordered_map>
 
 #include "src/admission/admission.h"
 #include "src/common/logging.h"
@@ -66,6 +67,87 @@ Result<MetaValue> TafDb::Get(const MetaKey& key) {
         return *row;
       },
       FaultToStatus<MetaValue>);
+}
+
+std::vector<Result<MetaValue>> TafDb::MultiGet(std::span<const MetaKey> keys) {
+  std::vector<Result<MetaValue>> results(
+      keys.size(), Result<MetaValue>(Status::Unavailable("multiget: no result")));
+  if (keys.empty()) {
+    return results;
+  }
+  static obs::Counter* batches = obs::Metrics::Instance().GetCounter("tafdb.multiget.batches");
+  static obs::Counter* key_count = obs::Metrics::Instance().GetCounter("tafdb.multiget.keys");
+  batches->Add();
+  key_count->Add(keys.size());
+  // Group keys by owning shard, remembering each key's input slot.
+  std::unordered_map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    groups[shards_->ShardIndex(keys[i].pid)].push_back(i);
+  }
+  struct GroupCall {
+    std::vector<size_t> slots;
+    ServerExecutor* server = nullptr;
+    std::future<std::vector<Result<MetaValue>>> future;
+  };
+  std::vector<GroupCall> calls;
+  calls.reserve(groups.size());
+  for (auto& [shard_index, slots] : groups) {
+    Shard* shard = shards_->ShardAt(shard_index);
+    ServerExecutor* server = shards_->ServerAt(shard_index);
+    // The handler owns its keys: a deadline-expired caller abandons it while
+    // it may still be queued.
+    auto group_keys = std::make_shared<std::vector<MetaKey>>();
+    group_keys->reserve(slots.size());
+    for (size_t slot : slots) {
+      group_keys->push_back(keys[slot]);
+    }
+    // Admission sees the group's true weight, not "one more handler".
+    ScopedOpCost cost(static_cast<int>(group_keys->size()));
+    auto future = server->CallAsync(
+        [this, shard, group_keys]() -> std::vector<Result<MetaValue>> {
+          std::vector<Result<MetaValue>> rows;
+          rows.reserve(group_keys->size());
+          for (const MetaKey& key : *group_keys) {
+            network_->ChargeDbRowAccess();
+            auto row = shard->Get(key);
+            if (row.has_value()) {
+              rows.push_back(*row);
+            } else {
+              rows.push_back(Status::NotFound(key.ToString()));
+            }
+          }
+          return rows;
+        },
+        [group_keys](const Status& fault) {
+          return std::vector<Result<MetaValue>>(group_keys->size(),
+                                                Result<MetaValue>(fault));
+        });
+    calls.push_back(GroupCall{std::move(slots), server, std::move(future)});
+  }
+  // The per-shard fan-outs overlap on the wire: one shared round-trip charge
+  // for the whole batch (CallAsync counted each RPC already).
+  network_->InjectDelay();
+  const int64_t wait_nanos =
+      DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
+  const int64_t deadline_nanos = MonotonicNanos() + (wait_nanos > 0 ? wait_nanos : 0);
+  for (GroupCall& call : calls) {
+    const int64_t rest = deadline_nanos - MonotonicNanos();
+    if (rest <= 0 || call.future.wait_for(std::chrono::nanoseconds(rest)) !=
+                         std::future_status::ready) {
+      call.server->RecordOutcome(Status::Timeout());
+      network_->NoteCallerTimeout();
+      for (size_t slot : call.slots) {
+        results[slot] = Status::Timeout("multiget to " + call.server->name() + " timed out");
+      }
+      continue;
+    }
+    call.server->RecordOutcome(Status::Ok());
+    std::vector<Result<MetaValue>> rows = call.future.get();
+    for (size_t j = 0; j < call.slots.size() && j < rows.size(); ++j) {
+      results[call.slots[j]] = std::move(rows[j]);
+    }
+  }
+  return results;
 }
 
 Result<std::vector<Shard::Entry>> TafDb::ListChildren(InodeId pid, size_t limit) {

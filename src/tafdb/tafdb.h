@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -57,6 +58,13 @@ class TafDb {
   // --- reads (one RPC to the owning server each) -----------------------------
 
   Result<MetaValue> Get(const MetaKey& key);
+  // Batched point reads: keys are grouped by owning shard and each group
+  // travels in ONE RPC (so a batch costs one round trip per touched shard,
+  // not one per key; the per-shard fan-outs overlap and share a single
+  // round-trip charge). Results come back in input order; each entry is
+  // exactly what Get(key) would have returned. Per-row server CPU is still
+  // charged inside the handler - batching saves wire time, not storage work.
+  std::vector<Result<MetaValue>> MultiGet(std::span<const MetaKey> keys);
   Result<std::vector<Shard::Entry>> ListChildren(InodeId pid, size_t limit = 0);
   // Paged listing: children with names strictly after `start_after`.
   Result<std::vector<Shard::Entry>> ListChildrenAfter(InodeId pid,

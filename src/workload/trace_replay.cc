@@ -206,9 +206,9 @@ WorkloadResult ReplayTrace(MetadataService* service, const std::vector<TraceOp>&
       case TraceOpType::kDelete:
         return service->DeleteObject(op.path);
       case TraceOpType::kObjStat:
-        return service->StatObject(op.path);
+        return static_cast<OpResult>(service->StatObject(op.path));
       case TraceOpType::kDirStat:
-        return service->StatDir(op.path);
+        return static_cast<OpResult>(service->StatDir(op.path));
       case TraceOpType::kReadDir: {
         std::vector<std::string> names;
         return service->ReadDir(op.path, &names);

@@ -1,0 +1,483 @@
+// Batched & coalesced read path (ISSUE 8): MultiStat/MultiLookup semantics,
+// the TafDB MultiGet RPC shape, and the IndexService singleflight coalescer.
+//
+// The contract under test: MultiStat(paths) returns per-entry results equal
+// to what elementwise StatObject would have returned, in input order, while
+// the Mantle fast path spends ONE IndexNode RPC (single ReadIndex fence) plus
+// one TafDB RPC per touched shard. Coalesced waiters share the leader's
+// resolution and report zero extra RPCs, and a coalesced read is never older
+// than the joiner's own fence point (joins close before the fence is taken).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/infinifs/infinifs_service.h"
+#include "src/baselines/locofs/locofs_service.h"
+#include "src/baselines/tectonic/tectonic_service.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+uint64_t MetricValue(const char* name) {
+  return obs::Metrics::Instance().CounterValue(name);
+}
+
+struct ServiceHarness {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<MetadataService> service;
+};
+
+using HarnessFactory = ServiceHarness (*)();
+
+ServiceHarness MakeMantle() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  harness.service = std::make_unique<MantleService>(harness.network.get(), FastMantleOptions());
+  return harness;
+}
+
+ServiceHarness MakeTectonic() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  TectonicOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<TectonicService>(harness.network.get(), options);
+  return harness;
+}
+
+ServiceHarness MakeInfiniFs() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  InfiniFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  harness.service = std::make_unique<InfiniFsService>(harness.network.get(), options);
+  return harness;
+}
+
+ServiceHarness MakeLocoFs() {
+  ServiceHarness harness;
+  harness.network = std::make_unique<Network>(FastNetworkOptions());
+  LocoFsOptions options;
+  options.tafdb = FastTafDbOptions();
+  options.raft = FastRaftOptions();
+  harness.service = std::make_unique<LocoFsService>(harness.network.get(), options);
+  return harness;
+}
+
+struct NamedFactory {
+  const char* name;
+  HarnessFactory factory;
+};
+
+class BatchReadConformanceTest : public ::testing::TestWithParam<NamedFactory> {
+ protected:
+  void SetUp() override {
+    harness_ = GetParam().factory();
+    service_ = harness_.service.get();
+  }
+  void TearDown() override {
+    harness_.service.reset();
+    harness_.network.reset();
+  }
+
+  ServiceHarness harness_;
+  MetadataService* service_ = nullptr;
+};
+
+// A mixed namespace: objects at several depths plus every per-path failure
+// class (missing leaf, missing parent, unreadable parent, invalid path).
+std::vector<std::string> BuildMixedNamespace(MetadataService* service) {
+  EXPECT_TRUE(service->Mkdir("/a").ok());
+  EXPECT_TRUE(service->Mkdir("/a/b").ok());
+  EXPECT_TRUE(service->Mkdir("/a/b/c").ok());
+  EXPECT_TRUE(service->Mkdir("/locked").ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(service->CreateObject("/a/o" + std::to_string(i), 100 + i).ok());
+    EXPECT_TRUE(service->CreateObject("/a/b/c/deep" + std::to_string(i), 200 + i).ok());
+  }
+  EXPECT_TRUE(service->CreateObject("/locked/secret", 7).ok());
+  EXPECT_TRUE(service->SetDirPermission("/locked", kPermTraverse).ok());  // no read bit
+  return {
+      "/a/o0",       "/a/o1",        "/a/b/c/deep0", "/a/b/c/deep3",
+      "/a/missing",  "/ghost/o",     "/locked/secret", "",
+      "/a/o2",       "/a/b/c/deep1", "/a/o3",        "/a/b/c/deep2",
+  };
+}
+
+TEST_P(BatchReadConformanceTest, MultiStatMatchesElementwiseStatObject) {
+  const std::vector<std::string> paths = BuildMixedNamespace(service_);
+  const MultiOpResult batch = service_->MultiStat(paths);
+  ASSERT_EQ(batch.results.size(), paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const StatResult single = service_->StatObject(paths[i]);
+    const StatResult& entry = batch.results[i];
+    EXPECT_EQ(entry.status.code(), single.status.code())
+        << GetParam().name << " path=" << paths[i];
+    if (single.ok()) {
+      EXPECT_EQ(entry.info.id, single.info.id) << paths[i];
+      EXPECT_EQ(entry.info.size, single.info.size) << paths[i];
+      EXPECT_EQ(entry.info.is_dir, single.info.is_dir) << paths[i];
+      EXPECT_EQ(entry.info.permission, single.info.permission) << paths[i];
+    }
+  }
+}
+
+TEST_P(BatchReadConformanceTest, MultiLookupMatchesElementwiseLookup) {
+  const std::vector<std::string> paths = {"/a/o0", "/a/missing", "/ghost/o", "/a/b/c/deep0"};
+  BuildMixedNamespace(service_);
+  const MultiOpResult batch = service_->MultiLookup(paths);
+  ASSERT_EQ(batch.results.size(), paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const OpResult single = service_->Lookup(paths[i]);
+    EXPECT_EQ(batch.results[i].status.code(), single.status.code())
+        << GetParam().name << " path=" << paths[i];
+  }
+}
+
+TEST_P(BatchReadConformanceTest, EmptyBatchCostsNothing) {
+  const MultiOpResult batch = service_->MultiStat({});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.rpcs, 0);
+  EXPECT_TRUE(batch.all_ok());
+}
+
+// The property test of the ISSUE: under seeded chaos (dropped RPCs) plus one
+// coalescer-racing rename flipping a directory back and forth, every
+// MultiStat entry must still be a valid elementwise outcome - the true
+// stat for a stable path, NotFound for a path the rename can hide, or an
+// RPC-level failure code. Never a wrong answer.
+TEST_P(BatchReadConformanceTest, MultiStatUnderSeededChaosStaysElementwise) {
+  ASSERT_TRUE(service_->Mkdir("/stable").ok());
+  ASSERT_TRUE(service_->CreateObject("/stable/o", 42).ok());
+  ASSERT_TRUE(service_->Mkdir("/flip").ok());
+  ASSERT_TRUE(service_->CreateObject("/flip/o", 43).ok());
+  ASSERT_TRUE(service_->Mkdir("/spare").ok());
+
+  FaultRule drops;
+  drops.drop_probability = 0.03;
+  harness_.network->faults().Reseed(0xba7c4ULL);
+  harness_.network->faults().SetRule("tafdb", drops);
+
+  std::atomic<bool> stop{false};
+  std::thread renamer([&]() {
+    // One racing rename per round trip: /flip <-> /spare/flip.
+    bool away = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!away) {
+        away = service_->RenameDir("/flip", "/spare/flip").ok();
+      } else {
+        away = !service_->RenameDir("/spare/flip", "/flip").ok();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const std::vector<std::string> paths = {"/stable/o", "/flip/o", "/stable/missing",
+                                          "/stable/o", "/flip/o"};
+  for (int round = 0; round < 40; ++round) {
+    const MultiOpResult batch = service_->MultiStat(paths);
+    ASSERT_EQ(batch.results.size(), paths.size());
+    for (size_t i = 0; i < paths.size(); ++i) {
+      const StatResult& entry = batch.results[i];
+      const StatusCode code = entry.status.code();
+      const bool rpc_failure = code == StatusCode::kTimeout ||
+                               code == StatusCode::kUnavailable ||
+                               code == StatusCode::kOverloaded;
+      if (paths[i] == "/stable/o") {
+        ASSERT_TRUE(entry.ok() || rpc_failure) << GetParam().name << " " << entry.status;
+        if (entry.ok()) {
+          EXPECT_EQ(entry.info.size, 42u);
+        }
+      } else if (paths[i] == "/flip/o") {
+        // The rename may hide the path; it must never corrupt the answer.
+        ASSERT_TRUE(entry.ok() || entry.status.IsNotFound() || rpc_failure)
+            << GetParam().name << " " << entry.status;
+        if (entry.ok()) {
+          EXPECT_EQ(entry.info.size, 43u);
+        }
+      } else {
+        ASSERT_TRUE(entry.status.IsNotFound() || rpc_failure)
+            << GetParam().name << " " << entry.status;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  renamer.join();
+
+  // Chaos off: the batch and the loop must agree exactly again.
+  harness_.network->faults().ClearAll();
+  const MultiOpResult clean = service_->MultiStat(paths);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const StatResult single = service_->StatObject(paths[i]);
+    EXPECT_EQ(clean.results[i].status.code(), single.status.code()) << paths[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, BatchReadConformanceTest,
+                         ::testing::Values(NamedFactory{"Mantle", MakeMantle},
+                                           NamedFactory{"Tectonic", MakeTectonic},
+                                           NamedFactory{"InfiniFS", MakeInfiniFs},
+                                           NamedFactory{"LocoFS", MakeLocoFs}),
+                         [](const ::testing::TestParamInfo<NamedFactory>& info) {
+                           return info.param.name;
+                         });
+
+// --- RPC shape of the fast paths ---------------------------------------------
+
+TEST(BatchReadTest, MantleMultiStatIsOneResolvePlusOneRpcPerShard) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/d").ok());
+  std::vector<std::string> paths;
+  for (int i = 0; i < 32; ++i) {
+    const std::string path = "/d/o" + std::to_string(i);
+    ASSERT_TRUE(service.BulkLoadObject(path, 1).ok());
+    paths.push_back(path);
+  }
+  const MultiOpResult batch = service.MultiStat(paths);
+  ASSERT_TRUE(batch.all_ok());
+  // ONE IndexNode resolve for the whole batch, then at most one TafDB RPC
+  // per shard (8 in the fast config). The looped default would pay 2 RPCs
+  // per path = 64.
+  EXPECT_LE(batch.rpcs, 1 + static_cast<int64_t>(FastTafDbOptions().num_shards));
+  EXPECT_GE(batch.rpcs, 2);
+}
+
+TEST(BatchReadTest, LoopedDefaultMultiStatMatchesFastPathResults) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/d").ok());
+  std::vector<std::string> paths;
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = "/d/o" + std::to_string(i);
+    ASSERT_TRUE(service.CreateObject(path, 10 + i).ok());
+    paths.push_back(path);
+  }
+  paths.push_back("/d/missing");
+  const MultiOpResult fast = service.MultiStat(paths);
+  // Qualified call = the contract-mandated looped default on the base class.
+  const MultiOpResult looped = service.MetadataService::MultiStat(paths);
+  ASSERT_EQ(fast.results.size(), looped.results.size());
+  for (size_t i = 0; i < fast.results.size(); ++i) {
+    EXPECT_EQ(fast.results[i].status.code(), looped.results[i].status.code()) << paths[i];
+    if (looped.results[i].ok()) {
+      EXPECT_EQ(fast.results[i].info.size, looped.results[i].info.size) << paths[i];
+      EXPECT_EQ(fast.results[i].info.id, looped.results[i].info.id) << paths[i];
+    }
+  }
+  // The fast path spends strictly fewer round trips than the loop.
+  EXPECT_LT(fast.rpcs, looped.rpcs);
+}
+
+TEST(BatchReadTest, TafDbMultiGetPreservesInputOrderAcrossShards) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/m").ok());
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("k" + std::to_string(i));
+    ASSERT_TRUE(service.CreateObject("/m/" + names.back(), 1000 + i).ok());
+  }
+  const StatResult dir_stat = service.StatDir("/m");
+  ASSERT_TRUE(dir_stat.ok());
+  const StatInfo dir_info = dir_stat.info;
+  std::vector<MetaKey> keys;
+  for (const auto& name : names) {
+    keys.push_back(EntryKey(dir_info.id, name));
+  }
+  keys.push_back(EntryKey(dir_info.id, "absent"));
+  ScopedRpcCounter rpcs;
+  const auto rows = service.tafdb()->MultiGet(keys);
+  ASSERT_EQ(rows.size(), keys.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(rows[i].ok()) << names[i];
+    EXPECT_EQ(rows[i]->size, 1000 + i) << names[i];
+  }
+  EXPECT_TRUE(rows.back().status().IsNotFound());
+  // Grouped by shard: never more round trips than shards, regardless of batch.
+  EXPECT_LE(rpcs.count(), static_cast<int64_t>(FastTafDbOptions().num_shards));
+  EXPECT_GE(rpcs.count(), 1);
+}
+
+// --- singleflight coalescing -------------------------------------------------
+
+MantleOptions CoalesceMantleOptions() {
+  MantleOptions options = FastMantleOptions();
+  options.index.coalesce.enable = true;
+  options.op_deadline_nanos = 5'000'000'000;  // paused leader must not hang ops
+  return options;
+}
+
+// Deterministic coalesce plan: pause the IndexNode leader's service port so
+// the first lookup's handler cannot start (its `started` flag stays false),
+// let N joiners attach, then resume. Exactly one resolve leader, N waiters.
+TEST(BatchReadTest, CoalescedWaitersShareOneResolveAndReportZeroRpcs) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, CoalesceMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/c").ok());
+  ASSERT_TRUE(service.CreateObject("/c/o", 5).ok());
+  ASSERT_TRUE(service.Lookup("/c/o").ok());  // warm
+
+  RaftNode* leader = service.index()->group()->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  const uint64_t hits_before = MetricValue("index.coalesce.hit");
+  const uint64_t leaders_before = MetricValue("index.coalesce.leader");
+
+  network.faults().PauseServer(leader->server()->name());
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> threads;
+  std::vector<OpResult> results(1 + kWaiters);
+  threads.emplace_back([&]() { results[0] = service.Lookup("/c/o"); });
+  // Wait until the resolve leader has registered its in-flight record, then
+  // launch the joiners; they attach because the paused handler has not set
+  // the started flag.
+  while (MetricValue("index.coalesce.leader") == leaders_before) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  for (int i = 1; i <= kWaiters; ++i) {
+    threads.emplace_back([&, i]() { results[i] = service.Lookup("/c/o"); });
+  }
+  while (MetricValue("index.coalesce.hit") < hits_before + kWaiters) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  network.faults().ResumeServer(leader->server()->name());
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(MetricValue("index.coalesce.leader"), leaders_before + 1);
+  EXPECT_EQ(MetricValue("index.coalesce.hit"), hits_before + kWaiters);
+  int zero_rpc_ops = 0;
+  for (const OpResult& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status;
+    if (result.rpcs == 0) {
+      ++zero_rpc_ops;
+    }
+  }
+  // Every waiter rode the leader's RPC for free.
+  EXPECT_EQ(zero_rpc_ops, kWaiters);
+}
+
+TEST(BatchReadTest, CoalesceJoinIsTraceVisible) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, CoalesceMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/t").ok());
+  ASSERT_TRUE(service.CreateObject("/t/o", 5).ok());
+  ASSERT_TRUE(service.Lookup("/t/o").ok());
+
+  RaftNode* leader = service.index()->group()->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  const uint64_t leaders_before = MetricValue("index.coalesce.leader");
+  const uint64_t hits_before = MetricValue("index.coalesce.hit");
+  network.faults().PauseServer(leader->server()->name());
+
+  std::thread first([&]() { (void)service.Lookup("/t/o"); });
+  while (MetricValue("index.coalesce.leader") == leaders_before) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  obs::OpTrace trace;
+  std::thread joiner([&]() {
+    OpContext ctx = service.MakeOpContext();
+    ctx.trace = &trace;
+    (void)service.Lookup(ctx, "/t/o");
+  });
+  while (MetricValue("index.coalesce.hit") < hits_before + 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  network.faults().ResumeServer(leader->server()->name());
+  first.join();
+  joiner.join();
+
+  bool saw_join_span = false;
+  for (const auto& span : trace.spans()) {
+    if (span.name == "coalesce.join") {
+      saw_join_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_join_span) << trace.Render();
+}
+
+// Coalescing OFF (the default) must leave the read path bit-for-bit at seed
+// behaviour: no registry traffic at all.
+TEST(BatchReadTest, CoalescingOffTouchesNoRegistry) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, FastMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/plain").ok());
+  ASSERT_TRUE(service.CreateObject("/plain/o", 5).ok());
+  const uint64_t hits_before = MetricValue("index.coalesce.hit");
+  const uint64_t leaders_before = MetricValue("index.coalesce.leader");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&]() {
+      for (int j = 0; j < 20; ++j) {
+        ASSERT_TRUE(service.Lookup("/plain/o").ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(MetricValue("index.coalesce.hit"), hits_before);
+  EXPECT_EQ(MetricValue("index.coalesce.leader"), leaders_before);
+}
+
+// Consistency rule: a coalesced read is never older than the joiner's own
+// fence point. Concurrent same-path lookups racing a rename must each see
+// either the pre-rename or post-rename world - a NotFound after the joiner
+// observed the new name is fine, a stale success after the rename committed
+// AND the joiner's fence passed is not distinguishable here, so we assert
+// the strong observable: every op terminates with ok or NotFound, and once a
+// final Lookup succeeds the result is the current world.
+TEST(BatchReadTest, CoalescedLookupsSurviveRacingRename) {
+  Network network(FastNetworkOptions());
+  MantleService service(&network, CoalesceMantleOptions());
+  ASSERT_TRUE(service.Mkdir("/r").ok());
+  ASSERT_TRUE(service.Mkdir("/r/dir").ok());
+  ASSERT_TRUE(service.CreateObject("/r/dir/o", 5).ok());
+  ASSERT_TRUE(service.Mkdir("/r2").ok());
+
+  std::atomic<bool> stop{false};
+  std::thread renamer([&]() {
+    bool away = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!away) {
+        away = service.RenameDir("/r/dir", "/r2/dir").ok();
+      } else {
+        away = !service.RenameDir("/r2/dir", "/r/dir").ok();
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      for (int i = 0; i < 200; ++i) {
+        const OpResult result = service.Lookup("/r/dir/o");
+        if (!result.ok() && !result.status.IsNotFound()) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  stop.store(true, std::memory_order_release);
+  renamer.join();
+  EXPECT_EQ(bad.load(), 0);
+  // Whichever side the rename settled on, the object is reachable there.
+  const bool home = service.Lookup("/r/dir/o").ok();
+  const bool away = service.Lookup("/r2/dir/o").ok();
+  EXPECT_TRUE(home != away) << "object must live on exactly one side";
+}
+
+}  // namespace
+}  // namespace mantle

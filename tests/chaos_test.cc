@@ -131,8 +131,7 @@ TEST(ChaosTest, SameSeedReplaysSameClientOutcomes) {
     for (int i = 0; i < 50; ++i) {
       const std::string dir = "/det/d" + std::to_string(i);
       codes.push_back(service.Mkdir(dir).status.code());
-      StatInfo info;
-      codes.push_back(service.StatDir(dir, &info).status.code());
+      codes.push_back(service.StatDir(dir).status.code());
     }
     network.faults().ClearAll();
     return codes;

@@ -259,9 +259,9 @@ TEST(CrashRecoveryTest, CompactorCrashOrphansDeltasAndRecoveryFoldsExactlyOnce) 
   EXPECT_TRUE(audit.clean());  // flagged, but not corruption: merged reads still work
 
   // Nothing lost while stranded: merged attribute reads fold live deltas.
-  StatInfo info;
-  ASSERT_TRUE(service.StatDir("/hot", &info).ok());
-  EXPECT_EQ(info.child_count, kObjects);
+  StatResult hot_stat = service.StatDir("/hot");
+  ASSERT_TRUE(hot_stat.ok());
+  EXPECT_EQ(hot_stat.info.child_count, kObjects);
 
   const uint64_t compacted_before = MetricValue("fsck.repaired.delta_dirs");
   auto repair = service.Fsck(MantleService::RepairOptions{});
@@ -277,8 +277,9 @@ TEST(CrashRecoveryTest, CompactorCrashOrphansDeltasAndRecoveryFoldsExactlyOnce) 
   ASSERT_TRUE(hot.has_value());
   EXPECT_TRUE(db->shard_map()->Route(hot->id)->ScanDeltas(hot->id).empty());
   db->CompactAllPending();
-  ASSERT_TRUE(service.StatDir("/hot", &info).ok());
-  EXPECT_EQ(info.child_count, kObjects);
+  hot_stat = service.StatDir("/hot");
+  ASSERT_TRUE(hot_stat.ok());
+  EXPECT_EQ(hot_stat.info.child_count, kObjects);
 }
 
 // --- total IndexNode group loss ---------------------------------------------
@@ -305,8 +306,7 @@ TEST(CrashRecoveryTest, IndexGroupLossRebuildsFromTafDb) {
   EXPECT_EQ(MetricValue("index.rebuild.count"), rebuilds_before + 1);
 
   // Acknowledged metadata is all back: lookups, object reads, and new writes.
-  StatInfo info;
-  EXPECT_TRUE(service.StatDir("/a/b", &info).ok());
+  EXPECT_TRUE(service.StatDir("/a/b").ok());
   EXPECT_TRUE(service.StatObject("/a/b/o").ok());
   EXPECT_TRUE(service.Mkdir("/c/fresh").ok());
   EXPECT_TRUE(service.StatDir("/c/fresh").ok());
@@ -430,9 +430,9 @@ TEST(CrashRecoveryTest, FsckRepairsEveryCorruptionClass) {
 
   // Repaired metadata actually serves again.
   EXPECT_TRUE(service.StatDir("/lost-entry").ok());
-  StatInfo info;
-  ASSERT_TRUE(service.StatDir("/lost-attr", &info).ok());
-  EXPECT_EQ(info.child_count, 1);  // recounted from the entry rows
+  StatResult lost_attr_stat = service.StatDir("/lost-attr");
+  ASSERT_TRUE(lost_attr_stat.ok());
+  EXPECT_EQ(lost_attr_stat.info.child_count, 1);  // recounted from the entry rows
   EXPECT_TRUE(service.StatDir("/forged-id").ok());
   EXPECT_TRUE(service.StatDir("/parent/orphan").ok());
   EXPECT_TRUE(service.Fsck().clean());

@@ -195,9 +195,9 @@ TEST(FaultToleranceTest, DeltaRecordsRescueContendedMkdirWhenEnabled) {
   EXPECT_GT(result.retries, 0);
   shard->UnlockKey(AttrKey(pid), 55555);
   service.tafdb()->CompactAllPending();
-  StatInfo info;
-  ASSERT_TRUE(service.StatDir("/rescued", &info).ok());
-  EXPECT_EQ(info.child_count, 1);
+  StatResult rescued = service.StatDir("/rescued");
+  ASSERT_TRUE(rescued.ok());
+  EXPECT_EQ(rescued.info.child_count, 1);
 }
 
 }  // namespace

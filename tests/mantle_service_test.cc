@@ -35,12 +35,13 @@ class MantleServiceTest : public ::testing::Test {
 TEST_F(MantleServiceTest, MkdirThenStat) {
   EXPECT_TRUE(service_->Mkdir("/a").ok());
   EXPECT_TRUE(service_->Mkdir("/a/b").ok());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatDir("/a/b", &info).ok());
-  EXPECT_TRUE(info.is_dir);
-  EXPECT_EQ(info.child_count, 0);
-  ASSERT_TRUE(service_->StatDir("/a", &info).ok());
-  EXPECT_EQ(info.child_count, 1);
+  StatResult child = service_->StatDir("/a/b");
+  ASSERT_TRUE(child.ok());
+  EXPECT_TRUE(child.info.is_dir);
+  EXPECT_EQ(child.info.child_count, 0);
+  StatResult parent = service_->StatDir("/a");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent.info.child_count, 1);
 }
 
 TEST_F(MantleServiceTest, MkdirDuplicateFails) {
@@ -55,16 +56,18 @@ TEST_F(MantleServiceTest, MkdirMissingParentFails) {
 TEST_F(MantleServiceTest, CreateStatDeleteObject) {
   ASSERT_TRUE(service_->Mkdir("/data").ok());
   EXPECT_TRUE(service_->CreateObject("/data/obj1", 4096).ok());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/data/obj1", &info).ok());
-  EXPECT_FALSE(info.is_dir);
-  EXPECT_EQ(info.size, 4096u);
-  ASSERT_TRUE(service_->StatDir("/data", &info).ok());
-  EXPECT_EQ(info.child_count, 1);
+  StatResult stat = service_->StatObject("/data/obj1");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_FALSE(stat.info.is_dir);
+  EXPECT_EQ(stat.info.size, 4096u);
+  StatResult dir = service_->StatDir("/data");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir.info.child_count, 1);
   EXPECT_TRUE(service_->DeleteObject("/data/obj1").ok());
   EXPECT_TRUE(service_->StatObject("/data/obj1").status.IsNotFound());
-  ASSERT_TRUE(service_->StatDir("/data", &info).ok());
-  EXPECT_EQ(info.child_count, 0);
+  dir = service_->StatDir("/data");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir.info.child_count, 0);
 }
 
 TEST_F(MantleServiceTest, CreateDuplicateObjectFails) {
@@ -96,8 +99,7 @@ TEST_F(MantleServiceTest, DeepPathResolution) {
     ASSERT_TRUE(service_->Mkdir(path).ok()) << path;
   }
   ASSERT_TRUE(service_->CreateObject(path + "/leaf", 10).ok());
-  StatInfo info;
-  EXPECT_TRUE(service_->StatObject(path + "/leaf", &info).ok());
+  EXPECT_TRUE(service_->StatObject(path + "/leaf").ok());
   OpResult lookup = service_->Lookup(path + "/leaf");
   EXPECT_TRUE(lookup.ok());
   EXPECT_EQ(lookup.rpcs, 1);
@@ -137,10 +139,10 @@ TEST_F(MantleServiceTest, RenameMovesSubtree) {
   ASSERT_TRUE(service_->RenameDir("/src/sub", "/dst/moved").ok());
 
   EXPECT_TRUE(service_->StatObject("/src/sub/obj").status.IsNotFound());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/dst/moved/obj", &info).ok());
-  EXPECT_EQ(info.size, 7u);
-  EXPECT_TRUE(service_->StatDir("/dst/moved", &info).ok());
+  StatResult moved = service_->StatObject("/dst/moved/obj");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.info.size, 7u);
+  EXPECT_TRUE(service_->StatDir("/dst/moved").ok());
 }
 
 TEST_F(MantleServiceTest, RenameRejectsLoops) {
@@ -187,11 +189,12 @@ TEST_F(MantleServiceTest, BulkLoadPopulatesAllComponents) {
   ASSERT_TRUE(service_->BulkLoadDir("/w").ok());
   ASSERT_TRUE(service_->BulkLoadDir("/w/x").ok());
   ASSERT_TRUE(service_->BulkLoadObject("/w/x/obj", 123).ok());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/w/x/obj", &info).ok());
-  EXPECT_EQ(info.size, 123u);
-  ASSERT_TRUE(service_->StatDir("/w/x", &info).ok());
-  EXPECT_EQ(info.child_count, 1);
+  StatResult stat = service_->StatObject("/w/x/obj");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat.info.size, 123u);
+  StatResult dir = service_->StatDir("/w/x");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir.info.child_count, 1);
 }
 
 TEST_F(MantleServiceTest, ConcurrentMkdirSharedParent) {
@@ -215,10 +218,10 @@ TEST_F(MantleServiceTest, ConcurrentMkdirSharedParent) {
     thread.join();
   }
   EXPECT_EQ(failures.load(), 0);
-  StatInfo info;
   service_->tafdb()->CompactAllPending();
-  ASSERT_TRUE(service_->StatDir("/shared", &info).ok());
-  EXPECT_EQ(info.child_count, kThreads * kPerThread);
+  StatResult shared = service_->StatDir("/shared");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared.info.child_count, kThreads * kPerThread);
 }
 
 TEST_F(MantleServiceTest, ConcurrentRenameIntoSharedTarget) {

@@ -32,9 +32,9 @@ TEST(MultiNamespaceTest, TenantsShareTafDbWithoutInterference) {
                     .ok());
   }
   for (int tenant = 0; tenant < 3; ++tenant) {
-    StatInfo info;
-    ASSERT_TRUE(tenants[tenant]->StatObject("/common/data.bin", &info).ok());
-    EXPECT_EQ(info.size, 1000u + static_cast<uint64_t>(tenant));
+    StatResult stat = tenants[tenant]->StatObject("/common/data.bin");
+    ASSERT_TRUE(stat.ok());
+    EXPECT_EQ(stat.info.size, 1000u + static_cast<uint64_t>(tenant));
   }
 
   // Mutations in one namespace are invisible in the others.

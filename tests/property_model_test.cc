@@ -269,11 +269,10 @@ TEST_P(PropertyModelTest, RandomProgramMatchesReferenceModel) {
           << " sut=" << actual.status;
     } else {  // stat probes
       const std::string path = PickPath(model, rng);
-      StatInfo info;
-      OpResult dir_stat = service_->StatDir(path);
+      StatResult dir_stat = service_->StatDir(path);
       ASSERT_EQ(model.IsDir(path), dir_stat.ok()) << "dirstat " << path;
-      OpResult obj_stat = service_->StatObject(path, &info);
-      ASSERT_EQ(model.IsObject(path), obj_stat.ok() && !info.is_dir)
+      StatResult obj_stat = service_->StatObject(path);
+      ASSERT_EQ(model.IsObject(path), obj_stat.ok() && !obj_stat.info.is_dir)
           << "objstat " << path;
     }
   }
@@ -287,9 +286,9 @@ TEST_P(PropertyModelTest, RandomProgramMatchesReferenceModel) {
     ASSERT_TRUE(service_->StatDir(dir).ok()) << "missing dir " << dir;
   }
   for (const auto& [path, size] : model.objects()) {
-    StatInfo info;
-    ASSERT_TRUE(service_->StatObject(path, &info).ok()) << "missing object " << path;
-    EXPECT_EQ(info.size, size) << path;
+    StatResult stat = service_->StatObject(path);
+    ASSERT_TRUE(stat.ok()) << "missing object " << path;
+    EXPECT_EQ(stat.info.size, size) << path;
   }
   Rng audit_rng(seed ^ 0xa0d17);
   std::vector<std::string> dirs(model.dirs().begin(), model.dirs().end());

@@ -9,6 +9,7 @@
 #include "src/baselines/infinifs/infinifs_service.h"
 #include "src/baselines/locofs/locofs_service.h"
 #include "src/baselines/tectonic/tectonic_service.h"
+#include "src/obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace mantle {
@@ -179,6 +180,69 @@ TEST(RpcShapeTest, InfiniFsLoopDetectionWalksAncestorsViaDb) {
   ASSERT_TRUE(result.ok());
   // Far more round trips than Mantle's constant-RPC rename.
   EXPECT_GT(result.rpcs, kDepth);
+}
+
+// --- hedged-read accounting (ISSUE 8 satellite) -----------------------------
+//
+// OpResult.rpcs counts the round trips the op *needed*. A hedge duplicates an
+// in-flight RPC; the winner must not also bill the loser's copy, so a hedged
+// lookup still reports Table 1's single RPC. The duplicate stays visible
+// fleet-wide via net.rpc.duplicate.
+
+TEST(RpcShapeTest, HedgedLookupWinnerDoesNotDoubleCountTheLoser) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 2'000'000'000;
+  options.index.hedge.enable = true;
+  options.index.hedge.quantile = 0.5;
+  options.index.hedge.min_samples = 4;
+  options.index.hedge.min_delay_nanos = 200'000;    // 0.2 ms
+  options.index.hedge.max_delay_nanos = 5'000'000;  // 5 ms
+  MantleService service(&network, options);
+  ASSERT_TRUE(service.BulkLoadDir("/h").ok());
+  ASSERT_TRUE(service.BulkLoadObject("/h/o", 1).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.Lookup("/h/o").ok());  // warm the latency estimator
+  }
+  RaftNode* leader = service.index()->group()->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  network.faults().PauseServer(leader->server()->name());
+  const uint64_t duplicates_before =
+      obs::Metrics::Instance().CounterValue("net.rpc.duplicate");
+  OpResult result = service.Lookup("/h/o");
+  network.faults().ResumeServer(leader->server()->name());
+  ASSERT_TRUE(result.ok()) << result.status;
+  // One counted RPC (the primary); the hedge copy that actually answered is
+  // a duplicate of it, not an extra round trip for this op.
+  EXPECT_EQ(result.rpcs, 1);
+  EXPECT_GT(obs::Metrics::Instance().CounterValue("net.rpc.duplicate"), duplicates_before);
+}
+
+// Regression pin for the mkdir bound with hedging enabled: duplicate-RPC
+// accounting keeps the op's reported shape inside the documented <=9 budget.
+TEST(RpcShapeTest, MkdirRpcBoundHoldsWithHedgingEnabled) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.index.hedge.enable = true;
+  options.index.hedge.quantile = 0.5;
+  options.index.hedge.min_samples = 4;
+  options.index.hedge.min_delay_nanos = 1;  // hedge aggressively
+  options.index.hedge.max_delay_nanos = 1'000;
+  MantleService service(&network, options);
+  std::string path;
+  for (int level = 0; level < kDepth; ++level) {
+    path += "/L" + std::to_string(level);
+    ASSERT_TRUE(service.BulkLoadDir(path).ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.Lookup(path).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    OpResult result = service.Mkdir(path + "/hedged" + std::to_string(i));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.rpcs, 3);
+    EXPECT_LE(result.rpcs, 9);
+  }
 }
 
 TEST(RpcShapeTest, FollowerReadFenceAddsBoundedCost) {

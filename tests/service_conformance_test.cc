@@ -94,9 +94,9 @@ class ConformanceTest : public ::testing::TestWithParam<NamedFactory> {
 TEST_P(ConformanceTest, MkdirAndStatDir) {
   ASSERT_TRUE(service_->Mkdir("/a").ok());
   ASSERT_TRUE(service_->Mkdir("/a/b").ok());
-  StatInfo info;
-  EXPECT_TRUE(service_->StatDir("/a/b", &info).ok());
-  EXPECT_TRUE(info.is_dir);
+  StatResult stat = service_->StatDir("/a/b");
+  EXPECT_TRUE(stat.ok());
+  EXPECT_TRUE(stat.info.is_dir);
 }
 
 TEST_P(ConformanceTest, MkdirDuplicateRejected) {
@@ -111,9 +111,9 @@ TEST_P(ConformanceTest, MkdirMissingParentRejected) {
 TEST_P(ConformanceTest, ObjectLifecycle) {
   ASSERT_TRUE(service_->Mkdir("/d").ok());
   ASSERT_TRUE(service_->CreateObject("/d/o", 512).ok());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/d/o", &info).ok());
-  EXPECT_EQ(info.size, 512u);
+  StatResult stat = service_->StatObject("/d/o");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat.info.size, 512u);
   EXPECT_TRUE(service_->CreateObject("/d/o", 1).status.IsAlreadyExists());
   EXPECT_TRUE(service_->DeleteObject("/d/o").ok());
   EXPECT_TRUE(service_->StatObject("/d/o").status.IsNotFound());
@@ -162,9 +162,9 @@ TEST_P(ConformanceTest, RenameMovesDirectoryAndContents) {
   ASSERT_TRUE(service_->Mkdir("/to").ok());
   ASSERT_TRUE(service_->RenameDir("/from/inner", "/to/inner2").ok());
   EXPECT_TRUE(service_->StatObject("/from/inner/o").status.IsNotFound());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/to/inner2/o", &info).ok());
-  EXPECT_EQ(info.size, 9u);
+  StatResult stat = service_->StatObject("/to/inner2/o");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat.info.size, 9u);
 }
 
 TEST_P(ConformanceTest, RenameMissingSourceRejected) {
@@ -187,9 +187,9 @@ TEST_P(ConformanceTest, BulkLoadMatchesOnlineSemantics) {
   ASSERT_TRUE(service_->BulkLoadDir("/bulk").ok());
   ASSERT_TRUE(service_->BulkLoadDir("/bulk/inner").ok());
   ASSERT_TRUE(service_->BulkLoadObject("/bulk/inner/o", 77).ok());
-  StatInfo info;
-  ASSERT_TRUE(service_->StatObject("/bulk/inner/o", &info).ok());
-  EXPECT_EQ(info.size, 77u);
+  StatResult stat = service_->StatObject("/bulk/inner/o");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat.info.size, 77u);
   // Online operations continue on top of bulk-loaded state.
   ASSERT_TRUE(service_->Mkdir("/bulk/inner/online").ok());
   EXPECT_TRUE(service_->StatDir("/bulk/inner/online").ok());
