@@ -78,6 +78,15 @@ echo "== overload smoke (seeded 4x-capacity drill) =="
   --gtest_filter='OverloadTest.AdmissionDoublesGoodputAtFourTimesCapacity'
 echo "overload smoke OK"
 
+# Membership smoke: the seeded kill-and-replace drill (crash one voter under
+# live load) must end with the replication factor restored by the repair
+# supervisor, zero acked-write loss, and a clean leader decommission via
+# TimeoutNow transfer, straight from the built tree.
+echo "== membership smoke (seeded kill-and-replace drill) =="
+"$BUILD_DIR/tests/membership_test" \
+  --gtest_filter='MembershipAcceptanceTest.KillAndReplaceDrillUnderLoad'
+echo "membership smoke OK"
+
 # Trace smoke: run a bench slice with tracing sampled and the flight recorder
 # exporting, then assert the Chrome trace JSON parses, contains at least one
 # trace that crossed multiple servers, and that the critical-path rollups
@@ -149,4 +158,15 @@ if [ "$MODE" = thread ]; then
   "$BUILD_DIR/tests/batch_read_test" --gtest_repeat=10 \
     --gtest_filter='BatchReadTest.Coalesc*:*BatchReadConformanceTest.MultiStatUnderSeededChaosStaysElementwise*'
   echo "read coalescer OK"
+
+  # Membership changes are replicator threads starting and retiring while the
+  # leader commits, plus the repair supervisor racing its own replacement
+  # pipeline against live writers: repeat the config-change scenarios and the
+  # learner-snapshot races under TSan so those interleavings actually vary.
+  echo "== membership & repair under TSan (5 repeats) =="
+  "$BUILD_DIR/tests/membership_test" --gtest_repeat=5 \
+    --gtest_filter='MembershipTest.*:MembershipAcceptanceTest.*'
+  "$BUILD_DIR/tests/raft_snapshot_test" --gtest_repeat=5 \
+    --gtest_filter='RaftSnapshotTest.LearnerCatchupSnapshotRacesConfigChange:RaftSnapshotTest.InstallSnapshotAtJustRemovedNodeIsHarmless:RaftSnapshotTest.CrashAtThePersistedPointConverges'
+  echo "membership & repair OK"
 fi

@@ -197,6 +197,23 @@ class MantleService final : public MetadataService {
   // replica and re-elects a leader. The namespace serves again on return.
   IndexRebuildReport RecoverIndexFromTafDb();
 
+  // --- membership drills -------------------------------------------------------
+  // (The unqualified RepairOptions here is the fsck struct above; the
+  // supervisor's knobs are namespace-level mantle::RepairOptions.)
+
+  // Crash-stops ONE IndexNode replica and marks its servers crashed, exactly
+  // as an unplanned machine loss. Raft masks it; the repair supervisor (if
+  // enabled) replaces it.
+  void CrashIndexReplica(uint32_t id) { index_->CrashReplica(id); }
+  // Starts autonomous replacement of dead IndexNode replicas.
+  void EnableIndexAutoRepair(const mantle::RepairOptions& options = {}) {
+    index_->EnableAutoRepair(options);
+  }
+  RepairSupervisor* index_repair() { return index_->repair(); }
+  // Planned decommission of the IndexNode leader: transfer leadership, then
+  // remove and crash-stop the old leader, with a bounded write stall.
+  Status DecommissionIndexLeader() { return index_->DecommissionLeader(); }
+
   Network* network() { return network_; }
 
  private:

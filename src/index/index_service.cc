@@ -13,12 +13,16 @@ namespace mantle {
 
 IndexService::IndexService(Network* network, const std::string& name, IndexServiceOptions options)
     : network_(network), name_(name), options_(options) {
-  const uint32_t total = options_.num_voters + options_.num_learners;
-  replicas_.resize(total, nullptr);
   group_ = std::make_unique<RaftGroup>(
       network_, name, options_.num_voters, options_.num_learners,
       [this](uint32_t id) -> std::unique_ptr<StateMachine> {
         auto replica = std::make_unique<IndexReplica>(network_, options_.node);
+        // Called both at construction and at runtime (AddLearnerReplica / the
+        // repair supervisor growing the group), so the table must stretch.
+        std::lock_guard<std::mutex> lock(replicas_mu_);
+        if (id >= replicas_.size()) {
+          replicas_.resize(id + 1, nullptr);
+        }
         replicas_[id] = replica.get();
         return replica;
       },
@@ -40,12 +44,16 @@ RaftNode* IndexService::PickReadReplica() {
   }
   static obs::Counter* offloaded = obs::Metrics::Instance().GetCounter("index.read.offload");
   offloaded->Add();
+  // Only current members serve reads: a removed-but-still-running corpse would
+  // never pass its read fence (the leader stopped replicating to it), so
+  // skipping it here saves the doomed RPC.
+  const RaftConfig config = leader != nullptr ? leader->config() : group_->CommittedConfig();
   const uint32_t total = group_->num_nodes();
   for (uint32_t attempt = 0; attempt < total; ++attempt) {
     const uint32_t id =
         static_cast<uint32_t>(read_rr_.fetch_add(1, std::memory_order_relaxed) % total);
     RaftNode* node = group_->node(id);
-    if (!node->IsDown()) {
+    if (node != nullptr && !node->IsDown() && config.IsMember(id)) {
       return node;
     }
   }
@@ -53,12 +61,13 @@ RaftNode* IndexService::PickReadReplica() {
 }
 
 RaftNode* IndexService::PickHedgeReplica(const RaftNode* primary) {
+  const RaftConfig config = group_->CommittedConfig();
   const uint32_t total = group_->num_nodes();
   for (uint32_t attempt = 0; attempt < total; ++attempt) {
     const uint32_t id =
         static_cast<uint32_t>(read_rr_.fetch_add(1, std::memory_order_relaxed) % total);
     RaftNode* node = group_->node(id);
-    if (node != primary && !node->IsDown()) {
+    if (node != nullptr && node != primary && !node->IsDown() && config.IsMember(id)) {
       return node;
     }
   }
@@ -68,7 +77,7 @@ RaftNode* IndexService::PickHedgeReplica(const RaftNode* primary) {
 Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
     RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
     bool parent_only, const StartedFlag& started) {
-  IndexReplica* replica = replicas_[node->id()];
+  IndexReplica* replica = this->replica(node->id());
   // Deadline-aware call: the handler may be abandoned on timeout, so it owns
   // its inputs (shared_ptr) instead of borrowing the caller's stack.
   return node->server()->Call(
@@ -98,7 +107,7 @@ Result<IndexReplica::ResolveOutcome> IndexService::ResolveOn(
 std::future<Result<IndexReplica::ResolveOutcome>> IndexService::IssueResolveAsync(
     RaftNode* node, const std::shared_ptr<const std::vector<std::string>>& components,
     bool parent_only, const StartedFlag& started, bool duplicate) {
-  IndexReplica* replica = replicas_[node->id()];
+  IndexReplica* replica = this->replica(node->id());
   auto handler = [node, replica, components, parent_only,
                   started]() -> Result<IndexReplica::ResolveOutcome> {
     if (started != nullptr) {
@@ -126,7 +135,7 @@ std::vector<Result<IndexReplica::ResolveOutcome>> IndexService::ResolveBatchOn(
     RaftNode* node, const std::shared_ptr<const std::vector<std::vector<std::string>>>& paths,
     bool parent_only) {
   using R = Result<IndexReplica::ResolveOutcome>;
-  IndexReplica* replica = replicas_[node->id()];
+  IndexReplica* replica = this->replica(node->id());
   // Admission judges this one RPC at the batch's true weight.
   ScopedOpCost cost(static_cast<int>(paths->size()));
   return node->server()->Call(
@@ -504,7 +513,7 @@ Result<IndexReplica::RenamePrepared> IndexService::RenamePrepare(
   if (node == nullptr) {
     return Status::Unavailable("indexnode has no leader");
   }
-  IndexReplica* replica = replicas_[node->id()];
+  IndexReplica* replica = this->replica(node->id());
   return node->server()->Call([replica, &src_components, &dst_parent_components, &dst_name,
                                uuid]() {
     return replica->RenamePrepare(src_components, dst_parent_components, dst_name, uuid);
@@ -516,7 +525,7 @@ void IndexService::RenameAbort(InodeId src_id, uint64_t uuid) {
   if (node == nullptr) {
     return;
   }
-  IndexReplica* replica = replicas_[node->id()];
+  IndexReplica* replica = this->replica(node->id());
   node->server()->Call([replica, src_id, uuid]() {
     replica->RenameAbort(src_id, uuid);
     return 0;
@@ -525,9 +534,59 @@ void IndexService::RenameAbort(InodeId src_id, uint64_t uuid) {
 
 void IndexService::LoadDir(InodeId pid, const std::string& name, InodeId id,
                            uint32_t permission) {
-  for (IndexReplica* replica : replicas_) {
-    replica->LoadDir(pid, name, id, permission);
+  std::vector<IndexReplica*> replicas;
+  {
+    std::lock_guard<std::mutex> lock(replicas_mu_);
+    replicas = replicas_;
   }
+  for (IndexReplica* replica : replicas) {
+    if (replica != nullptr) {
+      replica->LoadDir(pid, name, id, permission);
+    }
+  }
+}
+
+Result<uint32_t> IndexService::AddLearnerReplica(int64_t timeout_nanos) {
+  return group_->AddLearner(timeout_nanos);
+}
+
+Status IndexService::PromoteLearnerReplica(uint32_t id, uint64_t max_lag_entries,
+                                           int64_t timeout_nanos) {
+  return group_->PromoteLearner(id, max_lag_entries, timeout_nanos);
+}
+
+Status IndexService::RemoveReplica(uint32_t id, int64_t timeout_nanos) {
+  MANTLE_RETURN_IF_ERROR(group_->RemoveNode(id, timeout_nanos));
+  group_->DecommissionNode(id);
+  return Status::Ok();
+}
+
+Status IndexService::DecommissionLeader(int64_t timeout_nanos) {
+  RaftNode* leader = group_->WaitForLeader();
+  if (leader == nullptr) {
+    return Status::Unavailable("indexnode has no leader to decommission");
+  }
+  // RemoveNode transfers leadership away before committing the removal, so
+  // the stall is one TimeoutNow round, not a full election timeout.
+  return RemoveReplica(leader->id(), timeout_nanos);
+}
+
+void IndexService::CrashReplica(uint32_t id) {
+  RaftNode* node = group_->node(id);
+  if (node == nullptr) {
+    return;
+  }
+  node->Stop();
+  // The "<name>-<id>" prefix rule covers the client server and its "-raft"
+  // consensus sibling in one shot, same as an unplanned machine loss.
+  network_->faults().CrashServer(name_ + "-" + std::to_string(id));
+}
+
+void IndexService::EnableAutoRepair(const RepairOptions& options) {
+  if (supervisor_ == nullptr) {
+    supervisor_ = std::make_unique<RepairSupervisor>(group_.get(), options);
+  }
+  supervisor_->Start();
 }
 
 void IndexService::CrashGroup() {
@@ -540,6 +599,10 @@ void IndexService::CrashGroup() {
 }
 
 void IndexService::ColdStartRebuild(const std::vector<IndexTable::ExportedEntry>& dirs) {
+  // The committed membership lives only in the log and snapshot, both of
+  // which the wipe destroys - capture it first and seed it back so the
+  // rebuilt group comes up with the post-surgery config, not the boot one.
+  const RaftConfig config = group_->CommittedConfig();
   const uint32_t total = group_->num_nodes();
   for (uint32_t id = 0; id < total; ++id) {
     RaftNode* node = group_->node(id);
@@ -555,11 +618,21 @@ void IndexService::ColdStartRebuild(const std::vector<IndexTable::ExportedEntry>
   }
   for (uint32_t id = 0; id < total; ++id) {
     group_->node(id)->WipeState();
+    group_->node(id)->SeedConfig(config);
   }
-  for (IndexReplica* replica : replicas_) {
-    replica->ResetForRebuild();
+  for (uint32_t id = 0; id < total; ++id) {
+    // Removed corpses stay down; reloading them would only feed state to a
+    // node that never serves again.
+    if (!config.IsMember(id)) {
+      continue;
+    }
+    IndexReplica* target = replica(id);
+    if (target == nullptr) {
+      continue;
+    }
+    target->ResetForRebuild();
     for (const auto& dir : dirs) {
-      replica->LoadDir(dir.pid, dir.name, dir.id, dir.permission);
+      target->LoadDir(dir.pid, dir.name, dir.id, dir.permission);
     }
   }
   // RestartServer clears only the exact rule key, so undo both the group
@@ -571,14 +644,16 @@ void IndexService::ColdStartRebuild(const std::vector<IndexTable::ExportedEntry>
     network_->faults().RestartServer(node_name + "-raft");
   }
   for (uint32_t id = 0; id < total; ++id) {
-    group_->node(id)->Restart();
+    if (config.IsMember(id)) {
+      group_->node(id)->Restart();
+    }
   }
   group_->Start();
 }
 
 IndexReplica* IndexService::LeaderReplica() {
   RaftNode* node = group_->WaitForLeader();
-  return node == nullptr ? nullptr : replicas_[node->id()];
+  return node == nullptr ? nullptr : replica(node->id());
 }
 
 }  // namespace mantle

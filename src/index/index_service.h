@@ -23,6 +23,7 @@
 #include "src/index/index_replica.h"
 #include "src/obs/op_context.h"
 #include "src/raft/group.h"
+#include "src/repair/repair_supervisor.h"
 
 namespace mantle {
 
@@ -116,6 +117,32 @@ class IndexService {
   // --- bulk loading (applies to every replica; pre-serving only) ----------------
   void LoadDir(InodeId pid, const std::string& name, InodeId id, uint32_t permission);
 
+  // --- runtime membership & autonomous repair -----------------------------------
+
+  // Grows the group by one learner replica: fresh servers on the fabric, a
+  // fresh IndexReplica from the construction-time factory, snapshot-forced
+  // catch-up (bulk-loaded state is not in the log). Returns the new node id.
+  Result<uint32_t> AddLearnerReplica(int64_t timeout_nanos = 15'000'000'000);
+  // Promotes learner `id` to voter once its replication lag is within
+  // `max_lag_entries` of the leader's last log index.
+  Status PromoteLearnerReplica(uint32_t id, uint64_t max_lag_entries = 16,
+                               int64_t timeout_nanos = 15'000'000'000);
+  // Commits the config dropping `id` (leadership is transferred away first if
+  // `id` leads) and crash-stops the corpse.
+  Status RemoveReplica(uint32_t id, int64_t timeout_nanos = 15'000'000'000);
+  // Planned decommission of the current leader: transfer + remove, with the
+  // write stall bounded by one TimeoutNow round instead of an election timeout.
+  Status DecommissionLeader(int64_t timeout_nanos = 15'000'000'000);
+  // Drill primitive: crash-stops replica `id` and marks both of its servers
+  // crashed in the fault plan, exactly as an unplanned node loss would. The
+  // repair supervisor (if enabled) notices via peer_down streaks and replaces
+  // it.
+  void CrashReplica(uint32_t id);
+  // Starts the autonomous repair supervisor over this group's health signals.
+  // Idempotent; options are taken on first call.
+  void EnableAutoRepair(const RepairOptions& options = {});
+  RepairSupervisor* repair() { return supervisor_.get(); }
+
   // --- crash recovery (total group loss) ---------------------------------------
 
   // Crash-stops every replica and marks all of the group's servers crashed in
@@ -131,7 +158,10 @@ class IndexService {
 
   // --- introspection --------------------------------------------------------------
   RaftGroup* group() { return group_.get(); }
-  IndexReplica* replica(uint32_t id) { return replicas_[id]; }
+  IndexReplica* replica(uint32_t id) const {
+    std::lock_guard<std::mutex> lock(replicas_mu_);
+    return id < replicas_.size() ? replicas_[id] : nullptr;
+  }
   uint32_t num_replicas() const { return group_->num_nodes(); }
   IndexReplica* LeaderReplica();
   const IndexServiceOptions& options() const { return options_; }
@@ -190,8 +220,14 @@ class IndexService {
   Network* network_;
   std::string name_;
   IndexServiceOptions options_;
+  // Guards replicas_: the group's state-machine factory appends at runtime
+  // when AddLearnerReplica (or the repair supervisor) grows the group.
+  mutable std::mutex replicas_mu_;
   std::vector<IndexReplica*> replicas_;
   std::unique_ptr<RaftGroup> group_;
+  // Declared after group_ so it stops (and joins its scan thread) before the
+  // group it supervises is torn down.
+  std::unique_ptr<RepairSupervisor> supervisor_;
   std::atomic<uint64_t> read_rr_{0};
   std::atomic<uint64_t> degraded_reads_{0};
   LatencyEstimator read_latency_;

@@ -40,8 +40,22 @@ Network::~Network() {
 }
 
 ServerExecutor* Network::AddServer(const std::string& name, size_t workers) {
+  // Servers can be added at runtime (dynamic Raft membership allocates fresh
+  // replicas), so the table is guarded; entries are never removed, keeping
+  // ServerExecutor pointers stable for their holders.
+  std::lock_guard<std::mutex> lock(servers_mu_);
   servers_.push_back(std::make_unique<ServerExecutor>(this, name, workers));
   return servers_.back().get();
+}
+
+std::vector<ServerExecutor*> Network::SnapshotServers() const {
+  std::lock_guard<std::mutex> lock(servers_mu_);
+  std::vector<ServerExecutor*> out;
+  out.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    out.push_back(server.get());
+  }
+  return out;
 }
 
 void Network::NoteRpc() {
@@ -113,7 +127,7 @@ void Network::StitchTrace(obs::OpTrace* trace) {
     return;
   }
   std::vector<obs::SpanBatch> pending;
-  for (const auto& server : servers_) {
+  for (ServerExecutor* server : SnapshotServers()) {
     for (auto& batch : server->depot().Claim(trace->trace_id())) {
       pending.push_back(std::move(batch));
     }
@@ -143,13 +157,14 @@ void Network::StitchTrace(obs::OpTrace* trace) {
 
 size_t Network::UnclaimedSpanBatches() const {
   size_t total = 0;
-  for (const auto& server : servers_) {
+  for (ServerExecutor* server : SnapshotServers()) {
     total += server->depot().UnclaimedCount();
   }
   return total;
 }
 
 ServerExecutor* Network::FindServer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(servers_mu_);
   for (const auto& server : servers_) {
     if (server->name() == name) {
       return server.get();

@@ -323,8 +323,14 @@ class Network {
   // issuing thread's counter.
   void NoteDuplicateRpc();
 
+  // Stable pointer copy of the server table for iteration without the lock.
+  std::vector<ServerExecutor*> SnapshotServers() const;
+
   NetworkOptions options_;
   FaultInjector faults_;
+  // Guards servers_ - AddServer runs at runtime when a Raft group allocates a
+  // replacement replica. Entries are append-only; pointers stay stable.
+  mutable std::mutex servers_mu_;
   std::vector<std::unique_ptr<ServerExecutor>> servers_;
   std::atomic<uint64_t> total_rpcs_{0};
 };

@@ -1,0 +1,166 @@
+// Raft group membership: the voter/learner set carried by kConfig log
+// entries.
+//
+// Membership changes are one-at-a-time (Raft §4.1 single-server changes):
+// the leader refuses a new change while one is in flight, and a change may
+// alter at most one node's membership status (add a learner, promote a
+// learner to voter, or remove a member). The config takes effect when the
+// carrying entry COMMITS - every node applies it in its apply loop, and the
+// leader counts votes and commits against the committed config from then on.
+
+#ifndef SRC_RAFT_CONFIG_H_
+#define SRC_RAFT_CONFIG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mantle {
+
+struct RaftConfig {
+  std::vector<uint32_t> voters;    // sorted, unique
+  std::vector<uint32_t> learners;  // sorted, unique, disjoint from voters
+
+  static RaftConfig Initial(uint32_t num_voters, uint32_t num_learners) {
+    RaftConfig config;
+    for (uint32_t id = 0; id < num_voters; ++id) {
+      config.voters.push_back(id);
+    }
+    for (uint32_t id = num_voters; id < num_voters + num_learners; ++id) {
+      config.learners.push_back(id);
+    }
+    return config;
+  }
+
+  bool IsVoter(uint32_t id) const {
+    return std::binary_search(voters.begin(), voters.end(), id);
+  }
+  bool IsLearner(uint32_t id) const {
+    return std::binary_search(learners.begin(), learners.end(), id);
+  }
+  bool IsMember(uint32_t id) const { return IsVoter(id) || IsLearner(id); }
+  size_t NumMembers() const { return voters.size() + learners.size(); }
+
+  // Votes needed to win an election / commit an entry under this config.
+  uint32_t Majority() const { return static_cast<uint32_t>(voters.size()) / 2 + 1; }
+
+  void Normalize() {
+    std::sort(voters.begin(), voters.end());
+    voters.erase(std::unique(voters.begin(), voters.end()), voters.end());
+    std::sort(learners.begin(), learners.end());
+    learners.erase(std::unique(learners.begin(), learners.end()), learners.end());
+  }
+
+  // Derived configs for the three legal single-node transitions. Each returns
+  // a normalized copy; callers validate legality via DiffersByOneFrom.
+  RaftConfig WithLearner(uint32_t id) const {
+    RaftConfig next = *this;
+    next.learners.push_back(id);
+    next.Normalize();
+    return next;
+  }
+  RaftConfig WithPromoted(uint32_t id) const {
+    RaftConfig next = *this;
+    next.learners.erase(std::remove(next.learners.begin(), next.learners.end(), id),
+                        next.learners.end());
+    next.voters.push_back(id);
+    next.Normalize();
+    return next;
+  }
+  RaftConfig Without(uint32_t id) const {
+    RaftConfig next = *this;
+    next.voters.erase(std::remove(next.voters.begin(), next.voters.end(), id),
+                      next.voters.end());
+    next.learners.erase(std::remove(next.learners.begin(), next.learners.end(), id),
+                        next.learners.end());
+    return next;
+  }
+
+  // True when `next` changes at most ONE node's membership status relative to
+  // this config (the one-at-a-time rule). Promotion counts as one change.
+  bool DiffersByAtMostOneFrom(const RaftConfig& next) const {
+    uint32_t changed = 0;
+    auto count_changes = [&](const RaftConfig& a, const RaftConfig& b) {
+      for (uint32_t id : a.voters) {
+        if (!b.IsVoter(id)) {
+          ++changed;
+        }
+      }
+      for (uint32_t id : a.learners) {
+        if (!b.IsLearner(id)) {
+          ++changed;
+        }
+      }
+    };
+    count_changes(*this, next);
+    // Count additions (present in next, absent here) without double-counting
+    // promotions/demotions already seen above.
+    for (uint32_t id : next.voters) {
+      if (!IsVoter(id) && !IsLearner(id)) {
+        ++changed;
+      }
+    }
+    for (uint32_t id : next.learners) {
+      if (!IsVoter(id) && !IsLearner(id)) {
+        ++changed;
+      }
+    }
+    // A promotion shows up once as "left learners" and the voter-side check
+    // skipped it, so `changed` is the number of nodes whose status moved.
+    return changed <= 1;
+  }
+
+  bool operator==(const RaftConfig& other) const {
+    return voters == other.voters && learners == other.learners;
+  }
+  bool operator!=(const RaftConfig& other) const { return !(*this == other); }
+
+  // Wire/log encoding: "v0,1,2;l3,4". Stable and human-greppable in traces.
+  std::string Encode() const {
+    std::string out = "v";
+    for (size_t i = 0; i < voters.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(voters[i]);
+    }
+    out += ";l";
+    for (size_t i = 0; i < learners.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(learners[i]);
+    }
+    return out;
+  }
+
+  static RaftConfig Decode(const std::string& encoded) {
+    RaftConfig config;
+    const size_t sep = encoded.find(";l");
+    auto parse_list = [](const std::string& text, std::vector<uint32_t>* out) {
+      size_t pos = 0;
+      while (pos < text.size()) {
+        size_t end = text.find(',', pos);
+        if (end == std::string::npos) {
+          end = text.size();
+        }
+        if (end > pos) {
+          out->push_back(static_cast<uint32_t>(std::stoul(text.substr(pos, end - pos))));
+        }
+        pos = end + 1;
+      }
+    };
+    if (sep == std::string::npos || encoded.empty() || encoded[0] != 'v') {
+      return config;  // empty config: never a voter, never campaigns
+    }
+    parse_list(encoded.substr(1, sep - 1), &config.voters);
+    parse_list(encoded.substr(sep + 2), &config.learners);
+    config.Normalize();
+    return config;
+  }
+};
+
+}  // namespace mantle
+
+#endif  // SRC_RAFT_CONFIG_H_

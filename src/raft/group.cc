@@ -1,9 +1,11 @@
 #include "src/raft/group.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace mantle {
@@ -11,16 +13,16 @@ namespace mantle {
 RaftGroup::RaftGroup(Network* network, const std::string& name, uint32_t num_voters,
                      uint32_t num_learners, const StateMachineFactory& factory,
                      RaftOptions options)
-    : network_(network), num_voters_(num_voters), options_(options) {
+    : network_(network), name_(name), options_(options), factory_(factory) {
+  const RaftConfig initial = RaftConfig::Initial(num_voters, num_learners);
   const uint32_t total = num_voters + num_learners;
   nodes_.reserve(total);
   for (uint32_t id = 0; id < total; ++id) {
-    const bool voter = id < num_voters;
     ServerExecutor* server = network_->AddServer(name + "-" + std::to_string(id),
                                                  options_.workers_per_node);
     ServerExecutor* raft_server =
         network_->AddServer(name + "-" + std::to_string(id) + "-raft", 2);
-    nodes_.push_back(std::make_unique<RaftNode>(this, id, voter, server, raft_server,
+    nodes_.push_back(std::make_unique<RaftNode>(this, id, initial, server, raft_server,
                                                 factory(id), options_));
   }
   for (auto& node : nodes_) {
@@ -45,8 +47,42 @@ RaftGroup::~RaftGroup() {
   }
 }
 
+std::vector<RaftNode*> RaftGroup::SnapshotNodes() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  std::vector<RaftNode*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+RaftNode* RaftGroup::node(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return id < nodes_.size() ? nodes_[id].get() : nullptr;
+}
+
+uint32_t RaftGroup::num_nodes() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return static_cast<uint32_t>(nodes_.size());
+}
+
 void RaftGroup::Start() {
-  nodes_[0]->Campaign();
+  const RaftConfig config = CommittedConfig();
+  RaftNode* starter = nullptr;
+  for (uint32_t voter : config.voters) {
+    RaftNode* candidate = node(voter);
+    if (candidate != nullptr && !candidate->IsDown()) {
+      starter = candidate;
+      break;
+    }
+  }
+  if (starter == nullptr && num_nodes() > 0) {
+    starter = node(0);
+  }
+  if (starter != nullptr) {
+    starter->Campaign();
+  }
   RaftNode* leader = WaitForLeader();
   if (leader == nullptr) {
     MANTLE_ELOG << "raft group failed to elect a leader at startup";
@@ -58,11 +94,11 @@ RaftNode* RaftGroup::leader() const {
   // term; preferring the highest-term leader routes clients to the live one.
   RaftNode* best = nullptr;
   uint64_t best_term = 0;
-  for (const auto& node : nodes_) {
+  for (RaftNode* node : SnapshotNodes()) {
     if (!node->IsDown() && node->role() == RaftRole::kLeader) {
       const uint64_t term = node->term();
       if (best == nullptr || term > best_term) {
-        best = node.get();
+        best = node;
         best_term = term;
       }
     }
@@ -82,6 +118,28 @@ RaftNode* RaftGroup::WaitForLeader(int64_t timeout_nanos) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   return leader();
+}
+
+RaftConfig RaftGroup::CommittedConfig() const {
+  RaftNode* best = leader();
+  if (best != nullptr) {
+    return best->config();
+  }
+  uint64_t best_index = 0;
+  for (RaftNode* node : SnapshotNodes()) {
+    if (node->IsDown()) {
+      continue;
+    }
+    const uint64_t index = node->config_index();
+    if (best == nullptr || index > best_index) {
+      best = node;
+      best_index = index;
+    }
+  }
+  if (best == nullptr) {
+    best = node(0);  // every node stopped: any persisted view will do
+  }
+  return best != nullptr ? best->config() : RaftConfig{};
 }
 
 Result<std::string> RaftGroup::Propose(const std::string& command) {
@@ -123,6 +181,208 @@ Result<std::string> RaftGroup::Propose(const std::string& command) {
     return last;
   }
   return Status::Timeout("no leader accepted the proposal: " + last.ToString());
+}
+
+Status RaftGroup::ProposeConfigChangeInternal(const RaftConfig& next, int64_t deadline_nanos) {
+  Status last = Status::Timeout("no leader accepted the config change");
+  while (MonotonicNanos() < deadline_nanos) {
+    RaftNode* node = leader();
+    if (node == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    network_->ChargeRtt();
+    Status pre = network_->PreflightRpc(node->server()->name());
+    if (!pre.ok()) {
+      last = pre;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    Status status = [&]() {
+      obs::ScopedSpan span(obs::CurrentThreadTrace(), "raft.config.propose.",
+                           node->server()->name(), obs::SpanKind::kWire);
+      return node->ProposeConfigChange(next);
+    }();
+    // kUnavailable means "wrong/lost leader, retry"; anything else (ok, busy
+    // overlap, invalid change, timeout) is the caller's answer.
+    if (status.code() != StatusCode::kUnavailable) {
+      return status;
+    }
+    last = status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::Timeout("config change: " + last.ToString());
+}
+
+Status RaftGroup::ProposeConfigChange(const RaftConfig& next, int64_t timeout_nanos) {
+  return ProposeConfigChangeInternal(next,
+                                     MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos));
+}
+
+Result<uint32_t> RaftGroup::AddLearner(int64_t timeout_nanos) {
+  std::lock_guard<std::mutex> membership(membership_mu_);
+  static obs::Counter* adds = obs::Metrics::Instance().GetCounter("raft.config.add_learner");
+  const int64_t deadline = MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos);
+  const RaftConfig base = CommittedConfig();
+  uint32_t id = 0;
+  RaftNode* fresh = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    id = static_cast<uint32_t>(nodes_.size());
+    ServerExecutor* server = network_->AddServer(name_ + "-" + std::to_string(id),
+                                                 options_.workers_per_node);
+    ServerExecutor* raft_server =
+        network_->AddServer(name_ + "-" + std::to_string(id) + "-raft", 2);
+    // The fresh node boots with the CURRENT committed membership (which does
+    // not include itself) and learns its own admission - and any later
+    // changes - from the log or the first installed snapshot.
+    nodes_.push_back(std::make_unique<RaftNode>(this, id, base, server, raft_server,
+                                                factory_(id), options_));
+    fresh = nodes_.back().get();
+  }
+  RaftNodeStartThreads(*fresh);
+  // State-machine content that predates the log (bulk loads) only ships via
+  // InstallSnapshot, so make sure the leader has a compacted prefix before
+  // the learner starts catching up. Skipped when the machine is not
+  // snapshottable or nothing has been applied - log replay is then complete.
+  while (MonotonicNanos() < deadline) {
+    RaftNode* ldr = leader();
+    if (ldr == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    if (ldr->log_first_index() > 0 || ldr->snapshot_disabled() || ldr->last_applied() == 0) {
+      break;
+    }
+    ldr->RequestSnapshot();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Status status = ProposeConfigChangeInternal(base.WithLearner(id), deadline);
+  if (!status.ok()) {
+    // The orphan node stays allocated but never joins; it is harmless (its
+    // replicators idle) and a retry will allocate a new id.
+    return status;
+  }
+  adds->Add();
+  MANTLE_ILOG << "raft group " << name_ << " added learner " << id;
+  return id;
+}
+
+Status RaftGroup::PromoteLearner(uint32_t id, uint64_t max_lag_entries, int64_t timeout_nanos) {
+  std::lock_guard<std::mutex> membership(membership_mu_);
+  static obs::Gauge* lag_gauge =
+      obs::Metrics::Instance().GetGauge("raft.learner.catchup_lag");
+  static obs::Counter* promotes = obs::Metrics::Instance().GetCounter("raft.config.promote");
+  const int64_t deadline = MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos);
+  while (true) {
+    RaftNode* ldr = leader();
+    if (ldr != nullptr) {
+      const RaftConfig config = ldr->config();
+      if (config.IsVoter(id)) {
+        return Status::Ok();  // already promoted (idempotent retry)
+      }
+      if (!config.IsLearner(id)) {
+        return Status::NotFound("promote: node is not a learner in the committed config");
+      }
+      const uint64_t match = ldr->MatchIndexOf(id);
+      const uint64_t last = ldr->last_log_index();
+      const uint64_t lag = last > match ? last - match : 0;
+      lag_gauge->Set(static_cast<int64_t>(lag));
+      if (match > 0 && lag <= max_lag_entries) {
+        Status status = ProposeConfigChangeInternal(config.WithPromoted(id), deadline);
+        if (status.ok()) {
+          promotes->Add();
+          MANTLE_ILOG << "raft group " << name_ << " promoted learner " << id
+                      << " (lag " << lag << ")";
+        }
+        return status;
+      }
+    }
+    if (MonotonicNanos() >= deadline) {
+      return Status::Timeout("promote: learner did not catch up within the lag bound");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+Status RaftGroup::RemoveNode(uint32_t id, int64_t timeout_nanos) {
+  std::lock_guard<std::mutex> membership(membership_mu_);
+  static obs::Counter* removes = obs::Metrics::Instance().GetCounter("raft.config.remove");
+  const int64_t deadline = MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos);
+  RaftNode* ldr = WaitForLeader(deadline - MonotonicNanos());
+  if (ldr == nullptr) {
+    return Status::Unavailable("remove: no leader");
+  }
+  if (ldr->id() == id && !ldr->IsDown()) {
+    // Decommissioning the acting leader: move leadership first so the write
+    // stall is one TimeoutNow round plus an election, not a timeout.
+    MANTLE_RETURN_IF_ERROR(TransferLeadershipInternal(kAutoTarget, deadline));
+  }
+  const RaftConfig config = CommittedConfig();
+  if (!config.IsMember(id)) {
+    return Status::Ok();  // already removed (idempotent retry)
+  }
+  Status status = ProposeConfigChangeInternal(config.Without(id), deadline);
+  if (status.ok()) {
+    removes->Add();
+    MANTLE_ILOG << "raft group " << name_ << " removed node " << id;
+  }
+  return status;
+}
+
+Status RaftGroup::TransferLeadership(uint32_t target, int64_t timeout_nanos) {
+  return TransferLeadershipInternal(target,
+                                    MonotonicNanos() + DeadlineBudget::Clamp(timeout_nanos));
+}
+
+Status RaftGroup::TransferLeadershipInternal(uint32_t target, int64_t deadline_nanos) {
+  RaftNode* ldr = WaitForLeader(deadline_nanos - MonotonicNanos());
+  if (ldr == nullptr) {
+    return Status::Unavailable("transfer: no leader");
+  }
+  const uint64_t old_term = ldr->term();
+  uint32_t chosen = target;
+  if (chosen == kAutoTarget) {
+    const RaftConfig config = ldr->config();
+    uint64_t best_match = 0;
+    chosen = kAutoTarget;
+    for (uint32_t voter : config.voters) {
+      if (voter == ldr->id()) {
+        continue;
+      }
+      RaftNode* candidate = node(voter);
+      if (candidate == nullptr || candidate->IsDown()) {
+        continue;
+      }
+      const uint64_t match = ldr->MatchIndexOf(voter);
+      if (chosen == kAutoTarget || match > best_match) {
+        chosen = voter;
+        best_match = match;
+      }
+    }
+    if (chosen == kAutoTarget) {
+      return Status::Unavailable("transfer: no live voter to transfer to");
+    }
+  }
+  MANTLE_RETURN_IF_ERROR(
+      ldr->TransferLeadership(chosen, deadline_nanos - MonotonicNanos()));
+  while (MonotonicNanos() < deadline_nanos) {
+    RaftNode* now = leader();
+    if (now != nullptr && (now->id() == chosen || now->term() > old_term)) {
+      MANTLE_ILOG << "raft group " << name_ << " leadership moved " << ldr->id() << " -> "
+                  << now->id();
+      return Status::Ok();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Timeout("transfer: leadership did not move");
+}
+
+void RaftGroup::DecommissionNode(uint32_t id) {
+  RaftNode* corpse = node(id);
+  if (corpse != nullptr) {
+    corpse->Stop();
+  }
 }
 
 }  // namespace mantle

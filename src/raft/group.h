@@ -1,15 +1,23 @@
 // A Raft replication group: voters + learners over the simulated fabric.
+//
+// Membership is dynamic: AddLearner/PromoteLearner/RemoveNode change the
+// committed config at runtime (one node at a time), and TransferLeadership
+// moves the leader off a node about to be decommissioned. The group only ever
+// APPENDS to its node table - removed nodes stay behind as stopped corpses so
+// raw peer pointers held by replicators and in-flight handlers never dangle.
 
 #ifndef SRC_RAFT_GROUP_H_
 #define SRC_RAFT_GROUP_H_
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/net/network.h"
+#include "src/raft/config.h"
 #include "src/raft/node.h"
 
 namespace mantle {
@@ -17,6 +25,9 @@ namespace mantle {
 class RaftGroup {
  public:
   using StateMachineFactory = std::function<std::unique_ptr<StateMachine>(uint32_t node_id)>;
+
+  // Pseudo-target for TransferLeadership: pick the most caught-up live voter.
+  static constexpr uint32_t kAutoTarget = UINT32_MAX;
 
   // Creates `num_voters` voting replicas and `num_learners` read replicas,
   // each on its own logical server named "<name>-<id>".
@@ -27,8 +38,8 @@ class RaftGroup {
   RaftGroup(const RaftGroup&) = delete;
   RaftGroup& operator=(const RaftGroup&) = delete;
 
-  // Deterministic bootstrap: node 0 campaigns and the call blocks until a
-  // leader exists.
+  // Deterministic bootstrap: the first live voter campaigns and the call
+  // blocks until a leader exists.
   void Start();
 
   // Current leader, or nullptr. WaitForLeader blocks (with timeout) until an
@@ -40,20 +51,77 @@ class RaftGroup {
   // through leader changes until `options.propose_timeout_nanos` expires.
   Result<std::string> Propose(const std::string& command);
 
-  RaftNode* node(uint32_t id) const { return nodes_[id].get(); }
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
-  uint32_t num_voters() const { return num_voters_; }
+  // --- runtime membership -----------------------------------------------------
+  // Allocates a fresh node (new servers on the fabric, state machine from the
+  // construction-time factory) and commits a config adding it as a learner.
+  // The learner catches up through the normal replication path; when the
+  // leader's log is compacted (a snapshot is forced if none exists) the first
+  // exchange ships the snapshot, covering state-machine content that predates
+  // the log. Returns the new node id.
+  Result<uint32_t> AddLearner(int64_t timeout_nanos = 15'000'000'000);
+
+  // Waits until the leader's match index for `id` is within
+  // `max_lag_entries` of its last log index, then commits a config promoting
+  // the learner to voter. Idempotent if `id` already votes.
+  Status PromoteLearner(uint32_t id, uint64_t max_lag_entries = 16,
+                        int64_t timeout_nanos = 15'000'000'000);
+
+  // Commits a config removing `id` (voter or learner). When `id` is the
+  // current leader, leadership is transferred away first so the write stall
+  // stays bounded by one TimeoutNow round plus an election. The node object
+  // and its servers remain allocated (stopped corpse); call DecommissionNode
+  // to crash-stop it.
+  Status RemoveNode(uint32_t id, int64_t timeout_nanos = 15'000'000'000);
+
+  // Moves leadership to `target` (or the most caught-up live voter when
+  // kAutoTarget) via TimeoutNow and waits until the new leader takes over.
+  Status TransferLeadership(uint32_t target = kAutoTarget,
+                            int64_t timeout_nanos = 5'000'000'000);
+
+  // Crash-stops a (typically just-removed) node.
+  void DecommissionNode(uint32_t id);
+
+  // Routes a raw config change to the leader with retries across elections.
+  Status ProposeConfigChange(const RaftConfig& next,
+                             int64_t timeout_nanos = 15'000'000'000);
+
+  // The membership in force: the leader's applied config, else the live
+  // node with the highest config index, else node 0's view.
+  RaftConfig CommittedConfig() const;
+
+  RaftNode* node(uint32_t id) const;
+  uint32_t num_nodes() const;
+  uint32_t num_voters() const {
+    return static_cast<uint32_t>(CommittedConfig().voters.size());
+  }
   Network* network() const { return network_; }
+  const std::string& name() const { return name_; }
   const RaftOptions& options() const { return options_; }
 
-  // Number of votes needed to win an election / commit an entry.
-  uint32_t Majority() const { return num_voters_ / 2 + 1; }
+  // Number of votes needed to win an election / commit an entry under the
+  // committed config.
+  uint32_t Majority() const { return CommittedConfig().Majority(); }
 
  private:
+  // Stable pointer copy of the node table; iterate without holding nodes_mu_
+  // (node pointers live until group destruction).
+  std::vector<RaftNode*> SnapshotNodes() const;
+  Status ProposeConfigChangeInternal(const RaftConfig& next, int64_t deadline_nanos);
+  Status TransferLeadershipInternal(uint32_t target, int64_t deadline_nanos);
+
   Network* network_;
-  uint32_t num_voters_;
+  const std::string name_;
   RaftOptions options_;
+  StateMachineFactory factory_;
+
+  // Guards nodes_ (runtime growth via AddLearner). Leaf lock: never held
+  // while acquiring a node's mutex.
+  mutable std::mutex nodes_mu_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
+
+  // Serializes membership operations group-side; the leader additionally
+  // refuses overlapping config entries (the real safety check).
+  std::mutex membership_mu_;
 };
 
 }  // namespace mantle

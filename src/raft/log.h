@@ -9,10 +9,16 @@
 
 namespace mantle {
 
+// What an entry carries: a state-machine command (applied via
+// StateMachine::Apply) or a membership config (applied by the Raft layer
+// itself at commit - see src/raft/config.h).
+enum class LogEntryType : uint8_t { kCommand, kConfig };
+
 struct LogEntry {
   uint64_t term = 0;
   uint64_t index = 0;
-  std::string payload;  // opaque state-machine command
+  std::string payload;  // opaque state-machine command, or an encoded RaftConfig
+  LogEntryType type = LogEntryType::kCommand;
 };
 
 // In-memory Raft log with prefix compaction. A sentinel entry marks the

@@ -46,11 +46,30 @@ struct InstallSnapshotRequest {
   uint64_t snapshot_index = 0;  // last index covered by the snapshot
   uint64_t snapshot_term = 0;
   std::string data;             // StateMachine::Snapshot() payload
+  // Membership as of snapshot_index (encoded RaftConfig) - a learner catching
+  // up from a snapshot must learn the config it can no longer replay.
+  std::string config;
+  uint64_t config_index = 0;
 };
 
 struct InstallSnapshotReply {
   uint64_t term = 0;
   bool success = false;
+  bool peer_down = false;
+};
+
+// Leader transfer (the TimeoutNow extension): the outgoing leader tells a
+// caught-up voter to campaign immediately, bypassing its election timeout.
+// The old leader steps down when it sees the target's higher-term vote
+// request, bounding the write stall to one message exchange.
+struct TimeoutNowRequest {
+  uint64_t term = 0;
+  uint32_t leader_id = 0;
+};
+
+struct TimeoutNowReply {
+  // True when the target accepted and started a campaign.
+  bool accepted = false;
   bool peer_down = false;
 };
 

@@ -28,26 +28,23 @@ void SafeSetValue(const std::shared_ptr<std::promise<Result<std::string>>>& prom
 
 }  // namespace
 
-RaftNode::RaftNode(RaftGroup* group, uint32_t id, bool voter, ServerExecutor* server,
-                   ServerExecutor* raft_server, std::unique_ptr<StateMachine> state_machine,
-                   const RaftOptions& options)
+RaftNode::RaftNode(RaftGroup* group, uint32_t id, const RaftConfig& initial_config,
+                   ServerExecutor* server, ServerExecutor* raft_server,
+                   std::unique_ptr<StateMachine> state_machine, const RaftOptions& options)
     : group_(group),
       id_(id),
-      voter_(voter),
       server_(server),
       raft_server_(raft_server),
       state_machine_(std::move(state_machine)),
       options_(options),
       storage_(options.fsync_nanos),
-      role_(voter ? RaftRole::kFollower : RaftRole::kLearner),
+      boot_config_(initial_config),
+      role_(initial_config.IsVoter(id) ? RaftRole::kFollower : RaftRole::kLearner),
+      config_(initial_config),
       rng_(0x9a7f00d + id) {
   last_heartbeat_nanos_ = MonotonicNanos();
   election_timeout_nanos_ = RandomElectionTimeout();
 }
-
-// Threads are started by RaftGroup after all nodes exist (replicators need
-// group_->node(peer) to be valid), via this friend-style late init.
-void RaftNodeStartThreads(RaftNode& node);
 
 RaftNode::~RaftNode() {
   BeginShutdown();
@@ -77,7 +74,21 @@ void RaftNode::JoinThreads() {
   if (pipeline_thread_.joinable()) {
     pipeline_thread_.join();
   }
-  for (auto& replicator : replicator_threads_) {
+  // Replicators spawn under mu_ and check stopping_ under mu_ first, so once
+  // stopping_ is set (BeginShutdown) the sets grabbed here are complete.
+  std::map<uint32_t, std::thread> replicators;
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replicators.swap(replicator_threads_);
+    finished.swap(finished_replicators_);
+  }
+  for (auto& [peer, replicator] : replicators) {
+    if (replicator.joinable()) {
+      replicator.join();
+    }
+  }
+  for (auto& replicator : finished) {
     if (replicator.joinable()) {
       replicator.join();
     }
@@ -88,6 +99,11 @@ int64_t RaftNode::RandomElectionTimeout() {
   return options_.election_timeout_min_nanos +
          static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
              options_.election_timeout_max_nanos - options_.election_timeout_min_nanos + 1)));
+}
+
+bool RaftNode::is_voter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.IsVoter(id_);
 }
 
 RaftRole RaftNode::role() const {
@@ -115,6 +131,56 @@ uint64_t RaftNode::last_log_index() const {
   return log_.LastIndex();
 }
 
+uint64_t RaftNode::log_first_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.FirstIndex();
+}
+
+RaftConfig RaftNode::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+uint64_t RaftNode::config_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_index_;
+}
+
+uint64_t RaftNode::MatchIndexOf(uint32_t peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (role_ != RaftRole::kLeader || peer >= match_index_.size()) {
+    return 0;
+  }
+  return match_index_[peer];
+}
+
+uint64_t RaftNode::PeerDownStreak(uint32_t peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peer_down_streak_.find(peer);
+  return it == peer_down_streak_.end() ? 0 : it->second;
+}
+
+bool RaftNode::snapshot_disabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_disabled_;
+}
+
+void RaftNode::set_test_event_hook(std::function<void(const char*)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  test_event_hook_ = std::move(hook);
+}
+
+void RaftNode::TestEvent(const char* event) {
+  std::function<void(const char*)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = test_event_hook_;
+  }
+  if (hook) {
+    hook(event);
+  }
+}
+
 void RaftNode::Stop() {
   std::lock_guard<std::mutex> lock(mu_);
   down_.store(true, std::memory_order_release);
@@ -124,7 +190,7 @@ void RaftNode::Stop() {
 void RaftNode::Restart() {
   std::lock_guard<std::mutex> lock(mu_);
   // A restarted node rejoins as follower/learner with its persisted log.
-  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+  role_ = config_.IsVoter(id_) ? RaftRole::kFollower : RaftRole::kLearner;
   last_heartbeat_nanos_ = MonotonicNanos();
   election_timeout_nanos_ = RandomElectionTimeout();
   down_.store(false, std::memory_order_release);
@@ -147,13 +213,31 @@ void RaftNode::WipeState() {
   snapshot_index_ = 0;
   snapshot_term_ = 0;
   snapshot_data_.clear();
-  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+  snapshot_config_.clear();
+  snapshot_config_index_ = 0;
+  snapshot_requested_ = false;
+  snapshot_disabled_ = false;
+  // Learned membership lived in the wiped log/snapshot; fall back to the boot
+  // view until SeedConfig or a replayed/installed config overrides it.
+  config_ = boot_config_;
+  config_index_ = 0;
+  role_ = config_.IsVoter(id_) ? RaftRole::kFollower : RaftRole::kLearner;
+}
+
+void RaftNode::SeedConfig(const RaftConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!down_.load(std::memory_order_acquire)) {
+    return;  // live nodes learn membership only through the log/snapshot
+  }
+  config_ = config;
+  config_index_ = 0;
+  role_ = config_.IsVoter(id_) ? RaftRole::kFollower : RaftRole::kLearner;
 }
 
 void RaftNode::BecomeFollower(uint64_t term) {
   term_ = term;
   voted_for_ = -1;
-  role_ = voter_ ? RaftRole::kFollower : RaftRole::kLearner;
+  role_ = config_.IsVoter(id_) ? RaftRole::kFollower : RaftRole::kLearner;
 }
 
 void RaftNode::StepDownLocked(uint64_t term) {
@@ -193,6 +277,14 @@ void RaftNode::BecomeLeader() {
   MANTLE_ILOG << "raft node " << id_ << " became leader (term " << term_ << ")";
 }
 
+void RaftNode::EnsureLeaderSlotsLocked() {
+  const size_t total = group_->num_nodes();
+  if (next_index_.size() < total) {
+    next_index_.resize(total, log_.LastIndex() + 1);
+    match_index_.resize(total, 0);
+  }
+}
+
 void RaftNode::MaybeAdvanceCommitLocked() {
   const uint64_t last = log_.LastIndex();
   for (uint64_t n = last; n > commit_index_; --n) {
@@ -200,18 +292,88 @@ void RaftNode::MaybeAdvanceCommitLocked() {
       break;  // only entries from the current term commit by counting
     }
     uint32_t votes = 0;
-    for (uint32_t peer = 0; peer < group_->num_nodes(); ++peer) {
-      if (group_->node(peer)->is_voter() && match_index_[peer] >= n) {
+    for (uint32_t peer : config_.voters) {
+      if (peer < match_index_.size() && match_index_[peer] >= n) {
         ++votes;
       }
     }
-    if (votes >= group_->Majority()) {
+    if (votes >= config_.Majority()) {
       commit_index_ = n;
       apply_cv_.notify_all();
       replicate_cv_.notify_all();  // piggyback the new commit index
       break;
     }
   }
+}
+
+void RaftNode::ApplyConfigLocked(uint64_t index, RaftConfig config) {
+  config_ = std::move(config);
+  config_index_ = index;
+  stats_.config_changes.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* changes = obs::Metrics::Instance().GetCounter("raft.config.changes");
+  static obs::Gauge* voters = obs::Metrics::Instance().GetGauge("raft.config.voters");
+  static obs::Gauge* learners = obs::Metrics::Instance().GetGauge("raft.config.learners");
+  changes->Add();
+  voters->Set(static_cast<int64_t>(config_.voters.size()));
+  learners->Set(static_cast<int64_t>(config_.learners.size()));
+  const bool self_voter = config_.IsVoter(id_);
+  if (role_ == RaftRole::kLeader) {
+    if (!self_voter) {
+      // Decommissioned leader: step down; the group elects a successor from
+      // the remaining voters (or leadership was transferred beforehand).
+      MANTLE_ILOG << "raft node " << id_ << " removed from config while leader; stepping down";
+      StepDownLocked(term_);
+    } else {
+      EnsureLeaderSlotsLocked();
+    }
+  } else if (self_voter && role_ == RaftRole::kLearner) {
+    // Freshly promoted: start from a full election timeout rather than a
+    // stale learner timer, so promotion never triggers an instant campaign.
+    role_ = RaftRole::kFollower;
+    last_heartbeat_nanos_ = MonotonicNanos();
+    election_timeout_nanos_ = RandomElectionTimeout();
+  } else if (!self_voter &&
+             (role_ == RaftRole::kFollower || role_ == RaftRole::kCandidate)) {
+    role_ = RaftRole::kLearner;
+  }
+  SyncReplicatorsLocked();
+  replicate_cv_.notify_all();
+}
+
+void RaftNode::SyncReplicatorsLocked() {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  auto spawn = [this](uint32_t peer) {
+    if (peer == id_ || replicator_threads_.count(peer) != 0) {
+      return;
+    }
+    replicator_threads_.emplace(peer,
+                                std::thread([this, peer]() { ReplicatorLoop(peer); }));
+  };
+  for (uint32_t peer : config_.voters) {
+    spawn(peer);
+  }
+  for (uint32_t peer : config_.learners) {
+    spawn(peer);
+  }
+}
+
+bool RaftNode::ConfigChangeInFlightLocked() const {
+  for (const auto& pending : proposal_queue_) {
+    if (pending.type == LogEntryType::kConfig) {
+      return true;
+    }
+  }
+  // A kConfig entry above the apply cursor - our own in-flight change or one
+  // inherited from a previous leader - blocks new changes until it resolves
+  // (applies, or is truncated away by a conflicting leader).
+  for (uint64_t i = last_applied_ + 1; i <= log_.LastIndex(); ++i) {
+    if (log_.At(i).type == LogEntryType::kConfig) {
+      return true;
+    }
+  }
+  return false;
 }
 
 AppendEntriesReply RaftNode::HandleAppendEntries(const AppendEntriesRequest& request) {
@@ -266,10 +428,13 @@ AppendEntriesReply RaftNode::HandleAppendEntries(const AppendEntriesRequest& req
 }
 
 RequestVoteReply RaftNode::HandleRequestVote(const RequestVoteRequest& request) {
-  if (down_.load(std::memory_order_acquire) || !voter_) {
+  if (down_.load(std::memory_order_acquire)) {
     return RequestVoteReply{0, false};
   }
   std::unique_lock<std::mutex> lock(mu_);
+  if (!config_.IsVoter(id_)) {
+    return RequestVoteReply{term_, false};  // learners and removed nodes don't vote
+  }
   if (request.term < term_) {
     return RequestVoteReply{term_, false};
   }
@@ -304,6 +469,24 @@ std::optional<uint64_t> RaftNode::HandleReadIndexQuery() {
   return commit_index_;
 }
 
+TimeoutNowReply RaftNode::HandleTimeoutNow(const TimeoutNowRequest& request) {
+  if (down_.load(std::memory_order_acquire)) {
+    return TimeoutNowReply{false, /*peer_down=*/true};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (role_ == RaftRole::kLeader) {
+      return TimeoutNowReply{true, false};  // transfer already complete
+    }
+    if (request.term < term_ || !config_.IsVoter(id_)) {
+      return TimeoutNowReply{false, false};
+    }
+    stats_.timeout_now_received.fetch_add(1, std::memory_order_relaxed);
+  }
+  RunElection();
+  return TimeoutNowReply{role() == RaftRole::kLeader, false};
+}
+
 Result<std::string> RaftNode::ProposeAndWait(std::string command) {
   const int64_t wait_nanos = DeadlineBudget::Clamp(options_.propose_timeout_nanos);
   if (wait_nanos <= 0) {
@@ -327,6 +510,107 @@ Result<std::string> RaftNode::ProposeAndWait(std::string command) {
     return Status::Timeout("propose timed out");
   }
   return future.get();
+}
+
+Status RaftNode::ProposeConfigChange(const RaftConfig& next) {
+  static obs::Counter* rejected = obs::Metrics::Instance().GetCounter("raft.config.rejected");
+  const int64_t wait_nanos = DeadlineBudget::Clamp(options_.propose_timeout_nanos);
+  if (wait_nanos <= 0) {
+    return Status::Timeout("config change: deadline exhausted");
+  }
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  std::future<Result<std::string>> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("node down");
+    }
+    if (role_ != RaftRole::kLeader) {
+      return Status::Unavailable("not leader");
+    }
+    if (next == config_) {
+      return Status::Ok();  // idempotent re-proposal of the active config
+    }
+    if (next.voters.empty()) {
+      stats_.config_rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected->Add();
+      return Status::InvalidArgument("config must keep at least one voter");
+    }
+    if (!config_.DiffersByAtMostOneFrom(next)) {
+      stats_.config_rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected->Add();
+      return Status::InvalidArgument("membership changes are one node at a time");
+    }
+    if (ConfigChangeInFlightLocked()) {
+      stats_.config_rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected->Add();
+      return Status::Busy("a membership change is already in flight");
+    }
+    stats_.proposals.fetch_add(1, std::memory_order_relaxed);
+    proposal_queue_.push_back(
+        PendingProposal{next.Encode(), promise, LogEntryType::kConfig});
+  }
+  proposal_cv_.notify_one();
+  if (future.wait_for(std::chrono::nanoseconds(wait_nanos)) != std::future_status::ready) {
+    return Status::Timeout("config change timed out");
+  }
+  Result<std::string> applied = future.get();
+  return applied.ok() ? Status::Ok() : applied.status();
+}
+
+Status RaftNode::TransferLeadership(uint32_t target, int64_t timeout_nanos) {
+  static obs::Counter* transfers = obs::Metrics::Instance().GetCounter("raft.transfer.count");
+  const int64_t deadline = MonotonicNanos() + std::max<int64_t>(timeout_nanos, 0);
+  uint64_t request_term = 0;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (down_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("node down");
+      }
+      if (role_ != RaftRole::kLeader) {
+        return Status::Unavailable("not leader");
+      }
+      if (target == id_) {
+        return Status::Ok();
+      }
+      if (!config_.IsVoter(target)) {
+        return Status::InvalidArgument("transfer target must be a voter");
+      }
+      EnsureLeaderSlotsLocked();
+      if (match_index_[target] == log_.LastIndex()) {
+        request_term = term_;
+        break;  // fully caught up: the target's log can win an election
+      }
+      replicate_cv_.notify_all();
+    }
+    if (MonotonicNanos() >= deadline) {
+      return Status::Timeout("leader transfer: target did not catch up");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  RaftNode* peer = group_->node(target);
+  ScopedNetOrigin origin(raft_server_->name());
+  const TimeoutNowRequest request{request_term, id_};
+  TimeoutNowReply reply = peer->raft_server()->Call(
+      [peer, request]() { return peer->HandleTimeoutNow(request); },
+      [](const Status&) { return TimeoutNowReply{false, /*peer_down=*/true}; });
+  if (reply.peer_down) {
+    return Status::Unavailable("leader transfer: target unreachable");
+  }
+  if (!reply.accepted) {
+    return Status::Unavailable("leader transfer: target refused to campaign");
+  }
+  transfers->Add();
+  return Status::Ok();
+}
+
+void RaftNode::RequestSnapshot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_requested_ = true;
+  }
+  apply_cv_.notify_all();
 }
 
 void RaftNode::WaitApplied(uint64_t index) {
@@ -419,9 +703,12 @@ void RaftNode::RunElection() {
   // partition isolating this replica also isolates its campaigns.
   ScopedNetOrigin origin(raft_server_->name());
   RequestVoteRequest request;
+  std::vector<uint32_t> voters;
+  uint32_t needed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (role_ == RaftRole::kLeader || !voter_ || down_.load(std::memory_order_acquire)) {
+    if (role_ == RaftRole::kLeader || !config_.IsVoter(id_) ||
+        down_.load(std::memory_order_acquire)) {
       return;
     }
     ++term_;
@@ -433,15 +720,17 @@ void RaftNode::RunElection() {
     last_heartbeat_nanos_ = MonotonicNanos();
     election_timeout_nanos_ = RandomElectionTimeout();
     request = RequestVoteRequest{term_, id_, log_.LastIndex(), log_.LastTerm()};
+    voters = config_.voters;
+    needed = config_.Majority();
   }
   storage_.Persist(0);
 
   std::vector<std::future<RequestVoteReply>> replies;
-  for (uint32_t peer = 0; peer < group_->num_nodes(); ++peer) {
-    RaftNode* peer_node = group_->node(peer);
-    if (peer == id_ || !peer_node->is_voter()) {
+  for (uint32_t peer : voters) {
+    if (peer == id_) {
       continue;
     }
+    RaftNode* peer_node = group_->node(peer);
     replies.push_back(peer_node->raft_server()->CallAsync(
         [peer_node, request]() { return peer_node->HandleRequestVote(request); },
         [](const Status&) { return RequestVoteReply{0, false}; }));
@@ -463,7 +752,7 @@ void RaftNode::RunElection() {
     StepDownLocked(max_term);
     return;
   }
-  if (role_ == RaftRole::kCandidate && term_ == request.term && votes >= group_->Majority()) {
+  if (role_ == RaftRole::kCandidate && term_ == request.term && votes >= needed) {
     BecomeLeader();
   }
 }
@@ -474,13 +763,13 @@ void RaftNode::ElectionLoop() {
     if (stopping_.load(std::memory_order_acquire)) {
       return;
     }
-    if (!options_.enable_election_timer || !voter_ || down_.load(std::memory_order_acquire)) {
+    if (!options_.enable_election_timer || down_.load(std::memory_order_acquire)) {
       continue;
     }
     bool should_campaign = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      should_campaign = role_ != RaftRole::kLeader &&
+      should_campaign = role_ != RaftRole::kLeader && config_.IsVoter(id_) &&
                         MonotonicNanos() - last_heartbeat_nanos_ > election_timeout_nanos_;
     }
     if (should_campaign) {
@@ -505,7 +794,7 @@ void RaftNode::PipelineLoop() {
       PendingProposal proposal = std::move(proposal_queue_.front());
       proposal_queue_.pop_front();
       const uint64_t index = log_.LastIndex() + 1;
-      log_.Append(LogEntry{term_, index, std::move(proposal.command)});
+      log_.Append(LogEntry{term_, index, std::move(proposal.command), proposal.type});
       pending_applies_[index] = std::move(proposal.done);
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
@@ -533,16 +822,26 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
     replicate_cv_.wait_for(
         lock, std::chrono::nanoseconds(options_.heartbeat_interval_nanos),
         [this, peer_id, &last_sent_commit]() {
-          return stopping_.load(std::memory_order_acquire) ||
+          return stopping_.load(std::memory_order_acquire) || !config_.IsMember(peer_id) ||
                  (role_ == RaftRole::kLeader && !down_.load(std::memory_order_acquire) &&
+                  peer_id < next_index_.size() &&
                   (next_index_[peer_id] <= log_.LastIndex() || commit_index_ > last_sent_commit));
         });
     if (stopping_.load(std::memory_order_acquire)) {
-      return;
+      break;
     }
+    const bool member = config_.IsMember(peer_id);
     if (role_ != RaftRole::kLeader || down_.load(std::memory_order_acquire)) {
+      if (!member) {
+        break;  // drained: the peer left the config and we owe it nothing
+      }
       continue;
     }
+    // As leader to a just-removed peer: keep replicating until the removal
+    // entry (and the commit index covering it) reaches the peer, so a live
+    // decommissioned node learns it is out and stops campaigning. A dead one
+    // surfaces as peer_down below and the thread drains immediately.
+    EnsureLeaderSlotsLocked();
     if (log_.Compacted(next_index_[peer_id] - 1)) {
       // The entries this peer needs are gone: install the snapshot instead.
       InstallSnapshotRequest snap;
@@ -551,6 +850,8 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
       snap.snapshot_index = snapshot_index_;
       snap.snapshot_term = snapshot_term_;
       snap.data = snapshot_data_;
+      snap.config = snapshot_config_;
+      snap.config_index = snapshot_config_index_;
       lock.unlock();
       stats_.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
       InstallSnapshotReply snap_reply = peer->raft_server()->Call(
@@ -558,8 +859,13 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
           [](const Status&) { return InstallSnapshotReply{0, false, /*peer_down=*/true}; });
       lock.lock();
       if (snap_reply.peer_down) {
+        ++peer_down_streak_[peer_id];
+        if (!config_.IsMember(peer_id)) {
+          break;
+        }
         continue;
       }
+      peer_down_streak_[peer_id] = 0;
       if (snap_reply.term > term_) {
         StepDownLocked(snap_reply.term);
         continue;
@@ -593,8 +899,13 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
 
     lock.lock();
     if (reply.peer_down) {
+      ++peer_down_streak_[peer_id];
+      if (!config_.IsMember(peer_id)) {
+        break;
+      }
       continue;
     }
+    peer_down_streak_[peer_id] = 0;
     if (reply.term > term_) {
       StepDownLocked(reply.term);
       continue;
@@ -606,10 +917,24 @@ void RaftNode::ReplicatorLoop(uint32_t peer_id) {
       match_index_[peer_id] = std::max(match_index_[peer_id], reply.match_index);
       next_index_[peer_id] = match_index_[peer_id] + 1;
       MaybeAdvanceCommitLocked();
+      if (!config_.IsMember(peer_id) && match_index_[peer_id] >= config_index_ &&
+          request.leader_commit >= config_index_) {
+        break;  // removal delivered and committed at the peer: drain
+      }
     } else {
       next_index_[peer_id] =
           std::max<uint64_t>(1, std::min(next_index_[peer_id] - 1, reply.match_index + 1));
     }
+  }
+  // Retire this thread's handle so the peer id can be re-added later; the
+  // handle moves to finished_replicators_ for JoinThreads to reap.
+  if (!lock.owns_lock()) {
+    lock.lock();
+  }
+  auto it = replicator_threads_.find(peer_id);
+  if (it != replicator_threads_.end() && it->second.get_id() == std::this_thread::get_id()) {
+    finished_replicators_.push_back(std::move(it->second));
+    replicator_threads_.erase(it);
   }
 }
 
@@ -617,7 +942,8 @@ void RaftNode::ApplyLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_.load(std::memory_order_acquire)) {
     apply_cv_.wait(lock, [this]() {
-      return stopping_.load(std::memory_order_acquire) || last_applied_ < commit_index_;
+      return stopping_.load(std::memory_order_acquire) || last_applied_ < commit_index_ ||
+             snapshot_requested_;
     });
     if (stopping_.load(std::memory_order_acquire)) {
       return;
@@ -629,11 +955,23 @@ void RaftNode::ApplyLoop() {
     while (last_applied_ < commit_index_) {
       const uint64_t index = last_applied_ + 1;
       const std::string payload = log_.At(index).payload;
+      const LogEntryType type = log_.At(index).type;
       std::shared_ptr<std::promise<Result<std::string>>> waiter;
       auto it = pending_applies_.find(index);
       if (it != pending_applies_.end()) {
         waiter = std::move(it->second);
         pending_applies_.erase(it);
+      }
+      if (type == LogEntryType::kConfig) {
+        // Membership applies in the Raft layer itself, atomically with the
+        // apply cursor, under the node lock.
+        ApplyConfigLocked(index, RaftConfig::Decode(payload));
+        last_applied_ = index;
+        applied_cv_.notify_all();
+        lock.unlock();
+        SafeSetValue(waiter, Result<std::string>(std::string()));
+        lock.lock();
+        continue;
       }
       lock.unlock();
       std::string result;
@@ -645,26 +983,33 @@ void RaftNode::ApplyLoop() {
       last_applied_ = index;
       applied_cv_.notify_all();
     }
-    MaybeSnapshot(lock);
+    MaybeTakeSnapshot(lock);
   }
 }
 
-void RaftNode::MaybeSnapshot(std::unique_lock<std::mutex>& lock) {
-  if (options_.snapshot_threshold_entries == 0 ||
-      last_applied_ <= log_.FirstIndex() ||
-      last_applied_ - log_.FirstIndex() < options_.snapshot_threshold_entries) {
+void RaftNode::MaybeTakeSnapshot(std::unique_lock<std::mutex>& lock) {
+  const bool forced = snapshot_requested_;
+  snapshot_requested_ = false;
+  if (snapshot_disabled_ || last_applied_ <= log_.FirstIndex()) {
+    return;
+  }
+  if (!forced && (options_.snapshot_threshold_entries == 0 ||
+                  last_applied_ - log_.FirstIndex() < options_.snapshot_threshold_entries)) {
     return;
   }
   const uint64_t snap_index = last_applied_;
   const uint64_t snap_term = log_.TermAt(snap_index);
+  const std::string snap_config = config_.Encode();
+  const uint64_t snap_config_index = config_index_;
   lock.unlock();
   // Only the apply thread mutates the state machine, so this serialization
   // observes exactly the applied prefix [1, snap_index].
   std::string data = state_machine_->Snapshot();
   lock.lock();
   if (data.empty()) {
-    // Machine is not snapshottable; disable further attempts.
-    options_.snapshot_threshold_entries = 0;
+    // Machine is not snapshottable; disable further attempts. Tracked apart
+    // from options_ so the configured threshold stays inspectable.
+    snapshot_disabled_ = true;
     return;
   }
   if (snap_index <= snapshot_index_) {
@@ -673,11 +1018,18 @@ void RaftNode::MaybeSnapshot(std::unique_lock<std::mutex>& lock) {
   snapshot_index_ = snap_index;
   snapshot_term_ = snap_term;
   snapshot_data_ = std::move(data);
+  snapshot_config_ = snap_config;
+  snapshot_config_index_ = snap_config_index;
+  lock.unlock();
+  // Durability ordering: the snapshot must be on disk BEFORE the log prefix
+  // it replaces is dropped. A crash after CompactPrefix but before the
+  // snapshot fsync would leave the prefix in neither the durable log nor a
+  // durable snapshot.
+  storage_.Persist(1);
+  TestEvent("snapshot.persisted");
+  lock.lock();
   log_.CompactPrefix(snap_index);
   stats_.snapshots_taken.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
-  storage_.Persist(1);  // snapshot durability
-  lock.lock();
 }
 
 InstallSnapshotReply RaftNode::HandleInstallSnapshot(const InstallSnapshotRequest& request) {
@@ -704,8 +1056,15 @@ InstallSnapshotReply RaftNode::HandleInstallSnapshot(const InstallSnapshotReques
   snapshot_index_ = request.snapshot_index;
   snapshot_term_ = request.snapshot_term;
   snapshot_data_ = request.data;
+  snapshot_config_ = request.config;
+  snapshot_config_index_ = request.config_index;
   last_applied_ = request.snapshot_index;
   commit_index_ = std::max(commit_index_, request.snapshot_index);
+  if (!request.config.empty() && request.config_index >= config_index_) {
+    // The snapshot covers config entries this node can no longer replay;
+    // adopt the membership in force at the snapshot point.
+    ApplyConfigLocked(request.config_index, RaftConfig::Decode(request.config));
+  }
   stats_.snapshots_installed.fetch_add(1, std::memory_order_relaxed);
   applied_cv_.notify_all();
   const uint64_t reply_term = term_;
@@ -718,11 +1077,8 @@ void RaftNodeStartThreads(RaftNode& node) {
   node.apply_thread_ = std::thread([&node]() { node.ApplyLoop(); });
   node.election_thread_ = std::thread([&node]() { node.ElectionLoop(); });
   node.pipeline_thread_ = std::thread([&node]() { node.PipelineLoop(); });
-  for (uint32_t peer = 0; peer < node.group_->num_nodes(); ++peer) {
-    if (peer != node.id_) {
-      node.replicator_threads_.emplace_back([&node, peer]() { node.ReplicatorLoop(peer); });
-    }
-  }
+  std::lock_guard<std::mutex> lock(node.mu_);
+  node.SyncReplicatorsLocked();
 }
 
 }  // namespace mantle

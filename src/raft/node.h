@@ -8,8 +8,15 @@
 //                           batching is on (paper §5.2.3), per entry when off;
 //   * replicator threads  - (acting leader) one per peer, ships AppendEntries
 //                           and heartbeats over the simulated fabric.
-// Pipeline and replicator threads exist from construction and idle unless the
-// node is leader, which keeps role transitions free of thread lifecycles.
+// Pipeline and election threads exist from construction and idle unless
+// relevant. Replicator threads follow the membership config: one per current
+// member, spawned when a config adding the peer applies and draining (thread
+// exits) when a config removing it applies.
+//
+// Membership lives in kConfig log entries (src/raft/config.h): the committed
+// config drives vote counting, commit counting, and the replicator set. A
+// node's voter/learner status is therefore dynamic - `is_voter()` consults
+// the config, not a construction-time flag.
 
 #ifndef SRC_RAFT_NODE_H_
 #define SRC_RAFT_NODE_H_
@@ -30,6 +37,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/net/network.h"
+#include "src/raft/config.h"
 #include "src/raft/log.h"
 #include "src/raft/messages.h"
 #include "src/raft/state_machine.h"
@@ -55,8 +63,9 @@ struct RaftOptions {
   bool enable_election_timer = true;
   size_t workers_per_node = 4;  // executor width of each replica server
   // Log compaction: snapshot the state machine and drop the applied prefix
-  // once this many live entries accumulate. 0 disables compaction. Requires
-  // a snapshottable StateMachine (non-empty Snapshot()).
+  // once this many live entries accumulate. 0 disables threshold-driven
+  // compaction (RequestSnapshot() still forces one). Requires a snapshottable
+  // StateMachine (non-empty Snapshot()).
   uint64_t snapshot_threshold_entries = 0;
 };
 
@@ -73,6 +82,9 @@ struct RaftNodeStats {
   std::atomic<uint64_t> snapshots_taken{0};
   std::atomic<uint64_t> snapshots_installed{0};       // received from a leader
   std::atomic<uint64_t> snapshots_sent{0};
+  std::atomic<uint64_t> config_changes{0};            // configs applied on this node
+  std::atomic<uint64_t> config_rejected{0};           // overlapping/invalid proposals refused
+  std::atomic<uint64_t> timeout_now_received{0};      // leader-transfer campaigns triggered
 };
 
 class RaftNode {
@@ -81,10 +93,13 @@ class RaftNode {
   // handles consensus traffic (AppendEntries, votes, ReadIndex queries). The
   // split mirrors a real deployment's separate service ports and guarantees
   // that client handlers blocked on an apply fence can never starve the pool
-  // that delivers the very entries they wait for.
-  RaftNode(RaftGroup* group, uint32_t id, bool voter, ServerExecutor* server,
-           ServerExecutor* raft_server, std::unique_ptr<StateMachine> state_machine,
-           const RaftOptions& options);
+  // that delivers the very entries they wait for. `initial_config` is the
+  // node's boot-time view of membership; nodes added at runtime boot with the
+  // committed config as of their creation and learn later changes from the
+  // log/snapshot.
+  RaftNode(RaftGroup* group, uint32_t id, const RaftConfig& initial_config,
+           ServerExecutor* server, ServerExecutor* raft_server,
+           std::unique_ptr<StateMachine> state_machine, const RaftOptions& options);
   ~RaftNode();
 
   RaftNode(const RaftNode&) = delete;
@@ -98,12 +113,27 @@ class RaftNode {
   std::optional<uint64_t> HandleReadIndexQuery();
   // Installs a leader-provided snapshot on a lagging follower/learner.
   InstallSnapshotReply HandleInstallSnapshot(const InstallSnapshotRequest& request);
+  // Leader transfer: campaign immediately, bypassing the election timeout.
+  TimeoutNowReply HandleTimeoutNow(const TimeoutNowRequest& request);
 
   // --- client API -------------------------------------------------------------
   // Appends `command` through consensus and waits until it is applied locally;
   // returns the state machine's result. Fails with kUnavailable when this node
   // is not the leader.
   Result<std::string> ProposeAndWait(std::string command);
+
+  // Appends a kConfig entry carrying `next` and waits until it COMMITS and
+  // applies locally (one-at-a-time rule, Raft §4.1). Refuses with kBusy while
+  // another change is in flight (queued, appended-uncommitted, or inherited
+  // from a previous term) and with kInvalidArgument when `next` changes more
+  // than one node's status or empties the voter set. Leader only.
+  Status ProposeConfigChange(const RaftConfig& next);
+
+  // Leader-side transfer: wait (bounded) for `target` to be fully caught up,
+  // then send TimeoutNow so it campaigns immediately. This node steps down on
+  // seeing the target's higher-term vote request, bounding the write stall to
+  // one round trip plus an election.
+  Status TransferLeadership(uint32_t target, int64_t timeout_nanos);
 
   // Follower/learner read fence (paper §5.1.3): obtain the leader's commit
   // index (coalescing concurrent queries into one RPC) and wait until the
@@ -119,14 +149,25 @@ class RaftNode {
   // Forces this node to start a campaign now (deterministic bootstrap).
   void Campaign();
 
+  // Asks the apply thread to take a snapshot at the next opportunity even if
+  // the live-entry threshold has not been reached. Used when a fresh learner
+  // joins: bulk-loaded state-machine content is not in the log, so the only
+  // way to ship it is the InstallSnapshot path, which needs a snapshot (and a
+  // compacted prefix) to exist.
+  void RequestSnapshot();
+
   // Crash-stop simulation.
   void Stop();
   void Restart();
   // Cold-restart support: discards all Raft state - log, term, vote, commit
-  // and apply cursors, retained snapshot - as if the node came back on a
-  // blank disk. No-op unless the node is stopped. The caller rebuilds the
-  // state machine (or lets InstallSnapshot do it) before Restart().
+  // and apply cursors, retained snapshot, learned membership - as if the node
+  // came back on a blank disk. No-op unless the node is stopped. The caller
+  // rebuilds the state machine (or lets InstallSnapshot do it) and may
+  // SeedConfig() a known-good membership before Restart().
   void WipeState();
+  // Replaces the membership view of a stopped node (cold-start rebuild after
+  // WipeState, when the config can no longer be replayed from any log).
+  void SeedConfig(const RaftConfig& config);
   bool IsDown() const { return down_.load(std::memory_order_acquire); }
 
   // Two-phase teardown, used by RaftGroup: nodes hold raw peer pointers, so
@@ -138,17 +179,34 @@ class RaftNode {
 
   // --- introspection -----------------------------------------------------------
   uint32_t id() const { return id_; }
-  bool is_voter() const { return voter_; }
+  bool is_voter() const;
   RaftRole role() const;
   uint64_t term() const;
   uint64_t commit_index() const;
   uint64_t last_applied() const;
   uint64_t last_log_index() const;
+  uint64_t log_first_index() const;
+  RaftConfig config() const;
+  uint64_t config_index() const;
+  // Leader-side: last replicated index of `peer`, 0 when unknown/not leader.
+  uint64_t MatchIndexOf(uint32_t peer) const;
+  // Consecutive fabric-level failures (peer_down replies) talking to `peer`;
+  // reset to zero by any successful exchange. The repair supervisor's primary
+  // death signal.
+  uint64_t PeerDownStreak(uint32_t peer) const;
+  bool snapshot_disabled() const;
   ServerExecutor* server() const { return server_; }
   ServerExecutor* raft_server() const { return raft_server_; }
   StateMachine* state_machine() const { return state_machine_.get(); }
   RaftStorage& storage() { return storage_; }
   const RaftNodeStats& stats() const { return stats_; }
+  const RaftOptions& options() const { return options_; }
+
+  // Crash-point testing: invoked (outside mu_) at named events, currently
+  // "snapshot.persisted" - after the snapshot fsync, before the log prefix is
+  // compacted. The hook must not call back into methods that take mu_ on this
+  // node beyond accessors.
+  void set_test_event_hook(std::function<void(const char*)> hook);
 
  private:
   friend void RaftNodeStartThreads(RaftNode& node);
@@ -156,6 +214,7 @@ class RaftNode {
   struct PendingProposal {
     std::string command;
     std::shared_ptr<std::promise<Result<std::string>>> done;
+    LogEntryType type = LogEntryType::kCommand;
   };
 
   // All Become* methods require mu_ held.
@@ -164,12 +223,28 @@ class RaftNode {
   void StepDownLocked(uint64_t term);
   void FailPendingLocked(const Status& status);
 
-  // Advances commit_index_ from voter match indices; requires mu_ held.
+  // Advances commit_index_ from committed-config voter match indices;
+  // requires mu_ held.
   void MaybeAdvanceCommitLocked();
 
+  // Adopts `config` (committed at `index`) as the active membership: role
+  // adjustment, leader bookkeeping growth, replicator sync. Requires mu_ held.
+  void ApplyConfigLocked(uint64_t index, RaftConfig config);
+  // Spawns replicator threads for config members that lack one. Requires mu_
+  // held; no-op while stopping.
+  void SyncReplicatorsLocked();
+  // Grows next_index_/match_index_ to cover all group nodes. Requires mu_.
+  void EnsureLeaderSlotsLocked();
+  // True when a membership change is already in flight: queued, or a kConfig
+  // entry sits in the log above last_applied_. Requires mu_ held.
+  bool ConfigChangeInFlightLocked() const;
+
   // Takes a state-machine snapshot and compacts the log; apply thread only,
-  // requires mu_ held (released around the state-machine call).
-  void MaybeSnapshot(std::unique_lock<std::mutex>& lock);
+  // requires mu_ held (released around the state-machine call and the
+  // snapshot fsync - the snapshot is durable BEFORE the prefix is dropped).
+  void MaybeTakeSnapshot(std::unique_lock<std::mutex>& lock);
+
+  void TestEvent(const char* event);
 
   void ApplyLoop();
   void ElectionLoop();
@@ -181,13 +256,13 @@ class RaftNode {
 
   RaftGroup* group_;
   const uint32_t id_;
-  const bool voter_;
   ServerExecutor* server_;
   ServerExecutor* raft_server_;
   std::unique_ptr<StateMachine> state_machine_;
   RaftOptions options_;
   RaftStorage storage_;
   RaftNodeStats stats_;
+  const RaftConfig boot_config_;  // WipeState falls back to this view
 
   mutable std::mutex mu_;
   RaftRole role_;
@@ -197,10 +272,19 @@ class RaftNode {
   RaftLog log_;
   uint64_t commit_index_ = 0;
   uint64_t last_applied_ = 0;
-  // Latest snapshot (covers indices <= snapshot_index_).
+  // Active membership = the latest applied config (or the boot config).
+  RaftConfig config_;
+  uint64_t config_index_ = 0;
+  // Latest snapshot (covers indices <= snapshot_index_), plus the membership
+  // in force at that point - a learner catching up from the snapshot can no
+  // longer replay the config entries it covers.
   uint64_t snapshot_index_ = 0;
   uint64_t snapshot_term_ = 0;
   std::string snapshot_data_;
+  std::string snapshot_config_;
+  uint64_t snapshot_config_index_ = 0;
+  bool snapshot_requested_ = false;  // RequestSnapshot() pending
+  bool snapshot_disabled_ = false;   // machine returned an empty snapshot
   int64_t last_heartbeat_nanos_ = 0;
   int64_t election_timeout_nanos_ = 0;
 
@@ -209,6 +293,8 @@ class RaftNode {
   std::vector<uint64_t> match_index_;
   std::deque<PendingProposal> proposal_queue_;
   std::map<uint64_t, std::shared_ptr<std::promise<Result<std::string>>>> pending_applies_;
+  // Consecutive peer_down replies per peer (leader-side health signal).
+  std::map<uint32_t, uint64_t> peer_down_streak_;
 
   // Follower ReadIndex coalescing.
   std::mutex read_mu_;
@@ -226,10 +312,18 @@ class RaftNode {
   std::atomic<bool> stopping_{false};
   Rng rng_;
 
+  std::function<void(const char*)> test_event_hook_;  // guarded by mu_
+
   std::thread apply_thread_;
   std::thread election_thread_;
   std::thread pipeline_thread_;
-  std::vector<std::thread> replicator_threads_;
+  // One replicator per current config member, keyed by peer id. Guarded by
+  // mu_ (spawned under it by SyncReplicatorsLocked; swapped out under it by
+  // JoinThreads). A replicator that drains (its peer left the config) moves
+  // its own handle to finished_replicators_ so the key can be reused if the
+  // peer ever rejoins.
+  std::map<uint32_t, std::thread> replicator_threads_;
+  std::vector<std::thread> finished_replicators_;
 };
 
 // Starts a node's background threads. Called by RaftGroup once every node in

@@ -1,0 +1,158 @@
+#include "src/repair/repair_supervisor.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+
+RepairSupervisor::RepairSupervisor(RaftGroup* group, RepairOptions options)
+    : group_(group), options_(options), rng_(options.seed) {}
+
+RepairSupervisor::~RepairSupervisor() { Stop(); }
+
+void RepairSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  started_ = true;
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void RepairSupervisor::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker = std::move(thread_);
+  }
+  if (worker.joinable()) {
+    worker.join();
+  }
+}
+
+bool RepairSupervisor::LooksDead(RaftNode* leader, uint32_t peer) const {
+  if (leader->PeerDownStreak(peer) >= options_.peer_down_threshold) {
+    return true;
+  }
+  if (options_.use_breaker_signal) {
+    RaftNode* node = group_->node(peer);
+    if (node != nullptr &&
+        node->raft_server()->breaker().state() == CircuitBreaker::State::kOpen) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RepairSupervisor::Loop() {
+  static obs::Counter* suspected = obs::Metrics::Instance().GetCounter("repair.suspected");
+  static obs::Counter* declared = obs::Metrics::Instance().GetCounter("repair.declared_dead");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::nanoseconds(options_.poll_interval_nanos),
+                   [this]() { return stopping_.load(std::memory_order_acquire); });
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    RaftNode* leader = group_->leader();
+    if (leader == nullptr) {
+      // No leader means no replicator vantage point (and no quorum to commit
+      // a config change anyway); wait for the election to settle.
+      suspect_deadline_.clear();
+      continue;
+    }
+    const RaftConfig config = leader->config();
+    const int64_t now = MonotonicNanos();
+    auto scan = [&](uint32_t peer) {
+      if (peer == leader->id()) {
+        return;
+      }
+      if (!LooksDead(leader, peer)) {
+        suspect_deadline_.erase(peer);  // signal cleared: healthy again
+        return;
+      }
+      auto it = suspect_deadline_.find(peer);
+      if (it == suspect_deadline_.end()) {
+        // Seeded jitter staggers declarations deterministically - replaying a
+        // drill with the same seed reproduces the same timeline.
+        const int64_t jitter = static_cast<int64_t>(rng_.Uniform(
+            static_cast<uint64_t>(options_.suspicion_window_nanos / 4 + 1)));
+        suspect_deadline_[peer] = now + options_.suspicion_window_nanos + jitter;
+        stats_.suspected.fetch_add(1, std::memory_order_relaxed);
+        suspected->Add();
+        MANTLE_WLOG << "repair: replica " << group_->name() << "-" << peer
+                    << " suspected dead (streak " << leader->PeerDownStreak(peer) << ")";
+        return;
+      }
+      if (now < it->second) {
+        return;  // window still running
+      }
+      suspect_deadline_.erase(it);
+      stats_.declared_dead.fetch_add(1, std::memory_order_relaxed);
+      declared->Add();
+      MANTLE_WLOG << "repair: replica " << group_->name() << "-" << peer
+                  << " declared dead; replacing";
+      ReplaceNode(peer);
+    };
+    for (uint32_t peer : config.voters) {
+      scan(peer);
+    }
+    for (uint32_t peer : config.learners) {
+      scan(peer);
+    }
+  }
+}
+
+Status RepairSupervisor::ReplaceNode(uint32_t dead_id) {
+  static obs::Counter* replacements = obs::Metrics::Instance().GetCounter("repair.replacements");
+  static obs::Counter* failures = obs::Metrics::Instance().GetCounter("repair.failures");
+  static obs::HistogramMetric* duration =
+      obs::Metrics::Instance().GetHistogram("repair.replace_nanos");
+  const int64_t start = MonotonicNanos();
+  obs::OpTrace trace("repair.replace");
+  obs::ScopedThreadTrace install(&trace);
+  Status status = [&]() -> Status {
+    uint32_t learner = 0;
+    {
+      obs::ScopedSpan span(&trace, "repair.join");
+      MANTLE_ASSIGN_OR_RETURN(learner, group_->AddLearner(options_.replace_timeout_nanos));
+    }
+    {
+      // Catch-up (snapshot install + log tail) and promotion once the lag
+      // bound holds; PromoteLearner exports raft.learner.catchup_lag.
+      obs::ScopedSpan span(&trace, "repair.catchup_promote");
+      MANTLE_RETURN_IF_ERROR(group_->PromoteLearner(learner, options_.promote_max_lag_entries,
+                                                    options_.replace_timeout_nanos));
+    }
+    {
+      obs::ScopedSpan span(&trace, "repair.remove");
+      MANTLE_RETURN_IF_ERROR(group_->RemoveNode(dead_id, options_.replace_timeout_nanos));
+    }
+    group_->DecommissionNode(dead_id);
+    return Status::Ok();
+  }();
+  trace.End(0);  // close the root span before stitching remote batches
+  group_->network()->StitchTrace(&trace);
+  if (status.ok()) {
+    stats_.replacements.fetch_add(1, std::memory_order_relaxed);
+    replacements->Add();
+    duration->Record(MonotonicNanos() - start);
+    MANTLE_ILOG << "repair: replaced " << group_->name() << "-" << dead_id << " in "
+                << (MonotonicNanos() - start) / 1'000'000 << " ms";
+  } else {
+    stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    failures->Add();
+    MANTLE_WLOG << "repair: replacement of " << group_->name() << "-" << dead_id
+                << " failed: " << status.ToString();
+  }
+  return status;
+}
+
+}  // namespace mantle

@@ -1,0 +1,108 @@
+// Autonomous replica repair for a RaftGroup.
+//
+// The supervisor consumes health signals the fabric already produces - the
+// leader's consecutive peer_down replication failures and (optionally) an
+// open circuit breaker on the peer's consensus port - and turns them into
+// membership surgery. A replica whose signal persists past a
+// seeded-deterministic suspicion window is declared dead and replaced:
+//
+//   join     AddLearner() allocates fresh servers on the Network and commits
+//            a config adding the newcomer as a learner;
+//   catchup  the learner catches up through the normal replication path (the
+//            first exchange ships a snapshot when the leader's log is
+//            compacted - AddLearner forces one so bulk-loaded state travels);
+//   promote  PromoteLearner() waits for match_index_ within a bounded lag of
+//            the leader, then commits the voter config;
+//   remove   RemoveNode() commits the config dropping the corpse, which is
+//            then crash-stopped (DecommissionNode).
+//
+// Suspicion, declaration, and each phase emit repair.* metrics and trace
+// spans so a replacement is fully observable after the fact.
+
+#ifndef SRC_REPAIR_REPAIR_SUPERVISOR_H_
+#define SRC_REPAIR_REPAIR_SUPERVISOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/raft/group.h"
+
+namespace mantle {
+
+struct RepairOptions {
+  int64_t poll_interval_nanos = 20'000'000;      // health-scan cadence
+  // A death signal must persist this long (plus per-node seeded jitter, so
+  // concurrent supervisors never stampede) before the replica is declared
+  // dead. Bounds the damage of a transient blip being mistaken for a crash.
+  int64_t suspicion_window_nanos = 150'000'000;
+  // Consecutive peer_down replies from the leader's replicator before the
+  // peer counts as signalling at all.
+  uint64_t peer_down_threshold = 4;
+  // Promotion gate: leader.last_log_index - match_index(learner) must be at
+  // or below this before the learner becomes a voter.
+  uint64_t promote_max_lag_entries = 16;
+  // Budget for one full replacement (join + catchup + promote + remove).
+  int64_t replace_timeout_nanos = 20'000'000'000;
+  // Also treat an open circuit breaker on the peer's consensus port as a
+  // death signal (requires NetworkOptions::breaker to be enabled).
+  bool use_breaker_signal = true;
+  uint64_t seed = 0x5eed;  // drives the deterministic suspicion jitter
+};
+
+struct RepairStats {
+  std::atomic<uint64_t> suspected{0};      // suspicion windows opened
+  std::atomic<uint64_t> declared_dead{0};  // windows that expired into action
+  std::atomic<uint64_t> replacements{0};   // full replacements completed
+  std::atomic<uint64_t> failures{0};       // replacements that errored out
+};
+
+class RepairSupervisor {
+ public:
+  explicit RepairSupervisor(RaftGroup* group, RepairOptions options = {});
+  ~RepairSupervisor();
+
+  RepairSupervisor(const RepairSupervisor&) = delete;
+  RepairSupervisor& operator=(const RepairSupervisor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One full replacement of `dead_id`, synchronously. The supervisor loop
+  // calls this after a declaration; drills may call it directly.
+  Status ReplaceNode(uint32_t dead_id);
+
+  const RepairStats& stats() const { return stats_; }
+  const RepairOptions& options() const { return options_; }
+
+ private:
+  // True when the fabric currently says `peer` is gone, judged from the
+  // leader's vantage point. Deliberately ignores RaftNode::IsDown() - the
+  // supervisor must work from observable signals, not simulator truth.
+  bool LooksDead(RaftNode* leader, uint32_t peer) const;
+  void Loop();
+
+  RaftGroup* group_;
+  RepairOptions options_;
+  RepairStats stats_;
+  Rng rng_;
+
+  // Open suspicion windows: peer id -> deadline (declaration fires when the
+  // signal still holds past it). Loop-thread only once started.
+  std::map<uint32_t, int64_t> suspect_deadline_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_REPAIR_REPAIR_SUPERVISOR_H_

@@ -1,0 +1,444 @@
+// Dynamic Raft membership and autonomous replica repair.
+//
+// Covers the runtime membership surface (AddLearner / PromoteLearner /
+// RemoveNode / TransferLeadership), the leader's one-at-a-time config rule,
+// and the acceptance drill: under live metadata load, crash one index-group
+// voter and watch the RepairSupervisor restore the replication factor with
+// zero acked-write loss, then decommission the leader via transfer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/mantle_service.h"
+#include "src/raft/group.h"
+#include "src/repair/repair_supervisor.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+class SetMachine final : public StateMachine {
+ public:
+  std::string Apply(uint64_t, const std::string& command) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.insert(command);
+    return command;
+  }
+  std::string Snapshot() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "S";  // non-empty even when the set is
+    for (const auto& value : values_) {
+      out += value;
+      out += '\n';
+    }
+    return out;
+  }
+  void Restore(const std::string& snapshot) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+    size_t pos = 1;  // skip the header byte
+    while (pos < snapshot.size()) {
+      const size_t end = snapshot.find('\n', pos);
+      values_.insert(snapshot.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  std::set<std::string> values() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::string> values_;
+};
+
+struct Harness {
+  std::unique_ptr<Network> network;
+  // Machines arrive from the factory at construction AND at runtime
+  // (AddLearner), so the table is a guarded map, not a fixed vector.
+  std::mutex mu;
+  std::map<uint32_t, SetMachine*> machines;
+  std::unique_ptr<RaftGroup> group;
+
+  SetMachine* machine(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = machines.find(id);
+    return it == machines.end() ? nullptr : it->second;
+  }
+};
+
+std::unique_ptr<Harness> MakeGroup(uint32_t voters, uint64_t snapshot_threshold = 0) {
+  auto harness = std::make_unique<Harness>();
+  harness->network = std::make_unique<Network>(FastNetworkOptions());
+  RaftOptions options = FastRaftOptions();
+  options.snapshot_threshold_entries = snapshot_threshold;
+  harness->group = std::make_unique<RaftGroup>(
+      harness->network.get(), "memb", voters, 0,
+      [h = harness.get()](uint32_t id) -> std::unique_ptr<StateMachine> {
+        auto machine = std::make_unique<SetMachine>();
+        std::lock_guard<std::mutex> lock(h->mu);
+        h->machines[id] = machine.get();
+        return machine;
+      },
+      options);
+  harness->group->Start();
+  return harness;
+}
+
+bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_nanos) {
+  const int64_t deadline = MonotonicNanos() + timeout_nanos;
+  while (MonotonicNanos() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+// --- runtime membership --------------------------------------------------------
+
+TEST(MembershipTest, AddPromoteRemoveRoundTrip) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(group->Propose("a" + std::to_string(i)).ok());
+  }
+
+  // Join: a fresh node enters as a learner and catches up (the leader's log
+  // has never been compacted, so AddLearner forces a snapshot first).
+  auto added = group->AddLearner();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const uint32_t learner = *added;
+  EXPECT_EQ(learner, 3u);
+  EXPECT_TRUE(group->CommittedConfig().IsLearner(learner));
+  EXPECT_EQ(group->Majority(), 2u);  // learners do not change the quorum
+
+  ASSERT_TRUE(WaitFor(
+      [&]() {
+        SetMachine* machine = harness->machine(learner);
+        return machine != nullptr && machine->values().size() == 40u;
+      },
+      10'000'000'000))
+      << "learner never caught up";
+
+  // Promote: voter set grows once the learner is within the lag bound.
+  ASSERT_TRUE(group->PromoteLearner(learner).ok());
+  RaftConfig config = group->CommittedConfig();
+  EXPECT_TRUE(config.IsVoter(learner));
+  EXPECT_EQ(config.voters.size(), 4u);
+  EXPECT_EQ(group->Majority(), 3u);
+
+  // Remove a voter that is not the leader; the group shrinks back to 3.
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  uint32_t victim = UINT32_MAX;
+  for (uint32_t id : config.voters) {
+    if (id != leader->id() && id != learner) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, UINT32_MAX);
+  ASSERT_TRUE(group->RemoveNode(victim).ok());
+  group->DecommissionNode(victim);
+  config = group->CommittedConfig();
+  EXPECT_FALSE(config.IsMember(victim));
+  EXPECT_EQ(config.voters.size(), 3u);
+  EXPECT_EQ(group->Majority(), 2u);
+
+  // The reshaped group still commits, and the promoted node sees the write.
+  ASSERT_TRUE(group->Propose("after-surgery").ok());
+  ASSERT_TRUE(WaitFor(
+      [&]() { return harness->machine(learner)->values().count("after-surgery") > 0; },
+      5'000'000'000));
+  EXPECT_GT(group->leader()->stats().config_changes.load(), 0u);
+}
+
+TEST(MembershipTest, LeaderRefusesOverlappingConfigChanges) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(group->Propose("x" + std::to_string(i)).ok());
+  }
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  std::vector<RaftNode*> followers;
+  for (uint32_t id = 0; id < group->num_nodes(); ++id) {
+    if (group->node(id) != leader) {
+      followers.push_back(group->node(id));
+    }
+  }
+  ASSERT_EQ(followers.size(), 2u);
+  // With both followers stopped the kConfig entry appends but cannot commit,
+  // holding the change in flight.
+  followers[0]->Stop();
+  followers[1]->Stop();
+
+  const RaftConfig base = leader->config();
+  const uint64_t log_before = leader->last_log_index();
+  Status first = Status::Ok();
+  std::thread proposer(
+      [&]() { first = leader->ProposeConfigChange(base.Without(followers[0]->id())); });
+  ASSERT_TRUE(WaitFor([&]() { return leader->last_log_index() > log_before; },
+                      5'000'000'000))
+      << "first config change never reached the log";
+
+  // One-at-a-time rule: a second change is refused while the first is
+  // uncommitted, even though it would be legal on its own.
+  Status second = leader->ProposeConfigChange(base.Without(followers[1]->id()));
+  EXPECT_EQ(second.code(), StatusCode::kBusy) << second.ToString();
+  EXPECT_GE(leader->stats().config_rejected.load(), 1u);
+
+  // Restoring a follower lets the first change commit and apply.
+  followers[1]->Restart();
+  proposer.join();
+  ASSERT_TRUE(first.ok()) << first.ToString();
+  EXPECT_FALSE(group->CommittedConfig().IsMember(followers[0]->id()));
+  EXPECT_EQ(group->Majority(), 2u);
+}
+
+TEST(MembershipTest, ConfigChangeValidation) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  const RaftConfig base = leader->config();
+
+  // Identical config: idempotent success, no log entry.
+  const uint64_t log_before = leader->last_log_index();
+  EXPECT_TRUE(leader->ProposeConfigChange(base).ok());
+  EXPECT_EQ(leader->last_log_index(), log_before);
+
+  // Two changes at once violate the one-at-a-time rule.
+  RaftConfig two = base.Without(1).WithLearner(7);
+  EXPECT_EQ(leader->ProposeConfigChange(two).code(), StatusCode::kInvalidArgument);
+
+  // Emptying the voter set can never be legal.
+  RaftConfig empty;
+  EXPECT_EQ(leader->ProposeConfigChange(empty).code(), StatusCode::kInvalidArgument);
+
+  // Followers refuse config proposals outright.
+  RaftNode* follower = nullptr;
+  for (uint32_t id = 0; id < group->num_nodes(); ++id) {
+    if (group->node(id) != leader) {
+      follower = group->node(id);
+      break;
+    }
+  }
+  ASSERT_NE(follower, nullptr);
+  EXPECT_EQ(follower->ProposeConfigChange(base.Without(0)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(MembershipTest, TransferLeadershipUsesTimeoutNow) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group->Propose("t" + std::to_string(i)).ok());
+  }
+  RaftNode* old_leader = group->WaitForLeader();
+  ASSERT_NE(old_leader, nullptr);
+
+  ASSERT_TRUE(group->TransferLeadership().ok());
+  RaftNode* new_leader = group->WaitForLeader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader, old_leader);
+  // The new leader campaigned because it was told to, not because its
+  // election timer fired.
+  EXPECT_GE(new_leader->stats().timeout_now_received.load(), 1u);
+
+  // Writes resume immediately on the new leader.
+  ASSERT_TRUE(group->Propose("after-transfer").ok());
+}
+
+TEST(MembershipTest, RemovingTheLeaderTransfersFirst) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  ASSERT_TRUE(group->Propose("seed").ok());
+  RaftNode* old_leader = group->WaitForLeader();
+  ASSERT_NE(old_leader, nullptr);
+  const uint32_t old_id = old_leader->id();
+
+  ASSERT_TRUE(group->RemoveNode(old_id).ok());
+  group->DecommissionNode(old_id);
+
+  RaftNode* new_leader = group->WaitForLeader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader->id(), old_id);
+  const RaftConfig config = group->CommittedConfig();
+  EXPECT_FALSE(config.IsMember(old_id));
+  EXPECT_EQ(config.voters.size(), 2u);
+  ASSERT_TRUE(group->Propose("after-decommission").ok());
+}
+
+TEST(MembershipTest, RemovedNodeStopsVotingAndCampaigning) {
+  auto harness = MakeGroup(3);
+  RaftGroup* group = harness->group.get();
+  ASSERT_TRUE(group->Propose("seed").ok());
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  RaftNode* removed = nullptr;
+  for (uint32_t id = 0; id < group->num_nodes(); ++id) {
+    if (group->node(id) != leader) {
+      removed = group->node(id);
+      break;
+    }
+  }
+  ASSERT_NE(removed, nullptr);
+  // Remove the node but leave it RUNNING: it must learn it is out and go
+  // quiet instead of disrupting the group with campaigns.
+  ASSERT_TRUE(group->RemoveNode(removed->id()).ok());
+  ASSERT_TRUE(WaitFor([&]() { return !removed->is_voter(); }, 5'000'000'000))
+      << "removed node never learned the config dropping it";
+  EXPECT_EQ(removed->role(), RaftRole::kLearner);
+
+  // A vote request to the removed node is refused.
+  RequestVoteRequest vote;
+  vote.term = removed->term() + 10;
+  vote.candidate_id = 0;
+  vote.last_log_index = 1000;
+  vote.last_log_term = 1000;
+  EXPECT_FALSE(removed->HandleRequestVote(vote).vote_granted);
+
+  // The survivors keep committing with the removed node still live.
+  const uint64_t elections_before = removed->stats().elections_started.load();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group->Propose("q" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(removed->stats().elections_started.load(), elections_before);
+}
+
+// --- acceptance drill ----------------------------------------------------------
+
+TEST(MembershipAcceptanceTest, KillAndReplaceDrillUnderLoad) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.op_deadline_nanos = 3'000'000'000;  // every op resolves under faults
+  MantleService service(&network, options);
+
+  ASSERT_TRUE(service.Mkdir("/base").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.Mkdir("/base/seed" + std::to_string(i)).ok());
+  }
+
+  // Fast, seeded repair windows: deterministic declaration timeline.
+  mantle::RepairOptions repair;
+  repair.poll_interval_nanos = 5'000'000;      // 5 ms scans
+  repair.suspicion_window_nanos = 40'000'000;  // 40 ms + seeded jitter
+  repair.peer_down_threshold = 3;
+  repair.promote_max_lag_entries = 64;
+  repair.use_breaker_signal = false;  // peer_down streaks only: deterministic
+  repair.seed = 0xd1e5;
+  service.EnableIndexAutoRepair(repair);
+
+  // Live load, recording every acknowledged write.
+  std::atomic<bool> stop{false};
+  std::mutex acked_mu;
+  std::vector<std::string> acked;
+  std::vector<std::thread> load;
+  for (int tid = 0; tid < 2; ++tid) {
+    load.emplace_back([&, tid]() {
+      for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        const std::string path =
+            "/base/w" + std::to_string(tid) + "_" + std::to_string(i);
+        if (service.Mkdir(path).ok()) {
+          std::lock_guard<std::mutex> lock(acked_mu);
+          acked.push_back(path);
+        }
+      }
+    });
+  }
+  load.emplace_back([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      service.StatDir("/base");  // background read pressure
+    }
+  });
+
+  // Crash one index-group voter that is not the leader: an unplanned machine
+  // loss under live traffic.
+  RaftGroup* group = service.index()->group();
+  RaftNode* leader = group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  const RaftConfig before = group->CommittedConfig();
+  ASSERT_EQ(before.voters.size(), 3u);
+  uint32_t victim = UINT32_MAX;
+  for (uint32_t id : before.voters) {
+    if (id != leader->id()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, UINT32_MAX);
+  service.CrashIndexReplica(victim);
+
+  // The supervisor suspects, declares, and replaces the corpse on its own.
+  ASSERT_TRUE(WaitFor(
+      [&]() { return service.index_repair()->stats().replacements.load() >= 1u; },
+      30'000'000'000))
+      << "supervisor never completed a replacement; failures="
+      << service.index_repair()->stats().failures.load();
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : load) {
+    thread.join();
+  }
+
+  // Full replication factor restored, corpse out, a fresh node voting.
+  const RaftConfig after = group->CommittedConfig();
+  EXPECT_EQ(after.voters.size(), 3u);
+  EXPECT_FALSE(after.IsMember(victim));
+  bool has_new_node = false;
+  for (uint32_t id : after.voters) {
+    if (id >= before.voters.size() + before.learners.size()) {
+      has_new_node = true;
+    }
+  }
+  EXPECT_TRUE(has_new_node) << "replacement voter missing from the config";
+  EXPECT_GE(service.index_repair()->stats().suspected.load(), 1u);
+  EXPECT_GE(service.index_repair()->stats().declared_dead.load(), 1u);
+
+  // Zero acked-write loss: every path acknowledged during the drill - before,
+  // during and after the crash - still resolves.
+  size_t checked = 0;
+  {
+    std::lock_guard<std::mutex> lock(acked_mu);
+    for (const std::string& path : acked) {
+      StatResult result = service.StatDir(path);
+      EXPECT_TRUE(result.ok()) << path << ": " << result.status.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Planned decommission of the leader: transfer + remove, bounded stall.
+  RaftNode* pre_leader = group->WaitForLeader();
+  ASSERT_NE(pre_leader, nullptr);
+  const uint32_t pre_leader_id = pre_leader->id();
+  ASSERT_TRUE(service.DecommissionIndexLeader().ok());
+  RaftNode* post_leader = group->WaitForLeader();
+  ASSERT_NE(post_leader, nullptr);
+  EXPECT_NE(post_leader->id(), pre_leader_id);
+  // The transfer path (TimeoutNow) moved leadership, not an expired election
+  // timer - that is what bounds the write stall below one election timeout.
+  EXPECT_GE(post_leader->stats().timeout_now_received.load(), 1u);
+  EXPECT_FALSE(group->CommittedConfig().IsMember(pre_leader_id));
+
+  // Writes and reads resume immediately on the reshaped group.
+  ASSERT_TRUE(service.Mkdir("/base/after_decommission").ok());
+  EXPECT_TRUE(service.StatDir("/base/after_decommission").ok());
+  EXPECT_TRUE(service.StatDir("/base/seed0").ok());
+}
+
+}  // namespace
+}  // namespace mantle

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -115,8 +117,16 @@ class SetMachine final : public StateMachine {
 
 struct SnapHarness {
   std::unique_ptr<Network> network;
-  std::vector<SetMachine*> machines;
+  // Heap-allocated and shared with the factory lambda: the factory outlives
+  // this scope's moves (AddLearner invokes it at runtime with fresh ids), so
+  // it must not hold a reference into the movable harness object.
+  std::shared_ptr<std::vector<SetMachine*>> machines =
+      std::make_shared<std::vector<SetMachine*>>();
   std::unique_ptr<RaftGroup> group;
+
+  SetMachine* machine(uint32_t id) const {
+    return id < machines->size() ? (*machines)[id] : nullptr;
+  }
 };
 
 SnapHarness MakeSnapGroup(uint64_t threshold) {
@@ -124,12 +134,16 @@ SnapHarness MakeSnapGroup(uint64_t threshold) {
   harness.network = std::make_unique<Network>(FastNetworkOptions());
   RaftOptions options = FastRaftOptions();
   options.snapshot_threshold_entries = threshold;
-  harness.machines.resize(3, nullptr);
+  harness.machines->resize(3, nullptr);
   harness.group = std::make_unique<RaftGroup>(
       harness.network.get(), "snap", 3, 0,
-      [&harness](uint32_t id) -> std::unique_ptr<StateMachine> {
+      [machines = harness.machines](uint32_t id) -> std::unique_ptr<StateMachine> {
         auto machine = std::make_unique<SetMachine>();
-        harness.machines[id] = machine.get();
+        // AddLearner invokes the factory with fresh ids past the initial 3.
+        if (id >= machines->size()) {
+          machines->resize(id + 1, nullptr);
+        }
+        (*machines)[id] = machine.get();
         return machine;
       },
       options);
@@ -181,14 +195,182 @@ TEST(RaftSnapshotTest, LaggingFollowerCatchesUpViaSnapshot) {
   follower->Restart();
   // The follower converges, necessarily through an InstallSnapshot.
   const int64_t deadline = MonotonicNanos() + 10'000'000'000;
-  const std::set<std::string> want = harness.machines[leader->id()]->values();
-  while (harness.machines[follower->id()]->values().size() < want.size() &&
+  const std::set<std::string> want = harness.machine(leader->id())->values();
+  while (harness.machine(follower->id())->values().size() < want.size() &&
          MonotonicNanos() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  EXPECT_EQ(harness.machines[follower->id()]->values(), want);
+  EXPECT_EQ(harness.machine(follower->id())->values(), want);
   EXPECT_GT(follower->stats().snapshots_installed.load(), 0u);
   EXPECT_GT(leader->stats().snapshots_sent.load(), 0u);
+}
+
+// --- durability ordering (crash-point regression) ------------------------------
+
+TEST(RaftSnapshotTest, SnapshotIsPersistedBeforeLogCompaction) {
+  SnapHarness harness = MakeSnapGroup(/*threshold=*/16);
+  RaftNode* leader = harness.group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+
+  // At the crash point - snapshot fsync done, prefix not yet dropped - record
+  // what a crash there would find on disk.
+  std::atomic<uint64_t> first_index_at_persist{0};
+  std::atomic<uint64_t> fsyncs_at_persist{0};
+  std::atomic<int> persist_events{0};
+  leader->set_test_event_hook([&, leader](const char* event) {
+    if (std::strcmp(event, "snapshot.persisted") != 0) {
+      return;
+    }
+    if (persist_events.fetch_add(1) == 0) {
+      first_index_at_persist.store(leader->log_first_index());
+      fsyncs_at_persist.store(leader->storage().fsyncs());
+    }
+  });
+
+  const uint64_t fsyncs_before = leader->storage().fsyncs();
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(harness.group->Propose("p" + std::to_string(i)).ok());
+  }
+  const int64_t deadline = MonotonicNanos() + 5'000'000'000;
+  while (leader->stats().snapshots_taken.load() == 0 && MonotonicNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(leader->stats().snapshots_taken.load(), 0u);
+  ASSERT_GT(persist_events.load(), 0);
+  leader->set_test_event_hook(nullptr);
+
+  // The snapshot fsync happened (counter moved past the baseline) while the
+  // log prefix was STILL present: a crash in the window loses nothing,
+  // because the prefix exists in the durable log and the snapshot both.
+  EXPECT_GT(fsyncs_at_persist.load(), fsyncs_before);
+  EXPECT_EQ(first_index_at_persist.load(), 0u)
+      << "log was compacted before the snapshot was durable";
+  EXPECT_GT(leader->log_first_index(), 0u);  // compaction did follow
+}
+
+TEST(RaftSnapshotTest, CrashAtThePersistedPointConverges) {
+  SnapHarness harness = MakeSnapGroup(/*threshold=*/16);
+  RaftNode* leader = harness.group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  // Crash the leader exactly at the crash point, between the snapshot fsync
+  // and the prefix drop (Stop only flips the down flag - safe from the hook,
+  // which runs outside mu_).
+  std::atomic<int> crashes{0};
+  leader->set_test_event_hook([&, leader](const char* event) {
+    if (std::strcmp(event, "snapshot.persisted") == 0 && crashes.fetch_add(1) == 0) {
+      leader->Stop();
+    }
+  });
+  for (int i = 0; i < 80; ++i) {
+    // Proposals start failing once the leader dies mid-snapshot; keep going
+    // through the re-election so the threshold is crossed either way.
+    harness.group->Propose("c" + std::to_string(i));
+  }
+  const int64_t crash_deadline = MonotonicNanos() + 10'000'000'000;
+  while (crashes.load() == 0 && MonotonicNanos() < crash_deadline) {
+    harness.group->Propose("fill");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(crashes.load(), 0) << "leader never reached the crash point";
+  leader->set_test_event_hook(nullptr);
+
+  // The survivors elect a new leader and keep committing; the crashed node
+  // restarts with its persisted snapshot + log and converges.
+  RaftNode* new_leader = harness.group->WaitForLeader();
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader, leader);
+  ASSERT_TRUE(harness.group->Propose("after-crash").ok());
+  leader->Restart();
+  const int64_t deadline = MonotonicNanos() + 10'000'000'000;
+  while (harness.machine(leader->id())->values().count("after-crash") == 0 &&
+         MonotonicNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(harness.machine(leader->id())->values().count("after-crash"), 0u);
+}
+
+// --- snapshots racing membership changes ---------------------------------------
+
+TEST(RaftSnapshotTest, LearnerCatchupSnapshotRacesConfigChange) {
+  SnapHarness harness = MakeSnapGroup(/*threshold=*/8);
+  // Enough writes that the joining learner MUST catch up via snapshot.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(harness.group->Propose("r" + std::to_string(i)).ok());
+  }
+  auto added = harness.group->AddLearner();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const uint32_t learner = *added;
+
+  // Race the learner's snapshot install against continued writes (which keep
+  // compacting the leader's log under it) and a concurrent promotion.
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      harness.group->Propose("w" + std::to_string(i++));
+    }
+  });
+  Status promoted = harness.group->PromoteLearner(learner, /*max_lag_entries=*/32);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  ASSERT_TRUE(promoted.ok()) << promoted.ToString();
+
+  const RaftConfig config = harness.group->CommittedConfig();
+  EXPECT_TRUE(config.IsVoter(learner));
+  RaftNode* node = harness.group->node(learner);
+  ASSERT_NE(node, nullptr);
+  EXPECT_GT(node->stats().snapshots_installed.load(), 0u)
+      << "learner caught up without the snapshot path";
+
+  // The promoted node converges on the final state.
+  ASSERT_TRUE(harness.group->Propose("final").ok());
+  const int64_t deadline = MonotonicNanos() + 10'000'000'000;
+  // The factory appended the learner's machine at AddLearner time.
+  SetMachine* machine = harness.machine(learner);
+  ASSERT_NE(machine, nullptr);
+  while (machine->values().count("final") == 0 && MonotonicNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(machine->values().count("final"), 0u);
+}
+
+TEST(RaftSnapshotTest, InstallSnapshotAtJustRemovedNodeIsHarmless) {
+  SnapHarness harness = MakeSnapGroup(/*threshold=*/8);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(harness.group->Propose("s" + std::to_string(i)).ok());
+  }
+  RaftNode* leader = harness.group->WaitForLeader();
+  ASSERT_NE(leader, nullptr);
+  RaftNode* removed = nullptr;
+  for (uint32_t i = 0; i < harness.group->num_nodes(); ++i) {
+    if (harness.group->node(i) != leader) {
+      removed = harness.group->node(i);
+      break;
+    }
+  }
+  ASSERT_NE(removed, nullptr);
+  ASSERT_TRUE(harness.group->RemoveNode(removed->id()).ok());
+
+  // A stale InstallSnapshot arrives at the node that was just removed (its
+  // old leader had it in flight). The node installs or ignores it without
+  // rejoining the group: the carried config still excludes nothing newer
+  // than what it knows, and its non-member status survives.
+  InstallSnapshotRequest stale;
+  stale.term = removed->term();
+  stale.leader_id = leader->id();
+  stale.snapshot_index = removed->last_applied() + 5;
+  stale.snapshot_term = removed->term();
+  stale.data = "S\nstale-entry\n";
+  stale.config = harness.group->CommittedConfig().Encode();  // excludes `removed`
+  stale.config_index = removed->config_index();
+  InstallSnapshotReply reply = removed->HandleInstallSnapshot(stale);
+  EXPECT_FALSE(reply.peer_down);
+  EXPECT_FALSE(removed->is_voter());
+  EXPECT_EQ(removed->role(), RaftRole::kLearner);
+
+  // The group is unbothered: still two voters, still committing.
+  EXPECT_EQ(harness.group->Majority(), 2u);
+  ASSERT_TRUE(harness.group->Propose("still-alive").ok());
 }
 
 // --- IndexReplica snapshot round trip ------------------------------------------
