@@ -1,0 +1,213 @@
+// Hotspot drill: static placement vs heat-aware live migration.
+//
+// A two-server TafDB fleet serves a skewed closed-loop read/write mix: 90% of
+// the traffic lands on shards that all start on server 0 (the classic "one
+// tenant got popular" hotspot), the rest is uniform. Under static placement
+// server 0's workers saturate while server 1 idles, capping fleet throughput
+// near one server's capacity. With the PlacementSupervisor enabled, the heat
+// tracker spots the skew and live-migrates hot shards to the idle server
+// mid-run; steady-state throughput should recover to >= 1.5x the static cell
+// (the ISSUE 10 acceptance gate, enforced on BENCH_placement.json).
+//
+// Emits a machine-readable PLACEMENT_SUMMARY line consumed by
+// scripts/bench_snapshot.sh.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bench_util/bench_env.h"
+#include "src/bench_util/report.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/tafdb/tafdb.h"
+
+namespace mantle {
+namespace {
+
+constexpr uint32_t kNumShards = 16;
+constexpr uint32_t kNumServers = 2;
+constexpr int kRowsPerHotShard = 512;
+constexpr int kHotTrafficPercent = 90;
+
+struct CellResult {
+  double ops_per_sec = 0.0;
+  uint64_t migrations = 0;
+  uint64_t rows_moved = 0;
+  uint64_t shards_left_hot_server = 0;  // hot shards still on server 0 at end
+  int64_t last_fence_nanos = 0;
+};
+
+MetaValue Row(uint64_t size) {
+  return MetaValue{EntryType::kObject, 1, kPermAll, size, 0, 0, 0, 0};
+}
+
+CellResult RunCell(bool supervisor_on, const BenchConfig& config) {
+  // Short wire time, real service charging: each row access costs 20 us of
+  // the owning server's 2 workers, so a server saturates near 100 Kop/s and
+  // the hotspot actually caps fleet throughput (zero_latency would disable
+  // the CPU model and there would be nothing for migration to relieve).
+  NetworkOptions net_options;
+  net_options.rtt_nanos = 10'000;
+  // Heavier rows than the default 20 us so one server's capacity (2 workers /
+  // 200 us = 10 Kop/s) sits well below what even a small closed-loop client
+  // fleet offers - the hotspot binds regardless of host speed or thread count.
+  net_options.db_row_access_nanos = 200'000;
+  Network network(net_options);
+
+  TafDbOptions options;
+  options.num_shards = kNumShards;
+  options.num_servers = kNumServers;
+  options.workers_per_server = 2;
+  options.start_compactor = false;
+  options.enable_placement = false;  // enabled after load, below
+  // Aggressive supervisor so the drill converges within one bench cell.
+  options.placement.poll_interval_nanos = 2'000'000;    // 2 ms
+  options.placement.confirm_window_nanos = 20'000'000;  // 20 ms
+  options.placement.cooldown_nanos = 50'000'000;        // 50 ms
+  // Wide enough that a balanced fleet (the post-migration steady state) does
+  // not ping-pong shards on EMA noise.
+  options.placement.skew_threshold = 1.35;
+  options.placement.min_hot_score = 100.0;
+  TafDb db(&network, options);
+  ShardMap* map = db.shard_map();
+
+  // One pid per shard; the "hot" pids are those whose shard starts on
+  // server 0. Each hot shard carries real rows so migrating it costs work.
+  std::vector<InodeId> hot_pids;
+  std::vector<InodeId> cold_pids;
+  std::vector<bool> covered(kNumShards, false);
+  for (InodeId pid = 2; hot_pids.size() + cold_pids.size() < kNumShards; ++pid) {
+    const uint32_t shard = map->ShardIndex(pid);
+    if (covered[shard]) {
+      continue;
+    }
+    covered[shard] = true;
+    if (map->placement().Get(shard).server == 0) {
+      hot_pids.push_back(pid);
+    } else {
+      cold_pids.push_back(pid);
+    }
+  }
+  for (const InodeId pid : hot_pids) {
+    for (int i = 0; i < kRowsPerHotShard; ++i) {
+      db.LoadPut(EntryKey(pid, "r" + std::to_string(i)), Row(i));
+    }
+  }
+  for (const InodeId pid : cold_pids) {
+    for (int i = 0; i < kRowsPerHotShard; ++i) {
+      db.LoadPut(EntryKey(pid, "r" + std::to_string(i)), Row(i));
+    }
+  }
+
+  std::atomic<uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  const int threads = config.quick ? std::min(config.threads, 8) : config.threads;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t]() {
+      Rng rng(0xbe9c'0000 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const bool hot = rng.Uniform(100) < kHotTrafficPercent;
+        const auto& pool = hot ? hot_pids : cold_pids;
+        const InodeId pid = pool[rng.Uniform(pool.size())];
+        const MetaKey key = EntryKey(pid, "r" + std::to_string(rng.Uniform(kRowsPerHotShard)));
+        if (rng.Uniform(10) == 0) {
+          // 10% writes keep lock traffic (and thus conflict heat) real.
+          WriteOp put;
+          put.kind = WriteOp::Kind::kPut;
+          put.key = key;
+          put.value = Row(rng.Uniform(1 << 20));
+          if (!db.Execute({put}).ok()) {
+            continue;  // retriable abort mid-migration: not an op served
+          }
+        } else {
+          if (!db.Get(key).ok()) {
+            continue;
+          }
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  if (supervisor_on) {
+    db.EnableAutoPlacement();
+  }
+  // The placement cell warms up longer: the EMAs must see the skew, the
+  // confirmation window must pass, and the migrations must land before the
+  // measured window opens (that is the steady state the gate scores).
+  const int64_t warmup =
+      config.WarmupNanos() + (supervisor_on ? (config.quick ? 400'000'000 : 800'000'000) : 0);
+  PreciseSleep(warmup);
+  const uint64_t ops_start = ops.load(std::memory_order_relaxed);
+  const int64_t t_start = MonotonicNanos();
+  PreciseSleep(config.DurationNanos());
+  const uint64_t ops_end = ops.load(std::memory_order_relaxed);
+  const int64_t t_end = MonotonicNanos();
+
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) {
+    c.join();
+  }
+  db.DisableAutoPlacement();
+
+  CellResult cell;
+  cell.ops_per_sec = (ops_end - ops_start) * 1e9 / static_cast<double>(t_end - t_start);
+  cell.migrations = db.placement().migrator().stats().committed.load(std::memory_order_relaxed);
+  cell.rows_moved = db.placement().migrator().stats().rows_copied.load(std::memory_order_relaxed);
+  cell.last_fence_nanos =
+      db.placement().migrator().stats().last_fence_nanos.load(std::memory_order_relaxed);
+  for (const InodeId pid : hot_pids) {
+    if (map->placement().Get(map->ShardIndex(pid)).server == 0) {
+      ++cell.shards_left_hot_server;
+    }
+  }
+  return cell;
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Placement hotspot drill", "static placement vs heat-aware live migration",
+              "90% of traffic on server 0's shards; expect the supervisor to migrate "
+              "hot shards to the idle server and steady-state throughput >= 1.5x static");
+
+  const CellResult static_cell = RunCell(/*supervisor_on=*/false, config);
+  const CellResult placed_cell = RunCell(/*supervisor_on=*/true, config);
+
+  Table table({"placement", "throughput", "migrations", "rows moved", "hot shards on srv0",
+               "last fence"});
+  table.AddRow({"static", FormatOps(static_cell.ops_per_sec),
+                FormatCount(static_cell.migrations), FormatCount(static_cell.rows_moved),
+                FormatCount(static_cell.shards_left_hot_server), "-"});
+  table.AddRow({"heat-aware", FormatOps(placed_cell.ops_per_sec),
+                FormatCount(placed_cell.migrations), FormatCount(placed_cell.rows_moved),
+                FormatCount(placed_cell.shards_left_hot_server),
+                FormatMicros(static_cast<double>(placed_cell.last_fence_nanos))});
+  table.Print();
+  if (static_cell.ops_per_sec > 0) {
+    std::printf("placement speedup: %.2fx\n",
+                placed_cell.ops_per_sec / static_cell.ops_per_sec);
+  }
+
+  // Machine-readable summary consumed by scripts/bench_snapshot.sh.
+  std::printf("\nPLACEMENT_SUMMARY {\"static_ops_per_sec\":%.1f,"
+              "\"placement_ops_per_sec\":%.1f,\"migrations\":%llu,"
+              "\"rows_moved\":%llu,\"hot_shards_left_on_server0\":%llu,"
+              "\"last_fence_nanos\":%lld}\n",
+              static_cell.ops_per_sec, placed_cell.ops_per_sec,
+              static_cast<unsigned long long>(placed_cell.migrations),
+              static_cast<unsigned long long>(placed_cell.rows_moved),
+              static_cast<unsigned long long>(placed_cell.shards_left_hot_server),
+              static_cast<long long>(placed_cell.last_fence_nanos));
+}
+
+}  // namespace
+}  // namespace mantle
+
+int main() {
+  mantle::Run();
+  return 0;
+}

@@ -13,10 +13,16 @@
 #   BENCH_fig12.json       the "== metrics ==" counter footer of a quick
 #                          bench_fig12 slice plus its run configuration - a
 #                          coarse canary for read-path throughput regressions.
+#   BENCH_placement.json   the PLACEMENT_SUMMARY from a quick
+#                          bench_placement_hotspot run. The ISSUE 10 gate rides
+#                          on this file: heat-aware steady-state throughput
+#                          >= 1.5x static under the seeded hotspot.
 #
 # Each run is a ~1s-per-cell quick slice: noisy, but cheap enough for CI. The
 # JSON is validated (strict parse) before it is written; a run whose summary
-# line is missing or malformed fails the script.
+# line is missing or malformed fails the script. Every file carries a
+# "provenance" block (git SHA + UTC timestamp, computed once here and passed
+# into the writers) so a snapshot can always be traced back to its tree.
 
 set -euo pipefail
 
@@ -24,6 +30,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 OUT_DIR="${2:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
+
+# Provenance stamp, computed once and passed to every JSON writer below.
+GIT_SHA="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git -C "$ROOT" status --porcelain 2>/dev/null || true)" ]; then
+  GIT_SHA="$GIT_SHA-dirty"
+fi
+GENERATED_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 QUICK_ENV=(MANTLE_BENCH_QUICK=1 MANTLE_BENCH_SECONDS="${MANTLE_BENCH_SECONDS:-1}")
 
@@ -36,7 +49,7 @@ if [ -z "$SUMMARY_LINE" ]; then
   echo "$BATCH_OUT" | tail -20 >&2
   exit 1
 fi
-python3 - "$OUT_DIR/BENCH_batch_read.json" <<PYEOF
+python3 - "$OUT_DIR/BENCH_batch_read.json" "$GIT_SHA" "$GENERATED_UTC" <<PYEOF
 import json, sys
 
 summary = json.loads('''$SUMMARY_LINE''')
@@ -49,6 +62,7 @@ summary["config"] = {
     "quick": True,
     "seconds_per_cell": float("${MANTLE_BENCH_SECONDS:-1}"),
 }
+summary["provenance"] = {"git_sha": sys.argv[2], "generated_utc": sys.argv[3]}
 with open(sys.argv[1], "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
@@ -73,7 +87,7 @@ fi
 METRICS_FILE="$(mktemp)"
 trap 'rm -f "$METRICS_FILE"' EXIT
 echo "$METRICS_JSON" > "$METRICS_FILE"
-python3 - "$METRICS_FILE" "$OUT_DIR/BENCH_fig12.json" <<'PYEOF'
+python3 - "$METRICS_FILE" "$OUT_DIR/BENCH_fig12.json" "$GIT_SHA" "$GENERATED_UTC" <<'PYEOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -86,12 +100,41 @@ doc = {
         "systems": "Mantle",
     },
     "metrics": metrics,
+    "provenance": {"git_sha": sys.argv[3], "generated_utc": sys.argv[4]},
 }
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {sys.argv[2]}: {len(metrics.get('counters', {}))} counters, "
       f"{len(metrics.get('histograms', {}))} histograms")
+PYEOF
+
+echo "== bench_placement_hotspot quick slice =="
+PLACEMENT_OUT="$(env "${QUICK_ENV[@]}" MANTLE_METRICS=off \
+  "$BUILD_DIR/bench/bench_placement_hotspot")"
+PLACEMENT_LINE="$(echo "$PLACEMENT_OUT" | grep '^PLACEMENT_SUMMARY ' | tail -1 | cut -d' ' -f2-)"
+if [ -z "$PLACEMENT_LINE" ]; then
+  echo "bench_snapshot FAILED: no PLACEMENT_SUMMARY line in bench_placement_hotspot output" >&2
+  echo "$PLACEMENT_OUT" | tail -20 >&2
+  exit 1
+fi
+python3 - "$OUT_DIR/BENCH_placement.json" "$GIT_SHA" "$GENERATED_UTC" <<PYEOF
+import json, sys
+
+summary = json.loads('''$PLACEMENT_LINE''')
+static = summary["static_ops_per_sec"]
+summary["speedup"] = summary["placement_ops_per_sec"] / static if static > 0 else None
+summary["gate"] = {"min_speedup": 1.5, "passed": bool(summary["speedup"] and summary["speedup"] >= 1.5)}
+summary["config"] = {
+    "quick": True,
+    "seconds_per_cell": float("${MANTLE_BENCH_SECONDS:-1}"),
+}
+summary["provenance"] = {"git_sha": sys.argv[2], "generated_utc": sys.argv[3]}
+with open(sys.argv[1], "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[1]}: speedup {summary['speedup']:.2f}x "
+      f"({summary['migrations']} migrations, gate {'PASS' if summary['gate']['passed'] else 'FAIL'})")
 PYEOF
 
 echo "bench snapshot OK"

@@ -87,6 +87,14 @@ echo "== membership smoke (seeded kill-and-replace drill) =="
   --gtest_filter='MembershipAcceptanceTest.KillAndReplaceDrillUnderLoad'
 echo "membership smoke OK"
 
+# Placement smoke: the seeded hotspot drill (skewed load, supervisor on) must
+# end with hot shards migrated off the hot server, zero acked-write loss and a
+# clean fsck; the direct drill migrates every shard and fsck must stay clean.
+echo "== placement smoke (seeded hotspot drill) =="
+"$BUILD_DIR/tests/placement_test" \
+  --gtest_filter='PlacementDrillTest.*'
+echo "placement smoke OK"
+
 # Trace smoke: run a bench slice with tracing sampled and the flight recorder
 # exporting, then assert the Chrome trace JSON parses, contains at least one
 # trace that crossed multiple servers, and that the critical-path rollups
@@ -169,4 +177,13 @@ if [ "$MODE" = thread ]; then
   "$BUILD_DIR/tests/raft_snapshot_test" --gtest_repeat=5 \
     --gtest_filter='RaftSnapshotTest.LearnerCatchupSnapshotRacesConfigChange:RaftSnapshotTest.InstallSnapshotAtJustRemovedNodeIsHarmless:RaftSnapshotTest.CrashAtThePersistedPointConverges'
   echo "membership & repair OK"
+
+  # Live migration is a fence/latch dance between the migrator, 2PC phase-two
+  # appliers, the compactor and stale routers: repeat the migration/cutover
+  # scenarios under TSan so the fence and dirty-capture interleavings actually
+  # vary.
+  echo "== shard migration under TSan (5 repeats) =="
+  "$BUILD_DIR/tests/placement_test" --gtest_repeat=5 \
+    --gtest_filter='PlacementMigrationTest.MigrationUnderConcurrent2pcLosesNoAckedWrite:PlacementMigrationTest.StaleRouterBouncesWithWrongShard:PlacementMigrationTest.Crash*:PlacementMigrationTest.MigrationPreservesEveryRowAndBumpsEpoch'
+  echo "shard migration OK"
 fi

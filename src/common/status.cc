@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kWrongShard:
+      return "WrongShard";
     case StatusCode::kInternal:
       return "Internal";
   }

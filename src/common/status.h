@@ -30,6 +30,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,       // Server down / no leader elected.
   kTimeout,           // RPC or consensus deadline exceeded.
   kOverloaded,        // Admission control rejected the request; caller may retry.
+  kWrongShard,        // Router used a stale shard placement; refresh and retry.
   kInternal,          // Invariant violation; indicates a bug.
 };
 
@@ -71,6 +72,9 @@ class Status {
   static Status Overloaded(std::string msg = "") {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status WrongShard(std::string msg = "") {
+    return Status(StatusCode::kWrongShard, std::move(msg));
+  }
   static Status Internal(std::string msg = "") { return Status(StatusCode::kInternal, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -83,12 +87,16 @@ class Status {
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsLoopDetected() const { return code_ == StatusCode::kLoopDetected; }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsWrongShard() const { return code_ == StatusCode::kWrongShard; }
 
   // True for failures the proxy layer is expected to retry (transaction
-  // aborts, lock-bit conflicts, admission rejections), as opposed to
-  // terminal errors. Retries against an overloaded server are expected to
-  // pass through a retry budget so they cannot amplify the overload.
-  bool IsRetriable() const { return IsAborted() || IsBusy() || IsOverloaded(); }
+  // aborts, lock-bit conflicts, admission rejections, stale shard-placement
+  // routes), as opposed to terminal errors. Retries against an overloaded
+  // server are expected to pass through a retry budget so they cannot
+  // amplify the overload.
+  bool IsRetriable() const {
+    return IsAborted() || IsBusy() || IsOverloaded() || IsWrongShard();
+  }
 
   std::string ToString() const;
 

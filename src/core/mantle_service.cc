@@ -1212,6 +1212,28 @@ Status MantleService::BulkLoadMany(std::span<const BulkEntry> entries) {
 std::string MantleService::DumpStats() {
   auto& registry = obs::Metrics::Instance();
   registry.GetGauge("tafdb.compaction.backlog")->Set(static_cast<int64_t>(tafdb_->PendingCompactions()));
+  // Per-shard row/op gauges (tafdb.shard.<i>.rows / .ops plus the fleet
+  // totals) - the raw signal the heat tracker smooths, published even with
+  // placement off so a hot shard is visible before anything moves.
+  {
+    ShardMap* shards = tafdb_->shard_map();
+    uint64_t total_rows = 0;
+    uint64_t total_ops = 0;
+    for (uint32_t i = 0; i < shards->num_shards(); ++i) {
+      const Shard* shard = shards->ShardAt(i);
+      const uint64_t rows = shard->Size();
+      const uint64_t ops = shard->ops();
+      const std::string prefix = "tafdb.shard." + std::to_string(i);
+      registry.GetGauge(prefix + ".rows")->Set(static_cast<int64_t>(rows));
+      registry.GetGauge(prefix + ".ops")->Set(static_cast<int64_t>(ops));
+      total_rows += rows;
+      total_ops += ops;
+    }
+    registry.GetGauge("tafdb.shard.rows")->Set(static_cast<int64_t>(total_rows));
+    registry.GetGauge("tafdb.shard.ops")->Set(static_cast<int64_t>(total_ops));
+    registry.GetGauge("placement.epoch")
+        ->Set(static_cast<int64_t>(shards->placement().epoch()));
+  }
   if (IndexReplica* leader = index_->LeaderReplica(); leader != nullptr) {
     registry.GetGauge("index.removal_list.depth")
         ->Set(static_cast<int64_t>(leader->removal_list().LiveCount()));

@@ -214,6 +214,18 @@ class MantleService final : public MetadataService {
   // remove and crash-stop the old leader, with a bounded write stall.
   Status DecommissionIndexLeader() { return index_->DecommissionLeader(); }
 
+  // --- placement drills --------------------------------------------------------
+  // Mirror of the membership drills for the TafDB layer (src/placement/).
+
+  // Starts the autonomous heat-aware rebalancer on this namespace's TafDB.
+  void EnableShardAutoPlacement() { tafdb_->EnableAutoPlacement(); }
+  void DisableShardAutoPlacement() { tafdb_->DisableAutoPlacement(); }
+  // One live migration, synchronously (admin surgery / drills).
+  Status MigrateTafDbShard(uint32_t shard_index, uint32_t target_server) {
+    return tafdb_->placement().MigrateShard(shard_index, target_server);
+  }
+  PlacementSupervisor* shard_placement() { return &tafdb_->placement(); }
+
   Network* network() { return network_; }
 
  private:

@@ -3,6 +3,7 @@
 namespace mantle {
 
 std::optional<MetaValue> Shard::Get(const MetaKey& key) const {
+  NoteOp();
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = rows_.find(key);
   if (it == rows_.end()) {
@@ -12,6 +13,7 @@ std::optional<MetaValue> Shard::Get(const MetaKey& key) const {
 }
 
 std::vector<Shard::Entry> Shard::ScanChildren(InodeId pid, size_t limit) const {
+  NoteOp();
   std::vector<Entry> out;
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto it = rows_.lower_bound(MetaKey{pid, "", 0}); it != rows_.end(); ++it) {
@@ -31,6 +33,7 @@ std::vector<Shard::Entry> Shard::ScanChildren(InodeId pid, size_t limit) const {
 
 std::vector<Shard::Entry> Shard::ScanChildrenAfter(InodeId pid, const std::string& start_after,
                                                    size_t limit) const {
+  NoteOp();
   std::vector<Entry> out;
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = start_after.empty()
@@ -64,7 +67,21 @@ std::vector<Shard::Entry> Shard::ScanDeltas(InodeId dir_id) const {
   return out;
 }
 
+std::vector<Shard::Entry> Shard::ScanRange(const MetaKey& after, size_t limit) const {
+  std::vector<Entry> out;
+  out.reserve(limit);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto it = rows_.upper_bound(after); it != rows_.end(); ++it) {
+    out.push_back({it->first, it->second});
+    if (limit != 0 && out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
 bool Shard::HasChildren(InodeId pid) const {
+  NoteOp();
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto it = rows_.lower_bound(MetaKey{pid, "", 0}); it != rows_.end(); ++it) {
     if (it->first.pid != pid) {
@@ -78,6 +95,7 @@ bool Shard::HasChildren(InodeId pid) const {
 }
 
 std::optional<MetaValue> Shard::ReadAttrMerged(InodeId dir_id) const {
+  NoteOp();
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto primary = rows_.find(AttrKey(dir_id));
   if (primary == rows_.end()) {
@@ -110,11 +128,19 @@ void Shard::ForEach(const std::function<void(const MetaKey&, const MetaValue&)>&
 
 bool Shard::TryLockKey(const MetaKey& key, uint64_t txn_id) {
   std::lock_guard<std::mutex> lock(lock_mu_);
+  // Fence / retirement first: a migration cutover in progress must not admit
+  // new prepared locks (the drain below the fence is what makes the cutover
+  // safe under concurrent 2PC). Not counted as a lock conflict - this is
+  // placement backpressure, not data contention.
+  if (write_fenced_.load(std::memory_order_acquire) ||
+      retired_.load(std::memory_order_acquire)) {
+    return false;
+  }
   auto [it, inserted] = key_locks_.try_emplace(key, txn_id);
   if (inserted || it->second == txn_id) {
     return true;
   }
-  ++lock_conflicts_;
+  lock_conflicts_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -130,6 +156,11 @@ void Shard::UnlockKey(const MetaKey& key, uint64_t txn_id) {
   if (it != key_locks_.end() && it->second == txn_id) {
     key_locks_.erase(it);
   }
+}
+
+size_t Shard::HeldLockCount() const {
+  std::lock_guard<std::mutex> lock(lock_mu_);
+  return key_locks_.size();
 }
 
 Status Shard::CheckPreconditionLocked(const WriteOp& op) const {
@@ -170,7 +201,19 @@ Status Shard::CheckPrecondition(const WriteOp& op) const {
 
 Status Shard::CheckAndApply(const std::vector<WriteOp>& ops,
                             const std::function<void()>& while_locked) {
+  NoteOp();
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Checked under the exclusive latch: the migrator's final catch-up round
+  // also takes it, so an apply that saw the fence down has fully mutated (and
+  // dirty-captured) the rows before the final copy runs - nothing can slip
+  // between the fence and the cutover.
+  if (retired_.load(std::memory_order_acquire)) {
+    return Status::WrongShard("shard " + std::to_string(shard_id_) + " moved; epoch " +
+                              std::to_string(retired_epoch()));
+  }
+  if (write_fenced_.load(std::memory_order_acquire)) {
+    return Status::Busy("shard " + std::to_string(shard_id_) + " write-fenced for migration");
+  }
   if (while_locked) {
     while_locked();
   }
@@ -185,12 +228,20 @@ Status Shard::CheckAndApply(const std::vector<WriteOp>& ops,
 }
 
 void Shard::ApplyOps(const std::vector<WriteOp>& ops) {
+  NoteOp();
   std::unique_lock<std::shared_mutex> lock(mu_);
   ApplyOpsLocked(ops);
 }
 
+void Shard::NoteDirtyLocked(const MetaKey& key) {
+  if (capture_enabled_) {
+    dirty_keys_.insert(key);
+  }
+}
+
 void Shard::ApplyOpsLocked(const std::vector<WriteOp>& ops) {
   for (const auto& op : ops) {
+    NoteDirtyLocked(op.key);
     switch (op.kind) {
       case WriteOp::Kind::kPut: {
         MetaValue value = op.value;
@@ -220,28 +271,73 @@ void Shard::ApplyOpsLocked(const std::vector<WriteOp>& ops) {
 
 void Shard::LoadPut(const MetaKey& key, const MetaValue& value) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  NoteDirtyLocked(key);
   rows_[key] = value;
 }
 
-void Shard::CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
-                          uint64_t max_mtime) {
+void Shard::LoadErase(const MetaKey& key) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  NoteDirtyLocked(key);
+  rows_.erase(key);
+}
+
+Status Shard::CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
+                            uint64_t max_mtime) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Same fence discipline as CheckAndApply: validated under the latch so a
+  // fold can never land between the final catch-up copy and the cutover.
+  if (retired_.load(std::memory_order_acquire)) {
+    return Status::WrongShard("shard " + std::to_string(shard_id_) + " moved; epoch " +
+                              std::to_string(retired_epoch()));
+  }
+  if (write_fenced_.load(std::memory_order_acquire)) {
+    return Status::Busy("shard " + std::to_string(shard_id_) + " write-fenced for migration");
+  }
   auto primary = rows_.find(AttrKey(dir_id));
   if (primary == rows_.end()) {
     // Directory disappeared (rmdir raced ahead); drop the deltas anyway.
     for (uint64_t ts : consumed) {
-      rows_.erase(DeltaKey(dir_id, ts));
+      const MetaKey key = DeltaKey(dir_id, ts);
+      NoteDirtyLocked(key);
+      rows_.erase(key);
     }
-    return;
+    return Status::Ok();
   }
+  NoteDirtyLocked(primary->first);
   primary->second.child_count += fold;
   if (max_mtime > primary->second.mtime) {
     primary->second.mtime = max_mtime;
   }
   ++primary->second.version;
   for (uint64_t ts : consumed) {
-    rows_.erase(DeltaKey(dir_id, ts));
+    const MetaKey key = DeltaKey(dir_id, ts);
+    NoteDirtyLocked(key);
+    rows_.erase(key);
   }
+  return Status::Ok();
+}
+
+void Shard::BeginMigrationCapture() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  capture_enabled_ = true;
+  dirty_keys_.clear();
+}
+
+std::vector<MetaKey> Shard::TakeDirtyKeys() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<MetaKey> out;
+  out.reserve(dirty_keys_.size());
+  for (auto& key : dirty_keys_) {
+    out.push_back(key);
+  }
+  dirty_keys_.clear();
+  return out;
+}
+
+void Shard::EndMigrationCapture() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  capture_enabled_ = false;
+  dirty_keys_.clear();
 }
 
 }  // namespace mantle

@@ -5,10 +5,21 @@
 // layer (src/txn) for two-phase commit. Reads never take write locks;
 // conflicting writers fail TryLockKey and abort their transaction, which is
 // the contention behaviour the paper measures in §3.2.
+//
+// For heat-aware placement (src/placement/) a shard additionally exposes:
+//   * cheap cumulative counters (ops served, lock conflicts) sampled by the
+//     ShardHeatTracker;
+//   * a migration surface: dirty-key capture for delta catch-up rounds, a
+//     write fence for the cutover window, and a retired flag that makes any
+//     stale router bounce with kWrongShard instead of reading or mutating a
+//     superseded copy of the data.
+// A shard object is authoritative until Retire() is called; after that the
+// replacement object installed in the ShardMap is the only writable copy.
 
 #ifndef SRC_KV_SHARD_H_
 #define SRC_KV_SHARD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -17,6 +28,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -68,6 +80,10 @@ class Shard {
   // All delta rows (ts > 0) for the directory's attribute.
   std::vector<Entry> ScanDeltas(InodeId dir_id) const;
 
+  // Generic paged snapshot read over the whole key space: up to `limit` rows
+  // with key strictly greater than `after` (migration bulk copy).
+  std::vector<Entry> ScanRange(const MetaKey& after, size_t limit) const;
+
   // True if the directory has at least one child entry row.
   bool HasChildren(InodeId pid) const;
 
@@ -86,13 +102,19 @@ class Shard {
   // --- transactional write support ------------------------------------------
 
   // Attempts to lock `key` on behalf of `txn_id`. Re-entrant for the same
-  // transaction. Returns false on conflict (another transaction holds it).
+  // transaction. Returns false on conflict (another transaction holds it) or
+  // while the shard is write-fenced / retired for migration cutover (the
+  // caller's transaction aborts retriably; the retry re-routes).
   bool TryLockKey(const MetaKey& key, uint64_t txn_id);
   void UnlockKey(const MetaKey& key, uint64_t txn_id);
   // Transaction currently holding `key`'s write lock, or 0. Crash recovery
   // keys commit redelivery off this: a participant still holding an intent's
   // locks was prepared but never received the decision.
   uint64_t LockHolder(const MetaKey& key) const;
+  // Prepared locks currently held (migration cutover drains this to zero
+  // before committing the new placement, so no 2PC transaction ever spans a
+  // shard move).
+  size_t HeldLockCount() const;
 
   // Validates `op`'s precondition; caller must hold the key lock.
   Status CheckPrecondition(const WriteOp& op) const;
@@ -106,28 +128,64 @@ class Shard {
   // by the relaxed-consistency and single-shard-atomic-primitive baselines.
   // `while_locked` (optional) runs holding the latch and models the row-write
   // CPU cost, so contended rows serialize at the storage-engine rate.
+  // Returns kBusy while write-fenced and kWrongShard once retired; both are
+  // retriable and the retry re-routes through the current placement.
   Status CheckAndApply(const std::vector<WriteOp>& ops,
                        const std::function<void()>& while_locked = {});
 
-  // Non-transactional single put used by bulk loading.
+  // Non-transactional single put used by bulk loading and by the migration
+  // copy stream (preserves the row's version verbatim).
   void LoadPut(const MetaKey& key, const MetaValue& value);
+  // Non-transactional erase (migration copy stream: the source deleted the
+  // row after it was snapshotted).
+  void LoadErase(const MetaKey& key);
 
   // Removes delta rows [dir_id] with ts in `consumed` and folds `fold` into
   // the primary attribute row, holding the shard latch so the primary cannot
-  // vanish mid-compaction (paper §5.2.1).
-  void CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
-                     uint64_t max_mtime);
+  // vanish mid-compaction (paper §5.2.1). Returns kBusy while write-fenced
+  // and kWrongShard once retired (the compactor re-pends the directory and
+  // the next pass routes to the current shard object).
+  Status CompactDeltas(InodeId dir_id, const std::vector<uint64_t>& consumed, int64_t fold,
+                       uint64_t max_mtime);
+
+  // --- migration surface (src/placement/) -----------------------------------
+
+  // Starts recording the key of every row mutated on this shard. The copy
+  // protocol begins capture BEFORE the bulk snapshot scan, so any row that
+  // changes mid-scan is re-copied by a catch-up round.
+  void BeginMigrationCapture();
+  // Drains the captured dirty-key set (one catch-up round's worth).
+  std::vector<MetaKey> TakeDirtyKeys();
+  void EndMigrationCapture();
+
+  // Write fence for the cutover window: new lock acquisitions and atomic
+  // applies fail retriably; phase-two commits of already-prepared
+  // transactions still proceed (their mutations are dirty-captured).
+  void SetWriteFence(bool fenced) { write_fenced_.store(fenced, std::memory_order_release); }
+  bool WriteFenced() const { return write_fenced_.load(std::memory_order_acquire); }
+
+  // Marks this object superseded by the placement epoch `epoch`. Stale
+  // routers holding this pointer get kWrongShard from every guarded entry
+  // point and must re-resolve through the ShardMap.
+  void Retire(uint64_t epoch) {
+    retired_epoch_.store(epoch, std::memory_order_release);
+    retired_.store(true, std::memory_order_release);
+  }
+  bool IsRetired() const { return retired_.load(std::memory_order_acquire); }
+  uint64_t retired_epoch() const { return retired_epoch_.load(std::memory_order_acquire); }
 
   // --- stats -----------------------------------------------------------------
-  uint64_t lock_conflicts() const { return lock_conflicts_; }
+  uint64_t lock_conflicts() const { return lock_conflicts_.load(std::memory_order_relaxed); }
+  // Cumulative data-path operations served (reads, scans, applied writes);
+  // the ShardHeatTracker turns deltas of this into an op-rate EMA.
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
 
  private:
   Status CheckPreconditionLocked(const WriteOp& op) const;
   void ApplyOpsLocked(const std::vector<WriteOp>& ops);
-
-  uint32_t shard_id_;
-  mutable std::shared_mutex mu_;
-  std::map<MetaKey, MetaValue> rows_;
+  // Records a mutated key while capture is active. Caller holds mu_ exclusive.
+  void NoteDirtyLocked(const MetaKey& key);
+  void NoteOp() const { ops_.fetch_add(1, std::memory_order_relaxed); }
 
   struct KeyHash {
     size_t operator()(const MetaKey& k) const {
@@ -135,9 +193,23 @@ class Shard {
              std::hash<uint64_t>()(k.ts);
     }
   };
+
+  uint32_t shard_id_;
+  mutable std::shared_mutex mu_;
+  std::map<MetaKey, MetaValue> rows_;
+  // Migration dirty-key capture; guarded by mu_ exclusive (every mutation
+  // path holds it).
+  bool capture_enabled_ = false;
+  std::unordered_set<MetaKey, KeyHash> dirty_keys_;
+
   mutable std::mutex lock_mu_;
   std::unordered_map<MetaKey, uint64_t, KeyHash> key_locks_;
-  uint64_t lock_conflicts_ = 0;
+
+  std::atomic<uint64_t> lock_conflicts_{0};
+  mutable std::atomic<uint64_t> ops_{0};
+  std::atomic<bool> write_fenced_{false};
+  std::atomic<bool> retired_{false};
+  std::atomic<uint64_t> retired_epoch_{0};
 };
 
 }  // namespace mantle

@@ -1,0 +1,81 @@
+#include "src/placement/heat_tracker.h"
+
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+
+namespace mantle {
+
+ShardHeatTracker::ShardHeatTracker(uint32_t num_shards, HeatTrackerOptions options)
+    : options_(options),
+      heat_(num_shards),
+      last_ops_(num_shards, 0),
+      last_conflicts_(num_shards, 0) {}
+
+void ShardHeatTracker::Sample(const std::function<const Shard*(uint32_t)>& shard_at) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  const double elapsed_sec =
+      last_sample_nanos_ == 0 ? 0.0 : static_cast<double>(now - last_sample_nanos_) / 1e9;
+  auto& registry = obs::Metrics::Instance();
+  uint64_t total_rows = 0;
+  uint64_t total_ops = 0;
+  for (uint32_t i = 0; i < heat_.size(); ++i) {
+    const Shard* shard = shard_at(i);
+    const uint64_t ops = shard->ops();
+    const uint64_t conflicts = shard->lock_conflicts();
+    ShardHeat& h = heat_[i];
+    h.rows = shard->Size();
+    h.ops_total = ops;
+    // A counter below its baseline means the shard OBJECT changed since the
+    // last sample (a migration cutover installed a replacement whose counters
+    // restart at zero). Re-baseline without updating the EMAs: a wrapped
+    // unsigned delta would otherwise read as an astronomically hot shard and
+    // send the supervisor chasing phantom hotspots it just created.
+    if (elapsed_sec > 0 && ops >= last_ops_[i] && conflicts >= last_conflicts_[i]) {
+      const double op_rate = static_cast<double>(ops - last_ops_[i]) / elapsed_sec;
+      const double conflict_rate =
+          static_cast<double>(conflicts - last_conflicts_[i]) / elapsed_sec;
+      h.op_rate += options_.alpha * (op_rate - h.op_rate);
+      h.conflict_rate += options_.alpha * (conflict_rate - h.conflict_rate);
+    }
+    last_ops_[i] = ops;
+    last_conflicts_[i] = conflicts;
+    total_rows += h.rows;
+    total_ops += ops;
+
+    const std::string prefix = "tafdb.shard." + std::to_string(i);
+    registry.GetGauge(prefix + ".rows")->Set(static_cast<int64_t>(h.rows));
+    registry.GetGauge(prefix + ".ops")->Set(static_cast<int64_t>(ops));
+    registry.GetGauge(prefix + ".op_rate")->Set(static_cast<int64_t>(h.op_rate));
+    registry.GetGauge(prefix + ".conflict_rate")->Set(static_cast<int64_t>(h.conflict_rate));
+  }
+  registry.GetGauge("tafdb.shard.rows")->Set(static_cast<int64_t>(total_rows));
+  registry.GetGauge("tafdb.shard.ops")->Set(static_cast<int64_t>(total_ops));
+  last_sample_nanos_ = now;
+  ++samples_;
+}
+
+ShardHeatTracker::ShardHeat ShardHeatTracker::Heat(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heat_[shard];
+}
+
+double ShardHeatTracker::Score(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ShardHeat& h = heat_[shard];
+  return h.op_rate + options_.conflict_weight * h.conflict_rate;
+}
+
+std::vector<double> ShardHeatTracker::ServerScores(const PlacementTable& table) const {
+  std::vector<double> scores(table.num_servers(), 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < heat_.size(); ++i) {
+    const ShardHeat& h = heat_[i];
+    scores[table.Get(i).server] += h.op_rate + options_.conflict_weight * h.conflict_rate;
+  }
+  return scores;
+}
+
+}  // namespace mantle

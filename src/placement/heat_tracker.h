@@ -1,0 +1,78 @@
+// Per-shard load estimation for heat-aware placement.
+//
+// Each kv::Shard exports two cheap cumulative counters (ops served, lock
+// conflicts) and its row count. The tracker samples them periodically, turns
+// counter deltas into rates, and smooths the rates with an exponential moving
+// average so one bursty poll interval does not trigger a migration. The
+// PlacementSupervisor aggregates per-shard heat into per-server heat through
+// the PlacementTable and moves shards off servers whose heat skew exceeds its
+// threshold.
+//
+// The tracker sits below the txn layer on purpose: it reads shards through an
+// index->Shard* accessor instead of depending on ShardMap, so mantle_txn can
+// itself link the placement core (ShardMap embeds a PlacementTable).
+
+#ifndef SRC_PLACEMENT_HEAT_TRACKER_H_
+#define SRC_PLACEMENT_HEAT_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/kv/shard.h"
+#include "src/placement/placement_table.h"
+
+namespace mantle {
+
+struct HeatTrackerOptions {
+  // EMA smoothing factor per sample: rate_ema += alpha * (rate - rate_ema).
+  double alpha = 0.3;
+  // Weight of one lock conflict per second relative to one op per second in
+  // the scalar heat score. Conflicts mark contended (not merely busy)
+  // shards, which benefit most from moving to an idle server.
+  double conflict_weight = 25.0;
+};
+
+class ShardHeatTracker {
+ public:
+  struct ShardHeat {
+    double op_rate = 0.0;        // EMA, ops/second
+    double conflict_rate = 0.0;  // EMA, lock conflicts/second
+    uint64_t rows = 0;           // last sampled row count
+    uint64_t ops_total = 0;      // last sampled cumulative op counter
+  };
+
+  explicit ShardHeatTracker(uint32_t num_shards, HeatTrackerOptions options = {});
+
+  // Polls every shard's cumulative counters through `shard_at` (which must
+  // return the CURRENT object for the index - retired sources keep their
+  // counters but stop accumulating). Elapsed time since the previous sample
+  // is measured on the monotonic clock. The first sample only establishes
+  // baselines. Also refreshes the tafdb.shard.* gauges.
+  void Sample(const std::function<const Shard*(uint32_t)>& shard_at);
+
+  ShardHeat Heat(uint32_t shard) const;
+
+  // Scalar heat score of one shard: op_rate + conflict_weight * conflict_rate.
+  double Score(uint32_t shard) const;
+
+  // Sum of shard scores per server under the given placement.
+  std::vector<double> ServerScores(const PlacementTable& table) const;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(heat_.size()); }
+  uint64_t samples() const { return samples_; }
+
+ private:
+  const HeatTrackerOptions options_;
+  mutable std::mutex mu_;
+  std::vector<ShardHeat> heat_;        // guarded by mu_
+  std::vector<uint64_t> last_ops_;      // cumulative counter baselines
+  std::vector<uint64_t> last_conflicts_;
+  int64_t last_sample_nanos_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_PLACEMENT_HEAT_TRACKER_H_

@@ -1,0 +1,170 @@
+#include "src/placement/placement_supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "src/admission/admission.h"
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+
+PlacementSupervisor::PlacementSupervisor(ShardMap* shards, Network* network,
+                                         PlacementSupervisorOptions options)
+    : shards_(shards),
+      network_(network),
+      options_(options),
+      heat_(shards->num_shards(), options.heat),
+      migrator_(shards, network, options.migration),
+      rng_(options.seed) {}
+
+PlacementSupervisor::~PlacementSupervisor() { Stop(); }
+
+void PlacementSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PlacementSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      return;
+    }
+    started_ = false;
+    stopping_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void PlacementSupervisor::SampleHeat() {
+  ShardMap* shards = shards_;
+  heat_.Sample([shards](uint32_t index) -> const Shard* { return shards->ShardAt(index); });
+  stats_.samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+PlacementSupervisor::Plan PlacementSupervisor::PickMove() {
+  static obs::Counter* vetoes = obs::Metrics::Instance().GetCounter("placement.breaker_vetoes");
+  Plan plan;
+  const std::vector<double> scores = heat_.ServerScores(shards_->placement());
+  if (scores.size() < 2) {
+    return plan;
+  }
+  double total = 0;
+  for (double s : scores) {
+    total += s;
+  }
+  const double mean = total / static_cast<double>(scores.size());
+  uint32_t hot = 0;
+  uint32_t cool = 0;
+  for (uint32_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[hot]) {
+      hot = i;
+    }
+    if (scores[i] < scores[cool]) {
+      cool = i;
+    }
+  }
+  if (scores[hot] < options_.min_hot_score ||
+      (mean > 0 && scores[hot] < mean * options_.skew_threshold)) {
+    return plan;
+  }
+  // Breaker-awareness: a server already tripping its breaker is in distress;
+  // bulk copy traffic toward or away from it would make things worse. Use
+  // the passive state() - Allow() would consume half-open probe slots.
+  const auto breaker_open = [this](uint32_t server) {
+    CircuitBreaker& breaker = shards_->servers()[server]->breaker();
+    return breaker.state() == CircuitBreaker::State::kOpen;
+  };
+  if (breaker_open(hot) || breaker_open(cool)) {
+    vetoes->Add();
+    stats_.breaker_vetoes.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  // Hottest shard currently living on the hot server. Moving the single
+  // hottest shard is deliberately conservative: one move per cooldown, and
+  // the EMA re-evaluates before the next.
+  const std::vector<uint32_t> resident = shards_->placement().ShardsOn(hot);
+  if (resident.empty()) {
+    return plan;
+  }
+  uint32_t best = resident[0];
+  double best_score = -1;
+  for (uint32_t shard : resident) {
+    const double score = heat_.Score(shard);
+    if (score > best_score) {
+      best_score = score;
+      best = shard;
+    }
+  }
+  plan.shard = best;
+  plan.target_server = cool;
+  plan.viable = hot != cool;
+  return plan;
+}
+
+Status PlacementSupervisor::RebalanceOnce() {
+  static obs::Counter* rebalances = obs::Metrics::Instance().GetCounter("placement.rebalance.attempts");
+  ScopedOpPriority background(OpPriority::kBackground);
+  obs::ScopedSpan span(obs::CurrentThreadTrace(), "placement.rebalance");
+  rebalances->Add();
+  SampleHeat();
+  const Plan plan = PickMove();
+  if (!plan.viable) {
+    return Status::NotFound("placement: no profitable move");
+  }
+  Status status = migrator_.Migrate(plan.shard, plan.target_server);
+  if (status.ok()) {
+    stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void PlacementSupervisor::Loop() {
+  static obs::Counter* skew_metric = obs::Metrics::Instance().GetCounter("placement.skew_detected");
+  ScopedOpPriority background(OpPriority::kBackground);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    SampleHeat();
+    const int64_t now = MonotonicNanos();
+    if (now >= cooldown_until_) {
+      const Plan plan = PickMove();
+      if (!plan.viable) {
+        confirm_deadline_ = 0;
+      } else if (confirm_deadline_ == 0) {
+        // Skew must persist for the window (plus jitter) before data moves.
+        const int64_t jitter =
+            static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
+                std::max<int64_t>(1, options_.confirm_window_nanos / 4))));
+        confirm_deadline_ = now + options_.confirm_window_nanos + jitter;
+        skew_metric->Add();
+        stats_.skew_detected.fetch_add(1, std::memory_order_relaxed);
+      } else if (now >= confirm_deadline_) {
+        confirm_deadline_ = 0;
+        Status status = migrator_.Migrate(plan.shard, plan.target_server);
+        if (status.ok()) {
+          stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_.migration_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        cooldown_until_ = MonotonicNanos() + options_.cooldown_nanos;
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::nanoseconds(options_.poll_interval_nanos),
+                 [this] { return stopping_.load(std::memory_order_acquire); });
+  }
+}
+
+}  // namespace mantle

@@ -1,0 +1,128 @@
+// Autonomous heat-aware rebalancing of TafDB shards.
+//
+// The supervisor periodically samples every shard's heat (ShardHeatTracker),
+// aggregates it into per-server heat through the PlacementTable, and - when
+// one server's heat exceeds the fleet mean by the skew threshold for a full
+// confirmation window - migrates that server's hottest shard to the coolest
+// server. Mirrors the RepairSupervisor discipline from src/repair/: one
+// background thread, seeded-deterministic jitter so concurrent supervisors
+// never stampede, one action at a time with a cooldown between actions, and
+// breaker-awareness (a migration is never launched toward or away from a
+// server whose circuit breaker is open - it is already in distress).
+//
+// All planning work runs at OpPriority::kBackground so the admission
+// controller sheds it before foreground traffic, and every decision emits
+// placement.* metrics and trace spans.
+
+#ifndef SRC_PLACEMENT_PLACEMENT_SUPERVISOR_H_
+#define SRC_PLACEMENT_PLACEMENT_SUPERVISOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/placement/heat_tracker.h"
+#include "src/placement/shard_migrator.h"
+#include "src/txn/shard_map.h"
+
+namespace mantle {
+
+struct PlacementSupervisorOptions {
+  int64_t poll_interval_nanos = 20'000'000;  // heat-sample cadence
+  // A server is "hot" when its heat exceeds the fleet mean by this factor
+  // (mean * threshold). 0 disables skew detection (drills only).
+  double skew_threshold = 1.6;
+  // The skew must persist this long (plus seeded jitter) before a migration
+  // launches, so one bursty poll interval cannot trigger data movement.
+  int64_t confirm_window_nanos = 100'000'000;
+  // Pause after every migration (commit or abort) before the next one is
+  // considered: placement changes are expensive and their effect on the heat
+  // signal needs time to show up in the EMAs.
+  int64_t cooldown_nanos = 250'000'000;
+  // Ignore servers whose heat is below this absolute score even if the skew
+  // ratio trips (an idle fleet has meaningless ratios).
+  double min_hot_score = 50.0;
+  uint64_t seed = 0x5eedba1aULL;  // drives the deterministic confirm jitter
+  MigrationOptions migration;
+  HeatTrackerOptions heat;
+};
+
+struct PlacementSupervisorStats {
+  std::atomic<uint64_t> samples{0};           // heat polls taken
+  std::atomic<uint64_t> skew_detected{0};     // confirmation windows opened
+  std::atomic<uint64_t> migrations{0};        // migrations committed
+  std::atomic<uint64_t> migration_failures{0};
+  std::atomic<uint64_t> breaker_vetoes{0};    // moves skipped: breaker open
+};
+
+class PlacementSupervisor {
+ public:
+  PlacementSupervisor(ShardMap* shards, Network* network,
+                      PlacementSupervisorOptions options = {});
+  ~PlacementSupervisor();
+
+  PlacementSupervisor(const PlacementSupervisor&) = delete;
+  PlacementSupervisor& operator=(const PlacementSupervisor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One rebalancing step, synchronously: sample heat, pick the hottest
+  // server's hottest shard and the coolest server, migrate. The loop calls
+  // this after a confirmed skew; drills call it directly. Returns NotFound
+  // when no move is warranted (no hot server / nowhere cooler to go).
+  Status RebalanceOnce();
+
+  // Direct migration entry point for drills and admin surgery.
+  Status MigrateShard(uint32_t shard_index, uint32_t target_server) {
+    return migrator_.Migrate(shard_index, target_server);
+  }
+
+  ShardHeatTracker& heat() { return heat_; }
+  ShardMigrator& migrator() { return migrator_; }
+  const PlacementSupervisorStats& stats() const { return stats_; }
+  const PlacementSupervisorOptions& options() const { return options_; }
+
+ private:
+  struct Plan {
+    uint32_t shard = 0;
+    uint32_t target_server = 0;
+    bool viable = false;
+  };
+
+  // Samples heat and exports gauges; called from the loop and RebalanceOnce.
+  void SampleHeat();
+  // Picks (hot server's hottest shard, coolest server); not viable when the
+  // fleet is balanced, idle, or the candidate servers' breakers are open.
+  Plan PickMove();
+  void Loop();
+
+  ShardMap* shards_;
+  Network* network_;
+  PlacementSupervisorOptions options_;
+  ShardHeatTracker heat_;
+  ShardMigrator migrator_;
+  PlacementSupervisorStats stats_;
+  Rng rng_;
+
+  // Loop-thread only once started: the deadline by which a detected skew
+  // must still hold to launch a migration (0 = no window open), and the
+  // earliest time the next migration may start.
+  int64_t confirm_deadline_ = 0;
+  int64_t cooldown_until_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_PLACEMENT_PLACEMENT_SUPERVISOR_H_

@@ -1,0 +1,33 @@
+#include "src/placement/placement_table.h"
+
+namespace mantle {
+
+PlacementTable::PlacementTable(uint32_t num_shards, uint32_t num_servers)
+    : num_shards_(num_shards),
+      num_servers_(num_servers),
+      slots_(std::make_unique<std::atomic<uint64_t>[]>(num_shards)) {
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    slots_[i].store(Pack(i % num_servers_, 1), std::memory_order_relaxed);
+  }
+}
+
+uint64_t PlacementTable::CommitMove(uint32_t shard, uint32_t server) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  slots_[shard].store(Pack(server, epoch), std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+  moves_.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
+}
+
+std::vector<uint32_t> PlacementTable::ShardsOn(uint32_t server) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (Get(i).server == server) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace mantle

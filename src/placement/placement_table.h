@@ -1,0 +1,86 @@
+// Epoch-versioned shard -> server routing table for TafDB.
+//
+// Replaces the implicit `shard i lives on servers[i % servers]` round-robin
+// that froze placement at construction. Each shard slot holds the index of
+// the server currently hosting it plus the placement epoch at which that
+// assignment was committed; a process-wide epoch counter advances on every
+// committed move. Routers read slots lock-free (one atomic load: server and
+// epoch are packed into a single word, so a reader can never observe a torn
+// server/epoch pair). Writers - migrations committing a cutover - serialize
+// on a mutex, mirroring the FoundationDB Record Layer's split between
+// stateless routing state and movable data.
+//
+// Staleness is detected at the data, not here: a router that resolved a
+// shard before a move holds a pointer to the retired source object, whose
+// guarded entry points return kWrongShard carrying the cutover epoch. The
+// retry re-reads this table and lands on the new server.
+
+#ifndef SRC_PLACEMENT_PLACEMENT_TABLE_H_
+#define SRC_PLACEMENT_PLACEMENT_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mantle {
+
+class PlacementTable {
+ public:
+  struct Entry {
+    uint32_t server = 0;  // index into the TafDB server fleet
+    uint64_t epoch = 0;   // placement epoch that committed this assignment
+  };
+
+  // Initial placement is the classic round-robin (shard i on server
+  // i % num_servers) at epoch 1, so a table that never migrates routes
+  // identically to the pre-placement code.
+  PlacementTable(uint32_t num_shards, uint32_t num_servers);
+
+  PlacementTable(const PlacementTable&) = delete;
+  PlacementTable& operator=(const PlacementTable&) = delete;
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t num_servers() const { return num_servers_; }
+
+  // Current assignment of `shard`. Lock-free; a single atomic load.
+  Entry Get(uint32_t shard) const {
+    return Unpack(slots_[shard].load(std::memory_order_acquire));
+  }
+
+  // The latest committed placement epoch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Commits `shard` -> `server`, advancing the global epoch. Returns the
+  // epoch of the new assignment. Called exactly once per migration, at
+  // cutover, after the source shard object has been retired.
+  uint64_t CommitMove(uint32_t shard, uint32_t server);
+
+  // Shards currently assigned to `server` (supervisor planning; O(shards)).
+  std::vector<uint32_t> ShardsOn(uint32_t server) const;
+
+  // Count of committed moves since construction.
+  uint64_t moves() const { return moves_.load(std::memory_order_relaxed); }
+
+ private:
+  // server in the low 32 bits, epoch in the high 32. Epochs count committed
+  // migrations, so 2^32 is unreachable in any run we model.
+  static uint64_t Pack(uint32_t server, uint64_t epoch) {
+    return (epoch << 32) | static_cast<uint64_t>(server);
+  }
+  static Entry Unpack(uint64_t word) {
+    return Entry{static_cast<uint32_t>(word & 0xffffffffu), word >> 32};
+  }
+
+  const uint32_t num_shards_;
+  const uint32_t num_servers_;
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> moves_{0};
+  std::mutex writer_mu_;
+};
+
+}  // namespace mantle
+
+#endif  // SRC_PLACEMENT_PLACEMENT_TABLE_H_

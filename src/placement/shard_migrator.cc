@@ -1,0 +1,249 @@
+#include "src/placement/shard_migrator.h"
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace mantle {
+namespace {
+
+// One re-copied row of a catch-up round: the row's current value on the
+// source, or nullopt if it was deleted after the snapshot saw it.
+struct KeyDelta {
+  MetaKey key;
+  std::optional<MetaValue> value;
+};
+
+// Storage CPU charged for touching `rows` rows in one batch, matching the
+// scan charging model used by the read paths (1 + rows/32 row units).
+int64_t BatchRowUnits(size_t rows) { return 1 + static_cast<int64_t>(rows) / 32; }
+
+}  // namespace
+
+ShardMigrator::ShardMigrator(ShardMap* shards, Network* network, MigrationOptions options)
+    : shards_(shards), network_(network), options_(options) {}
+
+bool ShardMigrator::CrashAt(MigrationCrashPoint point) {
+  uint8_t expected = static_cast<uint8_t>(point);
+  return armed_crash_.compare_exchange_strong(expected,
+                                              static_cast<uint8_t>(MigrationCrashPoint::kNone),
+                                              std::memory_order_acq_rel);
+}
+
+void ShardMigrator::Recover(uint32_t shard_index) {
+  Shard* shard = shards_->ShardAt(shard_index);
+  shard->SetWriteFence(false);
+  shard->EndMigrationCapture();
+  static obs::Counter* recovered = obs::Metrics::Instance().GetCounter("placement.migrate.recovered");
+  recovered->Add();
+}
+
+Result<size_t> ShardMigrator::CatchUpRound(Shard* source, ServerExecutor* src_server,
+                                           const std::shared_ptr<Shard>& dest,
+                                           ServerExecutor* dst_server) {
+  Network* network = network_;
+  // One RPC drains the dirty-key set and reads those rows' current values.
+  // Destructive drain is safe because every failure path below aborts the
+  // migration (the source stays authoritative; nothing depends on the set).
+  auto deltas = src_server->Call(
+      [source, network]() -> Result<std::vector<KeyDelta>> {
+        std::vector<MetaKey> keys = source->TakeDirtyKeys();
+        std::vector<KeyDelta> out;
+        out.reserve(keys.size());
+        for (const MetaKey& key : keys) {
+          out.push_back(KeyDelta{key, source->Get(key)});
+        }
+        network->ChargeDbRowAccess(BatchRowUnits(keys.size()));
+        return out;
+      },
+      [](Status status) -> Result<std::vector<KeyDelta>> { return status; },
+      options_.rpc_deadline_nanos);
+  if (!deltas.ok()) {
+    return deltas.status();
+  }
+  const size_t count = deltas.value().size();
+  if (count > 0) {
+    Status installed = dst_server->Call(
+        [dest, rows = std::move(deltas.value()), network]() -> Status {
+          for (const KeyDelta& delta : rows) {
+            if (delta.value.has_value()) {
+              dest->LoadPut(delta.key, *delta.value);
+            } else {
+              dest->LoadErase(delta.key);
+            }
+          }
+          network->ChargeDbRowAccess(BatchRowUnits(rows.size()));
+          return Status::Ok();
+        },
+        [](Status status) { return status; }, options_.rpc_deadline_nanos);
+    if (!installed.ok()) {
+      return installed;
+    }
+  }
+  stats_.catchup_rounds.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* rounds = obs::Metrics::Instance().GetCounter("placement.migrate.catchup_rounds");
+  rounds->Add();
+  return count;
+}
+
+Status ShardMigrator::Migrate(uint32_t shard_index, uint32_t target_server) {
+  auto& registry = obs::Metrics::Instance();
+  static obs::Counter* attempts = registry.GetCounter("placement.migrate.attempts");
+  static obs::Counter* commits = registry.GetCounter("placement.migrate.committed");
+  static obs::Counter* aborts = registry.GetCounter("placement.migrate.aborted");
+  static obs::Counter* rows_copied_metric = registry.GetCounter("placement.migrate.rows_copied");
+  static obs::HistogramMetric* fence_hist = registry.GetHistogram("placement.migrate.fence_nanos");
+  static obs::HistogramMetric* total_hist = registry.GetHistogram("placement.migrate.total_nanos");
+  static obs::Gauge* epoch_gauge = registry.GetGauge("placement.epoch");
+
+  if (shard_index >= shards_->num_shards()) {
+    return Status::InvalidArgument("migrate: shard index out of range");
+  }
+  if (target_server >= shards_->servers().size()) {
+    return Status::InvalidArgument("migrate: target server out of range");
+  }
+  const ShardMap::Routing src = shards_->Resolve(shard_index);
+  if (shards_->placement().Get(shard_index).server == target_server) {
+    return Status::InvalidArgument("migrate: shard already on target server");
+  }
+  Shard* source = src.shard;
+  ServerExecutor* src_server = src.server;
+  ServerExecutor* dst_server = shards_->servers()[target_server];
+
+  attempts->Add();
+  stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch total_timer;
+  obs::OpTrace* trace = obs::CurrentThreadTrace();
+  obs::ScopedSpan migrate_span(trace, "placement.migrate.", std::to_string(shard_index),
+                               obs::SpanKind::kLogic);
+
+  // Abort helper: the source stays authoritative; lift whatever migration
+  // state this attempt had applied so it keeps serving writes normally.
+  auto abort = [&](Status status, bool fenced) {
+    if (fenced) {
+      source->SetWriteFence(false);
+    }
+    source->EndMigrationCapture();
+    aborts->Add();
+    stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+
+  // Phase 1: capture on, then snapshot copy (capture-before-scan means any
+  // row mutated mid-scan is in the dirty set and gets re-copied).
+  source->BeginMigrationCapture();
+  auto dest = std::make_shared<Shard>(shard_index);
+  Network* network = network_;
+  uint64_t copied = 0;
+  {
+    obs::ScopedSpan copy_span(trace, "placement.copy");
+    MetaKey after{};  // before every real key: pid 0 stores no rows
+    while (true) {
+      const size_t batch = options_.copy_batch_rows;
+      auto page = src_server->Call(
+          [source, after, batch, network]() -> Result<std::vector<Shard::Entry>> {
+            std::vector<Shard::Entry> rows = source->ScanRange(after, batch);
+            network->ChargeDbRowAccess(BatchRowUnits(rows.size()));
+            return rows;
+          },
+          [](Status status) -> Result<std::vector<Shard::Entry>> { return status; },
+          options_.rpc_deadline_nanos);
+      if (!page.ok()) {
+        return abort(page.status(), /*fenced=*/false);
+      }
+      if (page.value().empty()) {
+        break;
+      }
+      after = page.value().back().key;
+      copied += page.value().size();
+      Status installed = dst_server->Call(
+          [dest, rows = std::move(page.value()), network]() -> Status {
+            for (const Shard::Entry& entry : rows) {
+              dest->LoadPut(entry.key, entry.value);
+            }
+            network->ChargeDbRowAccess(BatchRowUnits(rows.size()));
+            return Status::Ok();
+          },
+          [](Status status) { return status; }, options_.rpc_deadline_nanos);
+      if (!installed.ok()) {
+        return abort(installed, /*fenced=*/false);
+      }
+      if (CrashAt(MigrationCrashPoint::kMidCopy)) {
+        // Simulated supervisor crash: capture stays on, fence was never
+        // raised. Recover() cleans up; the source lost nothing.
+        return Status::Aborted("crash injected mid-copy");
+      }
+    }
+  }
+  rows_copied_metric->Add(copied);
+  stats_.rows_copied.fetch_add(copied, std::memory_order_relaxed);
+
+  // Phase 2: bounded catch-up until the dirty set converges.
+  {
+    obs::ScopedSpan catchup_span(trace, "placement.catchup");
+    for (int round = 0; round < options_.max_catchup_rounds; ++round) {
+      Result<size_t> dirty = CatchUpRound(source, src_server, dest, dst_server);
+      if (!dirty.ok()) {
+        return abort(dirty.status(), /*fenced=*/false);
+      }
+      if (dirty.value() <= options_.fence_dirty_threshold) {
+        break;
+      }
+    }
+  }
+  if (CrashAt(MigrationCrashPoint::kBeforeFence)) {
+    return Status::Aborted("crash injected before fence");
+  }
+
+  // Phase 3: fence, drain prepared locks, final catch-up, cutover.
+  Stopwatch fence_timer;
+  {
+    obs::ScopedSpan cutover_span(trace, "placement.cutover");
+    source->SetWriteFence(true);
+    const int64_t drain_deadline = MonotonicNanos() + options_.drain_timeout_nanos;
+    while (source->HeldLockCount() > 0) {
+      if (MonotonicNanos() >= drain_deadline) {
+        return abort(Status::Busy("migrate: prepared locks did not drain on shard " +
+                                  std::to_string(shard_index)),
+                     /*fenced=*/true);
+      }
+      std::this_thread::sleep_for(std::chrono::nanoseconds(options_.drain_poll_nanos));
+    }
+    // All mutators have finished (they hold the shard latch exclusively and
+    // re-check the fence under it), so this final round observes every write
+    // that will ever land on the source.
+    Result<size_t> final_round = CatchUpRound(source, src_server, dest, dst_server);
+    if (!final_round.ok()) {
+      return abort(final_round.status(), /*fenced=*/true);
+    }
+    if (CrashAt(MigrationCrashPoint::kMidCutover)) {
+      // Crash with the fence up and the cutover uncommitted: the source is
+      // still the only authoritative copy. Recover() unfences and the old
+      // placement keeps serving.
+      return Status::Aborted("crash injected mid-cutover");
+    }
+    source->EndMigrationCapture();
+    // Retire FIRST: from this instant stale routers bounce. Only then does
+    // the replacement become reachable - there is never a moment where the
+    // superseded object silently serves a read of a row that moved.
+    source->Retire(shards_->placement().epoch() + 1);
+    const uint64_t epoch = shards_->CommitCutover(shard_index, dest, target_server);
+    epoch_gauge->Set(static_cast<int64_t>(epoch));
+  }
+  const int64_t fence_nanos = fence_timer.ElapsedNanos();
+  fence_hist->Record(fence_nanos);
+  stats_.last_fence_nanos.store(fence_nanos, std::memory_order_relaxed);
+  total_hist->Record(total_timer.ElapsedNanos());
+  commits->Add();
+  stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace mantle

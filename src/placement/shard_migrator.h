@@ -1,0 +1,129 @@
+// Live migration of one TafDB shard between servers.
+//
+// Protocol (paper-style snapshot + delta catch-up + short fence):
+//
+//   1. BeginMigrationCapture on the source: every row mutated from here on
+//      has its key recorded (capture starts BEFORE the snapshot scan so a
+//      row changed mid-scan is re-copied later).
+//   2. Snapshot copy: paged ScanRange RPCs against the source server, each
+//      page installed on the destination server by RPC (both sides charge
+//      storage CPU, so a migration visibly consumes fleet capacity).
+//   3. Bounded catch-up rounds: drain the dirty-key set, re-copy exactly
+//      those rows. Rounds shrink while writes are slower than the copy;
+//      when a round is small enough (or the round budget is exhausted) the
+//      cutover begins.
+//   4. Write fence on the source: new lock acquisitions, atomic applies and
+//      delta folds fail retriably (kBusy). Phase-two commits of transactions
+//      that prepared BEFORE the fence still apply - their locks are already
+//      held - and are dirty-captured.
+//   5. Drain prepared locks to zero (bounded wait). After this no 2PC
+//      transaction spans the move: anything prepared on the source also
+//      committed or aborted on the source.
+//   6. Final catch-up round (serializes after every in-flight apply because
+//      mutators hold the shard latch exclusively and the fence is checked
+//      under it), then: retire the source, install the replacement,
+//      CommitMove in the PlacementTable. Routers holding the retired object
+//      bounce with kWrongShard and re-resolve.
+//
+// Crash safety: the source stays fully authoritative until step 6's commit.
+// Aborting (or "crashing" via an armed CrashPoint) at any earlier point
+// leaves a fenced-or-capturing source and a discardable destination copy;
+// Recover() lifts the fence and capture and the system continues on the old
+// placement with zero loss. There is no window where neither object is
+// authoritative.
+
+#ifndef SRC_PLACEMENT_SHARD_MIGRATOR_H_
+#define SRC_PLACEMENT_SHARD_MIGRATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/net/network.h"
+#include "src/txn/shard_map.h"
+
+namespace mantle {
+
+struct MigrationOptions {
+  // Rows per snapshot-copy page (one source-scan RPC + one dest-install RPC).
+  size_t copy_batch_rows = 512;
+  // Catch-up rounds before the fence goes up regardless of dirty-set size.
+  int max_catchup_rounds = 8;
+  // A catch-up round at or below this many dirty keys is "converged": stop
+  // catching up and fence.
+  size_t fence_dirty_threshold = 32;
+  // Bounded wait for prepared 2PC locks to drain after the fence.
+  int64_t drain_timeout_nanos = 3'000'000'000;  // 3 s
+  int64_t drain_poll_nanos = 100'000;           // 100 us
+  // Per-RPC deadline for copy/catch-up traffic (chaos drops surface as
+  // Status and abort the migration retriably instead of hanging it).
+  int64_t rpc_deadline_nanos = 2'000'000'000;  // 2 s
+};
+
+// Deterministic abandon points for crash-injection tests: an armed migration
+// stops dead at the point, leaving all source-side state (fence, capture)
+// exactly as a real supervisor crash would. Tests then exercise Recover().
+enum class MigrationCrashPoint : uint8_t {
+  kNone = 0,
+  kMidCopy,     // after the first snapshot page
+  kBeforeFence, // catch-up done, fence not yet raised
+  kMidCutover,  // fence up, locks drained, final round copied - one instant
+                // before the cutover commits
+};
+
+struct MigrationStats {
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> rows_copied{0};
+  std::atomic<uint64_t> catchup_rounds{0};
+  std::atomic<int64_t> last_fence_nanos{0};  // write-unavailability window
+};
+
+class ShardMigrator {
+ public:
+  ShardMigrator(ShardMap* shards, Network* network, MigrationOptions options = {});
+
+  // Moves `shard_index` to servers()[target_server]. Synchronous; returns
+  // Ok after the cutover epoch committed, or a retriable error leaving the
+  // source authoritative (fence already lifted - no Recover() needed unless
+  // a CrashPoint was armed). Not safe to run concurrently for the same
+  // shard; the PlacementSupervisor serializes all migrations.
+  Status Migrate(uint32_t shard_index, uint32_t target_server);
+
+  // Arms a one-shot crash point: the NEXT Migrate abandons there, leaving
+  // fence/capture state dirty (test hook; mirrors the intent-log ArmCrash
+  // idiom in src/txn).
+  void ArmCrash(MigrationCrashPoint point) {
+    armed_crash_.store(static_cast<uint8_t>(point), std::memory_order_release);
+  }
+
+  // Post-crash cleanup for an interrupted migration of `shard_index`: lifts
+  // the write fence and dirty capture from the (still-authoritative) source.
+  // Idempotent; safe to call when no migration was in flight.
+  void Recover(uint32_t shard_index);
+
+  const MigrationStats& stats() const { return stats_; }
+  const MigrationOptions& options() const { return options_; }
+
+ private:
+  // True (and disarms) if the armed crash point equals `point`.
+  bool CrashAt(MigrationCrashPoint point);
+
+  // One catch-up round: drains the source's dirty keys and re-copies those
+  // rows to `dest`. Returns the number of dirty keys, or an error status.
+  Result<size_t> CatchUpRound(Shard* source, ServerExecutor* src_server,
+                              const std::shared_ptr<Shard>& dest, ServerExecutor* dst_server);
+
+  ShardMap* shards_;
+  Network* network_;
+  const MigrationOptions options_;
+  MigrationStats stats_;
+  std::atomic<uint8_t> armed_crash_{0};
+};
+
+}  // namespace mantle
+
+#endif  // SRC_PLACEMENT_SHARD_MIGRATOR_H_

@@ -1,5 +1,6 @@
 #include "src/tafdb/tafdb.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
@@ -9,8 +10,33 @@
 
 namespace mantle {
 
+Status TafDb::ValidateOptions(const TafDbOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("TafDbOptions: num_shards must be > 0");
+  }
+  if (options.num_servers == 0) {
+    return Status::InvalidArgument("TafDbOptions: num_servers must be > 0");
+  }
+  if (options.workers_per_server == 0) {
+    return Status::InvalidArgument("TafDbOptions: workers_per_server must be > 0");
+  }
+  return Status::Ok();
+}
+
 TafDb::TafDb(Network* network, TafDbOptions options)
     : network_(network), options_(options), contention_(options.contention) {
+  init_status_ = ValidateOptions(options_);
+  if (!init_status_.ok()) {
+    // Previously num_shards == 0 reached RouteHash(pid) % 0 - UB. Clamp to a
+    // safe minimum so every member is constructible, skip the background
+    // threads, and surface init_status_ from the fallible entry points.
+    MANTLE_WLOG << "TafDb constructed with invalid options: " << init_status_;
+    options_.num_shards = std::max(options_.num_shards, 1u);
+    options_.num_servers = std::max(options_.num_servers, 1u);
+    options_.workers_per_server = std::max(options_.workers_per_server, 1u);
+    options_.start_compactor = false;
+    options_.enable_placement = false;
+  }
   servers_.reserve(options_.num_servers);
   for (uint32_t i = 0; i < options_.num_servers; ++i) {
     servers_.push_back(
@@ -19,12 +45,17 @@ TafDb::TafDb(Network* network, TafDbOptions options)
   shards_ = std::make_unique<ShardMap>(options_.num_shards, servers_);
   coordinator_ = std::make_unique<TxnCoordinator>(shards_.get(), network_);
   coordinator_->set_abort_listener([this](InodeId pid) { contention_.NoteAbort(pid); });
+  placement_ = std::make_unique<PlacementSupervisor>(shards_.get(), network_, options_.placement);
+  if (options_.enable_placement) {
+    placement_->Start();
+  }
   if (options_.start_compactor) {
     compactor_ = std::thread([this]() { CompactorLoop(); });
   }
 }
 
 TafDb::~TafDb() {
+  placement_->Stop();
   {
     std::lock_guard<std::mutex> lock(stop_mu_);
     stopping_ = true;
@@ -52,21 +83,55 @@ Result<T> FaultToStatus(const Status& fault) {
   return fault;
 }
 
+// Retired-shard bounce for read handlers. Checked AFTER the read: IsRetired()
+// false at that point proves the shard was authoritative while the row was
+// read, so returning the row is linearizable; true means a migration cutover
+// may have raced the read and the row could be stale - bounce and re-route.
+Status WrongShardBounce(const Shard* shard) {
+  return Status::WrongShard("shard " + std::to_string(shard->shard_id()) + " moved; epoch " +
+                            std::to_string(shard->retired_epoch()));
+}
+
+// Bound on resolve-and-retry rounds after kWrongShard. One round suffices for
+// a single completed migration; the bound only guards against pathological
+// churn (a shard migrating continuously during the call).
+constexpr int kMaxRouteAttempts = 4;
+
+// Runs `body(routing)` against the current placement of `index`, re-resolving
+// and retrying while it returns kWrongShard.
+template <typename T, typename Body>
+Result<T> WithReroute(ShardMap* shards, uint32_t index, Body&& body) {
+  static obs::Counter* reroutes = obs::Metrics::Instance().GetCounter("tafdb.reroute.retries");
+  for (int attempt = 0;; ++attempt) {
+    Result<T> result = body(shards->Resolve(index));
+    if (result.ok() || !result.status().IsWrongShard() || attempt + 1 >= kMaxRouteAttempts) {
+      return result;
+    }
+    reroutes->Add();
+  }
+}
+
 }  // namespace
 
 Result<MetaValue> TafDb::Get(const MetaKey& key) {
-  Shard* shard = shards_->Route(key.pid);
-  ServerExecutor* server = shards_->RouteServer(key.pid);
-  return server->Call(
-      [this, shard, key]() -> Result<MetaValue> {
-        network_->ChargeDbRowAccess();
-        auto row = shard->Get(key);
-        if (!row.has_value()) {
-          return Status::NotFound(key.ToString());
-        }
-        return *row;
-      },
-      FaultToStatus<MetaValue>);
+  MANTLE_RETURN_IF_ERROR(init_status_);
+  return WithReroute<MetaValue>(
+      shards_.get(), shards_->ShardIndex(key.pid), [&](const ShardMap::Routing& route) {
+        Shard* shard = route.shard;
+        return route.server->Call(
+            [this, shard, key]() -> Result<MetaValue> {
+              network_->ChargeDbRowAccess();
+              auto row = shard->Get(key);
+              if (shard->IsRetired()) {
+                return WrongShardBounce(shard);
+              }
+              if (!row.has_value()) {
+                return Status::NotFound(key.ToString());
+              }
+              return *row;
+            },
+            FaultToStatus<MetaValue>);
+      });
 }
 
 std::vector<Result<MetaValue>> TafDb::MultiGet(std::span<const MetaKey> keys) {
@@ -75,153 +140,217 @@ std::vector<Result<MetaValue>> TafDb::MultiGet(std::span<const MetaKey> keys) {
   if (keys.empty()) {
     return results;
   }
+  if (!init_status_.ok()) {
+    std::fill(results.begin(), results.end(), Result<MetaValue>(init_status_));
+    return results;
+  }
   static obs::Counter* batches = obs::Metrics::Instance().GetCounter("tafdb.multiget.batches");
   static obs::Counter* key_count = obs::Metrics::Instance().GetCounter("tafdb.multiget.keys");
+  static obs::Counter* reroutes = obs::Metrics::Instance().GetCounter("tafdb.reroute.retries");
   batches->Add();
   key_count->Add(keys.size());
-  // Group keys by owning shard, remembering each key's input slot.
-  std::unordered_map<uint32_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    groups[shards_->ShardIndex(keys[i].pid)].push_back(i);
+  // Slots still to fetch this round; starts as everything, shrinks to the
+  // kWrongShard stragglers when a migration cutover races the batch.
+  std::vector<size_t> todo(keys.size());
+  for (size_t i = 0; i < todo.size(); ++i) {
+    todo[i] = i;
   }
-  struct GroupCall {
-    std::vector<size_t> slots;
-    ServerExecutor* server = nullptr;
-    std::future<std::vector<Result<MetaValue>>> future;
-  };
-  std::vector<GroupCall> calls;
-  calls.reserve(groups.size());
-  for (auto& [shard_index, slots] : groups) {
-    Shard* shard = shards_->ShardAt(shard_index);
-    ServerExecutor* server = shards_->ServerAt(shard_index);
-    // The handler owns its keys: a deadline-expired caller abandons it while
-    // it may still be queued.
-    auto group_keys = std::make_shared<std::vector<MetaKey>>();
-    group_keys->reserve(slots.size());
-    for (size_t slot : slots) {
-      group_keys->push_back(keys[slot]);
+  for (int round = 0; round < kMaxRouteAttempts && !todo.empty(); ++round) {
+    if (round > 0) {
+      reroutes->Add();
     }
-    // Admission sees the group's true weight, not "one more handler".
-    ScopedOpCost cost(static_cast<int>(group_keys->size()));
-    auto future = server->CallAsync(
-        [this, shard, group_keys]() -> std::vector<Result<MetaValue>> {
-          std::vector<Result<MetaValue>> rows;
-          rows.reserve(group_keys->size());
-          for (const MetaKey& key : *group_keys) {
-            network_->ChargeDbRowAccess();
-            auto row = shard->Get(key);
-            if (row.has_value()) {
-              rows.push_back(*row);
-            } else {
-              rows.push_back(Status::NotFound(key.ToString()));
-            }
-          }
-          return rows;
-        },
-        [group_keys](const Status& fault) {
-          return std::vector<Result<MetaValue>>(group_keys->size(),
-                                                Result<MetaValue>(fault));
-        });
-    calls.push_back(GroupCall{std::move(slots), server, std::move(future)});
-  }
-  // The per-shard fan-outs overlap on the wire: one shared round-trip charge
-  // for the whole batch (CallAsync counted each RPC already).
-  network_->InjectDelay();
-  const int64_t wait_nanos =
-      DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
-  const int64_t deadline_nanos = MonotonicNanos() + (wait_nanos > 0 ? wait_nanos : 0);
-  for (GroupCall& call : calls) {
-    const int64_t rest = deadline_nanos - MonotonicNanos();
-    if (rest <= 0 || call.future.wait_for(std::chrono::nanoseconds(rest)) !=
-                         std::future_status::ready) {
-      call.server->RecordOutcome(Status::Timeout());
-      network_->NoteCallerTimeout();
-      for (size_t slot : call.slots) {
-        results[slot] = Status::Timeout("multiget to " + call.server->name() + " timed out");
+    // Group the round's keys by owning shard, remembering each key's slot.
+    std::unordered_map<uint32_t, std::vector<size_t>> groups;
+    for (size_t slot : todo) {
+      groups[shards_->ShardIndex(keys[slot].pid)].push_back(slot);
+    }
+    struct GroupCall {
+      std::vector<size_t> slots;
+      ServerExecutor* server = nullptr;
+      std::future<std::vector<Result<MetaValue>>> future;
+    };
+    std::vector<GroupCall> calls;
+    calls.reserve(groups.size());
+    for (auto& [shard_index, slots] : groups) {
+      const ShardMap::Routing route = shards_->Resolve(shard_index);
+      Shard* shard = route.shard;
+      // The handler owns its keys: a deadline-expired caller abandons it
+      // while it may still be queued.
+      auto group_keys = std::make_shared<std::vector<MetaKey>>();
+      group_keys->reserve(slots.size());
+      for (size_t slot : slots) {
+        group_keys->push_back(keys[slot]);
       }
-      continue;
+      // Admission sees the group's true weight, not "one more handler".
+      ScopedOpCost cost(static_cast<int>(group_keys->size()));
+      auto future = route.server->CallAsync(
+          [this, shard, group_keys]() -> std::vector<Result<MetaValue>> {
+            std::vector<Result<MetaValue>> rows;
+            rows.reserve(group_keys->size());
+            for (const MetaKey& key : *group_keys) {
+              network_->ChargeDbRowAccess();
+              auto row = shard->Get(key);
+              if (shard->IsRetired()) {
+                rows.push_back(WrongShardBounce(shard));
+              } else if (row.has_value()) {
+                rows.push_back(*row);
+              } else {
+                rows.push_back(Status::NotFound(key.ToString()));
+              }
+            }
+            return rows;
+          },
+          [group_keys](const Status& fault) {
+            return std::vector<Result<MetaValue>>(group_keys->size(),
+                                                  Result<MetaValue>(fault));
+          });
+      calls.push_back(GroupCall{std::move(slots), route.server, std::move(future)});
     }
-    call.server->RecordOutcome(Status::Ok());
-    std::vector<Result<MetaValue>> rows = call.future.get();
-    for (size_t j = 0; j < call.slots.size() && j < rows.size(); ++j) {
-      results[call.slots[j]] = std::move(rows[j]);
+    // The per-shard fan-outs overlap on the wire: one shared round-trip
+    // charge for the whole batch (CallAsync counted each RPC already).
+    network_->InjectDelay();
+    const int64_t wait_nanos =
+        DeadlineBudget::Clamp(network_->options().default_rpc_deadline_nanos);
+    const int64_t deadline_nanos = MonotonicNanos() + (wait_nanos > 0 ? wait_nanos : 0);
+    std::vector<size_t> rerouted;
+    for (GroupCall& call : calls) {
+      const int64_t rest = deadline_nanos - MonotonicNanos();
+      if (rest <= 0 || call.future.wait_for(std::chrono::nanoseconds(rest)) !=
+                           std::future_status::ready) {
+        call.server->RecordOutcome(Status::Timeout());
+        network_->NoteCallerTimeout();
+        for (size_t slot : call.slots) {
+          results[slot] = Status::Timeout("multiget to " + call.server->name() + " timed out");
+        }
+        continue;
+      }
+      call.server->RecordOutcome(Status::Ok());
+      std::vector<Result<MetaValue>> rows = call.future.get();
+      for (size_t j = 0; j < call.slots.size() && j < rows.size(); ++j) {
+        const size_t slot = call.slots[j];
+        if (!rows[j].ok() && rows[j].status().IsWrongShard() && round + 1 < kMaxRouteAttempts) {
+          results[slot] = std::move(rows[j]);  // keep the bounce if rounds run out
+          rerouted.push_back(slot);
+        } else {
+          results[slot] = std::move(rows[j]);
+        }
+      }
     }
+    todo = std::move(rerouted);
   }
   return results;
 }
 
 Result<std::vector<Shard::Entry>> TafDb::ListChildren(InodeId pid, size_t limit) {
-  Shard* shard = shards_->Route(pid);
-  ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call(
-      [this, shard, pid, limit]() -> Result<std::vector<Shard::Entry>> {
-        auto entries = shard->ScanChildren(pid, limit);
-        // One seek plus amortized per-row iteration cost.
-        network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
-        return entries;
-      },
-      FaultToStatus<std::vector<Shard::Entry>>);
+  MANTLE_RETURN_IF_ERROR(init_status_);
+  return WithReroute<std::vector<Shard::Entry>>(
+      shards_.get(), shards_->ShardIndex(pid), [&](const ShardMap::Routing& route) {
+        Shard* shard = route.shard;
+        return route.server->Call(
+            [this, shard, pid, limit]() -> Result<std::vector<Shard::Entry>> {
+              auto entries = shard->ScanChildren(pid, limit);
+              // One seek plus amortized per-row iteration cost.
+              network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+              if (shard->IsRetired()) {
+                return WrongShardBounce(shard);
+              }
+              return entries;
+            },
+            FaultToStatus<std::vector<Shard::Entry>>);
+      });
 }
 
 Result<std::vector<Shard::Entry>> TafDb::ListChildrenAfter(InodeId pid,
                                                            const std::string& start_after,
                                                            size_t limit) {
-  Shard* shard = shards_->Route(pid);
-  ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call(
-      [this, shard, pid, start_after, limit]() -> Result<std::vector<Shard::Entry>> {
-        auto entries = shard->ScanChildrenAfter(pid, start_after, limit);
-        network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
-        return entries;
-      },
-      FaultToStatus<std::vector<Shard::Entry>>);
+  MANTLE_RETURN_IF_ERROR(init_status_);
+  return WithReroute<std::vector<Shard::Entry>>(
+      shards_.get(), shards_->ShardIndex(pid), [&](const ShardMap::Routing& route) {
+        Shard* shard = route.shard;
+        return route.server->Call(
+            [this, shard, pid, start_after, limit]() -> Result<std::vector<Shard::Entry>> {
+              auto entries = shard->ScanChildrenAfter(pid, start_after, limit);
+              network_->ChargeDbRowAccess(1 + static_cast<int64_t>(entries.size()) / 32);
+              if (shard->IsRetired()) {
+                return WrongShardBounce(shard);
+              }
+              return entries;
+            },
+            FaultToStatus<std::vector<Shard::Entry>>);
+      });
 }
 
 Result<MetaValue> TafDb::ReadDirAttr(InodeId dir_id) {
-  Shard* shard = shards_->Route(dir_id);
-  ServerExecutor* server = shards_->RouteServer(dir_id);
-  return server->Call(
-      [this, shard, dir_id]() -> Result<MetaValue> {
-        network_->ChargeDbRowAccess();
-        auto merged = shard->ReadAttrMerged(dir_id);
-        if (!merged.has_value()) {
-          return Status::NotFound("attr of dir " + std::to_string(dir_id));
-        }
-        return *merged;
-      },
-      FaultToStatus<MetaValue>);
+  MANTLE_RETURN_IF_ERROR(init_status_);
+  return WithReroute<MetaValue>(
+      shards_.get(), shards_->ShardIndex(dir_id), [&](const ShardMap::Routing& route) {
+        Shard* shard = route.shard;
+        return route.server->Call(
+            [this, shard, dir_id]() -> Result<MetaValue> {
+              network_->ChargeDbRowAccess();
+              auto merged = shard->ReadAttrMerged(dir_id);
+              if (shard->IsRetired()) {
+                return WrongShardBounce(shard);
+              }
+              if (!merged.has_value()) {
+                return Status::NotFound("attr of dir " + std::to_string(dir_id));
+              }
+              return *merged;
+            },
+            FaultToStatus<MetaValue>);
+      });
 }
 
 Result<bool> TafDb::HasChildren(InodeId pid) {
-  Shard* shard = shards_->Route(pid);
-  ServerExecutor* server = shards_->RouteServer(pid);
-  return server->Call(
-      [this, shard, pid]() -> Result<bool> {
-        network_->ChargeDbRowAccess();
-        return shard->HasChildren(pid);
-      },
-      FaultToStatus<bool>);
+  MANTLE_RETURN_IF_ERROR(init_status_);
+  return WithReroute<bool>(
+      shards_.get(), shards_->ShardIndex(pid), [&](const ShardMap::Routing& route) {
+        Shard* shard = route.shard;
+        return route.server->Call(
+            [this, shard, pid]() -> Result<bool> {
+              network_->ChargeDbRowAccess();
+              const bool has = shard->HasChildren(pid);
+              if (shard->IsRetired()) {
+                return Result<bool>(WrongShardBounce(shard));
+              }
+              return Result<bool>(has);
+            },
+            FaultToStatus<bool>);
+      });
 }
 
 Status TafDb::ApplyAtomicSingleShard(const std::vector<WriteOp>& ops) {
   if (ops.empty()) {
     return Status::Ok();
   }
+  MANTLE_RETURN_IF_ERROR(init_status_);
   const uint32_t shard_index = shards_->ShardIndex(ops.front().key.pid);
   for (const auto& op : ops) {
     if (shards_->ShardIndex(op.key.pid) != shard_index) {
       return Status::InvalidArgument("ops span shards; use Execute()");
     }
   }
-  Shard* shard = shards_->ShardAt(shard_index);
-  ServerExecutor* server = shards_->ServerAt(shard_index);
-  return server->Call([this, shard, &ops]() {
-    // Row-write cost is charged holding the shard latch: concurrent updates
-    // to the same rows serialize at storage-engine speed (the parent
-    // attribute latch behaviour of Tectonic/LocoFS, paper §6.3).
-    return shard->CheckAndApply(
-        ops, [this, &ops]() { network_->ChargeDbRowAccess(static_cast<int64_t>(ops.size())); });
-  });
+  static obs::Counter* reroutes = obs::Metrics::Instance().GetCounter("tafdb.reroute.retries");
+  Status status = Status::Ok();
+  for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+    const ShardMap::Routing route = shards_->Resolve(shard_index);
+    Shard* shard = route.shard;
+    status = route.server->Call([this, shard, &ops]() {
+      // Row-write cost is charged holding the shard latch: concurrent updates
+      // to the same rows serialize at storage-engine speed (the parent
+      // attribute latch behaviour of Tectonic/LocoFS, paper §6.3).
+      return shard->CheckAndApply(
+          ops, [this, &ops]() { network_->ChargeDbRowAccess(static_cast<int64_t>(ops.size())); });
+    });
+    // kWrongShard: the shard moved under us - re-resolve and reapply here.
+    // kBusy (write fence) is returned to the caller: the placement has not
+    // changed yet, so the proxy-level retry path owns the backoff.
+    if (!status.IsWrongShard()) {
+      return status;
+    }
+    reroutes->Add();
+  }
+  return status;
 }
 
 WriteOp TafDb::MakeAttrUpdate(InodeId dir_id, int64_t count_delta, bool bump_mtime,
@@ -292,7 +421,14 @@ void TafDb::CompactDirectory(InodeId dir_id) {
     }
     consumed.push_back(entry.key.ts);
   }
-  shard->CompactDeltas(dir_id, consumed, fold, max_mtime);
+  Status status = shard->CompactDeltas(dir_id, consumed, fold, max_mtime);
+  if (!status.ok()) {
+    // Write-fenced (kBusy) or migrated away (kWrongShard) mid-fold: nothing
+    // was mutated. Re-pend the directory; the next pass re-routes through the
+    // current placement and folds there.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_compaction_.insert(dir_id);
+  }
 }
 
 void TafDb::CompactAllPending() {

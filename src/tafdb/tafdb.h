@@ -27,6 +27,7 @@
 
 #include "src/common/result.h"
 #include "src/net/network.h"
+#include "src/placement/placement_supervisor.h"
 #include "src/tafdb/contention_tracker.h"
 #include "src/txn/coordinator.h"
 #include "src/txn/shard_map.h"
@@ -45,12 +46,25 @@ struct TafDbOptions {
   ContentionOptions contention;
   int64_t compaction_interval_nanos = 2'000'000;  // 2 ms compactor cadence
   bool start_compactor = true;
+  // Heat-aware placement (src/placement/): when enabled, a background
+  // supervisor samples per-shard heat and live-migrates shards off hot
+  // servers. The PlacementSupervisor object always exists (drills drive it
+  // directly); this flag only controls the autonomous loop.
+  bool enable_placement = false;
+  PlacementSupervisorOptions placement;
 };
 
 class TafDb {
  public:
   TafDb(Network* network, TafDbOptions options = {});
   ~TafDb();
+
+  // Rejects configurations that would previously reach undefined behaviour
+  // (RouteHash % 0, empty server list). A TafDb constructed with invalid
+  // options clamps them to a safe minimum, skips background threads, and
+  // returns this status from every fallible entry point.
+  static Status ValidateOptions(const TafDbOptions& options);
+  const Status& init_status() const { return init_status_; }
 
   TafDb(const TafDb&) = delete;
   TafDb& operator=(const TafDb&) = delete;
@@ -78,9 +92,17 @@ class TafDb {
 
   uint64_t NextTxnId() { return coordinator_->NextTxnId(); }
   Status Execute(const std::vector<WriteOp>& ops, uint64_t txn_id) {
+    if (!init_status_.ok()) {
+      return init_status_;
+    }
     return coordinator_->Execute(ops, txn_id);
   }
-  Status Execute(const std::vector<WriteOp>& ops) { return coordinator_->Execute(ops); }
+  Status Execute(const std::vector<WriteOp>& ops) {
+    if (!init_status_.ok()) {
+      return init_status_;
+    }
+    return coordinator_->Execute(ops);
+  }
 
   // Non-transactional single mutation: precondition checked and the op
   // applied under the shard's internal latch, with no key locks and hence no
@@ -142,6 +164,13 @@ class TafDb {
     compaction_crash_once_.store(true, std::memory_order_release);
   }
 
+  // --- placement (heat-aware shard rebalancing, src/placement/) ---------------
+
+  PlacementSupervisor& placement() { return *placement_; }
+  // Starts / stops the autonomous rebalancing loop at runtime (drill API).
+  void EnableAutoPlacement() { placement_->Start(); }
+  void DisableAutoPlacement() { placement_->Stop(); }
+
   // --- introspection -----------------------------------------------------------
 
   ShardMap* shard_map() { return shards_.get(); }
@@ -155,9 +184,11 @@ class TafDb {
 
   Network* network_;
   TafDbOptions options_;
+  Status init_status_;
   std::vector<ServerExecutor*> servers_;
   std::unique_ptr<ShardMap> shards_;
   std::unique_ptr<TxnCoordinator> coordinator_;
+  std::unique_ptr<PlacementSupervisor> placement_;
   ContentionTracker contention_;
 
   mutable std::mutex pending_mu_;

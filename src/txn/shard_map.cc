@@ -1,25 +1,44 @@
 #include "src/txn/shard_map.h"
 
 #include <cassert>
+#include <utility>
 
 namespace mantle {
 
 ShardMap::ShardMap(uint32_t num_shards, std::vector<ServerExecutor*> servers)
-    : servers_(std::move(servers)) {
+    : num_shards_(num_shards),
+      servers_(std::move(servers)),
+      placement_(num_shards, static_cast<uint32_t>(servers_.size())),
+      current_(std::make_unique<std::atomic<Shard*>[]>(num_shards)) {
   assert(num_shards > 0);
   assert(!servers_.empty());
-  shards_.reserve(num_shards);
+  owned_.reserve(num_shards);
   for (uint32_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i));
+    owned_.push_back(std::make_shared<Shard>(i));
+    current_[i].store(owned_.back().get(), std::memory_order_release);
   }
 }
 
 size_t ShardMap::TotalRows() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->Size();
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    total += ShardAt(i)->Size();
   }
   return total;
+}
+
+uint64_t ShardMap::CommitCutover(uint32_t index, std::shared_ptr<Shard> incoming,
+                                 uint32_t server_index) {
+  assert(index < num_shards_);
+  assert(server_index < servers_.size());
+  assert(ShardAt(index)->IsRetired());
+  Shard* raw = incoming.get();
+  {
+    std::lock_guard<std::mutex> lock(owned_mu_);
+    owned_.push_back(std::move(incoming));
+  }
+  current_[index].store(raw, std::memory_order_release);
+  return placement_.CommitMove(index, server_index);
 }
 
 }  // namespace mantle

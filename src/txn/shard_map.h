@@ -1,43 +1,105 @@
 // Routing from pid to the shard that stores its rows, and from shard to the
-// logical server that hosts it. Shards are distributed round-robin across the
-// TafDB server fleet, mirroring the paper's 18-node TafDB deployment.
+// logical server that hosts it.
+//
+// pid -> shard-index routing is pure hashing (RouteHash(pid) % num_shards)
+// and never changes: a pid maps to the same shard id at every placement
+// epoch. shard-index -> server routing is dynamic, delegated to an
+// epoch-versioned PlacementTable (src/placement/) that live migration
+// advances; the initial assignment is the paper's round-robin spread over the
+// TafDB server fleet.
+//
+// Each shard index has one AUTHORITATIVE Shard object at a time, held in an
+// atomic slot. A migration builds a detached replacement, retires the source
+// (every guarded entry point starts answering kWrongShard), then installs the
+// replacement with CommitCutover. Retired objects are never freed: handlers
+// abandoned by deadline expiry may still hold raw Shard* and run arbitrarily
+// late, so superseded objects stay in a graveyard where stale access is
+// answered with a retriable bounce instead of a use-after-free.
 
 #ifndef SRC_TXN_SHARD_MAP_H_
 #define SRC_TXN_SHARD_MAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/kv/meta_record.h"
 #include "src/kv/shard.h"
 #include "src/net/network.h"
+#include "src/placement/placement_table.h"
 
 namespace mantle {
 
 class ShardMap {
  public:
-  // Creates `num_shards` shards spread over `servers` (shard i lives on
-  // servers[i % servers.size()]).
+  // Creates `num_shards` shards spread round-robin over `servers` (shard i
+  // starts on servers[i % servers.size()], placement epoch 1).
   ShardMap(uint32_t num_shards, std::vector<ServerExecutor*> servers);
 
+  // Pure, placement-independent: the same pid resolves to the same shard
+  // index at every epoch. Only the shard's SERVER moves.
   uint32_t ShardIndex(InodeId pid) const {
-    return static_cast<uint32_t>(RouteHash(pid) % shards_.size());
+    return static_cast<uint32_t>(RouteHash(pid) % num_shards_);
   }
 
-  Shard* ShardAt(uint32_t index) { return shards_[index].get(); }
-  const Shard* ShardAt(uint32_t index) const { return shards_[index].get(); }
-  ServerExecutor* ServerAt(uint32_t index) const { return servers_[index % servers_.size()]; }
+  // The currently authoritative object for `index`. Callers that capture the
+  // pointer into a deferred handler must treat kWrongShard / IsRetired() as
+  // "re-resolve and retry".
+  Shard* ShardAt(uint32_t index) { return current_[index].load(std::memory_order_acquire); }
+  const Shard* ShardAt(uint32_t index) const {
+    return current_[index].load(std::memory_order_acquire);
+  }
+
+  ServerExecutor* ServerAt(uint32_t index) const {
+    return servers_[placement_.Get(index).server];
+  }
+
+  // One consistent-enough view of a shard's routing for a single attempt.
+  // The three reads are not atomic together, but any torn combination is
+  // safe: a stale shard pointer bounces with kWrongShard at the data, and
+  // the retry re-resolves.
+  struct Routing {
+    Shard* shard = nullptr;
+    ServerExecutor* server = nullptr;
+    uint64_t epoch = 0;
+  };
+  Routing Resolve(uint32_t index) {
+    const PlacementTable::Entry entry = placement_.Get(index);
+    return Routing{ShardAt(index), servers_[entry.server], entry.epoch};
+  }
 
   Shard* Route(InodeId pid) { return ShardAt(ShardIndex(pid)); }
   ServerExecutor* RouteServer(InodeId pid) const { return ServerAt(ShardIndex(pid)); }
 
-  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t num_shards() const { return num_shards_; }
   size_t TotalRows() const;
 
+  PlacementTable& placement() { return placement_; }
+  const PlacementTable& placement() const { return placement_; }
+  const std::vector<ServerExecutor*>& servers() const { return servers_; }
+
+  // --- migration support (src/placement/shard_migrator.cc) ------------------
+
+  // Installs `incoming` as the authoritative object for `index`, now hosted
+  // on servers()[server_index], and commits the placement move. The caller
+  // must already have retired the outgoing object (so the order a racing
+  // router observes is: old pointer bounces BEFORE the new one appears -
+  // never a window where a stale object silently serves reads). Returns the
+  // committed cutover epoch. shared_ptr because the migrator's copy-stream
+  // RPC handlers co-own the incoming object while it is still detached.
+  uint64_t CommitCutover(uint32_t index, std::shared_ptr<Shard> incoming, uint32_t server_index);
+
  private:
-  std::vector<std::unique_ptr<Shard>> shards_;
+  const uint32_t num_shards_;
   std::vector<ServerExecutor*> servers_;
+  PlacementTable placement_;
+  std::unique_ptr<std::atomic<Shard*>[]> current_;
+  // Every Shard object ever authoritative, including retired ones (see file
+  // comment). Guarded by owned_mu_.
+  std::mutex owned_mu_;
+  std::vector<std::shared_ptr<Shard>> owned_;
 };
 
 }  // namespace mantle

@@ -210,6 +210,77 @@ TEST(ShardTest, CompactConsumesOnlyListedDeltas) {
   EXPECT_EQ(shard.ReadAttrMerged(9)->child_count, 2);
 }
 
+TEST(ShardTest, RowAccountingUnderConcurrentInsertDeleteScan) {
+  // Size(), ops() and ScanRange must stay coherent while inserters, deleters
+  // and scanners race: the heat tracker and the migration copy path both read
+  // these counters off a live shard.
+  Shard shard(0);
+  constexpr int kThreads = 4;
+  constexpr int kRowsPerThread = 500;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&shard, t]() {
+      const InodeId pid = 10 + t;
+      // Insert every row, then delete the odd ones via the atomic path.
+      for (int i = 0; i < kRowsPerThread; ++i) {
+        WriteOp put;
+        put.kind = WriteOp::Kind::kPut;
+        put.key = EntryKey(pid, "r" + std::to_string(i));
+        put.value = ObjValue(1000 + i, i);
+        ASSERT_TRUE(shard.CheckAndApply({put}).ok());
+      }
+      for (int i = 1; i < kRowsPerThread; i += 2) {
+        WriteOp erase;
+        erase.kind = WriteOp::Kind::kDelete;
+        erase.key = EntryKey(pid, "r" + std::to_string(i));
+        ASSERT_TRUE(shard.CheckAndApply({erase}).ok());
+      }
+    });
+  }
+  // Scanners race the mutators; any snapshot they observe must be bounded by
+  // the total row budget and internally consistent (page keys ascend).
+  for (int round = 0; round < 50; ++round) {
+    MetaKey after{};
+    size_t seen = 0;
+    while (true) {
+      const auto page = shard.ScanRange(after, 64);
+      if (page.empty()) {
+        break;
+      }
+      for (const auto& entry : page) {
+        EXPECT_LT(after, entry.key);
+        after = entry.key;
+      }
+      seen += page.size();
+    }
+    EXPECT_LE(seen, static_cast<size_t>(kThreads) * kRowsPerThread);
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  // Exactly the even rows survive, and every accessor agrees on the count.
+  const size_t expected = static_cast<size_t>(kThreads) * ((kRowsPerThread + 1) / 2);
+  EXPECT_EQ(shard.Size(), expected);
+  size_t via_scan = 0;
+  MetaKey after{};
+  while (true) {
+    const auto page = shard.ScanRange(after, 100);
+    if (page.empty()) {
+      break;
+    }
+    after = page.back().key;
+    via_scan += page.size();
+  }
+  EXPECT_EQ(via_scan, expected);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(shard.ScanChildren(10 + t).size(), (kRowsPerThread + 1) / 2);
+  }
+  // The cumulative op counter saw at least every mutation.
+  EXPECT_GE(shard.ops(), static_cast<uint64_t>(kThreads) * (kRowsPerThread + kRowsPerThread / 2));
+}
+
 TEST(ShardTest, ConcurrentLoadAndScan) {
   Shard shard(0);
   std::thread writer([&shard]() {

@@ -1,0 +1,601 @@
+// Heat-aware shard placement & live migration (src/placement/).
+//
+// Covers the placement table and heat tracker in isolation, the migration
+// protocol end to end against a live TafDb (including under a concurrent 2PC
+// write load), crash injection at every armed point with Recover(), chaos
+// (dropped/delayed copy traffic), stale-router bounces, and the full seeded
+// hotspot drill through MantleService with an Fsck audit afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+#include "src/placement/heat_tracker.h"
+#include "src/placement/placement_table.h"
+#include "src/placement/shard_migrator.h"
+#include "tests/test_util.h"
+
+namespace mantle {
+namespace {
+
+bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_nanos) {
+  const int64_t deadline = MonotonicNanos() + timeout_nanos;
+  while (MonotonicNanos() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+MetaValue ObjValue(InodeId id, uint64_t size) {
+  return MetaValue{EntryType::kObject, id, kPermAll, size, 0, 0, 0, 0};
+}
+
+WriteOp PutOp(const MetaKey& key, const MetaValue& value) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kPut;
+  op.key = key;
+  op.value = value;
+  return op;
+}
+
+// --- PlacementTable -----------------------------------------------------------
+
+TEST(PlacementTableTest, InitialRoundRobinAtEpochOne) {
+  PlacementTable table(8, 3);
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_EQ(table.moves(), 0u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    const auto entry = table.Get(i);
+    EXPECT_EQ(entry.server, i % 3);
+    EXPECT_EQ(entry.epoch, 1u);
+  }
+}
+
+TEST(PlacementTableTest, CommitMoveAdvancesEpoch) {
+  PlacementTable table(8, 3);
+  const uint64_t epoch = table.CommitMove(2, 0);
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(table.epoch(), 2u);
+  EXPECT_EQ(table.moves(), 1u);
+  EXPECT_EQ(table.Get(2).server, 0u);
+  EXPECT_EQ(table.Get(2).epoch, 2u);
+  // Untouched slots keep their original assignment and epoch.
+  EXPECT_EQ(table.Get(1).server, 1u);
+  EXPECT_EQ(table.Get(1).epoch, 1u);
+}
+
+TEST(PlacementTableTest, ShardsOnTracksAssignments) {
+  PlacementTable table(6, 2);
+  EXPECT_EQ(table.ShardsOn(0), (std::vector<uint32_t>{0, 2, 4}));
+  table.CommitMove(2, 1);
+  EXPECT_EQ(table.ShardsOn(0), (std::vector<uint32_t>{0, 4}));
+  EXPECT_EQ(table.ShardsOn(1), (std::vector<uint32_t>{1, 2, 3, 5}));
+}
+
+// --- ShardHeatTracker ---------------------------------------------------------
+
+TEST(HeatTrackerTest, RatesTrackObservedOps) {
+  Shard hot(0);
+  Shard cold(1);
+  hot.LoadPut(EntryKey(7, "x"), ObjValue(1, 10));
+  const auto shard_at = [&](uint32_t i) -> const Shard* { return i == 0 ? &hot : &cold; };
+
+  ShardHeatTracker tracker(2);
+  tracker.Sample(shard_at);  // baseline only
+  EXPECT_EQ(tracker.samples(), 1u);
+  EXPECT_EQ(tracker.Heat(0).op_rate, 0.0);
+
+  for (int i = 0; i < 5000; ++i) {
+    hot.Get(EntryKey(7, "x"));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tracker.Sample(shard_at);
+
+  EXPECT_GT(tracker.Heat(0).op_rate, 0.0);
+  EXPECT_EQ(tracker.Heat(1).op_rate, 0.0);
+  EXPECT_GT(tracker.Score(0), tracker.Score(1));
+  EXPECT_EQ(tracker.Heat(0).rows, 1u);
+
+  PlacementTable table(2, 2);  // shard 0 -> server 0, shard 1 -> server 1
+  const std::vector<double> scores = tracker.ServerScores(table);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(HeatTrackerTest, ConflictsWeighHeavierThanOps) {
+  Shard contended(0);
+  Shard busy(1);
+  const auto shard_at = [&](uint32_t i) -> const Shard* {
+    return i == 0 ? &contended : &busy;
+  };
+  ShardHeatTracker tracker(2);
+  tracker.Sample(shard_at);
+
+  // Equal op counts, but shard 0 also takes lock conflicts.
+  for (int i = 0; i < 200; ++i) {
+    contended.Get(EntryKey(1, "k"));
+    busy.Get(EntryKey(1, "k"));
+  }
+  ASSERT_TRUE(contended.TryLockKey(EntryKey(1, "k"), 1));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(contended.TryLockKey(EntryKey(1, "k"), 2));
+  }
+  contended.UnlockKey(EntryKey(1, "k"), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tracker.Sample(shard_at);
+
+  EXPECT_GT(tracker.Heat(0).conflict_rate, 0.0);
+  EXPECT_GT(tracker.Score(0), tracker.Score(1) * 2);
+}
+
+// --- TafDb options validation (no UB on zero shards / empty fleet) -----------
+
+TEST(PlacementOptionsTest, ValidateRejectsDegenerateConfigs) {
+  TafDbOptions ok = FastTafDbOptions();
+  EXPECT_TRUE(TafDb::ValidateOptions(ok).ok());
+
+  TafDbOptions no_shards = ok;
+  no_shards.num_shards = 0;
+  EXPECT_TRUE(TafDb::ValidateOptions(no_shards) == Status::InvalidArgument());
+
+  TafDbOptions no_servers = ok;
+  no_servers.num_servers = 0;
+  EXPECT_TRUE(TafDb::ValidateOptions(no_servers) == Status::InvalidArgument());
+
+  TafDbOptions no_workers = ok;
+  no_workers.workers_per_server = 0;
+  EXPECT_TRUE(TafDb::ValidateOptions(no_workers) == Status::InvalidArgument());
+}
+
+TEST(PlacementOptionsTest, InvalidConfigFailsClosedInsteadOfCrashing) {
+  Network network(FastNetworkOptions());
+  TafDbOptions bad = FastTafDbOptions();
+  bad.num_shards = 0;  // would previously reach RouteHash % 0
+  TafDb db(&network, bad);
+
+  EXPECT_TRUE(db.init_status() == Status::InvalidArgument());
+  EXPECT_TRUE(db.Get(EntryKey(1, "a")).status() == Status::InvalidArgument());
+  EXPECT_TRUE(db.Execute({PutOp(EntryKey(1, "a"), ObjValue(1, 1))}) == Status::InvalidArgument());
+  auto multi = db.MultiGet(std::vector<MetaKey>{EntryKey(1, "a"), EntryKey(2, "b")});
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_TRUE(multi[0].status() == Status::InvalidArgument());
+  EXPECT_TRUE(multi[1].status() == Status::InvalidArgument());
+  EXPECT_TRUE(db.ListChildren(1).status() == Status::InvalidArgument());
+}
+
+// --- TafDb-level migration ----------------------------------------------------
+
+class PlacementMigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<Network>(FastNetworkOptions());
+    TafDbOptions options = FastTafDbOptions();
+    options.start_compactor = false;
+    db_ = std::make_unique<TafDb>(network_.get(), options);
+  }
+
+  // A pid routed to `shard_index` (distinct pids per call via `salt`).
+  InodeId PidOnShard(uint32_t shard_index, uint64_t salt = 0) {
+    for (InodeId pid = 2 + salt * 100'000; ; ++pid) {
+      if (db_->shard_map()->ShardIndex(pid) == shard_index) {
+        return pid;
+      }
+    }
+  }
+
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<TafDb> db_;
+};
+
+TEST_F(PlacementMigrationTest, MigrationPreservesEveryRowAndBumpsEpoch) {
+  const uint32_t shard = 0;
+  const InodeId pid = PidOnShard(shard);
+  for (int i = 0; i < 1000; ++i) {
+    db_->LoadPut(EntryKey(pid, "row" + std::to_string(i)), ObjValue(100 + i, i));
+  }
+  ShardMap* map = db_->shard_map();
+  const Shard* source = map->ShardAt(shard);
+  const uint32_t old_server = map->placement().Get(shard).server;
+  const uint32_t target = (old_server + 1) % 2;
+  const uint64_t old_epoch = map->placement().epoch();
+
+  ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+
+  EXPECT_EQ(map->placement().Get(shard).server, target);
+  EXPECT_GT(map->placement().epoch(), old_epoch);
+  EXPECT_TRUE(source->IsRetired());
+  EXPECT_NE(map->ShardAt(shard), source);
+  EXPECT_FALSE(map->ShardAt(shard)->WriteFenced());
+  for (int i = 0; i < 1000; ++i) {
+    auto row = db_->Get(EntryKey(pid, "row" + std::to_string(i)));
+    ASSERT_TRUE(row.ok()) << "row " << i << ": " << row.status().ToString();
+    EXPECT_EQ(row->size, static_cast<uint64_t>(i));
+  }
+  // Migrating to the server it is already on is an argument error.
+  EXPECT_TRUE(db_->placement().MigrateShard(shard, target) == Status::InvalidArgument());
+  EXPECT_TRUE(db_->placement().MigrateShard(999, 0) == Status::InvalidArgument());
+  EXPECT_TRUE(db_->placement().MigrateShard(shard, 999) == Status::InvalidArgument());
+}
+
+TEST_F(PlacementMigrationTest, RoutingIsDeterministicAcrossEpochs) {
+  // Satellite: pid -> shard-index routing must not depend on placement.
+  ShardMap* map = db_->shard_map();
+  std::vector<uint32_t> before;
+  for (InodeId pid = 1; pid <= 512; ++pid) {
+    before.push_back(map->ShardIndex(pid));
+  }
+  for (uint32_t shard = 0; shard < 4; ++shard) {
+    const uint32_t target = (map->placement().Get(shard).server + 1) % 2;
+    ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+  }
+  ASSERT_GT(map->placement().epoch(), 1u);
+  for (InodeId pid = 1; pid <= 512; ++pid) {
+    EXPECT_EQ(map->ShardIndex(pid), before[pid - 1]) << "pid " << pid;
+  }
+}
+
+TEST_F(PlacementMigrationTest, StaleRouterBouncesWithWrongShard) {
+  const uint32_t shard = 3;
+  const InodeId pid = PidOnShard(shard);
+  db_->LoadPut(EntryKey(pid, "k"), ObjValue(5, 55));
+
+  // A router resolves BEFORE the move and holds the raw pointer across it.
+  ShardMap::Routing stale = db_->shard_map()->Resolve(shard);
+  const uint32_t target = (db_->shard_map()->placement().Get(shard).server + 1) % 2;
+  ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+
+  // Guarded entry points on the retired object bounce retriably.
+  Status bounced = stale.shard->CheckAndApply({PutOp(EntryKey(pid, "k"), ObjValue(5, 56))});
+  EXPECT_TRUE(bounced.IsWrongShard());
+  EXPECT_TRUE(bounced.IsRetriable());
+  EXPECT_FALSE(stale.shard->TryLockKey(EntryKey(pid, "k"), 42));
+  EXPECT_TRUE(stale.shard->CompactDeltas(pid, {}, 0, 0).IsWrongShard());
+
+  // The write never landed on the stale copy; the live path re-routes.
+  EXPECT_EQ(db_->Get(EntryKey(pid, "k"))->size, 55u);
+  ASSERT_TRUE(db_->Execute({PutOp(EntryKey(pid, "k"), ObjValue(5, 56))}).ok());
+  EXPECT_EQ(db_->Get(EntryKey(pid, "k"))->size, 56u);
+}
+
+TEST_F(PlacementMigrationTest, MigrationUnderConcurrent2pcLosesNoAckedWrite) {
+  constexpr int kWriters = 4;
+  constexpr int kWritesPerWriter = 150;
+  ShardMap* map = db_->shard_map();
+
+  // Distinct pids per writer; each transaction spans two pids so a good
+  // fraction of the load is cross-shard 2PC racing the migrations.
+  std::vector<InodeId> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    pids.push_back(PidOnShard(static_cast<uint32_t>(w * 2), w + 1));
+    pids.push_back(PidOnShard(static_cast<uint32_t>(w * 2 + 1), w + 10));
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w]() {
+      const InodeId a = pids[w * 2];
+      const InodeId b = pids[w * 2 + 1];
+      for (int i = 0; i < kWritesPerWriter && !failed.load(); ++i) {
+        const std::vector<WriteOp> ops = {
+            PutOp(EntryKey(a, "w" + std::to_string(i)), ObjValue(1, i)),
+            PutOp(EntryKey(b, "w" + std::to_string(i)), ObjValue(2, i)),
+        };
+        bool acked = false;
+        for (int attempt = 0; attempt < 200; ++attempt) {
+          const Status status = db_->Execute(ops);
+          if (status.ok()) {
+            acked = true;
+            break;
+          }
+          if (!status.IsRetriable() && !(status == Status::Timeout())) {
+            ADD_FAILURE() << "non-retriable failure: " << status.ToString();
+            failed.store(true);
+            break;
+          }
+        }
+        if (!acked && !failed.load()) {
+          ADD_FAILURE() << "write never acked after bounded retries";
+          failed.store(true);
+        }
+      }
+    });
+  }
+
+  // Migrate every writer-touched shard (plus back again) while writes fly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t shard = 0; shard < db_->shard_map()->num_shards(); ++shard) {
+      const uint32_t target = (map->placement().Get(shard).server + 1) % 2;
+      const Status status = db_->placement().MigrateShard(shard, target);
+      EXPECT_TRUE(status.ok() || status.IsRetriable()) << status.ToString();
+    }
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Every acked write is durable and visible through the current placement.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kWritesPerWriter; ++i) {
+      for (int half = 0; half < 2; ++half) {
+        const InodeId pid = pids[w * 2 + half];
+        auto row = db_->Get(EntryKey(pid, "w" + std::to_string(i)));
+        ASSERT_TRUE(row.ok()) << "lost acked write pid=" << pid << " i=" << i << ": "
+                              << row.status().ToString();
+        EXPECT_EQ(row->size, static_cast<uint64_t>(i));
+      }
+    }
+  }
+  // No transaction spans a move: nothing is left prepared or fenced anywhere.
+  for (uint32_t shard = 0; shard < map->num_shards(); ++shard) {
+    EXPECT_EQ(map->ShardAt(shard)->HeldLockCount(), 0u) << "shard " << shard;
+    EXPECT_FALSE(map->ShardAt(shard)->WriteFenced()) << "shard " << shard;
+  }
+}
+
+// --- crash injection ----------------------------------------------------------
+
+TEST_F(PlacementMigrationTest, CrashMidCopyLeavesSourceAuthoritative) {
+  const uint32_t shard = 1;
+  const InodeId pid = PidOnShard(shard);
+  for (int i = 0; i < 200; ++i) {
+    db_->LoadPut(EntryKey(pid, "r" + std::to_string(i)), ObjValue(1, i));
+  }
+  ShardMap* map = db_->shard_map();
+  const Shard* source = map->ShardAt(shard);
+  const uint32_t old_server = map->placement().Get(shard).server;
+  const uint32_t target = (old_server + 1) % 2;
+
+  db_->placement().migrator().ArmCrash(MigrationCrashPoint::kMidCopy);
+  EXPECT_TRUE(db_->placement().MigrateShard(shard, target).IsAborted());
+
+  // Old placement untouched: same object, same server, no fence, no epoch.
+  EXPECT_EQ(map->ShardAt(shard), source);
+  EXPECT_EQ(map->placement().Get(shard).server, old_server);
+  EXPECT_FALSE(source->IsRetired());
+  EXPECT_FALSE(source->WriteFenced());
+
+  db_->placement().migrator().Recover(shard);
+  ASSERT_TRUE(db_->Execute({PutOp(EntryKey(pid, "post-crash"), ObjValue(9, 99))}).ok());
+
+  // A fresh attempt completes and carries both old and post-crash rows.
+  ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+  EXPECT_EQ(db_->Get(EntryKey(pid, "r7"))->size, 7u);
+  EXPECT_EQ(db_->Get(EntryKey(pid, "post-crash"))->size, 99u);
+}
+
+TEST_F(PlacementMigrationTest, CrashMidCutoverRecoversWithFenceLifted) {
+  const uint32_t shard = 2;
+  const InodeId pid = PidOnShard(shard);
+  for (int i = 0; i < 100; ++i) {
+    db_->LoadPut(EntryKey(pid, "r" + std::to_string(i)), ObjValue(1, i));
+  }
+  ShardMap* map = db_->shard_map();
+  Shard* source = map->ShardAt(shard);
+  const uint32_t old_server = map->placement().Get(shard).server;
+  const uint32_t target = (old_server + 1) % 2;
+
+  db_->placement().migrator().ArmCrash(MigrationCrashPoint::kMidCutover);
+  EXPECT_TRUE(db_->placement().MigrateShard(shard, target).IsAborted());
+
+  // Crash point is one instant before commit: fence still up, cutover never
+  // happened, source still the only authoritative copy.
+  EXPECT_EQ(map->ShardAt(shard), source);
+  EXPECT_EQ(map->placement().Get(shard).server, old_server);
+  EXPECT_FALSE(source->IsRetired());
+  EXPECT_TRUE(source->WriteFenced());
+  EXPECT_TRUE(source->CheckAndApply({PutOp(EntryKey(pid, "x"), ObjValue(1, 1))}).IsBusy());
+
+  db_->placement().migrator().Recover(shard);
+  EXPECT_FALSE(source->WriteFenced());
+  ASSERT_TRUE(db_->Execute({PutOp(EntryKey(pid, "resumed"), ObjValue(3, 33))}).ok());
+
+  ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+  EXPECT_EQ(map->placement().Get(shard).server, target);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(db_->Get(EntryKey(pid, "r" + std::to_string(i)))->size,
+              static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(db_->Get(EntryKey(pid, "resumed"))->size, 33u);
+}
+
+TEST_F(PlacementMigrationTest, CrashBeforeFenceRecovers) {
+  const uint32_t shard = 4;
+  const InodeId pid = PidOnShard(shard);
+  db_->LoadPut(EntryKey(pid, "a"), ObjValue(1, 1));
+  const uint32_t target = (db_->shard_map()->placement().Get(shard).server + 1) % 2;
+
+  db_->placement().migrator().ArmCrash(MigrationCrashPoint::kBeforeFence);
+  EXPECT_TRUE(db_->placement().MigrateShard(shard, target).IsAborted());
+  EXPECT_FALSE(db_->shard_map()->ShardAt(shard)->WriteFenced());
+
+  db_->placement().migrator().Recover(shard);
+  ASSERT_TRUE(db_->placement().MigrateShard(shard, target).ok());
+  EXPECT_EQ(db_->Get(EntryKey(pid, "a"))->size, 1u);
+}
+
+// --- chaos: drops and delays on the copy path ---------------------------------
+
+TEST_F(PlacementMigrationTest, ChaosMigrationAbortsCleanlyOrCompletes) {
+  const uint32_t shard = 5;
+  const InodeId pid = PidOnShard(shard);
+  for (int i = 0; i < 600; ++i) {
+    db_->LoadPut(EntryKey(pid, "r" + std::to_string(i)), ObjValue(1, i));
+  }
+  ShardMap* map = db_->shard_map();
+
+  // Short per-RPC deadline so dropped copy traffic aborts fast.
+  MigrationOptions chaos_options;
+  chaos_options.copy_batch_rows = 64;  // many pages -> many chances to drop
+  chaos_options.rpc_deadline_nanos = 20'000'000;  // 20 ms
+  ShardMigrator migrator(map, db_->network(), chaos_options);
+
+  FaultRule flaky;
+  flaky.drop_probability = 0.25;
+  flaky.delay_probability = 0.25;
+  flaky.delay_nanos = 2'000'000;
+  db_->network()->faults().SetRule("tafdb-0", flaky);
+  db_->network()->faults().SetRule("tafdb-1", flaky);
+
+  bool committed = false;
+  for (int attempt = 0; attempt < 10 && !committed; ++attempt) {
+    const uint32_t target = (map->placement().Get(shard).server + 1) % 2;
+    const Status status = migrator.Migrate(shard, target);
+    if (status.ok()) {
+      committed = true;
+    } else {
+      // Aborts are clean: source authoritative, unfenced, still writable.
+      EXPECT_FALSE(map->ShardAt(shard)->IsRetired());
+      EXPECT_FALSE(map->ShardAt(shard)->WriteFenced());
+    }
+  }
+  db_->network()->faults().ClearAll();
+
+  // Whatever happened above, the data survived and the shard still migrates.
+  if (!committed) {
+    const uint32_t target = (map->placement().Get(shard).server + 1) % 2;
+    ASSERT_TRUE(migrator.Migrate(shard, target).ok());
+  }
+  for (int i = 0; i < 600; ++i) {
+    auto row = db_->Get(EntryKey(pid, "r" + std::to_string(i)));
+    ASSERT_TRUE(row.ok()) << "row " << i << ": " << row.status().ToString();
+    EXPECT_EQ(row->size, static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(db_->Execute({PutOp(EntryKey(pid, "after"), ObjValue(2, 7))}).ok());
+  EXPECT_EQ(db_->Get(EntryKey(pid, "after"))->size, 7u);
+}
+
+// --- hotspot drill through MantleService --------------------------------------
+
+TEST(PlacementDrillTest, SupervisorMigratesShardsOffHotServerAndFsckStaysClean) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  options.tafdb.start_compactor = false;
+  // Aggressive supervisor so the drill converges in test time.
+  options.tafdb.placement.poll_interval_nanos = 2'000'000;      // 2 ms
+  options.tafdb.placement.confirm_window_nanos = 5'000'000;     // 5 ms
+  options.tafdb.placement.cooldown_nanos = 5'000'000;           // 5 ms
+  options.tafdb.placement.skew_threshold = 1.2;
+  options.tafdb.placement.min_hot_score = 10.0;
+  MantleService service(&network, options);
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.Mkdir("/d" + std::to_string(i)).ok());
+    ASSERT_TRUE(service.CreateObject("/d" + std::to_string(i) + "/obj", 64).ok());
+  }
+
+  TafDb* db = service.tafdb();
+  ShardMap* map = db->shard_map();
+  // Seeded hotspot: hammer keys on every shard resident on server 0.
+  std::vector<InodeId> hot_pids;
+  for (InodeId pid = 2; hot_pids.size() < 4 && pid < 100'000; ++pid) {
+    const uint32_t shard = map->ShardIndex(pid);
+    if (map->placement().Get(shard).server == 0) {
+      hot_pids.push_back(pid);
+      db->LoadPut(EntryKey(pid, "hotrow"), ObjValue(pid, 1));
+    }
+  }
+  ASSERT_EQ(hot_pids.size(), 4u);
+
+  const std::set<uint32_t> hot_shards_before = [&] {
+    std::set<uint32_t> s;
+    for (const InodeId pid : hot_pids) {
+      s.insert(map->ShardIndex(pid));
+    }
+    return s;
+  }();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 3; ++t) {
+    hammers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const InodeId pid : hot_pids) {
+          auto row = db->Get(EntryKey(pid, "hotrow"));
+          ASSERT_TRUE(row.ok()) << row.status().ToString();
+        }
+      }
+    });
+  }
+
+  service.EnableShardAutoPlacement();
+  const bool migrated = WaitFor(
+      [&]() {
+        return service.shard_placement()->stats().migrations.load(std::memory_order_relaxed) >= 1;
+      },
+      20'000'000'000);  // 20 s
+  stop.store(true, std::memory_order_release);
+  for (auto& t : hammers) {
+    t.join();
+  }
+  service.DisableShardAutoPlacement();
+  ASSERT_TRUE(migrated) << "supervisor never migrated; samples="
+                        << service.shard_placement()->stats().samples.load()
+                        << " skew=" << service.shard_placement()->stats().skew_detected.load();
+  EXPECT_GE(service.shard_placement()->stats().skew_detected.load(), 1u);
+
+  // At least one formerly-hot shard left server 0, and nothing was lost.
+  size_t moved = 0;
+  for (const uint32_t shard : hot_shards_before) {
+    if (map->placement().Get(shard).server != 0) {
+      ++moved;
+    }
+  }
+  EXPECT_GE(moved, 1u);
+  for (const InodeId pid : hot_pids) {
+    EXPECT_EQ(db->Get(EntryKey(pid, "hotrow"))->size, 1u);
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto stat = service.StatObject("/d" + std::to_string(i) + "/obj");
+    EXPECT_TRUE(stat.ok()) << stat.status.ToString();
+  }
+
+  // The namespace survives the reshuffle with full index/DB agreement.
+  auto report = service.Fsck();
+  EXPECT_TRUE(report.clean()) << "entry=" << report.missing_entry_row.size()
+                              << " id=" << report.id_mismatch.size()
+                              << " attr=" << report.missing_attr_row.size()
+                              << " unindexed=" << report.unindexed_dir_row.size();
+
+  // Satellite: per-shard gauges are exported by DumpStats.
+  const std::string stats = service.DumpStats();
+  EXPECT_NE(stats.find("tafdb.shard.rows"), std::string::npos);
+  EXPECT_NE(stats.find("tafdb.shard.ops"), std::string::npos);
+  EXPECT_NE(stats.find("placement.epoch"), std::string::npos);
+  EXPECT_GT(obs::Metrics::Instance().GetGauge("tafdb.shard.rows")->Value(), 0);
+}
+
+TEST(PlacementDrillTest, DirectDrillMigrationKeepsFsckClean) {
+  Network network(FastNetworkOptions());
+  MantleOptions options = FastMantleOptions();
+  MantleService service(&network, options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.Mkdir("/m" + std::to_string(i)).ok());
+    ASSERT_TRUE(service.CreateObject("/m" + std::to_string(i) + "/o", 8).ok());
+  }
+  ShardMap* map = service.tafdb()->shard_map();
+  for (uint32_t shard = 0; shard < map->num_shards(); ++shard) {
+    const uint32_t target = (map->placement().Get(shard).server + 1) % 2;
+    ASSERT_TRUE(service.MigrateTafDbShard(shard, target).ok()) << "shard " << shard;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service.StatObject("/m" + std::to_string(i) + "/o").ok());
+  }
+  EXPECT_TRUE(service.Fsck().clean());
+}
+
+}  // namespace
+}  // namespace mantle
